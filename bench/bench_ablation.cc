@@ -1,0 +1,261 @@
+// Ablation study over the design choices DESIGN.md calls out:
+//   (1) joint topic model vs decoupled LDA-then-GMM vs GMM-only,
+//   (2) eq. (3) with vs without the emulsion Gaussian,
+//   (3) with vs without the -log information-quantity transform,
+//   (4) with vs without the word2vec gel-relatedness screen.
+// All variants are scored on the synthetic corpus's ground-truth texture
+// classes (purity / NMI / ARI) and on linkage sanity: the fraction of
+// Table I settings whose linked topic is dominated by the setting's gel.
+
+#include <cstdio>
+#include <string>
+
+#include "core/collapsed_sampler.h"
+#include "core/variational.h"
+#include "core/gmm_baseline.h"
+#include "core/lda_baseline.h"
+#include "core/linkage.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace texrheo {
+namespace {
+
+struct Scores {
+  eval::ClusteringScores clustering;
+  double linkage_accuracy = 0.0;
+};
+
+int DominantGel(const math::Vector& gel) {
+  int best = -1;
+  double best_c = 0.0;
+  for (size_t g = 0; g < gel.size(); ++g) {
+    if (gel[g] > best_c) {
+      best_c = gel[g];
+      best = static_cast<int>(g);
+    }
+  }
+  return best;
+}
+
+// Fraction of Table I settings whose linked topic's member recipes are
+// dominated by the same gel as the setting.
+double LinkageAccuracy(const recipe::Dataset& dataset,
+                       const std::vector<int>& doc_topic,
+                       const std::vector<math::Gaussian>& gel_topics,
+                       const recipe::FeatureConfig& feature_config) {
+  core::TopicEstimates estimates;
+  estimates.gel_topics = gel_topics;
+  auto links = core::LinkSettingsToTopics(estimates, rheology::TableI(),
+                                          feature_config);
+  if (!links.ok()) return 0.0;
+  int correct = 0;
+  for (const auto& link : *links) {
+    const auto& row =
+        rheology::TableI()[static_cast<size_t>(link.setting_id - 1)];
+    // Dominant gel among recipes assigned to the linked topic.
+    math::Vector mean(recipe::kNumGelTypes);
+    int count = 0;
+    for (size_t d = 0; d < dataset.documents.size(); ++d) {
+      if (doc_topic[d] != link.topic) continue;
+      mean += dataset.documents[d].gel_concentration;
+      ++count;
+    }
+    if (count == 0) continue;
+    if (DominantGel(mean) == DominantGel(row.gel)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(rheology::TableI().size());
+}
+
+std::vector<int> GroundTruth(const eval::ExperimentResult& result) {
+  std::vector<int> truth;
+  for (size_t d = 0; d < result.dataset.documents.size(); ++d) {
+    const auto& r = result.recipes[result.dataset.documents[d].recipe_index];
+    truth.push_back(std::stoi(r.metadata.at(corpus::kMetaTextureClass)));
+  }
+  return truth;
+}
+
+Scores ScoreAssignments(const eval::ExperimentResult& result,
+                        const std::vector<int>& doc_topic,
+                        const std::vector<math::Gaussian>& gel_topics) {
+  Scores s;
+  auto clustering = eval::ScoreClustering(doc_topic, GroundTruth(result));
+  if (clustering.ok()) s.clustering = clustering.value();
+  recipe::FeatureConfig fc;
+  s.linkage_accuracy =
+      LinkageAccuracy(result.dataset, doc_topic, gel_topics, fc);
+  return s;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  (void)flags.Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", "bench_ablation: model/baseline/feature ablations on ground truth.\nflags: --scale <f> (default 0.2)\n");
+    return 0;
+  }
+  double scale = flags.GetDouble("scale", 0.2).value_or(0.2);
+  SetLogLevel(LogLevel::kWarning);
+
+  TablePrinter table({"Variant", "Purity", "NMI", "ARI",
+                      "Table-I linkage acc", "Notes"});
+
+  auto add_row = [&table](const std::string& name, const Scores& s,
+                          const std::string& notes) {
+    table.AddRow({name, FormatDouble(s.clustering.purity, 3),
+                  FormatDouble(s.clustering.nmi, 3),
+                  FormatDouble(s.clustering.ari, 3),
+                  FormatDouble(s.linkage_accuracy, 3), notes});
+  };
+
+  // --- (1) Joint model, default configuration -----------------------------
+  eval::ExperimentConfig base = eval::DefaultExperimentConfig(scale);
+  auto joint_or = eval::RunJointExperiment(base);
+  if (!joint_or.ok()) {
+    std::fprintf(stderr, "joint experiment failed: %s\n",
+                 joint_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& joint = joint_or.value();
+  add_row("joint topic model (paper eq. 3)",
+          ScoreAssignments(joint, joint.estimates.doc_topic,
+                           joint.estimates.gel_topics),
+          "words + gel Gaussian in eq. (3)");
+
+  // --- (1b) Decoupled LDA -> post-hoc Gaussians ---------------------------
+  {
+    core::LdaConfig lda_config;
+    lda_config.num_topics = base.model.num_topics;
+    lda_config.sweeps = base.model.sweeps;
+    auto lda = core::LdaModel::Create(lda_config, &joint.dataset);
+    if (lda.ok() && lda->Train().ok()) {
+      std::vector<int> doc_topic = lda->DocTopics();
+      auto gaussians = core::FitPostHocGaussians(
+          joint.dataset, doc_topic, lda_config.num_topics, /*use_gel=*/true,
+          joint.resolved_model_config.gel_prior);
+      if (gaussians.ok()) {
+        add_row("LDA then per-topic Gaussians",
+                ScoreAssignments(joint, doc_topic, gaussians.value()),
+                "conventional LDA; concentrations post-hoc");
+      }
+    }
+  }
+
+  // --- (1c) GMM on gel+emulsion features only -----------------------------
+  {
+    std::vector<math::Vector> points;
+    for (const auto& doc : joint.dataset.documents) {
+      math::Vector v(doc.gel_feature.size() + doc.emulsion_feature.size());
+      for (size_t i = 0; i < doc.gel_feature.size(); ++i) {
+        v[i] = doc.gel_feature[i];
+      }
+      for (size_t i = 0; i < doc.emulsion_feature.size(); ++i) {
+        v[doc.gel_feature.size() + i] = doc.emulsion_feature[i];
+      }
+      points.push_back(std::move(v));
+    }
+    core::GmmConfig gmm_config;
+    gmm_config.num_components = base.model.num_topics;
+    auto gmm = core::GaussianMixture::Fit(gmm_config, points);
+    if (gmm.ok()) {
+      std::vector<int> doc_topic = gmm->HardAssignments(points);
+      auto gaussians = core::FitPostHocGaussians(
+          joint.dataset, doc_topic, gmm_config.num_components, true,
+          joint.resolved_model_config.gel_prior);
+      if (gaussians.ok()) {
+        add_row("GMM on concentrations only",
+                ScoreAssignments(joint, doc_topic, gaussians.value()),
+                "no texture terms at all");
+      }
+    }
+  }
+
+  // --- (1d) Collapsed Gibbs (Gaussians integrated out) --------------------
+  {
+    auto collapsed =
+        core::CollapsedJointTopicModel::Create(base.model, &joint.dataset);
+    if (collapsed.ok() && collapsed->Train().ok()) {
+      auto est = collapsed->Estimate();
+      if (est.ok()) {
+        add_row("collapsed Gibbs sampler",
+                ScoreAssignments(joint, est->doc_topic, est->gel_topics),
+                "Student-t predictive; eq. 4 integrated out");
+      }
+    }
+  }
+
+  // --- (1e) Deterministic variational inference (CVB0-style) --------------
+  {
+    auto vb =
+        core::VariationalJointTopicModel::Create(base.model, &joint.dataset);
+    if (vb.ok() && vb->Train().ok()) {
+      auto est = vb->Estimate();
+      if (est.ok()) {
+        add_row("variational (CVB0)",
+                ScoreAssignments(joint, est->doc_topic, est->gel_topics),
+                StrFormat("deterministic; converged in %d iters",
+                          vb->iterations_run()));
+      }
+    }
+  }
+
+  // --- (2) eq. (3) extended: emulsion Gaussian included in y sampling -----
+  {
+    eval::ExperimentConfig variant = base;
+    variant.model.use_emulsion_likelihood = true;
+    auto r = eval::RunJointExperiment(variant);
+    if (r.ok()) {
+      add_row("joint, + emulsion likelihood",
+              ScoreAssignments(*r, r->estimates.doc_topic,
+                               r->estimates.gel_topics),
+              "graphical-model reading of eq. (3)");
+    }
+  }
+
+  // --- (3) raw concentrations instead of -log ------------------------------
+  {
+    eval::ExperimentConfig variant = base;
+    variant.dataset.feature.use_information_quantity = false;
+    auto r = eval::RunJointExperiment(variant);
+    if (r.ok()) {
+      add_row("joint, raw concentrations",
+              ScoreAssignments(*r, r->estimates.doc_topic,
+                               r->estimates.gel_topics),
+              "-log transform disabled");
+    }
+  }
+
+  // --- (4) no word2vec confounder screen ----------------------------------
+  {
+    eval::ExperimentConfig variant = base;
+    variant.use_word2vec_filter = false;
+    auto r = eval::RunJointExperiment(variant);
+    if (r.ok()) {
+      Scores s = ScoreAssignments(*r, r->estimates.doc_topic,
+                                  r->estimates.gel_topics);
+      add_row("joint, no word2vec screen", s,
+              StrFormat("%zu confounder occurrences kept",
+                        joint.dataset.funnel
+                            .occurrences_removed_by_filter));
+    }
+  }
+
+  std::printf("=== Ablations (scale %.2f of the 63k corpus) ===\n", scale);
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "expected shape: the joint model matches or beats the decoupled "
+      "pipelines on linkage accuracy; removing the -log transform or the "
+      "word2vec screen degrades scores\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace texrheo
+
+int main(int argc, char** argv) { return texrheo::Run(argc, argv); }

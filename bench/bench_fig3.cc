@@ -1,0 +1,101 @@
+// Reproduces the paper's Figure 3: within the topic assigned to Bavarois /
+// Milk jelly, recipes are ranked by KL divergence of emulsion
+// concentrations to the dish and binned; each bin counts texture terms on
+// the hard/soft poles (a) and the elastic/crumbly poles (b).
+//
+// Expected shape (paper Section V.B): the nearest bins are richer in hard
+// terms for both dishes; elastic terms concentrate near Bavarois (high
+// measured cohesiveness 0.809) far more than near Milk jelly (0.27).
+
+#include <cstdio>
+
+#include "eval/dish_analysis.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace texrheo {
+namespace {
+
+void PrintHistogram(const eval::DishAnalysis& analysis) {
+  std::printf("--- %s (assigned topic %d, %zu recipes in topic) ---\n",
+              analysis.dish_name.c_str(), analysis.assigned_topic,
+              analysis.ranked.size());
+  TablePrinter table({"KL bin", "KL range", "#Recipes", "hard", "soft",
+                      "elastic", "crumbly"});
+  for (size_t b = 0; b < analysis.fig3_bins.size(); ++b) {
+    const auto& bin = analysis.fig3_bins[b];
+    table.AddRow({std::to_string(b),
+                  FormatDouble(bin.kl_lo, 3) + " - " +
+                      FormatDouble(bin.kl_hi, 3),
+                  std::to_string(bin.recipes), std::to_string(bin.counts.hard),
+                  std::to_string(bin.counts.soft),
+                  std::to_string(bin.counts.elastic),
+                  std::to_string(bin.counts.crumbly)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  // Aggregate near vs far shape summary.
+  size_t half = analysis.fig3_bins.size() / 2;
+  int near_hard = 0, far_hard = 0, near_elastic = 0, far_elastic = 0;
+  int near_terms = 0, far_terms = 0;
+  for (size_t b = 0; b < analysis.fig3_bins.size(); ++b) {
+    const auto& c = analysis.fig3_bins[b].counts;
+    if (b < half) {
+      near_hard += c.hard;
+      near_elastic += c.elastic;
+      near_terms += c.total;
+    } else {
+      far_hard += c.hard;
+      far_elastic += c.elastic;
+      far_terms += c.total;
+    }
+  }
+  auto rate = [](int count, int total) {
+    return total > 0 ? static_cast<double>(count) / total : 0.0;
+  };
+  std::printf(
+      "near-half hard-term rate %.3f vs far-half %.3f; "
+      "near-half elastic rate %.3f vs far-half %.3f\n\n",
+      rate(near_hard, near_terms), rate(far_hard, far_terms),
+      rate(near_elastic, near_terms), rate(far_elastic, far_terms));
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  (void)flags.Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", "bench_fig3: term-category histograms by emulsion-KL rank (paper Fig. 3).\nflags: --scale <f> (default 0.25) --bins <n> (default 6)\n");
+    return 0;
+  }
+  double scale = flags.GetDouble("scale", 0.25).value_or(0.25);
+  int bins = static_cast<int>(flags.GetInt("bins", 6).value_or(6));
+  SetLogLevel(LogLevel::kWarning);
+
+  auto result_or =
+      eval::RunJointExperiment(eval::DefaultExperimentConfig(scale));
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "=== Fig. 3: recipes binned by emulsion-KL similarity to each dish "
+      "===\n\n");
+  for (const auto& dish : rheology::TableIIb()) {
+    auto analysis = eval::AnalyzeDish(result_or.value(), dish, bins);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "dish analysis failed: %s\n",
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    PrintHistogram(analysis.value());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace texrheo
+
+int main(int argc, char** argv) { return texrheo::Run(argc, argv); }

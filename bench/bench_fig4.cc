@@ -1,0 +1,85 @@
+// Reproduces the paper's Figure 4: scatter of the assigned topic's recipes
+// on the consolidated (hardness, cohesiveness) term axes, colored by
+// emulsion-KL bucket, with the topic's own centroid as the star mark.
+//
+// Expected shape: the nearest (bucket-0) recipes sit to the right of the
+// topic centroid for both dishes (harder), and Bavarois' near recipes sit
+// higher (more cohesive/elastic) than Milk jelly's.
+
+#include <cstdio>
+
+#include "eval/dish_analysis.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace texrheo {
+namespace {
+
+void PrintScatter(const eval::DishAnalysis& analysis) {
+  std::printf("--- %s (assigned topic %d) ---\n", analysis.dish_name.c_str(),
+              analysis.assigned_topic);
+  std::printf("hardness_score\tcohesiveness_score\tkl\tbucket\n");
+  for (const auto& p : analysis.fig4_points) {
+    std::printf("%.4f\t%.4f\t%.4f\t%d\n", p.hardness_score,
+                p.cohesiveness_score, p.divergence, p.kl_bucket);
+  }
+  std::printf("STAR (topic centroid)\t%.4f\t%.4f\n\n",
+              analysis.topic_centroid.hardness_score,
+              analysis.topic_centroid.cohesiveness_score);
+
+  // Bucket means: the paper's "red plots concentrate in the right area".
+  double mean_h[3] = {0, 0, 0}, mean_c[3] = {0, 0, 0};
+  int count[3] = {0, 0, 0};
+  for (const auto& p : analysis.fig4_points) {
+    mean_h[p.kl_bucket] += p.hardness_score;
+    mean_c[p.kl_bucket] += p.cohesiveness_score;
+    ++count[p.kl_bucket];
+  }
+  for (int b = 0; b < 3; ++b) {
+    if (count[b] == 0) continue;
+    std::printf(
+        "bucket %d (%s): mean hardness %.3f, mean cohesiveness %.3f, "
+        "n=%d\n",
+        b, b == 0 ? "nearest" : (b == 1 ? "middle" : "farthest"),
+        mean_h[b] / count[b], mean_c[b] / count[b], count[b]);
+  }
+  std::printf("\n");
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  (void)flags.Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", "bench_fig4: consolidated hardness/cohesiveness scatter (paper Fig. 4).\nflags: --scale <f> (default 0.25)\n");
+    return 0;
+  }
+  double scale = flags.GetDouble("scale", 0.25).value_or(0.25);
+  SetLogLevel(LogLevel::kWarning);
+
+  auto result_or =
+      eval::RunJointExperiment(eval::DefaultExperimentConfig(scale));
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "=== Fig. 4: recipes on the consolidated hardness/cohesiveness axes "
+      "===\n\n");
+  for (const auto& dish : rheology::TableIIb()) {
+    auto analysis = eval::AnalyzeDish(result_or.value(), dish);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "dish analysis failed: %s\n",
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    PrintScatter(analysis.value());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace texrheo
+
+int main(int argc, char** argv) { return texrheo::Run(argc, argv); }

@@ -1,0 +1,105 @@
+// Model selection / generalization study (an evaluation the paper leaves
+// out): sweep the topic count K and compare samplers on held-out data.
+//
+// The reported metric is the paper's end task made quantitative - predict a
+// held-out recipe's texture terms from its concentration vectors alone
+// (concentration-conditional perplexity; lower is better). The unigram
+// perplexity line shows how much concentration information helps at all.
+
+#include <cstdio>
+
+#include "core/collapsed_sampler.h"
+#include "eval/experiment.h"
+#include "eval/coherence.h"
+#include "eval/heldout.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace texrheo {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  (void)flags.Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", "bench_model_selection: held-out perplexity and coherence vs K.\nflags: --scale <f> (default 0.2)\n");
+    return 0;
+  }
+  double scale = flags.GetDouble("scale", 0.2).value_or(0.2);
+  SetLogLevel(LogLevel::kWarning);
+
+  // Build one corpus + dataset, then split once so every K sees the same
+  // train/test partition.
+  eval::ExperimentConfig base = eval::DefaultExperimentConfig(scale);
+  corpus::CorpusGenerator generator(
+      base.corpus, &rheology::GelPhysicsModel::Calibrated(),
+      &text::TextureDictionary::Embedded());
+  auto recipes = generator.Generate();
+  auto dataset_or = recipe::BuildDataset(
+      recipes, recipe::IngredientDatabase::Embedded(),
+      text::TextureDictionary::Embedded(), nullptr, base.dataset);
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n",
+                 dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  eval::HeldOutSplit split =
+      eval::SplitDataset(dataset_or.value(), 0.2, /*seed=*/99);
+  std::printf("=== Model selection: held-out texture-term prediction ===\n");
+  std::printf("train %zu docs, test %zu docs\n\n",
+              split.train.documents.size(), split.test.documents.size());
+
+  auto unigram = eval::UnigramPerplexity(split.train, split.test);
+
+  TablePrinter table({"K", "Perplexity (paper sampler)",
+                      "Perplexity (collapsed)", "Unigram reference",
+                      "UMass coherence"});
+  for (int k : {2, 5, 8, 10, 14, 20}) {
+    core::JointTopicModelConfig config = base.model;
+    config.num_topics = k;
+
+    std::string vanilla_cell = "-", collapsed_cell = "-",
+                coherence_cell = "-";
+    {
+      auto model = core::JointTopicModel::Create(config, &split.train);
+      if (model.ok() && model->Train().ok()) {
+        core::TopicEstimates est = model->Estimate();
+        auto ppl = eval::ConcentrationConditionalPerplexity(
+            est, model->config(), split.test);
+        if (ppl.ok()) vanilla_cell = FormatDouble(*ppl, 2);
+        auto coherence = eval::ComputeUMassCoherence(est.phi, split.train);
+        if (coherence.ok()) {
+          coherence_cell = FormatDouble(coherence->mean, 1);
+        }
+      }
+    }
+    {
+      auto model =
+          core::CollapsedJointTopicModel::Create(config, &split.train);
+      if (model.ok() && model->Train().ok()) {
+        auto est = model->Estimate();
+        if (est.ok()) {
+          auto ppl = eval::ConcentrationConditionalPerplexity(
+              est.value(), config, split.test);
+          if (ppl.ok()) collapsed_cell = FormatDouble(*ppl, 2);
+        }
+      }
+    }
+    table.AddRow({std::to_string(k), vanilla_cell, collapsed_cell,
+                  unigram.ok() ? FormatDouble(*unigram, 2) : "-",
+                  coherence_cell});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "expected shape: perplexity well below the unigram reference (the "
+      "concentrations predict the vocabulary), improving up to around the "
+      "number of distinct dish families, then flattening\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace texrheo
+
+int main(int argc, char** argv) { return texrheo::Run(argc, argv); }

@@ -1,0 +1,263 @@
+// google-benchmark microbenchmarks for the hot paths: Gibbs sweeps as a
+// function of corpus size and topic count, categorical sampling strategies,
+// the dense Cholesky kernel, Normal-Wishart posterior draws, the tokenizer,
+// TPA simulation, and word2vec training throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/joint_topic_model.h"
+#include "core/serialization.h"
+#include "corpus/generator.h"
+#include "math/alias_table.h"
+#include "math/divergence.h"
+#include "math/distributions.h"
+#include "recipe/dataset.h"
+#include "rules/transactions.h"
+#include "rheology/rheometer.h"
+#include "text/tokenizer.h"
+#include "text/word2vec.h"
+#include "util/rng.h"
+
+namespace texrheo {
+namespace {
+
+// Shared small corpus + dataset (built once).
+const recipe::Dataset& SharedDataset(size_t recipes) {
+  static std::map<size_t, recipe::Dataset>& cache =
+      *new std::map<size_t, recipe::Dataset>();
+  auto it = cache.find(recipes);
+  if (it != cache.end()) return it->second;
+  corpus::CorpusGenConfig config;
+  config.num_recipes = recipes;
+  corpus::CorpusGenerator generator(
+      config, &rheology::GelPhysicsModel::Calibrated(),
+      &text::TextureDictionary::Embedded());
+  auto corpus = generator.Generate();
+  auto ds = recipe::BuildDataset(corpus, recipe::IngredientDatabase::Embedded(),
+                                 text::TextureDictionary::Embedded(), nullptr,
+                                 recipe::DatasetConfig());
+  return cache.emplace(recipes, std::move(ds).value()).first->second;
+}
+
+void BM_GibbsSweep(benchmark::State& state) {
+  const recipe::Dataset& ds = SharedDataset(
+      static_cast<size_t>(state.range(0)));
+  core::JointTopicModelConfig config;
+  config.num_topics = static_cast<int>(state.range(1));
+  auto model = core::JointTopicModel::Create(config, &ds);
+  if (!model.ok()) {
+    state.SkipWithError("model create failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!model->RunSweeps(1).ok()) {
+      state.SkipWithError("sweep failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.documents.size()));
+}
+BENCHMARK(BM_GibbsSweep)
+    ->Args({4000, 10})
+    ->Args({16000, 10})
+    ->Args({16000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CategoricalLinear(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (double& w : weights) w = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextCategorical(weights));
+  }
+}
+BENCHMARK(BM_CategoricalLinear)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CategoricalAlias(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (double& w : weights) w = rng.NextDouble();
+  auto table = math::AliasTable::Build(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Sample(rng));
+  }
+}
+BENCHMARK(BM_CategoricalAlias)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Cholesky(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  math::Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng.NextGaussian();
+  }
+  math::Matrix spd = a.Multiply(a.Transposed());
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  for (auto _ : state) {
+    auto chol = math::Cholesky::Factor(spd);
+    benchmark::DoNotOptimize(chol);
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(3)->Arg(6)->Arg(16)->Arg(64);
+
+void BM_NormalWishartSample(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  math::NormalWishartParams nw;
+  nw.mu0 = math::Vector(dim, 5.0);
+  nw.beta = 1.0;
+  nw.nu = static_cast<double>(dim) + 3.0;
+  nw.scale = math::Matrix::Identity(dim, 0.2);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto g = math::NormalWishartSample(rng, nw);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_NormalWishartSample)->Arg(3)->Arg(6);
+
+void BM_GaussianLogPdf(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto g = math::Gaussian::FromPrecision(math::Vector(dim, 1.0),
+                                         math::Matrix::Identity(dim, 2.0));
+  math::Vector x(dim, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->LogPdf(x));
+  }
+}
+BENCHMARK(BM_GaussianLogPdf)->Arg(3)->Arg(6);
+
+void BM_Tokenizer(benchmark::State& state) {
+  std::string description =
+      "easy bavarois . dissolve the gelatin then whip with raw-cream . the "
+      "texture is purupuru and fuwafuwa when chilled . topped with nuts for "
+      "a sakusaku accent with nuts . served with strawberry .";
+  const auto& dict = text::TextureDictionary::Embedded();
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto terms = text::Tokenizer::ExtractTextureTerms(description, dict);
+    benchmark::DoNotOptimize(terms);
+    bytes += static_cast<int64_t>(description.size());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_Tokenizer);
+
+void BM_TpaSimulation(benchmark::State& state) {
+  const auto& model = rheology::GelPhysicsModel::Calibrated();
+  math::Vector gel(recipe::kNumGelTypes);
+  gel[0] = 0.02;
+  math::Vector emulsion(recipe::kNumEmulsionTypes);
+  rheology::RheometerConfig config;
+  for (auto _ : state) {
+    auto m = rheology::SimulateDish(model, gel, emulsion, config);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetLabel("full two-bite probe + inversion");
+}
+BENCHMARK(BM_TpaSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  corpus::CorpusGenConfig config;
+  config.num_recipes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    corpus::CorpusGenerator generator(
+        config, &rheology::GelPhysicsModel::Calibrated(),
+        &text::TextureDictionary::Embedded());
+    auto recipes = generator.Generate();
+    benchmark::DoNotOptimize(recipes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(1000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DiscreteKL(benchmark::State& state) {
+  math::Vector p = {0.1, 0.0, 0.0, 0.0, 0.6, 0.3};
+  math::Vector q = {0.02, 0.0, 0.0, 0.0, 0.78, 0.2};
+  for (auto _ : state) {
+    auto kl = math::DiscreteKL(p, q);
+    benchmark::DoNotOptimize(kl);
+  }
+}
+BENCHMARK(BM_DiscreteKL);
+
+void BM_AprioriMine(benchmark::State& state) {
+  corpus::CorpusGenConfig config;
+  config.num_recipes = static_cast<size_t>(state.range(0));
+  corpus::CorpusGenerator generator(
+      config, &rheology::GelPhysicsModel::Calibrated(),
+      &text::TextureDictionary::Embedded());
+  auto recipes = generator.Generate();
+  rules::TransactionBuilder builder;
+  auto transactions = builder.EncodeCorpus(
+      recipes, recipe::IngredientDatabase::Embedded(),
+      text::TextureDictionary::Embedded());
+  rules::AprioriConfig apriori;
+  apriori.min_support = 0.01;
+  apriori.min_confidence = 0.3;
+  apriori.max_itemset_size = 3;
+  for (auto _ : state) {
+    auto rules = rules::Apriori::MineRules(transactions, apriori);
+    benchmark::DoNotOptimize(rules);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(transactions.size()));
+}
+BENCHMARK(BM_AprioriMine)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ModelSerialization(benchmark::State& state) {
+  corpus::CorpusGenConfig config;
+  config.num_recipes = 4000;
+  corpus::CorpusGenerator generator(
+      config, &rheology::GelPhysicsModel::Calibrated(),
+      &text::TextureDictionary::Embedded());
+  auto recipes = generator.Generate();
+  auto dataset = recipe::BuildDataset(
+      recipes, recipe::IngredientDatabase::Embedded(),
+      text::TextureDictionary::Embedded(), nullptr, recipe::DatasetConfig());
+  core::JointTopicModelConfig model_config;
+  model_config.sweeps = 30;
+  auto model = core::JointTopicModel::Create(model_config, &dataset.value());
+  (void)model->Train();
+  core::ModelSnapshot snapshot =
+      core::MakeSnapshot(model->Estimate(), dataset->term_vocab);
+  for (auto _ : state) {
+    std::string serialized = core::SerializeModel(snapshot);
+    auto restored = core::DeserializeModel(serialized);
+    benchmark::DoNotOptimize(restored);
+  }
+}
+BENCHMARK(BM_ModelSerialization)->Unit(benchmark::kMillisecond);
+
+void BM_Word2VecEpoch(benchmark::State& state) {
+  // Training throughput on a small recipe-like corpus.
+  corpus::CorpusGenConfig config;
+  config.num_recipes = 2000;
+  corpus::CorpusGenerator generator(
+      config, &rheology::GelPhysicsModel::Calibrated(),
+      &text::TextureDictionary::Embedded());
+  auto recipes = generator.Generate();
+  std::vector<std::vector<std::string>> sentences;
+  int64_t tokens = 0;
+  for (const auto& r : recipes) {
+    sentences.push_back(text::Tokenizer::Tokenize(r.description));
+    tokens += static_cast<int64_t>(sentences.back().size());
+  }
+  text::Word2VecConfig w2v;
+  w2v.epochs = 1;
+  w2v.dim = 32;
+  for (auto _ : state) {
+    auto model = text::Word2Vec::Train(sentences, w2v);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+  state.SetLabel("one epoch, dim 32");
+}
+BENCHMARK(BM_Word2VecEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace texrheo
+
+BENCHMARK_MAIN();

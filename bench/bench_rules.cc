@@ -1,0 +1,100 @@
+// The paper's stated future work (Section VI): "detect rules bridging
+// between recipe information including ingredient concentrations, cooking
+// steps etc., and sensory textures of consumers."
+//
+// This bench implements that bridge: recipes are encoded as transactions
+// over (gel, concentration bin, emulsions, cooking steps, texture poles)
+// and Apriori mines association rules with texture consequents. The
+// generator plants real step effects (boiling degrades gelatin, whipping
+// raises springiness, quick chilling reduces stickiness), so the expected
+// shape is that those rules surface with high lift.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "corpus/generator.h"
+#include "rules/transactions.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace texrheo {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  (void)flags.Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", "bench_rules: Apriori texture rules (paper Section VI future work).\nflags: --recipes <n> (default 40000) --min-support <f> --min-confidence <f>\n");
+    return 0;
+  }
+  size_t n =
+      static_cast<size_t>(flags.GetInt("recipes", 40000).value_or(40000));
+  double min_support = flags.GetDouble("min-support", 0.002).value_or(0.002);
+  double min_confidence =
+      flags.GetDouble("min-confidence", 0.30).value_or(0.30);
+
+  corpus::CorpusGenConfig config;
+  config.num_recipes = n;
+  corpus::CorpusGenerator generator(
+      config, &rheology::GelPhysicsModel::Calibrated(),
+      &text::TextureDictionary::Embedded());
+  auto recipes = generator.Generate();
+
+  rules::TransactionBuilder builder;
+  std::vector<rules::Transaction> transactions = builder.EncodeCorpus(
+      recipes, recipe::IngredientDatabase::Embedded(),
+      text::TextureDictionary::Embedded());
+  // Texture rules are conditional on the poster describing texture at all
+  // (~16% of recipes); keep only transactions with a texture item.
+  {
+    std::vector<int32_t> texture_items = builder.TextureItemIds();
+    std::vector<rules::Transaction> with_texture;
+    for (auto& t : transactions) {
+      bool has = false;
+      for (int32_t item : texture_items) {
+        if (std::binary_search(t.begin(), t.end(), item)) has = true;
+      }
+      if (has) with_texture.push_back(std::move(t));
+    }
+    transactions = std::move(with_texture);
+  }
+  std::printf("=== Rule mining (paper Section VI future work) ===\n");
+  std::printf("%zu recipes -> %zu transactions over %zu distinct items\n\n",
+              recipes.size(), transactions.size(), builder.num_items());
+
+  rules::AprioriConfig apriori;
+  apriori.min_support = min_support;
+  apriori.min_confidence = min_confidence;
+  apriori.min_lift = 1.2;
+  apriori.max_itemset_size = 3;
+  apriori.consequent_whitelist = builder.TextureItemIds();
+  // Texture items may only appear as consequents: we want
+  // "recipe info -> texture", not texture-texture tautologies.
+  apriori.antecedent_blacklist = builder.TextureItemIds();
+
+  auto rules_or = rules::Apriori::MineRules(transactions, apriori);
+  if (!rules_or.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 rules_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("top texture rules by lift:\n");
+  size_t shown = 0;
+  for (const auto& rule : rules_or.value()) {
+    if (shown++ >= 25) break;
+    std::printf("  %s\n", rules::FormatRule(rule, builder).c_str());
+  }
+  std::printf("\n%zu rules total; planted effects to look for:\n",
+              rules_or->size());
+  std::printf("  gel=gelatin & step=boil -> texture=soft (boil degrades "
+              "gelatin)\n");
+  std::printf("  step=whip -> texture=elastic (aeration)\n");
+  std::printf("  gel_conc=high & gel=gelatin -> texture=sticky\n");
+  std::printf("  gel=kanten -> texture=hard / texture=crumbly\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace texrheo
+
+int main(int argc, char** argv) { return texrheo::Run(argc, argv); }

@@ -1,0 +1,101 @@
+// Reproduces the paper's Table II(b): the Bavarois and Milk jelly dishes
+// (gelatin + substantial emulsions) with their quantitative texture, full
+// concentration vectors, and the topic each dish is assigned to by gel
+// KL divergence against the trained joint topic model.
+
+#include <cstdio>
+
+#include "eval/dish_analysis.h"
+#include "eval/experiment.h"
+#include "rheology/rheometer.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace texrheo {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  (void)flags.Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", "bench_table2b: Bavarois / Milk jelly dish table (paper Table II(b)).\nflags: --scale <f> (default 0.25)\n");
+    return 0;
+  }
+  double scale = flags.GetDouble("scale", 0.25).value_or(0.25);
+  SetLogLevel(LogLevel::kWarning);
+
+  auto result_or =
+      eval::RunJointExperiment(eval::DefaultExperimentConfig(scale));
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& result = result_or.value();
+  const auto& model = rheology::GelPhysicsModel::Calibrated();
+
+  TablePrinter table({"Dish", "Hardness", "Cohesiveness", "Adhesiveness",
+                      "Gelatin", "Kanten", "Agar", "Sugar", "Egg albumen",
+                      "Egg yolk", "Raw cream", "Milk", "Yogurt",
+                      "Assigned topic"});
+  for (const auto& dish : rheology::TableIIb()) {
+    auto analysis = eval::AnalyzeDish(result, dish);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "dish analysis failed: %s\n",
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    // Regenerate the dish's quantitative texture through the simulator
+    // (the paper takes these numbers from refs [20], [21]).
+    auto measurement = rheology::SimulateDish(model, dish.gel, dish.emulsion,
+                                              rheology::RheometerConfig());
+    if (!measurement.ok()) return 1;
+    const auto& sim = measurement->attributes;
+    table.AddRow(
+        {dish.name,
+         FormatDouble(sim.hardness, 3) + " (paper " +
+             FormatDouble(dish.attributes.hardness, 3) + ")",
+         FormatDouble(sim.cohesiveness, 3) + " (paper " +
+             FormatDouble(dish.attributes.cohesiveness, 3) + ")",
+         FormatDouble(sim.adhesiveness, 3) + " (paper " +
+             FormatDouble(dish.attributes.adhesiveness, 3) + ")",
+         FormatDouble(dish.gel[0], 3), FormatDouble(dish.gel[1], 3),
+         FormatDouble(dish.gel[2], 3), FormatDouble(dish.emulsion[0], 3),
+         FormatDouble(dish.emulsion[1], 3), FormatDouble(dish.emulsion[2], 3),
+         FormatDouble(dish.emulsion[3], 3), FormatDouble(dish.emulsion[4], 3),
+         FormatDouble(dish.emulsion[5], 3),
+         std::to_string(analysis->assigned_topic)});
+  }
+  // The pure-gelatin reference row (Table I data 3) the paper prints below
+  // the dishes.
+  const auto& row3 = rheology::TableI()[2];
+  auto m3 = rheology::SimulateDish(model, row3.gel, row3.emulsion,
+                                   rheology::RheometerConfig());
+  if (m3.ok()) {
+    auto link = eval::AnalyzeDish(
+        result, rheology::EmulsionDish{"Data 3 in Table I", row3.gel,
+                                       math::Vector(6), row3.attributes});
+    table.AddRow({"Data 3 in Table I",
+                  FormatDouble(m3->attributes.hardness, 3) + " (paper 0.72)",
+                  FormatDouble(m3->attributes.cohesiveness, 3) +
+                      " (paper 0.17)",
+                  FormatDouble(m3->attributes.adhesiveness, 3) +
+                      " (paper 0.57)",
+                  "0.025", "0", "0", "0", "0", "0", "0", "0", "0",
+                  link.ok() ? std::to_string(link->assigned_topic) : "?"});
+  }
+  std::printf("=== Table II(b): Bavarois and Milk jelly ===\n");
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "shape check: all three rows share gelatin 2.5%% and should land in "
+      "the same topic; Bavarois is harder and more cohesive than Milk "
+      "jelly, both harder than the pure gel\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace texrheo
+
+int main(int argc, char** argv) { return texrheo::Run(argc, argv); }

@@ -1,0 +1,30 @@
+# Bench targets are defined from the top-level CMakeLists (via include())
+# so that build/bench/ holds only the bench executables - the documented
+# way to regenerate every table/figure is `for b in build/bench/*; do $b; done`.
+set(TEXRHEO_ALL_LIBS
+  texrheo_eval texrheo_core texrheo_corpus texrheo_rules texrheo_rheology
+  texrheo_recipe texrheo_text texrheo_math texrheo_util)
+
+function(texrheo_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE ${TEXRHEO_ALL_LIBS})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+texrheo_add_bench(bench_table1)
+texrheo_add_bench(bench_fig2_curve)
+texrheo_add_bench(bench_table2a)
+texrheo_add_bench(bench_table2b)
+texrheo_add_bench(bench_fig3)
+texrheo_add_bench(bench_fig4)
+texrheo_add_bench(bench_corpus_funnel)
+texrheo_add_bench(bench_ablation)
+
+add_executable(bench_perf ${CMAKE_SOURCE_DIR}/bench/bench_perf.cc)
+target_link_libraries(bench_perf PRIVATE ${TEXRHEO_ALL_LIBS} benchmark::benchmark)
+set_target_properties(bench_perf PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+texrheo_add_bench(bench_rules)
+texrheo_add_bench(bench_model_selection)
+texrheo_add_bench(bench_convergence)

@@ -1,0 +1,299 @@
+#include "core/collapsed_sampler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "math/running_stats.h"
+#include "math/special.h"
+
+namespace texrheo::core {
+
+void CollapsedJointTopicModel::TopicStats::Add(const math::Vector& x) {
+  ++n;
+  sum += x;
+  sum_outer += math::Matrix::Outer(x, x);
+}
+
+void CollapsedJointTopicModel::TopicStats::Remove(const math::Vector& x) {
+  assert(n > 0);
+  --n;
+  sum -= x;
+  sum_outer -= math::Matrix::Outer(x, x);
+}
+
+math::Vector CollapsedJointTopicModel::TopicStats::Mean() const {
+  math::Vector m = sum;
+  if (n > 0) m *= 1.0 / static_cast<double>(n);
+  return m;
+}
+
+math::Matrix CollapsedJointTopicModel::TopicStats::Scatter() const {
+  math::Matrix s = sum_outer;
+  if (n > 0) {
+    math::Vector m = Mean();
+    s -= static_cast<double>(n) * math::Matrix::Outer(m, m);
+  }
+  // Symmetrize and clip round-off from incremental removes.
+  for (size_t r = 0; r < s.rows(); ++r) {
+    for (size_t c = r + 1; c < s.cols(); ++c) {
+      double avg = 0.5 * (s(r, c) + s(c, r));
+      s(r, c) = avg;
+      s(c, r) = avg;
+    }
+    if (s(r, r) < 0.0) s(r, r) = 0.0;
+  }
+  return s;
+}
+
+CollapsedJointTopicModel::CollapsedJointTopicModel(
+    const JointTopicModelConfig& config, const recipe::Dataset* dataset)
+    : config_(config), docs_(dataset), rng_(config.seed) {}
+
+texrheo::StatusOr<CollapsedJointTopicModel> CollapsedJointTopicModel::Create(
+    const JointTopicModelConfig& config, const recipe::Dataset* dataset) {
+  if (dataset == nullptr || dataset->documents.empty()) {
+    return Status::InvalidArgument("collapsed model: empty dataset");
+  }
+  if (config.num_topics < 1 || config.alpha <= 0.0 || config.gamma <= 0.0) {
+    return Status::InvalidArgument("collapsed model: invalid config");
+  }
+  CollapsedJointTopicModel model(config, dataset);
+  TEXRHEO_RETURN_IF_ERROR(model.Initialize());
+  return model;
+}
+
+texrheo::Status CollapsedJointTopicModel::Initialize() {
+  const auto& documents = docs_->documents;
+  vocab_size_ = docs_->term_vocab.size();
+  size_t gel_dim = documents.front().gel_feature.size();
+  size_t emu_dim = documents.front().emulsion_feature.size();
+
+  if (config_.auto_prior) {
+    // Same empirical prior as the non-collapsed sampler.
+    math::RunningMoments gel_moments(gel_dim), emu_moments(emu_dim);
+    for (const auto& doc : documents) {
+      gel_moments.Add(doc.gel_feature);
+      emu_moments.Add(doc.emulsion_feature);
+    }
+    auto make_prior = [this](const math::RunningMoments& m) {
+      math::NormalWishartParams prior;
+      size_t dim = m.dim();
+      prior.mu0 = m.Mean();
+      prior.beta = config_.prior_beta;
+      prior.nu = static_cast<double>(dim) + config_.prior_nu_extra;
+      prior.scale = math::Matrix(dim, dim);
+      math::Matrix cov = m.Covariance();
+      for (size_t i = 0; i < dim; ++i) {
+        prior.scale(i, i) = 1.0 / (std::max(cov(i, i), 1e-3) * prior.nu);
+      }
+      return prior;
+    };
+    config_.gel_prior = make_prior(gel_moments);
+    config_.emulsion_prior = make_prior(emu_moments);
+  }
+  TEXRHEO_RETURN_IF_ERROR(config_.gel_prior.Validate());
+  TEXRHEO_RETURN_IF_ERROR(config_.emulsion_prior.Validate());
+
+  size_t d_count = documents.size();
+  int k_count = config_.num_topics;
+  z_.resize(d_count);
+  y_.resize(d_count);
+  n_dk_.assign(d_count, std::vector<int>(k_count, 0));
+  n_kv_.assign(static_cast<size_t>(k_count),
+               std::vector<int>(vocab_size_, 0));
+  n_k_.assign(static_cast<size_t>(k_count), 0);
+  gel_stats_.assign(static_cast<size_t>(k_count), TopicStats(gel_dim));
+  emulsion_stats_.assign(static_cast<size_t>(k_count), TopicStats(emu_dim));
+
+  for (size_t d = 0; d < d_count; ++d) {
+    const auto& doc = documents[d];
+    z_[d].resize(doc.term_ids.size());
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      int k = static_cast<int>(rng_.NextUint(static_cast<uint64_t>(k_count)));
+      z_[d][n] = k;
+      ++n_dk_[d][static_cast<size_t>(k)];
+      ++n_kv_[static_cast<size_t>(k)][static_cast<size_t>(doc.term_ids[n])];
+      ++n_k_[static_cast<size_t>(k)];
+    }
+    int k = static_cast<int>(rng_.NextUint(static_cast<uint64_t>(k_count)));
+    y_[d] = k;
+    gel_stats_[static_cast<size_t>(k)].Add(doc.gel_feature);
+    emulsion_stats_[static_cast<size_t>(k)].Add(doc.emulsion_feature);
+  }
+  return Status::OK();
+}
+
+texrheo::StatusOr<math::StudentT> CollapsedJointTopicModel::Predictive(
+    int k, bool use_gel) const {
+  const TopicStats& stats = use_gel ? gel_stats_[static_cast<size_t>(k)]
+                                    : emulsion_stats_[static_cast<size_t>(k)];
+  const math::NormalWishartParams& prior =
+      use_gel ? config_.gel_prior : config_.emulsion_prior;
+  math::NormalWishartParams post =
+      prior.Posterior(stats.n, stats.Mean(), stats.Scatter());
+  return math::StudentT::PosteriorPredictive(post);
+}
+
+void CollapsedJointTopicModel::SampleZ() {
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  std::vector<double> weights(static_cast<size_t>(k_count));
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const auto& doc = documents[d];
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      size_t v = static_cast<size_t>(doc.term_ids[n]);
+      int old_k = z_[d][n];
+      --n_dk_[d][static_cast<size_t>(old_k)];
+      --n_kv_[static_cast<size_t>(old_k)][v];
+      --n_k_[static_cast<size_t>(old_k)];
+      for (int k = 0; k < k_count; ++k) {
+        size_t ks = static_cast<size_t>(k);
+        weights[ks] = (static_cast<double>(n_dk_[d][ks]) +
+                       (y_[d] == k ? 1.0 : 0.0) + config_.alpha) *
+                      (static_cast<double>(n_kv_[ks][v]) + config_.gamma) /
+                      (static_cast<double>(n_k_[ks]) + gamma_v);
+      }
+      int new_k = static_cast<int>(rng_.NextCategorical(weights));
+      z_[d][n] = new_k;
+      ++n_dk_[d][static_cast<size_t>(new_k)];
+      ++n_kv_[static_cast<size_t>(new_k)][v];
+      ++n_k_[static_cast<size_t>(new_k)];
+    }
+  }
+}
+
+texrheo::Status CollapsedJointTopicModel::SampleY() {
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  std::vector<double> log_w(static_cast<size_t>(k_count));
+  std::vector<double> weights(static_cast<size_t>(k_count));
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const auto& doc = documents[d];
+    int old_k = y_[d];
+    gel_stats_[static_cast<size_t>(old_k)].Remove(doc.gel_feature);
+    emulsion_stats_[static_cast<size_t>(old_k)].Remove(doc.emulsion_feature);
+
+    for (int k = 0; k < k_count; ++k) {
+      size_t ks = static_cast<size_t>(k);
+      double lw =
+          std::log(static_cast<double>(n_dk_[d][ks]) + config_.alpha);
+      TEXRHEO_ASSIGN_OR_RETURN(math::StudentT gel_pred,
+                               Predictive(k, /*use_gel=*/true));
+      lw += gel_pred.LogPdf(doc.gel_feature);
+      if (config_.use_emulsion_likelihood) {
+        TEXRHEO_ASSIGN_OR_RETURN(math::StudentT emu_pred,
+                                 Predictive(k, /*use_gel=*/false));
+        lw += emu_pred.LogPdf(doc.emulsion_feature);
+      }
+      log_w[ks] = lw;
+    }
+    double norm = math::LogSumExp(log_w.data(), log_w.size());
+    for (int k = 0; k < k_count; ++k) {
+      weights[static_cast<size_t>(k)] =
+          std::exp(log_w[static_cast<size_t>(k)] - norm);
+    }
+    int new_k = static_cast<int>(rng_.NextCategorical(weights));
+    y_[d] = new_k;
+    gel_stats_[static_cast<size_t>(new_k)].Add(doc.gel_feature);
+    emulsion_stats_[static_cast<size_t>(new_k)].Add(doc.emulsion_feature);
+  }
+  return Status::OK();
+}
+
+texrheo::Status CollapsedJointTopicModel::RunSweeps(int n) {
+  for (int sweep = 0; sweep < n; ++sweep) {
+    SampleZ();
+    TEXRHEO_RETURN_IF_ERROR(SampleY());
+    ++completed_sweeps_;
+  }
+  return Status::OK();
+}
+
+texrheo::StatusOr<TopicEstimates> CollapsedJointTopicModel::Estimate() const {
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  double alpha_sum = config_.alpha * static_cast<double>(k_count);
+
+  TopicEstimates est;
+  est.phi.assign(static_cast<size_t>(k_count),
+                 std::vector<double>(vocab_size_, 0.0));
+  for (int k = 0; k < k_count; ++k) {
+    size_t ks = static_cast<size_t>(k);
+    for (size_t v = 0; v < vocab_size_; ++v) {
+      est.phi[ks][v] = (static_cast<double>(n_kv_[ks][v]) + config_.gamma) /
+                       (static_cast<double>(n_k_[ks]) + gamma_v);
+    }
+    math::NormalWishartParams gel_post = config_.gel_prior.Posterior(
+        gel_stats_[ks].n, gel_stats_[ks].Mean(), gel_stats_[ks].Scatter());
+    math::NormalWishartParams emu_post = config_.emulsion_prior.Posterior(
+        emulsion_stats_[ks].n, emulsion_stats_[ks].Mean(),
+        emulsion_stats_[ks].Scatter());
+    TEXRHEO_ASSIGN_OR_RETURN(math::Gaussian g,
+                             math::NormalWishartMean(gel_post));
+    TEXRHEO_ASSIGN_OR_RETURN(math::Gaussian e,
+                             math::NormalWishartMean(emu_post));
+    est.gel_topics.push_back(std::move(g));
+    est.emulsion_topics.push_back(std::move(e));
+  }
+
+  est.theta.assign(documents.size(),
+                   std::vector<double>(static_cast<size_t>(k_count), 0.0));
+  est.doc_topic.resize(documents.size());
+  est.topic_recipe_count.assign(static_cast<size_t>(k_count), 0);
+  for (size_t d = 0; d < documents.size(); ++d) {
+    double n_d = static_cast<double>(documents[d].term_ids.size());
+    int best = 0;
+    double best_val = -1.0;
+    for (int k = 0; k < k_count; ++k) {
+      size_t ks = static_cast<size_t>(k);
+      double val = (static_cast<double>(n_dk_[d][ks]) +
+                    (y_[d] == k ? 1.0 : 0.0) + config_.alpha) /
+                   (n_d + 1.0 + alpha_sum);
+      est.theta[d][ks] = val;
+      if (val > best_val) {
+        best_val = val;
+        best = k;
+      }
+    }
+    est.doc_topic[d] = best;
+    ++est.topic_recipe_count[static_cast<size_t>(best)];
+  }
+  return est;
+}
+
+texrheo::StatusOr<double> CollapsedJointTopicModel::PredictiveLogLikelihood()
+    const {
+  const auto& documents = docs_->documents;
+  double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  double ll = 0.0;
+  // Precompute per-topic predictives once.
+  std::vector<math::StudentT> gel_pred, emu_pred;
+  for (int k = 0; k < config_.num_topics; ++k) {
+    TEXRHEO_ASSIGN_OR_RETURN(math::StudentT g, Predictive(k, true));
+    gel_pred.push_back(std::move(g));
+    if (config_.use_emulsion_likelihood) {
+      TEXRHEO_ASSIGN_OR_RETURN(math::StudentT e, Predictive(k, false));
+      emu_pred.push_back(std::move(e));
+    }
+  }
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const auto& doc = documents[d];
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      size_t k = static_cast<size_t>(z_[d][n]);
+      size_t v = static_cast<size_t>(doc.term_ids[n]);
+      ll += std::log((static_cast<double>(n_kv_[k][v]) + config_.gamma) /
+                     (static_cast<double>(n_k_[k]) + gamma_v));
+    }
+    size_t yk = static_cast<size_t>(y_[d]);
+    ll += gel_pred[yk].LogPdf(doc.gel_feature);
+    if (config_.use_emulsion_likelihood) {
+      ll += emu_pred[yk].LogPdf(doc.emulsion_feature);
+    }
+  }
+  return ll;
+}
+
+}  // namespace texrheo::core

@@ -1,0 +1,85 @@
+#ifndef TEXRHEO_CORE_COLLAPSED_SAMPLER_H_
+#define TEXRHEO_CORE_COLLAPSED_SAMPLER_H_
+
+#include <vector>
+
+#include "core/joint_topic_model.h"
+#include "math/student_t.h"
+
+namespace texrheo::core {
+
+/// Collapsed Gibbs sampler for the same joint topic model: instead of
+/// instantiating (mu_k, Lambda_k) and redrawing them each sweep (the
+/// paper's eq. 4), the Gaussian parameters are integrated out analytically
+/// and y_d is sampled from the multivariate Student-t posterior predictive
+/// of each topic's Normal-Wishart posterior (Rao-Blackwellized variant;
+/// mixes faster on small corpora at a higher per-step cost).
+///
+/// Accepts the same configuration as JointTopicModel; the
+/// `use_emulsion_likelihood` switch behaves identically.
+class CollapsedJointTopicModel {
+ public:
+  static texrheo::StatusOr<CollapsedJointTopicModel> Create(
+      const JointTopicModelConfig& config, const recipe::Dataset* dataset);
+
+  CollapsedJointTopicModel(CollapsedJointTopicModel&&) = default;
+  CollapsedJointTopicModel& operator=(CollapsedJointTopicModel&&) = default;
+
+  texrheo::Status RunSweeps(int n);
+  texrheo::Status Train() { return RunSweeps(config_.sweeps); }
+
+  /// Point estimates in the same shape as JointTopicModel::Estimate();
+  /// topic Gaussians are the Normal-Wishart posterior means.
+  texrheo::StatusOr<TopicEstimates> Estimate() const;
+
+  /// Collapsed predictive log likelihood of the concentration vectors plus
+  /// the token likelihood (monitoring quantity; increases as the chain
+  /// mixes).
+  texrheo::StatusOr<double> PredictiveLogLikelihood() const;
+
+  const std::vector<int>& y() const { return y_; }
+  int num_topics() const { return config_.num_topics; }
+  int completed_sweeps() const { return completed_sweeps_; }
+
+ private:
+  /// Incremental per-topic sufficient statistics of one vector family.
+  struct TopicStats {
+    size_t n = 0;
+    math::Vector sum;
+    math::Matrix sum_outer;
+
+    explicit TopicStats(size_t dim) : sum(dim), sum_outer(dim, dim) {}
+    void Add(const math::Vector& x);
+    void Remove(const math::Vector& x);
+    math::Vector Mean() const;
+    math::Matrix Scatter() const;
+  };
+
+  CollapsedJointTopicModel(const JointTopicModelConfig& config,
+                           const recipe::Dataset* dataset);
+
+  texrheo::Status Initialize();
+  void SampleZ();
+  texrheo::Status SampleY();
+  /// Posterior predictive of topic k for the gel (or emulsion) family,
+  /// given the current sufficient statistics.
+  texrheo::StatusOr<math::StudentT> Predictive(int k, bool use_gel) const;
+
+  JointTopicModelConfig config_;
+  const recipe::Dataset* docs_;
+  size_t vocab_size_ = 0;
+  Rng rng_;
+
+  std::vector<std::vector<int>> z_;
+  std::vector<int> y_;
+  std::vector<std::vector<int>> n_dk_;
+  std::vector<std::vector<int>> n_kv_;
+  std::vector<int> n_k_;
+  std::vector<TopicStats> gel_stats_;
+  std::vector<TopicStats> emulsion_stats_;
+  int completed_sweeps_ = 0;
+};
+
+}  // namespace texrheo::core
+
+#endif  // TEXRHEO_CORE_COLLAPSED_SAMPLER_H_

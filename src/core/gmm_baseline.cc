@@ -1,0 +1,182 @@
+#include "core/gmm_baseline.h"
+
+#include <cmath>
+#include <limits>
+
+#include "math/running_stats.h"
+#include "math/special.h"
+
+namespace texrheo::core {
+namespace {
+
+// k-means++ style seeding: first center uniform, later centers proportional
+// to squared distance from the nearest chosen center.
+std::vector<math::Vector> SeedCenters(const std::vector<math::Vector>& points,
+                                      int k, Rng& rng) {
+  std::vector<math::Vector> centers;
+  centers.push_back(points[rng.NextUint(points.size())]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centers.size()) < k) {
+    const math::Vector& last = centers.back();
+    for (size_t i = 0; i < points.size(); ++i) {
+      math::Vector diff = points[i];
+      diff -= last;
+      double dist2 = math::Dot(diff, diff);
+      if (dist2 < d2[i]) d2[i] = dist2;
+    }
+    double total = 0.0;
+    for (double v : d2) total += v;
+    if (total <= 0.0) {
+      // All points coincide with chosen centers; duplicate one.
+      centers.push_back(points[rng.NextUint(points.size())]);
+      continue;
+    }
+    centers.push_back(points[rng.NextCategorical(d2)]);
+  }
+  return centers;
+}
+
+texrheo::StatusOr<math::Gaussian> GaussianFromMoments(
+    const math::Vector& mean, math::Matrix covariance, double floor) {
+  for (size_t i = 0; i < covariance.rows(); ++i) {
+    covariance(i, i) += floor;
+  }
+  return math::Gaussian::FromCovariance(mean, std::move(covariance));
+}
+
+}  // namespace
+
+texrheo::StatusOr<GaussianMixture> GaussianMixture::Fit(
+    const GmmConfig& config, const std::vector<math::Vector>& points) {
+  if (points.empty()) return Status::InvalidArgument("gmm: no points");
+  if (config.num_components < 1) {
+    return Status::InvalidArgument("gmm: num_components < 1");
+  }
+  size_t n = points.size();
+  size_t dim = points.front().size();
+  int k = config.num_components;
+  Rng rng(config.seed);
+
+  GaussianMixture model;
+  model.weights_.assign(static_cast<size_t>(k),
+                        1.0 / static_cast<double>(k));
+
+  // Initialize components around k-means++ seeds with the global covariance.
+  math::RunningMoments global(dim);
+  for (const auto& p : points) global.Add(p);
+  math::Matrix global_cov = global.Covariance();
+  std::vector<math::Vector> centers = SeedCenters(points, k, rng);
+  for (int c = 0; c < k; ++c) {
+    TEXRHEO_ASSIGN_OR_RETURN(
+        math::Gaussian g,
+        GaussianFromMoments(centers[static_cast<size_t>(c)], global_cov,
+                            config.covariance_floor));
+    model.components_.push_back(std::move(g));
+  }
+
+  std::vector<std::vector<double>> resp(
+      n, std::vector<double>(static_cast<size_t>(k), 0.0));
+  std::vector<double> log_w(static_cast<size_t>(k));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    // E-step.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (int c = 0; c < k; ++c) {
+        size_t cs = static_cast<size_t>(c);
+        log_w[cs] = std::log(model.weights_[cs] + 1e-300) +
+                    model.components_[cs].LogPdf(points[i]);
+      }
+      double norm = math::LogSumExp(log_w.data(), log_w.size());
+      ll += norm;
+      for (int c = 0; c < k; ++c) {
+        size_t cs = static_cast<size_t>(c);
+        resp[i][cs] = std::exp(log_w[cs] - norm);
+      }
+    }
+    model.final_log_likelihood_ = ll;
+    model.iterations_run_ = iter + 1;
+    if (iter > 0 &&
+        std::fabs(ll - prev_ll) <=
+            config.tolerance * (std::fabs(prev_ll) + 1.0)) {
+      break;
+    }
+    prev_ll = ll;
+
+    // M-step.
+    std::vector<math::Gaussian> new_components;
+    new_components.reserve(static_cast<size_t>(k));
+    for (int c = 0; c < k; ++c) {
+      size_t cs = static_cast<size_t>(c);
+      double nk = 0.0;
+      math::Vector mean(dim);
+      for (size_t i = 0; i < n; ++i) {
+        nk += resp[i][cs];
+        mean += resp[i][cs] * points[i];
+      }
+      if (nk < 1e-8) {
+        // Dead component: re-seed at a random point with global covariance.
+        TEXRHEO_ASSIGN_OR_RETURN(
+            math::Gaussian g,
+            GaussianFromMoments(points[rng.NextUint(n)], global_cov,
+                                config.covariance_floor));
+        new_components.push_back(std::move(g));
+        model.weights_[cs] = 1e-6;
+        continue;
+      }
+      mean *= 1.0 / nk;
+      math::Matrix cov(dim, dim);
+      for (size_t i = 0; i < n; ++i) {
+        math::Vector d = points[i];
+        d -= mean;
+        cov += resp[i][cs] * math::Matrix::Outer(d, d);
+      }
+      cov *= 1.0 / nk;
+      TEXRHEO_ASSIGN_OR_RETURN(
+          math::Gaussian g,
+          GaussianFromMoments(mean, std::move(cov), config.covariance_floor));
+      new_components.push_back(std::move(g));
+      model.weights_[cs] = nk / static_cast<double>(n);
+    }
+    model.components_ = std::move(new_components);
+    // Renormalize weights (dead-component epsilon may distort the total).
+    double wsum = 0.0;
+    for (double w : model.weights_) wsum += w;
+    for (double& w : model.weights_) w /= wsum;
+  }
+  return model;
+}
+
+std::vector<int> GaussianMixture::HardAssignments(
+    const std::vector<math::Vector>& points) const {
+  std::vector<int> out(points.size(), 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < components_.size(); ++c) {
+      double lw = std::log(weights_[c] + 1e-300) +
+                  components_[c].LogPdf(points[i]);
+      if (lw > best) {
+        best = lw;
+        out[i] = static_cast<int>(c);
+      }
+    }
+  }
+  return out;
+}
+
+double GaussianMixture::LogLikelihood(
+    const std::vector<math::Vector>& points) const {
+  std::vector<double> log_w(components_.size());
+  double ll = 0.0;
+  for (const auto& p : points) {
+    for (size_t c = 0; c < components_.size(); ++c) {
+      log_w[c] = std::log(weights_[c] + 1e-300) + components_[c].LogPdf(p);
+    }
+    ll += math::LogSumExp(log_w.data(), log_w.size());
+  }
+  return ll;
+}
+
+}  // namespace texrheo::core

@@ -1,0 +1,55 @@
+#ifndef TEXRHEO_CORE_GMM_BASELINE_H_
+#define TEXRHEO_CORE_GMM_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/distributions.h"
+#include "math/linalg.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace texrheo::core {
+
+/// Configuration of the concentration-only Gaussian-mixture baseline
+/// (clusters recipes purely on their (gel, emulsion) feature vectors).
+struct GmmConfig {
+  int num_components = 10;
+  int max_iterations = 200;
+  double tolerance = 1e-6;   ///< Relative log-likelihood improvement stop.
+  double covariance_floor = 1e-4;  ///< Added to diagonals each M-step.
+  uint64_t seed = 1;
+};
+
+/// Full-covariance Gaussian mixture fit by EM with k-means++-style seeding.
+class GaussianMixture {
+ public:
+  /// Fits to `points` (all the same dimension). Fails on empty input or a
+  /// degenerate configuration.
+  static texrheo::StatusOr<GaussianMixture> Fit(
+      const GmmConfig& config, const std::vector<math::Vector>& points);
+
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<math::Gaussian>& components() const { return components_; }
+  double final_log_likelihood() const { return final_log_likelihood_; }
+  int iterations_run() const { return iterations_run_; }
+
+  /// Most probable component per point.
+  std::vector<int> HardAssignments(
+      const std::vector<math::Vector>& points) const;
+
+  /// Total log likelihood of `points` under the mixture.
+  double LogLikelihood(const std::vector<math::Vector>& points) const;
+
+ private:
+  GaussianMixture() = default;
+
+  std::vector<double> weights_;
+  std::vector<math::Gaussian> components_;
+  double final_log_likelihood_ = 0.0;
+  int iterations_run_ = 0;
+};
+
+}  // namespace texrheo::core
+
+#endif  // TEXRHEO_CORE_GMM_BASELINE_H_

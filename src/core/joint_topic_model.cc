@@ -1,0 +1,475 @@
+#include "core/joint_topic_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/gmm_baseline.h"
+#include "math/running_stats.h"
+#include "math/special.h"
+
+namespace texrheo::core {
+namespace {
+
+using recipe::Document;
+
+// Empirical diagonal Normal-Wishart prior: mu0 at the data mean, scale set
+// so the prior-expected precision E[Lambda] = nu * S matches the empirical
+// per-dimension precision.
+math::NormalWishartParams AutoPrior(
+    const std::vector<Document>& docs, bool use_gel, double beta,
+    double nu_extra) {
+  size_t dim = use_gel ? docs.front().gel_feature.size()
+                       : docs.front().emulsion_feature.size();
+  math::RunningMoments moments(dim);
+  for (const Document& d : docs) {
+    moments.Add(use_gel ? d.gel_feature : d.emulsion_feature);
+  }
+  math::Matrix cov = moments.Covariance();
+  math::NormalWishartParams prior;
+  prior.mu0 = moments.Mean();
+  prior.beta = beta;
+  prior.nu = static_cast<double>(dim) + nu_extra;
+  prior.scale = math::Matrix(dim, dim);
+  for (size_t i = 0; i < dim; ++i) {
+    double var = std::max(cov(i, i), 1e-3);
+    prior.scale(i, i) = 1.0 / (var * prior.nu);
+  }
+  return prior;
+}
+
+}  // namespace
+
+JointTopicModel::JointTopicModel(const JointTopicModelConfig& config,
+                                 const recipe::Dataset* dataset)
+    : config_(config), docs_(dataset), rng_(config.seed) {}
+
+texrheo::StatusOr<JointTopicModel> JointTopicModel::Create(
+    const JointTopicModelConfig& config, const recipe::Dataset* dataset) {
+  if (dataset == nullptr || dataset->documents.empty()) {
+    return Status::InvalidArgument("joint topic model: empty dataset");
+  }
+  if (config.num_topics < 1) {
+    return Status::InvalidArgument("joint topic model: num_topics < 1");
+  }
+  if (config.alpha <= 0.0 || config.gamma <= 0.0) {
+    return Status::InvalidArgument(
+        "joint topic model: alpha and gamma must be positive");
+  }
+  JointTopicModel model(config, dataset);
+  model.vocab_size_ = dataset->term_vocab.size();
+  TEXRHEO_RETURN_IF_ERROR(model.InitializePriors());
+  TEXRHEO_RETURN_IF_ERROR(model.InitializeAssignments());
+  return model;
+}
+
+texrheo::Status JointTopicModel::InitializePriors() {
+  const auto& documents = docs_->documents;
+  if (config_.auto_prior) {
+    config_.gel_prior = AutoPrior(documents, /*use_gel=*/true,
+                                  config_.prior_beta, config_.prior_nu_extra);
+    config_.emulsion_prior =
+        AutoPrior(documents, /*use_gel=*/false, config_.prior_beta,
+                  config_.prior_nu_extra);
+  }
+  TEXRHEO_RETURN_IF_ERROR(config_.gel_prior.Validate());
+  TEXRHEO_RETURN_IF_ERROR(config_.emulsion_prior.Validate());
+  return Status::OK();
+}
+
+texrheo::Status JointTopicModel::InitializeAssignments() {
+  const auto& documents = docs_->documents;
+  size_t d_count = documents.size();
+  int k_count = config_.num_topics;
+
+  z_.resize(d_count);
+  y_.resize(d_count);
+  n_dk_.assign(d_count, std::vector<int>(k_count, 0));
+  n_kv_.assign(static_cast<size_t>(k_count),
+               std::vector<int>(vocab_size_, 0));
+  n_k_.assign(static_cast<size_t>(k_count), 0);
+  m_k_.assign(static_cast<size_t>(k_count), 0);
+
+  for (size_t d = 0; d < d_count; ++d) {
+    const Document& doc = documents[d];
+    z_[d].resize(doc.term_ids.size());
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      int k = static_cast<int>(rng_.NextUint(static_cast<uint64_t>(k_count)));
+      z_[d][n] = k;
+      ++n_dk_[d][static_cast<size_t>(k)];
+      ++n_kv_[static_cast<size_t>(k)][static_cast<size_t>(doc.term_ids[n])];
+      ++n_k_[static_cast<size_t>(k)];
+    }
+    int k = static_cast<int>(rng_.NextUint(static_cast<uint64_t>(k_count)));
+    y_[d] = k;
+    ++m_k_[static_cast<size_t>(k)];
+  }
+  if (config_.gmm_init) {
+    // Replace the uniform y initialization with GMM hard assignments on
+    // the gel features (burn-in accelerator; see config comment).
+    std::vector<math::Vector> points;
+    points.reserve(d_count);
+    for (const auto& doc : documents) points.push_back(doc.gel_feature);
+    GmmConfig gmm_config;
+    gmm_config.num_components = k_count;
+    gmm_config.seed = config_.seed + 1;
+    auto gmm = GaussianMixture::Fit(gmm_config, points);
+    if (gmm.ok()) {
+      std::vector<int> assignments = gmm->HardAssignments(points);
+      m_k_.assign(static_cast<size_t>(k_count), 0);
+      for (size_t d = 0; d < d_count; ++d) {
+        y_[d] = assignments[d];
+        ++m_k_[static_cast<size_t>(y_[d])];
+      }
+    }
+  }
+  return ResampleGaussians();
+}
+
+texrheo::Status JointTopicModel::ResampleGaussians() {
+  const auto& documents = docs_->documents;
+  size_t gel_dim = documents.front().gel_feature.size();
+  size_t emu_dim = documents.front().emulsion_feature.size();
+
+  std::vector<math::Gaussian> new_gel, new_emu;
+  new_gel.reserve(static_cast<size_t>(config_.num_topics));
+  new_emu.reserve(static_cast<size_t>(config_.num_topics));
+
+  for (int k = 0; k < config_.num_topics; ++k) {
+    math::RunningMoments gel_moments(gel_dim);
+    math::RunningMoments emu_moments(emu_dim);
+    for (size_t d = 0; d < documents.size(); ++d) {
+      if (y_[d] != k) continue;
+      gel_moments.Add(documents[d].gel_feature);
+      emu_moments.Add(documents[d].emulsion_feature);
+    }
+    math::NormalWishartParams gel_post = config_.gel_prior.Posterior(
+        gel_moments.count(), gel_moments.Mean(), gel_moments.Scatter());
+    math::NormalWishartParams emu_post = config_.emulsion_prior.Posterior(
+        emu_moments.count(), emu_moments.Mean(), emu_moments.Scatter());
+    TEXRHEO_ASSIGN_OR_RETURN(math::Gaussian g,
+                             math::NormalWishartSample(rng_, gel_post));
+    TEXRHEO_ASSIGN_OR_RETURN(math::Gaussian e,
+                             math::NormalWishartSample(rng_, emu_post));
+    new_gel.push_back(std::move(g));
+    new_emu.push_back(std::move(e));
+  }
+  gel_topics_ = std::move(new_gel);
+  emulsion_topics_ = std::move(new_emu);
+  return Status::OK();
+}
+
+void JointTopicModel::SampleZ() {
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  std::vector<double> weights(static_cast<size_t>(k_count));
+
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const Document& doc = documents[d];
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      size_t v = static_cast<size_t>(doc.term_ids[n]);
+      int old_k = z_[d][n];
+      --n_dk_[d][static_cast<size_t>(old_k)];
+      --n_kv_[static_cast<size_t>(old_k)][v];
+      --n_k_[static_cast<size_t>(old_k)];
+      // Paper eq. (2): (N_dk^{-dn} + M_dk + alpha) *
+      //                (N_kw^{-dn} + gamma) / (N_k^{-dn} + gamma V).
+      for (int k = 0; k < k_count; ++k) {
+        size_t ks = static_cast<size_t>(k);
+        double doc_part = static_cast<double>(n_dk_[d][ks]) +
+                          (y_[d] == k ? 1.0 : 0.0) + config_.alpha;
+        double word_part =
+            (static_cast<double>(n_kv_[ks][v]) + config_.gamma) /
+            (static_cast<double>(n_k_[ks]) + gamma_v);
+        weights[ks] = doc_part * word_part;
+      }
+      int new_k = static_cast<int>(rng_.NextCategorical(weights));
+      z_[d][n] = new_k;
+      ++n_dk_[d][static_cast<size_t>(new_k)];
+      ++n_kv_[static_cast<size_t>(new_k)][v];
+      ++n_k_[static_cast<size_t>(new_k)];
+    }
+  }
+}
+
+texrheo::Status JointTopicModel::SampleY() {
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  std::vector<double> log_w(static_cast<size_t>(k_count));
+  std::vector<double> weights(static_cast<size_t>(k_count));
+
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const Document& doc = documents[d];
+    --m_k_[static_cast<size_t>(y_[d])];
+    // Paper eq. (3): (N_dk + M_dk^{-d} + alpha_k) x N(g_d | mu_k, Lambda_k)
+    // (x N(e_d | m_k, L_k) per the graphical model). The doc's own vector
+    // is excluded, so M_dk^{-d} = 0.
+    for (int k = 0; k < k_count; ++k) {
+      size_t ks = static_cast<size_t>(k);
+      double lw =
+          std::log(static_cast<double>(n_dk_[d][ks]) + config_.alpha);
+      lw += gel_topics_[ks].LogPdf(doc.gel_feature);
+      if (config_.use_emulsion_likelihood) {
+        lw += emulsion_topics_[ks].LogPdf(doc.emulsion_feature);
+      }
+      log_w[ks] = lw;
+    }
+    double norm = math::LogSumExp(log_w.data(), log_w.size());
+    for (int k = 0; k < k_count; ++k) {
+      weights[static_cast<size_t>(k)] =
+          std::exp(log_w[static_cast<size_t>(k)] - norm);
+    }
+    int new_k = static_cast<int>(rng_.NextCategorical(weights));
+    y_[d] = new_k;
+    ++m_k_[static_cast<size_t>(new_k)];
+  }
+  return Status::OK();
+}
+
+texrheo::Status JointTopicModel::RunSweeps(int n) {
+  for (int sweep = 0; sweep < n; ++sweep) {
+    SampleZ();
+    TEXRHEO_RETURN_IF_ERROR(SampleY());
+    TEXRHEO_RETURN_IF_ERROR(ResampleGaussians());
+    ++completed_sweeps_;
+    if (config_.optimize_alpha &&
+        completed_sweeps_ > config_.burn_in_sweeps &&
+        completed_sweeps_ % config_.alpha_update_interval == 0) {
+      UpdateAlpha();
+    }
+    likelihood_trace_.push_back(LogJointLikelihood());
+  }
+  return Status::OK();
+}
+
+double JointTopicModel::UpdateAlpha() {
+  // Minka's fixed-point update for a symmetric Dirichlet:
+  //   alpha <- alpha * sum_{d,k} [Psi(n_dk + alpha) - Psi(alpha)]
+  //                  / (K sum_d [Psi(n_d + K alpha) - Psi(K alpha)]).
+  // Counts follow eq. 5's theta: word counts plus the y_d pseudo-count.
+  const auto& documents = docs_->documents;
+  double k_count = static_cast<double>(config_.num_topics);
+  double alpha = config_.alpha;
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (size_t d = 0; d < documents.size(); ++d) {
+    double n_d = static_cast<double>(documents[d].term_ids.size()) + 1.0;
+    for (int k = 0; k < config_.num_topics; ++k) {
+      double n_dk = static_cast<double>(n_dk_[d][static_cast<size_t>(k)]) +
+                    (y_[d] == k ? 1.0 : 0.0);
+      numerator += math::Digamma(n_dk + alpha) - math::Digamma(alpha);
+    }
+    denominator += math::Digamma(n_d + k_count * alpha) -
+                   math::Digamma(k_count * alpha);
+  }
+  if (denominator > 0.0 && numerator > 0.0) {
+    double updated = alpha * numerator / (k_count * denominator);
+    // Guard the fixed point against degenerate steps.
+    config_.alpha = std::clamp(updated, 1e-4, 10.0);
+  }
+  return config_.alpha;
+}
+
+double JointTopicModel::LogJointLikelihood() const {
+  const auto& documents = docs_->documents;
+  double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  double alpha_sum =
+      config_.alpha * static_cast<double>(config_.num_topics);
+  double ll = 0.0;
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const Document& doc = documents[d];
+    double n_d = static_cast<double>(doc.term_ids.size());
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      size_t k = static_cast<size_t>(z_[d][n]);
+      size_t v = static_cast<size_t>(doc.term_ids[n]);
+      double phi = (static_cast<double>(n_kv_[k][v]) + config_.gamma) /
+                   (static_cast<double>(n_k_[k]) + gamma_v);
+      double theta =
+          (static_cast<double>(n_dk_[d][k]) + (y_[d] == z_[d][n] ? 1.0 : 0.0) +
+           config_.alpha) /
+          (n_d + 1.0 + alpha_sum);
+      ll += std::log(phi) + std::log(theta);
+    }
+    size_t yk = static_cast<size_t>(y_[d]);
+    ll += gel_topics_[yk].LogPdf(doc.gel_feature);
+    if (config_.use_emulsion_likelihood) {
+      ll += emulsion_topics_[yk].LogPdf(doc.emulsion_feature);
+    }
+  }
+  return ll;
+}
+
+TopicEstimates JointTopicModel::Estimate() const {
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  double alpha_sum = config_.alpha * static_cast<double>(k_count);
+
+  TopicEstimates est;
+  est.phi.assign(static_cast<size_t>(k_count),
+                 std::vector<double>(vocab_size_, 0.0));
+  for (int k = 0; k < k_count; ++k) {
+    size_t ks = static_cast<size_t>(k);
+    for (size_t v = 0; v < vocab_size_; ++v) {
+      est.phi[ks][v] = (static_cast<double>(n_kv_[ks][v]) + config_.gamma) /
+                       (static_cast<double>(n_k_[ks]) + gamma_v);
+    }
+  }
+  est.theta.assign(documents.size(),
+                   std::vector<double>(static_cast<size_t>(k_count), 0.0));
+  est.doc_topic.resize(documents.size());
+  est.topic_recipe_count.assign(static_cast<size_t>(k_count), 0);
+  for (size_t d = 0; d < documents.size(); ++d) {
+    double n_d = static_cast<double>(documents[d].term_ids.size());
+    int best = 0;
+    double best_val = -1.0;
+    for (int k = 0; k < k_count; ++k) {
+      size_t ks = static_cast<size_t>(k);
+      // Eq. (5): theta_dk = (N_dk + M_dk) / (N_d + M_d + sum alpha).
+      double val = (static_cast<double>(n_dk_[d][ks]) +
+                    (y_[d] == k ? 1.0 : 0.0) + config_.alpha) /
+                   (n_d + 1.0 + alpha_sum);
+      est.theta[d][ks] = val;
+      if (val > best_val) {
+        best_val = val;
+        best = k;
+      }
+    }
+    est.doc_topic[d] = best;
+    ++est.topic_recipe_count[static_cast<size_t>(best)];
+  }
+  // For reporting and linkage, replace the last Gibbs *sample* of each
+  // Gaussian with the Normal-Wishart posterior mean given the current
+  // assignments: the chain needs samples, but tables built from a single
+  // sample are needlessly noisy (exp(-mu) amplifies mean noise badly).
+  size_t gel_dim = documents.front().gel_feature.size();
+  size_t emu_dim = documents.front().emulsion_feature.size();
+  for (int k = 0; k < k_count; ++k) {
+    math::RunningMoments gel_moments(gel_dim);
+    math::RunningMoments emu_moments(emu_dim);
+    for (size_t d = 0; d < documents.size(); ++d) {
+      if (y_[d] != k) continue;
+      gel_moments.Add(documents[d].gel_feature);
+      emu_moments.Add(documents[d].emulsion_feature);
+    }
+    auto gel_mean = math::NormalWishartMean(config_.gel_prior.Posterior(
+        gel_moments.count(), gel_moments.Mean(), gel_moments.Scatter()));
+    auto emu_mean = math::NormalWishartMean(config_.emulsion_prior.Posterior(
+        emu_moments.count(), emu_moments.Mean(), emu_moments.Scatter()));
+    est.gel_topics.push_back(gel_mean.ok() ? std::move(gel_mean).value()
+                                           : gel_topics_[static_cast<size_t>(k)]);
+    est.emulsion_topics.push_back(
+        emu_mean.ok() ? std::move(emu_mean).value()
+                      : emulsion_topics_[static_cast<size_t>(k)]);
+  }
+  return est;
+}
+
+math::Vector JointTopicModel::TopicGelFeatureMean(int k) const {
+  const auto& documents = docs_->documents;
+  math::Vector mean(documents.front().gel_feature.size());
+  int count = 0;
+  for (size_t d = 0; d < documents.size(); ++d) {
+    if (y_[d] != k) continue;
+    mean += documents[d].gel_feature;
+    ++count;
+  }
+  if (count > 0) mean *= 1.0 / static_cast<double>(count);
+  return mean;
+}
+
+texrheo::StatusOr<std::vector<double>> JointTopicModel::FoldInTheta(
+    const recipe::Document& doc, int fold_in_sweeps) {
+  if (fold_in_sweeps < 1) {
+    return Status::InvalidArgument("fold-in: sweeps must be >= 1");
+  }
+  int k_count = config_.num_topics;
+  double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  for (int32_t term : doc.term_ids) {
+    if (term < 0 || static_cast<size_t>(term) >= vocab_size_) {
+      return Status::OutOfRange("fold-in: term id outside training vocab");
+    }
+  }
+
+  // Local assignment state; the global counts stay frozen (standard
+  // fold-in: corpus statistics are treated as the posterior).
+  std::vector<int> local_z(doc.term_ids.size());
+  std::vector<int> local_n_k(static_cast<size_t>(k_count), 0);
+  for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+    int k = static_cast<int>(rng_.NextUint(static_cast<uint64_t>(k_count)));
+    local_z[n] = k;
+    ++local_n_k[static_cast<size_t>(k)];
+  }
+  int local_y =
+      static_cast<int>(rng_.NextUint(static_cast<uint64_t>(k_count)));
+
+  std::vector<double> weights(static_cast<size_t>(k_count));
+  std::vector<double> log_w(static_cast<size_t>(k_count));
+  for (int sweep = 0; sweep < fold_in_sweeps; ++sweep) {
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      size_t v = static_cast<size_t>(doc.term_ids[n]);
+      --local_n_k[static_cast<size_t>(local_z[n])];
+      for (int k = 0; k < k_count; ++k) {
+        size_t ks = static_cast<size_t>(k);
+        weights[ks] =
+            (static_cast<double>(local_n_k[ks]) +
+             (local_y == k ? 1.0 : 0.0) + config_.alpha) *
+            (static_cast<double>(n_kv_[ks][v]) + config_.gamma) /
+            (static_cast<double>(n_k_[ks]) + gamma_v);
+      }
+      local_z[n] = static_cast<int>(rng_.NextCategorical(weights));
+      ++local_n_k[static_cast<size_t>(local_z[n])];
+    }
+    for (int k = 0; k < k_count; ++k) {
+      size_t ks = static_cast<size_t>(k);
+      double lw = std::log(static_cast<double>(local_n_k[ks]) +
+                           config_.alpha);
+      lw += gel_topics_[ks].LogPdf(doc.gel_feature);
+      if (config_.use_emulsion_likelihood) {
+        lw += emulsion_topics_[ks].LogPdf(doc.emulsion_feature);
+      }
+      log_w[ks] = lw;
+    }
+    double norm = math::LogSumExp(log_w.data(), log_w.size());
+    for (int k = 0; k < k_count; ++k) {
+      weights[static_cast<size_t>(k)] =
+          std::exp(log_w[static_cast<size_t>(k)] - norm);
+    }
+    local_y = static_cast<int>(rng_.NextCategorical(weights));
+  }
+
+  double n_d = static_cast<double>(doc.term_ids.size());
+  double alpha_sum = config_.alpha * static_cast<double>(k_count);
+  std::vector<double> theta(static_cast<size_t>(k_count));
+  for (int k = 0; k < k_count; ++k) {
+    size_t ks = static_cast<size_t>(k);
+    theta[ks] = (static_cast<double>(local_n_k[ks]) +
+                 (local_y == k ? 1.0 : 0.0) + config_.alpha) /
+                (n_d + 1.0 + alpha_sum);
+  }
+  return theta;
+}
+
+int JointTopicModel::InferTopicForFeatures(
+    const math::Vector& gel_feature,
+    const math::Vector& emulsion_feature) const {
+  int best = 0;
+  double best_lw = -std::numeric_limits<double>::infinity();
+  for (int k = 0; k < config_.num_topics; ++k) {
+    size_t ks = static_cast<size_t>(k);
+    double lw = std::log(static_cast<double>(m_k_[ks]) + config_.alpha) +
+                gel_topics_[ks].LogPdf(gel_feature);
+    if (config_.use_emulsion_likelihood) {
+      lw += emulsion_topics_[ks].LogPdf(emulsion_feature);
+    }
+    if (lw > best_lw) {
+      best_lw = lw;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace texrheo::core

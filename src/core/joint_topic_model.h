@@ -1,0 +1,183 @@
+#ifndef TEXRHEO_CORE_JOINT_TOPIC_MODEL_H_
+#define TEXRHEO_CORE_JOINT_TOPIC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/distributions.h"
+#include "math/linalg.h"
+#include "recipe/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace texrheo::core {
+
+/// Hyperparameters and schedule of the joint topic model (paper Section
+/// III.B, Fig. 1). Each topic k owns:
+///   phi_k  ~ Dir(gamma)                    - texture-term distribution
+///   (mu_k, Lambda_k) ~ NW(gel prior)       - gel-concentration Gaussian
+///   (m_k,  L_k)      ~ NW(emulsion prior)  - emulsion Gaussian
+/// Each recipe d draws theta_d ~ Dir(alpha); every texture word w_dn gets a
+/// topic z_dn ~ Mult(theta_d), and the whole recipe's concentration vectors
+/// get one topic y_d ~ Mult(theta_d).
+struct JointTopicModelConfig {
+  int num_topics = 10;
+  double alpha = 0.3;   ///< Symmetric Dirichlet on theta_d.
+  double gamma = 0.1;   ///< Symmetric Dirichlet on phi_k.
+
+  /// Normal-Wishart hyperparameters. When `auto_prior` is true (default)
+  /// mu0 / scale are derived from the data (empirical mean; scale set so
+  /// E[Lambda] matches the empirical feature variance), which is the usual
+  /// practice when the paper does not publish its hyperparameters.
+  bool auto_prior = true;
+  math::NormalWishartParams gel_prior;
+  math::NormalWishartParams emulsion_prior;
+  /// Pseudo-count strength used by the auto prior.
+  double prior_beta = 0.5;
+  double prior_nu_extra = 3.0;  ///< nu = dim + prior_nu_extra.
+
+  int burn_in_sweeps = 60;
+  int sweeps = 200;     ///< Total Gibbs sweeps (including burn-in).
+  uint64_t seed = 1;
+
+  /// When true, the symmetric alpha is re-estimated every
+  /// `alpha_update_interval` sweeps (after burn-in) by Minka's fixed-point
+  /// update on the current topic-count matrix. The paper fixes its
+  /// hyperparameters; this is an optional extension.
+  bool optimize_alpha = false;
+  int alpha_update_interval = 20;
+
+  /// When true, the per-recipe topics y are initialized from a Gaussian
+  /// mixture fit on the gel features (k-means++-seeded EM) instead of
+  /// uniformly at random. Cuts burn-in on well-separated corpora; the
+  /// stationary distribution is unchanged.
+  bool gmm_init = false;
+
+  /// Eq. (3) as printed carries only the gel Gaussian even though the
+  /// graphical model draws e_d from the y_d component too. The literal
+  /// equation (false, default) reproduces the paper's Section V.B behaviour:
+  /// topics keep within-topic emulsion diversity, which is what the
+  /// Bavarois / Milk-jelly emulsion-KL analysis of Figs. 3-4 relies on.
+  /// True adds the emulsion Gaussian to the y conditional (ablation) and
+  /// yields emulsion-pure topics instead.
+  bool use_emulsion_likelihood = false;
+};
+
+/// Point estimates after Gibbs convergence (paper eq. 5).
+struct TopicEstimates {
+  /// phi[k][v]: P(term v | topic k).
+  std::vector<std::vector<double>> phi;
+  /// theta[d][k]: P(topic k | recipe d).
+  std::vector<std::vector<double>> theta;
+  /// Per-topic gel Gaussian (over -log-concentration features).
+  std::vector<math::Gaussian> gel_topics;
+  /// Per-topic emulsion Gaussian.
+  std::vector<math::Gaussian> emulsion_topics;
+  /// Hard assignment: argmax_k theta[d][k].
+  std::vector<int> doc_topic;
+  /// Number of recipes per topic under the hard assignment.
+  std::vector<int> topic_recipe_count;
+};
+
+/// Joint topic model trained by Gibbs sampling (paper eqs. 2-4).
+///
+/// The texture-term component is collapsed (phi integrated out; eq. 2 uses
+/// count ratios), while the Gaussian components are instantiated and
+/// resampled from their Normal-Wishart posteriors each sweep (eq. 4), as in
+/// the paper.
+class JointTopicModel {
+ public:
+  /// Validates config and initializes state over `dataset` (which must
+  /// outlive the model). Topics are seeded by random assignment.
+  static texrheo::StatusOr<JointTopicModel> Create(
+      const JointTopicModelConfig& config, const recipe::Dataset* dataset);
+
+  JointTopicModel(JointTopicModel&&) = default;
+  JointTopicModel& operator=(JointTopicModel&&) = default;
+
+  /// Runs `n` full Gibbs sweeps (z for every token, y for every recipe,
+  /// Gaussian parameter redraws).
+  texrheo::Status RunSweeps(int n);
+
+  /// Runs the configured schedule (config.sweeps).
+  texrheo::Status Train() { return RunSweeps(config_.sweeps); }
+
+  /// Complete-data log likelihood under current assignments; increases to a
+  /// plateau as the chain mixes (used for convergence checks and tests).
+  double LogJointLikelihood() const;
+
+  /// Extracts eq.-5 point estimates from the current state.
+  TopicEstimates Estimate() const;
+
+  /// Mean gel feature vector of recipes currently assigned (y_d) to topic k;
+  /// zero vector when the topic is empty.
+  math::Vector TopicGelFeatureMean(int k) const;
+
+  int num_topics() const { return config_.num_topics; }
+  size_t num_documents() const { return docs_->documents.size(); }
+  size_t vocab_size() const { return vocab_size_; }
+  const JointTopicModelConfig& config() const { return config_; }
+  int completed_sweeps() const { return completed_sweeps_; }
+  const std::vector<double>& likelihood_trace() const {
+    return likelihood_trace_;
+  }
+
+  /// Current per-recipe concentration-topic assignments y_d.
+  const std::vector<int>& y() const { return y_; }
+
+  /// Current symmetric alpha (changes only when optimize_alpha is set).
+  double alpha() const { return config_.alpha; }
+
+  /// One Minka fixed-point update of the symmetric alpha from the current
+  /// document-topic counts (words + the y pseudo-count, matching eq. 5's
+  /// theta). Returns the new alpha; exposed for tests.
+  double UpdateAlpha();
+
+  /// Infers the most likely concentration topic for an unseen (gel,
+  /// emulsion) feature pair under the current Gaussians (prior-weighted by
+  /// topic sizes). Used by the recipe-annotator example.
+  int InferTopicForFeatures(const math::Vector& gel_feature,
+                            const math::Vector& emulsion_feature) const;
+
+  /// Folds an unseen document into the trained model: holds phi and the
+  /// Gaussians fixed and Gibbs-samples the document's own z / y for
+  /// `fold_in_sweeps`, then returns the eq.-5 theta estimate. This is the
+  /// standard way to score or place recipes that were not in the training
+  /// corpus.
+  texrheo::StatusOr<std::vector<double>> FoldInTheta(
+      const recipe::Document& doc, int fold_in_sweeps = 30);
+
+ private:
+  JointTopicModel(const JointTopicModelConfig& config,
+                  const recipe::Dataset* dataset);
+
+  texrheo::Status InitializePriors();
+  texrheo::Status InitializeAssignments();
+  texrheo::Status ResampleGaussians();
+  void SampleZ();
+  texrheo::Status SampleY();
+
+  JointTopicModelConfig config_;
+  const recipe::Dataset* docs_;
+  size_t vocab_size_ = 0;
+
+  Rng rng_;
+  // Latent state.
+  std::vector<std::vector<int>> z_;  // z_[d][n]: topic of token n of doc d.
+  std::vector<int> y_;               // y_[d]: topic of doc d's vectors.
+  // Count caches.
+  std::vector<std::vector<int>> n_dk_;  // words of topic k in doc d.
+  std::vector<std::vector<int>> n_kv_;  // term v in topic k.
+  std::vector<int> n_k_;                // words in topic k.
+  std::vector<int> m_k_;                // docs whose y == k.
+  // Gaussian components (instantiated, resampled each sweep).
+  std::vector<math::Gaussian> gel_topics_;
+  std::vector<math::Gaussian> emulsion_topics_;
+
+  int completed_sweeps_ = 0;
+  std::vector<double> likelihood_trace_;
+};
+
+}  // namespace texrheo::core
+
+#endif  // TEXRHEO_CORE_JOINT_TOPIC_MODEL_H_

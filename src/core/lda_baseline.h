@@ -1,0 +1,69 @@
+#ifndef TEXRHEO_CORE_LDA_BASELINE_H_
+#define TEXRHEO_CORE_LDA_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/distributions.h"
+#include "recipe/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace texrheo::core {
+
+/// Configuration of the conventional-LDA baseline (texture terms only; the
+/// "single type of data" model the paper contrasts against).
+struct LdaConfig {
+  int num_topics = 10;
+  double alpha = 0.5;
+  double gamma = 0.1;
+  int sweeps = 200;
+  uint64_t seed = 1;
+};
+
+/// Collapsed-Gibbs LDA over the texture-term sequences of a dataset,
+/// ignoring all concentration information.
+class LdaModel {
+ public:
+  static texrheo::StatusOr<LdaModel> Create(const LdaConfig& config,
+                                            const recipe::Dataset* dataset);
+
+  texrheo::Status RunSweeps(int n);
+  texrheo::Status Train() { return RunSweeps(config_.sweeps); }
+
+  /// phi[k][v] point estimate.
+  std::vector<std::vector<double>> Phi() const;
+  /// theta[d][k] point estimate.
+  std::vector<std::vector<double>> Theta() const;
+  /// argmax_k theta[d][k] per document.
+  std::vector<int> DocTopics() const;
+
+  /// Token log likelihood under current counts (convergence monitor).
+  double LogLikelihood() const;
+
+  int num_topics() const { return config_.num_topics; }
+
+ private:
+  LdaModel(const LdaConfig& config, const recipe::Dataset* dataset);
+
+  LdaConfig config_;
+  const recipe::Dataset* docs_;
+  size_t vocab_size_ = 0;
+  Rng rng_;
+  std::vector<std::vector<int>> z_;
+  std::vector<std::vector<int>> n_dk_;
+  std::vector<std::vector<int>> n_kv_;
+  std::vector<int> n_k_;
+};
+
+/// Fits one Gaussian per topic over the gel (or emulsion) features of the
+/// documents hard-assigned to it — the post-hoc step a decoupled
+/// "LDA then look at concentrations" pipeline needs before it can be linked
+/// to empirical settings. Empty topics get the prior's mean Gaussian.
+texrheo::StatusOr<std::vector<math::Gaussian>> FitPostHocGaussians(
+    const recipe::Dataset& dataset, const std::vector<int>& doc_topic,
+    int num_topics, bool use_gel, const math::NormalWishartParams& prior);
+
+}  // namespace texrheo::core
+
+#endif  // TEXRHEO_CORE_LDA_BASELINE_H_

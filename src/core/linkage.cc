@@ -1,0 +1,80 @@
+#include "core/linkage.h"
+
+#include <cmath>
+#include <limits>
+
+namespace texrheo::core {
+namespace {
+
+texrheo::StatusOr<double> Divergence(const math::Vector& feature,
+                                     const math::Gaussian& topic,
+                                     const LinkageOptions& options) {
+  switch (options.method) {
+    case LinkageMethod::kGaussianKL: {
+      if (options.measurement_sigma <= 0.0) {
+        return Status::InvalidArgument("measurement_sigma must be positive");
+      }
+      double precision =
+          1.0 / (options.measurement_sigma * options.measurement_sigma);
+      TEXRHEO_ASSIGN_OR_RETURN(
+          math::Gaussian wrapped,
+          math::Gaussian::FromPrecision(
+              feature, math::Matrix::Identity(feature.size(), precision)));
+      return math::GaussianKL(wrapped, topic);
+    }
+    case LinkageMethod::kNegLogDensity:
+      return -topic.LogPdf(feature);
+    case LinkageMethod::kMahalanobis:
+      return math::QuadraticForm(topic.precision(), feature, topic.mean());
+    case LinkageMethod::kEuclidean: {
+      math::Vector d = feature;
+      d -= topic.mean();
+      return d.Norm();
+    }
+  }
+  return Status::Internal("unhandled linkage method");
+}
+
+}  // namespace
+
+texrheo::StatusOr<std::vector<SettingLinkage>> LinkSettingsToTopics(
+    const TopicEstimates& estimates,
+    const std::vector<rheology::EmpiricalSetting>& settings,
+    const recipe::FeatureConfig& feature_config,
+    const LinkageOptions& options) {
+  std::vector<SettingLinkage> out;
+  out.reserve(settings.size());
+  for (const auto& setting : settings) {
+    math::Vector feature = recipe::ToFeature(setting.gel, feature_config);
+    SettingLinkage link;
+    link.setting_id = setting.id;
+    link.divergence = std::numeric_limits<double>::infinity();
+    for (size_t k = 0; k < estimates.gel_topics.size(); ++k) {
+      TEXRHEO_ASSIGN_OR_RETURN(
+          double div,
+          Divergence(feature, estimates.gel_topics[k], options));
+      link.divergence_by_topic.push_back(div);
+      if (div < link.divergence) {
+        link.divergence = div;
+        link.topic = static_cast<int>(k);
+      }
+    }
+    out.push_back(std::move(link));
+  }
+  return out;
+}
+
+texrheo::StatusOr<SettingLinkage> LinkConcentrationToTopic(
+    const TopicEstimates& estimates, const math::Vector& gel_concentration,
+    const recipe::FeatureConfig& feature_config,
+    const LinkageOptions& options) {
+  rheology::EmpiricalSetting setting;
+  setting.id = -1;
+  setting.gel = gel_concentration;
+  TEXRHEO_ASSIGN_OR_RETURN(
+      std::vector<SettingLinkage> links,
+      LinkSettingsToTopics(estimates, {setting}, feature_config, options));
+  return links.front();
+}
+
+}  // namespace texrheo::core

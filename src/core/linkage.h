@@ -1,0 +1,66 @@
+#ifndef TEXRHEO_CORE_LINKAGE_H_
+#define TEXRHEO_CORE_LINKAGE_H_
+
+#include <vector>
+
+#include "core/joint_topic_model.h"
+#include "recipe/features.h"
+#include "rheology/empirical_data.h"
+#include "util/status.h"
+
+namespace texrheo::core {
+
+/// How a food-science setting's single concentration vector is compared to
+/// a topic's gel Gaussian (the paper says "Kullback-Leibler divergence"
+/// without specifying how a point becomes a distribution).
+enum class LinkageMethod {
+  /// Wrap the setting in an isotropic Gaussian whose standard deviation is
+  /// the measurement uncertainty of the published concentration (in -log
+  /// space, i.e. a relative concentration error), then closed-form
+  /// KL(setting || topic). Default. As the uncertainty shrinks this ranks
+  /// topics like the negative log density, penalizing both mean distance
+  /// and overly diffuse topics.
+  kGaussianKL,
+  /// Negative log density of the setting under the topic Gaussian.
+  kNegLogDensity,
+  /// Squared Mahalanobis distance of the setting under the topic Gaussian.
+  kMahalanobis,
+  /// Euclidean distance in feature space (sanity baseline).
+  kEuclidean,
+};
+
+/// Options for the linkage computation.
+struct LinkageOptions {
+  LinkageMethod method = LinkageMethod::kGaussianKL;
+  /// Std-dev of the wrapped setting Gaussian in -log-concentration space
+  /// (~25% relative error on a lab-measured concentration).
+  double measurement_sigma = 0.25;
+};
+
+/// One empirical setting linked to its most similar topic.
+struct SettingLinkage {
+  int setting_id = 0;     ///< Table I row id.
+  int topic = 0;          ///< Most similar topic index.
+  double divergence = 0;  ///< Divergence value at the optimum.
+  std::vector<double> divergence_by_topic;  ///< For reporting/tests.
+};
+
+/// Links every empirical setting to its closest topic by comparing the
+/// setting's -log gel-concentration vector to each topic's gel Gaussian
+/// (paper Section III.C.4).
+texrheo::StatusOr<std::vector<SettingLinkage>> LinkSettingsToTopics(
+    const TopicEstimates& estimates,
+    const std::vector<rheology::EmpiricalSetting>& settings,
+    const recipe::FeatureConfig& feature_config,
+    const LinkageOptions& options = LinkageOptions());
+
+/// Links one raw gel concentration vector (e.g. a Table II(b) dish) to its
+/// most similar topic; same semantics as LinkSettingsToTopics.
+texrheo::StatusOr<SettingLinkage> LinkConcentrationToTopic(
+    const TopicEstimates& estimates, const math::Vector& gel_concentration,
+    const recipe::FeatureConfig& feature_config,
+    const LinkageOptions& options = LinkageOptions());
+
+}  // namespace texrheo::core
+
+#endif  // TEXRHEO_CORE_LINKAGE_H_

@@ -1,0 +1,227 @@
+#include "core/serialization.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace texrheo::core {
+namespace {
+
+constexpr char kMagic[] = "texrheo-model";
+constexpr int kVersion = 1;
+
+void AppendGaussian(std::ostringstream& out, const char* tag, size_t k,
+                    const math::Gaussian& g) {
+  out << tag << ' ' << k << ' ' << g.dim();
+  for (size_t i = 0; i < g.dim(); ++i) {
+    out << ' ' << FormatDouble(g.mean()[i], 12);
+  }
+  for (size_t r = 0; r < g.dim(); ++r) {
+    for (size_t c = 0; c < g.dim(); ++c) {
+      out << ' ' << FormatDouble(g.precision()(r, c), 12);
+    }
+  }
+  out << '\n';
+}
+
+// Parses "<tag> k dim mean... precision..." tokens after the tag.
+StatusOr<math::Gaussian> ParseGaussian(const std::vector<std::string>& tokens,
+                                       size_t* topic_out) {
+  if (tokens.size() < 3) {
+    return Status::InvalidArgument("truncated gaussian line");
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(int64_t k, ParseInt(tokens[1]));
+  TEXRHEO_ASSIGN_OR_RETURN(int64_t dim64, ParseInt(tokens[2]));
+  size_t dim = static_cast<size_t>(dim64);
+  if (tokens.size() != 3 + dim + dim * dim) {
+    return Status::InvalidArgument("gaussian line has wrong token count");
+  }
+  math::Vector mean(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    TEXRHEO_ASSIGN_OR_RETURN(mean[i], ParseDouble(tokens[3 + i]));
+  }
+  math::Matrix precision(dim, dim);
+  size_t offset = 3 + dim;
+  for (size_t r = 0; r < dim; ++r) {
+    for (size_t c = 0; c < dim; ++c) {
+      TEXRHEO_ASSIGN_OR_RETURN(precision(r, c),
+                               ParseDouble(tokens[offset + r * dim + c]));
+    }
+  }
+  *topic_out = static_cast<size_t>(k);
+  return math::Gaussian::FromPrecision(std::move(mean), std::move(precision));
+}
+
+}  // namespace
+
+ModelSnapshot MakeSnapshot(const TopicEstimates& estimates,
+                           const text::Vocabulary& vocab) {
+  ModelSnapshot snapshot;
+  // Rebuild the vocabulary to detach it from the dataset.
+  for (size_t id = 0; id < vocab.size(); ++id) {
+    int32_t new_id =
+        snapshot.vocab.Add(vocab.WordOf(static_cast<int32_t>(id)));
+    (void)new_id;
+  }
+  snapshot.estimates.phi = estimates.phi;
+  snapshot.estimates.gel_topics = estimates.gel_topics;
+  snapshot.estimates.emulsion_topics = estimates.emulsion_topics;
+  snapshot.estimates.topic_recipe_count = estimates.topic_recipe_count;
+  return snapshot;
+}
+
+std::string SerializeModel(const ModelSnapshot& snapshot) {
+  std::ostringstream out;
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "vocab " << snapshot.vocab.size() << '\n';
+  for (size_t id = 0; id < snapshot.vocab.size(); ++id) {
+    out << snapshot.vocab.WordOf(static_cast<int32_t>(id)) << ' '
+        << snapshot.vocab.CountOf(static_cast<int32_t>(id)) << '\n';
+  }
+  out << "topics " << snapshot.estimates.phi.size() << '\n';
+  for (size_t k = 0; k < snapshot.estimates.phi.size(); ++k) {
+    out << "phi " << k;
+    for (double p : snapshot.estimates.phi[k]) {
+      out << ' ' << FormatDouble(p, 12);
+    }
+    out << '\n';
+  }
+  for (size_t k = 0; k < snapshot.estimates.gel_topics.size(); ++k) {
+    AppendGaussian(out, "gel_topic", k, snapshot.estimates.gel_topics[k]);
+  }
+  for (size_t k = 0; k < snapshot.estimates.emulsion_topics.size(); ++k) {
+    AppendGaussian(out, "emulsion_topic", k,
+                   snapshot.estimates.emulsion_topics[k]);
+  }
+  for (size_t k = 0; k < snapshot.estimates.topic_recipe_count.size(); ++k) {
+    out << "recipe_count " << k << ' '
+        << snapshot.estimates.topic_recipe_count[k] << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<ModelSnapshot> DeserializeModel(const std::string& content) {
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty model file");
+  }
+  {
+    std::vector<std::string> header = SplitWhitespace(line);
+    if (header.size() != 2 || header[0] != kMagic) {
+      return Status::InvalidArgument("not a texrheo model file");
+    }
+    TEXRHEO_ASSIGN_OR_RETURN(int64_t version, ParseInt(header[1]));
+    if (version != kVersion) {
+      return Status::InvalidArgument("unsupported model version " +
+                                     std::to_string(version));
+    }
+  }
+
+  ModelSnapshot snapshot;
+  // vocab section.
+  if (!std::getline(in, line)) return Status::InvalidArgument("missing vocab");
+  std::vector<std::string> tokens = SplitWhitespace(line);
+  if (tokens.size() != 2 || tokens[0] != "vocab") {
+    return Status::InvalidArgument("expected 'vocab <n>'");
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(int64_t vocab_size, ParseInt(tokens[1]));
+  for (int64_t i = 0; i < vocab_size; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated vocab section");
+    }
+    std::vector<std::string> wc = SplitWhitespace(line);
+    if (wc.size() != 2) {
+      return Status::InvalidArgument("malformed vocab line: " + line);
+    }
+    snapshot.vocab.Add(wc[0]);
+  }
+
+  // topics count.
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing topics");
+  }
+  tokens = SplitWhitespace(line);
+  if (tokens.size() != 2 || tokens[0] != "topics") {
+    return Status::InvalidArgument("expected 'topics <k>'");
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(int64_t k_count, ParseInt(tokens[1]));
+  snapshot.estimates.phi.assign(static_cast<size_t>(k_count), {});
+  snapshot.estimates.topic_recipe_count.assign(static_cast<size_t>(k_count),
+                                               0);
+  std::vector<bool> have_gel(static_cast<size_t>(k_count), false);
+  std::vector<bool> have_emulsion(static_cast<size_t>(k_count), false);
+  snapshot.estimates.gel_topics.reserve(static_cast<size_t>(k_count));
+  snapshot.estimates.emulsion_topics.reserve(static_cast<size_t>(k_count));
+
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    tokens = SplitWhitespace(line);
+    const std::string& tag = tokens[0];
+    if (tag == "phi") {
+      if (tokens.size() < 2) return Status::InvalidArgument("bad phi line");
+      TEXRHEO_ASSIGN_OR_RETURN(int64_t k, ParseInt(tokens[1]));
+      if (k < 0 || k >= k_count) {
+        return Status::OutOfRange("phi topic index out of range");
+      }
+      std::vector<double> row;
+      row.reserve(tokens.size() - 2);
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        TEXRHEO_ASSIGN_OR_RETURN(double p, ParseDouble(tokens[i]));
+        row.push_back(p);
+      }
+      if (static_cast<int64_t>(row.size()) != vocab_size) {
+        return Status::InvalidArgument("phi row length != vocab size");
+      }
+      snapshot.estimates.phi[static_cast<size_t>(k)] = std::move(row);
+    } else if (tag == "gel_topic" || tag == "emulsion_topic") {
+      size_t k = 0;
+      TEXRHEO_ASSIGN_OR_RETURN(math::Gaussian g, ParseGaussian(tokens, &k));
+      if (k >= static_cast<size_t>(k_count)) {
+        return Status::OutOfRange("gaussian topic index out of range");
+      }
+      auto& list = tag[0] == 'g' ? snapshot.estimates.gel_topics
+                                 : snapshot.estimates.emulsion_topics;
+      auto& have = tag[0] == 'g' ? have_gel : have_emulsion;
+      if (k != list.size() || have[k]) {
+        return Status::InvalidArgument(
+            "gaussians must appear once, in topic order");
+      }
+      list.push_back(std::move(g));
+      have[k] = true;
+    } else if (tag == "recipe_count") {
+      if (tokens.size() != 3) {
+        return Status::InvalidArgument("bad recipe_count line");
+      }
+      TEXRHEO_ASSIGN_OR_RETURN(int64_t k, ParseInt(tokens[1]));
+      TEXRHEO_ASSIGN_OR_RETURN(int64_t n, ParseInt(tokens[2]));
+      if (k < 0 || k >= k_count) {
+        return Status::OutOfRange("recipe_count topic out of range");
+      }
+      snapshot.estimates.topic_recipe_count[static_cast<size_t>(k)] =
+          static_cast<int>(n);
+    } else {
+      return Status::InvalidArgument("unknown section: " + tag);
+    }
+  }
+
+  if (snapshot.estimates.gel_topics.size() !=
+          static_cast<size_t>(k_count) ||
+      snapshot.estimates.emulsion_topics.size() !=
+          static_cast<size_t>(k_count)) {
+    return Status::InvalidArgument("missing topic gaussians");
+  }
+  return snapshot;
+}
+
+Status SaveModel(const std::string& path, const ModelSnapshot& snapshot) {
+  return WriteStringToFile(path, SerializeModel(snapshot));
+}
+
+StatusOr<ModelSnapshot> LoadModel(const std::string& path) {
+  TEXRHEO_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return DeserializeModel(content);
+}
+
+}  // namespace texrheo::core

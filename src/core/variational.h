@@ -1,0 +1,79 @@
+#ifndef TEXRHEO_CORE_VARIATIONAL_H_
+#define TEXRHEO_CORE_VARIATIONAL_H_
+
+#include <vector>
+
+#include "core/joint_topic_model.h"
+
+namespace texrheo::core {
+
+/// Deterministic CVB0-style variational inference for the same joint topic
+/// model — the third inference algorithm in the library next to the paper's
+/// Gibbs sampler and the collapsed (Student-t) sampler.
+///
+/// Instead of hard assignments it maintains responsibilities:
+///   gamma[d][n][k] ~ q(z_dn = k)   for texture-term tokens,
+///   rho[d][k]      ~ q(y_d = k)    for the concentration vectors,
+/// updated with zero-order collapsed expectations (Asuncion et al. 2009
+/// style) for the word side and responsibility-weighted Normal-Wishart
+/// posterior means for the Gaussian side. Converges monotonically in its
+/// objective proxy and needs no random numbers after initialization.
+class VariationalJointTopicModel {
+ public:
+  /// Reuses JointTopicModelConfig: alpha/gamma/num_topics/priors/emulsion
+  /// toggle mean the same thing; `sweeps` caps the iterations; `seed` only
+  /// seeds the responsibility initialization.
+  static texrheo::StatusOr<VariationalJointTopicModel> Create(
+      const JointTopicModelConfig& config, const recipe::Dataset* dataset);
+
+  VariationalJointTopicModel(VariationalJointTopicModel&&) = default;
+  VariationalJointTopicModel& operator=(VariationalJointTopicModel&&) =
+      default;
+
+  /// Runs up to `max_iterations` full update passes, stopping early when
+  /// the objective proxy improves by less than `tolerance` (relative).
+  texrheo::Status Run(int max_iterations, double tolerance = 1e-5);
+
+  /// Runs the configured schedule (config.sweeps iterations).
+  texrheo::Status Train() { return Run(config_.sweeps); }
+
+  /// Expected-count point estimates in the common TopicEstimates shape.
+  texrheo::StatusOr<TopicEstimates> Estimate() const;
+
+  /// Objective proxy (expected complete-data log likelihood); increases
+  /// monotonically up to numerical noise.
+  double Objective() const { return objective_; }
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  VariationalJointTopicModel(const JointTopicModelConfig& config,
+                             const recipe::Dataset* dataset);
+
+  texrheo::Status Initialize();
+  texrheo::Status UpdateGaussians();
+  void UpdateWordResponsibilities();
+  void UpdateDocResponsibilities();
+  double ComputeObjective() const;
+
+  JointTopicModelConfig config_;
+  const recipe::Dataset* docs_;
+  size_t vocab_size_ = 0;
+
+  // Responsibilities.
+  std::vector<std::vector<std::vector<double>>> gamma_;  // [d][n][k]
+  std::vector<std::vector<double>> rho_;                 // [d][k]
+  // Expected counts.
+  std::vector<std::vector<double>> e_n_dk_;  // [d][k]
+  std::vector<std::vector<double>> e_n_kv_;  // [k][v]
+  std::vector<double> e_n_k_;                // [k]
+  // Posterior-mean Gaussians per topic.
+  std::vector<math::Gaussian> gel_topics_;
+  std::vector<math::Gaussian> emulsion_topics_;
+
+  double objective_ = 0.0;
+  int iterations_run_ = 0;
+};
+
+}  // namespace texrheo::core
+
+#endif  // TEXRHEO_CORE_VARIATIONAL_H_

@@ -1,0 +1,478 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recipe/features.h"
+#include "recipe/units.h"
+#include "util/string_util.h"
+
+namespace texrheo::corpus {
+namespace {
+
+using recipe::GelType;
+using recipe::IngredientLine;
+using recipe::Recipe;
+using rheology::TpaAttributes;
+
+double RoundTo(double value, double step) {
+  double r = std::round(value / step) * step;
+  return r < step ? step : r;
+}
+
+std::string FormatAmount(double v) {
+  // Avoid "2.000000": print integers plainly, fractions with 2 digits.
+  if (std::fabs(v - std::round(v)) < 1e-9) {
+    return std::to_string(static_cast<long long>(std::llround(v)));
+  }
+  return FormatDouble(v, 2);
+}
+
+constexpr const char* kBaseLiquids[] = {"water", "juice", "orange-juice",
+                                        "grape-juice", "coffee", "green-tea",
+                                        "wine", "coconut-milk"};
+constexpr const char* kFruits[] = {"strawberry", "orange",    "peach",
+                                   "banana",     "apple",     "pineapple",
+                                   "mandarin",   "blueberry", "kiwi"};
+constexpr const char* kToppings[] = {"nuts",    "almond",    "walnut",
+                                     "granola", "cookie",    "biscuit",
+                                     "cornflake", "wafer"};
+constexpr const char* kVerbs[] = {"dissolve", "chill", "boil",  "mix",
+                                  "pour",     "strain", "whip", "cool",
+                                  "set",      "serve"};
+
+}  // namespace
+
+/// One synthetic dish family: gel/emulsion composition ranges plus how often
+/// it carries fruit (unrelated solids). Weights are scaled so the corpus
+/// splits ~45k/15k/3k across gelatin/kanten/agar like the paper's crawl.
+struct CorpusGenerator::DishTemplate {
+  const char* name;
+  double weight;
+  GelType gel1;
+  double gel1_lo, gel1_hi;
+  // Secondary gel; gel2_hi == 0 means single-gel dish.
+  GelType gel2;
+  double gel2_lo, gel2_hi;
+  // Emulsion fraction ranges (of total weight); hi == 0 disables.
+  double sugar_lo, sugar_hi;
+  double albumen_hi;
+  double yolk_hi;
+  double cream_lo, cream_hi;
+  double milk_lo, milk_hi;
+  double yogurt_hi;
+  // Unrelated solid (fruit / azuki) behaviour.
+  double fruit_prob;
+  double fruit_lo, fruit_hi;
+};
+
+namespace {
+
+using Tmpl = CorpusGenerator::DishTemplate;
+
+}  // namespace
+
+// Template table defined out-of-line so the header stays light.
+static const Tmpl kTemplates[] = {
+    // --- Gelatin dishes (71.4% of the corpus) ---
+    {"soft-juice-jelly", 14.0, GelType::kGelatin, 0.004, 0.009,
+     GelType::kGelatin, 0, 0, 0.00, 0.05, 0, 0, 0, 0, 0, 0, 0, 0.80, 0.12,
+     0.35},
+    {"standard-jelly", 16.0, GelType::kGelatin, 0.010, 0.016,
+     GelType::kGelatin, 0, 0, 0.02, 0.06, 0, 0, 0, 0, 0, 0, 0, 0.80, 0.12,
+     0.35},
+    {"firm-gummy", 5.0, GelType::kGelatin, 0.040, 0.070, GelType::kGelatin, 0,
+     0, 0.05, 0.10, 0, 0, 0, 0, 0, 0, 0, 0.45, 0.12,
+     0.30},
+    {"bavarois", 8.0, GelType::kGelatin, 0.020, 0.030, GelType::kGelatin, 0,
+     0, 0.03, 0.08, 0, 0.10, 0.15, 0.25, 0.30, 0.45, 0, 0.55, 0.12,
+     0.30},
+    {"mousse", 12.0, GelType::kGelatin, 0.004, 0.010, GelType::kGelatin, 0, 0,
+     0.05, 0.10, 0.12, 0, 0.20, 0.35, 0, 0, 0, 0.75, 0.12,
+     0.35},
+    {"milk-jelly", 8.0, GelType::kGelatin, 0.020, 0.030, GelType::kGelatin, 0,
+     0, 0.02, 0.05, 0, 0, 0, 0, 0.60, 0.80, 0, 0.50, 0.12,
+     0.25},
+    {"panna-cotta", 6.0, GelType::kGelatin, 0.012, 0.020, GelType::kGelatin,
+     0, 0, 0.04, 0.08, 0, 0, 0.25, 0.40, 0.20, 0.35, 0, 0.50, 0.12,
+     0.25},
+    {"yogurt-mousse", 2.4, GelType::kGelatin, 0.008, 0.014, GelType::kGelatin,
+     0, 0, 0.04, 0.08, 0, 0, 0.10, 0.20, 0, 0, 0.50, 0.70, 0.12,
+     0.30},
+    // --- Kanten dishes (23.8%) ---
+    {"mizu-yokan", 5.0, GelType::kKanten, 0.003, 0.006, GelType::kKanten, 0,
+     0, 0.05, 0.12, 0, 0, 0, 0, 0, 0, 0, 0.90, 0.20,
+     0.40},
+    {"kanten-jelly", 7.0, GelType::kKanten, 0.006, 0.012, GelType::kKanten, 0,
+     0, 0.03, 0.08, 0, 0, 0, 0, 0, 0, 0, 0.80, 0.12,
+     0.35},
+    {"tokoroten-firm", 6.0, GelType::kKanten, 0.015, 0.025, GelType::kKanten,
+     0, 0, 0.00, 0.03, 0, 0, 0, 0, 0, 0, 0, 0.45, 0.12,
+     0.25},
+    {"milk-kanten", 4.0, GelType::kKanten, 0.004, 0.008, GelType::kKanten, 0,
+     0, 0.04, 0.08, 0, 0, 0, 0, 0.40, 0.60, 0, 0.75, 0.12,
+     0.35},
+    {"kanten-gelatin-mousse", 1.8, GelType::kKanten, 0.002, 0.004,
+     GelType::kGelatin, 0.002, 0.005, 0.03, 0.07, 0.05, 0, 0.05, 0.15, 0.10,
+     0.25, 0, 0.60, 0.12,
+     0.30},
+    // --- Agar dishes (4.8%) ---
+    {"agar-jelly", 2.2, GelType::kAgar, 0.008, 0.014, GelType::kAgar, 0, 0,
+     0.03, 0.08, 0, 0, 0, 0, 0, 0, 0, 0.75, 0.12,
+     0.35},
+    {"agar-pudding-firm", 1.6, GelType::kAgar, 0.020, 0.035, GelType::kAgar,
+     0, 0, 0.04, 0.08, 0, 0, 0, 0, 0.20, 0.40, 0, 0.50, 0.12,
+     0.30},
+    {"agar-gelatin-mix", 1.0, GelType::kAgar, 0.006, 0.012, GelType::kGelatin,
+     0.006, 0.012, 0.03, 0.08, 0, 0, 0, 0, 0, 0, 0, 0.60, 0.12,
+     0.30},
+};
+
+CorpusGenerator::CorpusGenerator(const CorpusGenConfig& config,
+                                 const rheology::GelPhysicsModel* model,
+                                 const text::TextureDictionary* dictionary)
+    : config_(config), model_(model), dictionary_(dictionary) {}
+
+std::vector<std::string> CorpusGenerator::ToppingIngredientNames() {
+  return std::vector<std::string>(std::begin(kToppings), std::end(kToppings));
+}
+
+std::vector<Recipe> CorpusGenerator::Generate() {
+  Rng rng(config_.seed);
+  std::vector<double> weights;
+  for (const Tmpl& t : kTemplates) weights.push_back(t.weight);
+
+  std::vector<Recipe> out;
+  out.reserve(config_.num_recipes);
+  for (size_t i = 0; i < config_.num_recipes; ++i) {
+    const Tmpl& tmpl = kTemplates[rng.NextCategorical(weights)];
+    out.push_back(GenerateOne(static_cast<int64_t>(i) + 1, tmpl, rng));
+  }
+  return out;
+}
+
+std::vector<std::string> CorpusGenerator::SampleTextureTerms(
+    const TpaAttributes& attributes, const math::Vector& gel_concentration,
+    Rng& rng, int count) const {
+  // Map attributes to signed signals in [-1, 1] per axis, then score every
+  // gel-related dictionary term by how well polarity * intensity matches.
+  double s_h = std::tanh(std::log((attributes.hardness + 0.02) / 0.8));
+  double s_c = std::tanh(2.5 * (attributes.cohesiveness - 0.35));
+  double s_a = std::tanh(std::log((attributes.adhesiveness + 0.01) / 0.3));
+
+  // Gel-specific vocabulary flavor, as in real Japanese usage: gelatin's
+  // entropic networks read "wobbly/springy" (elastic pole), kanten's and
+  // agar's brittle polysaccharide networks read "crumbly/shearing". The
+  // multiplier interpolates by which gel dominates the dish.
+  double total_gel = gel_concentration.Sum();
+  double gelatin_share =
+      total_gel > 0.0
+          ? gel_concentration[static_cast<size_t>(GelType::kGelatin)] /
+                total_gel
+          : 1.0;
+  double elastic_boost = 0.4 + 1.8 * gelatin_share;   // 2.2x for gelatin.
+  double crumbly_boost = 2.2 - 1.8 * gelatin_share;   // 2.2x for kanten/agar.
+
+  const auto& terms = dictionary_->terms();
+  std::vector<double> weights(terms.size(), 0.0);
+  constexpr double kSigma2 = 0.35 * 0.35;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const text::TextureTerm& t = terms[i];
+    if (!t.gel_related) continue;
+    double signal;
+    switch (t.axis) {
+      case text::TextureAxis::kHardness:
+        signal = s_h;
+        break;
+      case text::TextureAxis::kCohesiveness:
+        signal = s_c;
+        break;
+      case text::TextureAxis::kAdhesiveness:
+      default:
+        signal = s_a;
+        break;
+    }
+    double d = signal - static_cast<double>(t.polarity) * t.intensity;
+    weights[i] = t.base_frequency *
+                 std::exp(-d * d / (2.0 * kSigma2 * config_.term_temperature));
+    if (t.axis == text::TextureAxis::kCohesiveness) {
+      weights[i] *= t.polarity > 0 ? elastic_boost : crumbly_boost;
+    }
+  }
+  std::vector<std::string> sampled;
+  sampled.reserve(static_cast<size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    sampled.push_back(terms[rng.NextCategorical(weights)].surface);
+  }
+  return sampled;
+}
+
+Recipe CorpusGenerator::GenerateOne(int64_t id, const DishTemplate& tmpl,
+                                    Rng& rng) {
+  Recipe r;
+  r.id = id;
+
+  const double total = rng.NextUniform(300.0, 700.0);
+
+  // --- Compose target grams ---------------------------------------------
+  struct Part {
+    std::string name;
+    double grams;
+  };
+  std::vector<Part> parts;
+
+  auto gel_name = [](GelType g) -> std::string { return GelTypeName(g); };
+  double c1 = rng.NextUniform(tmpl.gel1_lo, tmpl.gel1_hi);
+  parts.push_back({gel_name(tmpl.gel1), c1 * total});
+  if (tmpl.gel2_hi > 0.0) {
+    double c2 = rng.NextUniform(tmpl.gel2_lo, tmpl.gel2_hi);
+    parts.push_back({gel_name(tmpl.gel2), c2 * total});
+  }
+  if (tmpl.sugar_hi > 0.0) {
+    parts.push_back(
+        {"sugar", rng.NextUniform(tmpl.sugar_lo, tmpl.sugar_hi) * total});
+  }
+  if (tmpl.albumen_hi > 0.0) {
+    parts.push_back(
+        {"egg-white", rng.NextUniform(0.4, 1.0) * tmpl.albumen_hi * total});
+  }
+  if (tmpl.yolk_hi > 0.0) {
+    parts.push_back(
+        {"egg-yolk", rng.NextUniform(0.4, 1.0) * tmpl.yolk_hi * total});
+  }
+  if (tmpl.cream_hi > 0.0) {
+    parts.push_back({"raw-cream",
+                     rng.NextUniform(tmpl.cream_lo, tmpl.cream_hi) * total});
+  }
+  if (tmpl.milk_hi > 0.0) {
+    parts.push_back(
+        {"milk", rng.NextUniform(tmpl.milk_lo, tmpl.milk_hi) * total});
+  }
+  if (tmpl.yogurt_hi > 0.0) {
+    parts.push_back(
+        {"yogurt", rng.NextUniform(0.5, 1.0) * tmpl.yogurt_hi * total});
+  }
+  std::string fruit_name;
+  if (rng.NextBernoulli(tmpl.fruit_prob)) {
+    fruit_name = kFruits[rng.NextUint(std::size(kFruits))];
+    // Mizu-yokan style dishes use azuki paste rather than fruit.
+    if (std::string_view(tmpl.name) == "mizu-yokan") fruit_name = "azuki-paste";
+    parts.push_back(
+        {fruit_name, rng.NextUniform(tmpl.fruit_lo, tmpl.fruit_hi) * total});
+  }
+
+  bool writes_texture = rng.NextBernoulli(config_.texture_description_prob);
+  std::string topping_name;
+  if (writes_texture && rng.NextBernoulli(config_.topping_prob)) {
+    topping_name = kToppings[rng.NextUint(std::size(kToppings))];
+    parts.push_back({topping_name, rng.NextUniform(0.01, 0.04) * total});
+  }
+
+  // Liquid base takes the remaining weight.
+  double used = 0.0;
+  for (const Part& p : parts) used += p.grams;
+  double base_grams = total - used;
+  if (base_grams > 1.0) {
+    std::string base = kBaseLiquids[rng.NextUint(std::size(kBaseLiquids))];
+    // Milk-forward dishes read better with a neutral base.
+    parts.push_back({base, base_grams});
+  }
+
+  // --- Quantize into posted-recipe quantity strings ----------------------
+  const auto& db = recipe::IngredientDatabase::Embedded();
+  for (const Part& p : parts) {
+    const recipe::IngredientInfo* info = db.Find(p.name);
+    double sg = info != nullptr ? info->specific_gravity : 1.0;
+    double per_piece = info != nullptr ? info->grams_per_piece : 0.0;
+    bool is_gel = info != nullptr &&
+                  info->cls == recipe::IngredientClass::kGel;
+    bool is_liquid =
+        info != nullptr && (info->liquid_base ||
+                            p.name == "milk" || p.name == "raw-cream" ||
+                            p.name == "juice");
+    std::string qty;
+    double u = rng.NextDouble();
+    if (is_gel) {
+      if (u < 0.45) {
+        qty = FormatAmount(RoundTo(p.grams, 0.5)) + " g";
+      } else if (u < 0.75) {
+        double tsp = RoundTo(p.grams / (5.0 * sg), 0.5);
+        qty = FormatAmount(tsp) + " tsp";
+      } else if (p.name == "gelatin" && u < 0.9) {
+        // Posted as leaf gelatin sheets.
+        double sheets = RoundTo(p.grams / 2.5, 0.5);
+        qty = FormatAmount(sheets) + " sheets";
+        r.ingredients.push_back({"gelatin-leaf", qty});
+        continue;
+      } else {
+        double tbsp = RoundTo(p.grams / (15.0 * sg), 0.5);
+        qty = FormatAmount(tbsp) + " tbsp";
+      }
+    } else if (per_piece > 0.0 && u < 0.6) {
+      double pieces = RoundTo(p.grams / per_piece, 1.0);
+      qty = FormatAmount(pieces) + (pieces > 1.5 ? " pieces" : " piece");
+    } else if (is_liquid && u < 0.5) {
+      double cc = RoundTo(p.grams / sg, 10.0);
+      qty = FormatAmount(cc) + " cc";
+    } else if (is_liquid && u < 0.8) {
+      double cups = RoundTo(p.grams / (200.0 * sg), 0.25);
+      qty = FormatAmount(cups) + (cups > 1.01 ? " cups" : " cup");
+    } else if (p.name == "sugar" && u < 0.5) {
+      double tbsp = RoundTo(p.grams / (15.0 * sg), 0.5);
+      qty = FormatAmount(tbsp) + " tbsp";
+    } else {
+      qty = FormatAmount(RoundTo(p.grams, 1.0)) + " g";
+    }
+    r.ingredients.push_back({p.name, qty});
+  }
+
+  // --- Ground truth from the *quantized* recipe --------------------------
+  TpaAttributes attributes;
+  math::Vector gel_conc(recipe::kNumGelTypes);
+  math::Vector emulsion_conc(recipe::kNumEmulsionTypes);
+  auto conc_or = recipe::ComputeConcentrations(r, db);
+  if (conc_or.ok()) {
+    gel_conc = conc_or.value().gel;
+    emulsion_conc = conc_or.value().emulsion;
+    attributes = model_->Predict(gel_conc, emulsion_conc);
+  }
+
+  // --- Cooking steps and their rheological effects -----------------------
+  // Food-science grounding: gelatin's collagen network hydrolyzes when
+  // boiled (softer set); kanten/agar *require* a boil to dissolve; whipping
+  // entrains air and raises springiness; a fast chill leaves less time for
+  // syneresis (less surface stickiness); a slow set firms the network.
+  std::vector<std::string> steps;
+  if (config_.enable_cooking_steps) {
+    bool gelatin_dominant =
+        gel_conc[static_cast<size_t>(GelType::kGelatin)] * 2.0 >
+        gel_conc.Sum();
+    if (gelatin_dominant) {
+      steps.push_back("bloom");
+      if (rng.NextBernoulli(0.15)) {
+        steps.push_back("boil");
+        attributes.hardness *= 0.55;
+      }
+    } else {
+      steps.push_back("boil");  // Required for kanten/agar; no damage.
+    }
+    double foam = emulsion_conc[static_cast<size_t>(
+                      recipe::EmulsionType::kRawCream)] +
+                  emulsion_conc[static_cast<size_t>(
+                      recipe::EmulsionType::kEggAlbumen)];
+    if (foam > 0.05 && rng.NextBernoulli(0.8)) {
+      steps.push_back("whip");
+      attributes.cohesiveness =
+          std::min(0.95, attributes.cohesiveness + 0.12);
+    }
+    double u = rng.NextDouble();
+    if (u < 0.35) {
+      steps.push_back("quick-chill");
+      attributes.adhesiveness *= 0.7;
+    } else if (u < 0.7) {
+      steps.push_back("slow-set");
+      attributes.hardness *= 1.1;
+    }
+  }
+
+  // --- Title & description ----------------------------------------------
+  r.title = std::string(tmpl.name) + " no." + std::to_string(id);
+  std::string desc;
+  auto verb = [&rng]() { return kVerbs[rng.NextUint(std::size(kVerbs))]; };
+  desc += "easy ";
+  desc += tmpl.name;
+  desc += " . ";
+  desc += verb();
+  desc += " the ";
+  desc += r.ingredients.front().name;
+  desc += " then ";
+  desc += verb();
+  desc += " with ";
+  desc += r.ingredients.back().name;
+  desc += " . ";
+  if (!steps.empty()) {
+    desc += "steps : ";
+    desc += Join(steps, " then ");
+    desc += " . ";
+  }
+  if (writes_texture) {
+    int count = static_cast<int>(rng.NextInt(config_.min_terms,
+                                             config_.max_terms));
+    std::vector<std::string> terms = SampleTextureTerms(attributes, gel_conc, rng, count);
+    desc += "the texture is ";
+    desc += Join(terms, " and ");
+    desc += " when chilled . ";
+  }
+  if (!topping_name.empty()) {
+    // Confounder: a crunchy topping word next to a non-gel texture term.
+    std::vector<const text::TextureTerm*> crunchy;
+    for (const auto& t : dictionary_->terms()) {
+      if (!t.gel_related && t.base_frequency > 0.1) crunchy.push_back(&t);
+    }
+    if (!crunchy.empty()) {
+      const text::TextureTerm* t = crunchy[rng.NextUint(crunchy.size())];
+      desc += "topped with ";
+      desc += topping_name;
+      desc += " for a ";
+      desc += t->surface;
+      desc += " accent with ";
+      desc += topping_name;
+      desc += " . ";
+    }
+  }
+  if (!fruit_name.empty()) {
+    desc += "served with ";
+    desc += fruit_name;
+    desc += " . ";
+  }
+  r.description = desc;
+
+  // --- Metadata (never visible to the model) -----------------------------
+  r.metadata[kMetaTemplate] = tmpl.name;
+  r.metadata[kMetaGelLabel] =
+      tmpl.gel2_hi > 0.0 ? std::string(gel_name(tmpl.gel1)) + "+" +
+                               gel_name(tmpl.gel2)
+                         : gel_name(tmpl.gel1);
+  r.metadata[kMetaHardness] = FormatDouble(attributes.hardness, 4);
+  r.metadata[kMetaCohesiveness] = FormatDouble(attributes.cohesiveness, 4);
+  r.metadata[kMetaAdhesiveness] = FormatDouble(attributes.adhesiveness, 4);
+  r.metadata[kMetaTextureClass] = std::to_string(TextureClassOf(attributes));
+  if (!steps.empty()) r.metadata[kMetaSteps] = Join(steps, "+");
+  return r;
+}
+
+int TextureClassOf(const TpaAttributes& attributes) {
+  int hardness_class;
+  if (attributes.hardness < 0.5) {
+    hardness_class = 0;
+  } else if (attributes.hardness < 2.5) {
+    hardness_class = 1;
+  } else {
+    hardness_class = 2;
+  }
+  int sticky = attributes.adhesiveness >= 0.3 ? 1 : 0;
+  return hardness_class * 2 + sticky;
+}
+
+int NumTextureClasses() { return 6; }
+
+const char* TextureClassName(int cls) {
+  switch (cls) {
+    case 0:
+      return "soft";
+    case 1:
+      return "soft-sticky";
+    case 2:
+      return "medium";
+    case 3:
+      return "medium-sticky";
+    case 4:
+      return "hard";
+    case 5:
+      return "hard-sticky";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace texrheo::corpus

@@ -1,0 +1,98 @@
+#ifndef TEXRHEO_CORPUS_GENERATOR_H_
+#define TEXRHEO_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/linalg.h"
+#include "recipe/recipe.h"
+#include "rheology/gel_model.h"
+#include "text/texture_dictionary.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace texrheo::corpus {
+
+/// Configuration of the synthetic Cookpad corpus.
+///
+/// The real corpus is proprietary; this generator reproduces its *observable
+/// structure*: 63,000 gel recipes split ~45k/15k/3k across gelatin / kanten /
+/// agar, of which ~10,000 carry texture terms in their descriptions and
+/// ~3,000 survive the unrelated-ingredient filter. Ground truth (dish
+/// template, simulated TPA attributes) is recorded in recipe metadata so
+/// evaluation can score what the topic model recovers.
+struct CorpusGenConfig {
+  size_t num_recipes = 63000;
+  uint64_t seed = 20220501;
+  /// Probability that a description talks about texture at all
+  /// (Cookpad: ~10k of 63k).
+  double texture_description_prob = 0.16;
+  /// Probability that a texture-describing recipe gets a crunchy topping
+  /// (nuts, cookie crumble...) that injects non-gel "crispy" terms - the
+  /// confounder the paper removes with word2vec.
+  double topping_prob = 0.15;
+  /// Number of texture terms emitted per texture-describing recipe.
+  int min_terms = 1;
+  int max_terms = 5;
+  /// Softmax temperature of attribute-conditional term sampling; lower
+  /// values give sharper (more recoverable) term signatures.
+  double term_temperature = 0.45;
+  /// Emit cooking steps (bloom / boil / whip / quick-chill / slow-set) that
+  /// modify the ground-truth rheology - e.g. boiling degrades gelatin.
+  /// Gives the rule-mining extension (the paper's future work) real
+  /// step -> texture structure to discover.
+  bool enable_cooking_steps = true;
+};
+
+/// Ground-truth metadata key holding '+'-separated cooking steps.
+inline constexpr char kMetaSteps[] = "steps";
+
+/// Ground-truth metadata keys written by the generator.
+inline constexpr char kMetaTemplate[] = "template";
+inline constexpr char kMetaGelLabel[] = "gel_label";
+inline constexpr char kMetaHardness[] = "hardness";
+inline constexpr char kMetaCohesiveness[] = "cohesiveness";
+inline constexpr char kMetaAdhesiveness[] = "adhesiveness";
+inline constexpr char kMetaTextureClass[] = "texture_class";
+
+/// Generates the synthetic corpus. Deterministic given the config seed.
+class CorpusGenerator {
+ public:
+  /// Composition ranges of one dish family (defined in the .cc).
+  struct DishTemplate;
+
+  /// `model` provides the ground-truth rheology; must outlive the generator.
+  CorpusGenerator(const CorpusGenConfig& config,
+                  const rheology::GelPhysicsModel* model,
+                  const text::TextureDictionary* dictionary);
+
+  /// Generates config.num_recipes recipes.
+  std::vector<recipe::Recipe> Generate();
+
+  /// Names of "unrelated ingredient" words that the word2vec screen should
+  /// associate with confounder texture terms (toppings).
+  static std::vector<std::string> ToppingIngredientNames();
+
+ private:
+  recipe::Recipe GenerateOne(int64_t id, const DishTemplate& tmpl, Rng& rng);
+  /// Samples texture terms conditioned on simulated TPA attributes.
+  std::vector<std::string> SampleTextureTerms(
+      const rheology::TpaAttributes& attributes,
+      const math::Vector& gel_concentration, Rng& rng, int count) const;
+
+  CorpusGenConfig config_;
+  const rheology::GelPhysicsModel* model_;
+  const text::TextureDictionary* dictionary_;
+};
+
+/// Discrete ground-truth texture class derived from TPA attributes; used as
+/// the reference labelling for clustering metrics (purity / NMI).
+/// Classes: 0 soft, 1 medium, 2 hard -x- non-sticky/sticky => 6 classes.
+int TextureClassOf(const rheology::TpaAttributes& attributes);
+int NumTextureClasses();
+const char* TextureClassName(int cls);
+
+}  // namespace texrheo::corpus
+
+#endif  // TEXRHEO_CORPUS_GENERATOR_H_

@@ -1,0 +1,78 @@
+#include "eval/coherence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace texrheo::eval {
+
+texrheo::StatusOr<TopicCoherence> ComputeUMassCoherence(
+    const std::vector<std::vector<double>>& phi,
+    const recipe::Dataset& dataset, int top_n) {
+  if (phi.empty()) return Status::InvalidArgument("coherence: no topics");
+  if (top_n < 2) return Status::InvalidArgument("coherence: top_n < 2");
+  size_t vocab = dataset.term_vocab.size();
+  for (const auto& row : phi) {
+    if (row.size() != vocab) {
+      return Status::InvalidArgument("coherence: phi/vocab size mismatch");
+    }
+  }
+
+  // Document frequencies and pairwise co-occurrence counts, restricted to
+  // the union of all topics' top terms (keeps the pair table small).
+  std::set<int32_t> candidate_terms;
+  std::vector<std::vector<int32_t>> top_terms(phi.size());
+  for (size_t k = 0; k < phi.size(); ++k) {
+    std::vector<int32_t> order(vocab);
+    for (size_t v = 0; v < vocab; ++v) order[v] = static_cast<int32_t>(v);
+    std::sort(order.begin(), order.end(), [&phi, k](int32_t a, int32_t b) {
+      return phi[k][static_cast<size_t>(a)] > phi[k][static_cast<size_t>(b)];
+    });
+    for (int i = 0; i < top_n && i < static_cast<int>(order.size()); ++i) {
+      // Skip terms with no support at all (dead vocabulary rows).
+      if (phi[k][static_cast<size_t>(order[static_cast<size_t>(i)])] <=
+          0.0) {
+        break;
+      }
+      top_terms[k].push_back(order[static_cast<size_t>(i)]);
+      candidate_terms.insert(order[static_cast<size_t>(i)]);
+    }
+  }
+
+  std::map<int32_t, int> doc_freq;
+  std::map<std::pair<int32_t, int32_t>, int> pair_freq;
+  for (const auto& doc : dataset.documents) {
+    std::set<int32_t> present;
+    for (int32_t term : doc.term_ids) {
+      if (candidate_terms.count(term)) present.insert(term);
+    }
+    for (int32_t a : present) {
+      ++doc_freq[a];
+      for (int32_t b : present) {
+        if (a < b) ++pair_freq[{a, b}];
+      }
+    }
+  }
+
+  TopicCoherence result;
+  result.per_topic.resize(phi.size(), 0.0);
+  for (size_t k = 0; k < phi.size(); ++k) {
+    const auto& terms = top_terms[k];
+    double score = 0.0;
+    for (size_t i = 1; i < terms.size(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        int32_t wi = terms[i], wj = terms[j];
+        double co = static_cast<double>(
+            pair_freq[{std::min(wi, wj), std::max(wi, wj)}]);
+        double dj = static_cast<double>(doc_freq[wj]);
+        if (dj > 0.0) score += std::log((co + 1.0) / dj);
+      }
+    }
+    result.per_topic[k] = score;
+    result.mean += score / static_cast<double>(phi.size());
+  }
+  return result;
+}
+
+}  // namespace texrheo::eval

@@ -1,0 +1,32 @@
+#ifndef TEXRHEO_EVAL_COHERENCE_H_
+#define TEXRHEO_EVAL_COHERENCE_H_
+
+#include <vector>
+
+#include "core/joint_topic_model.h"
+#include "recipe/dataset.h"
+#include "util/status.h"
+
+namespace texrheo::eval {
+
+/// UMass topic coherence (Mimno et al. 2011 — the same group whose
+/// polylingual topic model the paper builds on):
+///   C(k) = sum_{i<j in top-N terms of k} log (D(w_i, w_j) + 1) / D(w_j),
+/// where D(w) counts documents containing w and D(w_i, w_j) counts
+/// co-occurrences. Higher (closer to zero) is better; incoherent topics
+/// pair terms that never co-occur.
+struct TopicCoherence {
+  std::vector<double> per_topic;  ///< One score per topic.
+  double mean = 0.0;
+};
+
+/// Computes UMass coherence of each topic's `top_n` most probable terms
+/// over the dataset's documents. Topics whose phi row is empty (e.g. a
+/// dead topic) score 0.
+texrheo::StatusOr<TopicCoherence> ComputeUMassCoherence(
+    const std::vector<std::vector<double>>& phi,
+    const recipe::Dataset& dataset, int top_n = 8);
+
+}  // namespace texrheo::eval
+
+#endif  // TEXRHEO_EVAL_COHERENCE_H_

@@ -1,0 +1,107 @@
+#include "eval/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/running_stats.h"
+
+namespace texrheo::eval {
+namespace {
+
+// Autocovariance of the trace at the given lag (biased, 1/n normalizer,
+// as customary for ESS estimation).
+double Autocovariance(const std::vector<double>& trace, double mean,
+                      size_t lag) {
+  double sum = 0.0;
+  for (size_t i = 0; i + lag < trace.size(); ++i) {
+    sum += (trace[i] - mean) * (trace[i + lag] - mean);
+  }
+  return sum / static_cast<double>(trace.size());
+}
+
+}  // namespace
+
+texrheo::StatusOr<GewekeResult> GewekeDiagnostic(
+    const std::vector<double>& trace, double first, double last) {
+  if (first <= 0.0 || last <= 0.0 || first + last > 1.0) {
+    return Status::InvalidArgument("geweke: fractions must be positive and "
+                                   "sum to at most 1");
+  }
+  size_t n = trace.size();
+  size_t n_first = static_cast<size_t>(first * static_cast<double>(n));
+  size_t n_last = static_cast<size_t>(last * static_cast<double>(n));
+  if (n_first < 2 || n_last < 2) {
+    return Status::InvalidArgument("geweke: trace too short");
+  }
+  math::RunningStats early, late;
+  for (size_t i = 0; i < n_first; ++i) early.Add(trace[i]);
+  for (size_t i = n - n_last; i < n; ++i) late.Add(trace[i]);
+  GewekeResult result;
+  result.early_mean = early.mean();
+  result.late_mean = late.mean();
+  double var = early.variance() / static_cast<double>(early.count()) +
+               late.variance() / static_cast<double>(late.count());
+  result.z_score = var > 0.0
+                       ? (early.mean() - late.mean()) / std::sqrt(var)
+                       : 0.0;
+  return result;
+}
+
+texrheo::StatusOr<double> EffectiveSampleSize(
+    const std::vector<double>& trace) {
+  size_t n = trace.size();
+  if (n < 4) return Status::InvalidArgument("ess: trace too short");
+  math::RunningStats stats;
+  for (double v : trace) stats.Add(v);
+  double c0 = Autocovariance(trace, stats.mean(), 0);
+  if (c0 <= 0.0) return static_cast<double>(n);  // Constant trace.
+
+  // Geyer's initial positive sequence: sum pairs of autocovariances while
+  // the pair sums stay positive.
+  double rho_sum = 0.0;
+  for (size_t lag = 1; lag + 1 < n; lag += 2) {
+    double pair = Autocovariance(trace, stats.mean(), lag) +
+                  Autocovariance(trace, stats.mean(), lag + 1);
+    if (pair <= 0.0) break;
+    rho_sum += pair / c0;
+  }
+  double ess = static_cast<double>(n) / (1.0 + 2.0 * rho_sum);
+  return std::clamp(ess, 1.0, static_cast<double>(n));
+}
+
+texrheo::StatusOr<double> PotentialScaleReduction(
+    const std::vector<std::vector<double>>& chains) {
+  if (chains.size() < 2) {
+    return Status::InvalidArgument("r-hat: need >= 2 chains");
+  }
+  size_t n = chains.front().size();
+  if (n < 4) return Status::InvalidArgument("r-hat: chains too short");
+  for (const auto& chain : chains) {
+    if (chain.size() != n) {
+      return Status::InvalidArgument("r-hat: chains must have equal length");
+    }
+  }
+  double m = static_cast<double>(chains.size());
+  double nn = static_cast<double>(n);
+
+  std::vector<double> chain_means;
+  double grand_mean = 0.0;
+  double within = 0.0;
+  for (const auto& chain : chains) {
+    math::RunningStats stats;
+    for (double v : chain) stats.Add(v);
+    chain_means.push_back(stats.mean());
+    grand_mean += stats.mean() / m;
+    within += stats.variance() / m;
+  }
+  double between = 0.0;
+  for (double mean : chain_means) {
+    between += (mean - grand_mean) * (mean - grand_mean);
+  }
+  between *= nn / (m - 1.0);
+  if (within <= 0.0) return 1.0;  // All chains constant and equal-ish.
+  double var_plus = (nn - 1.0) / nn * within + between / nn;
+  return std::sqrt(var_plus / within);
+}
+
+}  // namespace texrheo::eval

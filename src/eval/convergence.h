@@ -1,0 +1,37 @@
+#ifndef TEXRHEO_EVAL_CONVERGENCE_H_
+#define TEXRHEO_EVAL_CONVERGENCE_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace texrheo::eval {
+
+/// MCMC convergence diagnostics for the Gibbs samplers' likelihood traces.
+/// The paper reports results "after the convergence of Gibbs sampling"
+/// without a criterion; these are the standard tools for checking one.
+
+/// Geweke (1992) diagnostic: compares the mean of the first `first`
+/// fraction of the chain against the last `last` fraction. |z| < 2 is the
+/// customary "no evidence against convergence" reading.
+struct GewekeResult {
+  double z_score = 0.0;
+  double early_mean = 0.0;
+  double late_mean = 0.0;
+};
+texrheo::StatusOr<GewekeResult> GewekeDiagnostic(
+    const std::vector<double>& trace, double first = 0.1, double last = 0.5);
+
+/// Effective sample size via the initial-positive-sequence estimator over
+/// autocorrelations (Geyer 1992). Bounded to [1, n].
+texrheo::StatusOr<double> EffectiveSampleSize(
+    const std::vector<double>& trace);
+
+/// Gelman-Rubin potential scale reduction factor (R-hat) over >= 2 chains
+/// of equal length. Values near 1 indicate the chains agree.
+texrheo::StatusOr<double> PotentialScaleReduction(
+    const std::vector<std::vector<double>>& chains);
+
+}  // namespace texrheo::eval
+
+#endif  // TEXRHEO_EVAL_CONVERGENCE_H_

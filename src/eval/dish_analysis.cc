@@ -1,0 +1,38 @@
+#include "eval/dish_analysis.h"
+
+#include "core/linkage.h"
+
+namespace texrheo::eval {
+
+texrheo::StatusOr<DishAnalysis> AnalyzeDish(
+    const ExperimentResult& result, const rheology::EmulsionDish& dish,
+    int fig3_bins) {
+  DishAnalysis analysis;
+  analysis.dish_name = dish.name;
+
+  // 1. Topic assignment by gel-concentration similarity (as in Table II(b)).
+  recipe::FeatureConfig feature_config;  // Matches DatasetConfig default.
+  TEXRHEO_ASSIGN_OR_RETURN(
+      core::SettingLinkage link,
+      core::LinkConcentrationToTopic(result.estimates, dish.gel,
+                                     feature_config));
+  analysis.assigned_topic = link.topic;
+  analysis.assignment_divergence = link.divergence;
+
+  // 2. Rank the topic's recipes by emulsion KL to the dish.
+  std::vector<size_t> docs = DocsInTopic(result.estimates, link.topic);
+  TEXRHEO_ASSIGN_OR_RETURN(
+      analysis.ranked,
+      RankByEmulsionKL(result.dataset, docs, dish.emulsion));
+
+  // 3. Figures.
+  const auto& dict = text::TextureDictionary::Embedded();
+  TEXRHEO_ASSIGN_OR_RETURN(
+      analysis.fig3_bins,
+      BuildFig3Histogram(result.dataset, analysis.ranked, dict, fig3_bins));
+  analysis.fig4_points = BuildFig4Points(result.dataset, analysis.ranked, dict);
+  analysis.topic_centroid = AxisCentroid(result.dataset, docs, dict);
+  return analysis;
+}
+
+}  // namespace texrheo::eval

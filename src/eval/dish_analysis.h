@@ -1,0 +1,39 @@
+#ifndef TEXRHEO_EVAL_DISH_ANALYSIS_H_
+#define TEXRHEO_EVAL_DISH_ANALYSIS_H_
+
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/figures.h"
+#include "rheology/empirical_data.h"
+#include "util/status.h"
+
+namespace texrheo::eval {
+
+/// Section V.B of the paper applied to one emulsion-gel dish: assign the
+/// dish to its most similar topic by gel KL, rank that topic's recipes by
+/// emulsion-concentration KL, and derive the Figure 3 histograms and
+/// Figure 4 scatter data.
+struct DishAnalysis {
+  std::string dish_name;
+  int assigned_topic = 0;
+  double assignment_divergence = 0.0;
+  /// Recipes of the assigned topic, nearest emulsion profile first.
+  std::vector<RankedRecipe> ranked;
+  /// Figure 3 bins (hard/soft and elastic/crumbly tallies per KL band).
+  std::vector<Fig3Bin> fig3_bins;
+  /// Figure 4 scatter points with KL color buckets.
+  std::vector<Fig4Point> fig4_points;
+  /// The topic's own centroid on the consolidated axes (the "star").
+  Fig4Point topic_centroid;
+};
+
+/// Runs the full Section V.B analysis for `dish` against a trained
+/// experiment result.
+texrheo::StatusOr<DishAnalysis> AnalyzeDish(
+    const ExperimentResult& result, const rheology::EmulsionDish& dish,
+    int fig3_bins = 6);
+
+}  // namespace texrheo::eval
+
+#endif  // TEXRHEO_EVAL_DISH_ANALYSIS_H_

@@ -1,0 +1,166 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace texrheo::eval {
+
+ExperimentConfig DefaultExperimentConfig(double scale) {
+  ExperimentConfig config;
+  config.corpus.num_recipes = static_cast<size_t>(
+      std::max(200.0, 63000.0 * scale));
+  config.model.num_topics = 10;
+  config.model.sweeps = scale >= 0.5 ? 250 : 150;
+  config.model.burn_in_sweeps = config.model.sweeps / 3;
+  config.word2vec.dim = 32;
+  config.word2vec.epochs = scale >= 0.5 ? 2 : 3;
+  return config;
+}
+
+texrheo::StatusOr<ExperimentResult> RunJointExperiment(
+    const ExperimentConfig& config) {
+  ExperimentResult result;
+
+  // 1. Synthetic Cookpad corpus.
+  corpus::CorpusGenerator generator(config.corpus,
+                                    &rheology::GelPhysicsModel::Calibrated(),
+                                    &text::TextureDictionary::Embedded());
+  result.recipes = generator.Generate();
+  TEXRHEO_LOG(Info) << "generated " << result.recipes.size() << " recipes";
+
+  // 2. word2vec gel-relatedness screen (paper Section III.A).
+  std::unique_ptr<text::Word2Vec> w2v;
+  std::unique_ptr<text::GelRelatednessFilter> filter;
+  if (config.use_word2vec_filter) {
+    std::vector<std::vector<std::string>> sentences;
+    sentences.reserve(result.recipes.size());
+    for (const auto& r : result.recipes) {
+      sentences.push_back(text::Tokenizer::Tokenize(r.description));
+    }
+    TEXRHEO_ASSIGN_OR_RETURN(text::Word2Vec trained,
+                             text::Word2Vec::Train(sentences, config.word2vec));
+    w2v = std::make_unique<text::Word2Vec>(std::move(trained));
+    filter = std::make_unique<text::GelRelatednessFilter>(
+        w2v.get(), corpus::CorpusGenerator::ToppingIngredientNames(),
+        config.filter);
+    TEXRHEO_LOG(Info) << "word2vec trained, vocab " << w2v->vocab().size();
+  }
+
+  // 3. Dataset funnel.
+  TEXRHEO_ASSIGN_OR_RETURN(
+      result.dataset,
+      recipe::BuildDataset(result.recipes,
+                           recipe::IngredientDatabase::Embedded(),
+                           text::TextureDictionary::Embedded(), filter.get(),
+                           config.dataset));
+  TEXRHEO_LOG(Info) << "dataset: " << result.dataset.documents.size()
+                    << " documents, " << result.dataset.term_vocab.size()
+                    << " distinct terms";
+  if (result.dataset.documents.empty()) {
+    return Status::FailedPrecondition(
+        "experiment: dataset funnel produced no documents");
+  }
+
+  // 4. Joint topic model.
+  TEXRHEO_ASSIGN_OR_RETURN(
+      core::JointTopicModel model,
+      core::JointTopicModel::Create(config.model, &result.dataset));
+  TEXRHEO_RETURN_IF_ERROR(model.Train());
+  result.estimates = model.Estimate();
+  result.resolved_model_config = model.config();
+  result.final_log_likelihood = model.LogJointLikelihood();
+  TEXRHEO_LOG(Info) << "model trained, final LL "
+                    << result.final_log_likelihood;
+
+  // 5. Link Table I settings to topics.
+  TEXRHEO_ASSIGN_OR_RETURN(
+      result.setting_links,
+      core::LinkSettingsToTopics(result.estimates, rheology::TableI(),
+                                 config.dataset.feature, config.linkage));
+
+  // 6. Per-topic summaries.
+  int k_count = config.model.num_topics;
+  for (int k = 0; k < k_count; ++k) {
+    TopicSummary summary;
+    summary.topic = k;
+    summary.recipe_count =
+        result.estimates.topic_recipe_count[static_cast<size_t>(k)];
+
+    // The topic's gel concentrations are the expectation mu_k of its
+    // Gaussian (paper Section III.B), mapped back from -log feature space.
+    math::Vector mean_conc = recipe::FromFeature(
+        result.estimates.gel_topics[static_cast<size_t>(k)].mean(),
+        config.dataset.feature);
+    std::vector<std::string> gel_parts;
+    for (int g = 0; g < recipe::kNumGelTypes; ++g) {
+      if (mean_conc[static_cast<size_t>(g)] >= 5e-4) {
+        gel_parts.push_back(
+            std::string(GelTypeName(static_cast<recipe::GelType>(g))) + ":" +
+            FormatDouble(mean_conc[static_cast<size_t>(g)], 3));
+      }
+    }
+    summary.gel_description = Join(gel_parts, " ");
+
+    // Top terms by phi.
+    const auto& phi_k = result.estimates.phi[static_cast<size_t>(k)];
+    std::vector<size_t> order(phi_k.size());
+    for (size_t v = 0; v < order.size(); ++v) order[v] = v;
+    std::sort(order.begin(), order.end(),
+              [&phi_k](size_t a, size_t b) { return phi_k[a] > phi_k[b]; });
+    for (size_t rank = 0; rank < order.size() && rank < 10; ++rank) {
+      size_t v = order[rank];
+      if (phi_k[v] < 0.02) break;
+      summary.top_terms.emplace_back(
+          result.dataset.term_vocab.WordOf(static_cast<int32_t>(v)),
+          phi_k[v]);
+    }
+
+    for (const auto& link : result.setting_links) {
+      if (link.topic == k) summary.linked_settings.push_back(link.setting_id);
+    }
+    result.topics.push_back(std::move(summary));
+  }
+  return result;
+}
+
+std::vector<size_t> DocsInTopic(const core::TopicEstimates& estimates,
+                                int topic) {
+  std::vector<size_t> out;
+  for (size_t d = 0; d < estimates.doc_topic.size(); ++d) {
+    if (estimates.doc_topic[d] == topic) out.push_back(d);
+  }
+  return out;
+}
+
+std::string FormatTopicTable(const ExperimentResult& result) {
+  TablePrinter table(
+      {"Topic", "Gels:concentration", "Texture terms", "#Recipes", "Table I"});
+  // Order topics by mean gel concentration label for readability
+  // (paper groups gelatin topics, then mixes, then kanten).
+  std::vector<const TopicSummary*> ordered;
+  for (const auto& t : result.topics) ordered.push_back(&t);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TopicSummary* a, const TopicSummary* b) {
+              return a->gel_description < b->gel_description;
+            });
+  for (const TopicSummary* t : ordered) {
+    std::vector<std::string> term_parts;
+    for (const auto& [term, prob] : t->top_terms) {
+      term_parts.push_back(term + "(" + FormatDouble(prob, 3) + ")");
+    }
+    std::vector<std::string> link_parts;
+    for (int id : t->linked_settings) link_parts.push_back(std::to_string(id));
+    table.AddRow({std::to_string(t->topic), t->gel_description,
+                  Join(term_parts, " "), std::to_string(t->recipe_count),
+                  Join(link_parts, ",")});
+  }
+  return table.ToString();
+}
+
+}  // namespace texrheo::eval

@@ -1,0 +1,72 @@
+#ifndef TEXRHEO_EVAL_EXPERIMENT_H_
+#define TEXRHEO_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/joint_topic_model.h"
+#include "core/linkage.h"
+#include "corpus/generator.h"
+#include "recipe/dataset.h"
+#include "text/word2vec.h"
+#include "util/status.h"
+
+namespace texrheo::eval {
+
+/// End-to-end experiment configuration: corpus -> word2vec screen ->
+/// dataset funnel -> joint topic model -> empirical linkage.
+struct ExperimentConfig {
+  corpus::CorpusGenConfig corpus;
+  recipe::DatasetConfig dataset;
+  core::JointTopicModelConfig model;
+  text::Word2VecConfig word2vec;
+  text::GelRelatednessFilter::Config filter;
+  bool use_word2vec_filter = true;
+  core::LinkageOptions linkage;
+};
+
+/// Returns a configuration scaled down by `scale` (recipe count) with a
+/// proportionally lighter Gibbs schedule; scale = 1.0 is the paper-sized
+/// run (63,000 recipes).
+ExperimentConfig DefaultExperimentConfig(double scale = 1.0);
+
+/// Human-readable description of one recovered topic (one row of the
+/// paper's Table II(a)).
+struct TopicSummary {
+  int topic = 0;
+  int recipe_count = 0;
+  /// Mean gel concentration of assigned recipes, e.g. "gelatin:0.012".
+  std::string gel_description;
+  /// Top terms with phi probabilities, descending.
+  std::vector<std::pair<std::string, double>> top_terms;
+  /// Table I setting ids whose nearest topic is this one.
+  std::vector<int> linked_settings;
+};
+
+/// Everything the benches and examples need from one experiment run.
+struct ExperimentResult {
+  std::vector<recipe::Recipe> recipes;
+  recipe::Dataset dataset;
+  core::TopicEstimates estimates;
+  /// Model config with resolved (auto) priors, needed for further linkage.
+  core::JointTopicModelConfig resolved_model_config;
+  std::vector<core::SettingLinkage> setting_links;  ///< One per Table I row.
+  std::vector<TopicSummary> topics;                 ///< One per topic.
+  double final_log_likelihood = 0.0;
+};
+
+/// Runs the full pipeline. Deterministic given the config seeds.
+texrheo::StatusOr<ExperimentResult> RunJointExperiment(
+    const ExperimentConfig& config);
+
+/// Indices of dataset documents hard-assigned to `topic`.
+std::vector<size_t> DocsInTopic(const core::TopicEstimates& estimates,
+                                int topic);
+
+/// Renders the Table II(a) reproduction as an aligned ASCII table.
+std::string FormatTopicTable(const ExperimentResult& result);
+
+}  // namespace texrheo::eval
+
+#endif  // TEXRHEO_EVAL_EXPERIMENT_H_

@@ -1,0 +1,115 @@
+#include "eval/heldout.h"
+
+#include <cmath>
+
+#include "math/special.h"
+#include "util/rng.h"
+
+namespace texrheo::eval {
+
+HeldOutSplit SplitDataset(const recipe::Dataset& dataset,
+                          double test_fraction, uint64_t seed) {
+  HeldOutSplit split;
+  // Share the full vocabulary so term ids stay valid on both sides.
+  for (size_t id = 0; id < dataset.term_vocab.size(); ++id) {
+    split.train.term_vocab.Add(
+        dataset.term_vocab.WordOf(static_cast<int32_t>(id)));
+    split.test.term_vocab.Add(
+        dataset.term_vocab.WordOf(static_cast<int32_t>(id)));
+  }
+  Rng rng(seed);
+  for (const auto& doc : dataset.documents) {
+    (rng.NextBernoulli(test_fraction) ? split.test : split.train)
+        .documents.push_back(doc);
+  }
+  split.train.funnel.final_dataset = split.train.documents.size();
+  split.test.funnel.final_dataset = split.test.documents.size();
+  split.train.funnel.distinct_terms = split.train.term_vocab.size();
+  split.test.funnel.distinct_terms = split.test.term_vocab.size();
+  return split;
+}
+
+texrheo::StatusOr<double> ConcentrationConditionalPerplexity(
+    const core::TopicEstimates& estimates,
+    const core::JointTopicModelConfig& config, const recipe::Dataset& test) {
+  if (test.documents.empty()) {
+    return Status::InvalidArgument("held-out: empty test set");
+  }
+  if (estimates.phi.empty() || estimates.gel_topics.empty()) {
+    return Status::InvalidArgument("held-out: estimates missing topics");
+  }
+  size_t k_count = estimates.phi.size();
+  std::vector<double> log_w(k_count);
+
+  double total_log_prob = 0.0;
+  int64_t total_tokens = 0;
+  for (const auto& doc : test.documents) {
+    if (doc.term_ids.empty()) continue;
+    // p(k | g, e).
+    for (size_t k = 0; k < k_count; ++k) {
+      double prior =
+          (k < estimates.topic_recipe_count.size()
+               ? static_cast<double>(estimates.topic_recipe_count[k])
+               : 0.0) +
+          config.alpha;
+      log_w[k] = std::log(prior) +
+                 estimates.gel_topics[k].LogPdf(doc.gel_feature);
+      if (config.use_emulsion_likelihood &&
+          k < estimates.emulsion_topics.size()) {
+        log_w[k] += estimates.emulsion_topics[k].LogPdf(doc.emulsion_feature);
+      }
+    }
+    double norm = math::LogSumExp(log_w.data(), log_w.size());
+    // In the generative model a word topic z is drawn from theta_d, not
+    // from y_d directly; given y_d = j and no observed words,
+    // E[theta_k | y=j] = (alpha + [k==j]) / (K alpha + 1). Marginalizing
+    // over y gives the word-topic mixture used below.
+    double alpha_norm =
+        config.alpha * static_cast<double>(k_count) + 1.0;
+    std::vector<double> p_word_topic(k_count,
+                                     config.alpha / alpha_norm);
+    for (size_t j = 0; j < k_count; ++j) {
+      p_word_topic[j] += std::exp(log_w[j] - norm) / alpha_norm;
+    }
+    for (int32_t term : doc.term_ids) {
+      double p = 0.0;
+      for (size_t k = 0; k < k_count; ++k) {
+        p += p_word_topic[k] * estimates.phi[k][static_cast<size_t>(term)];
+      }
+      total_log_prob += std::log(std::max(p, 1e-300));
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) {
+    return Status::InvalidArgument("held-out: no test tokens");
+  }
+  return std::exp(-total_log_prob / static_cast<double>(total_tokens));
+}
+
+texrheo::StatusOr<double> UnigramPerplexity(const recipe::Dataset& train,
+                                            const recipe::Dataset& test) {
+  size_t vocab = train.term_vocab.size();
+  if (vocab == 0) return Status::InvalidArgument("unigram: empty vocabulary");
+  std::vector<double> counts(vocab, 1.0);  // Add-one smoothing.
+  double total = static_cast<double>(vocab);
+  for (const auto& doc : train.documents) {
+    for (int32_t term : doc.term_ids) {
+      counts[static_cast<size_t>(term)] += 1.0;
+      total += 1.0;
+    }
+  }
+  double total_log_prob = 0.0;
+  int64_t total_tokens = 0;
+  for (const auto& doc : test.documents) {
+    for (int32_t term : doc.term_ids) {
+      total_log_prob += std::log(counts[static_cast<size_t>(term)] / total);
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) {
+    return Status::InvalidArgument("unigram: no test tokens");
+  }
+  return std::exp(-total_log_prob / static_cast<double>(total_tokens));
+}
+
+}  // namespace texrheo::eval

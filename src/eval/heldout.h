@@ -1,0 +1,42 @@
+#ifndef TEXRHEO_EVAL_HELDOUT_H_
+#define TEXRHEO_EVAL_HELDOUT_H_
+
+#include <cstdint>
+
+#include "core/joint_topic_model.h"
+#include "recipe/dataset.h"
+#include "util/status.h"
+
+namespace texrheo::eval {
+
+/// A train/test split of a model dataset. Both halves share the full
+/// term vocabulary so phi rows line up.
+struct HeldOutSplit {
+  recipe::Dataset train;
+  recipe::Dataset test;
+};
+
+/// Randomly assigns each document to test with probability `test_fraction`.
+HeldOutSplit SplitDataset(const recipe::Dataset& dataset,
+                          double test_fraction, uint64_t seed);
+
+/// The paper's end task, as a measurable quantity: predict a recipe's
+/// sensory texture terms from its concentration vectors alone.
+/// For each held-out document,
+///   p(w | g, e) = sum_k p(k | g, e) phi_k(w),
+///   p(k | g, e) propto (recipe_count_k + alpha) N(g | topic k) [N(e | .)],
+/// and the score is exp(-mean log p) over all held-out term tokens.
+/// Lower is better; compare against UnigramPerplexity to see how much the
+/// concentrations inform the terms.
+texrheo::StatusOr<double> ConcentrationConditionalPerplexity(
+    const core::TopicEstimates& estimates,
+    const core::JointTopicModelConfig& config, const recipe::Dataset& test);
+
+/// Reference point: perplexity of the same tokens under the train-side
+/// unigram distribution (add-one smoothed), which ignores concentrations.
+texrheo::StatusOr<double> UnigramPerplexity(const recipe::Dataset& train,
+                                            const recipe::Dataset& test);
+
+}  // namespace texrheo::eval
+
+#endif  // TEXRHEO_EVAL_HELDOUT_H_

@@ -1,0 +1,89 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace texrheo::eval {
+namespace {
+
+// n-choose-2 as a double (inputs are counts, no overflow concern at our
+// corpus sizes once in floating point).
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+texrheo::StatusOr<ClusteringScores> ScoreClustering(
+    const std::vector<int>& predicted, const std::vector<int>& truth) {
+  if (predicted.size() != truth.size()) {
+    return Status::InvalidArgument("clustering scores: length mismatch");
+  }
+  if (predicted.empty()) {
+    return Status::InvalidArgument("clustering scores: empty input");
+  }
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] < 0 || truth[i] < 0) {
+      return Status::InvalidArgument("clustering scores: negative label");
+    }
+  }
+  double n = static_cast<double>(predicted.size());
+
+  // Contingency counts.
+  std::map<std::pair<int, int>, double> joint;
+  std::map<int, double> pred_count, true_count;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    joint[{predicted[i], truth[i]}] += 1.0;
+    pred_count[predicted[i]] += 1.0;
+    true_count[truth[i]] += 1.0;
+  }
+
+  ClusteringScores scores;
+
+  // Purity.
+  std::map<int, double> cluster_max;
+  for (const auto& [key, count] : joint) {
+    double& m = cluster_max[key.first];
+    m = std::max(m, count);
+  }
+  double purity_sum = 0.0;
+  for (const auto& [cluster, m] : cluster_max) purity_sum += m;
+  scores.purity = purity_sum / n;
+
+  // NMI with arithmetic-mean normalization.
+  double mi = 0.0;
+  for (const auto& [key, count] : joint) {
+    double pxy = count / n;
+    double px = pred_count[key.first] / n;
+    double py = true_count[key.second] / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  double h_pred = 0.0, h_true = 0.0;
+  for (const auto& [cluster, count] : pred_count) {
+    double p = count / n;
+    h_pred -= p * std::log(p);
+  }
+  for (const auto& [label, count] : true_count) {
+    double p = count / n;
+    h_true -= p * std::log(p);
+  }
+  double denom = 0.5 * (h_pred + h_true);
+  scores.nmi = denom > 0.0 ? mi / denom : (mi == 0.0 ? 1.0 : 0.0);
+  scores.nmi = std::clamp(scores.nmi, 0.0, 1.0);
+
+  // Adjusted Rand index.
+  double sum_joint = 0.0;
+  for (const auto& [key, count] : joint) sum_joint += Choose2(count);
+  double sum_pred = 0.0;
+  for (const auto& [cluster, count] : pred_count) sum_pred += Choose2(count);
+  double sum_true = 0.0;
+  for (const auto& [label, count] : true_count) sum_true += Choose2(count);
+  double total_pairs = Choose2(n);
+  double expected = sum_pred * sum_true / total_pairs;
+  double max_index = 0.5 * (sum_pred + sum_true);
+  double denom_ari = max_index - expected;
+  scores.ari = denom_ari != 0.0 ? (sum_joint - expected) / denom_ari
+                                : (sum_joint == expected ? 0.0 : 1.0);
+  return scores;
+}
+
+}  // namespace texrheo::eval

@@ -1,0 +1,28 @@
+#ifndef TEXRHEO_EVAL_METRICS_H_
+#define TEXRHEO_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace texrheo::eval {
+
+/// External clustering quality scores against a reference labelling.
+/// The synthetic corpus records ground-truth texture classes, so unlike the
+/// paper (which could only inspect topics qualitatively) this reproduction
+/// can score topic assignments directly.
+struct ClusteringScores {
+  double purity = 0.0;  ///< Fraction of items in their cluster's majority class.
+  double nmi = 0.0;     ///< Normalized mutual information (arithmetic mean norm).
+  double ari = 0.0;     ///< Adjusted Rand index.
+};
+
+/// Computes purity, NMI and ARI of `predicted` clusters against `truth`
+/// labels. Labels may be any non-negative integers; the two vectors must
+/// have equal, nonzero length.
+texrheo::StatusOr<ClusteringScores> ScoreClustering(
+    const std::vector<int>& predicted, const std::vector<int>& truth);
+
+}  // namespace texrheo::eval
+
+#endif  // TEXRHEO_EVAL_METRICS_H_

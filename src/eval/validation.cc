@@ -1,0 +1,178 @@
+#include "eval/validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace texrheo::eval {
+namespace {
+
+// Spearman rank correlation between two equal-length series.
+double SpearmanRank(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  size_t n = a.size();
+  if (n < 3 || b.size() != n) return 0.0;
+  auto ranks = [n](const std::vector<double>& v) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&v](size_t x, size_t y) { return v[x] < v[y]; });
+    // Midranks: tied values share the average of their positions, which
+    // matters here because pole shares saturate at 0 or 1.
+    std::vector<double> r(n);
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+      double midrank = 0.5 * static_cast<double>(i + j);
+      for (size_t x = i; x <= j; ++x) r[order[x]] = midrank;
+      i = j + 1;
+    }
+    return r;
+  };
+  std::vector<double> ra = ranks(a), rb = ranks(b);
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += ra[i] / static_cast<double>(n);
+    mb += rb[i] / static_cast<double>(n);
+  }
+  double num = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    num += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  double denom = std::sqrt(va * vb);
+  return denom > 0.0 ? num / denom : 0.0;
+}
+
+// Median of the Table I values of one attribute.
+double AttributeMedian(double rheology::TpaAttributes::*member) {
+  std::vector<double> values;
+  for (const auto& row : rheology::TableI()) {
+    values.push_back(row.attributes.*member);
+  }
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+texrheo::StatusOr<ValidationSummary> ValidateLinkage(
+    const ExperimentResult& result) {
+  const auto& dict = text::TextureDictionary::Embedded();
+  if (result.setting_links.size() != rheology::TableI().size()) {
+    return Status::FailedPrecondition(
+        "validation requires one linkage per Table I row");
+  }
+  double hardness_median =
+      AttributeMedian(&rheology::TpaAttributes::hardness);
+  double cohesiveness_median =
+      AttributeMedian(&rheology::TpaAttributes::cohesiveness);
+  double adhesiveness_median =
+      AttributeMedian(&rheology::TpaAttributes::adhesiveness);
+
+  ValidationSummary summary;
+  int checks = 0, agreements = 0;
+  for (const auto& link : result.setting_links) {
+    const auto& row =
+        rheology::TableI()[static_cast<size_t>(link.setting_id - 1)];
+    LinkageValidation v;
+    v.setting_id = link.setting_id;
+    v.topic = link.topic;
+
+    // Phi-mass pole shares of the linked topic.
+    double hard = 0, soft = 0, elastic = 0, crumbly = 0, sticky = 0, dry = 0;
+    const auto& phi_k =
+        result.estimates.phi[static_cast<size_t>(link.topic)];
+    for (size_t term_id = 0; term_id < phi_k.size(); ++term_id) {
+      const text::TextureTerm* term = dict.Find(
+          result.dataset.term_vocab.WordOf(static_cast<int32_t>(term_id)));
+      if (term == nullptr) continue;
+      double mass = phi_k[term_id];
+      hard += text::IsHardTerm(*term) ? mass : 0.0;
+      soft += text::IsSoftTerm(*term) ? mass : 0.0;
+      elastic += text::IsElasticTerm(*term) ? mass : 0.0;
+      crumbly += text::IsCrumblyTerm(*term) ? mass : 0.0;
+      sticky += text::IsStickyTerm(*term) ? mass : 0.0;
+      if (term->axis == text::TextureAxis::kAdhesiveness &&
+          term->polarity < 0) {
+        dry += mass;
+      }
+    }
+    auto share = [](double pole, double anti) {
+      double total = pole + anti;
+      return total > 0.0 ? pole / total : 0.5;
+    };
+    v.hard_share = share(hard, soft);
+    v.elastic_share = share(elastic, crumbly);
+    v.sticky_share = share(sticky, dry);
+
+    v.expects_hard = row.attributes.hardness > hardness_median;
+    v.expects_elastic = row.attributes.cohesiveness > cohesiveness_median;
+    v.expects_sticky = row.attributes.adhesiveness > adhesiveness_median;
+
+    v.hardness_consistent = v.expects_hard == (v.hard_share > 0.5);
+    v.cohesiveness_consistent =
+        v.expects_elastic == (v.elastic_share > 0.5);
+    v.adhesiveness_consistent = v.expects_sticky == (v.sticky_share > 0.5);
+    checks += 3;
+    agreements += static_cast<int>(v.hardness_consistent) +
+                  static_cast<int>(v.cohesiveness_consistent) +
+                  static_cast<int>(v.adhesiveness_consistent);
+    summary.rows.push_back(v);
+  }
+  summary.agreement =
+      checks > 0 ? static_cast<double>(agreements) / checks : 0.0;
+  // Rank correlations across rows: a shape statement that does not depend
+  // on a threshold choice.
+  std::vector<double> hardness, cohesiveness, adhesiveness;
+  std::vector<double> hard_shares, elastic_shares, sticky_shares;
+  for (const auto& v : summary.rows) {
+    const auto& row =
+        rheology::TableI()[static_cast<size_t>(v.setting_id - 1)];
+    hardness.push_back(row.attributes.hardness);
+    cohesiveness.push_back(row.attributes.cohesiveness);
+    adhesiveness.push_back(row.attributes.adhesiveness);
+    hard_shares.push_back(v.hard_share);
+    elastic_shares.push_back(v.elastic_share);
+    sticky_shares.push_back(v.sticky_share);
+  }
+  summary.hardness_rank_correlation = SpearmanRank(hardness, hard_shares);
+  summary.cohesiveness_rank_correlation =
+      SpearmanRank(cohesiveness, elastic_shares);
+  summary.adhesiveness_rank_correlation =
+      SpearmanRank(adhesiveness, sticky_shares);
+  return summary;
+}
+
+std::string FormatValidation(const ValidationSummary& summary) {
+  TablePrinter table({"Row", "Topic", "hard share", "expects hard",
+                      "elastic share", "expects elastic", "sticky share",
+                      "expects sticky", "axes consistent"});
+  for (const auto& v : summary.rows) {
+    int consistent = static_cast<int>(v.hardness_consistent) +
+                     static_cast<int>(v.cohesiveness_consistent) +
+                     static_cast<int>(v.adhesiveness_consistent);
+    table.AddRow({std::to_string(v.setting_id), std::to_string(v.topic),
+                  FormatDouble(v.hard_share, 2), v.expects_hard ? "y" : "n",
+                  FormatDouble(v.elastic_share, 2),
+                  v.expects_elastic ? "y" : "n",
+                  FormatDouble(v.sticky_share, 2),
+                  v.expects_sticky ? "y" : "n",
+                  std::to_string(consistent) + "/3"});
+  }
+  return table.ToString() +
+         StrFormat("overall (row, axis) agreement: %.0f%%\n",
+                   100.0 * summary.agreement) +
+         StrFormat(
+             "Spearman rank correlations (attribute vs pole share): "
+             "hardness %.2f, cohesiveness %.2f, adhesiveness %.2f\n",
+             summary.hardness_rank_correlation,
+             summary.cohesiveness_rank_correlation,
+             summary.adhesiveness_rank_correlation);
+}
+
+}  // namespace texrheo::eval

@@ -1,0 +1,63 @@
+#ifndef TEXRHEO_EVAL_VALIDATION_H_
+#define TEXRHEO_EVAL_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "rheology/empirical_data.h"
+#include "text/texture_dictionary.h"
+#include "util/status.h"
+
+namespace texrheo::eval {
+
+/// The paper's linkage-validation step (Section III.C.4): "the linkages are
+/// validated by referring to the dictionary, where each texture term is
+/// annotated by the category representing quantitative attributes."
+///
+/// For each Table I row, compare the *measured* attribute profile against
+/// the *dictionary categories* of the linked topic's top terms: a row with
+/// high measured hardness should link to a topic whose phi mass leans to
+/// hard-pole terms, a row with high cohesiveness to elastic-pole terms, a
+/// row with high adhesiveness to sticky-pole terms.
+struct LinkageValidation {
+  int setting_id = 0;
+  int topic = 0;
+  /// Phi-mass shares of the linked topic on each dictionary pole
+  /// (mass on the pole divided by mass on the axis; 0.5 = neutral).
+  double hard_share = 0.5;     ///< hard / (hard + soft).
+  double elastic_share = 0.5;  ///< elastic / (elastic + crumbly).
+  double sticky_share = 0.5;   ///< sticky / (sticky + dry).
+  /// The poles the measured attributes point to.
+  bool expects_hard = false;     ///< hardness above the Table I median.
+  bool expects_elastic = false;  ///< cohesiveness above the median.
+  bool expects_sticky = false;   ///< adhesiveness above the median.
+  /// Per-axis agreement between expectation and share.
+  bool hardness_consistent = false;
+  bool cohesiveness_consistent = false;
+  bool adhesiveness_consistent = false;
+};
+
+/// Validation summary over all rows.
+struct ValidationSummary {
+  std::vector<LinkageValidation> rows;
+  /// Fraction of (row, axis) checks that agree, in [0, 1].
+  double agreement = 0.0;
+  /// Spearman rank correlations between each measured attribute and the
+  /// linked topic's corresponding pole share across the 13 rows; positive
+  /// values mean harder settings link to harder-vocabulary topics etc.
+  double hardness_rank_correlation = 0.0;
+  double cohesiveness_rank_correlation = 0.0;
+  double adhesiveness_rank_correlation = 0.0;
+};
+
+/// Runs the validation for every Table I row of a trained experiment.
+texrheo::StatusOr<ValidationSummary> ValidateLinkage(
+    const ExperimentResult& result);
+
+/// Renders the validation as an aligned ASCII table.
+std::string FormatValidation(const ValidationSummary& summary);
+
+}  // namespace texrheo::eval
+
+#endif  // TEXRHEO_EVAL_VALIDATION_H_

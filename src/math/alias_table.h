@@ -1,0 +1,39 @@
+#ifndef TEXRHEO_MATH_ALIAS_TABLE_H_
+#define TEXRHEO_MATH_ALIAS_TABLE_H_
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace texrheo::math {
+
+/// Walker's alias method: O(n) construction, O(1) categorical sampling.
+/// Used for the word2vec negative-sampling noise distribution and available
+/// as a fast path for topic proposals.
+class AliasTable {
+ public:
+  /// Builds the table from unnormalized non-negative weights; requires at
+  /// least one strictly positive weight.
+  static texrheo::StatusOr<AliasTable> Build(
+      const std::vector<double>& weights);
+
+  /// Draws an index distributed proportionally to the build weights.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Probability mass assigned to index i (reconstructed; for tests).
+  double MassOf(size_t i) const;
+
+ private:
+  AliasTable(std::vector<double> prob, std::vector<size_t> alias)
+      : prob_(std::move(prob)), alias_(std::move(alias)) {}
+
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace texrheo::math
+
+#endif  // TEXRHEO_MATH_ALIAS_TABLE_H_

@@ -1,0 +1,84 @@
+#include "math/regression.h"
+
+#include <cmath>
+
+namespace texrheo::math {
+
+texrheo::StatusOr<LinearFit> FitLine(const std::vector<double>& x,
+                                     const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("FitLine: length mismatch");
+  }
+  size_t n = x.size();
+  if (n < 2) return Status::InvalidArgument("FitLine: need >= 2 points");
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  double mx = sx / static_cast<double>(n);
+  double my = sy / static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    return Status::InvalidArgument("FitLine: x values are constant");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.n = n;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+texrheo::StatusOr<PowerLawFit> FitPowerLaw(const std::vector<double>& x,
+                                           const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("FitPowerLaw: length mismatch");
+  }
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) {
+      return Status::InvalidArgument("FitPowerLaw: requires positive data");
+    }
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(LinearFit line, FitLine(lx, ly));
+  PowerLawFit fit;
+  fit.amplitude = std::exp(line.intercept);
+  fit.exponent = line.slope;
+  fit.r_squared = line.r_squared;
+  return fit;
+}
+
+texrheo::StatusOr<ExponentialFit> FitExponential(const std::vector<double>& x,
+                                                 const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("FitExponential: length mismatch");
+  }
+  std::vector<double> ly;
+  ly.reserve(y.size());
+  for (double v : y) {
+    if (v <= 0.0) {
+      return Status::InvalidArgument("FitExponential: requires positive y");
+    }
+    ly.push_back(std::log(v));
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(LinearFit line, FitLine(x, ly));
+  ExponentialFit fit;
+  fit.amplitude = std::exp(line.intercept);
+  fit.rate = line.slope;
+  fit.r_squared = line.r_squared;
+  return fit;
+}
+
+}  // namespace texrheo::math

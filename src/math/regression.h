@@ -1,0 +1,44 @@
+#ifndef TEXRHEO_MATH_REGRESSION_H_
+#define TEXRHEO_MATH_REGRESSION_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace texrheo::math {
+
+/// Ordinary least squares y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  size_t n = 0;
+};
+
+/// Fits a line through (x, y) pairs; requires >= 2 points with non-constant
+/// x. Used by the rheology module to calibrate power-law / exponential
+/// constitutive parameters against the embedded literature data.
+texrheo::StatusOr<LinearFit> FitLine(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+/// Fits y = a * x^b by regressing log y on log x; requires all x, y > 0.
+struct PowerLawFit {
+  double amplitude = 0.0;  // a
+  double exponent = 0.0;   // b
+  double r_squared = 0.0;
+};
+texrheo::StatusOr<PowerLawFit> FitPowerLaw(const std::vector<double>& x,
+                                           const std::vector<double>& y);
+
+/// Fits y = a * exp(b x) by regressing log y on x; requires all y > 0.
+struct ExponentialFit {
+  double amplitude = 0.0;  // a
+  double rate = 0.0;       // b
+  double r_squared = 0.0;
+};
+texrheo::StatusOr<ExponentialFit> FitExponential(const std::vector<double>& x,
+                                                 const std::vector<double>& y);
+
+}  // namespace texrheo::math
+
+#endif  // TEXRHEO_MATH_REGRESSION_H_

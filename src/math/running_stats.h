@@ -1,0 +1,57 @@
+#ifndef TEXRHEO_MATH_RUNNING_STATS_H_
+#define TEXRHEO_MATH_RUNNING_STATS_H_
+
+#include <cstddef>
+
+#include "math/linalg.h"
+
+namespace texrheo::math {
+
+/// Welford accumulator for scalar mean/variance; numerically stable for
+/// long streams (used by tests validating sampler moments and by the
+/// rheology calibration).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Multivariate mean + scatter accumulator. `Scatter()` returns
+/// sum_i (x_i - mean)(x_i - mean)^T, exactly the sufficient statistic the
+/// Normal–Wishart posterior (paper eq. 4) consumes.
+class RunningMoments {
+ public:
+  explicit RunningMoments(size_t dim);
+
+  void Add(const Vector& x);
+
+  size_t count() const { return n_; }
+  size_t dim() const { return sum_.size(); }
+  Vector Mean() const;
+  Matrix Scatter() const;
+  /// Sample covariance (scatter / (n-1)); zero matrix when n < 2.
+  Matrix Covariance() const;
+
+ private:
+  size_t n_ = 0;
+  Vector sum_;
+  Matrix sum_outer_;  // sum x x^T; scatter derived as sum_outer - n m m^T.
+};
+
+}  // namespace texrheo::math
+
+#endif  // TEXRHEO_MATH_RUNNING_STATS_H_

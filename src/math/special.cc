@@ -1,0 +1,59 @@
+#include "math/special.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace texrheo::math {
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+double Digamma(double x) {
+  assert(x > 0.0);
+  double result = 0.0;
+  // Recurrence psi(x) = psi(x+1) - 1/x until x is large enough for the
+  // asymptotic series.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic expansion: psi(x) ~ ln x - 1/(2x) - sum B_2n / (2n x^{2n}).
+  double inv = 1.0 / x;
+  double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 -
+                                    inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+  return result;
+}
+
+double LogMultivariateGamma(size_t p, double a) {
+  assert(a > 0.5 * (static_cast<double>(p) - 1.0));
+  constexpr double kLogPi = 1.1447298858494001741;
+  double result =
+      0.25 * static_cast<double>(p) * (static_cast<double>(p) - 1.0) * kLogPi;
+  for (size_t j = 1; j <= p; ++j) {
+    result += std::lgamma(a + 0.5 * (1.0 - static_cast<double>(j)));
+  }
+  return result;
+}
+
+double LogSumExp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  double m = a > b ? a : b;
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+double LogSumExp(const double* values, size_t n) {
+  assert(n > 0);
+  double m = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) m = values[i] > m ? values[i] : m;
+  if (m == -std::numeric_limits<double>::infinity()) return m;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += std::exp(values[i] - m);
+  return m + std::log(s);
+}
+
+}  // namespace texrheo::math

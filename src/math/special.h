@@ -1,0 +1,29 @@
+#ifndef TEXRHEO_MATH_SPECIAL_H_
+#define TEXRHEO_MATH_SPECIAL_H_
+
+#include <cstddef>
+
+namespace texrheo::math {
+
+/// Natural log of the gamma function (thin wrapper; kept for symmetry).
+double LogGamma(double x);
+
+/// Digamma function psi(x) = d/dx log Gamma(x), x > 0.
+/// Asymptotic expansion with upward recurrence for small x; |err| < 1e-12
+/// for x >= 1e-3.
+double Digamma(double x);
+
+/// Log of the multivariate gamma function
+///   log Gamma_p(a) = p(p-1)/4 log(pi) + sum_{j=1..p} log Gamma(a + (1-j)/2).
+/// Required by Wishart normalization constants. Requires a > (p-1)/2.
+double LogMultivariateGamma(size_t p, double a);
+
+/// log(exp(a) + exp(b)) computed stably.
+double LogSumExp(double a, double b);
+
+/// Stable log-sum-exp over an array.
+double LogSumExp(const double* values, size_t n);
+
+}  // namespace texrheo::math
+
+#endif  // TEXRHEO_MATH_SPECIAL_H_

@@ -1,0 +1,70 @@
+#include "math/student_t.h"
+
+#include <cmath>
+
+#include "math/special.h"
+
+namespace texrheo::math {
+namespace {
+
+constexpr double kLogPi = 1.1447298858494001741;
+
+}  // namespace
+
+StudentT::StudentT(Vector mean, Matrix scale_inverse, double log_det_scale,
+                   double dof)
+    : mean_(std::move(mean)),
+      scale_inverse_(std::move(scale_inverse)),
+      log_det_scale_(log_det_scale),
+      dof_(dof) {
+  double d = static_cast<double>(mean_.size());
+  log_norm_ = std::lgamma(0.5 * (dof_ + d)) - std::lgamma(0.5 * dof_) -
+              0.5 * d * (std::log(dof_) + kLogPi) - 0.5 * log_det_scale_;
+}
+
+texrheo::StatusOr<StudentT> StudentT::Create(Vector mean, Matrix scale_matrix,
+                                             double dof) {
+  if (dof <= 0.0) {
+    return Status::InvalidArgument("Student-t requires dof > 0");
+  }
+  if (mean.size() != scale_matrix.rows() ||
+      scale_matrix.rows() != scale_matrix.cols()) {
+    return Status::InvalidArgument("Student-t dimension mismatch");
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Factor(scale_matrix));
+  StudentT t(std::move(mean), chol.Inverse(), chol.LogDet(), dof);
+  t.scale_ = std::move(scale_matrix);
+  return t;
+}
+
+texrheo::StatusOr<StudentT> StudentT::PosteriorPredictive(
+    const NormalWishartParams& nw) {
+  TEXRHEO_RETURN_IF_ERROR(nw.Validate());
+  double d = static_cast<double>(nw.dim());
+  double dof = nw.nu - d + 1.0;
+  if (dof <= 0.0) {
+    return Status::FailedPrecondition(
+        "posterior predictive undefined: nu <= dim - 1");
+  }
+  // Sigma = (beta + 1) / (beta * dof) * S^{-1} for Lambda ~ W(nu, S).
+  TEXRHEO_ASSIGN_OR_RETURN(Matrix s_inv, InversePD(nw.scale));
+  double factor = (nw.beta + 1.0) / (nw.beta * dof);
+  return Create(nw.mu0, factor * s_inv, dof);
+}
+
+double StudentT::LogPdf(const Vector& x) const {
+  double quad = QuadraticForm(scale_inverse_, x, mean_);
+  double d = static_cast<double>(dim());
+  return log_norm_ -
+         0.5 * (dof_ + d) * std::log1p(quad / dof_);
+}
+
+texrheo::StatusOr<Matrix> StudentT::Covariance() const {
+  if (dof_ <= 2.0) {
+    return Status::FailedPrecondition(
+        "Student-t covariance undefined for dof <= 2");
+  }
+  return (dof_ / (dof_ - 2.0)) * scale_;
+}
+
+}  // namespace texrheo::math

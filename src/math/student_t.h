@@ -1,0 +1,51 @@
+#ifndef TEXRHEO_MATH_STUDENT_T_H_
+#define TEXRHEO_MATH_STUDENT_T_H_
+
+#include "math/distributions.h"
+#include "math/linalg.h"
+#include "util/status.h"
+
+namespace texrheo::math {
+
+/// Multivariate Student-t distribution St(x | mu, Sigma, dof), the posterior
+/// predictive of a Gaussian with a Normal-Wishart prior. Used by the
+/// collapsed Gibbs sampler, which integrates the per-topic (mu_k, Lambda_k)
+/// out of the paper's eq. (3) instead of instantiating them.
+class StudentT {
+ public:
+  /// Builds the distribution; FailedPrecondition when `scale_matrix` (the
+  /// Sigma parameter) is not positive definite. Requires dof > 0.
+  static texrheo::StatusOr<StudentT> Create(Vector mean, Matrix scale_matrix,
+                                            double dof);
+
+  /// The posterior predictive of a Normal-Wishart prior/posterior `nw`
+  /// (with Lambda ~ W(nu, S)):
+  ///   St(x | mu0, (beta + 1) / (beta (nu - d + 1)) S^{-1}, nu - d + 1).
+  static texrheo::StatusOr<StudentT> PosteriorPredictive(
+      const NormalWishartParams& nw);
+
+  const Vector& mean() const { return mean_; }
+  double dof() const { return dof_; }
+  size_t dim() const { return mean_.size(); }
+
+  /// Log density at x.
+  double LogPdf(const Vector& x) const;
+
+  /// Covariance = dof / (dof - 2) * Sigma; requires dof > 2.
+  texrheo::StatusOr<Matrix> Covariance() const;
+
+ private:
+  StudentT(Vector mean, Matrix scale_inverse, double log_det_scale,
+           double dof);
+
+  Vector mean_;
+  Matrix scale_inverse_;   // Sigma^{-1}, cached for LogPdf.
+  Matrix scale_;           // Sigma.
+  double log_det_scale_;   // log |Sigma|.
+  double dof_;
+  double log_norm_;        // Normalization constant of the density.
+};
+
+}  // namespace texrheo::math
+
+#endif  // TEXRHEO_MATH_STUDENT_T_H_

@@ -1,0 +1,79 @@
+#include "recipe/dataset.h"
+
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace texrheo::recipe {
+
+StatusOr<Dataset> BuildDataset(const std::vector<Recipe>& corpus,
+                               const IngredientDatabase& db,
+                               const text::TextureDictionary& dict,
+                               const text::GelRelatednessFilter* filter,
+                               const DatasetConfig& config) {
+  Dataset dataset;
+  dataset.funnel.total = corpus.size();
+
+  // The exclusion decision of the word2vec screen is per texture term, so
+  // memoize it across recipes.
+  std::unordered_set<std::string> known_excluded;
+  std::unordered_set<std::string> known_kept;
+
+  for (size_t idx = 0; idx < corpus.size(); ++idx) {
+    const Recipe& r = corpus[idx];
+    auto conc_or = ComputeConcentrations(r, db);
+    if (!conc_or.ok()) {
+      // Unparseable recipes exist on real sharing sites; skip them rather
+      // than failing the whole build.
+      continue;
+    }
+    const Concentrations& conc = conc_or.value();
+    if (!conc.HasAnyGel()) continue;
+    ++dataset.funnel.with_gel;
+
+    std::vector<std::string> terms =
+        text::Tokenizer::ExtractTextureTerms(r.description, dict);
+    if (filter != nullptr) {
+      std::vector<std::string> kept;
+      kept.reserve(terms.size());
+      for (auto& term : terms) {
+        bool excluded;
+        if (known_excluded.count(term)) {
+          excluded = true;
+        } else if (known_kept.count(term)) {
+          excluded = false;
+        } else {
+          excluded = filter->IsExcluded(term);
+          (excluded ? known_excluded : known_kept).insert(term);
+        }
+        if (excluded) {
+          ++dataset.funnel.occurrences_removed_by_filter;
+        } else {
+          kept.push_back(std::move(term));
+        }
+      }
+      terms = std::move(kept);
+    }
+    if (terms.empty()) continue;
+    ++dataset.funnel.with_texture_terms;
+
+    if (conc.unrelated_fraction > config.max_unrelated_fraction) continue;
+
+    Document doc;
+    doc.recipe_index = idx;
+    doc.gel_concentration = conc.gel;
+    doc.emulsion_concentration = conc.emulsion;
+    doc.gel_feature = ToFeature(conc.gel, config.feature);
+    doc.emulsion_feature = ToFeature(conc.emulsion, config.feature);
+    doc.term_ids.reserve(terms.size());
+    for (const auto& term : terms) {
+      doc.term_ids.push_back(dataset.term_vocab.Add(term));
+    }
+    dataset.documents.push_back(std::move(doc));
+  }
+  dataset.funnel.final_dataset = dataset.documents.size();
+  dataset.funnel.distinct_terms = dataset.term_vocab.size();
+  return dataset;
+}
+
+}  // namespace texrheo::recipe

@@ -1,0 +1,77 @@
+#ifndef TEXRHEO_RECIPE_DATASET_H_
+#define TEXRHEO_RECIPE_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/linalg.h"
+#include "recipe/features.h"
+#include "recipe/ingredient.h"
+#include "recipe/recipe.h"
+#include "text/texture_dictionary.h"
+#include "text/vocabulary.h"
+#include "text/word2vec.h"
+#include "util/status.h"
+
+namespace texrheo::recipe {
+
+/// One model-ready recipe: the joint topic model's observables
+/// (texture-term sequence w, gel vector g, emulsion vector e).
+struct Document {
+  /// Index of the source recipe in the input corpus.
+  size_t recipe_index = 0;
+  /// Texture-term occurrences in order, as term-vocabulary ids.
+  std::vector<int32_t> term_ids;
+  /// -log-transformed gel concentration feature (dimension 3).
+  math::Vector gel_feature;
+  /// -log-transformed emulsion concentration feature (dimension 6).
+  math::Vector emulsion_feature;
+  /// Raw concentration ratios (kept for KL rankings and reporting).
+  math::Vector gel_concentration;
+  math::Vector emulsion_concentration;
+};
+
+/// Counts at each stage of the paper's data funnel
+/// (63,000 -> ~10,000 with texture terms -> ~3,000 final in the paper).
+struct FunnelStats {
+  size_t total = 0;                 ///< Recipes in the raw corpus.
+  size_t with_gel = 0;              ///< ... containing any gel ingredient.
+  size_t with_texture_terms = 0;    ///< ... whose description has dictionary
+                                    ///< texture terms (after word2vec filter).
+  size_t final_dataset = 0;         ///< ... passing the unrelated-weight cap.
+  size_t distinct_terms = 0;        ///< Distinct texture terms observed
+                                    ///< (paper: 41 of 288).
+  size_t occurrences_removed_by_filter = 0;  ///< Term tokens dropped by the
+                                             ///< gel-relatedness filter.
+};
+
+/// Dataset construction options.
+struct DatasetConfig {
+  FeatureConfig feature;
+  /// Recipes whose non-gel/non-emulsion solid weight exceeds this fraction
+  /// are excluded (paper: 10 percent).
+  double max_unrelated_fraction = 0.10;
+};
+
+/// Model-ready dataset plus provenance.
+struct Dataset {
+  std::vector<Document> documents;
+  text::Vocabulary term_vocab;  ///< Texture-term vocabulary (ids used by
+                                ///< Document::term_ids).
+  FunnelStats funnel;
+};
+
+/// Runs the paper's Section III.A / IV.A pipeline over a corpus:
+/// extract texture terms by dictionary match, optionally drop occurrences
+/// of terms the word2vec `filter` marks gel-unrelated, compute weight-based
+/// concentrations, apply the gel / texture-term / unrelated-weight funnel,
+/// and emit model-ready documents. `filter` may be null (no screening).
+StatusOr<Dataset> BuildDataset(const std::vector<Recipe>& corpus,
+                               const IngredientDatabase& db,
+                               const text::TextureDictionary& dict,
+                               const text::GelRelatednessFilter* filter,
+                               const DatasetConfig& config);
+
+}  // namespace texrheo::recipe
+
+#endif  // TEXRHEO_RECIPE_DATASET_H_

@@ -1,0 +1,82 @@
+#include "recipe/features.h"
+
+#include <cmath>
+
+#include "recipe/units.h"
+
+namespace texrheo::recipe {
+
+StatusOr<Concentrations> ComputeConcentrations(const Recipe& recipe,
+                                               const IngredientDatabase& db) {
+  Concentrations out;
+  math::Vector gel_grams(kNumGelTypes);
+  math::Vector emulsion_grams(kNumEmulsionTypes);
+  double unrelated_grams = 0.0;
+  double total = 0.0;
+
+  // Unknown ingredients fall back to "other, density of water".
+  IngredientInfo unknown;
+  unknown.cls = IngredientClass::kOther;
+  unknown.specific_gravity = 1.0;
+
+  for (const IngredientLine& line : recipe.ingredients) {
+    const IngredientInfo* info = db.Find(line.name);
+    if (info == nullptr) {
+      unknown.name = line.name;
+      info = &unknown;
+    }
+    TEXRHEO_ASSIGN_OR_RETURN(Quantity q, ParseQuantity(line.quantity));
+    TEXRHEO_ASSIGN_OR_RETURN(double grams, ToGrams(q, *info));
+    total += grams;
+    switch (info->cls) {
+      case IngredientClass::kGel:
+        gel_grams[static_cast<size_t>(info->gel_type)] += grams;
+        break;
+      case IngredientClass::kEmulsion:
+        emulsion_grams[static_cast<size_t>(info->emulsion_type)] += grams;
+        break;
+      case IngredientClass::kOther:
+        if (!info->liquid_base) unrelated_grams += grams;
+        break;
+    }
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("recipe " + std::to_string(recipe.id) +
+                                   " has zero total weight");
+  }
+  for (size_t i = 0; i < gel_grams.size(); ++i) {
+    out.gel[i] = gel_grams[i] / total;
+  }
+  for (size_t i = 0; i < emulsion_grams.size(); ++i) {
+    out.emulsion[i] = emulsion_grams[i] / total;
+  }
+  out.unrelated_fraction = unrelated_grams / total;
+  out.total_grams = total;
+  return out;
+}
+
+math::Vector ToFeature(const math::Vector& concentration,
+                       const FeatureConfig& config) {
+  math::Vector out(concentration.size());
+  for (size_t i = 0; i < concentration.size(); ++i) {
+    double x = concentration[i];
+    if (config.use_information_quantity) {
+      out[i] = -std::log(x < config.epsilon ? config.epsilon : x);
+    } else {
+      out[i] = x;
+    }
+  }
+  return out;
+}
+
+math::Vector FromFeature(const math::Vector& feature,
+                         const FeatureConfig& config) {
+  math::Vector out(feature.size());
+  for (size_t i = 0; i < feature.size(); ++i) {
+    out[i] = config.use_information_quantity ? std::exp(-feature[i])
+                                             : feature[i];
+  }
+  return out;
+}
+
+}  // namespace texrheo::recipe

@@ -1,0 +1,62 @@
+#ifndef TEXRHEO_RECIPE_FEATURES_H_
+#define TEXRHEO_RECIPE_FEATURES_H_
+
+#include "math/linalg.h"
+#include "recipe/ingredient.h"
+#include "recipe/recipe.h"
+#include "util/status.h"
+
+namespace texrheo::recipe {
+
+/// Controls the concentration -> feature transform.
+struct FeatureConfig {
+  /// Floor applied before -log(x): absent ingredients (x = 0) map to
+  /// -log(epsilon) ~ 9.21 instead of infinity. The paper's transform is
+  /// undefined at 0; epsilon is chosen well below any real gel usage
+  /// (~0.002), so "absent" stays clearly separated from "present".
+  double epsilon = 1e-4;
+  /// When false, raw concentration ratios are used instead of -log(x)
+  /// (ablation of the paper's information-quantity transform).
+  bool use_information_quantity = true;
+};
+
+/// Weight-based concentrations of one recipe (ratios of ingredient weight
+/// to total recipe weight, per Section III.A of the paper).
+struct Concentrations {
+  /// Raw ratios in [0, 1], indexed by GelType.
+  math::Vector gel = math::Vector(kNumGelTypes);
+  /// Raw ratios in [0, 1], indexed by EmulsionType.
+  math::Vector emulsion = math::Vector(kNumEmulsionTypes);
+  /// Fraction of total weight contributed by kOther ingredients that are
+  /// not near-water liquids; drives the >10% unrelated-ingredient filter.
+  double unrelated_fraction = 0.0;
+  /// Total recipe weight in grams.
+  double total_grams = 0.0;
+
+  bool HasAnyGel() const {
+    for (size_t i = 0; i < gel.size(); ++i) {
+      if (gel[i] > 0.0) return true;
+    }
+    return false;
+  }
+};
+
+/// Computes concentrations from a recipe's ingredient lines. Quantity
+/// strings are parsed and converted to grams via the database; unknown
+/// ingredient names are treated as unrelated with specific gravity 1.
+/// Fails when no quantity parses or total weight is zero.
+StatusOr<Concentrations> ComputeConcentrations(const Recipe& recipe,
+                                               const IngredientDatabase& db);
+
+/// Applies the information-quantity transform of the paper: x -> -log(x)
+/// with the epsilon floor (or identity when disabled).
+math::Vector ToFeature(const math::Vector& concentration,
+                       const FeatureConfig& config);
+
+/// Inverse of ToFeature (up to the epsilon floor).
+math::Vector FromFeature(const math::Vector& feature,
+                         const FeatureConfig& config);
+
+}  // namespace texrheo::recipe
+
+#endif  // TEXRHEO_RECIPE_FEATURES_H_

@@ -1,0 +1,155 @@
+#include "recipe/ingredient.h"
+
+#include "util/string_util.h"
+
+namespace texrheo::recipe {
+namespace {
+
+IngredientInfo Gel(const char* name, GelType type, double sg,
+                   double grams_per_piece = 0.0) {
+  IngredientInfo info;
+  info.name = name;
+  info.cls = IngredientClass::kGel;
+  info.gel_type = type;
+  info.specific_gravity = sg;
+  info.grams_per_piece = grams_per_piece;
+  return info;
+}
+
+IngredientInfo Emulsion(const char* name, EmulsionType type, double sg,
+                        double grams_per_piece = 0.0) {
+  IngredientInfo info;
+  info.name = name;
+  info.cls = IngredientClass::kEmulsion;
+  info.emulsion_type = type;
+  info.specific_gravity = sg;
+  info.grams_per_piece = grams_per_piece;
+  return info;
+}
+
+IngredientInfo Other(const char* name, double sg,
+                     double grams_per_piece = 0.0) {
+  IngredientInfo info;
+  info.name = name;
+  info.cls = IngredientClass::kOther;
+  info.specific_gravity = sg;
+  info.grams_per_piece = grams_per_piece;
+  return info;
+}
+
+IngredientInfo Liquid(const char* name, double sg) {
+  IngredientInfo info = Other(name, sg);
+  info.liquid_base = true;
+  return info;
+}
+
+std::vector<IngredientInfo> BuildEmbedded() {
+  return {
+      // Gels. Powdered gelatin ~0.68 g/mL; a gelatin leaf is ~2.5 g; a
+      // kanten stick ~8 g; powdered agar/kanten ~0.55 g/mL.
+      Gel("gelatin", GelType::kGelatin, 0.68),
+      Gel("gelatin-powder", GelType::kGelatin, 0.68),
+      Gel("gelatin-leaf", GelType::kGelatin, 0.68, 2.5),
+      Gel("kanten", GelType::kKanten, 0.55),
+      Gel("kanten-powder", GelType::kKanten, 0.55),
+      Gel("kanten-stick", GelType::kKanten, 0.55, 8.0),
+      Gel("agar", GelType::kAgar, 0.55),
+      Gel("agar-powder", GelType::kAgar, 0.55),
+      // Emulsions.
+      Emulsion("sugar", EmulsionType::kSugar, 0.85),
+      Emulsion("granulated-sugar", EmulsionType::kSugar, 0.85),
+      Emulsion("egg-albumen", EmulsionType::kEggAlbumen, 1.04, 35.0),
+      Emulsion("egg-white", EmulsionType::kEggAlbumen, 1.04, 35.0),
+      Emulsion("egg-yolk", EmulsionType::kEggYolk, 1.03, 18.0),
+      Emulsion("raw-cream", EmulsionType::kRawCream, 1.0),
+      Emulsion("whipping-cream", EmulsionType::kRawCream, 1.0),
+      Emulsion("milk", EmulsionType::kMilk, 1.03),
+      Emulsion("yogurt", EmulsionType::kYogurt, 1.04),
+      // Liquid bases (kOther but exempt from the unrelated-weight filter).
+      Liquid("water", 1.0),
+      Liquid("juice", 1.05),
+      Liquid("orange-juice", 1.05),
+      Liquid("grape-juice", 1.06),
+      Liquid("coffee", 1.0),
+      Liquid("green-tea", 1.0),
+      Liquid("wine", 0.99),
+      Liquid("coconut-milk", 0.95),
+      // Fruits & solids (unrelated; often counted in pieces).
+      Other("strawberry", 0.6, 15.0),
+      Other("orange", 0.75, 130.0),
+      Other("peach", 0.8, 170.0),
+      Other("banana", 0.85, 100.0),
+      Other("apple", 0.8, 250.0),
+      Other("pineapple", 0.8, 900.0),
+      Other("mandarin", 0.75, 80.0),
+      Other("blueberry", 0.63, 1.5),
+      Other("kiwi", 0.85, 90.0),
+      Other("azuki-paste", 1.2),
+      Other("cocoa", 0.45),
+      Other("matcha", 0.4),
+      Other("honey", 1.42),
+      Other("lemon-juice", 1.03),
+      // Topping confounders (produce crispy-type texture terms in
+      // descriptions without affecting the gel texture).
+      Other("nuts", 0.55, 1.0),
+      Other("almond", 0.55, 1.2),
+      Other("walnut", 0.5, 4.0),
+      Other("granola", 0.4),
+      Other("cookie", 0.5, 8.0),
+      Other("biscuit", 0.5, 7.0),
+      Other("cornflake", 0.12),
+      Other("wafer", 0.3, 4.0),
+  };
+}
+
+}  // namespace
+
+const char* GelTypeName(GelType type) {
+  switch (type) {
+    case GelType::kGelatin:
+      return "gelatin";
+    case GelType::kKanten:
+      return "kanten";
+    case GelType::kAgar:
+      return "agar";
+  }
+  return "?";
+}
+
+const char* EmulsionTypeName(EmulsionType type) {
+  switch (type) {
+    case EmulsionType::kSugar:
+      return "sugar";
+    case EmulsionType::kEggAlbumen:
+      return "egg-albumen";
+    case EmulsionType::kEggYolk:
+      return "egg-yolk";
+    case EmulsionType::kRawCream:
+      return "raw-cream";
+    case EmulsionType::kMilk:
+      return "milk";
+    case EmulsionType::kYogurt:
+      return "yogurt";
+  }
+  return "?";
+}
+
+IngredientDatabase::IngredientDatabase(std::vector<IngredientInfo> infos)
+    : infos_(std::move(infos)) {
+  for (size_t i = 0; i < infos_.size(); ++i) {
+    index_.emplace(ToLower(infos_[i].name), i);
+  }
+}
+
+const IngredientDatabase& IngredientDatabase::Embedded() {
+  static const IngredientDatabase& db =
+      *new IngredientDatabase(BuildEmbedded());
+  return db;
+}
+
+const IngredientInfo* IngredientDatabase::Find(std::string_view name) const {
+  auto it = index_.find(ToLower(name));
+  return it == index_.end() ? nullptr : &infos_[it->second];
+}
+
+}  // namespace texrheo::recipe

@@ -1,0 +1,76 @@
+#ifndef TEXRHEO_RECIPE_INGREDIENT_H_
+#define TEXRHEO_RECIPE_INGREDIENT_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace texrheo::recipe {
+
+/// The paper's three ingredient roles: gelling agents drive texture,
+/// emulsions modulate it, everything else is "unrelated" (and recipes
+/// dominated by unrelated ingredients are filtered out).
+enum class IngredientClass { kGel = 0, kEmulsion = 1, kOther = 2 };
+
+/// The three gels the paper models, in feature-vector order.
+enum class GelType { kGelatin = 0, kKanten = 1, kAgar = 2 };
+inline constexpr int kNumGelTypes = 3;
+const char* GelTypeName(GelType type);
+
+/// The six emulsions the paper models, in feature-vector order.
+enum class EmulsionType {
+  kSugar = 0,
+  kEggAlbumen = 1,
+  kEggYolk = 2,
+  kRawCream = 3,
+  kMilk = 4,
+  kYogurt = 5,
+};
+inline constexpr int kNumEmulsionTypes = 6;
+const char* EmulsionTypeName(EmulsionType type);
+
+/// Static properties of one ingredient name as it appears in recipes.
+struct IngredientInfo {
+  std::string name;
+  IngredientClass cls = IngredientClass::kOther;
+  /// Valid when cls == kGel.
+  GelType gel_type = GelType::kGelatin;
+  /// Valid when cls == kEmulsion.
+  EmulsionType emulsion_type = EmulsionType::kSugar;
+  /// Density in g/mL, used to convert volume units to weight (the paper:
+  /// "a specific weight against water is taken into account").
+  double specific_gravity = 1.0;
+  /// Grams per countable piece/sheet (e.g. one gelatin leaf ~ 2.5 g);
+  /// 0 when the ingredient is not counted in pieces.
+  double grams_per_piece = 0.0;
+  /// True for liquid bases (water, juice, coffee...). These are kOther but
+  /// do not count toward the paper's >10% "unrelated ingredient" filter,
+  /// since every jelly is mostly liquid base by weight.
+  bool liquid_base = false;
+};
+
+/// Lookup table of known ingredients. `Embedded()` carries the ingredients
+/// used by the synthetic Cookpad corpus: the 3 gels (with leaf/stick
+/// variants), the 6 emulsions, and a set of unrelated ingredients (fruit,
+/// toppings, liquids) with realistic specific gravities.
+class IngredientDatabase {
+ public:
+  static const IngredientDatabase& Embedded();
+
+  explicit IngredientDatabase(std::vector<IngredientInfo> infos);
+
+  /// Case-insensitive lookup; nullptr when unknown. Unknown ingredients are
+  /// treated as kOther with specific gravity 1 by downstream code.
+  const IngredientInfo* Find(std::string_view name) const;
+
+  const std::vector<IngredientInfo>& infos() const { return infos_; }
+
+ private:
+  std::vector<IngredientInfo> infos_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace texrheo::recipe
+
+#endif  // TEXRHEO_RECIPE_INGREDIENT_H_

@@ -1,0 +1,196 @@
+#include "recipe/recipe.h"
+
+#include "util/csv.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace texrheo::recipe {
+namespace {
+
+// Ingredient and metadata fields use ';' between entries and '=' inside an
+// entry; recipe text never contains these in this corpus format.
+std::string EncodeIngredients(const std::vector<IngredientLine>& lines) {
+  std::vector<std::string> parts;
+  parts.reserve(lines.size());
+  for (const auto& line : lines) {
+    parts.push_back(line.name + "=" + line.quantity);
+  }
+  return Join(parts, ";");
+}
+
+StatusOr<std::vector<IngredientLine>> DecodeIngredients(
+    std::string_view field) {
+  std::vector<IngredientLine> out;
+  if (Trim(field).empty()) return out;
+  for (const std::string& part : Split(field, ';')) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed ingredient entry: '" + part +
+                                     "'");
+    }
+    out.push_back(IngredientLine{part.substr(0, eq), part.substr(eq + 1)});
+  }
+  return out;
+}
+
+std::string EncodeMetadata(const std::map<std::string, std::string>& meta) {
+  std::vector<std::string> parts;
+  parts.reserve(meta.size());
+  for (const auto& [k, v] : meta) parts.push_back(k + "=" + v);
+  return Join(parts, ";");
+}
+
+StatusOr<std::map<std::string, std::string>> DecodeMetadata(
+    std::string_view field) {
+  std::map<std::string, std::string> out;
+  if (Trim(field).empty()) return out;
+  for (const std::string& part : Split(field, ';')) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed metadata entry: '" + part +
+                                     "'");
+    }
+    out[part.substr(0, eq)] = part.substr(eq + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> RecipeToRow(const Recipe& recipe) {
+  return {std::to_string(recipe.id), recipe.title, recipe.description,
+          EncodeIngredients(recipe.ingredients),
+          EncodeMetadata(recipe.metadata)};
+}
+
+StatusOr<Recipe> RecipeFromRow(const std::vector<std::string>& row) {
+  if (row.size() < 4) {
+    return Status::InvalidArgument("recipe row needs >= 4 fields, got " +
+                                   std::to_string(row.size()));
+  }
+  Recipe r;
+  TEXRHEO_ASSIGN_OR_RETURN(int64_t id, ParseInt(row[0]));
+  r.id = id;
+  r.title = row[1];
+  r.description = row[2];
+  TEXRHEO_ASSIGN_OR_RETURN(r.ingredients, DecodeIngredients(row[3]));
+  if (row.size() >= 5) {
+    TEXRHEO_ASSIGN_OR_RETURN(r.metadata, DecodeMetadata(row[4]));
+  }
+  return r;
+}
+
+Status SaveCorpus(const std::string& path,
+                  const std::vector<Recipe>& recipes) {
+  std::vector<CsvRow> rows;
+  rows.reserve(recipes.size() + 1);
+  rows.push_back({"id", "title", "description", "ingredients", "metadata"});
+  for (const Recipe& r : recipes) rows.push_back(RecipeToRow(r));
+  return WriteCsvFile(path, rows, '\t');
+}
+
+StatusOr<std::vector<Recipe>> LoadCorpus(const std::string& path) {
+  TEXRHEO_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                           CsvReader::ReadFile(path, '\t'));
+  std::vector<Recipe> recipes;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i == 0 && !rows[i].empty() && rows[i][0] == "id") continue;  // header
+    TEXRHEO_ASSIGN_OR_RETURN(Recipe r, RecipeFromRow(rows[i]));
+    recipes.push_back(std::move(r));
+  }
+  return recipes;
+}
+
+std::string RecipeToJson(const Recipe& recipe) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.AsObject()["id"] = JsonValue::Number(static_cast<double>(recipe.id));
+  obj.AsObject()["title"] = JsonValue::String(recipe.title);
+  obj.AsObject()["description"] = JsonValue::String(recipe.description);
+  JsonValue ingredients = JsonValue::MakeArray();
+  for (const auto& line : recipe.ingredients) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.AsObject()["name"] = JsonValue::String(line.name);
+    entry.AsObject()["quantity"] = JsonValue::String(line.quantity);
+    ingredients.AsArray().push_back(std::move(entry));
+  }
+  obj.AsObject()["ingredients"] = std::move(ingredients);
+  JsonValue metadata = JsonValue::MakeObject();
+  for (const auto& [k, v] : recipe.metadata) {
+    metadata.AsObject()[k] = JsonValue::String(v);
+  }
+  obj.AsObject()["metadata"] = std::move(metadata);
+  return obj.Serialize();
+}
+
+StatusOr<Recipe> RecipeFromJson(std::string_view json) {
+  TEXRHEO_ASSIGN_OR_RETURN(JsonValue value, JsonValue::Parse(json));
+  if (!value.is_object()) {
+    return Status::InvalidArgument("recipe json: not an object");
+  }
+  Recipe r;
+  if (const JsonValue* id = value.Find("id"); id && id->is_number()) {
+    r.id = static_cast<int64_t>(id->AsNumber());
+  }
+  if (const JsonValue* t = value.Find("title"); t && t->is_string()) {
+    r.title = t->AsString();
+  }
+  if (const JsonValue* d = value.Find("description"); d && d->is_string()) {
+    r.description = d->AsString();
+  }
+  if (const JsonValue* ing = value.Find("ingredients")) {
+    if (!ing->is_array()) {
+      return Status::InvalidArgument("recipe json: ingredients not an array");
+    }
+    for (const JsonValue& entry : ing->AsArray()) {
+      const JsonValue* name = entry.Find("name");
+      const JsonValue* quantity = entry.Find("quantity");
+      if (name == nullptr || quantity == nullptr || !name->is_string() ||
+          !quantity->is_string()) {
+        return Status::InvalidArgument("recipe json: malformed ingredient");
+      }
+      r.ingredients.push_back({name->AsString(), quantity->AsString()});
+    }
+  }
+  if (const JsonValue* meta = value.Find("metadata")) {
+    if (!meta->is_object()) {
+      return Status::InvalidArgument("recipe json: metadata not an object");
+    }
+    for (const auto& [k, v] : meta->AsObject()) {
+      if (!v.is_string()) {
+        return Status::InvalidArgument("recipe json: metadata values must be "
+                                       "strings");
+      }
+      r.metadata[k] = v.AsString();
+    }
+  }
+  return r;
+}
+
+Status SaveCorpusJsonl(const std::string& path,
+                       const std::vector<Recipe>& recipes) {
+  std::string out;
+  for (const Recipe& r : recipes) {
+    out += RecipeToJson(r);
+    out.push_back('\n');
+  }
+  return WriteStringToFile(path, out);
+}
+
+StatusOr<std::vector<Recipe>> LoadCorpusJsonl(const std::string& path) {
+  TEXRHEO_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  std::vector<Recipe> recipes;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    std::string_view line(content.data() + start, end - start);
+    if (!Trim(line).empty()) {
+      TEXRHEO_ASSIGN_OR_RETURN(Recipe r, RecipeFromJson(line));
+      recipes.push_back(std::move(r));
+    }
+    start = end + 1;
+  }
+  return recipes;
+}
+
+}  // namespace texrheo::recipe

@@ -1,0 +1,62 @@
+#ifndef TEXRHEO_RECIPE_RECIPE_H_
+#define TEXRHEO_RECIPE_RECIPE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace texrheo::recipe {
+
+/// One ingredient line of a posted recipe, as written by the user:
+/// an ingredient name and a free-form quantity string ("2 tbsp", "200 cc").
+struct IngredientLine {
+  std::string name;
+  std::string quantity;
+};
+
+/// A posted recipe. `metadata` carries optional provenance fields; the
+/// synthetic corpus stores its ground truth there (true dish template,
+/// true rheology) so evaluation code can score recovered topics without
+/// the model ever seeing those fields.
+struct Recipe {
+  int64_t id = 0;
+  std::string title;
+  std::string description;
+  std::vector<IngredientLine> ingredients;
+  std::map<std::string, std::string> metadata;
+};
+
+/// Serializes one recipe to a TSV row:
+///   id, title, description, "name=qty;name=qty;...", "k=v;k=v;..."
+std::vector<std::string> RecipeToRow(const Recipe& recipe);
+
+/// Parses a row produced by RecipeToRow.
+StatusOr<Recipe> RecipeFromRow(const std::vector<std::string>& row);
+
+/// Writes a corpus as TSV (one recipe per line, header included).
+Status SaveCorpus(const std::string& path, const std::vector<Recipe>& recipes);
+
+/// Loads a corpus written by SaveCorpus.
+StatusOr<std::vector<Recipe>> LoadCorpus(const std::string& path);
+
+/// Serializes one recipe to a single-line JSON object:
+///   {"id":1,"title":...,"description":...,
+///    "ingredients":[{"name":...,"quantity":...},...],"metadata":{...}}
+std::string RecipeToJson(const Recipe& recipe);
+
+/// Parses a recipe from RecipeToJson output (id/title default when absent).
+StatusOr<Recipe> RecipeFromJson(std::string_view json);
+
+/// Writes a corpus as JSONL (one JSON object per line).
+Status SaveCorpusJsonl(const std::string& path,
+                       const std::vector<Recipe>& recipes);
+
+/// Loads a corpus written by SaveCorpusJsonl; blank lines are skipped.
+StatusOr<std::vector<Recipe>> LoadCorpusJsonl(const std::string& path);
+
+}  // namespace texrheo::recipe
+
+#endif  // TEXRHEO_RECIPE_RECIPE_H_

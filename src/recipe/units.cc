@@ -1,0 +1,178 @@
+#include "recipe/units.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace texrheo::recipe {
+namespace {
+
+constexpr double kPinchGrams = 0.3;
+
+// Parses "3", "1.5", "1/2", or a mixed number "1 1/2" from the front of
+// `text`; returns the value and the number of characters consumed.
+StatusOr<double> ParseAmount(std::string_view text, size_t* consumed) {
+  size_t i = 0;
+  auto read_number = [&](double* out) -> bool {
+    size_t start = i;
+    while (i < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[i])) ||
+            text[i] == '.')) {
+      ++i;
+    }
+    if (i == start) return false;
+    auto v = ParseDouble(text.substr(start, i - start));
+    if (!v.ok()) return false;
+    *out = v.value();
+    return true;
+  };
+
+  double whole = 0.0;
+  if (!read_number(&whole)) {
+    return Status::InvalidArgument("quantity has no leading number: '" +
+                                   std::string(text) + "'");
+  }
+  double value = whole;
+  // Fraction directly attached: "1/2".
+  if (i < text.size() && text[i] == '/') {
+    ++i;
+    double denom = 0.0;
+    if (!read_number(&denom) || denom == 0.0) {
+      return Status::InvalidArgument("malformed fraction in quantity");
+    }
+    value = whole / denom;
+  } else {
+    // Mixed number: "1 1/2".
+    size_t save = i;
+    while (i < text.size() && text[i] == ' ') ++i;
+    double num = 0.0;
+    size_t num_start = i;
+    if (read_number(&num) && i < text.size() && text[i] == '/') {
+      ++i;
+      double denom = 0.0;
+      if (!read_number(&denom) || denom == 0.0) {
+        return Status::InvalidArgument("malformed fraction in quantity");
+      }
+      value = whole + num / denom;
+    } else {
+      i = save;
+      (void)num_start;
+    }
+  }
+  *consumed = i;
+  return value;
+}
+
+}  // namespace
+
+const char* UnitName(Unit unit) {
+  switch (unit) {
+    case Unit::kGram:
+      return "g";
+    case Unit::kKilogram:
+      return "kg";
+    case Unit::kMilliliter:
+      return "ml";
+    case Unit::kLiter:
+      return "l";
+    case Unit::kSmallSpoon:
+      return "tsp";
+    case Unit::kLargeSpoon:
+      return "tbsp";
+    case Unit::kCup:
+      return "cup";
+    case Unit::kPiece:
+      return "piece";
+    case Unit::kSheet:
+      return "sheet";
+    case Unit::kPinch:
+      return "pinch";
+  }
+  return "?";
+}
+
+StatusOr<Unit> ParseUnit(std::string_view token) {
+  std::string t = ToLower(Trim(token));
+  if (t == "g" || t == "gram" || t == "grams") return Unit::kGram;
+  if (t == "kg") return Unit::kKilogram;
+  if (t == "ml" || t == "cc" || t == "milliliter") return Unit::kMilliliter;
+  if (t == "l" || t == "liter" || t == "litre") return Unit::kLiter;
+  if (t == "tsp" || t == "kosaji" || t == "small-spoon") {
+    return Unit::kSmallSpoon;
+  }
+  if (t == "tbsp" || t == "oosaji" || t == "large-spoon") {
+    return Unit::kLargeSpoon;
+  }
+  if (t == "cup" || t == "cups") return Unit::kCup;
+  if (t == "piece" || t == "pieces" || t == "ko") return Unit::kPiece;
+  if (t == "sheet" || t == "sheets" || t == "mai") return Unit::kSheet;
+  if (t == "pinch" || t == "pinches") return Unit::kPinch;
+  return Status::InvalidArgument("unknown unit: '" + std::string(token) + "'");
+}
+
+StatusOr<Quantity> ParseQuantity(std::string_view text) {
+  std::string_view t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty quantity");
+  size_t consumed = 0;
+  TEXRHEO_ASSIGN_OR_RETURN(double amount, ParseAmount(t, &consumed));
+  if (amount < 0.0) return Status::InvalidArgument("negative quantity");
+  std::string_view unit_part = Trim(t.substr(consumed));
+  Quantity q;
+  q.amount = amount;
+  if (unit_part.empty()) {
+    // Bare numbers in posted recipes mean grams.
+    q.unit = Unit::kGram;
+    return q;
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(q.unit, ParseUnit(unit_part));
+  return q;
+}
+
+StatusOr<double> UnitCapacityMl(Unit unit) {
+  switch (unit) {
+    case Unit::kMilliliter:
+      return 1.0;
+    case Unit::kLiter:
+      return 1000.0;
+    case Unit::kSmallSpoon:
+      return 5.0;
+    case Unit::kLargeSpoon:
+      return 15.0;
+    case Unit::kCup:
+      return 200.0;
+    default:
+      return Status::InvalidArgument(std::string("unit has no volume: ") +
+                                     UnitName(unit));
+  }
+}
+
+StatusOr<double> ToGrams(const Quantity& quantity,
+                         const IngredientInfo& info) {
+  switch (quantity.unit) {
+    case Unit::kGram:
+      return quantity.amount;
+    case Unit::kKilogram:
+      return quantity.amount * 1000.0;
+    case Unit::kMilliliter:
+    case Unit::kLiter:
+    case Unit::kSmallSpoon:
+    case Unit::kLargeSpoon:
+    case Unit::kCup: {
+      TEXRHEO_ASSIGN_OR_RETURN(double ml, UnitCapacityMl(quantity.unit));
+      return quantity.amount * ml * info.specific_gravity;
+    }
+    case Unit::kPiece:
+    case Unit::kSheet: {
+      if (info.grams_per_piece <= 0.0) {
+        return Status::InvalidArgument(
+            "ingredient '" + info.name + "' has no per-piece weight");
+      }
+      return quantity.amount * info.grams_per_piece;
+    }
+    case Unit::kPinch:
+      return quantity.amount * kPinchGrams;
+  }
+  return Status::Internal("unhandled unit");
+}
+
+}  // namespace texrheo::recipe

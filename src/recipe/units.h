@@ -1,0 +1,57 @@
+#ifndef TEXRHEO_RECIPE_UNITS_H_
+#define TEXRHEO_RECIPE_UNITS_H_
+
+#include <string>
+#include <string_view>
+
+#include "recipe/ingredient.h"
+#include "util/status.h"
+
+namespace texrheo::recipe {
+
+/// Measuring units appearing in posted recipes. Volume capacities follow
+/// the Japanese standard the paper cites: small spoon 5 mL, large spoon
+/// 15 mL, one cup 200 mL.
+enum class Unit {
+  kGram,
+  kKilogram,
+  kMilliliter,  // also written "cc"
+  kLiter,
+  kSmallSpoon,  // kosaji, 5 mL
+  kLargeSpoon,  // oosaji, 15 mL
+  kCup,         // 200 mL (Japan)
+  kPiece,       // countable item; grams via IngredientInfo::grams_per_piece
+  kSheet,       // gelatin leaf etc.; same conversion as kPiece
+  kPinch,       // ~0.3 g regardless of ingredient
+};
+
+/// Canonical spelling used in serialized recipes ("g", "tbsp", ...).
+const char* UnitName(Unit unit);
+
+/// Parses a unit token; accepts the canonical names plus common variants
+/// ("cc", "ml", "tsp", "kosaji", "oosaji", "cups", "pieces", "sheets").
+StatusOr<Unit> ParseUnit(std::string_view token);
+
+/// A parsed ingredient quantity.
+struct Quantity {
+  double amount = 0.0;
+  Unit unit = Unit::kGram;
+};
+
+/// Parses quantity strings as they appear in posted recipes:
+///   "200 g", "2tbsp", "1/2 cup", "1.5 l", "3 sheets", "1 pinch".
+/// Mixed numbers ("1 1/2 cup") are supported.
+StatusOr<Quantity> ParseQuantity(std::string_view text);
+
+/// Milliliter capacity of a volume unit; InvalidArgument for weight/piece
+/// units.
+StatusOr<double> UnitCapacityMl(Unit unit);
+
+/// Converts a quantity of `info` to grams. Volume units use the
+/// ingredient's specific gravity; piece/sheet units require
+/// grams_per_piece > 0; pinch is a fixed 0.3 g.
+StatusOr<double> ToGrams(const Quantity& quantity, const IngredientInfo& info);
+
+}  // namespace texrheo::recipe
+
+#endif  // TEXRHEO_RECIPE_UNITS_H_

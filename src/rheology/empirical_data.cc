@@ -1,0 +1,95 @@
+#include "rheology/empirical_data.h"
+
+namespace texrheo::rheology {
+namespace {
+
+EmpiricalSetting Setting(int id, const char* source, double gelatin,
+                         double kanten, double agar, double hardness,
+                         double cohesiveness, double adhesiveness) {
+  EmpiricalSetting s;
+  s.id = id;
+  s.source = source;
+  s.gel[static_cast<size_t>(recipe::GelType::kGelatin)] = gelatin;
+  s.gel[static_cast<size_t>(recipe::GelType::kKanten)] = kanten;
+  s.gel[static_cast<size_t>(recipe::GelType::kAgar)] = agar;
+  s.attributes = TpaAttributes{hardness, cohesiveness, adhesiveness};
+  return s;
+}
+
+std::vector<EmpiricalSetting> BuildTableI() {
+  // Verbatim from the paper's Table I. The paper prints two rows labelled
+  // "8"; following the row order we number them 8 and 9 (so ids run 1..13).
+  return {
+      Setting(1, "Kawamura1978", 0.018, 0, 0, 0.20, 0.60, 0.10),
+      Setting(2, "Kawamura1978", 0.020, 0, 0, 0.30, 0.59, 0.04),
+      Setting(3, "Kawamura1980", 0.025, 0, 0, 0.72, 0.17, 0.57),
+      Setting(4, "Kawamura1980", 0.030, 0, 0, 2.78, 0.31, 0.42),
+      Setting(5, "Kurimoto1997", 0.030, 0, 0.03, 3.01, 0.35, 12.6),
+      Setting(6, "Okuma1978", 0, 0.008, 0, 2.20, 0.12, 0.0),
+      Setting(7, "Okuma1978", 0, 0.010, 0, 3.50, 0.10, 0.0),
+      Setting(8, "Okuma1978", 0, 0.012, 0, 5.00, 0.80, 0.0),
+      Setting(9, "Okuma1978", 0, 0.020, 0, 5.67, 0.03, 0.0),
+      Setting(10, "Suzuno1992", 0, 0, 0.008, 1.00, 0.48, 0.0),
+      Setting(11, "Suzuno1992", 0, 0, 0.010, 1.50, 0.33, 0.01),
+      Setting(12, "Suzuno1992", 0, 0, 0.012, 2.70, 0.28, 0.02),
+      Setting(13, "Murayama1992", 0, 0, 0.030, 2.21, 0.20, 1.95),
+  };
+}
+
+std::vector<EmulsionDish> BuildTableIIb() {
+  EmulsionDish bavarois;
+  bavarois.name = "Bavarois";
+  bavarois.gel[static_cast<size_t>(recipe::GelType::kGelatin)] = 0.025;
+  bavarois.emulsion[static_cast<size_t>(recipe::EmulsionType::kEggYolk)] =
+      0.08;
+  bavarois.emulsion[static_cast<size_t>(recipe::EmulsionType::kRawCream)] =
+      0.2;
+  bavarois.emulsion[static_cast<size_t>(recipe::EmulsionType::kMilk)] = 0.4;
+  bavarois.attributes = TpaAttributes{3.860, 0.809, 0.095};
+
+  EmulsionDish milk_jelly;
+  milk_jelly.name = "Milk jelly";
+  milk_jelly.gel[static_cast<size_t>(recipe::GelType::kGelatin)] = 0.025;
+  milk_jelly.emulsion[static_cast<size_t>(recipe::EmulsionType::kSugar)] =
+      0.032;
+  milk_jelly.emulsion[static_cast<size_t>(recipe::EmulsionType::kMilk)] =
+      0.787;
+  milk_jelly.attributes = TpaAttributes{1.83, 0.27, 0.44};
+
+  return {bavarois, milk_jelly};
+}
+
+}  // namespace
+
+const std::vector<EmpiricalSetting>& TableI() {
+  static const std::vector<EmpiricalSetting>& table =
+      *new std::vector<EmpiricalSetting>(BuildTableI());
+  return table;
+}
+
+const std::vector<EmulsionDish>& TableIIb() {
+  static const std::vector<EmulsionDish>& table =
+      *new std::vector<EmulsionDish>(BuildTableIIb());
+  return table;
+}
+
+double ToRuFactor(ForceUnit unit) {
+  switch (unit) {
+    case ForceUnit::kRheologicalUnit:
+      return 1.0;
+    case ForceUnit::kNewton:
+      // 1 RU anchored at 0.98 N (1 kgf-class Texturometer deflection).
+      return 1.0 / 0.98;
+    case ForceUnit::kGramForce:
+      return 9.80665e-3 / 0.98;  // gf -> N -> RU.
+    case ForceUnit::kKiloPascalCm2:
+      return 0.1 / 0.98;  // kPa over 1 cm^2 = 0.1 N -> RU.
+  }
+  return 1.0;
+}
+
+double ConvertToRu(double value, ForceUnit unit) {
+  return value * ToRuFactor(unit);
+}
+
+}  // namespace texrheo::rheology

@@ -1,0 +1,62 @@
+#ifndef TEXRHEO_RHEOLOGY_EMPIRICAL_DATA_H_
+#define TEXRHEO_RHEOLOGY_EMPIRICAL_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "math/linalg.h"
+#include "recipe/ingredient.h"
+
+namespace texrheo::rheology {
+
+/// Quantitative texture attributes measured by texture profile analysis,
+/// in rheological units (RU).
+struct TpaAttributes {
+  double hardness = 0.0;      ///< Peak force of the first compression (F1).
+  double cohesiveness = 0.0;  ///< Second/first compression work ratio (c/a).
+  double adhesiveness = 0.0;  ///< |negative work| during first withdrawal.
+};
+
+/// One empirical food-science measurement: a gel composition and the TPA
+/// attributes the literature reports for it.
+struct EmpiricalSetting {
+  int id = 0;                ///< Row id as used in the paper's Table I.
+  std::string source;        ///< Abbreviated citation.
+  math::Vector gel = math::Vector(recipe::kNumGelTypes);            ///< Concentration ratios.
+  math::Vector emulsion = math::Vector(recipe::kNumEmulsionTypes);  ///< Zero for Table I.
+  TpaAttributes attributes;
+};
+
+/// The paper's Table I: 13 gel-only settings collected from six
+/// food-science studies (refs. [3]-[5], [15]-[17] in the paper).
+const std::vector<EmpiricalSetting>& TableI();
+
+/// The paper's Table II(b): Bavarois and Milk jelly, gelatin dishes with
+/// substantial emulsion fractions (refs. [20], [21]).
+struct EmulsionDish {
+  std::string name;
+  math::Vector gel = math::Vector(recipe::kNumGelTypes);
+  math::Vector emulsion = math::Vector(recipe::kNumEmulsionTypes);
+  TpaAttributes attributes;
+};
+const std::vector<EmulsionDish>& TableIIb();
+
+/// Force/work unit systems used by different rheometer products; the paper
+/// normalizes all sources to RU ("rheological unit").
+enum class ForceUnit {
+  kRheologicalUnit,  ///< The common scale used by the paper.
+  kNewton,
+  kGramForce,
+  kKiloPascalCm2,  ///< Stress over the standard 1 cm^2 probe face.
+};
+
+/// Multiplier converting one unit of `unit` to RU. The RU scale is anchored
+/// so that 1 RU ~ 0.98 N on the Texturometer the paper's references used.
+double ToRuFactor(ForceUnit unit);
+
+/// Converts a measured value to RU.
+double ConvertToRu(double value, ForceUnit unit);
+
+}  // namespace texrheo::rheology
+
+#endif  // TEXRHEO_RHEOLOGY_EMPIRICAL_DATA_H_

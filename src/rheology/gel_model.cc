@@ -1,0 +1,228 @@
+#include "rheology/gel_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "math/regression.h"
+
+namespace texrheo::rheology {
+namespace {
+
+using recipe::EmulsionType;
+using recipe::GelType;
+
+constexpr size_t kGelatin = static_cast<size_t>(GelType::kGelatin);
+constexpr size_t kKanten = static_cast<size_t>(GelType::kKanten);
+constexpr size_t kAgar = static_cast<size_t>(GelType::kAgar);
+
+double EmulsionAt(const math::Vector& e, EmulsionType t) {
+  return e[static_cast<size_t>(t)];
+}
+
+// "Foam formers" build secondary protein/fat networks: whipped cream, egg
+// yolk, egg albumen. They dominate the Bavarois texture shift.
+double FoamFraction(const math::Vector& e) {
+  return EmulsionAt(e, EmulsionType::kRawCream) +
+         EmulsionAt(e, EmulsionType::kEggYolk) +
+         EmulsionAt(e, EmulsionType::kEggAlbumen);
+}
+
+double DairyFraction(const math::Vector& e) {
+  return EmulsionAt(e, EmulsionType::kMilk) +
+         EmulsionAt(e, EmulsionType::kYogurt);
+}
+
+}  // namespace
+
+texrheo::StatusOr<GelPhysicsModel> GelPhysicsModel::Calibrate() {
+  GelPhysicsModel model;
+  const auto& table = TableI();
+
+  for (int g = 0; g < recipe::kNumGelTypes; ++g) {
+    // Rows where this gel is the only one present.
+    std::vector<double> conc, hardness, cohesiveness;
+    std::vector<double> adh_conc, adh_value;
+    for (const auto& row : table) {
+      double c = row.gel[static_cast<size_t>(g)];
+      if (c <= 0.0) continue;
+      bool pure = true;
+      for (int other = 0; other < recipe::kNumGelTypes; ++other) {
+        if (other != g && row.gel[static_cast<size_t>(other)] > 0.0) {
+          pure = false;
+        }
+      }
+      if (!pure) continue;
+      conc.push_back(c);
+      hardness.push_back(row.attributes.hardness);
+      cohesiveness.push_back(row.attributes.cohesiveness);
+      if (row.attributes.adhesiveness >= 0.005) {
+        adh_conc.push_back(c);
+        adh_value.push_back(row.attributes.adhesiveness);
+      }
+    }
+    if (conc.size() < 2) {
+      return Status::FailedPrecondition(
+          "Table I has too few pure rows for gel type " +
+          std::string(GelTypeName(static_cast<GelType>(g))));
+    }
+    PerGel& pg = model.gels_[static_cast<size_t>(g)];
+
+    TEXRHEO_ASSIGN_OR_RETURN(math::PowerLawFit h_fit,
+                             math::FitPowerLaw(conc, hardness));
+    pg.hardness_amplitude = h_fit.amplitude;
+    pg.hardness_exponent = h_fit.exponent;
+
+    TEXRHEO_ASSIGN_OR_RETURN(math::ExponentialFit c_fit,
+                             math::FitExponential(conc, cohesiveness));
+    pg.cohesiveness_at_zero = c_fit.amplitude;
+    pg.cohesiveness_decay = -c_fit.rate;  // Stored as a positive decay rate.
+
+    if (adh_conc.size() >= 2) {
+      TEXRHEO_ASSIGN_OR_RETURN(math::ExponentialFit a_fit,
+                               math::FitExponential(adh_conc, adh_value));
+      pg.adhesive_amplitude = a_fit.amplitude;
+      pg.adhesive_rate = a_fit.rate;
+    } else {
+      // Kanten: zero adhesiveness at every published setting.
+      pg.adhesive_amplitude = 0.0;
+      pg.adhesive_rate = 0.0;
+    }
+  }
+
+  // Gelatin x agar synergy from row 5 (gelatin 3% + agar 3%): the huge
+  // measured adhesiveness (12.6) far exceeds the sum of the pure curves.
+  for (const auto& row : table) {
+    double cg = row.gel[kGelatin];
+    double ca = row.gel[kAgar];
+    if (cg > 0.0 && ca > 0.0) {
+      double pure_sum = model.PureAdhesiveness(GelType::kGelatin, cg) +
+                        model.PureAdhesiveness(GelType::kAgar, ca);
+      double excess = row.attributes.adhesiveness - pure_sum;
+      if (excess > 0.0) model.gelatin_agar_synergy_ = excess / (cg * ca);
+    }
+  }
+
+  // Emulsion coefficients from Table II(b). Both dishes share the gelatin
+  // 2.5% base; their attribute ratios to the pure-gel prediction pin down
+  // the foam/dairy coefficients (sugar hardness coefficient fixed at a
+  // small prior value: sugar mildly stiffens gels).
+  const auto& dishes = TableIIb();
+  if (dishes.size() >= 2) {
+    const EmulsionDish& bavarois = dishes[0];
+    const EmulsionDish& milk_jelly = dishes[1];
+    double base_c = bavarois.gel[kGelatin];
+    double h_base = model.PureHardness(GelType::kGelatin, base_c);
+    double c_base = model.PureCohesiveness(GelType::kGelatin, base_c);
+    double a_base = model.PureAdhesiveness(GelType::kGelatin, base_c);
+
+    model.hardness_sugar_coeff_ = 1.0;
+    double dairy_m = DairyFraction(milk_jelly.emulsion);
+    double sugar_m = EmulsionAt(milk_jelly.emulsion, EmulsionType::kSugar);
+    model.hardness_dairy_coeff_ =
+        (milk_jelly.attributes.hardness / h_base - 1.0 -
+         model.hardness_sugar_coeff_ * sugar_m) /
+        dairy_m;
+    double foam_b = FoamFraction(bavarois.emulsion);
+    double dairy_b = DairyFraction(bavarois.emulsion);
+    model.hardness_foam_coeff_ =
+        (bavarois.attributes.hardness / h_base - 1.0 -
+         model.hardness_dairy_coeff_ * dairy_b) /
+        foam_b;
+
+    model.cohesiveness_dairy_coeff_ =
+        (milk_jelly.attributes.cohesiveness - c_base) / dairy_m;
+    model.cohesiveness_foam_coeff_ =
+        (bavarois.attributes.cohesiveness - c_base -
+         model.cohesiveness_dairy_coeff_ * dairy_b) /
+        foam_b;
+
+    model.adhesion_dairy_damping_ =
+        -std::log(milk_jelly.attributes.adhesiveness / a_base) / dairy_m;
+    model.adhesion_foam_damping_ =
+        (-std::log(bavarois.attributes.adhesiveness / a_base) -
+         model.adhesion_dairy_damping_ * dairy_b) /
+        foam_b;
+  }
+  return model;
+}
+
+const GelPhysicsModel& GelPhysicsModel::Calibrated() {
+  static const GelPhysicsModel& model = *new GelPhysicsModel([] {
+    auto model_or = Calibrate();
+    assert(model_or.ok() && "embedded Table I failed calibration");
+    return std::move(model_or).value();
+  }());
+  return model;
+}
+
+double GelPhysicsModel::PureHardness(GelType type,
+                                     double concentration) const {
+  if (concentration <= 0.0) return 0.0;
+  const PerGel& pg = gels_[static_cast<size_t>(type)];
+  return pg.hardness_amplitude *
+         std::pow(concentration, pg.hardness_exponent);
+}
+
+double GelPhysicsModel::PureCohesiveness(GelType type,
+                                         double concentration) const {
+  if (concentration <= 0.0) return 0.0;
+  const PerGel& pg = gels_[static_cast<size_t>(type)];
+  double c = pg.cohesiveness_at_zero *
+             std::exp(-pg.cohesiveness_decay * concentration);
+  return std::min(0.95, std::max(0.01, c));
+}
+
+double GelPhysicsModel::PureAdhesiveness(GelType type,
+                                         double concentration) const {
+  if (concentration <= 0.0) return 0.0;
+  const PerGel& pg = gels_[static_cast<size_t>(type)];
+  if (pg.adhesive_amplitude <= 0.0) return 0.0;
+  return pg.adhesive_amplitude * std::exp(pg.adhesive_rate * concentration);
+}
+
+TpaAttributes GelPhysicsModel::Predict(const math::Vector& gel,
+                                       const math::Vector& emulsion) const {
+  assert(gel.size() == recipe::kNumGelTypes);
+  assert(emulsion.size() == recipe::kNumEmulsionTypes);
+  double total_gel = gel.Sum();
+  TpaAttributes out;
+  if (total_gel <= 0.0) return out;  // Ungelled: no measurable TPA solid.
+
+  // Concentration-weighted blend of the pure-gel curves (the network of a
+  // gel mixture is dominated by its constituents proportionally).
+  double hardness = 0.0, cohesiveness = 0.0, adhesiveness = 0.0;
+  for (int g = 0; g < recipe::kNumGelTypes; ++g) {
+    double c = gel[static_cast<size_t>(g)];
+    if (c <= 0.0) continue;
+    GelType type = static_cast<GelType>(g);
+    double w = c / total_gel;
+    hardness += w * PureHardness(type, c);
+    cohesiveness += w * PureCohesiveness(type, c);
+    adhesiveness += PureAdhesiveness(type, c);  // Adhesion is additive.
+  }
+  adhesiveness += gelatin_agar_synergy_ * gel[kGelatin] * gel[kAgar];
+
+  // Subordinate emulsion effects.
+  double foam = FoamFraction(emulsion);
+  double dairy = DairyFraction(emulsion);
+  double sugar = EmulsionAt(emulsion, EmulsionType::kSugar);
+  hardness *= 1.0 + hardness_foam_coeff_ * foam +
+              hardness_dairy_coeff_ * dairy + hardness_sugar_coeff_ * sugar;
+  cohesiveness += cohesiveness_foam_coeff_ * foam +
+                  cohesiveness_dairy_coeff_ * dairy;
+  adhesiveness *= std::exp(-adhesion_foam_damping_ * foam -
+                           adhesion_dairy_damping_ * dairy);
+
+  // The steep per-gel power laws are calibrated on concentrations up to 3%;
+  // extrapolating a gelatin gummy at 6-7% would predict absurd forces.
+  // Real gels saturate as the network approaches close packing; cap well
+  // above the calibrated range (Table I max is 5.67 RU) so fitted values
+  // are untouched.
+  constexpr double kHardnessSaturationRu = 25.0;
+  out.hardness = std::min(kHardnessSaturationRu, std::max(0.0, hardness));
+  out.cohesiveness = std::min(0.95, std::max(0.01, cohesiveness));
+  out.adhesiveness = std::max(0.0, adhesiveness);
+  return out;
+}
+
+}  // namespace texrheo::rheology

@@ -1,0 +1,82 @@
+#ifndef TEXRHEO_RHEOLOGY_GEL_MODEL_H_
+#define TEXRHEO_RHEOLOGY_GEL_MODEL_H_
+
+#include <array>
+
+#include "math/linalg.h"
+#include "recipe/ingredient.h"
+#include "rheology/empirical_data.h"
+#include "util/status.h"
+
+namespace texrheo::rheology {
+
+/// Constitutive model mapping (gel concentrations, emulsion concentrations)
+/// to TPA attributes, self-calibrated against the embedded Table I at
+/// construction:
+///
+///  * hardness of a pure gel follows a power law H_i(c) = a_i c^{b_i}
+///    (classical gel-network scaling), fit per gel type in log-log space;
+///  * cohesiveness decays exponentially with concentration,
+///    C_i(c) = c0_i exp(-k_i c) (denser networks fracture rather than
+///    recover), fit per gel type;
+///  * adhesiveness rises exponentially once concentration passes the
+///    syneresis onset, A_i(c) = s_i exp(r_i c) fit on rows with nonzero
+///    adhesion; kanten is non-adhesive at all Table I settings;
+///  * gel mixtures combine by concentration-weighted means for hardness /
+///    cohesiveness plus a gelatin x agar adhesive synergy term calibrated
+///    to Table I row 5 (gelatin 3% + agar 3% -> adhesiveness 12.6);
+///  * emulsions act as the paper's "subordinate effects" ([19]): fillers
+///    multiply hardness, foam-formers (cream / yolk / albumen) raise
+///    cohesiveness, and both poles damp adhesiveness. Coefficients are
+///    calibrated to Table II(b) (Bavarois, Milk jelly).
+class GelPhysicsModel {
+ public:
+  /// Builds the model calibrated to TableI() / TableIIb(). Construction
+  /// performs the regressions; failure indicates corrupt embedded data.
+  static texrheo::StatusOr<GelPhysicsModel> Calibrate();
+
+  /// The process-wide calibrated instance.
+  static const GelPhysicsModel& Calibrated();
+
+  /// Predicts TPA attributes for a composition (concentration ratios).
+  TpaAttributes Predict(const math::Vector& gel,
+                        const math::Vector& emulsion) const;
+
+  /// Pure-gel attribute curves (exposed for tests and benches).
+  double PureHardness(recipe::GelType type, double concentration) const;
+  double PureCohesiveness(recipe::GelType type, double concentration) const;
+  double PureAdhesiveness(recipe::GelType type, double concentration) const;
+
+ private:
+  GelPhysicsModel() = default;
+
+  struct PerGel {
+    // Hardness power law.
+    double hardness_amplitude = 0.0;
+    double hardness_exponent = 1.0;
+    // Cohesiveness exponential decay.
+    double cohesiveness_at_zero = 0.5;
+    double cohesiveness_decay = 0.0;
+    // Adhesiveness exponential rise; amplitude 0 => never adhesive.
+    double adhesive_amplitude = 0.0;
+    double adhesive_rate = 0.0;
+    // Adhesion onset: below this concentration adhesion is clamped to ~0.
+    double adhesive_onset = 0.0;
+  };
+
+  std::array<PerGel, recipe::kNumGelTypes> gels_;
+  // Gelatin x agar adhesive synergy coefficient (Table I row 5).
+  double gelatin_agar_synergy_ = 0.0;
+  // Emulsion coefficients (Table II(b) calibration).
+  double hardness_foam_coeff_ = 0.0;    // cream + yolk + albumen
+  double hardness_dairy_coeff_ = 0.0;   // milk + yogurt
+  double hardness_sugar_coeff_ = 0.0;
+  double cohesiveness_foam_coeff_ = 0.0;
+  double cohesiveness_dairy_coeff_ = 0.0;
+  double adhesion_foam_damping_ = 0.0;
+  double adhesion_dairy_damping_ = 0.0;
+};
+
+}  // namespace texrheo::rheology
+
+#endif  // TEXRHEO_RHEOLOGY_GEL_MODEL_H_

@@ -1,0 +1,177 @@
+#include "rheology/rheometer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace texrheo::rheology {
+namespace {
+
+// Phases of the two-bite probe programme.
+enum class Phase { kDescend, kAscend, kPause };
+
+}  // namespace
+
+Rheometer::Rheometer(const RheometerConfig& config) : config_(config) {}
+
+texrheo::StatusOr<Measurement> Rheometer::Measure(
+    const MechanicalSample& sample) const {
+  const RheometerConfig& cfg = config_;
+  if (cfg.sample_height_mm <= 0.0 || cfg.probe_speed_mm_s <= 0.0 ||
+      cfg.dt_s <= 0.0 || cfg.compression_fraction <= 0.0 ||
+      cfg.compression_fraction >= 1.0) {
+    return Status::InvalidArgument("rheometer: invalid probe programme");
+  }
+  if (sample.stiffness < 0.0 || sample.tackiness < 0.0 ||
+      sample.yield_strain <= 0.0 || sample.adhesion_decay_mm <= 0.0) {
+    return Status::InvalidArgument("rheometer: invalid sample parameters");
+  }
+
+  const double h = cfg.sample_height_mm;
+  const double max_depth = cfg.compression_fraction * h;
+  const double v = cfg.probe_speed_mm_s;
+  const double dt = cfg.dt_s;
+
+  Measurement m;
+  bool fractured = false;
+  double residual_strain = 0.0;  // Plastic set left by a fracture.
+
+  double time = 0.0;
+  for (int cycle = 1; cycle <= 2; ++cycle) {
+    double stiffness = sample.stiffness;
+    if (cycle == 2) stiffness *= sample.damage_retention;
+
+    double max_strain_this_cycle = 0.0;
+    // Descend from the retract position through the sample, then ascend
+    // back out. Depth < 0 means the probe is above the surface.
+    for (Phase phase : {Phase::kDescend, Phase::kAscend}) {
+      double start = phase == Phase::kDescend ? -cfg.retract_mm : max_depth;
+      double end = phase == Phase::kDescend ? max_depth : -cfg.retract_mm;
+      double dir = phase == Phase::kDescend ? 1.0 : -1.0;
+      double travel = std::fabs(end - start);
+      int steps = static_cast<int>(std::ceil(travel / (v * dt)));
+      for (int s = 0; s <= steps; ++s) {
+        double depth =
+            start + dir * std::min(travel, static_cast<double>(s) * v * dt);
+        double force = 0.0;
+        if (depth > 0.0) {
+          double strain = depth / h;
+          max_strain_this_cycle = std::max(max_strain_this_cycle, strain);
+          double effective = strain - residual_strain;
+          if (effective > 0.0) {
+            if (cycle == 1 && strain >= sample.yield_strain) {
+              // Fractured network: force plateaus below the pre-fracture
+              // peak and creeps up slowly with further compression.
+              fractured = true;
+              force = stiffness * sample.yield_strain *
+                          sample.post_yield_factor +
+                      0.05 * stiffness * (strain - sample.yield_strain);
+            } else {
+              force = stiffness * effective;
+              if (phase == Phase::kAscend) {
+                // Unloading hysteresis: gels return less force on the way
+                // up than they resisted on the way down.
+                double frac = max_strain_this_cycle > 0.0
+                                  ? effective / max_strain_this_cycle
+                                  : 1.0;
+                force *= std::max(0.0, frac);
+              }
+            }
+          }
+        } else if (phase == Phase::kAscend && sample.tackiness > 0.0) {
+          // Probe above the surface but still bonded: adhesive tail
+          // F(sep) = -tack * (sep/d) * exp(-sep/d), peaking near sep = d.
+          double sep = -depth;
+          double d = sample.adhesion_decay_mm;
+          force = -sample.tackiness * (sep / d) * std::exp(-sep / d) *
+                  std::exp(1.0);  // Normalize so the peak equals -tackiness.
+        }
+
+        m.curve.push_back(ForceSample{time, depth, force, cycle});
+        if (cycle == 1) {
+          m.peak_force_1 = std::max(m.peak_force_1, force);
+          if (force > 0.0) m.area_1 += force * dt;
+          if (force < 0.0) m.negative_area += -force * dt;
+        } else {
+          m.peak_force_2 = std::max(m.peak_force_2, force);
+          if (force > 0.0) m.area_2 += force * dt;
+        }
+        time += dt;
+      }
+    }
+    if (fractured) {
+      residual_strain =
+          0.5 * std::max(0.0, max_strain_this_cycle - sample.yield_strain);
+    }
+    // Dwell between bites (zero force, probe off the sample).
+    if (cycle == 1) {
+      int pause_steps = static_cast<int>(cfg.pause_s / dt);
+      for (int s = 0; s < pause_steps; ++s) {
+        m.curve.push_back(ForceSample{time, -cfg.retract_mm, 0.0, cycle});
+        time += dt;
+      }
+    }
+  }
+
+  m.attributes.hardness = m.peak_force_1;
+  m.attributes.cohesiveness = m.area_1 > 0.0 ? m.area_2 / m.area_1 : 0.0;
+  m.attributes.adhesiveness = m.negative_area;
+  return m;
+}
+
+MechanicalSample SampleFromAttributes(const TpaAttributes& target,
+                                      const RheometerConfig& config) {
+  MechanicalSample s;
+  double strain_max = config.compression_fraction;
+
+  // Brittleness from cohesiveness: weak-cohesion gels fracture within the
+  // first bite; cohesive (elastic) gels survive the full stroke.
+  double c = std::clamp(target.cohesiveness, 0.01, 0.95);
+  s.yield_strain = strain_max * (0.6 + 0.8 * c);
+  s.post_yield_factor = 0.25 + 0.5 * c;
+  s.damage_retention = c;
+  s.adhesion_decay_mm = 1.0;
+
+  double peak_strain = std::min(strain_max, s.yield_strain);
+  s.stiffness = peak_strain > 0.0 ? target.hardness / peak_strain : 0.0;
+  s.tackiness = target.adhesiveness > 0.0 ? 1.0 : 0.0;
+
+  if (target.hardness <= 0.0) {
+    s.stiffness = 0.0;
+    s.tackiness = 0.0;
+    return s;
+  }
+
+  // Self-calibrate against the actual probe programme: stiffness and
+  // tackiness scale linearly with their attributes; damage retention is
+  // adjusted by fixed-point iteration.
+  Rheometer probe(config);
+  for (int iter = 0; iter < 3; ++iter) {
+    auto measured_or = probe.Measure(s);
+    if (!measured_or.ok()) break;
+    const TpaAttributes& got = measured_or.value().attributes;
+    if (got.hardness > 0.0) {
+      s.stiffness *= target.hardness / got.hardness;
+    }
+    if (target.adhesiveness > 0.0 && got.adhesiveness > 0.0) {
+      s.tackiness *= target.adhesiveness / got.adhesiveness;
+    }
+    if (got.cohesiveness > 0.0) {
+      double adjust = target.cohesiveness / got.cohesiveness;
+      s.damage_retention =
+          std::clamp(s.damage_retention * adjust, 0.005, 1.5);
+    }
+  }
+  return s;
+}
+
+texrheo::StatusOr<Measurement> SimulateDish(const GelPhysicsModel& model,
+                                            const math::Vector& gel,
+                                            const math::Vector& emulsion,
+                                            const RheometerConfig& config) {
+  TpaAttributes predicted = model.Predict(gel, emulsion);
+  MechanicalSample sample = SampleFromAttributes(predicted, config);
+  Rheometer probe(config);
+  return probe.Measure(sample);
+}
+
+}  // namespace texrheo::rheology

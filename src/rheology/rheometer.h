@@ -1,0 +1,98 @@
+#ifndef TEXRHEO_RHEOLOGY_RHEOMETER_H_
+#define TEXRHEO_RHEOLOGY_RHEOMETER_H_
+
+#include <vector>
+
+#include "math/linalg.h"
+#include "rheology/empirical_data.h"
+#include "rheology/gel_model.h"
+#include "util/status.h"
+
+namespace texrheo::rheology {
+
+/// Mechanical parameters the probe "feels" when compressing one sample.
+/// GelPhysicsModel output is converted to these via SampleFromAttributes.
+struct MechanicalSample {
+  /// Linear-elastic stiffness: force (RU) per unit engineering strain.
+  double stiffness = 0.0;
+  /// Strain at which the network fractures; beyond it force plateaus.
+  double yield_strain = 1.0;
+  /// Force retention factor after fracture (plateau / peak).
+  double post_yield_factor = 0.3;
+  /// Fraction of network stiffness surviving into the second compression.
+  double damage_retention = 1.0;
+  /// Peak adhesive (negative) force at probe lift-off, RU.
+  double tackiness = 0.0;
+  /// Separation distance (mm) over which the adhesive bond releases.
+  double adhesion_decay_mm = 1.0;
+};
+
+/// Probe programme of the two-bite texture profile analysis (Fig. 2 of the
+/// paper): descend, compress, ascend past lift-off, pause, repeat.
+struct RheometerConfig {
+  double sample_height_mm = 15.0;
+  double compression_fraction = 0.30;  ///< Max strain of each bite.
+  double probe_speed_mm_s = 5.0;
+  double retract_mm = 4.0;  ///< Travel above the sample surface, where
+                            ///< adhesive tails are recorded.
+  double pause_s = 0.5;     ///< Dwell between the two bites.
+  double dt_s = 0.002;      ///< Sampling interval of the force transducer.
+};
+
+/// One recorded point of the force-time curve.
+struct ForceSample {
+  double time_s = 0.0;
+  /// Probe depth below the undisturbed sample surface (mm); negative while
+  /// the probe is above the surface.
+  double depth_mm = 0.0;
+  double force_ru = 0.0;
+  int cycle = 0;  ///< 1 or 2.
+};
+
+/// A complete simulated TPA measurement.
+struct Measurement {
+  std::vector<ForceSample> curve;
+  double peak_force_1 = 0.0;  ///< F1 in the paper's Fig. 2.
+  double peak_force_2 = 0.0;
+  double area_1 = 0.0;        ///< Positive work of bite 1 ("a").
+  double area_2 = 0.0;        ///< Positive work of bite 2 ("c").
+  double negative_area = 0.0; ///< |adhesive work| of bite 1's ascent ("b").
+  /// Attributes extracted from the curve exactly as a rheometer does:
+  /// hardness = peak_force_1, cohesiveness = area_2 / area_1,
+  /// adhesiveness = negative_area (scaled to RU).
+  TpaAttributes attributes;
+};
+
+/// Simulates the two-bite TPA cycle on a lumped viscoelastic-fracture
+/// sample and extracts the standard attributes from the force curve.
+class Rheometer {
+ public:
+  explicit Rheometer(const RheometerConfig& config = RheometerConfig());
+
+  /// Runs the full probe programme. Fails on nonsensical configuration
+  /// (non-positive speeds/heights).
+  texrheo::StatusOr<Measurement> Measure(const MechanicalSample& sample) const;
+
+  const RheometerConfig& config() const { return config_; }
+
+ private:
+  RheometerConfig config_;
+};
+
+/// Inverts the rheometer relations: builds mechanical parameters such that
+/// the simulated measurement reproduces `target` (used to turn
+/// GelPhysicsModel predictions into probe-able samples). The round trip
+/// Measure(SampleFromAttributes(t)).attributes ~ t holds to within a few
+/// percent (verified by tests).
+MechanicalSample SampleFromAttributes(const TpaAttributes& target,
+                                      const RheometerConfig& config);
+
+/// Convenience: full pipeline composition -> physics -> probe -> attributes.
+texrheo::StatusOr<Measurement> SimulateDish(const GelPhysicsModel& model,
+                                            const math::Vector& gel,
+                                            const math::Vector& emulsion,
+                                            const RheometerConfig& config);
+
+}  // namespace texrheo::rheology
+
+#endif  // TEXRHEO_RHEOLOGY_RHEOMETER_H_

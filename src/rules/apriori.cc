@@ -1,0 +1,167 @@
+#include "rules/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace texrheo::rules {
+namespace {
+
+bool Contains(const Transaction& transaction,
+              const std::vector<int32_t>& itemset) {
+  // Both sides sorted: linear merge test.
+  size_t t = 0;
+  for (int32_t item : itemset) {
+    while (t < transaction.size() && transaction[t] < item) ++t;
+    if (t == transaction.size() || transaction[t] != item) return false;
+    ++t;
+  }
+  return true;
+}
+
+int64_t CountSupport(const std::vector<Transaction>& transactions,
+                     const std::vector<int32_t>& itemset) {
+  int64_t count = 0;
+  for (const Transaction& t : transactions) {
+    if (Contains(t, itemset)) ++count;
+  }
+  return count;
+}
+
+// Joins two (k-1)-itemsets sharing their first k-2 items into a k-itemset.
+bool TryJoin(const std::vector<int32_t>& a, const std::vector<int32_t>& b,
+             std::vector<int32_t>* out) {
+  for (size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  if (a.back() >= b.back()) return false;
+  *out = a;
+  out->push_back(b.back());
+  return true;
+}
+
+}  // namespace
+
+texrheo::StatusOr<std::vector<Itemset>> Apriori::MineItemsets(
+    const std::vector<Transaction>& transactions,
+    const AprioriConfig& config) {
+  if (transactions.empty()) {
+    return Status::InvalidArgument("apriori: no transactions");
+  }
+  if (config.min_support <= 0.0 || config.min_support > 1.0) {
+    return Status::InvalidArgument("apriori: min_support must be in (0, 1]");
+  }
+  for (const Transaction& t : transactions) {
+    if (!std::is_sorted(t.begin(), t.end()) ||
+        std::adjacent_find(t.begin(), t.end()) != t.end()) {
+      return Status::InvalidArgument(
+          "apriori: transactions must be sorted and unique");
+    }
+  }
+  int64_t min_count = static_cast<int64_t>(
+      config.min_support * static_cast<double>(transactions.size()));
+  if (min_count < 1) min_count = 1;
+
+  std::vector<Itemset> result;
+
+  // Level 1: singleton counts.
+  std::map<int32_t, int64_t> singles;
+  for (const Transaction& t : transactions) {
+    for (int32_t item : t) ++singles[item];
+  }
+  std::vector<std::vector<int32_t>> frontier;
+  for (const auto& [item, count] : singles) {
+    if (count >= min_count) {
+      result.push_back(Itemset{{item}, count});
+      frontier.push_back({item});
+    }
+  }
+
+  // Level-wise expansion with the downward-closure prune.
+  for (size_t level = 2;
+       level <= config.max_itemset_size && frontier.size() > 1; ++level) {
+    // For the prune, index the previous level's frequent sets.
+    std::set<std::vector<int32_t>> previous(frontier.begin(), frontier.end());
+    std::vector<std::vector<int32_t>> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (size_t j = i + 1; j < frontier.size(); ++j) {
+        std::vector<int32_t> candidate;
+        if (!TryJoin(frontier[i], frontier[j], &candidate)) continue;
+        // Downward closure: every (k-1)-subset must be frequent.
+        bool all_frequent = true;
+        for (size_t drop = 0; drop + 2 < candidate.size() && all_frequent;
+             ++drop) {
+          std::vector<int32_t> subset;
+          for (size_t x = 0; x < candidate.size(); ++x) {
+            if (x != drop) subset.push_back(candidate[x]);
+          }
+          all_frequent = previous.count(subset) > 0;
+        }
+        if (!all_frequent) continue;
+        int64_t count = CountSupport(transactions, candidate);
+        if (count >= min_count) {
+          result.push_back(Itemset{candidate, count});
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+texrheo::StatusOr<std::vector<Rule>> Apriori::MineRules(
+    const std::vector<Transaction>& transactions,
+    const AprioriConfig& config) {
+  TEXRHEO_ASSIGN_OR_RETURN(std::vector<Itemset> itemsets,
+                           MineItemsets(transactions, config));
+  double n = static_cast<double>(transactions.size());
+
+  // Support lookup for confidence computation.
+  std::map<std::vector<int32_t>, int64_t> support;
+  for (const Itemset& is : itemsets) support[is.items] = is.support_count;
+
+  std::set<int32_t> whitelist(config.consequent_whitelist.begin(),
+                              config.consequent_whitelist.end());
+  std::set<int32_t> blacklist(config.antecedent_blacklist.begin(),
+                              config.antecedent_blacklist.end());
+
+  std::vector<Rule> rules;
+  for (const Itemset& is : itemsets) {
+    if (is.items.size() < 2) continue;
+    for (size_t c = 0; c < is.items.size(); ++c) {
+      int32_t consequent = is.items[c];
+      if (!whitelist.empty() && whitelist.count(consequent) == 0) continue;
+      std::vector<int32_t> antecedent;
+      bool blacklisted = false;
+      for (size_t i = 0; i < is.items.size(); ++i) {
+        if (i == c) continue;
+        if (blacklist.count(is.items[i]) > 0) blacklisted = true;
+        antecedent.push_back(is.items[i]);
+      }
+      if (blacklisted) continue;
+      auto ante_it = support.find(antecedent);
+      auto cons_it = support.find({consequent});
+      if (ante_it == support.end() || cons_it == support.end()) continue;
+      Rule rule;
+      rule.antecedent = std::move(antecedent);
+      rule.consequent = consequent;
+      rule.support = static_cast<double>(is.support_count) / n;
+      rule.confidence = static_cast<double>(is.support_count) /
+                        static_cast<double>(ante_it->second);
+      double p_consequent = static_cast<double>(cons_it->second) / n;
+      rule.lift = p_consequent > 0.0 ? rule.confidence / p_consequent : 0.0;
+      if (rule.confidence >= config.min_confidence &&
+          rule.lift > config.min_lift) {
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    if (a.lift != b.lift) return a.lift > b.lift;
+    return a.confidence > b.confidence;
+  });
+  return rules;
+}
+
+}  // namespace texrheo::rules

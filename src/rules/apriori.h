@@ -1,0 +1,64 @@
+#ifndef TEXRHEO_RULES_APRIORI_H_
+#define TEXRHEO_RULES_APRIORI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace texrheo::rules {
+
+/// One transaction: a sorted, de-duplicated set of item ids.
+using Transaction = std::vector<int32_t>;
+
+/// A frequent itemset with its absolute support count.
+struct Itemset {
+  std::vector<int32_t> items;  ///< Sorted ascending.
+  int64_t support_count = 0;
+};
+
+/// An association rule antecedent -> consequent.
+struct Rule {
+  std::vector<int32_t> antecedent;  ///< Sorted ascending.
+  int32_t consequent = 0;           ///< Single-item consequent.
+  double support = 0.0;     ///< P(antecedent and consequent).
+  double confidence = 0.0;  ///< P(consequent | antecedent).
+  double lift = 0.0;        ///< confidence / P(consequent).
+};
+
+/// Mining thresholds.
+struct AprioriConfig {
+  double min_support = 0.01;     ///< Fraction of transactions.
+  double min_confidence = 0.5;
+  double min_lift = 1.0;         ///< Rules at or below chance are dropped.
+  size_t max_itemset_size = 4;   ///< Cap on antecedent size + 1.
+  /// Only items in this list may appear as rule consequents; empty = any.
+  std::vector<int32_t> consequent_whitelist;
+  /// Items that may NOT appear in antecedents (e.g. other texture items,
+  /// to keep rules of the form "recipe info -> texture").
+  std::vector<int32_t> antecedent_blacklist;
+};
+
+/// Classic Apriori: level-wise frequent-itemset mining with the downward-
+/// closure prune, then rule generation with single-item consequents.
+/// The paper's conclusion proposes exactly this kind of bridge: "rules
+/// bridging between recipe information including ingredient concentrations,
+/// cooking steps etc., and sensory textures".
+class Apriori {
+ public:
+  /// Mines frequent itemsets. Transactions must contain sorted unique ids.
+  static texrheo::StatusOr<std::vector<Itemset>> MineItemsets(
+      const std::vector<Transaction>& transactions,
+      const AprioriConfig& config);
+
+  /// Mines rules (calls MineItemsets internally). Rules are sorted by lift
+  /// descending, then confidence.
+  static texrheo::StatusOr<std::vector<Rule>> MineRules(
+      const std::vector<Transaction>& transactions,
+      const AprioriConfig& config);
+};
+
+}  // namespace texrheo::rules
+
+#endif  // TEXRHEO_RULES_APRIORI_H_

@@ -1,0 +1,135 @@
+#include "rules/transactions.h"
+
+#include <algorithm>
+
+#include "recipe/features.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace texrheo::rules {
+namespace {
+
+// Step verbs recognized in descriptions when no "steps" metadata exists.
+constexpr const char* kStepVerbs[] = {"boil",  "whip", "bloom",
+                                      "chill", "strain"};
+
+}  // namespace
+
+TransactionBuilder::TransactionBuilder() : TransactionBuilder(Config()) {}
+
+TransactionBuilder::TransactionBuilder(Config config) : config_(config) {}
+
+int32_t TransactionBuilder::ItemId(const std::string& label) {
+  return items_.Add(label);
+}
+
+const std::string& TransactionBuilder::ItemLabel(int32_t id) const {
+  return items_.WordOf(id);
+}
+
+std::vector<int32_t> TransactionBuilder::TextureItemIds() const {
+  std::vector<int32_t> out;
+  for (size_t id = 0; id < items_.size(); ++id) {
+    if (StartsWith(items_.WordOf(static_cast<int32_t>(id)), "texture=")) {
+      out.push_back(static_cast<int32_t>(id));
+    }
+  }
+  return out;
+}
+
+Transaction TransactionBuilder::Encode(const recipe::Recipe& r,
+                                       const recipe::IngredientDatabase& db,
+                                       const text::TextureDictionary& dict) {
+  Transaction transaction;
+  auto conc_or = recipe::ComputeConcentrations(r, db);
+  if (!conc_or.ok() || !conc_or->HasAnyGel()) return transaction;
+  const recipe::Concentrations& conc = conc_or.value();
+
+  auto add = [this, &transaction](const std::string& label) {
+    transaction.push_back(ItemId(label));
+  };
+
+  // Dominant gel and its concentration bin.
+  size_t dominant = 0;
+  for (size_t g = 1; g < conc.gel.size(); ++g) {
+    if (conc.gel[g] > conc.gel[dominant]) dominant = g;
+  }
+  double c = conc.gel[dominant];
+  add(std::string("gel=") +
+      GelTypeName(static_cast<recipe::GelType>(dominant)));
+  add(std::string("gel_conc=") + (c < config_.gel_low_edge
+                                      ? "low"
+                                      : c < config_.gel_high_edge ? "mid"
+                                                                  : "high"));
+
+  // Emulsions present in meaningful amounts.
+  for (size_t e = 0; e < conc.emulsion.size(); ++e) {
+    if (conc.emulsion[e] >= config_.emulsion_threshold) {
+      add(std::string("emul=") +
+          EmulsionTypeName(static_cast<recipe::EmulsionType>(e)));
+    }
+  }
+
+  // Cooking steps: metadata first, description verbs as fallback.
+  auto steps_it = r.metadata.find("steps");
+  if (steps_it != r.metadata.end()) {
+    for (const std::string& step : Split(steps_it->second, '+')) {
+      if (!step.empty()) add("step=" + step);
+    }
+  } else {
+    for (const char* verb : kStepVerbs) {
+      if (r.description.find(verb) != std::string::npos) {
+        add(std::string("step=") + verb);
+      }
+    }
+  }
+
+  // Texture poles of the description's terms.
+  int hard = 0, soft = 0, elastic = 0, crumbly = 0, sticky = 0;
+  for (const std::string& surface :
+       text::Tokenizer::ExtractTextureTerms(r.description, dict)) {
+    const text::TextureTerm* term = dict.Find(surface);
+    if (term == nullptr) continue;
+    hard += text::IsHardTerm(*term);
+    soft += text::IsSoftTerm(*term);
+    elastic += text::IsElasticTerm(*term);
+    crumbly += text::IsCrumblyTerm(*term);
+    sticky += text::IsStickyTerm(*term);
+  }
+  if (hard >= config_.min_pole_terms) add("texture=hard");
+  if (soft >= config_.min_pole_terms) add("texture=soft");
+  if (elastic >= config_.min_pole_terms) add("texture=elastic");
+  if (crumbly >= config_.min_pole_terms) add("texture=crumbly");
+  if (sticky >= config_.min_pole_terms) add("texture=sticky");
+
+  std::sort(transaction.begin(), transaction.end());
+  transaction.erase(std::unique(transaction.begin(), transaction.end()),
+                    transaction.end());
+  return transaction;
+}
+
+std::vector<Transaction> TransactionBuilder::EncodeCorpus(
+    const std::vector<recipe::Recipe>& corpus,
+    const recipe::IngredientDatabase& db,
+    const text::TextureDictionary& dict) {
+  std::vector<Transaction> out;
+  out.reserve(corpus.size());
+  for (const auto& r : corpus) {
+    Transaction t = Encode(r, db, dict);
+    if (!t.empty()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::string FormatRule(const Rule& rule, const TransactionBuilder& builder) {
+  std::vector<std::string> antecedent_labels;
+  for (int32_t item : rule.antecedent) {
+    antecedent_labels.push_back(builder.ItemLabel(item));
+  }
+  return Join(antecedent_labels, " & ") + " -> " +
+         builder.ItemLabel(rule.consequent) +
+         StrFormat("  (supp %.3f, conf %.2f, lift %.2f)", rule.support,
+                   rule.confidence, rule.lift);
+}
+
+}  // namespace texrheo::rules

@@ -1,0 +1,74 @@
+#ifndef TEXRHEO_RULES_TRANSACTIONS_H_
+#define TEXRHEO_RULES_TRANSACTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "recipe/ingredient.h"
+#include "recipe/recipe.h"
+#include "rules/apriori.h"
+#include "text/texture_dictionary.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace texrheo::rules {
+
+/// Converts recipes into Apriori transactions whose items encode the
+/// bridge the paper's conclusion proposes:
+///   gel=<type>                 which gelling agent dominates
+///   gel_conc=low|mid|high      binned dominant-gel concentration
+///   emul=<type>                each emulsion above a presence threshold
+///   step=<name>                each cooking step ("steps" metadata,
+///                              '+'-separated; also parsed from the
+///                              description's step verbs as a fallback)
+///   texture=hard|soft|elastic|crumbly|sticky
+///                              poles of the description's texture terms.
+class TransactionBuilder {
+ public:
+  struct Config {
+    /// Dominant-gel concentration bin edges (ratio of total weight).
+    double gel_low_edge = 0.008;
+    double gel_high_edge = 0.02;
+    /// Emulsions below this weight fraction are not itemized.
+    double emulsion_threshold = 0.03;
+    /// A texture pole is itemized when at least this many of the recipe's
+    /// terms sit on it.
+    int min_pole_terms = 1;
+  };
+
+  TransactionBuilder();
+  explicit TransactionBuilder(Config config);
+
+  /// Encodes one recipe; returns an empty transaction when the recipe has
+  /// no gel or no parseable quantities.
+  Transaction Encode(const recipe::Recipe& r,
+                     const recipe::IngredientDatabase& db,
+                     const text::TextureDictionary& dict);
+
+  /// Encodes a corpus, dropping empty transactions.
+  std::vector<Transaction> EncodeCorpus(
+      const std::vector<recipe::Recipe>& corpus,
+      const recipe::IngredientDatabase& db,
+      const text::TextureDictionary& dict);
+
+  /// Item id for a label (interning; stable across calls).
+  int32_t ItemId(const std::string& label);
+  /// Label of an item id.
+  const std::string& ItemLabel(int32_t id) const;
+  /// Ids of all texture=* items seen so far (natural rule consequents).
+  std::vector<int32_t> TextureItemIds() const;
+
+  size_t num_items() const { return items_.size(); }
+
+ private:
+  Config config_;
+  text::Vocabulary items_;
+};
+
+/// Renders a rule using the builder's labels:
+///   "gel=gelatin & step=boil -> texture=soft  (supp 0.04, conf 0.81, lift 2.3)"
+std::string FormatRule(const Rule& rule, const TransactionBuilder& builder);
+
+}  // namespace texrheo::rules
+
+#endif  // TEXRHEO_RULES_TRANSACTIONS_H_

@@ -1,0 +1,309 @@
+#include "text/texture_dictionary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace texrheo::text {
+namespace {
+
+constexpr int kDictionarySize = 288;
+
+struct RawTerm {
+  const char* surface;
+  const char* gloss;
+  TextureAxis axis;
+  int polarity;
+  double intensity;
+  bool gel_related;
+};
+
+// The 41 surfaces quoted in the paper (Table II(a) plus common gel-corpus
+// terms), annotated along the three TPA axes. Polarity signs follow the
+// paper's own readings: "katai"/"dossiri" are hardness terms, "furufuru"/
+// "fuwafuwa" softness, "burinburin"/"purupuru" elasticity (the high-
+// cohesiveness pole), "horohoro"/"bosoboso" crumbliness (low cohesiveness),
+// "nettori"/"necchiri" stickiness (high adhesiveness).
+constexpr RawTerm kPaperTerms[] = {
+    {"furufuru", "soft and slightly wobbly, easy to break",
+     TextureAxis::kHardness, -1, 0.7, true},
+    {"katai", "hard, firm, stiff, tough, rigid", TextureAxis::kHardness, +1,
+     0.9, true},
+    {"muchimuchi", "resilient, firm and slightly sticky",
+     TextureAxis::kHardness, +1, 0.6, true},
+    {"gucha", "mushy; having lost its original shape",
+     TextureAxis::kCohesiveness, -1, 0.8, true},
+    {"potteri", "thick, resistant to flow", TextureAxis::kAdhesiveness, +1,
+     0.5, true},
+    {"burunburun", "elastic and slightly wobbly (strong)",
+     TextureAxis::kCohesiveness, +1, 0.9, true},
+    {"bosoboso", "dry, crumbly and not compact", TextureAxis::kCohesiveness,
+     -1, 0.8, true},
+    {"botet", "thick and heavy, resistant to flow", TextureAxis::kHardness,
+     +1, 0.5, true},
+    {"shakusyaku", "crisp; material is cut or sheared off easily",
+     TextureAxis::kCohesiveness, -1, 0.6, true},
+    {"buruburu", "elastic and slightly wobbly", TextureAxis::kCohesiveness,
+     +1, 0.7, true},
+    {"purupuru", "soft elastic and slightly sticky, slightly wobbly",
+     TextureAxis::kCohesiveness, +1, 0.6, true},
+    {"nettori", "sticky, viscous and thick", TextureAxis::kAdhesiveness, +1,
+     0.9, true},
+    {"purit", "springy; pops when bitten", TextureAxis::kCohesiveness, +1,
+     0.5, true},
+    {"mottari", "thick and viscous, resistant to flow",
+     TextureAxis::kAdhesiveness, +1, 0.6, true},
+    {"horohoro", "crumbly and soft", TextureAxis::kCohesiveness, -1, 0.7,
+     true},
+    {"necchiri", "very sticky and viscous", TextureAxis::kAdhesiveness, +1,
+     1.0, true},
+    {"fuwafuwa", "soft and fluffy", TextureAxis::kHardness, -1, 0.9, true},
+    {"yuruyuru", "thin, loose, easy to deform", TextureAxis::kHardness, -1,
+     0.8, true},
+    {"bechat", "sticky, viscous and watery", TextureAxis::kAdhesiveness, +1,
+     0.7, true},
+    {"fukahuka", "soft, swollen and somewhat elastic", TextureAxis::kHardness,
+     -1, 0.6, true},
+    {"burit", "firm and resilient", TextureAxis::kCohesiveness, +1, 0.6,
+     true},
+    {"dossiri", "heavy, dense", TextureAxis::kHardness, +1, 0.8, true},
+    {"churuchuru", "slippery, smooth and wet surface",
+     TextureAxis::kAdhesiveness, -1, 0.5, true},
+    {"punipuni", "soft elastic and slightly sticky",
+     TextureAxis::kCohesiveness, +1, 0.5, true},
+    {"kutat", "soft, not taut", TextureAxis::kHardness, -1, 0.5, true},
+    {"burinburin", "firm and resilient (strong)", TextureAxis::kCohesiveness,
+     +1, 1.0, true},
+    {"korit", "crunchy", TextureAxis::kHardness, +1, 0.6, true},
+    {"daradara", "thick, heavy, dripping slowly", TextureAxis::kAdhesiveness,
+     +1, 0.4, true},
+    {"karat", "dry and crispy", TextureAxis::kAdhesiveness, -1, 0.7, true},
+    {"hajikeru", "cracking open, fizzy", TextureAxis::kCohesiveness, -1, 0.5,
+     true},
+    {"omoi", "heavy", TextureAxis::kHardness, +1, 0.5, true},
+    {"mochimochi", "springy and chewy like rice cake",
+     TextureAxis::kCohesiveness, +1, 0.8, true},
+    {"torotoro", "melting, thick and smooth", TextureAxis::kHardness, -1, 0.6,
+     true},
+    {"purunpurun", "strongly jiggly and springy", TextureAxis::kCohesiveness,
+     +1, 0.8, true},
+    {"tsurutsuru", "slippery and smooth", TextureAxis::kAdhesiveness, -1, 0.6,
+     true},
+    {"shikoshiko", "firm and pleasantly chewy", TextureAxis::kCohesiveness,
+     +1, 0.6, true},
+    {"kachikachi", "rock hard", TextureAxis::kHardness, +1, 1.0, true},
+    {"sakusaku", "crisp and light", TextureAxis::kCohesiveness, -1, 0.5,
+     false},
+    {"paripari", "thin and crispy", TextureAxis::kCohesiveness, -1, 0.6,
+     false},
+    {"karikari", "crunchy and hard", TextureAxis::kHardness, +1, 0.7, false},
+    {"zarazara", "grainy, rough", TextureAxis::kAdhesiveness, -1, 0.4, false},
+};
+
+// Onomatopoeic stems used to derive the remaining dictionary entries via the
+// productive morphology of Japanese mimetics. Each stem yields up to four
+// forms: full reduplication ("puyo" -> "puyopuyo"), adverbial -ri, glottal
+// -t, and nasal reduplication ("puyon" -> "puyonpuyon").
+constexpr RawTerm kStems[] = {
+    // Softness pole of hardness.
+    {"funya", "limp and soft", TextureAxis::kHardness, -1, 0.7, true},
+    {"howa", "airily soft", TextureAxis::kHardness, -1, 0.8, true},
+    {"poyo", "soft and bouncy-light", TextureAxis::kHardness, -1, 0.5, true},
+    {"fuka", "soft and fluffy-deep", TextureAxis::kHardness, -1, 0.6, true},
+    {"yawa", "tender, yielding", TextureAxis::kHardness, -1, 0.7, true},
+    {"fuwa", "light and airy", TextureAxis::kHardness, -1, 0.9, true},
+    {"hero", "limp, flimsy", TextureAxis::kHardness, -1, 0.4, true},
+    {"kuta", "wilted, not taut", TextureAxis::kHardness, -1, 0.5, true},
+    {"toro", "melting, smoothly thick", TextureAxis::kHardness, -1, 0.6,
+     true},
+    {"yuru", "loose, barely set", TextureAxis::kHardness, -1, 0.8, true},
+    {"tayu", "softly swaying", TextureAxis::kHardness, -1, 0.4, true},
+    {"hnya", "floppy", TextureAxis::kHardness, -1, 0.5, true},
+    // Hardness pole.
+    {"kachi", "rigidly hard", TextureAxis::kHardness, +1, 1.0, true},
+    {"gochi", "stiff and blocky", TextureAxis::kHardness, +1, 0.9, true},
+    {"kochi", "stiffened hard", TextureAxis::kHardness, +1, 0.8, true},
+    {"gachi", "solidly hard", TextureAxis::kHardness, +1, 0.9, true},
+    {"kin", "taut and firm", TextureAxis::kHardness, +1, 0.6, true},
+    {"gassi", "sturdy, dense", TextureAxis::kHardness, +1, 0.7, true},
+    {"zusshi", "heavy in the hand", TextureAxis::kHardness, +1, 0.8, true},
+    {"dosshi", "massive, weighty", TextureAxis::kHardness, +1, 0.8, true},
+    {"kori", "crunchy-firm", TextureAxis::kHardness, +1, 0.6, true},
+    {"gori", "coarsely hard", TextureAxis::kHardness, +1, 0.7, true},
+    {"goro", "chunky, lumpy-solid", TextureAxis::kHardness, +1, 0.4, true},
+    {"shika", "densely firm", TextureAxis::kHardness, +1, 0.5, true},
+    // Elastic / springy pole of cohesiveness.
+    {"puru", "jiggly, springy gel", TextureAxis::kCohesiveness, +1, 0.6,
+     true},
+    {"buru", "wobbling elastic", TextureAxis::kCohesiveness, +1, 0.7, true},
+    {"puri", "springy-popping", TextureAxis::kCohesiveness, +1, 0.5, true},
+    {"buri", "firmly resilient", TextureAxis::kCohesiveness, +1, 0.7, true},
+    {"puni", "squishy-elastic", TextureAxis::kCohesiveness, +1, 0.5, true},
+    {"muni", "pliably elastic", TextureAxis::kCohesiveness, +1, 0.4, true},
+    {"mochi", "chewy like rice cake", TextureAxis::kCohesiveness, +1, 0.8,
+     true},
+    {"muchi", "taut and chewy", TextureAxis::kCohesiveness, +1, 0.6, true},
+    {"shiko", "pleasantly chewy", TextureAxis::kCohesiveness, +1, 0.6, true},
+    {"kuni", "bendy-elastic", TextureAxis::kCohesiveness, +1, 0.4, true},
+    {"gumi", "gummy, dense-elastic", TextureAxis::kCohesiveness, +1, 0.7,
+     true},
+    {"byon", "rubbery bounce", TextureAxis::kCohesiveness, +1, 0.5, true},
+    {"pucchi", "bursting-springy", TextureAxis::kCohesiveness, +1, 0.5, true},
+    {"tsubu", "grainy pop", TextureAxis::kCohesiveness, +1, 0.3, true},
+    // Crumbly / low-cohesiveness pole.
+    {"horo", "crumbling softly apart", TextureAxis::kCohesiveness, -1, 0.7,
+     true},
+    {"boro", "falling apart in crumbs", TextureAxis::kCohesiveness, -1, 0.8,
+     true},
+    {"poro", "flaking off in bits", TextureAxis::kCohesiveness, -1, 0.6,
+     true},
+    {"boso", "dry and crumbly", TextureAxis::kCohesiveness, -1, 0.8, true},
+    {"pasa", "dry, falling apart", TextureAxis::kCohesiveness, -1, 0.7, true},
+    {"moro", "brittle, fragile", TextureAxis::kCohesiveness, -1, 0.6, true},
+    {"saku", "lightly crisp", TextureAxis::kCohesiveness, -1, 0.5, false},
+    {"shaku", "crisply shearing", TextureAxis::kCohesiveness, -1, 0.6, true},
+    {"zaku", "coarsely crunchy", TextureAxis::kCohesiveness, -1, 0.5, false},
+    {"pori", "quietly crunchy", TextureAxis::kCohesiveness, -1, 0.5, false},
+    {"bari", "crackling crisp", TextureAxis::kCohesiveness, -1, 0.7, false},
+    {"pari", "thin-crisp", TextureAxis::kCohesiveness, -1, 0.6, false},
+    {"kari", "hard-crisp", TextureAxis::kCohesiveness, -1, 0.7, false},
+    {"gucha", "mushed, collapsed", TextureAxis::kCohesiveness, -1, 0.8, true},
+    {"gusha", "crushed soggy", TextureAxis::kCohesiveness, -1, 0.7, true},
+    // Sticky / high-adhesiveness pole.
+    {"neba", "stringy-sticky", TextureAxis::kAdhesiveness, +1, 0.9, true},
+    {"beta", "clinging sticky", TextureAxis::kAdhesiveness, +1, 0.8, true},
+    {"beto", "heavily tacky", TextureAxis::kAdhesiveness, +1, 0.8, true},
+    {"necho", "gluey", TextureAxis::kAdhesiveness, +1, 0.9, true},
+    {"nechi", "persistent sticky", TextureAxis::kAdhesiveness, +1, 0.9, true},
+    {"nuru", "slimy-slick", TextureAxis::kAdhesiveness, +1, 0.5, true},
+    {"nume", "slippery-slimy", TextureAxis::kAdhesiveness, +1, 0.4, true},
+    {"nita", "thickly pasty", TextureAxis::kAdhesiveness, +1, 0.6, true},
+    {"mota", "sluggishly thick", TextureAxis::kAdhesiveness, +1, 0.5, true},
+    {"doro", "muddy-thick", TextureAxis::kAdhesiveness, +1, 0.6, true},
+    {"pota", "thickly dripping", TextureAxis::kAdhesiveness, +1, 0.4, true},
+    {"neto", "tackily sticky", TextureAxis::kAdhesiveness, +1, 0.8, true},
+    // Dry / clean-release pole of adhesiveness.
+    {"sara", "dry and smooth-flowing", TextureAxis::kAdhesiveness, -1, 0.6,
+     true},
+    {"kara", "dried crisp", TextureAxis::kAdhesiveness, -1, 0.7, true},
+    {"tsuru", "slickly smooth", TextureAxis::kAdhesiveness, -1, 0.6, true},
+    {"churu", "slurpably smooth", TextureAxis::kAdhesiveness, -1, 0.5, true},
+    {"suru", "gliding smooth", TextureAxis::kAdhesiveness, -1, 0.4, true},
+    {"shari", "icy-crisp, clean", TextureAxis::kAdhesiveness, -1, 0.5, true},
+    {"zara", "grainy, non-sticky", TextureAxis::kAdhesiveness, -1, 0.4,
+     false},
+    {"hoku", "dry-mealy", TextureAxis::kAdhesiveness, -1, 0.5, false},
+};
+
+// Builds the deterministic 288-entry dictionary: the 41 paper terms first,
+// then derived stem forms until the target size is reached.
+std::vector<TextureTerm> BuildEmbeddedTerms() {
+  std::vector<TextureTerm> terms;
+  terms.reserve(kDictionarySize);
+  auto contains = [&terms](const std::string& s) {
+    for (const auto& t : terms) {
+      if (t.surface == s) return true;
+    }
+    return false;
+  };
+  auto push = [&terms, &contains](std::string surface, std::string gloss,
+                                  TextureAxis axis, int polarity,
+                                  double intensity, bool gel_related) {
+    if (terms.size() >= kDictionarySize) return;
+    if (contains(surface)) return;
+    // Zipf-like usage: the curated paper terms (first 41) are common in
+    // recipe text; derived variants are long-tail.
+    size_t rank = terms.size();
+    double base_frequency =
+        rank < 41 ? 1.0 / (1.0 + 0.05 * static_cast<double>(rank)) : 0.0002;
+    terms.push_back(TextureTerm{std::move(surface), std::move(gloss), axis,
+                                polarity, intensity, gel_related,
+                                base_frequency});
+  };
+
+  for (const RawTerm& r : kPaperTerms) {
+    push(r.surface, r.gloss, r.axis, r.polarity, r.intensity, r.gel_related);
+  }
+  // Derived forms, one morphological pattern at a time so the mix of forms
+  // is balanced across stems even though we stop at exactly 288.
+  for (const RawTerm& s : kStems) {  // Full reduplication: puyo -> puyopuyo.
+    push(std::string(s.surface) + s.surface, s.gloss, s.axis, s.polarity,
+         s.intensity, s.gel_related);
+  }
+  for (const RawTerm& s : kStems) {  // Glottal: puyo -> puyot.
+    push(std::string(s.surface) + "t", std::string(s.gloss) + " (abrupt)",
+         s.axis, s.polarity, s.intensity * 0.9, s.gel_related);
+  }
+  for (const RawTerm& s : kStems) {  // Adverbial -ri: puyo -> puyori.
+    push(std::string(s.surface) + "ri", std::string(s.gloss) + " (settled)",
+         s.axis, s.polarity, s.intensity * 0.8, s.gel_related);
+  }
+  for (const RawTerm& s : kStems) {  // Nasal reduplication: puyonpuyon.
+    push(std::string(s.surface) + "n" + s.surface + "n",
+         std::string(s.gloss) + " (emphatic)", s.axis, s.polarity,
+         std::min(1.0, s.intensity * 1.2), s.gel_related);
+  }
+  assert(terms.size() == kDictionarySize &&
+         "stem table too small for the 288-entry dictionary");
+  return terms;
+}
+
+}  // namespace
+
+const char* TextureAxisName(TextureAxis axis) {
+  switch (axis) {
+    case TextureAxis::kHardness:
+      return "hardness";
+    case TextureAxis::kCohesiveness:
+      return "cohesiveness";
+    case TextureAxis::kAdhesiveness:
+      return "adhesiveness";
+  }
+  return "?";
+}
+
+TextureDictionary::TextureDictionary(std::vector<TextureTerm> terms) {
+  terms_.reserve(terms.size());
+  for (auto& t : terms) {
+    if (index_.count(t.surface)) continue;
+    index_.emplace(t.surface, terms_.size());
+    terms_.push_back(std::move(t));
+  }
+}
+
+const TextureDictionary& TextureDictionary::Embedded() {
+  static const TextureDictionary& dict =
+      *new TextureDictionary(BuildEmbeddedTerms());
+  return dict;
+}
+
+const TextureTerm* TextureDictionary::Find(std::string_view surface) const {
+  auto it = index_.find(std::string(surface));
+  return it == index_.end() ? nullptr : &terms_[it->second];
+}
+
+std::vector<const TextureTerm*> TextureDictionary::TermsOnAxis(
+    TextureAxis axis, int polarity) const {
+  std::vector<const TextureTerm*> out;
+  for (const auto& t : terms_) {
+    if (t.axis == axis && t.polarity == polarity) out.push_back(&t);
+  }
+  return out;
+}
+
+bool IsHardTerm(const TextureTerm& t) {
+  return t.axis == TextureAxis::kHardness && t.polarity > 0;
+}
+bool IsSoftTerm(const TextureTerm& t) {
+  return t.axis == TextureAxis::kHardness && t.polarity < 0;
+}
+bool IsElasticTerm(const TextureTerm& t) {
+  return t.axis == TextureAxis::kCohesiveness && t.polarity > 0;
+}
+bool IsCrumblyTerm(const TextureTerm& t) {
+  return t.axis == TextureAxis::kCohesiveness && t.polarity < 0;
+}
+bool IsStickyTerm(const TextureTerm& t) {
+  return t.axis == TextureAxis::kAdhesiveness && t.polarity > 0;
+}
+
+}  // namespace texrheo::text

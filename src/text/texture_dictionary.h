@@ -1,0 +1,84 @@
+#ifndef TEXRHEO_TEXT_TEXTURE_DICTIONARY_H_
+#define TEXRHEO_TEXT_TEXTURE_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace texrheo::text {
+
+/// Rheological axis a sensory texture term describes. Mirrors the category
+/// annotation of the NARO Comprehensive Japanese Texture Terms dictionary,
+/// restricted — as in the paper — to the three axes measured by texture
+/// profile analysis: hardness, cohesiveness, adhesiveness.
+enum class TextureAxis {
+  kHardness = 0,      // hard (+) ... soft (-)
+  kCohesiveness = 1,  // elastic/springy (+) ... crumbly/pasty (-)
+  kAdhesiveness = 2,  // sticky (+) ... dry/clean-release (-)
+};
+
+const char* TextureAxisName(TextureAxis axis);
+
+/// One dictionary entry: a romanized Japanese texture term with its
+/// rheological annotation.
+struct TextureTerm {
+  std::string surface;  ///< Romanized surface form, e.g. "purupuru".
+  std::string gloss;    ///< Short English gloss.
+  TextureAxis axis;     ///< Which quantitative axis the term describes.
+  int polarity;         ///< +1 toward the axis' high end, -1 toward the low.
+  double intensity;     ///< Perceived strength along the axis, in (0, 1].
+  bool gel_related;     ///< False for terms typical of non-gel foods
+                        ///< (crispy toppings etc.) - used to validate the
+                        ///< word2vec confounder filter.
+  double base_frequency = 1.0;  ///< Relative usage frequency in recipe text
+                                ///< (Zipf-like: the paper's 41 common terms
+                                ///< dominate; rare variants trail off).
+};
+
+/// The embedded texture-term dictionary. The real NARO dictionary is a
+/// website resource; this reproduction embeds 288 romanized terms built
+/// from (a) the 41 surfaces quoted in the paper and (b) systematically
+/// derived morphological variants of curated onomatopoeic stems
+/// (reduplication "purupuru", glottal "purit", nasal "purunpurun",
+/// adverbial "-ri" forms), each annotated with axis/polarity/intensity.
+class TextureDictionary {
+ public:
+  /// The process-wide embedded dictionary (constructed once, never freed).
+  static const TextureDictionary& Embedded();
+
+  /// Builds a dictionary from explicit entries; duplicated surfaces keep the
+  /// first occurrence.
+  explicit TextureDictionary(std::vector<TextureTerm> terms);
+
+  /// Returns the entry for a surface form, or nullptr when absent.
+  const TextureTerm* Find(std::string_view surface) const;
+
+  bool Contains(std::string_view surface) const {
+    return Find(surface) != nullptr;
+  }
+
+  const std::vector<TextureTerm>& terms() const { return terms_; }
+  size_t size() const { return terms_.size(); }
+
+  /// All terms on `axis` with the given polarity sign (+1 or -1).
+  std::vector<const TextureTerm*> TermsOnAxis(TextureAxis axis,
+                                              int polarity) const;
+
+ private:
+  std::vector<TextureTerm> terms_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// True when the term names the hard (resp. soft) pole of the hardness axis.
+bool IsHardTerm(const TextureTerm& t);
+bool IsSoftTerm(const TextureTerm& t);
+/// True for the elastic/springy (resp. crumbly-pasty "cohesive-low") pole.
+bool IsElasticTerm(const TextureTerm& t);
+bool IsCrumblyTerm(const TextureTerm& t);
+/// Sticky (resp. dry) pole of the adhesiveness axis.
+bool IsStickyTerm(const TextureTerm& t);
+
+}  // namespace texrheo::text
+
+#endif  // TEXRHEO_TEXT_TEXTURE_DICTIONARY_H_

@@ -1,0 +1,49 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace texrheo::text {
+namespace {
+
+bool IsTokenChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '-' || c == '\'';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view description) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < description.size()) {
+    while (i < description.size() && !IsTokenChar(description[i])) ++i;
+    size_t start = i;
+    while (i < description.size() && IsTokenChar(description[i])) ++i;
+    if (i > start) {
+      tokens.push_back(ToLower(description.substr(start, i - start)));
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> Tokenizer::ExtractTextureTerms(
+    std::string_view description, const TextureDictionary& dict) {
+  std::vector<std::string> found;
+  for (const std::string& token : Tokenize(description)) {
+    if (dict.Contains(token)) {
+      found.push_back(token);
+      continue;
+    }
+    // Compound tokens such as "purupuru-no" or "katai-me": match parts.
+    if (token.find('-') != std::string::npos) {
+      for (const std::string& part : Split(token, '-')) {
+        if (dict.Contains(part)) found.push_back(part);
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace texrheo::text

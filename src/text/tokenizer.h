@@ -1,0 +1,33 @@
+#ifndef TEXRHEO_TEXT_TOKENIZER_H_
+#define TEXRHEO_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/texture_dictionary.h"
+
+namespace texrheo::text {
+
+/// Tokenizes recipe description text.
+///
+/// Descriptions in this reproduction are romanized, so tokenization is
+/// whitespace/punctuation splitting plus lower-casing. On top of that,
+/// `ExtractTextureTerms` performs dictionary matching the way the paper
+/// extracts texture terms: a token counts when it exactly matches a
+/// dictionary surface, and compound tokens joined by '-' are also checked
+/// part-wise ("purupuru-no" -> "purupuru").
+class Tokenizer {
+ public:
+  /// Splits into lower-cased word tokens; punctuation separates tokens.
+  static std::vector<std::string> Tokenize(std::string_view description);
+
+  /// Returns the texture-term tokens of `description`, in order of
+  /// appearance (with repetitions), using `dict` for matching.
+  static std::vector<std::string> ExtractTextureTerms(
+      std::string_view description, const TextureDictionary& dict);
+};
+
+}  // namespace texrheo::text
+
+#endif  // TEXRHEO_TEXT_TOKENIZER_H_

@@ -1,0 +1,50 @@
+#include "text/vocabulary.h"
+
+#include <cassert>
+
+namespace texrheo::text {
+
+int32_t Vocabulary::Add(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  int32_t id;
+  if (it == index_.end()) {
+    id = static_cast<int32_t>(words_.size());
+    index_.emplace(std::string(word), id);
+    words_.emplace_back(word);
+    counts_.push_back(0);
+  } else {
+    id = it->second;
+  }
+  ++counts_[id];
+  ++total_count_;
+  return id;
+}
+
+int32_t Vocabulary::IdOf(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kUnknownId : it->second;
+}
+
+const std::string& Vocabulary::WordOf(int32_t id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < words_.size());
+  return words_[id];
+}
+
+int64_t Vocabulary::CountOf(int32_t id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < counts_.size());
+  return counts_[id];
+}
+
+Vocabulary Vocabulary::Pruned(int64_t min_count) const {
+  Vocabulary out;
+  for (size_t id = 0; id < words_.size(); ++id) {
+    if (counts_[id] < min_count) continue;
+    int32_t new_id = out.Add(words_[id]);
+    // Add() set count 1; restore the real count.
+    out.counts_[new_id] = counts_[id];
+    out.total_count_ += counts_[id] - 1;
+  }
+  return out;
+}
+
+}  // namespace texrheo::text

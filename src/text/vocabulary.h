@@ -1,0 +1,52 @@
+#ifndef TEXRHEO_TEXT_VOCABULARY_H_
+#define TEXRHEO_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace texrheo::text {
+
+/// Bidirectional word <-> integer-id mapping with frequency counts.
+/// Ids are dense and assigned in first-seen order, so a fixed corpus order
+/// yields a fixed vocabulary (important for reproducible experiments).
+class Vocabulary {
+ public:
+  static constexpr int32_t kUnknownId = -1;
+
+  /// Interns `word`, creating an id on first sight, and bumps its count.
+  int32_t Add(std::string_view word);
+
+  /// Id of `word`, or kUnknownId.
+  int32_t IdOf(std::string_view word) const;
+
+  /// Word for a valid id.
+  const std::string& WordOf(int32_t id) const;
+
+  /// Occurrence count accumulated through Add().
+  int64_t CountOf(int32_t id) const;
+
+  size_t size() const { return words_.size(); }
+
+  /// Total tokens added.
+  int64_t total_count() const { return total_count_; }
+
+  /// All counts, indexed by id (e.g. for building a sampling table).
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  /// Returns a vocabulary containing only words with count >= min_count,
+  /// with ids re-densified in the original order.
+  Vocabulary Pruned(int64_t min_count) const;
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> words_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace texrheo::text
+
+#endif  // TEXRHEO_TEXT_VOCABULARY_H_

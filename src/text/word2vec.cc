@@ -1,0 +1,243 @@
+#include "text/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/alias_table.h"
+
+namespace texrheo::text {
+namespace {
+
+// Clamped logistic; the clamp keeps gradients finite for extreme scores.
+float Sigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace
+
+texrheo::StatusOr<Word2Vec> Word2Vec::Train(
+    const std::vector<std::vector<std::string>>& sentences,
+    const Word2VecConfig& config) {
+  if (config.dim <= 0 || config.window <= 0 || config.negatives < 0 ||
+      config.epochs <= 0) {
+    return Status::InvalidArgument("word2vec: non-positive config field");
+  }
+  // Pass 1: count words.
+  Vocabulary full;
+  for (const auto& sentence : sentences) {
+    for (const auto& w : sentence) full.Add(w);
+  }
+  Vocabulary vocab = full.Pruned(config.min_count);
+  if (vocab.size() == 0) {
+    return Status::FailedPrecondition(
+        "word2vec: empty vocabulary after min_count pruning");
+  }
+
+  // Encode the corpus as id sequences once.
+  std::vector<std::vector<int32_t>> encoded;
+  encoded.reserve(sentences.size());
+  for (const auto& sentence : sentences) {
+    std::vector<int32_t> ids;
+    ids.reserve(sentence.size());
+    for (const auto& w : sentence) {
+      int32_t id = vocab.IdOf(w);
+      if (id != Vocabulary::kUnknownId) ids.push_back(id);
+    }
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+  if (encoded.empty()) {
+    return Status::FailedPrecondition("word2vec: no trainable sentences");
+  }
+
+  size_t v = vocab.size();
+  size_t dim = static_cast<size_t>(config.dim);
+  Word2Vec model(config, std::move(vocab));
+  model.in_.resize(v * dim);
+  model.out_.assign(v * dim, 0.0f);
+
+  Rng rng(config.seed);
+  float init_range = 0.5f / static_cast<float>(dim);
+  for (float& x : model.in_) {
+    x = (static_cast<float>(rng.NextDouble()) - 0.5f) * 2.0f * init_range;
+  }
+
+  // Negative-sampling noise distribution: count^0.75.
+  std::vector<double> noise_weights(v);
+  for (size_t i = 0; i < v; ++i) {
+    noise_weights[i] =
+        std::pow(static_cast<double>(model.vocab_.counts()[i]), 0.75);
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(math::AliasTable noise,
+                           math::AliasTable::Build(noise_weights));
+
+  // Subsampling keep-probabilities (Mikolov's formula).
+  std::vector<double> keep_prob(v, 1.0);
+  if (config.subsample > 0.0) {
+    double total = static_cast<double>(model.vocab_.total_count());
+    for (size_t i = 0; i < v; ++i) {
+      double f = static_cast<double>(model.vocab_.counts()[i]) / total;
+      double p = (std::sqrt(f / config.subsample) + 1.0) * config.subsample / f;
+      keep_prob[i] = std::min(1.0, p);
+    }
+  }
+
+  int64_t total_tokens = 0;
+  for (const auto& s : encoded) total_tokens += static_cast<int64_t>(s.size());
+  int64_t trained = 0;
+  const int64_t schedule_total = total_tokens * config.epochs;
+
+  std::vector<float> grad_in(dim);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const auto& sentence : encoded) {
+      // Apply subsampling per epoch so different tokens survive each pass.
+      std::vector<int32_t> kept;
+      kept.reserve(sentence.size());
+      for (int32_t id : sentence) {
+        if (keep_prob[static_cast<size_t>(id)] >= 1.0 ||
+            rng.NextDouble() < keep_prob[static_cast<size_t>(id)]) {
+          kept.push_back(id);
+        }
+      }
+      trained += static_cast<int64_t>(sentence.size());
+      if (kept.size() < 2) continue;
+      double progress =
+          static_cast<double>(trained) / static_cast<double>(schedule_total);
+      float lr = static_cast<float>(
+          std::max(config.min_lr, config.lr * (1.0 - progress)));
+
+      for (size_t pos = 0; pos < kept.size(); ++pos) {
+        int window = 1 + static_cast<int>(
+                             rng.NextUint(static_cast<uint64_t>(config.window)));
+        int32_t center = kept[pos];
+        float* center_vec = &model.in_[static_cast<size_t>(center) * dim];
+        for (int off = -window; off <= window; ++off) {
+          if (off == 0) continue;
+          int64_t cpos = static_cast<int64_t>(pos) + off;
+          if (cpos < 0 || cpos >= static_cast<int64_t>(kept.size())) continue;
+          int32_t context = kept[static_cast<size_t>(cpos)];
+
+          std::fill(grad_in.begin(), grad_in.end(), 0.0f);
+          for (int neg = 0; neg <= config.negatives; ++neg) {
+            int32_t target;
+            float label;
+            if (neg == 0) {
+              target = context;
+              label = 1.0f;
+            } else {
+              target = static_cast<int32_t>(noise.Sample(rng));
+              if (target == context) continue;
+              label = 0.0f;
+            }
+            float* out_vec = &model.out_[static_cast<size_t>(target) * dim];
+            float score = 0.0f;
+            for (size_t i = 0; i < dim; ++i) score += center_vec[i] * out_vec[i];
+            float g = (label - Sigmoid(score)) * lr;
+            for (size_t i = 0; i < dim; ++i) {
+              grad_in[i] += g * out_vec[i];
+              out_vec[i] += g * center_vec[i];
+            }
+          }
+          for (size_t i = 0; i < dim; ++i) center_vec[i] += grad_in[i];
+        }
+      }
+    }
+  }
+
+  model.norms_.resize(v);
+  for (size_t w = 0; w < v; ++w) {
+    double s = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      s += static_cast<double>(model.in_[w * dim + i]) * model.in_[w * dim + i];
+    }
+    model.norms_[w] = static_cast<float>(std::sqrt(s));
+  }
+  return model;
+}
+
+double Word2Vec::CosineById(int32_t a, int32_t b) const {
+  size_t dim = static_cast<size_t>(config_.dim);
+  const float* va = &in_[static_cast<size_t>(a) * dim];
+  const float* vb = &in_[static_cast<size_t>(b) * dim];
+  double dot = 0.0;
+  for (size_t i = 0; i < dim; ++i) dot += static_cast<double>(va[i]) * vb[i];
+  double denom = static_cast<double>(norms_[static_cast<size_t>(a)]) *
+                 norms_[static_cast<size_t>(b)];
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+texrheo::StatusOr<double> Word2Vec::Similarity(std::string_view a,
+                                               std::string_view b) const {
+  int32_t ia = vocab_.IdOf(a);
+  int32_t ib = vocab_.IdOf(b);
+  if (ia == Vocabulary::kUnknownId || ib == Vocabulary::kUnknownId) {
+    return Status::NotFound("word not in vocabulary");
+  }
+  return CosineById(ia, ib);
+}
+
+texrheo::StatusOr<std::vector<std::pair<std::string, double>>>
+Word2Vec::MostSimilar(std::string_view word, size_t k) const {
+  int32_t id = vocab_.IdOf(word);
+  if (id == Vocabulary::kUnknownId) {
+    return Status::NotFound("word not in vocabulary: " + std::string(word));
+  }
+  std::vector<std::pair<std::string, double>> scored;
+  scored.reserve(vocab_.size());
+  for (size_t other = 0; other < vocab_.size(); ++other) {
+    if (static_cast<int32_t>(other) == id) continue;
+    scored.emplace_back(vocab_.WordOf(static_cast<int32_t>(other)),
+                        CosineById(id, static_cast<int32_t>(other)));
+  }
+  size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(take),
+                    scored.end(), [](const auto& x, const auto& y) {
+                      return x.second > y.second;
+                    });
+  scored.resize(take);
+  return scored;
+}
+
+texrheo::StatusOr<std::vector<float>> Word2Vec::EmbeddingOf(
+    std::string_view word) const {
+  int32_t id = vocab_.IdOf(word);
+  if (id == Vocabulary::kUnknownId) {
+    return Status::NotFound("word not in vocabulary: " + std::string(word));
+  }
+  size_t dim = static_cast<size_t>(config_.dim);
+  const float* v = &in_[static_cast<size_t>(id) * dim];
+  return std::vector<float>(v, v + dim);
+}
+
+GelRelatednessFilter::GelRelatednessFilter(
+    const Word2Vec* model, std::vector<std::string> unrelated_ingredients,
+    Config config)
+    : model_(model),
+      unrelated_(std::move(unrelated_ingredients)),
+      config_(config) {}
+
+bool GelRelatednessFilter::IsExcluded(std::string_view texture_term) const {
+  if (!model_->Knows(texture_term)) return false;
+  auto neighbours_or = model_->MostSimilar(texture_term, config_.top_k);
+  if (!neighbours_or.ok()) return false;
+  for (const auto& [word, sim] : neighbours_or.value()) {
+    if (sim < config_.min_similarity) continue;
+    for (const auto& bad : unrelated_) {
+      if (word == bad) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> GelRelatednessFilter::ExcludedAmong(
+    const std::vector<std::string>& texture_terms) const {
+  std::vector<std::string> out;
+  for (const auto& term : texture_terms) {
+    if (std::find(out.begin(), out.end(), term) != out.end()) continue;
+    if (IsExcluded(term)) out.push_back(term);
+  }
+  return out;
+}
+
+}  // namespace texrheo::text

@@ -1,0 +1,105 @@
+#ifndef TEXRHEO_TEXT_WORD2VEC_H_
+#define TEXRHEO_TEXT_WORD2VEC_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace texrheo::text {
+
+/// Training configuration for skip-gram with negative sampling.
+struct Word2VecConfig {
+  int dim = 32;             ///< Embedding dimensionality.
+  int window = 4;           ///< Max context offset (sampled per position).
+  int negatives = 5;        ///< Negative samples per positive pair.
+  int epochs = 3;           ///< Passes over the corpus.
+  double lr = 0.025;        ///< Initial learning rate (linear decay).
+  double min_lr = 1e-4;     ///< Learning-rate floor.
+  int64_t min_count = 2;    ///< Words rarer than this are dropped.
+  double subsample = 1e-3;  ///< Frequent-word subsampling threshold; 0 = off.
+  uint64_t seed = 42;       ///< RNG seed; training is single-threaded and
+                            ///< fully deterministic given the seed.
+};
+
+/// Word2vec (Mikolov-style skip-gram, negative sampling), trained from
+/// scratch. The paper trains word2vec on recipe descriptions and excludes
+/// texture terms whose neighbourhoods contain gel-unrelated ingredients;
+/// GelRelatednessFilter below implements that use.
+class Word2Vec {
+ public:
+  /// Trains on tokenized sentences. Fails when the corpus produces an empty
+  /// vocabulary after min_count pruning.
+  static texrheo::StatusOr<Word2Vec> Train(
+      const std::vector<std::vector<std::string>>& sentences,
+      const Word2VecConfig& config);
+
+  const Vocabulary& vocab() const { return vocab_; }
+  int dim() const { return config_.dim; }
+
+  bool Knows(std::string_view word) const {
+    return vocab_.IdOf(word) != Vocabulary::kUnknownId;
+  }
+
+  /// Cosine similarity between two in-vocabulary words.
+  texrheo::StatusOr<double> Similarity(std::string_view a,
+                                       std::string_view b) const;
+
+  /// Top-k most cosine-similar vocabulary words (excluding `word` itself),
+  /// sorted descending.
+  texrheo::StatusOr<std::vector<std::pair<std::string, double>>> MostSimilar(
+      std::string_view word, size_t k) const;
+
+  /// The (input) embedding of an in-vocabulary word.
+  texrheo::StatusOr<std::vector<float>> EmbeddingOf(std::string_view word) const;
+
+ private:
+  Word2Vec(Word2VecConfig config, Vocabulary vocab)
+      : config_(config), vocab_(std::move(vocab)) {}
+
+  double CosineById(int32_t a, int32_t b) const;
+
+  Word2VecConfig config_;
+  Vocabulary vocab_;
+  std::vector<float> in_;   // V x dim input embeddings.
+  std::vector<float> out_;  // V x dim output embeddings.
+  std::vector<float> norms_;  // Cached L2 norms of input embeddings.
+};
+
+/// Implements the paper's gel-relatedness screen: a texture term is excluded
+/// when its word2vec neighbourhood contains an ingredient term unrelated to
+/// gels ("a recipe of mousse with topping of nuts might create texture terms
+/// representing crispy ... nuts appear in similar words").
+class GelRelatednessFilter {
+ public:
+  struct Config {
+    size_t top_k = 10;            ///< Neighbourhood size examined per term.
+    double min_similarity = 0.2;  ///< Neighbours below this are ignored.
+  };
+
+  /// `unrelated_ingredients` are surface forms of non-gel ingredient words
+  /// (e.g. "nuts", "cookie"). The model reference must outlive the filter.
+  GelRelatednessFilter(const Word2Vec* model,
+                       std::vector<std::string> unrelated_ingredients,
+                       Config config);
+
+  /// True when `texture_term` should be excluded from the dataset.
+  bool IsExcluded(std::string_view texture_term) const;
+
+  /// Evaluates a batch and returns the excluded subset (each term once).
+  std::vector<std::string> ExcludedAmong(
+      const std::vector<std::string>& texture_terms) const;
+
+ private:
+  const Word2Vec* model_;
+  std::vector<std::string> unrelated_;
+  Config config_;
+};
+
+}  // namespace texrheo::text
+
+#endif  // TEXRHEO_TEXT_WORD2VEC_H_

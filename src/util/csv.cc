@@ -1,0 +1,166 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace texrheo {
+
+StatusOr<CsvRow> ParseCsvLine(std::string_view line, char delim) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      if (c == '"' && field.empty()) {
+        in_quotes = true;
+      } else if (c == delim) {
+        row.push_back(std::move(field));
+        field.clear();
+      } else {
+        field.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV line");
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::string FormatCsvLine(const CsvRow& row, char delim) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(delim);
+    const std::string& f = row[i];
+    bool needs_quotes = f.find(delim) != std::string::npos ||
+                        f.find('"') != std::string::npos ||
+                        f.find('\n') != std::string::npos ||
+                        f.find('\r') != std::string::npos;
+    if (needs_quotes) {
+      out.push_back('"');
+      for (char c : f) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out.append(f);
+    }
+  }
+  return out;
+}
+
+CsvReader::CsvReader(std::string content, char delim)
+    : content_(std::move(content)), delim_(delim) {}
+
+bool CsvReader::Next(CsvRow& row) {
+  if (!status_.ok() || pos_ >= content_.size()) return false;
+  row.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (pos_ < content_.size()) {
+    char c = content_[pos_];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos_ + 1 < content_.size() && content_[pos_ + 1] == '"') {
+          field.push_back('"');
+          ++pos_;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      ++pos_;
+    } else {
+      if (c == '"' && field.empty()) {
+        in_quotes = true;
+        saw_any = true;
+        ++pos_;
+      } else if (c == delim_) {
+        row.push_back(std::move(field));
+        field.clear();
+        saw_any = true;
+        ++pos_;
+      } else if (c == '\r') {
+        ++pos_;  // Swallow; \r\n handled by the \n branch.
+      } else if (c == '\n') {
+        ++pos_;
+        row.push_back(std::move(field));
+        return true;
+      } else {
+        field.push_back(c);
+        saw_any = true;
+        ++pos_;
+      }
+    }
+  }
+  if (in_quotes) {
+    status_ = Status::InvalidArgument("unterminated quote in CSV document");
+    return false;
+  }
+  if (!saw_any && field.empty() && row.empty()) return false;
+  row.push_back(std::move(field));
+  return true;
+}
+
+StatusOr<std::vector<CsvRow>> CsvReader::ReadAll(std::string content,
+                                                 char delim) {
+  CsvReader reader(std::move(content), delim);
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  while (reader.Next(row)) rows.push_back(row);
+  if (!reader.status().ok()) return reader.status();
+  return rows;
+}
+
+StatusOr<std::vector<CsvRow>> CsvReader::ReadFile(const std::string& path,
+                                                  char delim) {
+  TEXRHEO_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ReadAll(std::move(content), delim);
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char delim) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    out += FormatCsvLine(row, delim);
+    out.push_back('\n');
+  }
+  return WriteStringToFile(path, out);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open file for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace texrheo

@@ -1,0 +1,63 @@
+#ifndef TEXRHEO_UTIL_CSV_H_
+#define TEXRHEO_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace texrheo {
+
+/// One parsed delimited row.
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line honoring RFC-4180 double-quote quoting. `delim` may be
+/// ',' or '\t'. Embedded newlines inside quotes are not supported by this
+/// single-line entry point; use CsvReader for full documents.
+StatusOr<CsvRow> ParseCsvLine(std::string_view line, char delim = ',');
+
+/// Serializes a row, quoting fields containing the delimiter, quotes, or
+/// newlines.
+std::string FormatCsvLine(const CsvRow& row, char delim = ',');
+
+/// Streaming reader over a whole document held in memory (files in this
+/// project are small relative to RAM). Handles quoted fields spanning lines.
+class CsvReader {
+ public:
+  explicit CsvReader(std::string content, char delim = ',');
+
+  /// Reads the next record into `row`. Returns false at end of input.
+  /// On malformed quoting, status() becomes non-OK and reading stops.
+  bool Next(CsvRow& row);
+
+  const Status& status() const { return status_; }
+
+  /// Convenience: parses an entire document into rows.
+  static StatusOr<std::vector<CsvRow>> ReadAll(std::string content,
+                                               char delim = ',');
+
+  /// Loads a file from disk and parses it.
+  static StatusOr<std::vector<CsvRow>> ReadFile(const std::string& path,
+                                                char delim = ',');
+
+ private:
+  std::string content_;
+  size_t pos_ = 0;
+  char delim_;
+  Status status_;
+};
+
+/// Writes rows to a file; returns IOError on failure.
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char delim = ',');
+
+/// Reads an entire file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, truncating.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_CSV_H_

@@ -1,0 +1,64 @@
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace texrheo {
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      // A bare "--" ends flag parsing (POSIX convention).
+      for (int j = i + 1; j < argc; ++j) positional_.push_back(argv[j]);
+      break;
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+StatusOr<int64_t> FlagParser::GetInt(const std::string& key,
+                                     int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return ParseInt(it->second);
+}
+
+StatusOr<double> FlagParser::GetDouble(const std::string& key,
+                                       double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return ParseDouble(it->second);
+}
+
+bool FlagParser::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  std::string v = ToLower(it->second);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace texrheo

@@ -1,0 +1,43 @@
+#ifndef TEXRHEO_UTIL_FLAGS_H_
+#define TEXRHEO_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace texrheo {
+
+/// Minimal command-line parser for the example / bench binaries.
+///
+/// Accepts `--key=value`, `--key value`, and bare `--flag` (boolean true).
+/// Everything that does not start with "--" is a positional argument.
+class FlagParser {
+ public:
+  /// Parses argv; returns InvalidArgument on a dangling `--key` with no value
+  /// only if the key was registered as requiring one (we can't know, so a
+  /// trailing `--key` simply becomes boolean true).
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters with defaults; a present-but-malformed value is an error
+  /// surfaced through the StatusOr.
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  StatusOr<int64_t> GetInt(const std::string& key, int64_t default_value) const;
+  StatusOr<double> GetDouble(const std::string& key,
+                             double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_FLAGS_H_

@@ -1,0 +1,367 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace texrheo {
+namespace {
+
+// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    TEXRHEO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("json: trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue() {
+    if (depth_ > 64) return Status::InvalidArgument("json: nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("json: unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      TEXRHEO_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::String(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+    if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+    if (ConsumeLiteral("null")) return JsonValue::Null();
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject() {
+    ++depth_;
+    Consume('{');
+    JsonValue value = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return value;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status::InvalidArgument("json: expected object key");
+      }
+      TEXRHEO_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Status::InvalidArgument("json: expected ':' after key");
+      }
+      TEXRHEO_ASSIGN_OR_RETURN(JsonValue child, ParseValue());
+      value.AsObject()[std::move(key)] = std::move(child);
+      SkipWhitespace();
+      if (Consume('}')) break;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("json: expected ',' or '}' in object");
+      }
+    }
+    --depth_;
+    return value;
+  }
+
+  StatusOr<JsonValue> ParseArray() {
+    ++depth_;
+    Consume('[');
+    JsonValue value = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return value;
+    }
+    for (;;) {
+      TEXRHEO_ASSIGN_OR_RETURN(JsonValue child, ParseValue());
+      value.AsArray().push_back(std::move(child));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("json: expected ',' or ']' in array");
+      }
+    }
+    --depth_;
+    return value;
+  }
+
+  StatusOr<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::InvalidArgument("json: truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return Status::InvalidArgument("json: bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogates unsupported).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("json: bad escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Status::InvalidArgument("json: unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("json: expected a value");
+    }
+    TEXRHEO_ASSIGN_OR_RETURN(double number,
+                             ParseDouble(text_.substr(start, pos_ - start)));
+    return JsonValue::Number(number);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void SerializeTo(const JsonValue& value, std::string& out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += value.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber: {
+      double n = value.AsNumber();
+      if (std::isfinite(n) && n == std::floor(n) &&
+          std::fabs(n) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", n);
+        out += buf;
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", n);
+        out += buf;
+      }
+      break;
+    }
+    case JsonValue::Type::kString:
+      AppendEscaped(out, value.AsString());
+      break;
+    case JsonValue::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& child : value.AsArray()) {
+        if (!first) out.push_back(',');
+        first = false;
+        SerializeTo(child, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, child] : value.AsObject()) {
+        if (!first) out.push_back(',');
+        first = false;
+        AppendEscaped(out, key);
+        out.push_back(':');
+        SerializeTo(child, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::make_shared<Array>();
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::make_shared<Object>();
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  assert(is_bool());
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  assert(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  assert(is_string());
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::AsArray() const {
+  assert(is_array());
+  return *array_;
+}
+
+JsonValue::Array& JsonValue::AsArray() {
+  assert(is_array());
+  return *array_;
+}
+
+const JsonValue::Object& JsonValue::AsObject() const {
+  assert(is_object());
+  return *object_;
+}
+
+JsonValue::Object& JsonValue::AsObject() {
+  assert(is_object());
+  return *object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_->find(std::string(key));
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(*this, out);
+  return out;
+}
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace texrheo

@@ -1,0 +1,70 @@
+#ifndef TEXRHEO_UTIL_JSON_H_
+#define TEXRHEO_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace texrheo {
+
+/// Minimal JSON document model: null, bool, number (double), string,
+/// array, object. Enough for the JSONL corpus format and small config
+/// files; not a general-purpose JSON library (no streaming, no comments).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one asserts in debug builds.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  Array& AsArray();
+  const Object& AsObject() const;
+  Object& AsObject();
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Serializes to compact JSON (keys sorted; doubles via shortest
+  /// round-trippable formatting, integers without a trailing ".0").
+  std::string Serialize() const;
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_JSON_H_

@@ -1,0 +1,50 @@
+#ifndef TEXRHEO_UTIL_LOGGING_H_
+#define TEXRHEO_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace texrheo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log emitter; flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace texrheo
+
+#define TEXRHEO_LOG(level)                                             \
+  (static_cast<int>(::texrheo::LogLevel::k##level) <                   \
+   static_cast<int>(::texrheo::GetLogLevel()))                         \
+      ? (void)0                                                        \
+      : ::texrheo::internal_logging::LogMessageVoidify() &             \
+            ::texrheo::internal_logging::LogMessage(                   \
+                ::texrheo::LogLevel::k##level, __FILE__, __LINE__)     \
+                .stream()
+
+#endif  // TEXRHEO_UTIL_LOGGING_H_

@@ -1,0 +1,79 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+namespace texrheo {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) measure(row);
+  }
+
+  auto render_sep = [&]() {
+    std::string line = "+";
+    for (size_t i = 0; i < cols; ++i) {
+      line.append(widths[i] + 2, '-');
+      line.push_back('+');
+    }
+    line.push_back('\n');
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line.push_back(' ');
+      line.append(cell);
+      line.append(widths[i] - cell.size() + 1, ' ');
+      line.push_back('|');
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = render_sep();
+  out += render_row(header_);
+  out += render_sep();
+  for (const auto& row : rows_) {
+    out += row.empty() ? render_sep() : render_row(row);
+  }
+  out += render_sep();
+  return out;
+}
+
+std::string TablePrinter::ToTsv() const {
+  std::string out;
+  auto append = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back('\t');
+      out.append(row[i]);
+    }
+    out.push_back('\n');
+  };
+  append(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) append(row);
+  }
+  return out;
+}
+
+}  // namespace texrheo

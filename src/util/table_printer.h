@@ -1,0 +1,41 @@
+#ifndef TEXRHEO_UTIL_TABLE_PRINTER_H_
+#define TEXRHEO_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace texrheo {
+
+/// Renders rows of strings as an aligned ASCII table, used by the bench
+/// binaries to print the paper's tables.
+///
+///   TablePrinter t({"Topic", "Gel", "#Recipes"});
+///   t.AddRow({"3", "gelatin:0.054", "38"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one body row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void AddSeparator();
+
+  /// Renders with `|` column borders and `-` separators.
+  std::string ToString() const;
+
+  /// Renders as delimiter-separated values (for machine consumption).
+  std::string ToTsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,78 @@
+#include "math/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace texrheo::math {
+namespace {
+
+TEST(AliasTableTest, RejectsEmptyAndInvalidWeights) {
+  EXPECT_FALSE(AliasTable::Build({}).ok());
+  EXPECT_FALSE(AliasTable::Build({0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasTable::Build({1.0, -0.5}).ok());
+}
+
+TEST(AliasTableTest, SingleBucketAlwaysReturnsZero) {
+  auto table = AliasTable::Build({3.0});
+  ASSERT_TRUE(table.ok());
+  texrheo::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table->Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, MassReconstructionMatchesWeights) {
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  auto table = AliasTable::Build(weights);
+  ASSERT_TRUE(table.ok());
+  double total = 10.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(table->MassOf(i), weights[i] / total, 1e-12);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  auto table = AliasTable::Build({1.0, 0.0, 1.0});
+  ASSERT_TRUE(table.ok());
+  texrheo::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table->Sample(rng), 1u);
+}
+
+class AliasFrequencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasFrequencyTest, EmpiricalFrequenciesMatchWeights) {
+  texrheo::Rng weight_rng(static_cast<uint64_t>(GetParam()));
+  size_t n = 2 + static_cast<size_t>(GetParam()) % 20;
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = weight_rng.NextDouble() * 10.0;
+    total += w;
+  }
+  auto table = AliasTable::Build(weights);
+  ASSERT_TRUE(table.ok());
+  texrheo::Rng rng(static_cast<uint64_t>(GetParam()) + 777);
+  std::vector<int> counts(n, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[table->Sample(rng)];
+  for (size_t i = 0; i < n; ++i) {
+    double expected = weights[i] / total;
+    double observed = counts[i] / static_cast<double>(draws);
+    EXPECT_NEAR(observed, expected, 0.01) << "bucket " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AliasFrequencyTest, ::testing::Range(0, 8));
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  auto table = AliasTable::Build({1e-6, 1.0});
+  ASSERT_TRUE(table.ok());
+  texrheo::Rng rng(3);
+  int rare = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (table->Sample(rng) == 0) ++rare;
+  }
+  EXPECT_LT(rare, 20);  // ~0.0001% expected.
+}
+
+}  // namespace
+}  // namespace texrheo::math

@@ -1,0 +1,268 @@
+#include "rules/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "rules/transactions.h"
+
+namespace texrheo::rules {
+namespace {
+
+// Classic textbook transactions over items {0:bread, 1:milk, 2:beer,
+// 3:diapers}.
+std::vector<Transaction> TextbookTransactions() {
+  return {
+      {0, 1},        // bread, milk
+      {0, 2, 3},     // bread, beer, diapers
+      {1, 2, 3},     // milk, beer, diapers
+      {0, 1, 2, 3},  // all
+      {0, 1, 3},     // bread, milk, diapers
+  };
+}
+
+TEST(AprioriTest, RejectsBadInput) {
+  AprioriConfig config;
+  EXPECT_FALSE(Apriori::MineItemsets({}, config).ok());
+  config.min_support = 0.0;
+  EXPECT_FALSE(Apriori::MineItemsets(TextbookTransactions(), config).ok());
+  config.min_support = 0.1;
+  EXPECT_FALSE(Apriori::MineItemsets({{2, 1}}, config).ok());  // Unsorted.
+  EXPECT_FALSE(Apriori::MineItemsets({{1, 1}}, config).ok());  // Duplicate.
+}
+
+TEST(AprioriTest, SingletonSupportsAreExact) {
+  AprioriConfig config;
+  config.min_support = 0.2;
+  auto itemsets = Apriori::MineItemsets(TextbookTransactions(), config);
+  ASSERT_TRUE(itemsets.ok());
+  auto support_of = [&](std::vector<int32_t> items) -> int64_t {
+    for (const auto& is : *itemsets) {
+      if (is.items == items) return is.support_count;
+    }
+    return -1;
+  };
+  EXPECT_EQ(support_of({0}), 4);  // bread
+  EXPECT_EQ(support_of({1}), 4);  // milk
+  EXPECT_EQ(support_of({2}), 3);  // beer
+  EXPECT_EQ(support_of({3}), 4);  // diapers
+  EXPECT_EQ(support_of({2, 3}), 3);  // beer & diapers
+  EXPECT_EQ(support_of({0, 1, 3}), 2);
+}
+
+TEST(AprioriTest, MinSupportPrunes) {
+  AprioriConfig config;
+  config.min_support = 0.7;  // Count >= 3.5 -> >= 4 effectively? no: >= 3.5
+  auto itemsets = Apriori::MineItemsets(TextbookTransactions(), config);
+  ASSERT_TRUE(itemsets.ok());
+  for (const auto& is : *itemsets) {
+    EXPECT_GE(is.support_count, 3) << "itemset of size " << is.items.size();
+  }
+}
+
+TEST(AprioriTest, DownwardClosureHolds) {
+  // Every subset of a frequent itemset is frequent.
+  AprioriConfig config;
+  config.min_support = 0.2;
+  auto itemsets = Apriori::MineItemsets(TextbookTransactions(), config);
+  ASSERT_TRUE(itemsets.ok());
+  auto is_frequent = [&](const std::vector<int32_t>& items) {
+    for (const auto& is : *itemsets) {
+      if (is.items == items) return true;
+    }
+    return false;
+  };
+  for (const auto& is : *itemsets) {
+    if (is.items.size() < 2) continue;
+    for (size_t drop = 0; drop < is.items.size(); ++drop) {
+      std::vector<int32_t> subset;
+      for (size_t i = 0; i < is.items.size(); ++i) {
+        if (i != drop) subset.push_back(is.items[i]);
+      }
+      EXPECT_TRUE(is_frequent(subset));
+    }
+  }
+}
+
+TEST(AprioriTest, RuleMetricsAreExact) {
+  AprioriConfig config;
+  config.min_support = 0.2;
+  config.min_confidence = 0.5;
+  config.min_lift = 0.0;
+  auto rules = Apriori::MineRules(TextbookTransactions(), config);
+  ASSERT_TRUE(rules.ok());
+  // beer -> diapers: support 3/5, confidence 3/3 = 1, lift 1 / (4/5) = 1.25.
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == std::vector<int32_t>{2} && rule.consequent == 3) {
+      found = true;
+      EXPECT_NEAR(rule.support, 0.6, 1e-12);
+      EXPECT_NEAR(rule.confidence, 1.0, 1e-12);
+      EXPECT_NEAR(rule.lift, 1.25, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AprioriTest, ConsequentWhitelistFilters) {
+  AprioriConfig config;
+  config.min_support = 0.2;
+  config.min_confidence = 0.1;
+  config.min_lift = 0.0;
+  config.consequent_whitelist = {3};
+  auto rules = Apriori::MineRules(TextbookTransactions(), config);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+  for (const auto& rule : *rules) EXPECT_EQ(rule.consequent, 3);
+}
+
+TEST(AprioriTest, AntecedentBlacklistFilters) {
+  AprioriConfig config;
+  config.min_support = 0.2;
+  config.min_confidence = 0.1;
+  config.min_lift = 0.0;
+  config.antecedent_blacklist = {2};
+  auto rules = Apriori::MineRules(TextbookTransactions(), config);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    for (int32_t item : rule.antecedent) EXPECT_NE(item, 2);
+  }
+}
+
+TEST(AprioriTest, RulesSortedByLift) {
+  AprioriConfig config;
+  config.min_support = 0.2;
+  config.min_confidence = 0.1;
+  config.min_lift = 0.0;
+  auto rules = Apriori::MineRules(TextbookTransactions(), config);
+  ASSERT_TRUE(rules.ok());
+  for (size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].lift, (*rules)[i].lift);
+  }
+}
+
+TEST(AprioriTest, MaxItemsetSizeCapsExpansion) {
+  AprioriConfig config;
+  config.min_support = 0.2;
+  config.max_itemset_size = 2;
+  auto itemsets = Apriori::MineItemsets(TextbookTransactions(), config);
+  ASSERT_TRUE(itemsets.ok());
+  for (const auto& is : *itemsets) EXPECT_LE(is.items.size(), 2u);
+}
+
+// --- TransactionBuilder integration over the synthetic corpus ------------
+
+TEST(TransactionBuilderTest, EncodesRecipeFacets) {
+  recipe::Recipe r;
+  r.id = 1;
+  r.description = "the texture is katai and nettori";
+  r.ingredients = {{"gelatin", "15 g"},
+                   {"milk", "300 g"},
+                   {"water", "185 g"}};
+  r.metadata["steps"] = "bloom+whip";
+  TransactionBuilder builder;
+  Transaction t = builder.Encode(r, recipe::IngredientDatabase::Embedded(),
+                                 text::TextureDictionary::Embedded());
+  ASSERT_FALSE(t.empty());
+  std::vector<std::string> labels;
+  for (int32_t item : t) labels.push_back(builder.ItemLabel(item));
+  auto has = [&labels](const std::string& s) {
+    return std::find(labels.begin(), labels.end(), s) != labels.end();
+  };
+  EXPECT_TRUE(has("gel=gelatin"));
+  EXPECT_TRUE(has("gel_conc=high"));  // 15/500 = 3%.
+  EXPECT_TRUE(has("emul=milk"));
+  EXPECT_TRUE(has("step=bloom"));
+  EXPECT_TRUE(has("step=whip"));
+  EXPECT_TRUE(has("texture=hard"));
+  EXPECT_TRUE(has("texture=sticky"));
+}
+
+TEST(TransactionBuilderTest, GellessRecipeYieldsEmptyTransaction) {
+  recipe::Recipe r;
+  r.ingredients = {{"milk", "200 g"}};
+  TransactionBuilder builder;
+  EXPECT_TRUE(builder
+                  .Encode(r, recipe::IngredientDatabase::Embedded(),
+                          text::TextureDictionary::Embedded())
+                  .empty());
+}
+
+TEST(TransactionBuilderTest, TransactionsAreSortedUnique) {
+  corpus::CorpusGenConfig config;
+  config.num_recipes = 500;
+  corpus::CorpusGenerator generator(
+      config, &rheology::GelPhysicsModel::Calibrated(),
+      &text::TextureDictionary::Embedded());
+  auto recipes = generator.Generate();
+  TransactionBuilder builder;
+  auto transactions =
+      builder.EncodeCorpus(recipes, recipe::IngredientDatabase::Embedded(),
+                           text::TextureDictionary::Embedded());
+  EXPECT_GT(transactions.size(), 400u);
+  for (const auto& t : transactions) {
+    EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+    EXPECT_EQ(std::adjacent_find(t.begin(), t.end()), t.end());
+  }
+}
+
+TEST(TransactionBuilderTest, MinedRulesIncludePlantedStepEffect) {
+  // "gel=kanten -> texture=hard" is planted by the physics (kanten is the
+  // hardest gel); it must surface from a moderately sized corpus.
+  corpus::CorpusGenConfig config;
+  config.num_recipes = 20000;
+  corpus::CorpusGenerator generator(
+      config, &rheology::GelPhysicsModel::Calibrated(),
+      &text::TextureDictionary::Embedded());
+  auto recipes = generator.Generate();
+  TransactionBuilder builder;
+  auto transactions =
+      builder.EncodeCorpus(recipes, recipe::IngredientDatabase::Embedded(),
+                           text::TextureDictionary::Embedded());
+  // Keep only texture-describing transactions.
+  std::vector<int32_t> texture_items = builder.TextureItemIds();
+  std::vector<Transaction> filtered;
+  for (auto& t : transactions) {
+    for (int32_t item : texture_items) {
+      if (std::binary_search(t.begin(), t.end(), item)) {
+        filtered.push_back(std::move(t));
+        break;
+      }
+    }
+  }
+  AprioriConfig apriori;
+  apriori.min_support = 0.01;
+  apriori.min_confidence = 0.4;
+  apriori.min_lift = 1.1;
+  apriori.consequent_whitelist = texture_items;
+  apriori.antecedent_blacklist = texture_items;
+  auto rules = Apriori::MineRules(filtered, apriori);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (const auto& rule : *rules) {
+    std::string text = FormatRule(rule, builder);
+    if (text.find("gel=kanten") != std::string::npos &&
+        text.find("-> texture=hard") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TransactionBuilderTest, FormatRuleIsReadable) {
+  TransactionBuilder builder;
+  int32_t a = builder.ItemId("gel=gelatin");
+  int32_t b = builder.ItemId("step=boil");
+  int32_t c = builder.ItemId("texture=soft");
+  Rule rule;
+  rule.antecedent = {a, b};
+  rule.consequent = c;
+  rule.support = 0.042;
+  rule.confidence = 0.81;
+  rule.lift = 2.31;
+  EXPECT_EQ(FormatRule(rule, builder),
+            "gel=gelatin & step=boil -> texture=soft  "
+            "(supp 0.042, conf 0.81, lift 2.31)");
+}
+
+}  // namespace
+}  // namespace texrheo::rules

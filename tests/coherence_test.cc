@@ -1,0 +1,79 @@
+#include "eval/coherence.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo::eval {
+namespace {
+
+// Dataset with two disjoint vocabularies: terms {0,1} always co-occur in
+// cluster-0 docs, {2,3} in cluster-1 docs; {0,2} never co-occur.
+recipe::Dataset CoOccurrenceDataset() {
+  recipe::Dataset ds;
+  for (const char* w : {"a0", "a1", "b0", "b1"}) ds.term_vocab.Add(w);
+  for (int i = 0; i < 50; ++i) {
+    for (int cluster = 0; cluster < 2; ++cluster) {
+      recipe::Document doc;
+      doc.recipe_index = ds.documents.size();
+      doc.term_ids = {cluster * 2, cluster * 2 + 1};
+      doc.gel_feature = math::Vector(1, 1.0);
+      doc.emulsion_feature = math::Vector(1, 1.0);
+      doc.gel_concentration = math::Vector(1, 0.01);
+      doc.emulsion_concentration = math::Vector(1, 0.1);
+      ds.documents.push_back(std::move(doc));
+    }
+  }
+  return ds;
+}
+
+TEST(CoherenceTest, CoherentTopicsScoreHigherThanIncoherent) {
+  recipe::Dataset ds = CoOccurrenceDataset();
+  // Topic 0 groups co-occurring terms; topic 1 mixes across clusters.
+  std::vector<std::vector<double>> coherent_phi = {{0.5, 0.5, 0.0, 0.0},
+                                                   {0.0, 0.0, 0.5, 0.5}};
+  std::vector<std::vector<double>> incoherent_phi = {{0.5, 0.0, 0.5, 0.0},
+                                                     {0.0, 0.5, 0.0, 0.5}};
+  auto coherent = ComputeUMassCoherence(coherent_phi, ds, 2);
+  auto incoherent = ComputeUMassCoherence(incoherent_phi, ds, 2);
+  ASSERT_TRUE(coherent.ok() && incoherent.ok());
+  EXPECT_GT(coherent->mean, incoherent->mean);
+}
+
+TEST(CoherenceTest, PerfectCoOccurrenceScoresNearZero) {
+  recipe::Dataset ds = CoOccurrenceDataset();
+  std::vector<std::vector<double>> phi = {{0.5, 0.5, 0.0, 0.0}};
+  auto coherence = ComputeUMassCoherence(phi, ds, 2);
+  ASSERT_TRUE(coherence.ok());
+  // D(w_i, w_j) = D(w_j) = 50 -> log(51/50) ~ 0.02 > 0... close to zero.
+  EXPECT_NEAR(coherence->per_topic[0], 0.0, 0.05);
+}
+
+TEST(CoherenceTest, NeverCoOccurringPairIsStronglyNegative) {
+  recipe::Dataset ds = CoOccurrenceDataset();
+  std::vector<std::vector<double>> phi = {{0.5, 0.0, 0.5, 0.0}};
+  auto coherence = ComputeUMassCoherence(phi, ds, 2);
+  ASSERT_TRUE(coherence.ok());
+  // co = 0, D = 50 -> log(1/50) ~ -3.9.
+  EXPECT_LT(coherence->per_topic[0], -3.0);
+}
+
+TEST(CoherenceTest, MeanAggregatesPerTopicScores) {
+  recipe::Dataset ds = CoOccurrenceDataset();
+  std::vector<std::vector<double>> phi = {{0.5, 0.5, 0.0, 0.0},
+                                          {0.5, 0.0, 0.5, 0.0}};
+  auto coherence = ComputeUMassCoherence(phi, ds, 2);
+  ASSERT_TRUE(coherence.ok());
+  EXPECT_NEAR(coherence->mean,
+              0.5 * (coherence->per_topic[0] + coherence->per_topic[1]),
+              1e-12);
+}
+
+TEST(CoherenceTest, RejectsBadInput) {
+  recipe::Dataset ds = CoOccurrenceDataset();
+  EXPECT_FALSE(ComputeUMassCoherence({}, ds, 5).ok());
+  EXPECT_FALSE(
+      ComputeUMassCoherence({{0.5, 0.5, 0.0, 0.0}}, ds, 1).ok());
+  EXPECT_FALSE(ComputeUMassCoherence({{0.5, 0.5}}, ds, 2).ok());
+}
+
+}  // namespace
+}  // namespace texrheo::eval

@@ -1,0 +1,147 @@
+#include "core/collapsed_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace texrheo::core {
+namespace {
+
+// Same planted structure as the non-collapsed sampler tests.
+recipe::Dataset PlantedDataset(size_t docs_per_cluster, uint64_t seed) {
+  recipe::Dataset ds;
+  for (const char* w : {"soft0", "soft1", "hard0", "hard1"}) {
+    ds.term_vocab.Add(w);
+  }
+  Rng rng(seed);
+  for (int cluster = 0; cluster < 2; ++cluster) {
+    for (size_t i = 0; i < docs_per_cluster; ++i) {
+      recipe::Document doc;
+      doc.recipe_index = ds.documents.size();
+      int n = 2 + static_cast<int>(rng.NextUint(3));
+      for (int t = 0; t < n; ++t) {
+        doc.term_ids.push_back(cluster * 2 +
+                               static_cast<int32_t>(rng.NextUint(2)));
+      }
+      doc.gel_feature = math::Vector(3, 9.0);
+      doc.emulsion_feature = math::Vector(2, 9.0);
+      if (cluster == 0) {
+        doc.gel_feature[0] = 4.0 + 0.3 * rng.NextGaussian();
+      } else {
+        doc.gel_feature[1] = 5.0 + 0.3 * rng.NextGaussian();
+      }
+      doc.gel_concentration = math::Vector(3, 0.01);
+      doc.emulsion_concentration = math::Vector(2, 0.1);
+      ds.documents.push_back(std::move(doc));
+    }
+  }
+  return ds;
+}
+
+JointTopicModelConfig SmallConfig(int topics = 2) {
+  JointTopicModelConfig config;
+  config.num_topics = topics;
+  config.sweeps = 50;
+  config.seed = 33;
+  return config;
+}
+
+TEST(CollapsedSamplerTest, CreateValidates) {
+  recipe::Dataset ds = PlantedDataset(10, 1);
+  EXPECT_FALSE(CollapsedJointTopicModel::Create(SmallConfig(), nullptr).ok());
+  JointTopicModelConfig bad = SmallConfig();
+  bad.num_topics = 0;
+  EXPECT_FALSE(CollapsedJointTopicModel::Create(bad, &ds).ok());
+}
+
+TEST(CollapsedSamplerTest, RecoversPlantedClusters) {
+  recipe::Dataset ds = PlantedDataset(50, 2);
+  auto model = CollapsedJointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Train().ok());
+  auto est = model->Estimate();
+  ASSERT_TRUE(est.ok());
+  std::vector<int> truth;
+  for (size_t d = 0; d < ds.documents.size(); ++d) {
+    truth.push_back(d < 50 ? 0 : 1);
+  }
+  auto scores = eval::ScoreClustering(est->doc_topic, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores->purity, 0.95);
+}
+
+TEST(CollapsedSamplerTest, EstimateShapesMatchConfig) {
+  recipe::Dataset ds = PlantedDataset(20, 3);
+  auto model = CollapsedJointTopicModel::Create(SmallConfig(4), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->RunSweeps(20).ok());
+  auto est = model->Estimate();
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->phi.size(), 4u);
+  EXPECT_EQ(est->gel_topics.size(), 4u);
+  EXPECT_EQ(est->emulsion_topics.size(), 4u);
+  EXPECT_EQ(est->theta.size(), ds.documents.size());
+  int total = 0;
+  for (int c : est->topic_recipe_count) total += c;
+  EXPECT_EQ(total, static_cast<int>(ds.documents.size()));
+}
+
+TEST(CollapsedSamplerTest, PredictiveLikelihoodImproves) {
+  recipe::Dataset ds = PlantedDataset(50, 4);
+  auto model = CollapsedJointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(model.ok());
+  auto before = model->PredictiveLogLikelihood();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(model->Train().ok());
+  auto after = model->PredictiveLogLikelihood();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(*after, *before);
+}
+
+TEST(CollapsedSamplerTest, DeterministicGivenSeed) {
+  recipe::Dataset ds = PlantedDataset(25, 5);
+  auto a = CollapsedJointTopicModel::Create(SmallConfig(2), &ds);
+  auto b = CollapsedJointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(a->RunSweeps(15).ok());
+  ASSERT_TRUE(b->RunSweeps(15).ok());
+  EXPECT_EQ(a->y(), b->y());
+}
+
+TEST(CollapsedSamplerTest, AgreesWithNonCollapsedSampler) {
+  // Both inference algorithms target the same posterior; on a cleanly
+  // separated dataset their hard clusterings must coincide (up to label
+  // permutation), which NMI == 1 captures.
+  recipe::Dataset ds = PlantedDataset(60, 6);
+  auto collapsed = CollapsedJointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(collapsed.ok());
+  ASSERT_TRUE(collapsed->Train().ok());
+  auto collapsed_est = collapsed->Estimate();
+  ASSERT_TRUE(collapsed_est.ok());
+
+  JointTopicModelConfig config = SmallConfig(2);
+  config.sweeps = 80;
+  auto vanilla = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(vanilla.ok());
+  ASSERT_TRUE(vanilla->Train().ok());
+  TopicEstimates vanilla_est = vanilla->Estimate();
+
+  auto agreement = eval::ScoreClustering(collapsed_est->doc_topic,
+                                         vanilla_est.doc_topic);
+  ASSERT_TRUE(agreement.ok());
+  EXPECT_GT(agreement->nmi, 0.9);
+}
+
+TEST(CollapsedSamplerTest, HandlesEmptyTopics) {
+  recipe::Dataset ds = PlantedDataset(15, 7);
+  auto model = CollapsedJointTopicModel::Create(SmallConfig(8), &ds);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->Train().ok());
+  EXPECT_TRUE(model->Estimate().ok());
+}
+
+}  // namespace
+}  // namespace texrheo::core

@@ -1,0 +1,117 @@
+#include "eval/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace texrheo::eval {
+namespace {
+
+std::vector<double> IidNormalTrace(size_t n, uint64_t seed,
+                                   double mean = 0.0, double sd = 1.0) {
+  Rng rng(seed);
+  std::vector<double> trace(n);
+  for (double& v : trace) v = mean + sd * rng.NextGaussian();
+  return trace;
+}
+
+// AR(1): x_t = rho x_{t-1} + e_t, strongly autocorrelated for rho near 1.
+std::vector<double> Ar1Trace(size_t n, double rho, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> trace(n);
+  double x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x = rho * x + rng.NextGaussian();
+    trace[i] = x;
+  }
+  return trace;
+}
+
+TEST(GewekeTest, StationaryTracePassesDiagnostic) {
+  auto trace = IidNormalTrace(2000, 1);
+  auto result = GewekeDiagnostic(trace);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(std::abs(result->z_score), 3.0);
+}
+
+TEST(GewekeTest, TrendingTraceFailsDiagnostic) {
+  std::vector<double> trace(2000);
+  Rng rng(2);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    trace[i] = 0.01 * static_cast<double>(i) + rng.NextGaussian();
+  }
+  auto result = GewekeDiagnostic(trace);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(std::abs(result->z_score), 5.0);
+  EXPECT_LT(result->early_mean, result->late_mean);
+}
+
+TEST(GewekeTest, RejectsBadFractions) {
+  auto trace = IidNormalTrace(100, 3);
+  EXPECT_FALSE(GewekeDiagnostic(trace, 0.0, 0.5).ok());
+  EXPECT_FALSE(GewekeDiagnostic(trace, 0.6, 0.6).ok());
+  EXPECT_FALSE(GewekeDiagnostic({1.0, 2.0}, 0.1, 0.5).ok());
+}
+
+TEST(EssTest, IidTraceHasNearFullEss) {
+  auto trace = IidNormalTrace(4000, 4);
+  auto ess = EffectiveSampleSize(trace);
+  ASSERT_TRUE(ess.ok());
+  EXPECT_GT(*ess, 2000.0);
+}
+
+TEST(EssTest, AutocorrelatedTraceHasReducedEss) {
+  auto trace = Ar1Trace(4000, 0.95, 5);
+  auto ess = EffectiveSampleSize(trace);
+  ASSERT_TRUE(ess.ok());
+  // AR(1) with rho=0.95 has ESS ~ n (1-rho)/(1+rho) ~ n/39.
+  EXPECT_LT(*ess, 600.0);
+  EXPECT_GE(*ess, 1.0);
+}
+
+TEST(EssTest, EssOrderingFollowsAutocorrelation) {
+  auto weak = EffectiveSampleSize(Ar1Trace(3000, 0.3, 6));
+  auto strong = EffectiveSampleSize(Ar1Trace(3000, 0.9, 6));
+  ASSERT_TRUE(weak.ok() && strong.ok());
+  EXPECT_GT(*weak, *strong);
+}
+
+TEST(EssTest, ConstantTraceIsFullSize) {
+  std::vector<double> trace(100, 3.14);
+  auto ess = EffectiveSampleSize(trace);
+  ASSERT_TRUE(ess.ok());
+  EXPECT_DOUBLE_EQ(*ess, 100.0);
+}
+
+TEST(EssTest, RejectsShortTrace) {
+  EXPECT_FALSE(EffectiveSampleSize({1.0, 2.0}).ok());
+}
+
+TEST(RhatTest, AgreeingChainsScoreNearOne) {
+  std::vector<std::vector<double>> chains = {
+      IidNormalTrace(1000, 7, 5.0), IidNormalTrace(1000, 8, 5.0),
+      IidNormalTrace(1000, 9, 5.0)};
+  auto rhat = PotentialScaleReduction(chains);
+  ASSERT_TRUE(rhat.ok());
+  EXPECT_NEAR(*rhat, 1.0, 0.05);
+}
+
+TEST(RhatTest, DivergentChainsScoreHigh) {
+  std::vector<std::vector<double>> chains = {
+      IidNormalTrace(1000, 10, 0.0), IidNormalTrace(1000, 11, 10.0)};
+  auto rhat = PotentialScaleReduction(chains);
+  ASSERT_TRUE(rhat.ok());
+  EXPECT_GT(*rhat, 3.0);
+}
+
+TEST(RhatTest, RejectsMismatchedChains) {
+  EXPECT_FALSE(PotentialScaleReduction({IidNormalTrace(100, 1)}).ok());
+  EXPECT_FALSE(PotentialScaleReduction(
+                   {IidNormalTrace(100, 1), IidNormalTrace(50, 2)})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace texrheo::eval

@@ -1,0 +1,201 @@
+#include "corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "recipe/dataset.h"
+#include "recipe/features.h"
+#include "text/tokenizer.h"
+
+namespace texrheo::corpus {
+namespace {
+
+CorpusGenConfig SmallConfig(size_t n = 2000) {
+  CorpusGenConfig config;
+  config.num_recipes = n;
+  config.seed = 4242;
+  return config;
+}
+
+std::vector<recipe::Recipe> GenerateSmall(size_t n = 2000) {
+  CorpusGenerator gen(SmallConfig(n),
+                      &rheology::GelPhysicsModel::Calibrated(),
+                      &text::TextureDictionary::Embedded());
+  return gen.Generate();
+}
+
+TEST(CorpusGeneratorTest, GeneratesRequestedCount) {
+  EXPECT_EQ(GenerateSmall(500).size(), 500u);
+}
+
+TEST(CorpusGeneratorTest, DeterministicGivenSeed) {
+  auto a = GenerateSmall(100);
+  auto b = GenerateSmall(100);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].description, b[i].description);
+    EXPECT_EQ(a[i].ingredients.size(), b[i].ingredients.size());
+  }
+}
+
+TEST(CorpusGeneratorTest, EveryRecipeHasGelAndParsesCleanly) {
+  const auto& db = recipe::IngredientDatabase::Embedded();
+  for (const auto& r : GenerateSmall(1000)) {
+    auto conc = recipe::ComputeConcentrations(r, db);
+    ASSERT_TRUE(conc.ok()) << r.title;
+    EXPECT_TRUE(conc->HasAnyGel()) << r.title;
+    EXPECT_GT(conc->total_grams, 100.0) << r.title;
+  }
+}
+
+TEST(CorpusGeneratorTest, GelSplitMatchesCookpadProportions) {
+  // Paper: gelatin 45k / kanten 15k / agar 3k of 63k.
+  auto recipes = GenerateSmall(20000);
+  std::map<std::string, int> by_gel;
+  for (const auto& r : recipes) ++by_gel[r.metadata.at(kMetaGelLabel)];
+  double n = static_cast<double>(recipes.size());
+  double gelatin = 0, kanten = 0, agar = 0;
+  for (const auto& [label, count] : by_gel) {
+    if (label.find("agar") != std::string::npos) {
+      agar += count;
+    } else if (label.find("kanten") != std::string::npos) {
+      kanten += count;
+    } else {
+      gelatin += count;
+    }
+  }
+  EXPECT_NEAR(gelatin / n, 45.0 / 63.0, 0.04);
+  EXPECT_NEAR(kanten / n, 15.0 / 63.0, 0.04);
+  EXPECT_NEAR(agar / n, 3.0 / 63.0, 0.02);
+}
+
+TEST(CorpusGeneratorTest, TextureDescriptionRateMatchesFunnel) {
+  // ~16% of recipes talk about texture (63k -> ~10k in the paper).
+  auto recipes = GenerateSmall(10000);
+  const auto& dict = text::TextureDictionary::Embedded();
+  int with_terms = 0;
+  for (const auto& r : recipes) {
+    if (!text::Tokenizer::ExtractTextureTerms(r.description, dict).empty()) {
+      ++with_terms;
+    }
+  }
+  double rate = with_terms / 10000.0;
+  EXPECT_GT(rate, 0.10);
+  EXPECT_LT(rate, 0.25);
+}
+
+TEST(CorpusGeneratorTest, MetadataCarriesGroundTruth) {
+  for (const auto& r : GenerateSmall(200)) {
+    ASSERT_TRUE(r.metadata.count(kMetaTemplate));
+    ASSERT_TRUE(r.metadata.count(kMetaHardness));
+    ASSERT_TRUE(r.metadata.count(kMetaCohesiveness));
+    ASSERT_TRUE(r.metadata.count(kMetaAdhesiveness));
+    ASSERT_TRUE(r.metadata.count(kMetaTextureClass));
+    int cls = std::stoi(r.metadata.at(kMetaTextureClass));
+    EXPECT_GE(cls, 0);
+    EXPECT_LT(cls, NumTextureClasses());
+  }
+}
+
+TEST(CorpusGeneratorTest, HardDishesGetHardTerms) {
+  // Aggregate check of the attribute-conditional term sampling: recipes
+  // whose ground-truth hardness is high use hard-pole vocabulary far more
+  // often than soft recipes do.
+  auto recipes = GenerateSmall(20000);
+  const auto& dict = text::TextureDictionary::Embedded();
+  int hard_terms_in_hard = 0, soft_terms_in_hard = 0;
+  int hard_terms_in_soft = 0, soft_terms_in_soft = 0;
+  for (const auto& r : recipes) {
+    double h = std::stod(r.metadata.at(kMetaHardness));
+    auto terms = text::Tokenizer::ExtractTextureTerms(r.description, dict);
+    for (const auto& surface : terms) {
+      const text::TextureTerm* t = dict.Find(surface);
+      if (t == nullptr) continue;
+      if (h > 2.5) {
+        hard_terms_in_hard += text::IsHardTerm(*t);
+        soft_terms_in_hard += text::IsSoftTerm(*t);
+      } else if (h < 0.3) {
+        hard_terms_in_soft += text::IsHardTerm(*t);
+        soft_terms_in_soft += text::IsSoftTerm(*t);
+      }
+    }
+  }
+  EXPECT_GT(hard_terms_in_hard, 3 * soft_terms_in_hard);
+  EXPECT_GT(soft_terms_in_soft, 3 * hard_terms_in_soft);
+}
+
+TEST(CorpusGeneratorTest, ToppingsCoOccurWithConfounderTerms) {
+  auto recipes = GenerateSmall(20000);
+  const auto& dict = text::TextureDictionary::Embedded();
+  auto toppings = CorpusGenerator::ToppingIngredientNames();
+  int confounder_with_topping = 0, confounder_without = 0;
+  for (const auto& r : recipes) {
+    bool has_topping = false;
+    for (const auto& t : toppings) {
+      if (r.description.find(t) != std::string::npos) has_topping = true;
+    }
+    for (const auto& surface :
+         text::Tokenizer::ExtractTextureTerms(r.description, dict)) {
+      const text::TextureTerm* term = dict.Find(surface);
+      if (term != nullptr && !term->gel_related) {
+        (has_topping ? confounder_with_topping : confounder_without)++;
+      }
+    }
+  }
+  // Non-gel "crispy" vocabulary comes (almost) exclusively from toppings.
+  EXPECT_GT(confounder_with_topping, 10);
+  EXPECT_GT(confounder_with_topping, 5 * (confounder_without + 1));
+}
+
+TEST(CorpusGeneratorTest, FunnelShapeMatchesPaper) {
+  // 63k -> ~10k with terms -> ~3k final, scaled down 20x.
+  CorpusGenConfig config = SmallConfig(63000 / 20);
+  CorpusGenerator gen(config, &rheology::GelPhysicsModel::Calibrated(),
+                      &text::TextureDictionary::Embedded());
+  auto recipes = gen.Generate();
+  auto ds = recipe::BuildDataset(recipes,
+                                 recipe::IngredientDatabase::Embedded(),
+                                 text::TextureDictionary::Embedded(),
+                                 nullptr, recipe::DatasetConfig());
+  ASSERT_TRUE(ds.ok());
+  double with_terms = static_cast<double>(ds->funnel.with_texture_terms);
+  double final_count = static_cast<double>(ds->funnel.final_dataset);
+  EXPECT_NEAR(with_terms / 3150.0, 10000.0 / 63000.0, 0.06);
+  EXPECT_NEAR(final_count / with_terms, 3000.0 / 10000.0, 0.12);
+  // 41 of 288 dictionary terms appear in the paper's dataset.
+  EXPECT_GT(ds->funnel.distinct_terms, 25u);
+  EXPECT_LT(ds->funnel.distinct_terms, 90u);
+}
+
+TEST(CorpusGeneratorTest, QuantityStringsUseVariedUnits) {
+  auto recipes = GenerateSmall(2000);
+  std::set<std::string> units_seen;
+  for (const auto& r : recipes) {
+    for (const auto& line : r.ingredients) {
+      auto space = line.quantity.rfind(' ');
+      if (space != std::string::npos) {
+        units_seen.insert(line.quantity.substr(space + 1));
+      }
+    }
+  }
+  // The generator must exercise the unit converter broadly.
+  EXPECT_TRUE(units_seen.count("g"));
+  EXPECT_TRUE(units_seen.count("tsp"));
+  EXPECT_TRUE(units_seen.count("cc"));
+  EXPECT_TRUE(units_seen.count("cup") || units_seen.count("cups"));
+  EXPECT_TRUE(units_seen.count("sheets") || units_seen.count("sheet"));
+}
+
+TEST(TextureClassTest, ClassifiesExtremes) {
+  rheology::TpaAttributes soft{0.1, 0.6, 0.0};
+  rheology::TpaAttributes hard_sticky{5.0, 0.2, 2.0};
+  EXPECT_EQ(TextureClassOf(soft), 0);
+  EXPECT_EQ(TextureClassOf(hard_sticky), 5);
+  EXPECT_STREQ(TextureClassName(0), "soft");
+  EXPECT_STREQ(TextureClassName(5), "hard-sticky");
+}
+
+}  // namespace
+}  // namespace texrheo::corpus

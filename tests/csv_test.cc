@@ -1,0 +1,113 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace texrheo {
+namespace {
+
+TEST(ParseCsvLineTest, PlainFields) {
+  auto row = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithDelimiter) {
+  auto row = ParseCsvLine("\"a,b\",c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"a,b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EscapedQuotes) {
+  auto row = ParseCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"say \"hi\"", "x"}));
+}
+
+TEST(ParseCsvLineTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(ParseCsvLine("\"oops").ok());
+}
+
+TEST(ParseCsvLineTest, TabDelimiter) {
+  auto row = ParseCsvLine("a\tb\tc", '\t');
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->size(), 3u);
+}
+
+TEST(FormatCsvLineTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(FormatCsvLine({"a", "b"}), "a,b");
+  EXPECT_EQ(FormatCsvLine({"a,b", "c"}), "\"a,b\",c");
+  EXPECT_EQ(FormatCsvLine({"has \"q\""}), "\"has \"\"q\"\"\"");
+  EXPECT_EQ(FormatCsvLine({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(CsvRoundTripTest, FormatThenParse) {
+  CsvRow original = {"plain", "with,comma", "with \"quote\"", ""};
+  auto parsed = ParseCsvLine(FormatCsvLine(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(CsvReaderTest, MultipleRecords) {
+  auto rows = CsvReader::ReadAll("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  auto rows = CsvReader::ReadAll("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  auto rows = CsvReader::ReadAll("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvReaderTest, QuotedNewlineInsideField) {
+  auto rows = CsvReader::ReadAll("\"multi\nline\",x\ny,z\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], "multi\nline");
+}
+
+TEST(CsvReaderTest, EmptyDocument) {
+  auto rows = CsvReader::ReadAll("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvFileTest, WriteThenReadRoundTrip) {
+  std::string path = testing::TempDir() + "/texrheo_csv_test.csv";
+  std::vector<CsvRow> rows = {{"id", "name"}, {"1", "gelatin"},
+                              {"2", "agar, powdered"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = CsvReader::ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto read = CsvReader::ReadFile("/nonexistent/texrheo/file.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(FileStringTest, WriteAndReadBack) {
+  std::string path = testing::TempDir() + "/texrheo_str_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello\nworld");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace texrheo

@@ -1,0 +1,143 @@
+#include "recipe/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace texrheo::recipe {
+namespace {
+
+Recipe MakeRecipe(int64_t id, std::string description,
+                  std::vector<IngredientLine> ingredients) {
+  Recipe r;
+  r.id = id;
+  r.title = "r" + std::to_string(id);
+  r.description = std::move(description);
+  r.ingredients = std::move(ingredients);
+  return r;
+}
+
+DatasetConfig DefaultConfig() { return DatasetConfig(); }
+
+TEST(BuildDatasetTest, KeepsGelRecipeWithTerms) {
+  std::vector<Recipe> corpus = {MakeRecipe(
+      1, "the texture is purupuru and katai",
+      {{"gelatin", "10 g"}, {"water", "490 g"}})};
+  auto ds = BuildDataset(corpus, IngredientDatabase::Embedded(),
+                         text::TextureDictionary::Embedded(), nullptr,
+                         DefaultConfig());
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->documents.size(), 1u);
+  EXPECT_EQ(ds->documents[0].term_ids.size(), 2u);
+  EXPECT_EQ(ds->term_vocab.size(), 2u);
+  EXPECT_EQ(ds->funnel.final_dataset, 1u);
+  EXPECT_NEAR(ds->documents[0].gel_concentration[0], 0.02, 1e-12);
+}
+
+TEST(BuildDatasetTest, DropsRecipesWithoutGel) {
+  std::vector<Recipe> corpus = {
+      MakeRecipe(1, "purupuru", {{"milk", "200 g"}})};
+  auto ds = BuildDataset(corpus, IngredientDatabase::Embedded(),
+                         text::TextureDictionary::Embedded(), nullptr,
+                         DefaultConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->documents.empty());
+  EXPECT_EQ(ds->funnel.with_gel, 0u);
+}
+
+TEST(BuildDatasetTest, DropsRecipesWithoutTextureTerms) {
+  std::vector<Recipe> corpus = {MakeRecipe(
+      1, "a plain description", {{"gelatin", "5 g"}, {"water", "200 g"}})};
+  auto ds = BuildDataset(corpus, IngredientDatabase::Embedded(),
+                         text::TextureDictionary::Embedded(), nullptr,
+                         DefaultConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->funnel.with_gel, 1u);
+  EXPECT_EQ(ds->funnel.with_texture_terms, 0u);
+  EXPECT_TRUE(ds->documents.empty());
+}
+
+TEST(BuildDatasetTest, AppliesUnrelatedWeightCap) {
+  // 20% strawberry exceeds the paper's 10% cap.
+  std::vector<Recipe> corpus = {
+      MakeRecipe(1, "purupuru",
+                 {{"gelatin", "5 g"},
+                  {"water", "395 g"},
+                  {"strawberry", "100 g"}}),
+      MakeRecipe(2, "purupuru",
+                 {{"gelatin", "5 g"},
+                  {"water", "475 g"},
+                  {"strawberry", "20 g"}})};
+  auto ds = BuildDataset(corpus, IngredientDatabase::Embedded(),
+                         text::TextureDictionary::Embedded(), nullptr,
+                         DefaultConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->funnel.with_texture_terms, 2u);
+  ASSERT_EQ(ds->documents.size(), 1u);
+  EXPECT_EQ(corpus[ds->documents[0].recipe_index].id, 2);
+}
+
+TEST(BuildDatasetTest, SkipsUnparseableRecipes) {
+  std::vector<Recipe> corpus = {
+      MakeRecipe(1, "purupuru", {{"gelatin", "??"}}),
+      MakeRecipe(2, "purupuru", {{"gelatin", "5 g"}, {"water", "200 g"}})};
+  auto ds = BuildDataset(corpus, IngredientDatabase::Embedded(),
+                         text::TextureDictionary::Embedded(), nullptr,
+                         DefaultConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->documents.size(), 1u);
+}
+
+TEST(BuildDatasetTest, FeatureVectorsAreLogTransformed) {
+  std::vector<Recipe> corpus = {MakeRecipe(
+      1, "purupuru", {{"gelatin", "10 g"}, {"water", "490 g"}})};
+  DatasetConfig config;
+  auto ds = BuildDataset(corpus, IngredientDatabase::Embedded(),
+                         text::TextureDictionary::Embedded(), nullptr,
+                         config);
+  ASSERT_TRUE(ds.ok());
+  const Document& doc = ds->documents[0];
+  EXPECT_NEAR(doc.gel_feature[0], -std::log(0.02), 1e-12);
+  // Absent gels floor at -log(epsilon).
+  EXPECT_NEAR(doc.gel_feature[1], -std::log(config.feature.epsilon), 1e-12);
+}
+
+TEST(BuildDatasetTest, FunnelCountsAreMonotone) {
+  // Mixed corpus: each stage of the funnel can only shrink.
+  std::vector<Recipe> corpus = {
+      MakeRecipe(1, "purupuru", {{"gelatin", "5 g"}, {"water", "245 g"}}),
+      MakeRecipe(2, "nothing here", {{"gelatin", "5 g"}, {"water", "245 g"}}),
+      MakeRecipe(3, "katai", {{"milk", "250 g"}}),
+      MakeRecipe(4, "katai",
+                 {{"gelatin", "5 g"}, {"water", "195 g"},
+                  {"strawberry", "50 g"}})};
+  auto ds = BuildDataset(corpus, IngredientDatabase::Embedded(),
+                         text::TextureDictionary::Embedded(), nullptr,
+                         DefaultConfig());
+  ASSERT_TRUE(ds.ok());
+  const FunnelStats& f = ds->funnel;
+  EXPECT_EQ(f.total, 4u);
+  EXPECT_LE(f.with_gel, f.total);
+  EXPECT_LE(f.with_texture_terms, f.with_gel);
+  EXPECT_LE(f.final_dataset, f.with_texture_terms);
+  EXPECT_EQ(f.final_dataset, ds->documents.size());
+  EXPECT_EQ(f.distinct_terms, ds->term_vocab.size());
+}
+
+TEST(BuildDatasetTest, TermIdsRoundTripThroughVocabulary) {
+  std::vector<Recipe> corpus = {MakeRecipe(
+      1, "purupuru then katai then purupuru",
+      {{"gelatin", "5 g"}, {"water", "245 g"}})};
+  auto ds = BuildDataset(corpus, IngredientDatabase::Embedded(),
+                         text::TextureDictionary::Embedded(), nullptr,
+                         DefaultConfig());
+  ASSERT_TRUE(ds.ok());
+  const Document& doc = ds->documents[0];
+  ASSERT_EQ(doc.term_ids.size(), 3u);
+  EXPECT_EQ(ds->term_vocab.WordOf(doc.term_ids[0]), "purupuru");
+  EXPECT_EQ(ds->term_vocab.WordOf(doc.term_ids[1]), "katai");
+  EXPECT_EQ(doc.term_ids[0], doc.term_ids[2]);
+}
+
+}  // namespace
+}  // namespace texrheo::recipe

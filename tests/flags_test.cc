@@ -1,0 +1,72 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo {
+namespace {
+
+FlagParser Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  FlagParser parser;
+  EXPECT_TRUE(
+      parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  return parser;
+}
+
+TEST(FlagParserTest, KeyEqualsValue) {
+  FlagParser p = Parse({"--topics=12", "--alpha=0.5"});
+  EXPECT_EQ(p.GetInt("topics", 0).value(), 12);
+  EXPECT_DOUBLE_EQ(p.GetDouble("alpha", 0).value(), 0.5);
+}
+
+TEST(FlagParserTest, KeySpaceValue) {
+  FlagParser p = Parse({"--out", "results.tsv"});
+  EXPECT_EQ(p.GetString("out", ""), "results.tsv");
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  FlagParser p = Parse({"--verbose"});
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_FALSE(p.GetBool("quiet", false));
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  EXPECT_TRUE(Parse({"--x=true"}).GetBool("x", false));
+  EXPECT_TRUE(Parse({"--x=1"}).GetBool("x", false));
+  EXPECT_TRUE(Parse({"--x=YES"}).GetBool("x", false));
+  EXPECT_FALSE(Parse({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(Parse({"--x=0"}).GetBool("x", true));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser p = Parse({"input.tsv", "--k=3", "output.tsv"});
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"input.tsv", "output.tsv"}));
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlags) {
+  FlagParser p = Parse({"--k=3", "--", "--not-a-flag"});
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"--not-a-flag"}));
+  EXPECT_TRUE(p.Has("k"));
+  EXPECT_FALSE(p.Has("not-a-flag"));
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  FlagParser p = Parse({});
+  EXPECT_EQ(p.GetInt("n", 7).value(), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("x", 1.5).value(), 1.5);
+  EXPECT_EQ(p.GetString("s", "d"), "d");
+}
+
+TEST(FlagParserTest, MalformedNumberIsError) {
+  FlagParser p = Parse({"--n=abc"});
+  EXPECT_FALSE(p.GetInt("n", 0).ok());
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser p = Parse({"--k=1", "--k=2"});
+  EXPECT_EQ(p.GetInt("k", 0).value(), 2);
+}
+
+}  // namespace
+}  // namespace texrheo

@@ -1,0 +1,167 @@
+#include "rheology/gel_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace texrheo::rheology {
+namespace {
+
+using recipe::EmulsionType;
+using recipe::GelType;
+
+math::Vector GelOnly(GelType type, double c) {
+  math::Vector v(recipe::kNumGelTypes);
+  v[static_cast<size_t>(type)] = c;
+  return v;
+}
+
+math::Vector NoEmulsion() { return math::Vector(recipe::kNumEmulsionTypes); }
+
+TEST(GelPhysicsModelTest, CalibrationSucceeds) {
+  EXPECT_TRUE(GelPhysicsModel::Calibrate().ok());
+}
+
+TEST(GelPhysicsModelTest, ZeroGelHasNoTexture) {
+  const auto& m = GelPhysicsModel::Calibrated();
+  TpaAttributes a =
+      m.Predict(math::Vector(recipe::kNumGelTypes), NoEmulsion());
+  EXPECT_DOUBLE_EQ(a.hardness, 0.0);
+  EXPECT_DOUBLE_EQ(a.adhesiveness, 0.0);
+}
+
+TEST(GelPhysicsModelTest, HardnessIsMonotoneInConcentration) {
+  const auto& m = GelPhysicsModel::Calibrated();
+  for (GelType g :
+       {GelType::kGelatin, GelType::kKanten, GelType::kAgar}) {
+    double prev = 0.0;
+    for (double c = 0.004; c <= 0.05; c += 0.002) {
+      double h = m.PureHardness(g, c);
+      EXPECT_GT(h, prev) << GelTypeName(g) << " at " << c;
+      prev = h;
+    }
+  }
+}
+
+TEST(GelPhysicsModelTest, KantenIsHardestAtEqualConcentration) {
+  // The defining shape of Table I: at ~1% kanten is far harder than
+  // gelatin and harder than agar.
+  const auto& m = GelPhysicsModel::Calibrated();
+  double c = 0.01;
+  EXPECT_GT(m.PureHardness(GelType::kKanten, c),
+            m.PureHardness(GelType::kGelatin, c));
+  EXPECT_GT(m.PureHardness(GelType::kKanten, c),
+            m.PureHardness(GelType::kAgar, c));
+}
+
+TEST(GelPhysicsModelTest, KantenNeverAdhesive) {
+  const auto& m = GelPhysicsModel::Calibrated();
+  for (double c = 0.004; c < 0.04; c += 0.004) {
+    EXPECT_DOUBLE_EQ(m.PureAdhesiveness(GelType::kKanten, c), 0.0);
+  }
+}
+
+TEST(GelPhysicsModelTest, AgarAdhesivenessSpikesAtHighConcentration) {
+  const auto& m = GelPhysicsModel::Calibrated();
+  // Table I: ~0.01-0.02 at 1-1.2%, 1.95 at 3%.
+  EXPECT_LT(m.PureAdhesiveness(GelType::kAgar, 0.01), 0.2);
+  EXPECT_GT(m.PureAdhesiveness(GelType::kAgar, 0.03), 1.0);
+}
+
+TEST(GelPhysicsModelTest, CohesivenessDecaysWithConcentration) {
+  const auto& m = GelPhysicsModel::Calibrated();
+  for (GelType g :
+       {GelType::kGelatin, GelType::kKanten, GelType::kAgar}) {
+    EXPECT_GE(m.PureCohesiveness(g, 0.005), m.PureCohesiveness(g, 0.03))
+        << GelTypeName(g);
+  }
+}
+
+TEST(GelPhysicsModelTest, ReproducesTableIShape) {
+  // Within-factor-of-2 agreement with every published hardness value and
+  // correct ordering of the gelatin series.
+  const auto& m = GelPhysicsModel::Calibrated();
+  for (const auto& row : TableI()) {
+    TpaAttributes predicted = m.Predict(row.gel, row.emulsion);
+    double ratio = predicted.hardness /
+                   std::max(row.attributes.hardness, 1e-6);
+    EXPECT_GT(ratio, 0.45) << "row " << row.id;
+    EXPECT_LT(ratio, 2.2) << "row " << row.id;
+  }
+}
+
+TEST(GelPhysicsModelTest, GelatinAgarSynergyDominatesRow5Adhesiveness) {
+  const auto& m = GelPhysicsModel::Calibrated();
+  math::Vector mixed(recipe::kNumGelTypes);
+  mixed[static_cast<size_t>(GelType::kGelatin)] = 0.03;
+  mixed[static_cast<size_t>(GelType::kAgar)] = 0.03;
+  TpaAttributes a = m.Predict(mixed, NoEmulsion());
+  EXPECT_NEAR(a.adhesiveness, 12.6, 1.0);
+  // Far exceeds the sum of the pure curves.
+  double pure_sum = m.PureAdhesiveness(GelType::kGelatin, 0.03) +
+                    m.PureAdhesiveness(GelType::kAgar, 0.03);
+  EXPECT_GT(a.adhesiveness, 3.0 * pure_sum);
+}
+
+TEST(GelPhysicsModelTest, ReproducesTableIIbExactly) {
+  // Table II(b) is the emulsion-coefficient calibration target; the model
+  // must reproduce it to numerical precision.
+  const auto& m = GelPhysicsModel::Calibrated();
+  for (const auto& dish : TableIIb()) {
+    TpaAttributes predicted = m.Predict(dish.gel, dish.emulsion);
+    EXPECT_NEAR(predicted.hardness, dish.attributes.hardness, 1e-6)
+        << dish.name;
+    EXPECT_NEAR(predicted.cohesiveness, dish.attributes.cohesiveness, 1e-6)
+        << dish.name;
+    EXPECT_NEAR(predicted.adhesiveness, dish.attributes.adhesiveness, 1e-6)
+        << dish.name;
+  }
+}
+
+TEST(GelPhysicsModelTest, EmulsionsHardenGels) {
+  // Subordinate effect of [19]: emulsion fillers raise hardness.
+  const auto& m = GelPhysicsModel::Calibrated();
+  math::Vector gel = GelOnly(GelType::kGelatin, 0.02);
+  math::Vector emulsion = NoEmulsion();
+  double plain = m.Predict(gel, emulsion).hardness;
+  emulsion[static_cast<size_t>(EmulsionType::kRawCream)] = 0.2;
+  double creamy = m.Predict(gel, emulsion).hardness;
+  EXPECT_GT(creamy, plain);
+}
+
+TEST(GelPhysicsModelTest, FoamEmulsionsRaiseCohesiveness) {
+  const auto& m = GelPhysicsModel::Calibrated();
+  math::Vector gel = GelOnly(GelType::kGelatin, 0.025);
+  math::Vector emulsion = NoEmulsion();
+  double plain = m.Predict(gel, emulsion).cohesiveness;
+  emulsion[static_cast<size_t>(EmulsionType::kRawCream)] = 0.25;
+  emulsion[static_cast<size_t>(EmulsionType::kEggYolk)] = 0.08;
+  double foam = m.Predict(gel, emulsion).cohesiveness;
+  EXPECT_GT(foam, plain);
+}
+
+TEST(GelPhysicsModelTest, EmulsionsDampAdhesiveness) {
+  const auto& m = GelPhysicsModel::Calibrated();
+  math::Vector gel = GelOnly(GelType::kGelatin, 0.025);
+  math::Vector emulsion = NoEmulsion();
+  double plain = m.Predict(gel, emulsion).adhesiveness;
+  emulsion[static_cast<size_t>(EmulsionType::kRawCream)] = 0.3;
+  EXPECT_LT(m.Predict(gel, emulsion).adhesiveness, plain);
+}
+
+TEST(GelPhysicsModelTest, CohesivenessStaysInValidRange) {
+  const auto& m = GelPhysicsModel::Calibrated();
+  math::Vector emulsion = NoEmulsion();
+  emulsion[static_cast<size_t>(EmulsionType::kRawCream)] = 0.5;
+  emulsion[static_cast<size_t>(EmulsionType::kEggYolk)] = 0.2;
+  for (double c = 0.002; c < 0.08; c += 0.01) {
+    TpaAttributes a = m.Predict(GelOnly(GelType::kGelatin, c), emulsion);
+    EXPECT_GE(a.cohesiveness, 0.0);
+    EXPECT_LE(a.cohesiveness, 0.95);
+    EXPECT_GE(a.hardness, 0.0);
+    EXPECT_GE(a.adhesiveness, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace texrheo::rheology

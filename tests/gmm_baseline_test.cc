@@ -1,0 +1,115 @@
+#include "core/gmm_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace texrheo::core {
+namespace {
+
+std::vector<math::Vector> TwoBlobPoints(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<math::Vector> points;
+  for (int blob = 0; blob < 2; ++blob) {
+    double cx = blob == 0 ? -3.0 : 3.0;
+    for (size_t i = 0; i < per_blob; ++i) {
+      points.push_back({cx + 0.5 * rng.NextGaussian(),
+                        0.5 * rng.NextGaussian()});
+    }
+  }
+  return points;
+}
+
+GmmConfig SmallConfig(int k = 2) {
+  GmmConfig config;
+  config.num_components = k;
+  config.seed = 3;
+  return config;
+}
+
+TEST(GaussianMixtureTest, RejectsBadInput) {
+  EXPECT_FALSE(GaussianMixture::Fit(SmallConfig(), {}).ok());
+  GmmConfig bad = SmallConfig(0);
+  EXPECT_FALSE(GaussianMixture::Fit(bad, TwoBlobPoints(10, 1)).ok());
+}
+
+TEST(GaussianMixtureTest, SeparatesTwoBlobs) {
+  auto points = TwoBlobPoints(100, 2);
+  auto model = GaussianMixture::Fit(SmallConfig(2), points);
+  ASSERT_TRUE(model.ok());
+  std::vector<int> assignments = model->HardAssignments(points);
+  std::vector<int> truth;
+  for (size_t i = 0; i < points.size(); ++i) {
+    truth.push_back(i < 100 ? 0 : 1);
+  }
+  auto scores = eval::ScoreClustering(assignments, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores->purity, 0.98);
+}
+
+TEST(GaussianMixtureTest, RecoversComponentMeans) {
+  auto points = TwoBlobPoints(200, 4);
+  auto model = GaussianMixture::Fit(SmallConfig(2), points);
+  ASSERT_TRUE(model.ok());
+  double m0 = model->components()[0].mean()[0];
+  double m1 = model->components()[1].mean()[0];
+  if (m0 > m1) std::swap(m0, m1);
+  EXPECT_NEAR(m0, -3.0, 0.2);
+  EXPECT_NEAR(m1, 3.0, 0.2);
+}
+
+TEST(GaussianMixtureTest, WeightsFormDistribution) {
+  auto model = GaussianMixture::Fit(SmallConfig(3), TwoBlobPoints(60, 5));
+  ASSERT_TRUE(model.ok());
+  double sum = 0.0;
+  for (double w : model->weights()) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GaussianMixtureTest, LikelihoodNonDecreasingAcrossFits) {
+  // EM guarantees monotone improvement; the converged LL must be at least
+  // that of a single-component fit.
+  auto points = TwoBlobPoints(150, 6);
+  auto one = GaussianMixture::Fit(SmallConfig(1), points);
+  auto two = GaussianMixture::Fit(SmallConfig(2), points);
+  ASSERT_TRUE(one.ok() && two.ok());
+  EXPECT_GT(two->final_log_likelihood(), one->final_log_likelihood());
+}
+
+TEST(GaussianMixtureTest, ConvergesBeforeMaxIterations) {
+  auto points = TwoBlobPoints(150, 7);
+  auto model = GaussianMixture::Fit(SmallConfig(2), points);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->iterations_run(), SmallConfig().max_iterations);
+}
+
+TEST(GaussianMixtureTest, LogLikelihoodAccessorsAgree) {
+  auto points = TwoBlobPoints(50, 8);
+  auto model = GaussianMixture::Fit(SmallConfig(2), points);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->LogLikelihood(points), model->final_log_likelihood(),
+              1e-6);
+}
+
+TEST(GaussianMixtureTest, MoreComponentsThanPointsStillFits) {
+  auto points = TwoBlobPoints(3, 9);  // 6 points, 6 components.
+  auto model = GaussianMixture::Fit(SmallConfig(6), points);
+  EXPECT_TRUE(model.ok());
+}
+
+TEST(GaussianMixtureTest, DeterministicGivenSeed) {
+  auto points = TwoBlobPoints(50, 10);
+  auto a = GaussianMixture::Fit(SmallConfig(2), points);
+  auto b = GaussianMixture::Fit(SmallConfig(2), points);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->final_log_likelihood(), b->final_log_likelihood());
+}
+
+}  // namespace
+}  // namespace texrheo::core

@@ -1,0 +1,144 @@
+#include "eval/heldout.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace texrheo::eval {
+namespace {
+
+// Planted dataset: topic 0 uses terms {0,1} with gel feature ~4, topic 1
+// uses {2,3} with gel feature ~7.
+recipe::Dataset PlantedDataset(size_t n, uint64_t seed) {
+  recipe::Dataset ds;
+  for (const char* w : {"a", "b", "c", "d"}) ds.term_vocab.Add(w);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    int cluster = static_cast<int>(i % 2);
+    recipe::Document doc;
+    doc.recipe_index = i;
+    for (int t = 0; t < 3; ++t) {
+      doc.term_ids.push_back(cluster * 2 +
+                             static_cast<int32_t>(rng.NextUint(2)));
+    }
+    doc.gel_feature =
+        math::Vector(1, (cluster == 0 ? 4.0 : 7.0) + 0.2 * rng.NextGaussian());
+    doc.emulsion_feature = math::Vector(1, 1.0);
+    doc.gel_concentration = math::Vector(1, 0.01);
+    doc.emulsion_concentration = math::Vector(1, 0.1);
+    ds.documents.push_back(std::move(doc));
+  }
+  return ds;
+}
+
+core::TopicEstimates PlantedEstimates() {
+  core::TopicEstimates est;
+  est.phi = {{0.45, 0.45, 0.05, 0.05}, {0.05, 0.05, 0.45, 0.45}};
+  est.gel_topics.push_back(
+      math::Gaussian::FromPrecision({4.0}, math::Matrix::Identity(1, 25.0))
+          .value());
+  est.gel_topics.push_back(
+      math::Gaussian::FromPrecision({7.0}, math::Matrix::Identity(1, 25.0))
+          .value());
+  est.emulsion_topics.push_back(
+      math::Gaussian::FromPrecision({1.0}, math::Matrix::Identity(1))
+          .value());
+  est.emulsion_topics.push_back(
+      math::Gaussian::FromPrecision({1.0}, math::Matrix::Identity(1))
+          .value());
+  est.topic_recipe_count = {50, 50};
+  return est;
+}
+
+TEST(SplitDatasetTest, PartitionsDocuments) {
+  recipe::Dataset ds = PlantedDataset(200, 1);
+  HeldOutSplit split = SplitDataset(ds, 0.25, 7);
+  EXPECT_EQ(split.train.documents.size() + split.test.documents.size(), 200u);
+  EXPECT_GT(split.test.documents.size(), 20u);
+  EXPECT_LT(split.test.documents.size(), 90u);
+  // Vocabulary shared on both sides.
+  EXPECT_EQ(split.train.term_vocab.size(), 4u);
+  EXPECT_EQ(split.test.term_vocab.size(), 4u);
+}
+
+TEST(SplitDatasetTest, DeterministicGivenSeed) {
+  recipe::Dataset ds = PlantedDataset(100, 2);
+  HeldOutSplit a = SplitDataset(ds, 0.3, 5);
+  HeldOutSplit b = SplitDataset(ds, 0.3, 5);
+  EXPECT_EQ(a.test.documents.size(), b.test.documents.size());
+}
+
+TEST(ConditionalPerplexityTest, InformedModelBeatsUnigram) {
+  recipe::Dataset ds = PlantedDataset(400, 3);
+  HeldOutSplit split = SplitDataset(ds, 0.25, 9);
+  core::JointTopicModelConfig config;
+  config.num_topics = 2;
+  auto model_ppl = ConcentrationConditionalPerplexity(
+      PlantedEstimates(), config, split.test);
+  auto unigram_ppl = UnigramPerplexity(split.train, split.test);
+  ASSERT_TRUE(model_ppl.ok()) << model_ppl.status().ToString();
+  ASSERT_TRUE(unigram_ppl.ok());
+  // The concentrations identify the cluster, and the cluster pins the
+  // vocabulary half: the conditional model must clearly beat unigram.
+  EXPECT_LT(*model_ppl, *unigram_ppl);
+  // Unigram over 4 near-uniform terms is ~4.
+  EXPECT_NEAR(*unigram_ppl, 4.0, 0.5);
+}
+
+TEST(ConditionalPerplexityTest, BoundedBelowByEntropyLimit) {
+  recipe::Dataset ds = PlantedDataset(200, 4);
+  HeldOutSplit split = SplitDataset(ds, 0.25, 11);
+  core::JointTopicModelConfig config;
+  config.num_topics = 2;
+  auto ppl = ConcentrationConditionalPerplexity(PlantedEstimates(), config,
+                                                split.test);
+  ASSERT_TRUE(ppl.ok());
+  // Within a cluster the two terms are uniform: perplexity can't be < 2.
+  EXPECT_GE(*ppl, 2.0);
+  EXPECT_LE(*ppl, 4.5);
+}
+
+TEST(ConditionalPerplexityTest, ErrorsOnEmptyInput) {
+  core::JointTopicModelConfig config;
+  recipe::Dataset empty;
+  EXPECT_FALSE(ConcentrationConditionalPerplexity(PlantedEstimates(), config,
+                                                  empty)
+                   .ok());
+  core::TopicEstimates no_topics;
+  recipe::Dataset ds = PlantedDataset(10, 5);
+  EXPECT_FALSE(
+      ConcentrationConditionalPerplexity(no_topics, config, ds).ok());
+}
+
+TEST(UnigramPerplexityTest, UniformVocabulary) {
+  recipe::Dataset ds = PlantedDataset(1000, 6);
+  HeldOutSplit split = SplitDataset(ds, 0.2, 13);
+  auto ppl = UnigramPerplexity(split.train, split.test);
+  ASSERT_TRUE(ppl.ok());
+  // All four terms equally frequent overall -> perplexity ~ 4.
+  EXPECT_NEAR(*ppl, 4.0, 0.2);
+}
+
+TEST(UnigramPerplexityTest, SkewedVocabularyLowersPerplexity) {
+  recipe::Dataset ds;
+  ds.term_vocab.Add("common");
+  ds.term_vocab.Add("rare");
+  Rng rng(7);
+  for (size_t i = 0; i < 500; ++i) {
+    recipe::Document doc;
+    doc.recipe_index = i;
+    doc.term_ids.push_back(rng.NextBernoulli(0.95) ? 0 : 1);
+    doc.gel_feature = math::Vector(1, 1.0);
+    doc.emulsion_feature = math::Vector(1, 1.0);
+    doc.gel_concentration = math::Vector(1, 0.01);
+    doc.emulsion_concentration = math::Vector(1, 0.1);
+    ds.documents.push_back(std::move(doc));
+  }
+  HeldOutSplit split = SplitDataset(ds, 0.3, 17);
+  auto ppl = UnigramPerplexity(split.train, split.test);
+  ASSERT_TRUE(ppl.ok());
+  EXPECT_LT(*ppl, 2.0);
+}
+
+}  // namespace
+}  // namespace texrheo::eval

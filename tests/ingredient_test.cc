@@ -1,0 +1,98 @@
+#include "recipe/ingredient.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo::recipe {
+namespace {
+
+TEST(IngredientDatabaseTest, FindsAllThreeGels) {
+  const auto& db = IngredientDatabase::Embedded();
+  const IngredientInfo* gelatin = db.Find("gelatin");
+  ASSERT_NE(gelatin, nullptr);
+  EXPECT_EQ(gelatin->cls, IngredientClass::kGel);
+  EXPECT_EQ(gelatin->gel_type, GelType::kGelatin);
+
+  const IngredientInfo* kanten = db.Find("kanten");
+  ASSERT_NE(kanten, nullptr);
+  EXPECT_EQ(kanten->gel_type, GelType::kKanten);
+
+  const IngredientInfo* agar = db.Find("agar");
+  ASSERT_NE(agar, nullptr);
+  EXPECT_EQ(agar->gel_type, GelType::kAgar);
+}
+
+TEST(IngredientDatabaseTest, FindsAllSixEmulsions) {
+  const auto& db = IngredientDatabase::Embedded();
+  struct Expected {
+    const char* name;
+    EmulsionType type;
+  };
+  for (const Expected& e : std::initializer_list<Expected>{
+           {"sugar", EmulsionType::kSugar},
+           {"egg-white", EmulsionType::kEggAlbumen},
+           {"egg-yolk", EmulsionType::kEggYolk},
+           {"raw-cream", EmulsionType::kRawCream},
+           {"milk", EmulsionType::kMilk},
+           {"yogurt", EmulsionType::kYogurt}}) {
+    const IngredientInfo* info = db.Find(e.name);
+    ASSERT_NE(info, nullptr) << e.name;
+    EXPECT_EQ(info->cls, IngredientClass::kEmulsion) << e.name;
+    EXPECT_EQ(info->emulsion_type, e.type) << e.name;
+  }
+}
+
+TEST(IngredientDatabaseTest, LookupIsCaseInsensitive) {
+  const auto& db = IngredientDatabase::Embedded();
+  EXPECT_NE(db.Find("Gelatin"), nullptr);
+  EXPECT_NE(db.Find("MILK"), nullptr);
+}
+
+TEST(IngredientDatabaseTest, UnknownReturnsNull) {
+  EXPECT_EQ(IngredientDatabase::Embedded().Find("unobtainium"), nullptr);
+}
+
+TEST(IngredientDatabaseTest, LiquidBasesAreFlagged) {
+  const auto& db = IngredientDatabase::Embedded();
+  EXPECT_TRUE(db.Find("water")->liquid_base);
+  EXPECT_TRUE(db.Find("juice")->liquid_base);
+  EXPECT_FALSE(db.Find("strawberry")->liquid_base);
+  EXPECT_FALSE(db.Find("nuts")->liquid_base);
+}
+
+TEST(IngredientDatabaseTest, GelatinLeafHasPerPieceWeight) {
+  const auto& db = IngredientDatabase::Embedded();
+  const IngredientInfo* leaf = db.Find("gelatin-leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_GT(leaf->grams_per_piece, 0.0);
+}
+
+TEST(IngredientDatabaseTest, AllSpecificGravitiesArePhysical) {
+  for (const auto& info : IngredientDatabase::Embedded().infos()) {
+    EXPECT_GT(info.specific_gravity, 0.05) << info.name;
+    EXPECT_LT(info.specific_gravity, 2.0) << info.name;
+  }
+}
+
+TEST(IngredientDatabaseTest, ToppingsAreUnrelatedSolids) {
+  const auto& db = IngredientDatabase::Embedded();
+  for (const char* name : {"nuts", "cookie", "granola"}) {
+    const IngredientInfo* info = db.Find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->cls, IngredientClass::kOther) << name;
+    EXPECT_FALSE(info->liquid_base) << name;
+  }
+}
+
+TEST(GelTypeNameTest, StableNames) {
+  EXPECT_STREQ(GelTypeName(GelType::kGelatin), "gelatin");
+  EXPECT_STREQ(GelTypeName(GelType::kKanten), "kanten");
+  EXPECT_STREQ(GelTypeName(GelType::kAgar), "agar");
+}
+
+TEST(EmulsionTypeNameTest, StableNames) {
+  EXPECT_STREQ(EmulsionTypeName(EmulsionType::kSugar), "sugar");
+  EXPECT_STREQ(EmulsionTypeName(EmulsionType::kRawCream), "raw-cream");
+}
+
+}  // namespace
+}  // namespace texrheo::recipe

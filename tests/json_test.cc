@@ -1,0 +1,153 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include "recipe/recipe.h"
+#include "util/rng.h"
+
+namespace texrheo {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-1.5e2")->AsNumber(), -150.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto v = JsonValue::Parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray().size(), 3u);
+  EXPECT_TRUE(a->AsArray()[2].Find("b")->AsBool());
+  EXPECT_TRUE(v->Find("c")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = JsonValue::Parse(R"("line\nbreak \"quoted\" tab\t ué")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "line\nbreak \"quoted\" tab\t u\xC3\xA9");
+}
+
+TEST(JsonParseTest, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "1 2", "{\"a\" 1}", "\"unterminated",
+        "[1,]", "{,}", "nul", "\"bad \\q escape\""}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParseTest, RejectsAbsurdNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonSerializeTest, RoundTripsStructures) {
+  const char* doc =
+      R"({"arr":[1,2.5,"x"],"flag":true,"nested":{"k":null},"text":"a\"b"})";
+  auto parsed = JsonValue::Parse(doc);
+  ASSERT_TRUE(parsed.ok());
+  auto reparsed = JsonValue::Parse(parsed->Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(parsed->Serialize(), reparsed->Serialize());
+}
+
+TEST(JsonSerializeTest, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(JsonValue::Number(42).Serialize(), "42");
+  EXPECT_EQ(JsonValue::Number(-3).Serialize(), "-3");
+  EXPECT_EQ(JsonValue::Number(2.5).Serialize(), "2.5");
+}
+
+TEST(JsonSerializeTest, EscapesControlCharacters) {
+  std::string out = JsonValue::String("a\x01").Serialize();
+  EXPECT_EQ(out, "\"a\\u0001\"");
+}
+
+TEST(JsonFuzzTest, ParserNeverCrashesOnByteSoup) {
+  Rng rng(77);
+  static constexpr char kAlphabet[] = "{}[]\",:.0123456789 truefalsn\\eE-+";
+  for (int i = 0; i < 3000; ++i) {
+    std::string input;
+    size_t len = rng.NextUint(64);
+    for (size_t j = 0; j < len; ++j) {
+      input.push_back(kAlphabet[rng.NextUint(sizeof(kAlphabet) - 1)]);
+    }
+    auto v = JsonValue::Parse(input);
+    if (v.ok()) {
+      // A successful parse must re-serialize and re-parse stably.
+      auto again = JsonValue::Parse(v->Serialize());
+      EXPECT_TRUE(again.ok()) << input;
+    }
+  }
+}
+
+// --- Recipe JSONL integration --------------------------------------------
+
+recipe::Recipe SampleRecipe() {
+  recipe::Recipe r;
+  r.id = 7;
+  r.title = "purupuru \"special\" jelly";
+  r.description = "texture is purupuru\nand katai";
+  r.ingredients = {{"gelatin", "5 g"}, {"water", "1 cup"}};
+  r.metadata = {{"template", "standard-jelly"}};
+  return r;
+}
+
+TEST(RecipeJsonTest, RoundTrip) {
+  recipe::Recipe original = SampleRecipe();
+  auto parsed = recipe::RecipeFromJson(recipe::RecipeToJson(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, original.id);
+  EXPECT_EQ(parsed->title, original.title);
+  EXPECT_EQ(parsed->description, original.description);
+  ASSERT_EQ(parsed->ingredients.size(), 2u);
+  EXPECT_EQ(parsed->ingredients[1].quantity, "1 cup");
+  EXPECT_EQ(parsed->metadata, original.metadata);
+}
+
+TEST(RecipeJsonTest, RejectsMalformedRecipes) {
+  EXPECT_FALSE(recipe::RecipeFromJson("[1,2]").ok());
+  EXPECT_FALSE(recipe::RecipeFromJson(R"({"ingredients": 5})").ok());
+  EXPECT_FALSE(
+      recipe::RecipeFromJson(R"({"ingredients": [{"name": "x"}]})").ok());
+  EXPECT_FALSE(recipe::RecipeFromJson(R"({"metadata": {"k": 1}})").ok());
+}
+
+TEST(RecipeJsonTest, CorpusJsonlRoundTrip) {
+  std::string path = testing::TempDir() + "/texrheo_jsonl_test.jsonl";
+  std::vector<recipe::Recipe> corpus = {SampleRecipe(), SampleRecipe()};
+  corpus[1].id = 8;
+  ASSERT_TRUE(recipe::SaveCorpusJsonl(path, corpus).ok());
+  auto loaded = recipe::LoadCorpusJsonl(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[1].id, 8);
+  EXPECT_EQ((*loaded)[0].title, corpus[0].title);
+  std::remove(path.c_str());
+}
+
+TEST(RecipeJsonTest, JsonlAndTsvAgree) {
+  // Both corpus formats reconstruct identical recipes.
+  std::vector<recipe::Recipe> corpus = {SampleRecipe()};
+  std::string tsv_path = testing::TempDir() + "/texrheo_fmt_a.tsv";
+  std::string jsonl_path = testing::TempDir() + "/texrheo_fmt_b.jsonl";
+  ASSERT_TRUE(recipe::SaveCorpus(tsv_path, corpus).ok());
+  ASSERT_TRUE(recipe::SaveCorpusJsonl(jsonl_path, corpus).ok());
+  auto tsv = recipe::LoadCorpus(tsv_path);
+  auto jsonl = recipe::LoadCorpusJsonl(jsonl_path);
+  ASSERT_TRUE(tsv.ok() && jsonl.ok());
+  EXPECT_EQ((*tsv)[0].description, (*jsonl)[0].description);
+  EXPECT_EQ((*tsv)[0].metadata, (*jsonl)[0].metadata);
+  std::remove(tsv_path.c_str());
+  std::remove(jsonl_path.c_str());
+}
+
+}  // namespace
+}  // namespace texrheo

@@ -1,0 +1,134 @@
+#include "core/lda_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace texrheo::core {
+namespace {
+
+// Word-only planted dataset: cluster 0 uses terms {0,1}, cluster 1 {2,3}.
+recipe::Dataset WordClusterDataset(size_t docs_per_cluster, uint64_t seed) {
+  recipe::Dataset ds;
+  for (const char* w : {"w0", "w1", "w2", "w3"}) ds.term_vocab.Add(w);
+  Rng rng(seed);
+  for (int cluster = 0; cluster < 2; ++cluster) {
+    for (size_t i = 0; i < docs_per_cluster; ++i) {
+      recipe::Document doc;
+      doc.recipe_index = ds.documents.size();
+      int n = 4 + static_cast<int>(rng.NextUint(4));
+      for (int t = 0; t < n; ++t) {
+        doc.term_ids.push_back(cluster * 2 +
+                               static_cast<int32_t>(rng.NextUint(2)));
+      }
+      doc.gel_feature = math::Vector(3, cluster == 0 ? 4.0 : 8.0);
+      doc.emulsion_feature = math::Vector(2, 1.0);
+      doc.gel_concentration = math::Vector(3, 0.01);
+      doc.emulsion_concentration = math::Vector(2, 0.1);
+      ds.documents.push_back(std::move(doc));
+    }
+  }
+  return ds;
+}
+
+LdaConfig SmallConfig() {
+  LdaConfig config;
+  config.num_topics = 2;
+  config.sweeps = 100;
+  config.seed = 5;
+  return config;
+}
+
+TEST(LdaModelTest, CreateValidates) {
+  recipe::Dataset ds = WordClusterDataset(10, 1);
+  EXPECT_FALSE(LdaModel::Create(SmallConfig(), nullptr).ok());
+  LdaConfig bad = SmallConfig();
+  bad.gamma = -1.0;
+  EXPECT_FALSE(LdaModel::Create(bad, &ds).ok());
+}
+
+TEST(LdaModelTest, RecoversWordClusters) {
+  recipe::Dataset ds = WordClusterDataset(50, 2);
+  auto model = LdaModel::Create(SmallConfig(), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Train().ok());
+  std::vector<int> truth;
+  for (size_t d = 0; d < ds.documents.size(); ++d) {
+    truth.push_back(d < 50 ? 0 : 1);
+  }
+  auto scores = eval::ScoreClustering(model->DocTopics(), truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores->purity, 0.95);
+}
+
+TEST(LdaModelTest, PhiAndThetaAreDistributions) {
+  recipe::Dataset ds = WordClusterDataset(20, 3);
+  auto model = LdaModel::Create(SmallConfig(), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Train().ok());
+  for (const auto& row : model->Phi()) {
+    double sum = 0.0;
+    for (double p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  for (const auto& row : model->Theta()) {
+    double sum = 0.0;
+    for (double p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaModelTest, LikelihoodImprovesWithTraining) {
+  recipe::Dataset ds = WordClusterDataset(50, 4);
+  auto model = LdaModel::Create(SmallConfig(), &ds);
+  ASSERT_TRUE(model.ok());
+  double before = model->LogLikelihood();
+  ASSERT_TRUE(model->Train().ok());
+  EXPECT_GT(model->LogLikelihood(), before);
+}
+
+TEST(FitPostHocGaussiansTest, FitsPerTopicMeans) {
+  recipe::Dataset ds = WordClusterDataset(50, 5);
+  std::vector<int> doc_topic(ds.documents.size());
+  for (size_t d = 0; d < ds.documents.size(); ++d) {
+    doc_topic[d] = d < 50 ? 0 : 1;
+  }
+  math::NormalWishartParams prior;
+  prior.mu0 = math::Vector(3, 6.0);
+  prior.beta = 0.5;
+  prior.nu = 6.0;
+  prior.scale = math::Matrix::Identity(3, 0.5);
+  auto gaussians =
+      FitPostHocGaussians(ds, doc_topic, 2, /*use_gel=*/true, prior);
+  ASSERT_TRUE(gaussians.ok());
+  ASSERT_EQ(gaussians->size(), 2u);
+  EXPECT_NEAR((*gaussians)[0].mean()[0], 4.0, 0.2);
+  EXPECT_NEAR((*gaussians)[1].mean()[0], 8.0, 0.2);
+}
+
+TEST(FitPostHocGaussiansTest, EmptyTopicFallsBackToPrior) {
+  recipe::Dataset ds = WordClusterDataset(10, 6);
+  std::vector<int> doc_topic(ds.documents.size(), 0);  // Topic 1 empty.
+  math::NormalWishartParams prior;
+  prior.mu0 = math::Vector(3, 6.0);
+  prior.beta = 0.5;
+  prior.nu = 6.0;
+  prior.scale = math::Matrix::Identity(3, 0.5);
+  auto gaussians = FitPostHocGaussians(ds, doc_topic, 2, true, prior);
+  ASSERT_TRUE(gaussians.ok());
+  EXPECT_EQ((*gaussians)[1].mean(), prior.mu0);
+}
+
+TEST(FitPostHocGaussiansTest, RejectsSizeMismatch) {
+  recipe::Dataset ds = WordClusterDataset(5, 7);
+  math::NormalWishartParams prior;
+  prior.mu0 = math::Vector(3, 6.0);
+  prior.beta = 0.5;
+  prior.nu = 6.0;
+  prior.scale = math::Matrix::Identity(3, 0.5);
+  EXPECT_FALSE(FitPostHocGaussians(ds, {0, 1}, 2, true, prior).ok());
+}
+
+}  // namespace
+}  // namespace texrheo::core

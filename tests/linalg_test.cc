@@ -1,0 +1,185 @@
+#include "math/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace texrheo::math {
+namespace {
+
+TEST(VectorTest, ConstructionAndIndexing) {
+  Vector v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 1.5);
+  Vector w = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(VectorTest, SizeConstructorVsInitializerList) {
+  // Vector(n) makes an n-dim zero vector; {n} makes a 1-dim vector [n].
+  Vector sized(3);
+  EXPECT_EQ(sized.size(), 3u);
+  Vector list{3};
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_DOUBLE_EQ(list[0], 3.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a = {1, 2, 3}, b = {4, 5, 6};
+  Vector c = a + b;
+  EXPECT_EQ(c, (Vector{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vector{3, 3, 3}));
+  EXPECT_EQ(2.0 * a, (Vector{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ((Vector{3, 4}).Norm(), 5.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix id = Matrix::Identity(3, 2.0);
+  EXPECT_DOUBLE_EQ(id(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  Matrix d = Matrix::Diagonal({1, 2, 3});
+  EXPECT_DOUBLE_EQ(d(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(d.Trace(), 6.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  Vector v = {1, 1, 1};
+  EXPECT_EQ(m.Multiply(v), (Vector{6, 15}));
+}
+
+TEST(MatrixTest, MultiplyMatrixAgainstHandComputed) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposeAndOuter) {
+  Matrix o = Matrix::Outer({1, 2}, {3, 4, 5});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+  Matrix ot = o.Transposed();
+  EXPECT_DOUBLE_EQ(ot(2, 1), 10.0);
+}
+
+TEST(MatrixTest, SymmetryCheck) {
+  Matrix s = Matrix::Identity(2);
+  s(0, 1) = 0.5;
+  EXPECT_FALSE(s.IsSymmetric());
+  s(1, 0) = 0.5;
+  EXPECT_TRUE(s.IsSymmetric());
+}
+
+Matrix RandomSpd(size_t n, texrheo::Rng& rng) {
+  // A A^T + n I is symmetric positive definite.
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng.NextGaussian();
+  }
+  Matrix spd = a.Multiply(a.Transposed());
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, FactorReconstructsInput) {
+  texrheo::Rng rng(static_cast<uint64_t>(GetParam()));
+  size_t n = 1 + static_cast<size_t>(GetParam()) % 6;
+  Matrix a = RandomSpd(n, rng);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix rebuilt = chol->L().Multiply(chol->L().Transposed());
+  EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-9);
+}
+
+TEST_P(CholeskyPropertyTest, SolveSatisfiesSystem) {
+  texrheo::Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  size_t n = 2 + static_cast<size_t>(GetParam()) % 5;
+  Matrix a = RandomSpd(n, rng);
+  Vector b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = rng.NextGaussian();
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Vector x = chol->Solve(b);
+  Vector ax = a.Multiply(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST_P(CholeskyPropertyTest, InverseTimesInputIsIdentity) {
+  texrheo::Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  size_t n = 1 + static_cast<size_t>(GetParam()) % 6;
+  Matrix a = RandomSpd(n, rng);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix prod = chol->Inverse().Multiply(a);
+  EXPECT_LT(prod.MaxAbsDiff(Matrix::Identity(n)), 1e-8);
+}
+
+TEST_P(CholeskyPropertyTest, LogDetMatchesDiagonalProduct) {
+  texrheo::Rng rng(static_cast<uint64_t>(GetParam()) + 300);
+  size_t n = 1 + static_cast<size_t>(GetParam()) % 6;
+  Matrix a = RandomSpd(n, rng);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  // det(A) = prod diag(L)^2.
+  double det = 1.0;
+  for (size_t i = 0; i < n; ++i) det *= chol->L()(i, i) * chol->L()(i, i);
+  EXPECT_NEAR(chol->LogDet(), std::log(det), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyPropertyTest,
+                         ::testing::Range(0, 12));
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Matrix m = Matrix::Identity(2, -1.0);
+  EXPECT_FALSE(Cholesky::Factor(m).ok());
+  Matrix indefinite(2, 2);
+  indefinite(0, 0) = 1;
+  indefinite(0, 1) = 2;
+  indefinite(1, 0) = 2;
+  indefinite(1, 1) = 1;  // Eigenvalues 3 and -1.
+  EXPECT_FALSE(Cholesky::Factor(indefinite).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky::Factor(Matrix(2, 3)).ok());
+}
+
+TEST(QuadraticFormTest, HandComputed) {
+  Matrix a = Matrix::Identity(2, 2.0);
+  // (x - mu)^T A (x - mu) with diff (1, 2): 2*1 + 2*4 = 10.
+  EXPECT_DOUBLE_EQ(QuadraticForm(a, {2, 3}, {1, 1}), 10.0);
+}
+
+TEST(InversePDTest, DiagonalCase) {
+  auto inv = InversePD(Matrix::Diagonal({2, 4}));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_DOUBLE_EQ((*inv)(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ((*inv)(1, 1), 0.25);
+}
+
+}  // namespace
+}  // namespace texrheo::math

@@ -1,0 +1,149 @@
+#include "core/linkage.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo::core {
+namespace {
+
+// Two hand-built topics in -log-concentration space:
+// topic 0 centred at gelatin ~2% (feature ~3.9, absent, absent),
+// topic 1 centred at kanten ~1% (absent, feature ~4.6, absent).
+TopicEstimates TwoTopicEstimates() {
+  recipe::FeatureConfig fc;
+  TopicEstimates est;
+  math::Vector gelatin_center = recipe::ToFeature({0.02, 0.0, 0.0}, fc);
+  math::Vector kanten_center = recipe::ToFeature({0.0, 0.01, 0.0}, fc);
+  est.gel_topics.push_back(
+      math::Gaussian::FromPrecision(gelatin_center,
+                                    math::Matrix::Identity(3, 4.0))
+          .value());
+  est.gel_topics.push_back(
+      math::Gaussian::FromPrecision(kanten_center,
+                                    math::Matrix::Identity(3, 4.0))
+          .value());
+  return est;
+}
+
+class LinkageMethodTest : public ::testing::TestWithParam<LinkageMethod> {};
+
+TEST_P(LinkageMethodTest, SettingsLinkToMatchingGelTopic) {
+  TopicEstimates est = TwoTopicEstimates();
+  recipe::FeatureConfig fc;
+  LinkageOptions options;
+  options.method = GetParam();
+  auto links = LinkSettingsToTopics(est, rheology::TableI(), fc, options);
+  ASSERT_TRUE(links.ok());
+  ASSERT_EQ(links->size(), 13u);
+  for (const auto& link : *links) {
+    const auto& row =
+        rheology::TableI()[static_cast<size_t>(link.setting_id - 1)];
+    bool is_pure_gelatin = row.gel[0] > 0.0 && row.gel[2] == 0.0;
+    bool is_kanten = row.gel[1] > 0.0;
+    if (is_pure_gelatin) {
+      EXPECT_EQ(link.topic, 0) << "setting " << link.setting_id;
+    }
+    if (is_kanten) {
+      EXPECT_EQ(link.topic, 1) << "setting " << link.setting_id;
+    }
+    EXPECT_EQ(link.divergence_by_topic.size(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, LinkageMethodTest,
+                         ::testing::Values(LinkageMethod::kGaussianKL,
+                                           LinkageMethod::kNegLogDensity,
+                                           LinkageMethod::kMahalanobis,
+                                           LinkageMethod::kEuclidean));
+
+TEST(LinkageTest, DivergenceIsMinimalAtChosenTopic) {
+  TopicEstimates est = TwoTopicEstimates();
+  recipe::FeatureConfig fc;
+  auto links = LinkSettingsToTopics(est, rheology::TableI(), fc);
+  ASSERT_TRUE(links.ok());
+  for (const auto& link : *links) {
+    for (double d : link.divergence_by_topic) {
+      EXPECT_GE(d, link.divergence);
+    }
+  }
+}
+
+TEST(LinkageTest, CenterScoresBetterThanOffCenter) {
+  TopicEstimates est = TwoTopicEstimates();
+  recipe::FeatureConfig fc;
+  auto at_center = LinkConcentrationToTopic(est, {0.02, 0.0, 0.0}, fc);
+  auto off_center = LinkConcentrationToTopic(est, {0.035, 0.0, 0.0}, fc);
+  ASSERT_TRUE(at_center.ok() && off_center.ok());
+  EXPECT_EQ(at_center->topic, 0);
+  EXPECT_LT(at_center->divergence, off_center->divergence);
+}
+
+TEST(LinkageTest, SharpNearbyTopicBeatsDiffuseDistantTopic) {
+  // The failure mode that motivated the measurement-sigma wrapping: a very
+  // diffuse topic must not absorb settings that sit right on a sharp
+  // topic's mean.
+  recipe::FeatureConfig fc;
+  TopicEstimates est;
+  math::Vector sharp_center = recipe::ToFeature({0.02, 0.0, 0.0}, fc);
+  math::Vector diffuse_center = recipe::ToFeature({0.005, 0.0, 0.0}, fc);
+  est.gel_topics.push_back(
+      math::Gaussian::FromPrecision(sharp_center,
+                                    math::Matrix::Identity(3, 25.0))
+          .value());
+  est.gel_topics.push_back(
+      math::Gaussian::FromPrecision(diffuse_center,
+                                    math::Matrix::Identity(3, 0.05))
+          .value());
+  auto link = LinkConcentrationToTopic(est, {0.02, 0.0, 0.0}, fc);
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(link->topic, 0);
+}
+
+TEST(LinkageTest, TableIIbDishesLinkToGelatinTopic) {
+  TopicEstimates est = TwoTopicEstimates();
+  recipe::FeatureConfig fc;
+  for (const auto& dish : rheology::TableIIb()) {
+    auto link = LinkConcentrationToTopic(est, dish.gel, fc);
+    ASSERT_TRUE(link.ok());
+    EXPECT_EQ(link->topic, 0) << dish.name;
+  }
+}
+
+TEST(LinkageTest, InvalidMeasurementSigmaIsRejected) {
+  TopicEstimates est = TwoTopicEstimates();
+  recipe::FeatureConfig fc;
+  LinkageOptions options;
+  options.measurement_sigma = 0.0;
+  EXPECT_FALSE(
+      LinkSettingsToTopics(est, rheology::TableI(), fc, options).ok());
+}
+
+TEST(LinkageTest, EmptyTopicsYieldEmptyDivergences) {
+  TopicEstimates est;  // No gel topics at all.
+  recipe::FeatureConfig fc;
+  auto links = LinkSettingsToTopics(est, rheology::TableI(), fc);
+  ASSERT_TRUE(links.ok());
+  for (const auto& link : *links) {
+    EXPECT_TRUE(link.divergence_by_topic.empty());
+  }
+}
+
+TEST(LinkageTest, GaussianKLAndNegLogDensityAgreeOnRanking) {
+  // With a small measurement sigma the KL ranking matches the density
+  // ranking (the constant wrapped-entropy term cancels across topics).
+  TopicEstimates est = TwoTopicEstimates();
+  recipe::FeatureConfig fc;
+  LinkageOptions kl_options;
+  kl_options.measurement_sigma = 0.05;
+  LinkageOptions density_options;
+  density_options.method = LinkageMethod::kNegLogDensity;
+  auto kl = LinkSettingsToTopics(est, rheology::TableI(), fc, kl_options);
+  auto density =
+      LinkSettingsToTopics(est, rheology::TableI(), fc, density_options);
+  ASSERT_TRUE(kl.ok() && density.ok());
+  for (size_t i = 0; i < kl->size(); ++i) {
+    EXPECT_EQ((*kl)[i].topic, (*density)[i].topic);
+  }
+}
+
+}  // namespace
+}  // namespace texrheo::core

@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo {
+namespace {
+
+// Restores the global level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, FilteredMessagesDoNotEvaluateStream) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "payload";
+  };
+  TEXRHEO_LOG(Debug) << expensive();
+  TEXRHEO_LOG(Info) << expensive();
+  TEXRHEO_LOG(Warning) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  TEXRHEO_LOG(Error) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  SetLogLevel(LogLevel::kWarning);
+  testing::internal::CaptureStderr();
+  TEXRHEO_LOG(Info) << "hidden";
+  TEXRHEO_LOG(Warning) << "visible warning";
+  TEXRHEO_LOG(Error) << "visible error";
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  EXPECT_NE(output.find("visible warning"), std::string::npos);
+  EXPECT_NE(output.find("visible error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessageCarriesFileAndLevelTag) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  TEXRHEO_LOG(Warning) << "tagged";
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[WARN logging_test.cc:"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamFormatsValues) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  TEXRHEO_LOG(Info) << "x=" << 42 << " y=" << 2.5;
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("x=42 y=2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace texrheo

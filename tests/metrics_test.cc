@@ -1,0 +1,97 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace texrheo::eval {
+namespace {
+
+TEST(ScoreClusteringTest, PerfectClustering) {
+  std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  auto scores = ScoreClustering(labels, labels);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->purity, 1.0);
+  EXPECT_NEAR(scores->nmi, 1.0, 1e-9);
+  EXPECT_NEAR(scores->ari, 1.0, 1e-9);
+}
+
+TEST(ScoreClusteringTest, PermutedLabelsStillPerfect) {
+  // Cluster ids are arbitrary; a relabeling scores the same.
+  std::vector<int> predicted = {5, 5, 9, 9, 1, 1};
+  std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  auto scores = ScoreClustering(predicted, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->purity, 1.0);
+  EXPECT_NEAR(scores->nmi, 1.0, 1e-9);
+  EXPECT_NEAR(scores->ari, 1.0, 1e-9);
+}
+
+TEST(ScoreClusteringTest, SingleClusterPurityIsMajorityFraction) {
+  std::vector<int> predicted = {0, 0, 0, 0};
+  std::vector<int> truth = {1, 1, 1, 2};
+  auto scores = ScoreClustering(predicted, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->purity, 0.75);
+}
+
+TEST(ScoreClusteringTest, RandomClusteringScoresNearZeroNmiAndAri) {
+  texrheo::Rng rng(3);
+  std::vector<int> predicted, truth;
+  for (int i = 0; i < 5000; ++i) {
+    predicted.push_back(static_cast<int>(rng.NextUint(5)));
+    truth.push_back(static_cast<int>(rng.NextUint(5)));
+  }
+  auto scores = ScoreClustering(predicted, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_LT(scores->nmi, 0.02);
+  EXPECT_NEAR(scores->ari, 0.0, 0.02);
+}
+
+TEST(ScoreClusteringTest, HandComputedContingency) {
+  // Clusters: {a,a,b} vs truth {x,y,y}: majority per cluster = 1+1... :
+  // cluster a holds truth {x, y} (max 1), cluster b holds {y} (max 1).
+  std::vector<int> predicted = {0, 0, 1};
+  std::vector<int> truth = {0, 1, 1};
+  auto scores = ScoreClustering(predicted, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR(scores->purity, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ScoreClusteringTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(ScoreClustering({0, 1}, {0}).ok());
+  EXPECT_FALSE(ScoreClustering({}, {}).ok());
+  EXPECT_FALSE(ScoreClustering({-1}, {0}).ok());
+}
+
+TEST(ScoreClusteringTest, ScoresAreBounded) {
+  texrheo::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> predicted, truth;
+    for (int i = 0; i < 100; ++i) {
+      predicted.push_back(static_cast<int>(rng.NextUint(4)));
+      truth.push_back(static_cast<int>(rng.NextUint(3)));
+    }
+    auto scores = ScoreClustering(predicted, truth);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_GE(scores->purity, 0.0);
+    EXPECT_LE(scores->purity, 1.0);
+    EXPECT_GE(scores->nmi, 0.0);
+    EXPECT_LE(scores->nmi, 1.0);
+    EXPECT_LE(scores->ari, 1.0);
+  }
+}
+
+TEST(ScoreClusteringTest, FinerClusteringKeepsPurityHigh) {
+  // Splitting a true class into two clusters keeps purity at 1 but lowers
+  // ARI below 1 (the classic purity-gaming property).
+  std::vector<int> predicted = {0, 1, 2, 3};
+  std::vector<int> truth = {0, 0, 1, 1};
+  auto scores = ScoreClustering(predicted, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->purity, 1.0);
+  EXPECT_LT(scores->ari, 1.0);
+}
+
+}  // namespace
+}  // namespace texrheo::eval

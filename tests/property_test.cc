@@ -1,0 +1,159 @@
+// Cross-cutting numerical property tests: invariances a downstream user
+// implicitly relies on (discretization-independence of the rheometer,
+// scale-invariance of concentrations, determinism across equivalent
+// configurations).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "recipe/features.h"
+#include "rheology/rheometer.h"
+#include "text/word2vec.h"
+#include "util/rng.h"
+
+namespace texrheo {
+namespace {
+
+// --- Rheometer: extracted attributes are physics, not discretization -----
+
+class ProbeInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProbeInvarianceTest, AttributesStableUnderTimeStepRefinement) {
+  const auto& row =
+      rheology::TableI()[static_cast<size_t>(GetParam())];
+  const auto& model = rheology::GelPhysicsModel::Calibrated();
+  rheology::RheometerConfig coarse;
+  rheology::RheometerConfig fine = coarse;
+  fine.dt_s = coarse.dt_s / 4.0;
+  auto a = rheology::SimulateDish(model, row.gel, row.emulsion, coarse);
+  auto b = rheology::SimulateDish(model, row.gel, row.emulsion, fine);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a->attributes.hardness, b->attributes.hardness,
+              0.03 * a->attributes.hardness + 1e-6);
+  EXPECT_NEAR(a->attributes.cohesiveness, b->attributes.cohesiveness, 0.05);
+  EXPECT_NEAR(a->attributes.adhesiveness, b->attributes.adhesiveness,
+              0.05 * a->attributes.adhesiveness + 1e-6);
+}
+
+TEST_P(ProbeInvarianceTest, HardnessIndependentOfProbeSpeed) {
+  // Hardness is the peak force of a quasi-static compression: halving the
+  // probe speed must not change it (areas scale with time, so the
+  // cohesiveness *ratio* is also invariant).
+  const auto& row =
+      rheology::TableI()[static_cast<size_t>(GetParam())];
+  const auto& model = rheology::GelPhysicsModel::Calibrated();
+  rheology::RheometerConfig fast;
+  rheology::RheometerConfig slow = fast;
+  slow.probe_speed_mm_s = fast.probe_speed_mm_s / 2.0;
+  rheology::TpaAttributes target = model.Predict(row.gel, row.emulsion);
+  rheology::MechanicalSample sample =
+      rheology::SampleFromAttributes(target, fast);
+  rheology::Rheometer fast_probe(fast), slow_probe(slow);
+  auto a = fast_probe.Measure(sample);
+  auto b = slow_probe.Measure(sample);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a->attributes.hardness, b->attributes.hardness,
+              0.02 * a->attributes.hardness + 1e-9);
+  EXPECT_NEAR(a->attributes.cohesiveness, b->attributes.cohesiveness, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIRows, ProbeInvarianceTest,
+                         ::testing::Values(0, 3, 6, 9, 12));
+
+// --- Concentrations: invariant under uniform recipe scaling --------------
+
+TEST(ConcentrationInvarianceTest, DoublingEveryQuantityChangesNothing) {
+  recipe::Recipe base;
+  base.ingredients = {{"gelatin", "10 g"},
+                      {"milk", "200 g"},
+                      {"sugar", "15 g"},
+                      {"water", "275 g"}};
+  recipe::Recipe doubled;
+  doubled.ingredients = {{"gelatin", "20 g"},
+                         {"milk", "400 g"},
+                         {"sugar", "30 g"},
+                         {"water", "550 g"}};
+  const auto& db = recipe::IngredientDatabase::Embedded();
+  auto a = recipe::ComputeConcentrations(base, db);
+  auto b = recipe::ComputeConcentrations(doubled, db);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->gel.size(); ++i) {
+    EXPECT_NEAR(a->gel[i], b->gel[i], 1e-12);
+  }
+  for (size_t i = 0; i < a->emulsion.size(); ++i) {
+    EXPECT_NEAR(a->emulsion[i], b->emulsion[i], 1e-12);
+  }
+}
+
+TEST(ConcentrationInvarianceTest, UnitChoiceDoesNotMatter) {
+  // The same physical composition expressed in different units produces
+  // identical concentrations.
+  recipe::Recipe grams;
+  grams.ingredients = {{"gelatin", "6.8 g"}, {"water", "400 g"}};
+  recipe::Recipe spoons_and_cups;
+  spoons_and_cups.ingredients = {{"gelatin", "2 tsp"},  // 2*5*0.68 = 6.8 g.
+                                 {"water", "2 cups"}};  // 400 g.
+  const auto& db = recipe::IngredientDatabase::Embedded();
+  auto a = recipe::ComputeConcentrations(grams, db);
+  auto b = recipe::ComputeConcentrations(spoons_and_cups, db);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a->gel[0], b->gel[0], 1e-12);
+  EXPECT_NEAR(a->total_grams, b->total_grams, 1e-9);
+}
+
+// --- Gel physics: dominance orderings hold across the whole range --------
+
+class GelOrderingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GelOrderingTest, EmulsionHardeningIsMonotoneInFraction) {
+  double c = GetParam();
+  const auto& model = rheology::GelPhysicsModel::Calibrated();
+  math::Vector gel(recipe::kNumGelTypes);
+  gel[0] = c;
+  double prev = -1.0;
+  for (double cream = 0.0; cream <= 0.4; cream += 0.1) {
+    math::Vector emulsion(recipe::kNumEmulsionTypes);
+    emulsion[static_cast<size_t>(recipe::EmulsionType::kRawCream)] = cream;
+    double h = model.Predict(gel, emulsion).hardness;
+    EXPECT_GE(h, prev) << "gelatin " << c << ", cream " << cream;
+    prev = h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Concentrations, GelOrderingTest,
+                         ::testing::Values(0.01, 0.02, 0.03));
+
+// --- Word2vec: subsampling drops frequent words but preserves clusters ---
+
+TEST(Word2VecPropertyTest, SubsamplingStillSeparatesClusters) {
+  Rng rng(9);
+  std::vector<std::vector<std::string>> corpus;
+  std::vector<std::string> cluster_a = {"gelatin", "purupuru", "jelly"};
+  std::vector<std::string> cluster_b = {"nuts", "sakusaku", "toast"};
+  for (int i = 0; i < 200; ++i) {
+    for (auto* cluster : {&cluster_a, &cluster_b}) {
+      std::vector<std::string> sentence;
+      for (int w = 0; w < 8; ++w) {
+        // "the" is an extremely frequent stopword-like token.
+        sentence.push_back(w % 2 == 0 ? "the"
+                                      : (*cluster)[rng.NextUint(3)]);
+      }
+      corpus.push_back(std::move(sentence));
+    }
+  }
+  text::Word2VecConfig config;
+  config.dim = 16;
+  config.epochs = 6;
+  config.min_count = 1;
+  config.subsample = 1e-2;  // Aggressive: "the" is mostly dropped.
+  config.seed = 4;
+  auto model = text::Word2Vec::Train(corpus, config);
+  ASSERT_TRUE(model.ok());
+  double within = model->Similarity("purupuru", "jelly").value();
+  double across = model->Similarity("purupuru", "nuts").value();
+  EXPECT_GT(within, across);
+}
+
+}  // namespace
+}  // namespace texrheo

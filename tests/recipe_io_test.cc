@@ -1,0 +1,74 @@
+#include "recipe/recipe.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace texrheo::recipe {
+namespace {
+
+Recipe SampleRecipe() {
+  Recipe r;
+  r.id = 42;
+  r.title = "purupuru jelly";
+  r.description = "easy jelly . the texture is purupuru when chilled .";
+  r.ingredients = {{"gelatin", "5 g"}, {"water", "1 cup"}};
+  r.metadata = {{"template", "standard-jelly"}, {"hardness", "0.25"}};
+  return r;
+}
+
+TEST(RecipeRowTest, RoundTrip) {
+  Recipe original = SampleRecipe();
+  auto parsed = RecipeFromRow(RecipeToRow(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id, original.id);
+  EXPECT_EQ(parsed->title, original.title);
+  EXPECT_EQ(parsed->description, original.description);
+  ASSERT_EQ(parsed->ingredients.size(), 2u);
+  EXPECT_EQ(parsed->ingredients[0].name, "gelatin");
+  EXPECT_EQ(parsed->ingredients[1].quantity, "1 cup");
+  EXPECT_EQ(parsed->metadata, original.metadata);
+}
+
+TEST(RecipeRowTest, EmptyIngredientsAndMetadata) {
+  Recipe r;
+  r.id = 1;
+  auto parsed = RecipeFromRow(RecipeToRow(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->ingredients.empty());
+  EXPECT_TRUE(parsed->metadata.empty());
+}
+
+TEST(RecipeRowTest, RejectsShortRows) {
+  EXPECT_FALSE(RecipeFromRow({"1", "title"}).ok());
+}
+
+TEST(RecipeRowTest, RejectsMalformedIngredientField) {
+  EXPECT_FALSE(RecipeFromRow({"1", "t", "d", "no-equals-sign"}).ok());
+}
+
+TEST(RecipeRowTest, RejectsNonNumericId) {
+  EXPECT_FALSE(RecipeFromRow({"abc", "t", "d", ""}).ok());
+}
+
+TEST(CorpusIoTest, SaveLoadRoundTrip) {
+  std::string path = testing::TempDir() + "/texrheo_corpus_test.tsv";
+  std::vector<Recipe> corpus = {SampleRecipe(), SampleRecipe()};
+  corpus[1].id = 43;
+  corpus[1].title = "second";
+  ASSERT_TRUE(SaveCorpus(path, corpus).ok());
+  auto loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].id, 42);
+  EXPECT_EQ((*loaded)[1].title, "second");
+  EXPECT_EQ((*loaded)[0].metadata.at("template"), "standard-jelly");
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadCorpus("/nonexistent/texrheo/corpus.tsv").ok());
+}
+
+}  // namespace
+}  // namespace texrheo::recipe

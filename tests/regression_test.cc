@@ -1,0 +1,104 @@
+#include "math/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace texrheo::math {
+namespace {
+
+TEST(FitLineTest, ExactLine) {
+  auto fit = FitLine({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1.
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineRecoversSlope) {
+  texrheo::Rng rng(1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    double xi = rng.NextUniform(0, 10);
+    x.push_back(xi);
+    y.push_back(-1.5 * xi + 4.0 + 0.1 * rng.NextGaussian());
+  }
+  auto fit = FitLine(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, -1.5, 0.01);
+  EXPECT_NEAR(fit->intercept, 4.0, 0.05);
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST(FitLineTest, ErrorsOnDegenerateInput) {
+  EXPECT_FALSE(FitLine({1}, {2}).ok());
+  EXPECT_FALSE(FitLine({1, 1, 1}, {1, 2, 3}).ok());  // Constant x.
+  EXPECT_FALSE(FitLine({1, 2}, {1}).ok());           // Length mismatch.
+}
+
+TEST(FitPowerLawTest, ExactPowerLaw) {
+  // y = 3 x^2.
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 * xi * xi);
+  auto fit = FitPowerLaw(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->amplitude, 3.0, 1e-9);
+  EXPECT_NEAR(fit->exponent, 2.0, 1e-9);
+}
+
+TEST(FitPowerLawTest, GelHardnessScale) {
+  // Steep power law like gelatin hardness (exponent ~5) at small x.
+  std::vector<double> x = {0.018, 0.02, 0.025, 0.03};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(2.0e8 * std::pow(xi, 5.0));
+  auto fit = FitPowerLaw(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->exponent, 5.0, 1e-6);
+  EXPECT_NEAR(fit->amplitude / 2.0e8, 1.0, 1e-6);
+}
+
+TEST(FitPowerLawTest, RejectsNonPositive) {
+  EXPECT_FALSE(FitPowerLaw({0.0, 1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({1.0, 2.0}, {-1.0, 2.0}).ok());
+}
+
+TEST(FitExponentialTest, ExactExponential) {
+  // y = 0.5 exp(-3x).
+  std::vector<double> x = {0.0, 0.1, 0.2, 0.5};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(0.5 * std::exp(-3.0 * xi));
+  auto fit = FitExponential(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->amplitude, 0.5, 1e-9);
+  EXPECT_NEAR(fit->rate, -3.0, 1e-9);
+}
+
+TEST(FitExponentialTest, RejectsNonPositiveY) {
+  EXPECT_FALSE(FitExponential({1.0, 2.0}, {1.0, 0.0}).ok());
+}
+
+class PowerLawRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawRecoveryTest, RecoversExponentUnderMildNoise) {
+  double exponent = GetParam();
+  texrheo::Rng rng(static_cast<uint64_t>(exponent * 10));
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    double xi = rng.NextUniform(0.01, 0.1);
+    x.push_back(xi);
+    y.push_back(5.0 * std::pow(xi, exponent) *
+                std::exp(0.02 * rng.NextGaussian()));
+  }
+  auto fit = FitPowerLaw(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->exponent, exponent, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PowerLawRecoveryTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.5, 5.0));
+
+}  // namespace
+}  // namespace texrheo::math

@@ -1,0 +1,178 @@
+#include "rheology/rheometer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace texrheo::rheology {
+namespace {
+
+MechanicalSample ElasticSample() {
+  MechanicalSample s;
+  s.stiffness = 10.0;
+  s.yield_strain = 1.0;  // Never fractures within the stroke.
+  s.damage_retention = 0.9;
+  s.tackiness = 0.0;
+  return s;
+}
+
+TEST(RheometerTest, RejectsInvalidConfig) {
+  RheometerConfig config;
+  config.probe_speed_mm_s = 0.0;
+  Rheometer probe(config);
+  EXPECT_FALSE(probe.Measure(ElasticSample()).ok());
+}
+
+TEST(RheometerTest, RejectsInvalidSample) {
+  Rheometer probe;
+  MechanicalSample s = ElasticSample();
+  s.stiffness = -1.0;
+  EXPECT_FALSE(probe.Measure(s).ok());
+}
+
+TEST(RheometerTest, CurveHasTwoBitesAndPause) {
+  Rheometer probe;
+  auto m = probe.Measure(ElasticSample());
+  ASSERT_TRUE(m.ok());
+  bool saw_cycle1 = false, saw_cycle2 = false;
+  for (const auto& p : m->curve) {
+    if (p.cycle == 1) saw_cycle1 = true;
+    if (p.cycle == 2) saw_cycle2 = true;
+  }
+  EXPECT_TRUE(saw_cycle1);
+  EXPECT_TRUE(saw_cycle2);
+  // Time strictly increases.
+  for (size_t i = 1; i < m->curve.size(); ++i) {
+    EXPECT_GT(m->curve[i].time_s, m->curve[i - 1].time_s);
+  }
+}
+
+TEST(RheometerTest, PeakForceMatchesStiffnessTimesStrain) {
+  RheometerConfig config;
+  Rheometer probe(config);
+  auto m = probe.Measure(ElasticSample());
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->peak_force_1, 10.0 * config.compression_fraction, 0.05);
+}
+
+TEST(RheometerTest, NoAdhesionWithoutTackiness) {
+  Rheometer probe;
+  auto m = probe.Measure(ElasticSample());
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->negative_area, 0.0);
+  EXPECT_DOUBLE_EQ(m->attributes.adhesiveness, 0.0);
+}
+
+TEST(RheometerTest, TackySampleShowsNegativeForceTail) {
+  Rheometer probe;
+  MechanicalSample s = ElasticSample();
+  s.tackiness = 2.0;
+  auto m = probe.Measure(s);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->negative_area, 0.0);
+  double min_force = 0.0;
+  for (const auto& p : m->curve) min_force = std::min(min_force, p.force_ru);
+  // The adhesive trough approaches -tackiness (Fig. 2's area "b").
+  EXPECT_NEAR(min_force, -2.0, 0.15);
+}
+
+TEST(RheometerTest, DamageRetentionControlsSecondBite) {
+  Rheometer probe;
+  MechanicalSample strong = ElasticSample();
+  MechanicalSample weak = ElasticSample();
+  weak.damage_retention = 0.2;
+  auto m_strong = probe.Measure(strong);
+  auto m_weak = probe.Measure(weak);
+  ASSERT_TRUE(m_strong.ok() && m_weak.ok());
+  EXPECT_GT(m_strong->attributes.cohesiveness,
+            m_weak->attributes.cohesiveness);
+  // First bites are identical.
+  EXPECT_NEAR(m_strong->peak_force_1, m_weak->peak_force_1, 1e-9);
+}
+
+TEST(RheometerTest, FractureCapsPeakForce) {
+  Rheometer probe;
+  MechanicalSample brittle = ElasticSample();
+  brittle.yield_strain = 0.15;  // Fractures mid-stroke (max strain 0.30).
+  auto m_brittle = probe.Measure(brittle);
+  auto m_elastic = probe.Measure(ElasticSample());
+  ASSERT_TRUE(m_brittle.ok() && m_elastic.ok());
+  EXPECT_LT(m_brittle->peak_force_1, m_elastic->peak_force_1);
+  EXPECT_NEAR(m_brittle->peak_force_1, 10.0 * 0.15, 0.05);
+}
+
+TEST(RheometerTest, AreasArePositiveAndOrdered) {
+  Rheometer probe;
+  MechanicalSample s = ElasticSample();
+  s.damage_retention = 0.5;
+  auto m = probe.Measure(s);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->area_1, 0.0);
+  EXPECT_GT(m->area_2, 0.0);
+  EXPECT_LT(m->area_2, m->area_1);  // Damaged structure does less work.
+  EXPECT_NEAR(m->attributes.cohesiveness, m->area_2 / m->area_1, 1e-12);
+}
+
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, SampleFromAttributesReproducesTargets) {
+  // The inversion must reproduce every Table I row through the full
+  // force-curve simulation.
+  const auto& row = TableI()[static_cast<size_t>(GetParam())];
+  const auto& model = GelPhysicsModel::Calibrated();
+  TpaAttributes target = model.Predict(row.gel, row.emulsion);
+  RheometerConfig config;
+  MechanicalSample sample = SampleFromAttributes(target, config);
+  Rheometer probe(config);
+  auto m = probe.Measure(sample);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->attributes.hardness, target.hardness,
+              0.05 * target.hardness + 1e-6);
+  EXPECT_NEAR(m->attributes.cohesiveness, target.cohesiveness,
+              0.08 * target.cohesiveness + 0.02);
+  EXPECT_NEAR(m->attributes.adhesiveness, target.adhesiveness,
+              0.05 * target.adhesiveness + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIRows, RoundTripTest, ::testing::Range(0, 13));
+
+TEST(SimulateDishTest, EndToEndPipeline) {
+  const auto& model = GelPhysicsModel::Calibrated();
+  const auto& dish = TableIIb()[0];  // Bavarois.
+  auto m = SimulateDish(model, dish.gel, dish.emulsion, RheometerConfig());
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->attributes.hardness, dish.attributes.hardness, 0.3);
+  EXPECT_NEAR(m->attributes.cohesiveness, dish.attributes.cohesiveness, 0.08);
+}
+
+TEST(RheometerTest, Fig2CurveShape) {
+  // The paper's Fig. 2: positive compression peak, then a negative
+  // adhesion trough during the first ascent, then a second (smaller) bite.
+  const auto& model = GelPhysicsModel::Calibrated();
+  math::Vector gel(recipe::kNumGelTypes);
+  gel[0] = 0.025;  // 2.5% gelatin: hard enough to see both features.
+  auto m = SimulateDish(model, gel, math::Vector(recipe::kNumEmulsionTypes),
+                        RheometerConfig());
+  ASSERT_TRUE(m.ok());
+  // F1 in cycle 1 precedes the minimum (adhesion trough).
+  size_t peak_index = 0, trough_index = 0;
+  double peak = 0.0, trough = 0.0;
+  for (size_t i = 0; i < m->curve.size(); ++i) {
+    if (m->curve[i].cycle != 1) continue;
+    if (m->curve[i].force_ru > peak) {
+      peak = m->curve[i].force_ru;
+      peak_index = i;
+    }
+    if (m->curve[i].force_ru < trough) {
+      trough = m->curve[i].force_ru;
+      trough_index = i;
+    }
+  }
+  EXPECT_GT(peak, 0.0);
+  EXPECT_LT(trough, 0.0);
+  EXPECT_LT(peak_index, trough_index);
+  EXPECT_LT(m->peak_force_2, m->peak_force_1);
+}
+
+}  // namespace
+}  // namespace texrheo::rheology

@@ -1,0 +1,133 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace texrheo::core {
+namespace {
+
+ModelSnapshot SampleSnapshot() {
+  ModelSnapshot snapshot;
+  snapshot.vocab.Add("purupuru");
+  snapshot.vocab.Add("katai");
+  snapshot.vocab.Add("fuwafuwa");
+  snapshot.estimates.phi = {{0.7, 0.2, 0.1}, {0.1, 0.8, 0.1}};
+  math::Matrix precision(2, 2);
+  precision(0, 0) = 3.0;
+  precision(0, 1) = 0.5;
+  precision(1, 0) = 0.5;
+  precision(1, 1) = 2.0;
+  snapshot.estimates.gel_topics.push_back(
+      math::Gaussian::FromPrecision({4.5, 9.2}, precision).value());
+  snapshot.estimates.gel_topics.push_back(
+      math::Gaussian::FromPrecision({9.2, 5.1}, precision).value());
+  snapshot.estimates.emulsion_topics.push_back(
+      math::Gaussian::FromPrecision({1.0, 2.0},
+                                    math::Matrix::Identity(2, 1.5))
+          .value());
+  snapshot.estimates.emulsion_topics.push_back(
+      math::Gaussian::FromPrecision({2.0, 1.0},
+                                    math::Matrix::Identity(2, 1.5))
+          .value());
+  snapshot.estimates.topic_recipe_count = {12, 30};
+  return snapshot;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  ModelSnapshot original = SampleSnapshot();
+  auto loaded = DeserializeModel(SerializeModel(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->vocab.size(), 3u);
+  EXPECT_EQ(loaded->vocab.WordOf(0), "purupuru");
+  EXPECT_EQ(loaded->vocab.IdOf("katai"), 1);
+
+  ASSERT_EQ(loaded->estimates.phi.size(), 2u);
+  for (size_t k = 0; k < 2; ++k) {
+    for (size_t v = 0; v < 3; ++v) {
+      EXPECT_NEAR(loaded->estimates.phi[k][v],
+                  original.estimates.phi[k][v], 1e-10);
+    }
+  }
+  ASSERT_EQ(loaded->estimates.gel_topics.size(), 2u);
+  EXPECT_NEAR(loaded->estimates.gel_topics[0].mean()[0], 4.5, 1e-10);
+  EXPECT_LT(loaded->estimates.gel_topics[0].precision().MaxAbsDiff(
+                original.estimates.gel_topics[0].precision()),
+            1e-10);
+  EXPECT_EQ(loaded->estimates.topic_recipe_count,
+            (std::vector<int>{12, 30}));
+}
+
+TEST(SerializationTest, LogPdfSurvivesRoundTrip) {
+  ModelSnapshot original = SampleSnapshot();
+  auto loaded = DeserializeModel(SerializeModel(original));
+  ASSERT_TRUE(loaded.ok());
+  math::Vector x = {4.0, 8.0};
+  EXPECT_NEAR(loaded->estimates.gel_topics[0].LogPdf(x),
+              original.estimates.gel_topics[0].LogPdf(x), 1e-9);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/texrheo_model_test.txt";
+  ModelSnapshot original = SampleSnapshot();
+  ASSERT_TRUE(SaveModel(path, original).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_topics(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeModel("").ok());
+  EXPECT_FALSE(DeserializeModel("not-a-model 1\n").ok());
+  EXPECT_FALSE(DeserializeModel("texrheo-model 99\n").ok());
+}
+
+TEST(SerializationTest, RejectsTruncatedFile) {
+  std::string content = SerializeModel(SampleSnapshot());
+  // Chop off the last gaussian lines.
+  std::string truncated = content.substr(0, content.size() / 2);
+  EXPECT_FALSE(DeserializeModel(truncated).ok());
+}
+
+TEST(SerializationTest, RejectsCorruptedPrecision) {
+  std::string content = SerializeModel(SampleSnapshot());
+  // Make a precision matrix non-positive-definite by negating a diagonal.
+  size_t pos = content.find("gel_topic 0");
+  ASSERT_NE(pos, std::string::npos);
+  size_t val = content.find("3.0", pos);
+  ASSERT_NE(val, std::string::npos);
+  content.replace(val, 3, "-3.");
+  EXPECT_FALSE(DeserializeModel(content).ok());
+}
+
+TEST(SerializationTest, MakeSnapshotStripsPerDocumentState) {
+  TopicEstimates estimates;
+  estimates.phi = {{1.0}};
+  estimates.theta = {{1.0}, {1.0}};
+  estimates.doc_topic = {0, 0};
+  estimates.topic_recipe_count = {2};
+  estimates.gel_topics.push_back(
+      math::Gaussian::FromPrecision({0.0}, math::Matrix::Identity(1))
+          .value());
+  estimates.emulsion_topics.push_back(
+      math::Gaussian::FromPrecision({0.0}, math::Matrix::Identity(1))
+          .value());
+  text::Vocabulary vocab;
+  vocab.Add("term");
+  ModelSnapshot snapshot = MakeSnapshot(estimates, vocab);
+  EXPECT_TRUE(snapshot.estimates.theta.empty());
+  EXPECT_TRUE(snapshot.estimates.doc_topic.empty());
+  EXPECT_EQ(snapshot.estimates.phi.size(), 1u);
+  EXPECT_EQ(snapshot.vocab.size(), 1u);
+}
+
+TEST(SerializationTest, LoadMissingFileIsIOError) {
+  auto loaded = LoadModel("/nonexistent/texrheo/model.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace texrheo::core

@@ -1,0 +1,85 @@
+#include "math/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace texrheo::math {
+namespace {
+
+TEST(DigammaTest, KnownValues) {
+  constexpr double kEulerMascheroni = 0.5772156649015329;
+  EXPECT_NEAR(Digamma(1.0), -kEulerMascheroni, 1e-10);
+  // psi(1/2) = -gamma - 2 ln 2.
+  EXPECT_NEAR(Digamma(0.5), -kEulerMascheroni - 2.0 * std::log(2.0), 1e-10);
+  // psi(2) = 1 - gamma.
+  EXPECT_NEAR(Digamma(2.0), 1.0 - kEulerMascheroni, 1e-10);
+}
+
+TEST(DigammaTest, RecurrenceRelation) {
+  // psi(x + 1) = psi(x) + 1/x for a sweep of x.
+  for (double x = 0.1; x < 20.0; x += 0.37) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(DigammaTest, MatchesLogGammaDerivative) {
+  // Central difference of lgamma approximates psi.
+  for (double x : {0.5, 1.0, 3.3, 10.0, 42.0}) {
+    double h = 1e-6;
+    double numeric = (std::lgamma(x + h) - std::lgamma(x - h)) / (2.0 * h);
+    EXPECT_NEAR(Digamma(x), numeric, 1e-5) << "x=" << x;
+  }
+}
+
+TEST(LogMultivariateGammaTest, ReducesToLogGammaInOneDim) {
+  for (double a : {0.7, 1.5, 4.2}) {
+    EXPECT_NEAR(LogMultivariateGamma(1, a), std::lgamma(a), 1e-12);
+  }
+}
+
+TEST(LogMultivariateGammaTest, RecurrenceInDimension) {
+  // Gamma_p(a) = pi^{(p-1)/2} Gamma(a) Gamma_{p-1}(a - 1/2).
+  constexpr double kLogPi = 1.1447298858494002;
+  for (size_t p : {2u, 3u, 4u}) {
+    double a = 5.0;
+    double lhs = LogMultivariateGamma(p, a);
+    double rhs = 0.5 * static_cast<double>(p - 1) * kLogPi +
+                 std::lgamma(a) + LogMultivariateGamma(p - 1, a - 0.5);
+    EXPECT_NEAR(lhs, rhs, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(LogSumExpTest, PairwiseMatchesDirect) {
+  EXPECT_NEAR(LogSumExp(0.0, 0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp(1.0, 2.0), std::log(std::exp(1.0) + std::exp(2.0)),
+              1e-12);
+}
+
+TEST(LogSumExpTest, HandlesExtremeMagnitudes) {
+  // Direct evaluation would overflow; stable version must not.
+  double v = LogSumExp(1000.0, 1000.0);
+  EXPECT_NEAR(v, 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp(-1000.0, 0.0), 0.0, 1e-9);
+}
+
+TEST(LogSumExpTest, NegativeInfinityIdentity) {
+  double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(LogSumExp(ninf, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(LogSumExp(3.0, ninf), 3.0);
+}
+
+TEST(LogSumExpTest, ArrayVersion) {
+  double values[] = {1.0, 2.0, 3.0};
+  double expected =
+      std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0));
+  EXPECT_NEAR(LogSumExp(values, 3), expected, 1e-12);
+}
+
+TEST(LogSumExpTest, SingleElement) {
+  double values[] = {-4.2};
+  EXPECT_DOUBLE_EQ(LogSumExp(values, 1), -4.2);
+}
+
+}  // namespace
+}  // namespace texrheo::math

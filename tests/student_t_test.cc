@@ -1,0 +1,124 @@
+#include "math/student_t.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/running_stats.h"
+#include "util/rng.h"
+
+namespace texrheo::math {
+namespace {
+
+TEST(StudentTTest, RejectsBadParameters) {
+  EXPECT_FALSE(StudentT::Create({0.0}, Matrix::Identity(1), 0.0).ok());
+  EXPECT_FALSE(StudentT::Create({0.0, 0.0}, Matrix::Identity(1), 3.0).ok());
+  EXPECT_FALSE(
+      StudentT::Create({0.0}, Matrix::Identity(1, -1.0), 3.0).ok());
+}
+
+TEST(StudentTTest, OneDimMatchesClosedForm) {
+  // St(x | 0, 1, nu) = Gamma((nu+1)/2) / (Gamma(nu/2) sqrt(nu pi))
+  //                    (1 + x^2/nu)^{-(nu+1)/2}.
+  double nu = 5.0;
+  auto t = StudentT::Create({0.0}, Matrix::Identity(1), nu);
+  ASSERT_TRUE(t.ok());
+  for (double x : {-2.0, 0.0, 0.5, 3.0}) {
+    double expected = std::lgamma(0.5 * (nu + 1.0)) -
+                      std::lgamma(0.5 * nu) -
+                      0.5 * std::log(nu * M_PI) -
+                      0.5 * (nu + 1.0) * std::log1p(x * x / nu);
+    EXPECT_NEAR(t->LogPdf({x}), expected, 1e-12) << x;
+  }
+}
+
+TEST(StudentTTest, ApproachesGaussianForLargeDof) {
+  auto t = StudentT::Create({0.0, 0.0}, Matrix::Identity(2), 1e6);
+  auto g = Gaussian::FromPrecision({0.0, 0.0}, Matrix::Identity(2));
+  ASSERT_TRUE(t.ok() && g.ok());
+  for (double x : {-1.5, 0.0, 2.0}) {
+    EXPECT_NEAR(t->LogPdf({x, 0.5}), g->LogPdf({x, 0.5}), 1e-4);
+  }
+}
+
+TEST(StudentTTest, HeavierTailsThanGaussian) {
+  auto t = StudentT::Create({0.0}, Matrix::Identity(1), 3.0);
+  auto g = Gaussian::FromPrecision({0.0}, Matrix::Identity(1));
+  ASSERT_TRUE(t.ok() && g.ok());
+  // Far in the tail the Student-t density dominates.
+  EXPECT_GT(t->LogPdf({6.0}), g->LogPdf({6.0}));
+}
+
+TEST(StudentTTest, PdfIntegratesToOneOnGrid) {
+  auto t = StudentT::Create({1.0}, Matrix::Identity(1, 2.0), 4.0);
+  ASSERT_TRUE(t.ok());
+  double sum = 0.0, dx = 0.005;
+  for (double x = -60.0; x < 60.0; x += dx) {
+    sum += std::exp(t->LogPdf({x})) * dx;
+  }
+  EXPECT_NEAR(sum, 1.0, 2e-3);
+}
+
+TEST(StudentTTest, CovarianceFormula) {
+  Matrix sigma = Matrix::Diagonal({2.0, 0.5});
+  auto t = StudentT::Create({0.0, 0.0}, sigma, 6.0);
+  ASSERT_TRUE(t.ok());
+  auto cov = t->Covariance();
+  ASSERT_TRUE(cov.ok());
+  EXPECT_NEAR((*cov)(0, 0), 6.0 / 4.0 * 2.0, 1e-12);
+  EXPECT_NEAR((*cov)(1, 1), 6.0 / 4.0 * 0.5, 1e-12);
+  auto low_dof = StudentT::Create({0.0}, Matrix::Identity(1), 2.0);
+  ASSERT_TRUE(low_dof.ok());
+  EXPECT_FALSE(low_dof->Covariance().ok());
+}
+
+TEST(StudentTTest, PosteriorPredictiveMatchesSampledCompound) {
+  // Draw (mu, Lambda) ~ NW, then x ~ N(mu, Lambda^{-1}); the compound
+  // empirical moments must match the Student-t predictive's.
+  NormalWishartParams nw;
+  nw.mu0 = Vector{2.0};
+  nw.beta = 3.0;
+  nw.nu = 7.0;
+  nw.scale = Matrix::Identity(1, 0.5);
+  auto predictive = StudentT::PosteriorPredictive(nw);
+  ASSERT_TRUE(predictive.ok());
+  EXPECT_NEAR(predictive->dof(), 7.0, 1e-12);  // nu - d + 1 with d = 1.
+  EXPECT_DOUBLE_EQ(predictive->mean()[0], 2.0);
+
+  texrheo::Rng rng(21);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    auto g = NormalWishartSample(rng, nw);
+    ASSERT_TRUE(g.ok());
+    stats.Add(g->Sample(rng)[0]);
+  }
+  EXPECT_NEAR(stats.mean(), 2.0, 0.01);
+  auto cov = predictive->Covariance();
+  ASSERT_TRUE(cov.ok());
+  EXPECT_NEAR(stats.variance(), (*cov)(0, 0), 0.05 * (*cov)(0, 0));
+}
+
+TEST(StudentTTest, PosteriorPredictiveRejectsTinyDof) {
+  NormalWishartParams nw;
+  nw.mu0 = Vector(3);
+  nw.beta = 1.0;
+  nw.nu = 2.5;  // nu - d + 1 = 0.5 > 0 but Validate wants nu > d - 1 = 2.
+  nw.scale = Matrix::Identity(3, 0.5);
+  EXPECT_TRUE(StudentT::PosteriorPredictive(nw).ok());
+  nw.nu = 1.5;
+  EXPECT_FALSE(StudentT::PosteriorPredictive(nw).ok());
+}
+
+TEST(StudentTTest, LogPdfPeaksAtMean) {
+  auto t = StudentT::Create({1.0, -2.0}, Matrix::Identity(2, 0.7), 5.0);
+  ASSERT_TRUE(t.ok());
+  double at_mean = t->LogPdf({1.0, -2.0});
+  texrheo::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Vector x = {1.0 + rng.NextGaussian(), -2.0 + rng.NextGaussian()};
+    EXPECT_LE(t->LogPdf(x), at_mean + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace texrheo::math

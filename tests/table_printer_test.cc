@@ -1,0 +1,55 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"A", "Bee"});
+  t.AddRow({"longer", "x"});
+  std::string out = t.ToString();
+  // Header and body rows render, separated by rules.
+  EXPECT_NE(out.find("| A      | Bee |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | x   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, SeparatorRows) {
+  TablePrinter t({"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string out = t.ToString();
+  // 2 outer rules + header rule + 1 inner = 4 separator lines.
+  size_t count = 0;
+  for (size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(TablePrinterTest, TsvOutput) {
+  TablePrinter t({"A", "B"});
+  t.AddRow({"1", "2"});
+  t.AddSeparator();  // Skipped in TSV.
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToTsv(), "A\tB\n1\t2\n3\t4\n");
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter t({"Only"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("Only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace texrheo

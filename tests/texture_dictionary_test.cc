@@ -1,0 +1,132 @@
+#include "text/texture_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace texrheo::text {
+namespace {
+
+TEST(TextureDictionaryTest, HasExactly288Terms) {
+  EXPECT_EQ(TextureDictionary::Embedded().size(), 288u);
+}
+
+TEST(TextureDictionaryTest, AllSurfacesUnique) {
+  const auto& dict = TextureDictionary::Embedded();
+  std::set<std::string> surfaces;
+  for (const auto& t : dict.terms()) surfaces.insert(t.surface);
+  EXPECT_EQ(surfaces.size(), dict.size());
+}
+
+TEST(TextureDictionaryTest, ContainsAllPaperTerms) {
+  const auto& dict = TextureDictionary::Embedded();
+  // Every term quoted in the paper's Table II(a) must be present.
+  for (const char* term :
+       {"furufuru", "katai",      "muchimuchi", "gucha",      "potteri",
+        "burunburun", "bosoboso", "botet",      "shakusyaku", "buruburu",
+        "purupuru",  "nettori",   "purit",      "mottari",    "horohoro",
+        "necchiri",  "fuwafuwa",  "yuruyuru",   "bechat",     "fukahuka",
+        "burit",     "dossiri",   "churuchuru", "punipuni",   "kutat",
+        "burinburin", "korit",    "daradara",   "karat",      "hajikeru",
+        "omoi"}) {
+    EXPECT_TRUE(dict.Contains(term)) << term;
+  }
+}
+
+TEST(TextureDictionaryTest, FindReturnsAnnotation) {
+  const auto& dict = TextureDictionary::Embedded();
+  const TextureTerm* katai = dict.Find("katai");
+  ASSERT_NE(katai, nullptr);
+  EXPECT_EQ(katai->axis, TextureAxis::kHardness);
+  EXPECT_GT(katai->polarity, 0);
+  const TextureTerm* furufuru = dict.Find("furufuru");
+  ASSERT_NE(furufuru, nullptr);
+  EXPECT_EQ(furufuru->axis, TextureAxis::kHardness);
+  EXPECT_LT(furufuru->polarity, 0);
+}
+
+TEST(TextureDictionaryTest, FindMissReturnsNull) {
+  EXPECT_EQ(TextureDictionary::Embedded().Find("not-a-term"), nullptr);
+}
+
+TEST(TextureDictionaryTest, EveryTermHasValidAnnotation) {
+  for (const auto& t : TextureDictionary::Embedded().terms()) {
+    EXPECT_FALSE(t.surface.empty());
+    EXPECT_FALSE(t.gloss.empty()) << t.surface;
+    EXPECT_TRUE(t.polarity == 1 || t.polarity == -1) << t.surface;
+    EXPECT_GT(t.intensity, 0.0) << t.surface;
+    EXPECT_LE(t.intensity, 1.0) << t.surface;
+    EXPECT_GT(t.base_frequency, 0.0) << t.surface;
+  }
+}
+
+TEST(TextureDictionaryTest, AllThreeAxesPopulatedOnBothPoles) {
+  const auto& dict = TextureDictionary::Embedded();
+  for (TextureAxis axis : {TextureAxis::kHardness, TextureAxis::kCohesiveness,
+                           TextureAxis::kAdhesiveness}) {
+    EXPECT_GT(dict.TermsOnAxis(axis, +1).size(), 5u)
+        << TextureAxisName(axis);
+    EXPECT_GT(dict.TermsOnAxis(axis, -1).size(), 5u)
+        << TextureAxisName(axis);
+  }
+}
+
+TEST(TextureDictionaryTest, HasNonGelConfounderTerms) {
+  const auto& dict = TextureDictionary::Embedded();
+  int non_gel = 0;
+  for (const auto& t : dict.terms()) {
+    if (!t.gel_related) ++non_gel;
+  }
+  // Crispy-topping vocabulary for the word2vec screen to catch.
+  EXPECT_GE(non_gel, 10);
+  EXPECT_LT(non_gel, 100);  // But the dictionary stays mostly gel-related.
+  const TextureTerm* sakusaku = dict.Find("sakusaku");
+  ASSERT_NE(sakusaku, nullptr);
+  EXPECT_FALSE(sakusaku->gel_related);
+}
+
+TEST(TextureDictionaryTest, PaperTermsAreHighFrequency) {
+  const auto& dict = TextureDictionary::Embedded();
+  // Curated terms dominate usage; derived variants are long-tail.
+  EXPECT_GT(dict.Find("purupuru")->base_frequency, 0.3);
+  const TextureTerm* variant = dict.Find("puyopuyo");
+  if (variant != nullptr) {
+    EXPECT_LT(variant->base_frequency, 0.05);
+  }
+}
+
+TEST(TextureDictionaryTest, CategoryPredicatesAreMutuallyConsistent) {
+  for (const auto& t : TextureDictionary::Embedded().terms()) {
+    int categories = static_cast<int>(IsHardTerm(t)) +
+                     static_cast<int>(IsSoftTerm(t)) +
+                     static_cast<int>(IsElasticTerm(t)) +
+                     static_cast<int>(IsCrumblyTerm(t));
+    // A term describes at most one of these four poles.
+    EXPECT_LE(categories, 1) << t.surface;
+  }
+}
+
+TEST(TextureDictionaryTest, PolesMatchPaperReadings) {
+  const auto& dict = TextureDictionary::Embedded();
+  EXPECT_TRUE(IsElasticTerm(*dict.Find("purupuru")));
+  EXPECT_TRUE(IsElasticTerm(*dict.Find("burinburin")));
+  EXPECT_TRUE(IsCrumblyTerm(*dict.Find("horohoro")));
+  EXPECT_TRUE(IsCrumblyTerm(*dict.Find("bosoboso")));
+  EXPECT_TRUE(IsStickyTerm(*dict.Find("nettori")));
+  EXPECT_TRUE(IsStickyTerm(*dict.Find("necchiri")));
+  EXPECT_TRUE(IsHardTerm(*dict.Find("dossiri")));
+  EXPECT_TRUE(IsSoftTerm(*dict.Find("fuwafuwa")));
+}
+
+TEST(TextureDictionaryTest, CustomDictionaryDeduplicates) {
+  TextureDictionary dict({
+      {"aaa", "first", TextureAxis::kHardness, 1, 0.5, true, 1.0},
+      {"aaa", "duplicate", TextureAxis::kHardness, -1, 0.5, true, 1.0},
+      {"bbb", "second", TextureAxis::kAdhesiveness, 1, 0.5, true, 1.0},
+  });
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Find("aaa")->gloss, "first");
+}
+
+}  // namespace
+}  // namespace texrheo::text

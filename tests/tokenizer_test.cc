@@ -1,0 +1,63 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  auto tokens = Tokenizer::Tokenize("mix the gelatin, then chill.");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"mix", "the", "gelatin",
+                                              "then", "chill"}));
+}
+
+TEST(TokenizerTest, LowerCasesTokens) {
+  auto tokens = Tokenizer::Tokenize("PuruPuru JELLY");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"purupuru", "jelly"}));
+}
+
+TEST(TokenizerTest, KeepsHyphensInsideTokens) {
+  auto tokens = Tokenizer::Tokenize("use gelatin-leaf today");
+  EXPECT_EQ(tokens[1], "gelatin-leaf");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenizer::Tokenize("").empty());
+  EXPECT_TRUE(Tokenizer::Tokenize("  ...  ").empty());
+}
+
+TEST(ExtractTextureTermsTest, FindsDictionaryTermsInOrder) {
+  const auto& dict = TextureDictionary::Embedded();
+  auto terms = Tokenizer::ExtractTextureTerms(
+      "the result is purupuru and a bit katai when chilled", dict);
+  EXPECT_EQ(terms, (std::vector<std::string>{"purupuru", "katai"}));
+}
+
+TEST(ExtractTextureTermsTest, CountsRepetitions) {
+  const auto& dict = TextureDictionary::Embedded();
+  auto terms = Tokenizer::ExtractTextureTerms(
+      "purupuru texture , really purupuru !", dict);
+  EXPECT_EQ(terms.size(), 2u);
+}
+
+TEST(ExtractTextureTermsTest, MatchesInsideCompounds) {
+  const auto& dict = TextureDictionary::Embedded();
+  auto terms =
+      Tokenizer::ExtractTextureTerms("it sets purupuru-style", dict);
+  EXPECT_EQ(terms, (std::vector<std::string>{"purupuru"}));
+}
+
+TEST(ExtractTextureTermsTest, IgnoresNonTextureWords) {
+  const auto& dict = TextureDictionary::Embedded();
+  EXPECT_TRUE(
+      Tokenizer::ExtractTextureTerms("dissolve sugar in milk", dict).empty());
+}
+
+TEST(ExtractTextureTermsTest, CaseInsensitive) {
+  const auto& dict = TextureDictionary::Embedded();
+  auto terms = Tokenizer::ExtractTextureTerms("KATAI texture", dict);
+  EXPECT_EQ(terms, (std::vector<std::string>{"katai"}));
+}
+
+}  // namespace
+}  // namespace texrheo::text

@@ -1,0 +1,144 @@
+#include "recipe/units.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo::recipe {
+namespace {
+
+IngredientInfo Water() {
+  IngredientInfo info;
+  info.name = "water";
+  info.specific_gravity = 1.0;
+  return info;
+}
+
+IngredientInfo GelatinPowder() {
+  IngredientInfo info;
+  info.name = "gelatin";
+  info.cls = IngredientClass::kGel;
+  info.specific_gravity = 0.68;
+  return info;
+}
+
+TEST(ParseUnitTest, CanonicalAndVariantSpellings) {
+  EXPECT_EQ(ParseUnit("g").value(), Unit::kGram);
+  EXPECT_EQ(ParseUnit("grams").value(), Unit::kGram);
+  EXPECT_EQ(ParseUnit("cc").value(), Unit::kMilliliter);
+  EXPECT_EQ(ParseUnit("ml").value(), Unit::kMilliliter);
+  EXPECT_EQ(ParseUnit("tsp").value(), Unit::kSmallSpoon);
+  EXPECT_EQ(ParseUnit("kosaji").value(), Unit::kSmallSpoon);
+  EXPECT_EQ(ParseUnit("tbsp").value(), Unit::kLargeSpoon);
+  EXPECT_EQ(ParseUnit("oosaji").value(), Unit::kLargeSpoon);
+  EXPECT_EQ(ParseUnit("CUPS").value(), Unit::kCup);
+  EXPECT_EQ(ParseUnit("sheets").value(), Unit::kSheet);
+  EXPECT_EQ(ParseUnit("pinch").value(), Unit::kPinch);
+}
+
+TEST(ParseUnitTest, RejectsUnknown) {
+  EXPECT_FALSE(ParseUnit("hogshead").ok());
+  EXPECT_FALSE(ParseUnit("").ok());
+}
+
+TEST(ParseQuantityTest, PlainNumbers) {
+  auto q = ParseQuantity("200 g");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->amount, 200.0);
+  EXPECT_EQ(q->unit, Unit::kGram);
+}
+
+TEST(ParseQuantityTest, AttachedUnit) {
+  auto q = ParseQuantity("2tbsp");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->amount, 2.0);
+  EXPECT_EQ(q->unit, Unit::kLargeSpoon);
+}
+
+TEST(ParseQuantityTest, Fractions) {
+  auto q = ParseQuantity("1/2 cup");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->amount, 0.5);
+  EXPECT_EQ(q->unit, Unit::kCup);
+}
+
+TEST(ParseQuantityTest, MixedNumbers) {
+  auto q = ParseQuantity("1 1/2 cups");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->amount, 1.5);
+}
+
+TEST(ParseQuantityTest, DecimalAmounts) {
+  auto q = ParseQuantity("2.5 tsp");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->amount, 2.5);
+}
+
+TEST(ParseQuantityTest, BareNumberMeansGrams) {
+  auto q = ParseQuantity("150");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->unit, Unit::kGram);
+  EXPECT_DOUBLE_EQ(q->amount, 150.0);
+}
+
+TEST(ParseQuantityTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseQuantity("").ok());
+  EXPECT_FALSE(ParseQuantity("cup").ok());
+  EXPECT_FALSE(ParseQuantity("1/0 cup").ok());
+  EXPECT_FALSE(ParseQuantity("2 lightyears").ok());
+}
+
+TEST(UnitCapacityTest, JapaneseStandardCapacities) {
+  // The paper: small spoon 5 mL; large spoon 15 mL; cup 200 mL in Japan.
+  EXPECT_DOUBLE_EQ(UnitCapacityMl(Unit::kSmallSpoon).value(), 5.0);
+  EXPECT_DOUBLE_EQ(UnitCapacityMl(Unit::kLargeSpoon).value(), 15.0);
+  EXPECT_DOUBLE_EQ(UnitCapacityMl(Unit::kCup).value(), 200.0);
+  EXPECT_FALSE(UnitCapacityMl(Unit::kGram).ok());
+  EXPECT_FALSE(UnitCapacityMl(Unit::kPiece).ok());
+}
+
+TEST(ToGramsTest, WeightUnitsPassThrough) {
+  EXPECT_DOUBLE_EQ(ToGrams({200.0, Unit::kGram}, Water()).value(), 200.0);
+  EXPECT_DOUBLE_EQ(ToGrams({0.5, Unit::kKilogram}, Water()).value(), 500.0);
+}
+
+TEST(ToGramsTest, VolumeUsesSpecificGravity) {
+  // 1 tbsp of gelatin powder: 15 mL x 0.68 g/mL.
+  EXPECT_NEAR(ToGrams({1.0, Unit::kLargeSpoon}, GelatinPowder()).value(),
+              10.2, 1e-9);
+  // 1 cup of water = 200 g.
+  EXPECT_DOUBLE_EQ(ToGrams({1.0, Unit::kCup}, Water()).value(), 200.0);
+}
+
+TEST(ToGramsTest, PiecesRequirePerPieceWeight) {
+  IngredientInfo leaf = GelatinPowder();
+  leaf.grams_per_piece = 2.5;
+  EXPECT_DOUBLE_EQ(ToGrams({4.0, Unit::kSheet}, leaf).value(), 10.0);
+  EXPECT_FALSE(ToGrams({4.0, Unit::kSheet}, GelatinPowder()).ok());
+}
+
+TEST(ToGramsTest, PinchIsFixedWeight) {
+  EXPECT_NEAR(ToGrams({2.0, Unit::kPinch}, Water()).value(), 0.6, 1e-12);
+}
+
+class QuantityRoundTripTest
+    : public ::testing::TestWithParam<std::pair<const char*, double>> {};
+
+TEST_P(QuantityRoundTripTest, ParsesToExpectedWaterGrams) {
+  auto [text, grams] = GetParam();
+  auto q = ParseQuantity(text);
+  ASSERT_TRUE(q.ok()) << text;
+  EXPECT_NEAR(ToGrams(*q, Water()).value(), grams, 1e-9) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, QuantityRoundTripTest,
+    ::testing::Values(std::make_pair("100 g", 100.0),
+                      std::make_pair("1 cup", 200.0),
+                      std::make_pair("3/4 cup", 150.0),
+                      std::make_pair("2 tbsp", 30.0),
+                      std::make_pair("1 tsp", 5.0),
+                      std::make_pair("250 cc", 250.0),
+                      std::make_pair("0.5 l", 500.0),
+                      std::make_pair("1 1/4 cups", 250.0)));
+
+}  // namespace
+}  // namespace texrheo::recipe

@@ -1,0 +1,104 @@
+#include "eval/validation.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo::eval {
+namespace {
+
+// Shared small trained experiment.
+const ExperimentResult& SharedResult() {
+  static const ExperimentResult& result = *new ExperimentResult([] {
+    ExperimentConfig config = DefaultExperimentConfig(0.1);
+    auto result_or = RunJointExperiment(config);
+    EXPECT_TRUE(result_or.ok()) << result_or.status().ToString();
+    return std::move(result_or).value();
+  }());
+  return result;
+}
+
+TEST(ValidationTest, ProducesOneRowPerTableISetting) {
+  auto summary = ValidateLinkage(SharedResult());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->rows.size(), 13u);
+  for (const auto& v : summary->rows) {
+    EXPECT_GE(v.hard_share, 0.0);
+    EXPECT_LE(v.hard_share, 1.0);
+    EXPECT_GE(v.elastic_share, 0.0);
+    EXPECT_LE(v.elastic_share, 1.0);
+    EXPECT_GE(v.sticky_share, 0.0);
+    EXPECT_LE(v.sticky_share, 1.0);
+  }
+}
+
+TEST(ValidationTest, AgreementBeatsChance) {
+  // Random pole shares would agree with the binary expectations half the
+  // time; the trained model must do better.
+  auto summary = ValidateLinkage(SharedResult());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_GT(summary->agreement, 0.5);
+  EXPECT_LE(summary->agreement, 1.0);
+}
+
+TEST(ValidationTest, KantenRowsLinkToHardVocabulary) {
+  // The paper's headline validation: kanten settings (rows 6-9, the
+  // hardest in Table I) read as hard-pole vocabulary.
+  auto summary = ValidateLinkage(SharedResult());
+  ASSERT_TRUE(summary.ok());
+  for (const auto& v : summary->rows) {
+    if (v.setting_id >= 6 && v.setting_id <= 9) {
+      EXPECT_GT(v.hard_share, 0.5) << "row " << v.setting_id;
+    }
+  }
+}
+
+TEST(ValidationTest, SoftGelatinRowsLeanSofterThanKantenRows) {
+  auto summary = ValidateLinkage(SharedResult());
+  ASSERT_TRUE(summary.ok());
+  double soft_rows = 0.0, kanten_rows = 0.0;
+  int n_soft = 0, n_kanten = 0;
+  for (const auto& v : summary->rows) {
+    if (v.setting_id <= 2) {  // gelatin 1.8-2.0%: the softest settings.
+      soft_rows += v.hard_share;
+      ++n_soft;
+    }
+    if (v.setting_id >= 6 && v.setting_id <= 9) {
+      kanten_rows += v.hard_share;
+      ++n_kanten;
+    }
+  }
+  ASSERT_GT(n_soft, 0);
+  ASSERT_GT(n_kanten, 0);
+  EXPECT_LT(soft_rows / n_soft, kanten_rows / n_kanten);
+}
+
+TEST(ValidationTest, FormatIncludesEveryRowAndSummary) {
+  auto summary = ValidateLinkage(SharedResult());
+  ASSERT_TRUE(summary.ok());
+  std::string text = FormatValidation(summary.value());
+  for (int row = 1; row <= 13; ++row) {
+    EXPECT_NE(text.find("| " + std::to_string(row) + " "),
+              std::string::npos)
+        << row;
+  }
+  EXPECT_NE(text.find("agreement"), std::string::npos);
+  EXPECT_NE(text.find("Spearman"), std::string::npos);
+}
+
+TEST(ValidationTest, RejectsResultWithoutLinks) {
+  ExperimentResult empty;
+  EXPECT_FALSE(ValidateLinkage(empty).ok());
+}
+
+TEST(ValidationTest, RankCorrelationsAreBounded) {
+  auto summary = ValidateLinkage(SharedResult());
+  ASSERT_TRUE(summary.ok());
+  for (double r : {summary->hardness_rank_correlation,
+                   summary->cohesiveness_rank_correlation,
+                   summary->adhesiveness_rank_correlation}) {
+    EXPECT_GE(r, -1.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace texrheo::eval

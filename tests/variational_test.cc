@@ -1,0 +1,148 @@
+#include "core/variational.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace texrheo::core {
+namespace {
+
+recipe::Dataset PlantedDataset(size_t docs_per_cluster, uint64_t seed) {
+  recipe::Dataset ds;
+  for (const char* w : {"soft0", "soft1", "hard0", "hard1"}) {
+    ds.term_vocab.Add(w);
+  }
+  Rng rng(seed);
+  for (int cluster = 0; cluster < 2; ++cluster) {
+    for (size_t i = 0; i < docs_per_cluster; ++i) {
+      recipe::Document doc;
+      doc.recipe_index = ds.documents.size();
+      int n = 2 + static_cast<int>(rng.NextUint(3));
+      for (int t = 0; t < n; ++t) {
+        doc.term_ids.push_back(cluster * 2 +
+                               static_cast<int32_t>(rng.NextUint(2)));
+      }
+      doc.gel_feature = math::Vector(3, 9.0);
+      doc.emulsion_feature = math::Vector(2, 9.0);
+      if (cluster == 0) {
+        doc.gel_feature[0] = 4.0 + 0.3 * rng.NextGaussian();
+      } else {
+        doc.gel_feature[1] = 5.0 + 0.3 * rng.NextGaussian();
+      }
+      doc.gel_concentration = math::Vector(3, 0.01);
+      doc.emulsion_concentration = math::Vector(2, 0.1);
+      ds.documents.push_back(std::move(doc));
+    }
+  }
+  return ds;
+}
+
+JointTopicModelConfig SmallConfig(int topics = 2) {
+  JointTopicModelConfig config;
+  config.num_topics = topics;
+  config.sweeps = 60;
+  config.seed = 7;
+  return config;
+}
+
+TEST(VariationalTest, CreateValidates) {
+  recipe::Dataset ds = PlantedDataset(10, 1);
+  EXPECT_FALSE(
+      VariationalJointTopicModel::Create(SmallConfig(), nullptr).ok());
+  JointTopicModelConfig bad = SmallConfig();
+  bad.alpha = 0.0;
+  EXPECT_FALSE(VariationalJointTopicModel::Create(bad, &ds).ok());
+}
+
+TEST(VariationalTest, RecoversPlantedClusters) {
+  recipe::Dataset ds = PlantedDataset(50, 2);
+  auto model = VariationalJointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Train().ok());
+  auto est = model->Estimate();
+  ASSERT_TRUE(est.ok());
+  std::vector<int> truth;
+  for (size_t d = 0; d < ds.documents.size(); ++d) {
+    truth.push_back(d < 50 ? 0 : 1);
+  }
+  auto scores = eval::ScoreClustering(est->doc_topic, truth);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores->purity, 0.95);
+}
+
+TEST(VariationalTest, ObjectiveIncreasesMonotonically) {
+  recipe::Dataset ds = PlantedDataset(40, 3);
+  auto model = VariationalJointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(model.ok());
+  double previous = -1e300;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(model->Run(1, 0.0).ok());
+    double obj = model->Objective();
+    EXPECT_GE(obj, previous - 1e-6) << "iteration " << i;
+    previous = obj;
+  }
+}
+
+TEST(VariationalTest, ConvergesEarlyWithTolerance) {
+  recipe::Dataset ds = PlantedDataset(40, 4);
+  auto model = VariationalJointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Run(500, 1e-6).ok());
+  EXPECT_LT(model->iterations_run(), 500);
+}
+
+TEST(VariationalTest, DeterministicGivenSeed) {
+  recipe::Dataset ds = PlantedDataset(30, 5);
+  auto a = VariationalJointTopicModel::Create(SmallConfig(2), &ds);
+  auto b = VariationalJointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(a->Run(20).ok());
+  ASSERT_TRUE(b->Run(20).ok());
+  EXPECT_DOUBLE_EQ(a->Objective(), b->Objective());
+}
+
+TEST(VariationalTest, EstimatesAreWellFormed) {
+  recipe::Dataset ds = PlantedDataset(25, 6);
+  auto model = VariationalJointTopicModel::Create(SmallConfig(4), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Run(30).ok());
+  auto est = model->Estimate();
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->phi.size(), 4u);
+  for (const auto& row : est->phi) {
+    double sum = 0.0;
+    for (double p : row) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  int total = 0;
+  for (int c : est->topic_recipe_count) total += c;
+  EXPECT_EQ(total, static_cast<int>(ds.documents.size()));
+}
+
+TEST(VariationalTest, AgreesWithGibbsSampler) {
+  recipe::Dataset ds = PlantedDataset(60, 8);
+  auto vb = VariationalJointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(vb.ok());
+  ASSERT_TRUE(vb->Train().ok());
+  auto vb_est = vb->Estimate();
+  ASSERT_TRUE(vb_est.ok());
+
+  JointTopicModelConfig gibbs_config = SmallConfig(2);
+  gibbs_config.sweeps = 80;
+  auto gibbs = JointTopicModel::Create(gibbs_config, &ds);
+  ASSERT_TRUE(gibbs.ok());
+  ASSERT_TRUE(gibbs->Train().ok());
+  TopicEstimates gibbs_est = gibbs->Estimate();
+
+  auto agreement =
+      eval::ScoreClustering(vb_est->doc_topic, gibbs_est.doc_topic);
+  ASSERT_TRUE(agreement.ok());
+  EXPECT_GT(agreement->nmi, 0.9);
+}
+
+}  // namespace
+}  // namespace texrheo::core

@@ -1,0 +1,77 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace texrheo::text {
+namespace {
+
+TEST(VocabularyTest, AssignsDenseIdsInFirstSeenOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.Add("a"), 0);
+  EXPECT_EQ(v.Add("b"), 1);
+  EXPECT_EQ(v.Add("a"), 0);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, CountsAccumulate) {
+  Vocabulary v;
+  v.Add("x");
+  v.Add("x");
+  v.Add("y");
+  EXPECT_EQ(v.CountOf(v.IdOf("x")), 2);
+  EXPECT_EQ(v.CountOf(v.IdOf("y")), 1);
+  EXPECT_EQ(v.total_count(), 3);
+}
+
+TEST(VocabularyTest, IdOfUnknownWord) {
+  Vocabulary v;
+  v.Add("known");
+  EXPECT_EQ(v.IdOf("unknown"), Vocabulary::kUnknownId);
+}
+
+TEST(VocabularyTest, WordOfRoundTrips) {
+  Vocabulary v;
+  for (const char* w : {"alpha", "beta", "gamma"}) v.Add(w);
+  for (const char* w : {"alpha", "beta", "gamma"}) {
+    EXPECT_EQ(v.WordOf(v.IdOf(w)), w);
+  }
+}
+
+TEST(VocabularyTest, PrunedDropsRareWords) {
+  Vocabulary v;
+  for (int i = 0; i < 5; ++i) v.Add("common");
+  v.Add("rare");
+  Vocabulary pruned = v.Pruned(2);
+  EXPECT_EQ(pruned.size(), 1u);
+  EXPECT_NE(pruned.IdOf("common"), Vocabulary::kUnknownId);
+  EXPECT_EQ(pruned.IdOf("rare"), Vocabulary::kUnknownId);
+  EXPECT_EQ(pruned.CountOf(pruned.IdOf("common")), 5);
+  EXPECT_EQ(pruned.total_count(), 5);
+}
+
+TEST(VocabularyTest, PrunedPreservesOrder) {
+  Vocabulary v;
+  for (const char* w : {"a", "b", "c"}) {
+    v.Add(w);
+    v.Add(w);
+  }
+  v.Add("dropme");
+  Vocabulary pruned = v.Pruned(2);
+  EXPECT_EQ(pruned.IdOf("a"), 0);
+  EXPECT_EQ(pruned.IdOf("b"), 1);
+  EXPECT_EQ(pruned.IdOf("c"), 2);
+}
+
+TEST(VocabularyTest, CountsVectorAlignsWithIds) {
+  Vocabulary v;
+  v.Add("one");
+  v.Add("two");
+  v.Add("two");
+  const auto& counts = v.counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);
+}
+
+}  // namespace
+}  // namespace texrheo::text

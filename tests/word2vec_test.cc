@@ -1,0 +1,145 @@
+#include "text/word2vec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace texrheo::text {
+namespace {
+
+// Builds a corpus with two disjoint topical clusters: words within a cluster
+// co-occur, words across clusters never do.
+std::vector<std::vector<std::string>> TwoClusterCorpus(int sentences_per) {
+  std::vector<std::vector<std::string>> corpus;
+  texrheo::Rng rng(7);
+  std::vector<std::string> cluster_a = {"gelatin", "purupuru", "wobbly",
+                                        "jelly", "chill"};
+  std::vector<std::string> cluster_b = {"nuts", "sakusaku", "crunchy",
+                                        "toast", "bake"};
+  for (int i = 0; i < sentences_per; ++i) {
+    for (auto* cluster : {&cluster_a, &cluster_b}) {
+      std::vector<std::string> sentence;
+      for (int w = 0; w < 8; ++w) {
+        sentence.push_back((*cluster)[rng.NextUint(cluster->size())]);
+      }
+      corpus.push_back(std::move(sentence));
+    }
+  }
+  return corpus;
+}
+
+Word2VecConfig SmallConfig() {
+  Word2VecConfig config;
+  config.dim = 16;
+  config.window = 3;
+  config.epochs = 8;
+  config.min_count = 1;
+  config.subsample = 0.0;
+  config.seed = 99;
+  return config;
+}
+
+TEST(Word2VecTest, TrainsAndKnowsVocabulary) {
+  auto model = Word2Vec::Train(TwoClusterCorpus(100), SmallConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->vocab().size(), 10u);
+  EXPECT_TRUE(model->Knows("gelatin"));
+  EXPECT_FALSE(model->Knows("nonexistent"));
+}
+
+TEST(Word2VecTest, WithinClusterSimilarityExceedsAcrossCluster) {
+  auto model = Word2Vec::Train(TwoClusterCorpus(150), SmallConfig());
+  ASSERT_TRUE(model.ok());
+  double within = model->Similarity("purupuru", "jelly").value();
+  double across = model->Similarity("purupuru", "nuts").value();
+  EXPECT_GT(within, across);
+  EXPECT_GT(within, 0.3);
+}
+
+TEST(Word2VecTest, MostSimilarRanksClusterMatesFirst) {
+  auto model = Word2Vec::Train(TwoClusterCorpus(150), SmallConfig());
+  ASSERT_TRUE(model.ok());
+  auto neighbours = model->MostSimilar("sakusaku", 4);
+  ASSERT_TRUE(neighbours.ok());
+  ASSERT_EQ(neighbours->size(), 4u);
+  // All four nearest neighbours come from the crunchy cluster.
+  for (const auto& [word, sim] : *neighbours) {
+    EXPECT_TRUE(word == "nuts" || word == "crunchy" || word == "toast" ||
+                word == "bake")
+        << word;
+  }
+  // Sorted descending.
+  for (size_t i = 1; i < neighbours->size(); ++i) {
+    EXPECT_GE((*neighbours)[i - 1].second, (*neighbours)[i].second);
+  }
+}
+
+TEST(Word2VecTest, DeterministicGivenSeed) {
+  auto a = Word2Vec::Train(TwoClusterCorpus(50), SmallConfig());
+  auto b = Word2Vec::Train(TwoClusterCorpus(50), SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->EmbeddingOf("gelatin").value(),
+            b->EmbeddingOf("gelatin").value());
+}
+
+TEST(Word2VecTest, MinCountPrunesRareWords) {
+  auto corpus = TwoClusterCorpus(50);
+  corpus.push_back({"hapax", "gelatin", "jelly"});
+  Word2VecConfig config = SmallConfig();
+  config.min_count = 2;
+  auto model = Word2Vec::Train(corpus, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Knows("hapax"));
+}
+
+TEST(Word2VecTest, ErrorsOnEmptyCorpus) {
+  EXPECT_FALSE(Word2Vec::Train({}, SmallConfig()).ok());
+  EXPECT_FALSE(Word2Vec::Train({{"solo"}}, SmallConfig()).ok());
+}
+
+TEST(Word2VecTest, ErrorsOnBadConfig) {
+  Word2VecConfig config = SmallConfig();
+  config.dim = 0;
+  EXPECT_FALSE(Word2Vec::Train(TwoClusterCorpus(5), config).ok());
+}
+
+TEST(Word2VecTest, SimilarityErrorsOnUnknownWord) {
+  auto model = Word2Vec::Train(TwoClusterCorpus(20), SmallConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Similarity("gelatin", "martian").ok());
+  EXPECT_FALSE(model->MostSimilar("martian", 3).ok());
+}
+
+TEST(GelRelatednessFilterTest, ExcludesConfounderTerm) {
+  auto model = Word2Vec::Train(TwoClusterCorpus(150), SmallConfig());
+  ASSERT_TRUE(model.ok());
+  GelRelatednessFilter::Config fc;
+  fc.top_k = 3;
+  fc.min_similarity = 0.1;
+  GelRelatednessFilter filter(&model.value(), {"nuts"}, fc);
+  // "sakusaku" co-occurs with nuts -> excluded; "purupuru" does not.
+  EXPECT_TRUE(filter.IsExcluded("sakusaku"));
+  EXPECT_FALSE(filter.IsExcluded("purupuru"));
+}
+
+TEST(GelRelatednessFilterTest, UnknownTermIsKept) {
+  auto model = Word2Vec::Train(TwoClusterCorpus(30), SmallConfig());
+  ASSERT_TRUE(model.ok());
+  GelRelatednessFilter filter(&model.value(), {"nuts"}, {});
+  EXPECT_FALSE(filter.IsExcluded("unseen-term"));
+}
+
+TEST(GelRelatednessFilterTest, ExcludedAmongDeduplicates) {
+  auto model = Word2Vec::Train(TwoClusterCorpus(150), SmallConfig());
+  ASSERT_TRUE(model.ok());
+  GelRelatednessFilter::Config fc;
+  fc.top_k = 3;
+  fc.min_similarity = 0.1;
+  GelRelatednessFilter filter(&model.value(), {"nuts"}, fc);
+  auto excluded =
+      filter.ExcludedAmong({"sakusaku", "purupuru", "sakusaku"});
+  EXPECT_EQ(excluded, (std::vector<std::string>{"sakusaku"}));
+}
+
+}  // namespace
+}  // namespace texrheo::text
