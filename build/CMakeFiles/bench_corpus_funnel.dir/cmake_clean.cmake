@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corpus_funnel.dir/bench/bench_corpus_funnel.cc.o"
+  "CMakeFiles/bench_corpus_funnel.dir/bench/bench_corpus_funnel.cc.o.d"
+  "bench/bench_corpus_funnel"
+  "bench/bench_corpus_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corpus_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

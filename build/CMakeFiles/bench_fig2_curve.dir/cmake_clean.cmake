@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_curve.dir/bench/bench_fig2_curve.cc.o"
+  "CMakeFiles/bench_fig2_curve.dir/bench/bench_fig2_curve.cc.o.d"
+  "bench/bench_fig2_curve"
+  "bench/bench_fig2_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

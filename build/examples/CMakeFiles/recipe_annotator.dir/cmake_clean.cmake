@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_annotator.dir/recipe_annotator.cpp.o"
+  "CMakeFiles/recipe_annotator.dir/recipe_annotator.cpp.o.d"
+  "recipe_annotator"
+  "recipe_annotator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_annotator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rheology_explorer.dir/rheology_explorer.cpp.o"
+  "CMakeFiles/rheology_explorer.dir/rheology_explorer.cpp.o.d"
+  "rheology_explorer"
+  "rheology_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rheology_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

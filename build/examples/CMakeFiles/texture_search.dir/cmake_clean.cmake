@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texture_search.dir/texture_search.cpp.o"
+  "CMakeFiles/texture_search.dir/texture_search.cpp.o.d"
+  "texture_search"
+  "texture_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texture_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

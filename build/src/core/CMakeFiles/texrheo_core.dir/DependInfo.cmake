@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collapsed_sampler.cc" "src/core/CMakeFiles/texrheo_core.dir/collapsed_sampler.cc.o" "gcc" "src/core/CMakeFiles/texrheo_core.dir/collapsed_sampler.cc.o.d"
+  "/root/repo/src/core/gmm_baseline.cc" "src/core/CMakeFiles/texrheo_core.dir/gmm_baseline.cc.o" "gcc" "src/core/CMakeFiles/texrheo_core.dir/gmm_baseline.cc.o.d"
+  "/root/repo/src/core/joint_topic_model.cc" "src/core/CMakeFiles/texrheo_core.dir/joint_topic_model.cc.o" "gcc" "src/core/CMakeFiles/texrheo_core.dir/joint_topic_model.cc.o.d"
+  "/root/repo/src/core/lda_baseline.cc" "src/core/CMakeFiles/texrheo_core.dir/lda_baseline.cc.o" "gcc" "src/core/CMakeFiles/texrheo_core.dir/lda_baseline.cc.o.d"
+  "/root/repo/src/core/linkage.cc" "src/core/CMakeFiles/texrheo_core.dir/linkage.cc.o" "gcc" "src/core/CMakeFiles/texrheo_core.dir/linkage.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/core/CMakeFiles/texrheo_core.dir/serialization.cc.o" "gcc" "src/core/CMakeFiles/texrheo_core.dir/serialization.cc.o.d"
+  "/root/repo/src/core/variational.cc" "src/core/CMakeFiles/texrheo_core.dir/variational.cc.o" "gcc" "src/core/CMakeFiles/texrheo_core.dir/variational.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/texrheo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/texrheo_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/texrheo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/recipe/CMakeFiles/texrheo_recipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/rheology/CMakeFiles/texrheo_rheology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texrheo_core.dir/collapsed_sampler.cc.o"
+  "CMakeFiles/texrheo_core.dir/collapsed_sampler.cc.o.d"
+  "CMakeFiles/texrheo_core.dir/gmm_baseline.cc.o"
+  "CMakeFiles/texrheo_core.dir/gmm_baseline.cc.o.d"
+  "CMakeFiles/texrheo_core.dir/joint_topic_model.cc.o"
+  "CMakeFiles/texrheo_core.dir/joint_topic_model.cc.o.d"
+  "CMakeFiles/texrheo_core.dir/lda_baseline.cc.o"
+  "CMakeFiles/texrheo_core.dir/lda_baseline.cc.o.d"
+  "CMakeFiles/texrheo_core.dir/linkage.cc.o"
+  "CMakeFiles/texrheo_core.dir/linkage.cc.o.d"
+  "CMakeFiles/texrheo_core.dir/serialization.cc.o"
+  "CMakeFiles/texrheo_core.dir/serialization.cc.o.d"
+  "CMakeFiles/texrheo_core.dir/variational.cc.o"
+  "CMakeFiles/texrheo_core.dir/variational.cc.o.d"
+  "libtexrheo_core.a"
+  "libtexrheo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texrheo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

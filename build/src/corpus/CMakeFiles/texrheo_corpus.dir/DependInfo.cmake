@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/texrheo_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/texrheo_corpus.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/texrheo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/texrheo_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/texrheo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/recipe/CMakeFiles/texrheo_recipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/rheology/CMakeFiles/texrheo_rheology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

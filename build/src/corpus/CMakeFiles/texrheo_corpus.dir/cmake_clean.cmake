@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texrheo_corpus.dir/generator.cc.o"
+  "CMakeFiles/texrheo_corpus.dir/generator.cc.o.d"
+  "libtexrheo_corpus.a"
+  "libtexrheo_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texrheo_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

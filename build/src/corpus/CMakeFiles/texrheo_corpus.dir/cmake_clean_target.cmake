@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtexrheo_corpus.a"
+)

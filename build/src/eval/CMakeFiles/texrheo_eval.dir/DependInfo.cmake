@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/coherence.cc" "src/eval/CMakeFiles/texrheo_eval.dir/coherence.cc.o" "gcc" "src/eval/CMakeFiles/texrheo_eval.dir/coherence.cc.o.d"
+  "/root/repo/src/eval/convergence.cc" "src/eval/CMakeFiles/texrheo_eval.dir/convergence.cc.o" "gcc" "src/eval/CMakeFiles/texrheo_eval.dir/convergence.cc.o.d"
+  "/root/repo/src/eval/dish_analysis.cc" "src/eval/CMakeFiles/texrheo_eval.dir/dish_analysis.cc.o" "gcc" "src/eval/CMakeFiles/texrheo_eval.dir/dish_analysis.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/texrheo_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/texrheo_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/figures.cc" "src/eval/CMakeFiles/texrheo_eval.dir/figures.cc.o" "gcc" "src/eval/CMakeFiles/texrheo_eval.dir/figures.cc.o.d"
+  "/root/repo/src/eval/heldout.cc" "src/eval/CMakeFiles/texrheo_eval.dir/heldout.cc.o" "gcc" "src/eval/CMakeFiles/texrheo_eval.dir/heldout.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/texrheo_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/texrheo_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/validation.cc" "src/eval/CMakeFiles/texrheo_eval.dir/validation.cc.o" "gcc" "src/eval/CMakeFiles/texrheo_eval.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/texrheo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/texrheo_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/texrheo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/recipe/CMakeFiles/texrheo_recipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/rheology/CMakeFiles/texrheo_rheology.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/texrheo_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/texrheo_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

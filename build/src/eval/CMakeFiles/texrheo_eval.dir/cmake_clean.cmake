@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texrheo_eval.dir/coherence.cc.o"
+  "CMakeFiles/texrheo_eval.dir/coherence.cc.o.d"
+  "CMakeFiles/texrheo_eval.dir/convergence.cc.o"
+  "CMakeFiles/texrheo_eval.dir/convergence.cc.o.d"
+  "CMakeFiles/texrheo_eval.dir/dish_analysis.cc.o"
+  "CMakeFiles/texrheo_eval.dir/dish_analysis.cc.o.d"
+  "CMakeFiles/texrheo_eval.dir/experiment.cc.o"
+  "CMakeFiles/texrheo_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/texrheo_eval.dir/figures.cc.o"
+  "CMakeFiles/texrheo_eval.dir/figures.cc.o.d"
+  "CMakeFiles/texrheo_eval.dir/heldout.cc.o"
+  "CMakeFiles/texrheo_eval.dir/heldout.cc.o.d"
+  "CMakeFiles/texrheo_eval.dir/metrics.cc.o"
+  "CMakeFiles/texrheo_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/texrheo_eval.dir/validation.cc.o"
+  "CMakeFiles/texrheo_eval.dir/validation.cc.o.d"
+  "libtexrheo_eval.a"
+  "libtexrheo_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texrheo_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

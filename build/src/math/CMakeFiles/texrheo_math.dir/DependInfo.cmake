@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/alias_table.cc" "src/math/CMakeFiles/texrheo_math.dir/alias_table.cc.o" "gcc" "src/math/CMakeFiles/texrheo_math.dir/alias_table.cc.o.d"
+  "/root/repo/src/math/distributions.cc" "src/math/CMakeFiles/texrheo_math.dir/distributions.cc.o" "gcc" "src/math/CMakeFiles/texrheo_math.dir/distributions.cc.o.d"
+  "/root/repo/src/math/divergence.cc" "src/math/CMakeFiles/texrheo_math.dir/divergence.cc.o" "gcc" "src/math/CMakeFiles/texrheo_math.dir/divergence.cc.o.d"
+  "/root/repo/src/math/linalg.cc" "src/math/CMakeFiles/texrheo_math.dir/linalg.cc.o" "gcc" "src/math/CMakeFiles/texrheo_math.dir/linalg.cc.o.d"
+  "/root/repo/src/math/regression.cc" "src/math/CMakeFiles/texrheo_math.dir/regression.cc.o" "gcc" "src/math/CMakeFiles/texrheo_math.dir/regression.cc.o.d"
+  "/root/repo/src/math/running_stats.cc" "src/math/CMakeFiles/texrheo_math.dir/running_stats.cc.o" "gcc" "src/math/CMakeFiles/texrheo_math.dir/running_stats.cc.o.d"
+  "/root/repo/src/math/special.cc" "src/math/CMakeFiles/texrheo_math.dir/special.cc.o" "gcc" "src/math/CMakeFiles/texrheo_math.dir/special.cc.o.d"
+  "/root/repo/src/math/student_t.cc" "src/math/CMakeFiles/texrheo_math.dir/student_t.cc.o" "gcc" "src/math/CMakeFiles/texrheo_math.dir/student_t.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/texrheo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texrheo_math.dir/alias_table.cc.o"
+  "CMakeFiles/texrheo_math.dir/alias_table.cc.o.d"
+  "CMakeFiles/texrheo_math.dir/distributions.cc.o"
+  "CMakeFiles/texrheo_math.dir/distributions.cc.o.d"
+  "CMakeFiles/texrheo_math.dir/divergence.cc.o"
+  "CMakeFiles/texrheo_math.dir/divergence.cc.o.d"
+  "CMakeFiles/texrheo_math.dir/linalg.cc.o"
+  "CMakeFiles/texrheo_math.dir/linalg.cc.o.d"
+  "CMakeFiles/texrheo_math.dir/regression.cc.o"
+  "CMakeFiles/texrheo_math.dir/regression.cc.o.d"
+  "CMakeFiles/texrheo_math.dir/running_stats.cc.o"
+  "CMakeFiles/texrheo_math.dir/running_stats.cc.o.d"
+  "CMakeFiles/texrheo_math.dir/special.cc.o"
+  "CMakeFiles/texrheo_math.dir/special.cc.o.d"
+  "CMakeFiles/texrheo_math.dir/student_t.cc.o"
+  "CMakeFiles/texrheo_math.dir/student_t.cc.o.d"
+  "libtexrheo_math.a"
+  "libtexrheo_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texrheo_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recipe/dataset.cc" "src/recipe/CMakeFiles/texrheo_recipe.dir/dataset.cc.o" "gcc" "src/recipe/CMakeFiles/texrheo_recipe.dir/dataset.cc.o.d"
+  "/root/repo/src/recipe/features.cc" "src/recipe/CMakeFiles/texrheo_recipe.dir/features.cc.o" "gcc" "src/recipe/CMakeFiles/texrheo_recipe.dir/features.cc.o.d"
+  "/root/repo/src/recipe/ingredient.cc" "src/recipe/CMakeFiles/texrheo_recipe.dir/ingredient.cc.o" "gcc" "src/recipe/CMakeFiles/texrheo_recipe.dir/ingredient.cc.o.d"
+  "/root/repo/src/recipe/recipe.cc" "src/recipe/CMakeFiles/texrheo_recipe.dir/recipe.cc.o" "gcc" "src/recipe/CMakeFiles/texrheo_recipe.dir/recipe.cc.o.d"
+  "/root/repo/src/recipe/units.cc" "src/recipe/CMakeFiles/texrheo_recipe.dir/units.cc.o" "gcc" "src/recipe/CMakeFiles/texrheo_recipe.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/texrheo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/texrheo_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/texrheo_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texrheo_recipe.dir/dataset.cc.o"
+  "CMakeFiles/texrheo_recipe.dir/dataset.cc.o.d"
+  "CMakeFiles/texrheo_recipe.dir/features.cc.o"
+  "CMakeFiles/texrheo_recipe.dir/features.cc.o.d"
+  "CMakeFiles/texrheo_recipe.dir/ingredient.cc.o"
+  "CMakeFiles/texrheo_recipe.dir/ingredient.cc.o.d"
+  "CMakeFiles/texrheo_recipe.dir/recipe.cc.o"
+  "CMakeFiles/texrheo_recipe.dir/recipe.cc.o.d"
+  "CMakeFiles/texrheo_recipe.dir/units.cc.o"
+  "CMakeFiles/texrheo_recipe.dir/units.cc.o.d"
+  "libtexrheo_recipe.a"
+  "libtexrheo_recipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texrheo_recipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texrheo_rheology.dir/empirical_data.cc.o"
+  "CMakeFiles/texrheo_rheology.dir/empirical_data.cc.o.d"
+  "CMakeFiles/texrheo_rheology.dir/gel_model.cc.o"
+  "CMakeFiles/texrheo_rheology.dir/gel_model.cc.o.d"
+  "CMakeFiles/texrheo_rheology.dir/rheometer.cc.o"
+  "CMakeFiles/texrheo_rheology.dir/rheometer.cc.o.d"
+  "libtexrheo_rheology.a"
+  "libtexrheo_rheology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texrheo_rheology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texrheo_rules.dir/apriori.cc.o"
+  "CMakeFiles/texrheo_rules.dir/apriori.cc.o.d"
+  "CMakeFiles/texrheo_rules.dir/transactions.cc.o"
+  "CMakeFiles/texrheo_rules.dir/transactions.cc.o.d"
+  "libtexrheo_rules.a"
+  "libtexrheo_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texrheo_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/texture_dictionary.cc" "src/text/CMakeFiles/texrheo_text.dir/texture_dictionary.cc.o" "gcc" "src/text/CMakeFiles/texrheo_text.dir/texture_dictionary.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/texrheo_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/texrheo_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/texrheo_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/texrheo_text.dir/vocabulary.cc.o.d"
+  "/root/repo/src/text/word2vec.cc" "src/text/CMakeFiles/texrheo_text.dir/word2vec.cc.o" "gcc" "src/text/CMakeFiles/texrheo_text.dir/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/texrheo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/texrheo_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texrheo_text.dir/texture_dictionary.cc.o"
+  "CMakeFiles/texrheo_text.dir/texture_dictionary.cc.o.d"
+  "CMakeFiles/texrheo_text.dir/tokenizer.cc.o"
+  "CMakeFiles/texrheo_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/texrheo_text.dir/vocabulary.cc.o"
+  "CMakeFiles/texrheo_text.dir/vocabulary.cc.o.d"
+  "CMakeFiles/texrheo_text.dir/word2vec.cc.o"
+  "CMakeFiles/texrheo_text.dir/word2vec.cc.o.d"
+  "libtexrheo_text.a"
+  "libtexrheo_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texrheo_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texrheo_util.dir/csv.cc.o"
+  "CMakeFiles/texrheo_util.dir/csv.cc.o.d"
+  "CMakeFiles/texrheo_util.dir/flags.cc.o"
+  "CMakeFiles/texrheo_util.dir/flags.cc.o.d"
+  "CMakeFiles/texrheo_util.dir/json.cc.o"
+  "CMakeFiles/texrheo_util.dir/json.cc.o.d"
+  "CMakeFiles/texrheo_util.dir/logging.cc.o"
+  "CMakeFiles/texrheo_util.dir/logging.cc.o.d"
+  "CMakeFiles/texrheo_util.dir/rng.cc.o"
+  "CMakeFiles/texrheo_util.dir/rng.cc.o.d"
+  "CMakeFiles/texrheo_util.dir/status.cc.o"
+  "CMakeFiles/texrheo_util.dir/status.cc.o.d"
+  "CMakeFiles/texrheo_util.dir/string_util.cc.o"
+  "CMakeFiles/texrheo_util.dir/string_util.cc.o.d"
+  "CMakeFiles/texrheo_util.dir/table_printer.cc.o"
+  "CMakeFiles/texrheo_util.dir/table_printer.cc.o.d"
+  "libtexrheo_util.a"
+  "libtexrheo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texrheo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apriori_test.dir/apriori_test.cc.o"
+  "CMakeFiles/apriori_test.dir/apriori_test.cc.o.d"
+  "apriori_test"
+  "apriori_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apriori_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

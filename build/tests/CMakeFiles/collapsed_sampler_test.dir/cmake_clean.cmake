@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapsed_sampler_test.dir/collapsed_sampler_test.cc.o"
+  "CMakeFiles/collapsed_sampler_test.dir/collapsed_sampler_test.cc.o.d"
+  "collapsed_sampler_test"
+  "collapsed_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapsed_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dish_analysis_test.dir/dish_analysis_test.cc.o"
+  "CMakeFiles/dish_analysis_test.dir/dish_analysis_test.cc.o.d"
+  "dish_analysis_test"
+  "dish_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dish_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empirical_data_test.dir/empirical_data_test.cc.o"
+  "CMakeFiles/empirical_data_test.dir/empirical_data_test.cc.o.d"
+  "empirical_data_test"
+  "empirical_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gel_model_test.dir/gel_model_test.cc.o"
+  "CMakeFiles/gel_model_test.dir/gel_model_test.cc.o.d"
+  "gel_model_test"
+  "gel_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gel_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

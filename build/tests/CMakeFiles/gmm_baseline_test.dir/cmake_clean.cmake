@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmm_baseline_test.dir/gmm_baseline_test.cc.o"
+  "CMakeFiles/gmm_baseline_test.dir/gmm_baseline_test.cc.o.d"
+  "gmm_baseline_test"
+  "gmm_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmm_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

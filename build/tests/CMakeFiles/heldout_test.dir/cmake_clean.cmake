@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heldout_test.dir/heldout_test.cc.o"
+  "CMakeFiles/heldout_test.dir/heldout_test.cc.o.d"
+  "heldout_test"
+  "heldout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heldout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

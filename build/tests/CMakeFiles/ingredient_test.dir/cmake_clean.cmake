@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingredient_test.dir/ingredient_test.cc.o"
+  "CMakeFiles/ingredient_test.dir/ingredient_test.cc.o.d"
+  "ingredient_test"
+  "ingredient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingredient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joint_topic_model_test.dir/joint_topic_model_test.cc.o"
+  "CMakeFiles/joint_topic_model_test.dir/joint_topic_model_test.cc.o.d"
+  "joint_topic_model_test"
+  "joint_topic_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joint_topic_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

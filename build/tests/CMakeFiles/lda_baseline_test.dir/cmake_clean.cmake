@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lda_baseline_test.dir/lda_baseline_test.cc.o"
+  "CMakeFiles/lda_baseline_test.dir/lda_baseline_test.cc.o.d"
+  "lda_baseline_test"
+  "lda_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lda_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

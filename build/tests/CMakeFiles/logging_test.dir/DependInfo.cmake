@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/logging_test.cc" "tests/CMakeFiles/logging_test.dir/logging_test.cc.o" "gcc" "tests/CMakeFiles/logging_test.dir/logging_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/texrheo_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/texrheo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/texrheo_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/texrheo_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/rheology/CMakeFiles/texrheo_rheology.dir/DependInfo.cmake"
+  "/root/repo/build/src/recipe/CMakeFiles/texrheo_recipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/texrheo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/texrheo_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/texrheo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rheometer_test.dir/rheometer_test.cc.o"
+  "CMakeFiles/rheometer_test.dir/rheometer_test.cc.o.d"
+  "rheometer_test"
+  "rheometer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rheometer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_exactness_test.dir/sampler_exactness_test.cc.o"
+  "CMakeFiles/sampler_exactness_test.dir/sampler_exactness_test.cc.o.d"
+  "sampler_exactness_test"
+  "sampler_exactness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_exactness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

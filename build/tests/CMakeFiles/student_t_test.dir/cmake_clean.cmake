@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/student_t_test.dir/student_t_test.cc.o"
+  "CMakeFiles/student_t_test.dir/student_t_test.cc.o.d"
+  "student_t_test"
+  "student_t_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/student_t_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

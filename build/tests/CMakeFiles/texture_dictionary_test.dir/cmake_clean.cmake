@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texture_dictionary_test.dir/texture_dictionary_test.cc.o"
+  "CMakeFiles/texture_dictionary_test.dir/texture_dictionary_test.cc.o.d"
+  "texture_dictionary_test"
+  "texture_dictionary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texture_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

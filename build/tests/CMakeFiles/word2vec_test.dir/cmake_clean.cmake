@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word2vec_test.dir/word2vec_test.cc.o"
+  "CMakeFiles/word2vec_test.dir/word2vec_test.cc.o.d"
+  "word2vec_test"
+  "word2vec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word2vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
