@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "core/collapsed_sampler.h"
 #include "core/joint_topic_model.h"
 #include "core/serialization.h"
 #include "corpus/generator.h"
@@ -62,6 +65,84 @@ BENCHMARK(BM_GibbsSweep)
     ->Args({4000, 10})
     ->Args({16000, 10})
     ->Args({16000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+// Parallel-engine scaling: full z + y sweeps per second as a function of
+// num_threads (1 = bit-exact serial chain; > 1 = AD-LDA sharded engine).
+// The "sweeps_per_sec" counter is what ci.sh extracts from the JSON output
+// to report the speedup curve; expect near-linear scaling up to the
+// physical core count and a flat line on single-core machines. Iterations
+// are timed manually with a wall clock: default rate counters divide by the
+// *main thread's* CPU time, which shrinks as work shifts to the pool and
+// would fake a speedup even on one core.
+void BM_GibbsSweepThreads(benchmark::State& state) {
+  const recipe::Dataset& ds = SharedDataset(16000);
+  core::JointTopicModelConfig config;
+  config.num_topics = 10;
+  config.num_threads = static_cast<int>(state.range(0));
+  auto model = core::JointTopicModel::Create(config, &ds);
+  if (!model.ok()) {
+    state.SkipWithError("model create failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    if (!model->RunSweeps(1).ok()) {
+      state.SkipWithError("sweep failed");
+      return;
+    }
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["sweeps_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.documents.size()));
+}
+BENCHMARK(BM_GibbsSweepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CollapsedSweepThreads(benchmark::State& state) {
+  const recipe::Dataset& ds = SharedDataset(4000);
+  core::JointTopicModelConfig config;
+  config.num_topics = 10;
+  config.num_threads = static_cast<int>(state.range(0));
+  auto model = core::CollapsedJointTopicModel::Create(config, &ds);
+  if (!model.ok()) {
+    state.SkipWithError("model create failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    if (!model->RunSweeps(1).ok()) {
+      state.SkipWithError("sweep failed");
+      return;
+    }
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["sweeps_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.documents.size()));
+}
+BENCHMARK(BM_CollapsedSweepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_CategoricalLinear(benchmark::State& state) {

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI driver: tier-1 verify (full build + ctest), a ThreadSanitizer pass over
+# the concurrency-sensitive tests, and the Gibbs-sweep scaling benchmark
+# with JSON output.
+#
+# Usage:
+#   ./ci.sh            # tier-1 + TSan
+#   ./ci.sh --bench    # also run the threads benchmark (JSON to bench/out)
+#
+# Exit code is nonzero if any stage fails.
+
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+RUN_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> tier-1: configure + build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "==> TSan: rebuild concurrency-sensitive targets with -fsanitize=thread"
+# A separate build tree keeps the sanitizer objects out of the main build.
+cmake -B build-tsan -S . -DTEXRHEO_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+  --target thread_pool_test geweke_test sampler_exactness_test
+(cd build-tsan && ctest --output-on-failure \
+  -R '^(thread_pool_test|geweke_test|sampler_exactness_test)$')
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  echo "==> bench: Gibbs sweep scaling at 1/2/4/8 threads"
+  cmake --build build -j "$JOBS" --target bench_perf
+  mkdir -p bench/out
+  ./build/bench/bench_perf \
+    --benchmark_filter='BM_(GibbsSweepThreads|CollapsedSweepThreads)' \
+    --benchmark_out=bench/out/gibbs_threads.json \
+    --benchmark_out_format=json
+  echo "wrote bench/out/gibbs_threads.json"
+fi
+
+echo "==> CI passed"

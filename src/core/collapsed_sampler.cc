@@ -4,10 +4,22 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/parallel_gibbs.h"
 #include "math/running_stats.h"
 #include "math/special.h"
 
 namespace texrheo::core {
+namespace {
+
+/// Posterior predictive from explicit sufficient statistics (shared by the
+/// serial member Predictive and the per-worker local-stats path).
+texrheo::StatusOr<math::StudentT> PredictiveFromStats(
+    const math::NormalWishartParams& prior, size_t n, const math::Vector& mean,
+    const math::Matrix& scatter) {
+  return math::StudentT::PosteriorPredictive(prior.Posterior(n, mean, scatter));
+}
+
+}  // namespace
 
 void CollapsedJointTopicModel::TopicStats::Add(const math::Vector& x) {
   ++n;
@@ -55,7 +67,8 @@ texrheo::StatusOr<CollapsedJointTopicModel> CollapsedJointTopicModel::Create(
   if (dataset == nullptr || dataset->documents.empty()) {
     return Status::InvalidArgument("collapsed model: empty dataset");
   }
-  if (config.num_topics < 1 || config.alpha <= 0.0 || config.gamma <= 0.0) {
+  if (config.num_topics < 1 || config.alpha <= 0.0 || config.gamma <= 0.0 ||
+      config.num_threads < 0) {
     return Status::InvalidArgument("collapsed model: invalid config");
   }
   CollapsedJointTopicModel model(config, dataset);
@@ -130,9 +143,7 @@ texrheo::StatusOr<math::StudentT> CollapsedJointTopicModel::Predictive(
                                     : emulsion_stats_[static_cast<size_t>(k)];
   const math::NormalWishartParams& prior =
       use_gel ? config_.gel_prior : config_.emulsion_prior;
-  math::NormalWishartParams post =
-      prior.Posterior(stats.n, stats.Mean(), stats.Scatter());
-  return math::StudentT::PosteriorPredictive(post);
+  return PredictiveFromStats(prior, stats.n, stats.Mean(), stats.Scatter());
 }
 
 void CollapsedJointTopicModel::SampleZ() {
@@ -202,10 +213,186 @@ texrheo::Status CollapsedJointTopicModel::SampleY() {
   return Status::OK();
 }
 
+void CollapsedJointTopicModel::EnsureParallelEngine() {
+  if (pool_ != nullptr) return;
+  resolved_threads_ = ResolveNumThreads(config_.num_threads);
+  pool_ = std::make_unique<ThreadPool>(resolved_threads_);
+  shards_ = PlanShards(docs_->documents, resolved_threads_);
+  shard_rngs_.clear();
+  shard_rngs_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_rngs_.push_back(Rng::ForStream(config_.seed, s + 1));
+  }
+}
+
+void CollapsedJointTopicModel::SampleZParallel() {
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  int num_shards = static_cast<int>(shards_.size());
+  std::vector<TopicCountDelta> deltas(
+      static_cast<size_t>(num_shards), TopicCountDelta(k_count, vocab_size_));
+
+  // Same AD-LDA sharding as JointTopicModel::SampleZParallel: frozen global
+  // counts plus per-worker deltas, merged in shard order afterwards.
+  pool_->ParallelFor(num_shards, [&](int s) {
+    size_t lo = shards_[static_cast<size_t>(s)].first;
+    size_t hi = shards_[static_cast<size_t>(s)].second;
+    Rng& rng = shard_rngs_[static_cast<size_t>(s)];
+    TopicCountDelta& delta = deltas[static_cast<size_t>(s)];
+    std::vector<double> weights(static_cast<size_t>(k_count));
+    for (size_t d = lo; d < hi; ++d) {
+      const auto& doc = documents[d];
+      for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+        size_t v = static_cast<size_t>(doc.term_ids[n]);
+        int old_k = z_[d][n];
+        --n_dk_[d][static_cast<size_t>(old_k)];
+        --delta.n_kv[static_cast<size_t>(old_k)][v];
+        --delta.n_k[static_cast<size_t>(old_k)];
+        for (int k = 0; k < k_count; ++k) {
+          size_t ks = static_cast<size_t>(k);
+          weights[ks] =
+              (static_cast<double>(n_dk_[d][ks]) +
+               (y_[d] == k ? 1.0 : 0.0) + config_.alpha) *
+              (static_cast<double>(n_kv_[ks][v] + delta.n_kv[ks][v]) +
+               config_.gamma) /
+              (static_cast<double>(n_k_[ks] + delta.n_k[ks]) + gamma_v);
+        }
+        int new_k = static_cast<int>(rng.NextCategorical(weights));
+        z_[d][n] = new_k;
+        ++n_dk_[d][static_cast<size_t>(new_k)];
+        ++delta.n_kv[static_cast<size_t>(new_k)][v];
+        ++delta.n_k[static_cast<size_t>(new_k)];
+      }
+    }
+  });
+  MergeTopicCountDeltas(deltas, n_kv_, n_k_);
+}
+
+texrheo::Status CollapsedJointTopicModel::SampleYParallel() {
+  // The collapsed y conditionals couple documents through the per-topic
+  // sufficient statistics, so each worker sweeps against a private copy of
+  // the sweep-start statistics (stale with respect to the other shards, the
+  // same approximation AD-LDA makes for word counts). The global statistics
+  // are then rebuilt from scratch off the final y_, which is both the
+  // deterministic reduction and a round-off reset.
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  int num_shards = static_cast<int>(shards_.size());
+  std::vector<texrheo::Status> shard_status(
+      static_cast<size_t>(num_shards), Status::OK());
+
+  pool_->ParallelFor(num_shards, [&](int s) {
+    size_t lo = shards_[static_cast<size_t>(s)].first;
+    size_t hi = shards_[static_cast<size_t>(s)].second;
+    if (lo == hi) return;
+    Rng& rng = shard_rngs_[static_cast<size_t>(s)];
+    std::vector<TopicStats> gel_local = gel_stats_;
+    std::vector<TopicStats> emu_local = emulsion_stats_;
+    std::vector<double> log_w(static_cast<size_t>(k_count));
+    std::vector<double> weights(static_cast<size_t>(k_count));
+    for (size_t d = lo; d < hi; ++d) {
+      const auto& doc = documents[d];
+      int old_k = y_[d];
+      gel_local[static_cast<size_t>(old_k)].Remove(doc.gel_feature);
+      emu_local[static_cast<size_t>(old_k)].Remove(doc.emulsion_feature);
+      for (int k = 0; k < k_count; ++k) {
+        size_t ks = static_cast<size_t>(k);
+        double lw =
+            std::log(static_cast<double>(n_dk_[d][ks]) + config_.alpha);
+        auto gel_pred = PredictiveFromStats(
+            config_.gel_prior, gel_local[ks].n, gel_local[ks].Mean(),
+            gel_local[ks].Scatter());
+        if (!gel_pred.ok()) {
+          shard_status[static_cast<size_t>(s)] = gel_pred.status();
+          return;
+        }
+        lw += gel_pred->LogPdf(doc.gel_feature);
+        if (config_.use_emulsion_likelihood) {
+          auto emu_pred = PredictiveFromStats(
+              config_.emulsion_prior, emu_local[ks].n, emu_local[ks].Mean(),
+              emu_local[ks].Scatter());
+          if (!emu_pred.ok()) {
+            shard_status[static_cast<size_t>(s)] = emu_pred.status();
+            return;
+          }
+          lw += emu_pred->LogPdf(doc.emulsion_feature);
+        }
+        log_w[ks] = lw;
+      }
+      double norm = math::LogSumExp(log_w.data(), log_w.size());
+      for (int k = 0; k < k_count; ++k) {
+        weights[static_cast<size_t>(k)] =
+            std::exp(log_w[static_cast<size_t>(k)] - norm);
+      }
+      int new_k = static_cast<int>(rng.NextCategorical(weights));
+      y_[d] = new_k;
+      gel_local[static_cast<size_t>(new_k)].Add(doc.gel_feature);
+      emu_local[static_cast<size_t>(new_k)].Add(doc.emulsion_feature);
+    }
+  });
+  for (const auto& status : shard_status) {
+    TEXRHEO_RETURN_IF_ERROR(status);
+  }
+  RebuildTopicStats();
+  return Status::OK();
+}
+
+void CollapsedJointTopicModel::RebuildTopicStats() {
+  const auto& documents = docs_->documents;
+  size_t gel_dim = documents.front().gel_feature.size();
+  size_t emu_dim = documents.front().emulsion_feature.size();
+  gel_stats_.assign(static_cast<size_t>(config_.num_topics),
+                    TopicStats(gel_dim));
+  emulsion_stats_.assign(static_cast<size_t>(config_.num_topics),
+                         TopicStats(emu_dim));
+  for (size_t d = 0; d < documents.size(); ++d) {
+    gel_stats_[static_cast<size_t>(y_[d])].Add(documents[d].gel_feature);
+    emulsion_stats_[static_cast<size_t>(y_[d])].Add(
+        documents[d].emulsion_feature);
+  }
+}
+
+texrheo::Status CollapsedJointTopicModel::ResyncWithData() {
+  const auto& documents = docs_->documents;
+  if (documents.size() != z_.size()) {
+    return Status::InvalidArgument("resync: document count changed");
+  }
+  for (auto& row : n_kv_) std::fill(row.begin(), row.end(), 0);
+  std::fill(n_k_.begin(), n_k_.end(), 0);
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const auto& doc = documents[d];
+    if (doc.term_ids.size() != z_[d].size()) {
+      return Status::InvalidArgument("resync: token count changed");
+    }
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      if (doc.term_ids[n] < 0 ||
+          static_cast<size_t>(doc.term_ids[n]) >= vocab_size_) {
+        return Status::OutOfRange("resync: term id outside vocab");
+      }
+      ++n_kv_[static_cast<size_t>(z_[d][n])]
+             [static_cast<size_t>(doc.term_ids[n])];
+      ++n_k_[static_cast<size_t>(z_[d][n])];
+    }
+  }
+  RebuildTopicStats();
+  return Status::OK();
+}
+
 texrheo::Status CollapsedJointTopicModel::RunSweeps(int n) {
+  bool parallel = false;
+  if (config_.num_threads != 1) {
+    EnsureParallelEngine();
+    parallel = resolved_threads_ > 1;
+  }
   for (int sweep = 0; sweep < n; ++sweep) {
-    SampleZ();
-    TEXRHEO_RETURN_IF_ERROR(SampleY());
+    if (parallel) {
+      SampleZParallel();
+      TEXRHEO_RETURN_IF_ERROR(SampleYParallel());
+    } else {
+      SampleZ();
+      TEXRHEO_RETURN_IF_ERROR(SampleY());
+    }
     ++completed_sweeps_;
   }
   return Status::OK();

@@ -1,10 +1,13 @@
 #ifndef TEXRHEO_CORE_COLLAPSED_SAMPLER_H_
 #define TEXRHEO_CORE_COLLAPSED_SAMPLER_H_
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/joint_topic_model.h"
 #include "math/student_t.h"
+#include "util/thread_pool.h"
 
 namespace texrheo::core {
 
@@ -38,8 +41,15 @@ class CollapsedJointTopicModel {
   texrheo::StatusOr<double> PredictiveLogLikelihood() const;
 
   const std::vector<int>& y() const { return y_; }
+  const std::vector<std::vector<int>>& z() const { return z_; }
   int num_topics() const { return config_.num_topics; }
   int completed_sweeps() const { return completed_sweeps_; }
+
+  /// Rebuilds the count caches and per-topic sufficient statistics from the
+  /// current assignments and the dataset's *current* tokens/features. Used
+  /// by the Geweke harness, which resamples the data between sweeps;
+  /// document count and per-document token counts must be unchanged.
+  texrheo::Status ResyncWithData();
 
  private:
   /// Incremental per-topic sufficient statistics of one vector family.
@@ -61,6 +71,14 @@ class CollapsedJointTopicModel {
   texrheo::Status Initialize();
   void SampleZ();
   texrheo::Status SampleY();
+  /// Lazily builds the thread pool, shard plan, and per-shard RNG streams.
+  void EnsureParallelEngine();
+  void SampleZParallel();
+  texrheo::Status SampleYParallel();
+  /// Recomputes gel_stats_/emulsion_stats_ from scratch off the current y_
+  /// (the deterministic reduction after a parallel y sweep; also clears
+  /// incremental-remove round-off).
+  void RebuildTopicStats();
   /// Posterior predictive of topic k for the gel (or emulsion) family,
   /// given the current sufficient statistics.
   texrheo::StatusOr<math::StudentT> Predictive(int k, bool use_gel) const;
@@ -69,6 +87,11 @@ class CollapsedJointTopicModel {
   const recipe::Dataset* docs_;
   size_t vocab_size_ = 0;
   Rng rng_;
+  // Parallel engine (populated on first parallel sweep; see num_threads).
+  int resolved_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::pair<size_t, size_t>> shards_;
+  std::vector<Rng> shard_rngs_;
 
   std::vector<std::vector<int>> z_;
   std::vector<int> y_;

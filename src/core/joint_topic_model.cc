@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/gmm_baseline.h"
+#include "core/parallel_gibbs.h"
 #include "math/running_stats.h"
 #include "math/special.h"
 
@@ -56,6 +57,10 @@ texrheo::StatusOr<JointTopicModel> JointTopicModel::Create(
   if (config.alpha <= 0.0 || config.gamma <= 0.0) {
     return Status::InvalidArgument(
         "joint topic model: alpha and gamma must be positive");
+  }
+  if (config.num_threads < 0) {
+    return Status::InvalidArgument(
+        "joint topic model: num_threads must be >= 0");
   }
   JointTopicModel model(config, dataset);
   model.vocab_size_ = dataset->term_vocab.size();
@@ -228,10 +233,145 @@ texrheo::Status JointTopicModel::SampleY() {
   return Status::OK();
 }
 
+void JointTopicModel::EnsureParallelEngine() {
+  if (pool_ != nullptr) return;
+  resolved_threads_ = ResolveNumThreads(config_.num_threads);
+  pool_ = std::make_unique<ThreadPool>(resolved_threads_);
+  shards_ = PlanShards(docs_->documents, resolved_threads_);
+  shard_rngs_.clear();
+  shard_rngs_.reserve(shards_.size());
+  // Stream 0 is implicitly the master rng_ (init + Gaussian redraws); the
+  // shards take streams 1..S so their draws never collide with it.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_rngs_.push_back(Rng::ForStream(config_.seed, s + 1));
+  }
+}
+
+void JointTopicModel::SampleZParallel() {
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  int num_shards = static_cast<int>(shards_.size());
+  std::vector<TopicCountDelta> deltas(
+      static_cast<size_t>(num_shards), TopicCountDelta(k_count, vocab_size_));
+
+  // AD-LDA sweep: every worker reads the frozen global n_kv_/n_k_ plus its
+  // own delta; n_dk_/z_ rows are touched only by the shard owning the
+  // document, so the sweep is race-free without any locking.
+  pool_->ParallelFor(num_shards, [&](int s) {
+    size_t lo = shards_[static_cast<size_t>(s)].first;
+    size_t hi = shards_[static_cast<size_t>(s)].second;
+    Rng& rng = shard_rngs_[static_cast<size_t>(s)];
+    TopicCountDelta& delta = deltas[static_cast<size_t>(s)];
+    std::vector<double> weights(static_cast<size_t>(k_count));
+    for (size_t d = lo; d < hi; ++d) {
+      const Document& doc = documents[d];
+      for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+        size_t v = static_cast<size_t>(doc.term_ids[n]);
+        int old_k = z_[d][n];
+        --n_dk_[d][static_cast<size_t>(old_k)];
+        --delta.n_kv[static_cast<size_t>(old_k)][v];
+        --delta.n_k[static_cast<size_t>(old_k)];
+        for (int k = 0; k < k_count; ++k) {
+          size_t ks = static_cast<size_t>(k);
+          double doc_part = static_cast<double>(n_dk_[d][ks]) +
+                            (y_[d] == k ? 1.0 : 0.0) + config_.alpha;
+          double word_part =
+              (static_cast<double>(n_kv_[ks][v] + delta.n_kv[ks][v]) +
+               config_.gamma) /
+              (static_cast<double>(n_k_[ks] + delta.n_k[ks]) + gamma_v);
+          weights[ks] = doc_part * word_part;
+        }
+        int new_k = static_cast<int>(rng.NextCategorical(weights));
+        z_[d][n] = new_k;
+        ++n_dk_[d][static_cast<size_t>(new_k)];
+        ++delta.n_kv[static_cast<size_t>(new_k)][v];
+        ++delta.n_k[static_cast<size_t>(new_k)];
+      }
+    }
+  });
+  MergeTopicCountDeltas(deltas, n_kv_, n_k_);
+}
+
+void JointTopicModel::SampleYParallel() {
+  // Unlike z, the y conditionals (eq. 3) depend only on the document's own
+  // counts and the frozen Gaussians, so this phase parallelizes *exactly*:
+  // every worker samples the same conditionals a serial scan would.
+  const auto& documents = docs_->documents;
+  int k_count = config_.num_topics;
+  pool_->ParallelFor(static_cast<int>(shards_.size()), [&](int s) {
+    size_t lo = shards_[static_cast<size_t>(s)].first;
+    size_t hi = shards_[static_cast<size_t>(s)].second;
+    Rng& rng = shard_rngs_[static_cast<size_t>(s)];
+    std::vector<double> log_w(static_cast<size_t>(k_count));
+    std::vector<double> weights(static_cast<size_t>(k_count));
+    for (size_t d = lo; d < hi; ++d) {
+      const Document& doc = documents[d];
+      for (int k = 0; k < k_count; ++k) {
+        size_t ks = static_cast<size_t>(k);
+        double lw =
+            std::log(static_cast<double>(n_dk_[d][ks]) + config_.alpha);
+        lw += gel_topics_[ks].LogPdf(doc.gel_feature);
+        if (config_.use_emulsion_likelihood) {
+          lw += emulsion_topics_[ks].LogPdf(doc.emulsion_feature);
+        }
+        log_w[ks] = lw;
+      }
+      double norm = math::LogSumExp(log_w.data(), log_w.size());
+      for (int k = 0; k < k_count; ++k) {
+        weights[static_cast<size_t>(k)] =
+            std::exp(log_w[static_cast<size_t>(k)] - norm);
+      }
+      y_[d] = static_cast<int>(rng.NextCategorical(weights));
+    }
+  });
+  m_k_.assign(static_cast<size_t>(k_count), 0);
+  for (size_t d = 0; d < documents.size(); ++d) {
+    ++m_k_[static_cast<size_t>(y_[d])];
+  }
+}
+
+texrheo::Status JointTopicModel::ResyncWithData() {
+  const auto& documents = docs_->documents;
+  if (documents.size() != z_.size()) {
+    return Status::InvalidArgument("resync: document count changed");
+  }
+  for (auto& row : n_kv_) std::fill(row.begin(), row.end(), 0);
+  std::fill(n_k_.begin(), n_k_.end(), 0);
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const Document& doc = documents[d];
+    if (doc.term_ids.size() != z_[d].size()) {
+      return Status::InvalidArgument("resync: token count changed");
+    }
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      if (doc.term_ids[n] < 0 ||
+          static_cast<size_t>(doc.term_ids[n]) >= vocab_size_) {
+        return Status::OutOfRange("resync: term id outside vocab");
+      }
+      ++n_kv_[static_cast<size_t>(z_[d][n])]
+             [static_cast<size_t>(doc.term_ids[n])];
+      ++n_k_[static_cast<size_t>(z_[d][n])];
+    }
+  }
+  // The instantiated Gaussians are conditioned on the old features; redraw
+  // them so the next sweep's y conditionals see p(mu, Lambda | y, new data).
+  return ResampleGaussians();
+}
+
 texrheo::Status JointTopicModel::RunSweeps(int n) {
+  bool parallel = false;
+  if (config_.num_threads != 1) {
+    EnsureParallelEngine();
+    parallel = resolved_threads_ > 1;
+  }
   for (int sweep = 0; sweep < n; ++sweep) {
-    SampleZ();
-    TEXRHEO_RETURN_IF_ERROR(SampleY());
+    if (parallel) {
+      SampleZParallel();
+      SampleYParallel();
+    } else {
+      SampleZ();
+      TEXRHEO_RETURN_IF_ERROR(SampleY());
+    }
     TEXRHEO_RETURN_IF_ERROR(ResampleGaussians());
     ++completed_sweeps_;
     if (config_.optimize_alpha &&

@@ -2,6 +2,8 @@
 #define TEXRHEO_CORE_JOINT_TOPIC_MODEL_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "math/distributions.h"
@@ -9,6 +11,7 @@
 #include "recipe/dataset.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace texrheo::core {
 
@@ -61,6 +64,18 @@ struct JointTopicModelConfig {
   /// True adds the emulsion Gaussian to the y conditional (ablation) and
   /// yields emulsion-pure topics instead.
   bool use_emulsion_likelihood = false;
+
+  /// Worker threads for the z/y sweeps. 1 (default) runs the bit-exact
+  /// legacy serial chain; 0 resolves to the hardware concurrency; > 1 runs
+  /// the AD-LDA style parallel engine, which shards documents across
+  /// workers against a frozen snapshot of the topic-word counts and merges
+  /// per-worker count deltas after each sweep. The parallel chain is only
+  /// *statistically* equivalent to the serial one (same stationary
+  /// distribution up to the standard AD-LDA approximation), never
+  /// bit-identical; at a fixed (seed, num_threads) it is fully
+  /// deterministic because every shard draws from its own SplitMix64-split
+  /// RNG stream.
+  int num_threads = 1;
 };
 
 /// Point estimates after Gibbs convergence (paper eq. 5).
@@ -125,6 +140,25 @@ class JointTopicModel {
   /// Current per-recipe concentration-topic assignments y_d.
   const std::vector<int>& y() const { return y_; }
 
+  /// Current per-token topic assignments z_[d][n].
+  const std::vector<std::vector<int>>& z() const { return z_; }
+
+  /// Current instantiated per-topic Gaussians (latent state of eq. 4).
+  const std::vector<math::Gaussian>& gel_topics() const {
+    return gel_topics_;
+  }
+  const std::vector<math::Gaussian>& emulsion_topics() const {
+    return emulsion_topics_;
+  }
+
+  /// Rebuilds the topic-word count caches from the current assignments and
+  /// the dataset's *current* token ids, then redraws the topic Gaussians
+  /// from their Normal-Wishart posteriors. The sampler-correctness harness
+  /// (Geweke successive-conditional chain) mutates the dataset's term ids
+  /// and features between sweeps and calls this to re-anchor the chain;
+  /// document count and per-document token counts must be unchanged.
+  texrheo::Status ResyncWithData();
+
   /// Current symmetric alpha (changes only when optimize_alpha is set).
   double alpha() const { return config_.alpha; }
 
@@ -156,12 +190,21 @@ class JointTopicModel {
   texrheo::Status ResampleGaussians();
   void SampleZ();
   texrheo::Status SampleY();
+  /// Lazily builds the thread pool, shard plan, and per-shard RNG streams.
+  void EnsureParallelEngine();
+  void SampleZParallel();
+  void SampleYParallel();
 
   JointTopicModelConfig config_;
   const recipe::Dataset* docs_;
   size_t vocab_size_ = 0;
 
   Rng rng_;
+  // Parallel engine (populated on first parallel sweep; see num_threads).
+  int resolved_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::pair<size_t, size_t>> shards_;
+  std::vector<Rng> shard_rngs_;  ///< One SplitMix64-split stream per shard.
   // Latent state.
   std::vector<std::vector<int>> z_;  // z_[d][n]: topic of token n of doc d.
   std::vector<int> y_;               // y_[d]: topic of doc d's vectors.

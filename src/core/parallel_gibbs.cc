@@ -1,0 +1,49 @@
+#include "core/parallel_gibbs.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace texrheo::core {
+
+int ResolveNumThreads(int configured) {
+  if (configured == 0) return ThreadPool::HardwareConcurrency();
+  return std::max(configured, 1);
+}
+
+std::vector<std::pair<size_t, size_t>> PlanShards(
+    const std::vector<recipe::Document>& docs, int num_shards) {
+  size_t shards = static_cast<size_t>(std::max(num_shards, 1));
+  std::vector<std::pair<size_t, size_t>> ranges(shards, {0, 0});
+  size_t total_work = 0;
+  for (const auto& doc : docs) total_work += doc.term_ids.size() + 1;
+
+  size_t d = 0;
+  size_t work_done = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t begin = d;
+    // Cumulative-work target keeps rounding drift from starving the tail.
+    size_t target = total_work * (s + 1) / shards;
+    while (d < docs.size() && (work_done < target || s + 1 == shards)) {
+      work_done += docs[d].term_ids.size() + 1;
+      ++d;
+    }
+    ranges[s] = {begin, d};
+  }
+  return ranges;
+}
+
+void MergeTopicCountDeltas(const std::vector<TopicCountDelta>& deltas,
+                           std::vector<std::vector<int>>& n_kv,
+                           std::vector<int>& n_k) {
+  for (const TopicCountDelta& delta : deltas) {
+    for (size_t k = 0; k < n_k.size(); ++k) {
+      n_k[k] += delta.n_k[k];
+      const std::vector<int>& src = delta.n_kv[k];
+      std::vector<int>& dst = n_kv[k];
+      for (size_t v = 0; v < dst.size(); ++v) dst[v] += src[v];
+    }
+  }
+}
+
+}  // namespace texrheo::core

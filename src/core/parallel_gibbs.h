@@ -1,0 +1,53 @@
+#ifndef TEXRHEO_CORE_PARALLEL_GIBBS_H_
+#define TEXRHEO_CORE_PARALLEL_GIBBS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "recipe/dataset.h"
+
+namespace texrheo::core {
+
+/// Pieces of the parallel Gibbs engine shared by JointTopicModel and
+/// CollapsedJointTopicModel (AD-LDA style document sharding: each worker
+/// sweeps a contiguous document range against a frozen snapshot of the
+/// global topic-word counts, accumulating its own counterfactual deltas,
+/// which are merged in shard order once the sweep finishes).
+
+/// Resolves the config knob: 0 means "hardware concurrency", anything else
+/// is taken literally (clamped to >= 1).
+int ResolveNumThreads(int configured);
+
+/// Contiguous, token-balanced document shards: shard s covers documents
+/// [ranges[s].first, ranges[s].second). Balancing works on token counts (+1
+/// per document for the y draw) so one long-document shard does not
+/// serialize the sweep. Always returns exactly `num_shards` ranges; trailing
+/// ranges may be empty when there are fewer documents than shards.
+std::vector<std::pair<size_t, size_t>> PlanShards(
+    const std::vector<recipe::Document>& docs, int num_shards);
+
+/// Per-worker counterfactual deltas against the frozen global topic-word
+/// counts. Within a shard, effective counts are global + delta, which stays
+/// non-negative because a worker only removes tokens that the frozen global
+/// counts still contain.
+struct TopicCountDelta {
+  std::vector<std::vector<int>> n_kv;  ///< [k][v] topic-term delta.
+  std::vector<int> n_k;                ///< [k] topic-total delta.
+
+  TopicCountDelta(int num_topics, size_t vocab_size)
+      : n_kv(static_cast<size_t>(num_topics),
+             std::vector<int>(vocab_size, 0)),
+        n_k(static_cast<size_t>(num_topics), 0) {}
+};
+
+/// Merges worker deltas into the global counts in shard order (the
+/// deterministic reduction; integer addition makes the result order-free,
+/// but a fixed order keeps replay byte-for-byte auditable).
+void MergeTopicCountDeltas(const std::vector<TopicCountDelta>& deltas,
+                           std::vector<std::vector<int>>& n_kv,
+                           std::vector<int>& n_k);
+
+}  // namespace texrheo::core
+
+#endif  // TEXRHEO_CORE_PARALLEL_GIBBS_H_

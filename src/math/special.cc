@@ -6,7 +6,17 @@
 
 namespace texrheo::math {
 
-double LogGamma(double x) { return std::lgamma(x); }
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam`, which is a data race
+  // when the parallel Gibbs workers evaluate Student-t densities
+  // concurrently; lgamma_r is the reentrant variant.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double Digamma(double x) {
   assert(x > 0.0);
@@ -34,7 +44,7 @@ double LogMultivariateGamma(size_t p, double a) {
   double result =
       0.25 * static_cast<double>(p) * (static_cast<double>(p) - 1.0) * kLogPi;
   for (size_t j = 1; j <= p; ++j) {
-    result += std::lgamma(a + 0.5 * (1.0 - static_cast<double>(j)));
+    result += LogGamma(a + 0.5 * (1.0 - static_cast<double>(j)));
   }
   return result;
 }

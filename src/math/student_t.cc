@@ -18,7 +18,9 @@ StudentT::StudentT(Vector mean, Matrix scale_inverse, double log_det_scale,
       log_det_scale_(log_det_scale),
       dof_(dof) {
   double d = static_cast<double>(mean_.size());
-  log_norm_ = std::lgamma(0.5 * (dof_ + d)) - std::lgamma(0.5 * dof_) -
+  // LogGamma, not std::lgamma: the latter races on the global signgam when
+  // parallel Gibbs workers build predictives concurrently.
+  log_norm_ = LogGamma(0.5 * (dof_ + d)) - LogGamma(0.5 * dof_) -
               0.5 * d * (std::log(dof_) + kLogPi) - 0.5 * log_det_scale_;
 }
 

@@ -113,4 +113,14 @@ size_t Rng::NextCategorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+uint64_t Rng::StreamSeed(uint64_t seed, uint64_t stream) {
+  // Mix the master seed first so nearby seeds land far apart, then fold in
+  // the stream index scaled by an odd constant (distinct streams differ in
+  // many bits before the final mix), and mix once more.
+  uint64_t s = seed;
+  uint64_t mixed = SplitMix64(s);
+  s = mixed ^ (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  return SplitMix64(s);
+}
+
 }  // namespace texrheo

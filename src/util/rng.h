@@ -62,6 +62,20 @@ class Rng {
   /// give parallel components decorrelated randomness.
   Rng Fork();
 
+  /// Derives the seed of independent sub-stream `stream` of a master `seed`
+  /// by SplitMix64 stream-splitting: the master seed is mixed once, the
+  /// stream index is folded in with a distinct odd multiplier, and the
+  /// result is mixed again. Distinct (seed, stream) pairs yield decorrelated
+  /// xoshiro states, and the mapping is a pure function — callers can
+  /// reconstruct any stream without ever sharing generator state. This is
+  /// what gives each Gibbs worker thread its own counterfeit-free stream.
+  static uint64_t StreamSeed(uint64_t seed, uint64_t stream);
+
+  /// Rng seeded for sub-stream `stream` of `seed`.
+  static Rng ForStream(uint64_t seed, uint64_t stream) {
+    return Rng(StreamSeed(seed, stream));
+  }
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

@@ -1,0 +1,89 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace texrheo {
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch) {
+  // Each batch owns its counters, so a straggler that wakes up after the
+  // batch completed only over-claims indices of *its* batch and exits; it
+  // can never corrupt a later batch's bookkeeping.
+  for (;;) {
+    int i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->total) break;
+    (*batch->fn)(i);
+    if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch->total) {
+      // Last task: wake the caller. Taking the lock orders the notify
+      // against the caller's predicate check.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = batch_;
+    }
+    if (batch != nullptr) DrainBatch(batch);
+  }
+}
+
+void ThreadPool::ParallelFor(int num_tasks,
+                             const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->total = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is the final worker of the batch.
+  DrainBatch(batch);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return batch->completed.load(std::memory_order_acquire) == num_tasks;
+  });
+  batch_ = nullptr;
+}
+
+}  // namespace texrheo

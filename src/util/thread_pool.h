@@ -1,0 +1,76 @@
+#ifndef TEXRHEO_UTIL_THREAD_POOL_H_
+#define TEXRHEO_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace texrheo {
+
+/// Reusable fixed-size worker pool for data-parallel sweeps.
+///
+/// The pool is built once and reused across many ParallelFor calls (one per
+/// Gibbs sweep phase), so thread start-up cost is paid only at construction.
+/// ParallelFor(n, fn) runs fn(0) ... fn(n-1), each exactly once, distributed
+/// over the workers *and* the calling thread, and returns only after every
+/// invocation has finished. Tasks of one batch must not call back into the
+/// pool (no nesting).
+///
+/// A pool of size P spawns P-1 background workers; the caller acts as the
+/// P-th worker inside ParallelFor. ThreadPool(1) therefore degenerates to a
+/// plain serial loop with no threads at all.
+class ThreadPool {
+ public:
+  /// `num_threads` >= 1 is the total parallelism (including the caller).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + calling thread).
+  int size() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, num_tasks), blocking until all complete.
+  /// Task indices are claimed dynamically, so callers that want
+  /// deterministic work-to-randomness mapping must key their state (RNG
+  /// streams, scratch buffers) on the task index, never on the thread.
+  void ParallelFor(int num_tasks, const std::function<void(int)>& fn);
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  static int HardwareConcurrency();
+
+ private:
+  /// One ParallelFor invocation. Heap-allocated and shared with the workers
+  /// so that a straggler waking up late touches only its own batch's
+  /// counters, never a successor batch's.
+  struct Batch {
+    const std::function<void(int)>* fn = nullptr;
+    int total = 0;
+    std::atomic<int> next{0};
+    std::atomic<int> completed{0};
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks of `batch` until exhausted; signals done_cv_
+  /// after finishing the last one.
+  void DrainBatch(const std::shared_ptr<Batch>& batch);
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Workers wait for a new batch.
+  std::condition_variable done_cv_;  ///< ParallelFor waits for completion.
+  std::shared_ptr<Batch> batch_;     // Guarded by mu_.
+  uint64_t generation_ = 0;          // Guarded by mu_.
+  bool shutdown_ = false;            // Guarded by mu_.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_THREAD_POOL_H_

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
 
+#include "core/joint_topic_model.h"
 #include "util/rng.h"
 
 namespace texrheo::math {
@@ -102,3 +107,107 @@ INSTANTIATE_TEST_SUITE_P(Exponents, PowerLawRecoveryTest,
 
 }  // namespace
 }  // namespace texrheo::math
+
+namespace texrheo::core {
+namespace {
+
+// --- Seeded end-to-end golden regression -------------------------------
+//
+// Pins the exact sampler trajectory of the serial (num_threads = 1) chain
+// on a fixed hand-built corpus: the per-recipe topic assignments and each
+// topic's top-5 terms after 40 sweeps at seed 11 must never change. Any
+// edit that perturbs the serial chain's random-number consumption or its
+// conditionals breaks this test — which is the point: the serial chain is
+// the bit-exact reference the parallel engine is validated against, so it
+// may only change deliberately (with regenerated goldens and a changelog
+// note).
+
+recipe::Dataset GoldenDataset() {
+  recipe::Dataset ds;
+  for (const char* term : {"toro", "puru", "fuwa", "shaki", "saku", "mochi"}) {
+    ds.term_vocab.Add(term);
+  }
+  auto add = [&ds](std::vector<int32_t> terms, double gel, double emulsion) {
+    recipe::Document doc;
+    doc.recipe_index = ds.documents.size();
+    doc.term_ids = std::move(terms);
+    doc.gel_feature = math::Vector(1, gel);
+    doc.emulsion_feature = math::Vector(1, emulsion);
+    doc.gel_concentration = math::Vector(1, 0.02);
+    doc.emulsion_concentration = math::Vector(1, 0.1);
+    ds.documents.push_back(std::move(doc));
+  };
+  // Two planted clusters: soft/jiggly terms with low -log-concentration
+  // vs crisp/chewy terms with high.
+  add({0, 1, 2, 0}, 1.0, 0.2);
+  add({1, 2, 1}, 1.2, 0.3);
+  add({0, 0, 2, 1}, 0.9, 0.1);
+  add({2, 1, 0}, 1.1, 0.2);
+  add({3, 4, 5, 3}, 3.0, 1.0);
+  add({4, 5, 4}, 3.2, 1.1);
+  add({3, 3, 5, 4}, 2.9, 0.9);
+  add({5, 4, 3}, 3.1, 1.0);
+  return ds;
+}
+
+JointTopicModelConfig GoldenConfig() {
+  JointTopicModelConfig config;
+  config.num_topics = 2;
+  config.alpha = 0.5;
+  config.gamma = 0.5;
+  config.auto_prior = false;
+  math::NormalWishartParams nw;
+  nw.mu0 = math::Vector(1, 2.0);
+  nw.beta = 1.0;
+  nw.nu = 3.0;
+  nw.scale = math::Matrix::Identity(1, 0.5);
+  config.gel_prior = nw;
+  config.emulsion_prior = nw;
+  config.seed = 11;
+  config.num_threads = 1;
+  return config;
+}
+
+std::vector<int> TopTerms(const std::vector<double>& phi_row, size_t n) {
+  std::vector<int> order(phi_row.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return phi_row[static_cast<size_t>(a)] > phi_row[static_cast<size_t>(b)];
+  });
+  order.resize(std::min(n, order.size()));
+  return order;
+}
+
+std::string Joined(const std::vector<int>& v) {
+  std::ostringstream os;
+  for (size_t i = 0; i < v.size(); ++i) os << (i ? "," : "") << v[i];
+  return os.str();
+}
+
+TEST(GoldenRegressionTest, SerialChainTrajectoryIsPinned) {
+  recipe::Dataset ds = GoldenDataset();
+  auto model = JointTopicModel::Create(GoldenConfig(), &ds);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(model->RunSweeps(40).ok());
+  TopicEstimates estimates = model->Estimate();
+
+  const std::vector<int> kGoldenDocTopic = {1, 1, 1, 1, 0, 0, 0, 0};
+  const std::vector<int> kGoldenY = {1, 1, 1, 1, 0, 0, 0, 0};
+  const std::vector<std::vector<int>> kGoldenTopTerms = {
+      {3, 4, 5, 0, 1},
+      {0, 1, 2, 3, 4},
+  };
+
+  EXPECT_EQ(estimates.doc_topic, kGoldenDocTopic)
+      << "actual doc_topic: " << Joined(estimates.doc_topic);
+  EXPECT_EQ(model->y(), kGoldenY) << "actual y: " << Joined(model->y());
+  ASSERT_EQ(estimates.phi.size(), 2u);
+  for (size_t k = 0; k < estimates.phi.size(); ++k) {
+    std::vector<int> top = TopTerms(estimates.phi[k], 5);
+    EXPECT_EQ(top, kGoldenTopTerms[k])
+        << "topic " << k << " actual top terms: " << Joined(top);
+  }
+}
+
+}  // namespace
+}  // namespace texrheo::core

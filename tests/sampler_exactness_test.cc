@@ -8,11 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/collapsed_sampler.h"
 #include "core/joint_topic_model.h"
+#include "corpus/generator.h"
+#include "eval/geweke.h"
 #include "math/special.h"
+#include "recipe/dataset.h"
+#include "rheology/gel_model.h"
+#include "text/texture_dictionary.h"
 
 namespace texrheo::core {
 namespace {
@@ -213,6 +220,153 @@ TEST(SamplerExactnessTest, PaperSamplerMatchesExactPosterior) {
   double empirical = static_cast<double>(hits) / samples;
   EXPECT_NEAR(empirical, exact, 0.05)
       << "exact " << exact << " vs empirical " << empirical;
+}
+
+// --- Serial vs parallel posterior-moment equivalence ------------------
+//
+// The parallel (AD-LDA style) chain is not bit-identical to the serial one,
+// but both must mix to the same posterior. On a synthetic K=3 corpus the
+// post-burn-in moments (phi, corpus topic shares, per-topic gel means) of a
+// serial and a 4-thread chain must agree within Monte Carlo tolerance after
+// topic alignment.
+
+const recipe::Dataset& SyntheticCorpus() {
+  static const recipe::Dataset& ds = *[] {
+    corpus::CorpusGenConfig config;
+    config.num_recipes = 4000;
+    corpus::CorpusGenerator generator(
+        config, &rheology::GelPhysicsModel::Calibrated(),
+        &text::TextureDictionary::Embedded());
+    auto corpus = generator.Generate();
+    auto built = recipe::BuildDataset(
+        corpus, recipe::IngredientDatabase::Embedded(),
+        text::TextureDictionary::Embedded(), nullptr, recipe::DatasetConfig());
+    return new recipe::Dataset(std::move(built).value());
+  }();
+  return ds;
+}
+
+JointTopicModelConfig EquivalenceConfig(uint64_t seed) {
+  JointTopicModelConfig config;
+  config.num_topics = 3;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SerialVsParallelTest, InstantiatedSamplerMomentsMatch) {
+  auto result = eval::CompareSerialVsParallelMoments(
+      EquivalenceConfig(31), SyntheticCorpus(), eval::SamplerKind::kInstantiated,
+      /*parallel_threads=*/4, /*burn_in_sweeps=*/100, /*measure_sweeps=*/250);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->phi_max_abs_diff, 0.05)
+      << "phi diff " << result->phi_max_abs_diff;
+  EXPECT_LT(result->topic_share_max_abs_diff, 0.05)
+      << "share diff " << result->topic_share_max_abs_diff;
+  EXPECT_LT(result->gel_mean_max_abs_diff, 0.35)
+      << "gel mean diff " << result->gel_mean_max_abs_diff;
+}
+
+TEST(SerialVsParallelTest, CollapsedSamplerMomentsMatch) {
+  auto result = eval::CompareSerialVsParallelMoments(
+      EquivalenceConfig(32), SyntheticCorpus(), eval::SamplerKind::kCollapsed,
+      /*parallel_threads=*/4, /*burn_in_sweeps=*/60, /*measure_sweeps=*/120);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->phi_max_abs_diff, 0.05)
+      << "phi diff " << result->phi_max_abs_diff;
+  EXPECT_LT(result->topic_share_max_abs_diff, 0.05)
+      << "share diff " << result->topic_share_max_abs_diff;
+  EXPECT_LT(result->gel_mean_max_abs_diff, 0.35)
+      << "gel mean diff " << result->gel_mean_max_abs_diff;
+}
+
+// --- Degenerate-input edge cases ---------------------------------------
+
+TEST(SamplerEdgeCaseTest, EmptyCorpusRejectedByBothSamplers) {
+  recipe::Dataset empty;
+  empty.term_vocab.Add("w0");
+  JointTopicModelConfig config = TinyConfig(1);
+  EXPECT_FALSE(JointTopicModel::Create(config, &empty).ok());
+  EXPECT_FALSE(CollapsedJointTopicModel::Create(config, &empty).ok());
+  EXPECT_FALSE(JointTopicModel::Create(config, nullptr).ok());
+  EXPECT_FALSE(CollapsedJointTopicModel::Create(config, nullptr).ok());
+}
+
+recipe::Dataset SingleDocumentDataset() {
+  recipe::Dataset ds = TinyDataset();
+  ds.documents.resize(1);
+  return ds;
+}
+
+template <typename Model>
+void RunSingleDocumentCase(int num_threads) {
+  recipe::Dataset ds = SingleDocumentDataset();
+  JointTopicModelConfig config = TinyConfig(7);
+  config.num_threads = num_threads;
+  auto model = Model::Create(config, &ds);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(model->RunSweeps(30).ok());
+  auto estimates = [&] {
+    if constexpr (std::is_same_v<Model, CollapsedJointTopicModel>) {
+      auto e = model->Estimate();
+      EXPECT_TRUE(e.ok());
+      return *std::move(e);
+    } else {
+      return model->Estimate();
+    }
+  }();
+  ASSERT_EQ(estimates.theta.size(), 1u);
+  double sum = 0.0;
+  for (double p : estimates.theta[0]) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GE(estimates.doc_topic[0], 0);
+  EXPECT_LT(estimates.doc_topic[0], kTopics);
+}
+
+TEST(SamplerEdgeCaseTest, SingleDocumentInstantiatedSerial) {
+  RunSingleDocumentCase<JointTopicModel>(1);
+}
+
+TEST(SamplerEdgeCaseTest, SingleDocumentInstantiatedParallel) {
+  // More shards than documents: most shards are empty.
+  RunSingleDocumentCase<JointTopicModel>(4);
+}
+
+TEST(SamplerEdgeCaseTest, SingleDocumentCollapsedSerial) {
+  RunSingleDocumentCase<CollapsedJointTopicModel>(1);
+}
+
+TEST(SamplerEdgeCaseTest, SingleDocumentCollapsedParallel) {
+  RunSingleDocumentCase<CollapsedJointTopicModel>(4);
+}
+
+template <typename Model>
+void RunSingleTopicCase(int num_threads) {
+  recipe::Dataset ds = TinyDataset();
+  JointTopicModelConfig config = TinyConfig(9);
+  config.num_topics = 1;
+  config.num_threads = num_threads;
+  auto model = Model::Create(config, &ds);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(model->RunSweeps(20).ok());
+  // With K = 1 every assignment is forced to topic 0 and the chain must
+  // still be numerically healthy.
+  for (int yd : model->y()) EXPECT_EQ(yd, 0);
+  for (const auto& zd : model->z()) {
+    for (int zn : zd) EXPECT_EQ(zn, 0);
+  }
+  if constexpr (std::is_same_v<Model, JointTopicModel>) {
+    EXPECT_TRUE(std::isfinite(model->LogJointLikelihood()));
+  }
+}
+
+TEST(SamplerEdgeCaseTest, SingleTopicInstantiated) {
+  RunSingleTopicCase<JointTopicModel>(1);
+  RunSingleTopicCase<JointTopicModel>(2);
+}
+
+TEST(SamplerEdgeCaseTest, SingleTopicCollapsed) {
+  RunSingleTopicCase<CollapsedJointTopicModel>(1);
+  RunSingleTopicCase<CollapsedJointTopicModel>(2);
 }
 
 TEST(SamplerExactnessTest, ExactPosteriorRespondsToEvidence) {
