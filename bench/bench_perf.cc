@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 
+#include "core/checkpoint.h"
 #include "core/collapsed_sampler.h"
 #include "core/joint_topic_model.h"
 #include "core/serialization.h"
@@ -311,6 +313,53 @@ void BM_ModelSerialization(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelSerialization)->Unit(benchmark::kMillisecond);
+
+// Checkpoint durability cost: one full save (encode + atomic write-temp +
+// fsync + rename) plus a load-and-restore of the same snapshot, on a
+// trained mid-size model. "ckpt_bytes" reports the on-disk frame size so
+// the JSON output tracks format growth; "saves_per_sec" is the rate a
+// training loop pays per checkpoint interval.
+void BM_CheckpointSaveRestore(benchmark::State& state) {
+  const recipe::Dataset& ds = SharedDataset(4000);
+  core::JointTopicModelConfig config;
+  config.num_topics = 10;
+  auto model = core::JointTopicModel::Create(config, &ds);
+  if (!model.ok()) {
+    state.SkipWithError("model create failed");
+    return;
+  }
+  if (!model->RunSweeps(5).ok()) {
+    state.SkipWithError("warmup sweeps failed");
+    return;
+  }
+  std::string path = "bench_checkpoint_tmp.ckpt";
+  double ckpt_bytes = 0.0;
+  for (auto _ : state) {
+    auto begin = std::chrono::steady_clock::now();
+    core::CheckpointState snapshot = model->CaptureCheckpoint();
+    if (!core::WriteCheckpointFile(path, snapshot).ok()) {
+      state.SkipWithError("checkpoint write failed");
+      return;
+    }
+    auto restored = core::ReadCheckpointFile(path);
+    if (!restored.ok() || !model->RestoreFromCheckpoint(*restored).ok()) {
+      state.SkipWithError("checkpoint restore failed");
+      return;
+    }
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count());
+    ckpt_bytes = static_cast<double>(core::EncodeCheckpoint(snapshot).size());
+  }
+  std::remove(path.c_str());
+  state.counters["ckpt_bytes"] = ckpt_bytes;
+  state.counters["saves_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckpointSaveRestore)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Word2VecEpoch(benchmark::State& state) {
   // Training throughput on a small recipe-like corpus.

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # CI driver: tier-1 verify (full build + ctest), a ThreadSanitizer pass over
-# the concurrency-sensitive tests, and the Gibbs-sweep scaling benchmark
-# with JSON output.
+# the concurrency-sensitive tests, an ASan+UBSan pass over the
+# serialization / checkpoint / fault-injection paths, and the Gibbs-sweep
+# scaling benchmark with JSON output.
 #
 # Usage:
-#   ./ci.sh            # tier-1 + TSan
-#   ./ci.sh --bench    # also run the threads benchmark (JSON to bench/out)
+#   ./ci.sh            # tier-1 + TSan + ASan/UBSan
+#   ./ci.sh --bench    # also run the threads + checkpoint benchmarks
+#                      # (JSON to bench/out)
 #
 # Exit code is nonzero if any stage fails.
 
@@ -36,6 +38,13 @@ cmake --build build-tsan -j "$JOBS" \
 (cd build-tsan && ctest --output-on-failure \
   -R '^(thread_pool_test|geweke_test|sampler_exactness_test)$')
 
+echo "==> ASan/UBSan: rebuild durability-sensitive targets with -fsanitize=address,undefined"
+cmake -B build-asan -S . -DTEXRHEO_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" \
+  --target serialization_test robustness_test checkpoint_test atomic_file_test
+(cd build-asan && ctest --output-on-failure \
+  -R '^(serialization_test|robustness_test|checkpoint_test|atomic_file_test)$')
+
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "==> bench: Gibbs sweep scaling at 1/2/4/8 threads"
   cmake --build build -j "$JOBS" --target bench_perf
@@ -45,6 +54,12 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     --benchmark_out=bench/out/gibbs_threads.json \
     --benchmark_out_format=json
   echo "wrote bench/out/gibbs_threads.json"
+  echo "==> bench: checkpoint save/restore cost"
+  ./build/bench/bench_perf \
+    --benchmark_filter='BM_CheckpointSaveRestore' \
+    --benchmark_out=bench/out/checkpoint.json \
+    --benchmark_out_format=json
+  echo "wrote bench/out/checkpoint.json"
 fi
 
 echo "==> CI passed"

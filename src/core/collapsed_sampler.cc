@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <filesystem>
 
 #include "core/parallel_gibbs.h"
 #include "math/running_stats.h"
@@ -201,6 +202,13 @@ texrheo::Status CollapsedJointTopicModel::SampleY() {
       log_w[ks] = lw;
     }
     double norm = math::LogSumExp(log_w.data(), log_w.size());
+    if (!std::isfinite(norm)) {
+      gel_stats_[static_cast<size_t>(old_k)].Add(doc.gel_feature);
+      emulsion_stats_[static_cast<size_t>(old_k)].Add(doc.emulsion_feature);
+      return Status::Internal(
+          "numerical health: non-finite topic weights for document " +
+          std::to_string(d));
+    }
     for (int k = 0; k < k_count; ++k) {
       weights[static_cast<size_t>(k)] =
           std::exp(log_w[static_cast<size_t>(k)] - norm);
@@ -321,6 +329,12 @@ texrheo::Status CollapsedJointTopicModel::SampleYParallel() {
         log_w[ks] = lw;
       }
       double norm = math::LogSumExp(log_w.data(), log_w.size());
+      if (!std::isfinite(norm)) {
+        shard_status[static_cast<size_t>(s)] = Status::Internal(
+            "numerical health: non-finite topic weights for document " +
+            std::to_string(d));
+        return;
+      }
       for (int k = 0; k < k_count; ++k) {
         weights[static_cast<size_t>(k)] =
             std::exp(log_w[static_cast<size_t>(k)] - norm);
@@ -394,8 +408,220 @@ texrheo::Status CollapsedJointTopicModel::RunSweeps(int n) {
       TEXRHEO_RETURN_IF_ERROR(SampleY());
     }
     ++completed_sweeps_;
+    // Health guard runs before the checkpoint hook so a numerically
+    // poisoned state is never persisted.
+    TEXRHEO_RETURN_IF_ERROR(CheckNumericalHealth());
+    TEXRHEO_RETURN_IF_ERROR(MaybeWriteCheckpoint());
   }
   return Status::OK();
+}
+
+texrheo::Status CollapsedJointTopicModel::CheckNumericalHealth() const {
+  size_t total = 0;
+  for (size_t k = 0; k < gel_stats_.size(); ++k) {
+    const TopicStats* families[] = {&gel_stats_[k], &emulsion_stats_[k]};
+    for (const TopicStats* stats : families) {
+      for (size_t i = 0; i < stats->sum.size(); ++i) {
+        if (!std::isfinite(stats->sum[i])) {
+          return Status::Internal(
+              "numerical health: non-finite statistics in topic " +
+              std::to_string(k));
+        }
+      }
+      for (size_t r = 0; r < stats->sum_outer.rows(); ++r) {
+        for (size_t c = 0; c < stats->sum_outer.cols(); ++c) {
+          if (!std::isfinite(stats->sum_outer(r, c))) {
+            return Status::Internal(
+                "numerical health: non-finite scatter in topic " +
+                std::to_string(k));
+          }
+        }
+      }
+    }
+    if (gel_stats_[k].n != emulsion_stats_[k].n) {
+      return Status::Internal(
+          "numerical health: gel/emulsion member counts diverged in topic " +
+          std::to_string(k));
+    }
+    total += gel_stats_[k].n;
+  }
+  if (total != y_.size()) {
+    return Status::Internal(
+        "numerical health: topic member counts do not sum to the corpus");
+  }
+  return Status::OK();
+}
+
+CheckpointFingerprint CollapsedJointTopicModel::MakeFingerprint() const {
+  CheckpointFingerprint fp;
+  fp.sampler = SamplerKind::kCollapsed;
+  fp.num_topics = config_.num_topics;
+  fp.alpha = config_.alpha;
+  fp.gamma = config_.gamma;
+  fp.seed = config_.seed;
+  fp.num_threads = config_.num_threads;
+  fp.optimize_alpha = config_.optimize_alpha;
+  fp.use_emulsion_likelihood = config_.use_emulsion_likelihood;
+  fp.gmm_init = config_.gmm_init;
+  fp.num_documents = docs_->documents.size();
+  fp.vocab_size = vocab_size_;
+  return fp;
+}
+
+CheckpointState CollapsedJointTopicModel::CaptureCheckpoint() const {
+  CheckpointState state;
+  state.fingerprint = MakeFingerprint();
+  state.completed_sweeps = completed_sweeps_;
+  state.current_alpha = config_.alpha;
+  state.master_rng = rng_.SaveState();
+  state.shard_rngs.reserve(shard_rngs_.size());
+  for (const Rng& r : shard_rngs_) state.shard_rngs.push_back(r.SaveState());
+  state.y = ToCheckpointInts(y_);
+  state.z = ToCheckpointRows(z_);
+  state.n_dk = ToCheckpointRows(n_dk_);
+  state.n_kv = ToCheckpointRows(n_kv_);
+  state.n_k = ToCheckpointInts(n_k_);
+  // The collapsed sampler has no explicit m_k; it lives in the per-topic
+  // statistics. Stored anyway so the corpus cross-check covers y.
+  state.m_k.reserve(gel_stats_.size());
+  for (const TopicStats& stats : gel_stats_) {
+    state.m_k.push_back(static_cast<int32_t>(stats.n));
+  }
+  auto snapshot = [](const TopicStats& stats) {
+    TopicStatsSnapshot snap;
+    snap.n = static_cast<uint64_t>(stats.n);
+    snap.sum.assign(stats.sum.data().begin(), stats.sum.data().end());
+    size_t dim = stats.sum_outer.rows();
+    snap.sum_outer.reserve(dim * dim);
+    for (size_t r = 0; r < dim; ++r) {
+      for (size_t c = 0; c < dim; ++c) {
+        snap.sum_outer.push_back(stats.sum_outer(r, c));
+      }
+    }
+    return snap;
+  };
+  for (const TopicStats& stats : gel_stats_) {
+    state.gel_stats.push_back(snapshot(stats));
+  }
+  for (const TopicStats& stats : emulsion_stats_) {
+    state.emulsion_stats.push_back(snapshot(stats));
+  }
+  return state;
+}
+
+texrheo::Status CollapsedJointTopicModel::RestoreFromCheckpoint(
+    const CheckpointState& state) {
+  CheckpointFingerprint expected = MakeFingerprint();
+  if (!(state.fingerprint == expected)) {
+    return Status::FailedPrecondition(
+        "checkpoint fingerprint mismatch\n  checkpoint: " +
+        state.fingerprint.ToString() + "\n  model:      " +
+        expected.ToString());
+  }
+  TEXRHEO_RETURN_IF_ERROR(ValidateCheckpointAgainstDataset(state, *docs_));
+  const auto& documents = docs_->documents;
+  size_t k_count = static_cast<size_t>(config_.num_topics);
+  size_t gel_dim = documents.front().gel_feature.size();
+  size_t emu_dim = documents.front().emulsion_feature.size();
+  if (state.gel_stats.size() != k_count ||
+      state.emulsion_stats.size() != k_count) {
+    return Status::InvalidArgument(
+        "checkpoint is missing per-topic sufficient statistics");
+  }
+  for (size_t k = 0; k < k_count; ++k) {
+    if (state.gel_stats[k].sum.size() != gel_dim ||
+        state.emulsion_stats[k].sum.size() != emu_dim) {
+      return Status::InvalidArgument(
+          "checkpoint statistics dimension disagrees with dataset features");
+    }
+    if (state.gel_stats[k].n != static_cast<uint64_t>(state.m_k[k])) {
+      return Status::InvalidArgument(
+          "checkpoint statistics member counts disagree with y assignments");
+    }
+  }
+  if (!state.shard_rngs.empty()) {
+    size_t planned = PlanShards(documents,
+                                ResolveNumThreads(config_.num_threads))
+                         .size();
+    if (planned != state.shard_rngs.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint shard count differs from this machine's plan "
+          "(hardware concurrency changed?)");
+    }
+  }
+  // All validation happens above this line so a rejected checkpoint never
+  // leaves the model partially restored.
+  y_ = FromCheckpointInts(state.y);
+  z_ = FromCheckpointRows(state.z);
+  n_dk_ = FromCheckpointRows(state.n_dk);
+  n_kv_ = FromCheckpointRows(state.n_kv);
+  n_k_ = FromCheckpointInts(state.n_k);
+  auto unsnapshot = [](const TopicStatsSnapshot& snap, size_t dim) {
+    TopicStats stats(dim);
+    stats.n = static_cast<size_t>(snap.n);
+    for (size_t i = 0; i < dim; ++i) stats.sum[i] = snap.sum[i];
+    for (size_t r = 0; r < dim; ++r) {
+      for (size_t c = 0; c < dim; ++c) {
+        stats.sum_outer(r, c) = snap.sum_outer[r * dim + c];
+      }
+    }
+    return stats;
+  };
+  gel_stats_.clear();
+  emulsion_stats_.clear();
+  for (size_t k = 0; k < k_count; ++k) {
+    gel_stats_.push_back(unsnapshot(state.gel_stats[k], gel_dim));
+    emulsion_stats_.push_back(unsnapshot(state.emulsion_stats[k], emu_dim));
+  }
+  completed_sweeps_ = state.completed_sweeps;
+  rng_.RestoreState(state.master_rng);
+  pool_.reset();
+  shards_.clear();
+  shard_rngs_.clear();
+  if (!state.shard_rngs.empty()) {
+    EnsureParallelEngine();
+    for (size_t s = 0; s < shard_rngs_.size(); ++s) {
+      shard_rngs_[s].RestoreState(state.shard_rngs[s]);
+    }
+  }
+  return Status::OK();
+}
+
+texrheo::Status CollapsedJointTopicModel::Resume() {
+  if (config_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition("resume: checkpoint_dir not configured");
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(CheckpointState state,
+                           LoadLatestValidCheckpoint(config_.checkpoint_dir));
+  return RestoreFromCheckpoint(state);
+}
+
+texrheo::Status CollapsedJointTopicModel::WriteCheckpointNow() {
+  if (config_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition(
+        "checkpoint: checkpoint_dir not configured");
+  }
+  FileOps& ops =
+      checkpoint_file_ops_ != nullptr ? *checkpoint_file_ops_ : FileOps::Real();
+  std::error_code ec;
+  std::filesystem::create_directories(config_.checkpoint_dir, ec);
+  std::string path =
+      (std::filesystem::path(config_.checkpoint_dir) /
+       CheckpointFileName(completed_sweeps_))
+          .string();
+  TEXRHEO_RETURN_IF_ERROR(WriteCheckpointFile(path, CaptureCheckpoint(), ops));
+  return PruneCheckpoints(config_.checkpoint_dir, config_.checkpoint_keep_last,
+                          ops);
+}
+
+texrheo::Status CollapsedJointTopicModel::MaybeWriteCheckpoint() {
+  if (config_.checkpoint_interval <= 0 || config_.checkpoint_dir.empty()) {
+    return Status::OK();
+  }
+  if (completed_sweeps_ % config_.checkpoint_interval != 0) {
+    return Status::OK();
+  }
+  return WriteCheckpointNow();
 }
 
 texrheo::StatusOr<TopicEstimates> CollapsedJointTopicModel::Estimate() const {

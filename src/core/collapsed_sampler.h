@@ -51,6 +51,29 @@ class CollapsedJointTopicModel {
   /// document count and per-document token counts must be unchanged.
   texrheo::Status ResyncWithData();
 
+  /// Snapshot of the complete sampler state. The per-topic sufficient
+  /// statistics are captured verbatim (including accumulated round-off from
+  /// incremental removes) so a serial chain resumes bit-exactly.
+  CheckpointState CaptureCheckpoint() const;
+
+  /// Restores a CaptureCheckpoint snapshot; same fingerprint and corpus
+  /// validation contract as JointTopicModel::RestoreFromCheckpoint.
+  texrheo::Status RestoreFromCheckpoint(const CheckpointState& state);
+
+  /// Loads the newest valid checkpoint in config.checkpoint_dir and
+  /// restores it; NotFound when no valid checkpoint exists.
+  texrheo::Status Resume();
+
+  /// Writes a checkpoint immediately and applies the retention policy.
+  texrheo::Status WriteCheckpointNow();
+
+  /// OK when the per-topic sufficient statistics are finite and consistent
+  /// with the y assignments. Runs after every sweep, before any checkpoint.
+  texrheo::Status CheckNumericalHealth() const;
+
+  /// Test seam: routes checkpoint writes through `ops` (fault injection).
+  void set_checkpoint_file_ops(FileOps* ops) { checkpoint_file_ops_ = ops; }
+
  private:
   /// Incremental per-topic sufficient statistics of one vector family.
   struct TopicStats {
@@ -82,10 +105,13 @@ class CollapsedJointTopicModel {
   /// Posterior predictive of topic k for the gel (or emulsion) family,
   /// given the current sufficient statistics.
   texrheo::StatusOr<math::StudentT> Predictive(int k, bool use_gel) const;
+  CheckpointFingerprint MakeFingerprint() const;
+  texrheo::Status MaybeWriteCheckpoint();
 
   JointTopicModelConfig config_;
   const recipe::Dataset* docs_;
   size_t vocab_size_ = 0;
+  FileOps* checkpoint_file_ops_ = nullptr;  ///< Test seam; not owned.
   Rng rng_;
   // Parallel engine (populated on first parallel sweep; see num_threads).
   int resolved_threads_ = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 
 #include "core/gmm_baseline.h"
@@ -40,11 +41,26 @@ math::NormalWishartParams AutoPrior(
   return prior;
 }
 
+bool GaussianIsFinite(const math::Gaussian& g) {
+  for (size_t i = 0; i < g.dim(); ++i) {
+    if (!std::isfinite(g.mean()[i])) return false;
+  }
+  for (size_t r = 0; r < g.dim(); ++r) {
+    for (size_t c = 0; c < g.dim(); ++c) {
+      if (!std::isfinite(g.precision()(r, c))) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 JointTopicModel::JointTopicModel(const JointTopicModelConfig& config,
                                  const recipe::Dataset* dataset)
-    : config_(config), docs_(dataset), rng_(config.seed) {}
+    : config_(config),
+      docs_(dataset),
+      initial_alpha_(config.alpha),
+      rng_(config.seed) {}
 
 texrheo::StatusOr<JointTopicModel> JointTopicModel::Create(
     const JointTopicModelConfig& config, const recipe::Dataset* dataset) {
@@ -222,6 +238,12 @@ texrheo::Status JointTopicModel::SampleY() {
       log_w[ks] = lw;
     }
     double norm = math::LogSumExp(log_w.data(), log_w.size());
+    if (!std::isfinite(norm)) {
+      ++m_k_[static_cast<size_t>(y_[d])];  // State stays consistent.
+      return Status::Internal(
+          "numerical health: non-finite topic weights for document " +
+          std::to_string(d));
+    }
     for (int k = 0; k < k_count; ++k) {
       weights[static_cast<size_t>(k)] =
           std::exp(log_w[static_cast<size_t>(k)] - norm);
@@ -318,6 +340,11 @@ void JointTopicModel::SampleYParallel() {
         log_w[ks] = lw;
       }
       double norm = math::LogSumExp(log_w.data(), log_w.size());
+      if (!std::isfinite(norm)) {
+        // Poisoned weights: keep y_[d]; the post-sweep health guard turns
+        // this into a Status before anything is checkpointed.
+        continue;
+      }
       for (int k = 0; k < k_count; ++k) {
         weights[static_cast<size_t>(k)] =
             std::exp(log_w[static_cast<size_t>(k)] - norm);
@@ -379,9 +406,160 @@ texrheo::Status JointTopicModel::RunSweeps(int n) {
         completed_sweeps_ % config_.alpha_update_interval == 0) {
       UpdateAlpha();
     }
-    likelihood_trace_.push_back(LogJointLikelihood());
+    // Health guard runs before the checkpoint hook so a numerically
+    // poisoned state is never persisted.
+    TEXRHEO_RETURN_IF_ERROR(CheckNumericalHealth());
+    double ll = LogJointLikelihood();
+    if (!std::isfinite(ll)) {
+      return Status::Internal(
+          "numerical health: log joint likelihood became non-finite at "
+          "sweep " + std::to_string(completed_sweeps_));
+    }
+    likelihood_trace_.push_back(ll);
+    TEXRHEO_RETURN_IF_ERROR(MaybeWriteCheckpoint());
   }
   return Status::OK();
+}
+
+texrheo::Status JointTopicModel::CheckNumericalHealth() const {
+  if (!std::isfinite(config_.alpha) || config_.alpha <= 0.0) {
+    return Status::Internal(
+        "numerical health: alpha is no longer positive and finite");
+  }
+  for (size_t k = 0; k < gel_topics_.size(); ++k) {
+    if (!GaussianIsFinite(gel_topics_[k]) ||
+        !GaussianIsFinite(emulsion_topics_[k])) {
+      return Status::Internal(
+          "numerical health: non-finite Gaussian parameters in topic " +
+          std::to_string(k));
+    }
+  }
+  return Status::OK();
+}
+
+CheckpointFingerprint JointTopicModel::MakeFingerprint() const {
+  CheckpointFingerprint fp;
+  fp.sampler = SamplerKind::kJoint;
+  fp.num_topics = config_.num_topics;
+  fp.alpha = initial_alpha_;
+  fp.gamma = config_.gamma;
+  fp.seed = config_.seed;
+  fp.num_threads = config_.num_threads;
+  fp.optimize_alpha = config_.optimize_alpha;
+  fp.use_emulsion_likelihood = config_.use_emulsion_likelihood;
+  fp.gmm_init = config_.gmm_init;
+  fp.num_documents = docs_->documents.size();
+  fp.vocab_size = vocab_size_;
+  return fp;
+}
+
+CheckpointState JointTopicModel::CaptureCheckpoint() const {
+  CheckpointState state;
+  state.fingerprint = MakeFingerprint();
+  state.completed_sweeps = completed_sweeps_;
+  state.current_alpha = config_.alpha;
+  state.master_rng = rng_.SaveState();
+  state.shard_rngs.reserve(shard_rngs_.size());
+  for (const Rng& r : shard_rngs_) state.shard_rngs.push_back(r.SaveState());
+  state.y = ToCheckpointInts(y_);
+  state.z = ToCheckpointRows(z_);
+  state.n_dk = ToCheckpointRows(n_dk_);
+  state.n_kv = ToCheckpointRows(n_kv_);
+  state.n_k = ToCheckpointInts(n_k_);
+  state.m_k = ToCheckpointInts(m_k_);
+  state.gel_topics = gel_topics_;
+  state.emulsion_topics = emulsion_topics_;
+  state.likelihood_trace = likelihood_trace_;
+  return state;
+}
+
+texrheo::Status JointTopicModel::RestoreFromCheckpoint(
+    const CheckpointState& state) {
+  CheckpointFingerprint expected = MakeFingerprint();
+  if (!(state.fingerprint == expected)) {
+    return Status::FailedPrecondition(
+        "checkpoint fingerprint mismatch\n  checkpoint: " +
+        state.fingerprint.ToString() + "\n  model:      " +
+        expected.ToString());
+  }
+  TEXRHEO_RETURN_IF_ERROR(ValidateCheckpointAgainstDataset(state, *docs_));
+  size_t k_count = static_cast<size_t>(config_.num_topics);
+  if (state.gel_topics.size() != k_count ||
+      state.emulsion_topics.size() != k_count) {
+    return Status::InvalidArgument(
+        "checkpoint is missing instantiated topic Gaussians");
+  }
+  // All validation happens above this line so a rejected checkpoint never
+  // leaves the model partially restored.
+  if (!state.shard_rngs.empty()) {
+    size_t planned = PlanShards(docs_->documents,
+                                ResolveNumThreads(config_.num_threads))
+                         .size();
+    if (planned != state.shard_rngs.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint shard count differs from this machine's plan "
+          "(hardware concurrency changed?)");
+    }
+  }
+  y_ = FromCheckpointInts(state.y);
+  z_ = FromCheckpointRows(state.z);
+  n_dk_ = FromCheckpointRows(state.n_dk);
+  n_kv_ = FromCheckpointRows(state.n_kv);
+  n_k_ = FromCheckpointInts(state.n_k);
+  m_k_ = FromCheckpointInts(state.m_k);
+  gel_topics_ = state.gel_topics;
+  emulsion_topics_ = state.emulsion_topics;
+  likelihood_trace_ = state.likelihood_trace;
+  completed_sweeps_ = state.completed_sweeps;
+  config_.alpha = state.current_alpha;
+  rng_.RestoreState(state.master_rng);
+  pool_.reset();
+  shards_.clear();
+  shard_rngs_.clear();
+  if (!state.shard_rngs.empty()) {
+    EnsureParallelEngine();
+    for (size_t s = 0; s < shard_rngs_.size(); ++s) {
+      shard_rngs_[s].RestoreState(state.shard_rngs[s]);
+    }
+  }
+  return Status::OK();
+}
+
+texrheo::Status JointTopicModel::Resume() {
+  if (config_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition("resume: checkpoint_dir not configured");
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(CheckpointState state,
+                           LoadLatestValidCheckpoint(config_.checkpoint_dir));
+  return RestoreFromCheckpoint(state);
+}
+
+texrheo::Status JointTopicModel::WriteCheckpointNow() {
+  if (config_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition(
+        "checkpoint: checkpoint_dir not configured");
+  }
+  FileOps& ops =
+      checkpoint_file_ops_ != nullptr ? *checkpoint_file_ops_ : FileOps::Real();
+  std::error_code ec;
+  std::filesystem::create_directories(config_.checkpoint_dir, ec);
+  std::string path =
+      (std::filesystem::path(config_.checkpoint_dir) /
+       CheckpointFileName(completed_sweeps_))
+          .string();
+  TEXRHEO_RETURN_IF_ERROR(WriteCheckpointFile(path, CaptureCheckpoint(), ops));
+  return PruneCheckpoints(config_.checkpoint_dir, config_.checkpoint_keep_last,
+                          ops);
+}
+
+texrheo::Status JointTopicModel::MaybeWriteCheckpoint() {
+  if (config_.checkpoint_interval <= 0 || config_.checkpoint_dir.empty()) {
+    return Status::OK();
+  }
+  if (completed_sweeps_ % config_.checkpoint_interval != 0) {
+    return Status::OK();
+  }
+  return WriteCheckpointNow();
 }
 
 double JointTopicModel::UpdateAlpha() {

@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "math/distributions.h"
 #include "math/linalg.h"
 #include "recipe/dataset.h"
+#include "util/atomic_file.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -76,6 +79,17 @@ struct JointTopicModelConfig {
   /// deterministic because every shard draws from its own SplitMix64-split
   /// RNG stream.
   int num_threads = 1;
+
+  /// Crash-safe checkpointing. When `checkpoint_interval` > 0 and
+  /// `checkpoint_dir` is non-empty, RunSweeps writes an atomic,
+  /// checksummed snapshot of the full sampler state every
+  /// `checkpoint_interval` completed sweeps and keeps only the newest
+  /// `checkpoint_keep_last` files. A serial chain (num_threads == 1)
+  /// resumed from such a checkpoint continues *bit-exactly*; a parallel
+  /// chain continues deterministically at fixed (seed, num_threads).
+  int checkpoint_interval = 0;
+  std::string checkpoint_dir;
+  int checkpoint_keep_last = 3;
 };
 
 /// Point estimates after Gibbs convergence (paper eq. 5).
@@ -181,6 +195,36 @@ class JointTopicModel {
   texrheo::StatusOr<std::vector<double>> FoldInTheta(
       const recipe::Document& doc, int fold_in_sweeps = 30);
 
+  /// Snapshot of the complete sampler state (assignments, counts, RNG
+  /// streams, instantiated Gaussians, likelihood trace) for checkpointing.
+  CheckpointState CaptureCheckpoint() const;
+
+  /// Restores a CaptureCheckpoint snapshot. Refuses (FailedPrecondition)
+  /// when the checkpoint's fingerprint does not match this model's
+  /// configuration, and (InvalidArgument) when the stored count matrices
+  /// disagree with a rebuild from the checkpoint's assignments and this
+  /// model's dataset — i.e. the corpus changed since the checkpoint.
+  texrheo::Status RestoreFromCheckpoint(const CheckpointState& state);
+
+  /// Loads the newest valid checkpoint in config.checkpoint_dir (skipping
+  /// torn or corrupt files) and restores it. NotFound when no valid
+  /// checkpoint exists.
+  texrheo::Status Resume();
+
+  /// Writes a checkpoint for the current state immediately (regardless of
+  /// the interval) and applies the retention policy.
+  texrheo::Status WriteCheckpointNow();
+
+  /// OK when the sampler state is numerically healthy: finite likelihood,
+  /// finite Gaussian parameters, sane alpha. Runs automatically after each
+  /// sweep; a poisoned state stops RunSweeps with this Status *before* any
+  /// checkpoint of it is written.
+  texrheo::Status CheckNumericalHealth() const;
+
+  /// Test seam: routes checkpoint writes through `ops` (fault injection).
+  /// Pass nullptr to restore the real filesystem. Not owned.
+  void set_checkpoint_file_ops(FileOps* ops) { checkpoint_file_ops_ = ops; }
+
  private:
   JointTopicModel(const JointTopicModelConfig& config,
                   const recipe::Dataset* dataset);
@@ -194,10 +238,18 @@ class JointTopicModel {
   void EnsureParallelEngine();
   void SampleZParallel();
   void SampleYParallel();
+  CheckpointFingerprint MakeFingerprint() const;
+  /// Writes a checkpoint when the configured interval divides
+  /// completed_sweeps_; no-op when checkpointing is not configured.
+  texrheo::Status MaybeWriteCheckpoint();
 
   JointTopicModelConfig config_;
   const recipe::Dataset* docs_;
   size_t vocab_size_ = 0;
+  /// config_.alpha as configured, before any optimize_alpha drift; part of
+  /// the checkpoint fingerprint.
+  double initial_alpha_ = 0.0;
+  FileOps* checkpoint_file_ops_ = nullptr;  ///< Test seam; not owned.
 
   Rng rng_;
   // Parallel engine (populated on first parallel sweep; see num_threads).

@@ -9,7 +9,27 @@ namespace texrheo::core {
 namespace {
 
 constexpr char kMagic[] = "texrheo-model";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+constexpr char kEndSentinel[] = "end";
+
+// "line <n> (\"<excerpt>\"): " prefix for parse errors, pointing the user
+// at the offending line.
+std::string LineContext(int line_no, const std::string& line) {
+  constexpr size_t kExcerptLimit = 48;
+  std::string excerpt = line.substr(0, kExcerptLimit);
+  if (line.size() > kExcerptLimit) excerpt += "...";
+  return "line " + std::to_string(line_no) + " (\"" + excerpt + "\"): ";
+}
+
+Status ParseError(int line_no, const std::string& line, std::string what) {
+  return Status::InvalidArgument(LineContext(line_no, line) + std::move(what));
+}
+
+Status WithLineContext(const Status& status, int line_no,
+                       const std::string& line) {
+  if (status.ok()) return status;
+  return Status(status.code(), LineContext(line_no, line) + status.message());
+}
 
 void AppendGaussian(std::ostringstream& out, const char* tag, size_t k,
                     const math::Gaussian& g) {
@@ -98,55 +118,91 @@ std::string SerializeModel(const ModelSnapshot& snapshot) {
     out << "recipe_count " << k << ' '
         << snapshot.estimates.topic_recipe_count[k] << '\n';
   }
+  out << kEndSentinel << '\n';
   return out.str();
 }
 
 StatusOr<ModelSnapshot> DeserializeModel(const std::string& content) {
+  if (content.empty()) {
+    return Status::InvalidArgument("empty model file");
+  }
+  if (content.back() != '\n') {
+    return Status::InvalidArgument(
+        "model file does not end with a newline (truncated?)");
+  }
   std::istringstream in(content);
   std::string line;
-  if (!std::getline(in, line)) {
+  int line_no = 0;
+  auto next_line = [&in, &line, &line_no]() {
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    return true;
+  };
+
+  if (!next_line()) {
     return Status::InvalidArgument("empty model file");
   }
   {
     std::vector<std::string> header = SplitWhitespace(line);
     if (header.size() != 2 || header[0] != kMagic) {
-      return Status::InvalidArgument("not a texrheo model file");
+      return ParseError(line_no, line, "not a texrheo model file");
     }
-    TEXRHEO_ASSIGN_OR_RETURN(int64_t version, ParseInt(header[1]));
-    if (version != kVersion) {
-      return Status::InvalidArgument("unsupported model version " +
-                                     std::to_string(version));
+    auto version = ParseInt(header[1]);
+    if (!version.ok()) {
+      return WithLineContext(version.status(), line_no, line);
+    }
+    if (*version != kVersion) {
+      return ParseError(line_no, line,
+                        "unsupported model version " +
+                            std::to_string(*version) + " (expected " +
+                            std::to_string(kVersion) + ")");
     }
   }
 
   ModelSnapshot snapshot;
   // vocab section.
-  if (!std::getline(in, line)) return Status::InvalidArgument("missing vocab");
+  if (!next_line()) {
+    return Status::InvalidArgument("missing vocab section");
+  }
   std::vector<std::string> tokens = SplitWhitespace(line);
   if (tokens.size() != 2 || tokens[0] != "vocab") {
-    return Status::InvalidArgument("expected 'vocab <n>'");
+    return ParseError(line_no, line, "expected 'vocab <n>'");
   }
-  TEXRHEO_ASSIGN_OR_RETURN(int64_t vocab_size, ParseInt(tokens[1]));
+  auto vocab_size_or = ParseInt(tokens[1]);
+  if (!vocab_size_or.ok()) {
+    return WithLineContext(vocab_size_or.status(), line_no, line);
+  }
+  int64_t vocab_size = *vocab_size_or;
+  if (vocab_size < 0) {
+    return ParseError(line_no, line, "negative vocab size");
+  }
   for (int64_t i = 0; i < vocab_size; ++i) {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("truncated vocab section");
+    if (!next_line()) {
+      return ParseError(line_no, line, "truncated vocab section");
     }
     std::vector<std::string> wc = SplitWhitespace(line);
     if (wc.size() != 2) {
-      return Status::InvalidArgument("malformed vocab line: " + line);
+      return ParseError(line_no, line, "malformed vocab line");
     }
     snapshot.vocab.Add(wc[0]);
   }
 
   // topics count.
-  if (!std::getline(in, line)) {
-    return Status::InvalidArgument("missing topics");
+  if (!next_line()) {
+    return Status::InvalidArgument("missing topics section");
   }
   tokens = SplitWhitespace(line);
   if (tokens.size() != 2 || tokens[0] != "topics") {
-    return Status::InvalidArgument("expected 'topics <k>'");
+    return ParseError(line_no, line, "expected 'topics <k>'");
   }
-  TEXRHEO_ASSIGN_OR_RETURN(int64_t k_count, ParseInt(tokens[1]));
+  auto k_count_or = ParseInt(tokens[1]);
+  if (!k_count_or.ok()) {
+    return WithLineContext(k_count_or.status(), line_no, line);
+  }
+  int64_t k_count = *k_count_or;
+  if (k_count < 0) {
+    return ParseError(line_no, line, "negative topic count");
+  }
   snapshot.estimates.phi.assign(static_cast<size_t>(k_count), {});
   snapshot.estimates.topic_recipe_count.assign(static_cast<size_t>(k_count),
                                                0);
@@ -155,57 +211,85 @@ StatusOr<ModelSnapshot> DeserializeModel(const std::string& content) {
   snapshot.estimates.gel_topics.reserve(static_cast<size_t>(k_count));
   snapshot.estimates.emulsion_topics.reserve(static_cast<size_t>(k_count));
 
-  while (std::getline(in, line)) {
+  bool saw_end = false;
+  while (next_line()) {
+    if (saw_end) {
+      return ParseError(line_no, line, "content after 'end' marker");
+    }
     if (Trim(line).empty()) continue;
     tokens = SplitWhitespace(line);
     const std::string& tag = tokens[0];
-    if (tag == "phi") {
-      if (tokens.size() < 2) return Status::InvalidArgument("bad phi line");
-      TEXRHEO_ASSIGN_OR_RETURN(int64_t k, ParseInt(tokens[1]));
+    if (tag == kEndSentinel) {
+      if (tokens.size() != 1) {
+        return ParseError(line_no, line, "malformed 'end' marker");
+      }
+      saw_end = true;
+    } else if (tag == "phi") {
+      if (tokens.size() < 2) {
+        return ParseError(line_no, line, "bad phi line");
+      }
+      auto k_or = ParseInt(tokens[1]);
+      if (!k_or.ok()) return WithLineContext(k_or.status(), line_no, line);
+      int64_t k = *k_or;
       if (k < 0 || k >= k_count) {
-        return Status::OutOfRange("phi topic index out of range");
+        return WithLineContext(
+            Status::OutOfRange("phi topic index out of range"), line_no,
+            line);
       }
       std::vector<double> row;
       row.reserve(tokens.size() - 2);
       for (size_t i = 2; i < tokens.size(); ++i) {
-        TEXRHEO_ASSIGN_OR_RETURN(double p, ParseDouble(tokens[i]));
-        row.push_back(p);
+        auto p = ParseDouble(tokens[i]);
+        if (!p.ok()) return WithLineContext(p.status(), line_no, line);
+        row.push_back(*p);
       }
       if (static_cast<int64_t>(row.size()) != vocab_size) {
-        return Status::InvalidArgument("phi row length != vocab size");
+        return ParseError(line_no, line, "phi row length != vocab size");
       }
       snapshot.estimates.phi[static_cast<size_t>(k)] = std::move(row);
     } else if (tag == "gel_topic" || tag == "emulsion_topic") {
       size_t k = 0;
-      TEXRHEO_ASSIGN_OR_RETURN(math::Gaussian g, ParseGaussian(tokens, &k));
+      auto g = ParseGaussian(tokens, &k);
+      if (!g.ok()) return WithLineContext(g.status(), line_no, line);
       if (k >= static_cast<size_t>(k_count)) {
-        return Status::OutOfRange("gaussian topic index out of range");
+        return WithLineContext(
+            Status::OutOfRange("gaussian topic index out of range"), line_no,
+            line);
       }
       auto& list = tag[0] == 'g' ? snapshot.estimates.gel_topics
                                  : snapshot.estimates.emulsion_topics;
       auto& have = tag[0] == 'g' ? have_gel : have_emulsion;
       if (k != list.size() || have[k]) {
-        return Status::InvalidArgument(
-            "gaussians must appear once, in topic order");
+        return ParseError(line_no, line,
+                          "gaussians must appear once, in topic order");
       }
-      list.push_back(std::move(g));
+      list.push_back(std::move(g).value());
       have[k] = true;
     } else if (tag == "recipe_count") {
       if (tokens.size() != 3) {
-        return Status::InvalidArgument("bad recipe_count line");
+        return ParseError(line_no, line, "bad recipe_count line");
       }
-      TEXRHEO_ASSIGN_OR_RETURN(int64_t k, ParseInt(tokens[1]));
-      TEXRHEO_ASSIGN_OR_RETURN(int64_t n, ParseInt(tokens[2]));
-      if (k < 0 || k >= k_count) {
-        return Status::OutOfRange("recipe_count topic out of range");
+      auto k_or = ParseInt(tokens[1]);
+      if (!k_or.ok()) return WithLineContext(k_or.status(), line_no, line);
+      auto n_or = ParseInt(tokens[2]);
+      if (!n_or.ok()) return WithLineContext(n_or.status(), line_no, line);
+      if (*k_or < 0 || *k_or >= k_count) {
+        return WithLineContext(
+            Status::OutOfRange("recipe_count topic out of range"), line_no,
+            line);
       }
-      snapshot.estimates.topic_recipe_count[static_cast<size_t>(k)] =
-          static_cast<int>(n);
+      snapshot.estimates.topic_recipe_count[static_cast<size_t>(*k_or)] =
+          static_cast<int>(*n_or);
     } else {
-      return Status::InvalidArgument("unknown section: " + tag);
+      return ParseError(line_no, line, "unknown section: " + tag);
     }
   }
 
+  if (!saw_end) {
+    return Status::InvalidArgument(
+        "missing 'end' marker after line " + std::to_string(line_no) +
+        " (truncated model file)");
+  }
   if (snapshot.estimates.gel_topics.size() !=
           static_cast<size_t>(k_count) ||
       snapshot.estimates.emulsion_topics.size() !=
@@ -216,7 +300,12 @@ StatusOr<ModelSnapshot> DeserializeModel(const std::string& content) {
 }
 
 Status SaveModel(const std::string& path, const ModelSnapshot& snapshot) {
-  return WriteStringToFile(path, SerializeModel(snapshot));
+  return SaveModel(path, snapshot, FileOps::Real());
+}
+
+Status SaveModel(const std::string& path, const ModelSnapshot& snapshot,
+                 FileOps& ops) {
+  return AtomicWriteFile(path, SerializeModel(snapshot), ops);
 }
 
 StatusOr<ModelSnapshot> LoadModel(const std::string& path) {

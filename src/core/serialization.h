@@ -5,6 +5,7 @@
 
 #include "core/joint_topic_model.h"
 #include "text/vocabulary.h"
+#include "util/atomic_file.h"
 #include "util/status.h"
 
 namespace texrheo::core {
@@ -29,21 +30,29 @@ ModelSnapshot MakeSnapshot(const TopicEstimates& estimates,
                            const text::Vocabulary& vocab);
 
 /// Serializes the snapshot to a line-oriented text format:
-///   texrheo-model 1
+///   texrheo-model 2
 ///   vocab <V>            followed by V lines: <word> <count>
 ///   topics <K>
 ///   phi k v0 v1 ... (one line per topic)
 ///   gel_topic k <dim> <mean...> <precision row-major...>
 ///   emulsion_topic k <dim> <mean...> <precision row-major...>
 ///   recipe_count k <n>
+///   end
+/// The trailing `end` sentinel (and the required final newline) make every
+/// strict prefix of a serialized model detectably truncated.
 std::string SerializeModel(const ModelSnapshot& snapshot);
 
 /// Parses a snapshot produced by SerializeModel; validates dimensions and
-/// positive-definiteness of the stored precisions.
+/// positive-definiteness of the stored precisions. Errors carry the
+/// 1-based line number and an excerpt of the offending line.
 StatusOr<ModelSnapshot> DeserializeModel(const std::string& content);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers. SaveModel writes atomically (temp file +
+/// fsync + rename), so a crash mid-save never clobbers an existing model;
+/// the FileOps overload is the fault-injection seam for tests.
 Status SaveModel(const std::string& path, const ModelSnapshot& snapshot);
+Status SaveModel(const std::string& path, const ModelSnapshot& snapshot,
+                 FileOps& ops);
 StatusOr<ModelSnapshot> LoadModel(const std::string& path);
 
 }  // namespace texrheo::core

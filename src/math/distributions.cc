@@ -82,8 +82,17 @@ texrheo::StatusOr<Gaussian> Gaussian::FromPrecision(Vector mean,
   if (mean.size() != precision.rows() || precision.rows() != precision.cols()) {
     return Status::InvalidArgument("mean/precision dimension mismatch");
   }
-  TEXRHEO_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Factor(precision));
-  return Gaussian(std::move(mean), std::move(precision), std::move(chol));
+  auto chol = Cholesky::Factor(precision);
+  if (!chol.ok()) {
+    // Marginal (round-off non-PD) posteriors get the jitter ladder instead
+    // of aborting the sampler run; the stored precision is rebuilt from the
+    // damped factor so LogPdf stays internally consistent.
+    TEXRHEO_ASSIGN_OR_RETURN(Cholesky damped, CholeskyWithJitter(precision));
+    precision = damped.L().Multiply(damped.L().Transposed());
+    return Gaussian(std::move(mean), std::move(precision), std::move(damped));
+  }
+  return Gaussian(std::move(mean), std::move(precision),
+                  std::move(chol).value());
 }
 
 texrheo::StatusOr<Gaussian> Gaussian::FromCovariance(Vector mean,
@@ -136,7 +145,7 @@ texrheo::StatusOr<Matrix> WishartSample(Rng& rng, double nu,
   if (nu <= static_cast<double>(d) - 1.0) {
     return Status::InvalidArgument("Wishart requires nu > dim - 1");
   }
-  TEXRHEO_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Factor(scale));
+  TEXRHEO_ASSIGN_OR_RETURN(Cholesky chol, CholeskyWithJitter(scale));
   // Bartlett: A lower-triangular, A_ii = sqrt(chi2(nu - i)), A_ij ~ N(0,1).
   Matrix a(d, d);
   for (size_t i = 0; i < d; ++i) {

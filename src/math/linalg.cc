@@ -250,6 +250,29 @@ Matrix Cholesky::Inverse() const {
   return inv;
 }
 
+texrheo::StatusOr<Cholesky> CholeskyWithJitter(const Matrix& a,
+                                               double initial_jitter,
+                                               double max_jitter) {
+  auto plain = Cholesky::Factor(a);
+  if (plain.ok()) return plain;
+  if (a.rows() != a.cols()) return plain;
+  for (size_t i = 0; i < a.rows() * a.cols(); ++i) {
+    if (!std::isfinite(a(i / a.cols(), i % a.cols()))) {
+      return Status::FailedPrecondition(
+          "matrix contains non-finite entries; jitter cannot repair it");
+    }
+  }
+  for (double jitter = initial_jitter; jitter <= max_jitter; jitter *= 100.0) {
+    Matrix damped = a;
+    for (size_t i = 0; i < a.rows(); ++i) damped(i, i) += jitter;
+    auto attempt = Cholesky::Factor(damped);
+    if (attempt.ok()) return attempt;
+  }
+  return Status::FailedPrecondition(
+      plain.status().message() + "; still not PD after diagonal jitter up to " +
+      FormatDouble(max_jitter, 8));
+}
+
 texrheo::StatusOr<Matrix> InversePD(const Matrix& a) {
   TEXRHEO_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Factor(a));
   return chol.Inverse();

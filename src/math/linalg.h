@@ -143,6 +143,19 @@ class Cholesky {
   Matrix l_;
 };
 
+/// Cholesky factorization with a jitter ladder for numerically stressed
+/// input: when the plain factorization of `a` fails, retries with
+/// `initial_jitter` added to the diagonal, escalating by 100x per attempt
+/// up to `max_jitter`, and only then reports FailedPrecondition. A
+/// well-conditioned matrix factors on the first (jitter-free) attempt, so
+/// healthy chains are bit-identical to Cholesky::Factor; a marginally
+/// non-PD posterior (round-off, collapsed topics) degrades gracefully
+/// instead of aborting a long sampler run. Matrices containing NaN/Inf are
+/// rejected outright — jitter cannot repair them.
+texrheo::StatusOr<Cholesky> CholeskyWithJitter(const Matrix& a,
+                                               double initial_jitter = 1e-10,
+                                               double max_jitter = 1e-6);
+
 /// Inverse of a symmetric positive-definite matrix; FailedPrecondition when
 /// the Cholesky factorization fails.
 texrheo::StatusOr<Matrix> InversePD(const Matrix& a);

@@ -33,7 +33,7 @@ texrheo::StatusOr<StudentT> StudentT::Create(Vector mean, Matrix scale_matrix,
       scale_matrix.rows() != scale_matrix.cols()) {
     return Status::InvalidArgument("Student-t dimension mismatch");
   }
-  TEXRHEO_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Factor(scale_matrix));
+  TEXRHEO_ASSIGN_OR_RETURN(Cholesky chol, CholeskyWithJitter(scale_matrix));
   StudentT t(std::move(mean), chol.Inverse(), chol.LogDet(), dof);
   t.scale_ = std::move(scale_matrix);
   return t;

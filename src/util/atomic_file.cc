@@ -1,0 +1,103 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace texrheo {
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<int> FileOps::OpenForWrite(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open", path));
+  return fd;
+}
+
+StatusOr<size_t> FileOps::Write(int fd, const void* data, size_t size) {
+  ssize_t n = ::write(fd, data, size);
+  if (n < 0) return Status::IOError(ErrnoMessage("write failed, fd", std::to_string(fd)));
+  return static_cast<size_t>(n);
+}
+
+Status FileOps::Sync(int fd) {
+  if (::fsync(fd) != 0) {
+    return Status::IOError(ErrnoMessage("fsync failed, fd", std::to_string(fd)));
+  }
+  return Status::OK();
+}
+
+Status FileOps::Close(int fd) {
+  if (::close(fd) != 0) {
+    return Status::IOError(ErrnoMessage("close failed, fd", std::to_string(fd)));
+  }
+  return Status::OK();
+}
+
+Status FileOps::Rename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("rename failed:", from + " -> " + to));
+  }
+  return Status::OK();
+}
+
+Status FileOps::Remove(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("remove failed:", path));
+  }
+  return Status::OK();
+}
+
+FileOps& FileOps::Real() {
+  static FileOps& ops = *new FileOps();
+  return ops;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view content,
+                       FileOps& ops) {
+  const std::string tmp = path + ".tmp";
+  auto fd_or = ops.OpenForWrite(tmp);
+  if (!fd_or.ok()) return fd_or.status();
+  int fd = *fd_or;
+
+  // On any failure below: best-effort close + remove of the temp file, then
+  // propagate the original error. The target path is never touched.
+  auto fail = [&](Status status) {
+    (void)ops.Close(fd);
+    (void)ops.Remove(tmp);
+    return status;
+  };
+
+  size_t written = 0;
+  while (written < content.size()) {
+    auto n = ops.Write(fd, content.data() + written, content.size() - written);
+    if (!n.ok()) return fail(n.status());
+    if (*n == 0) {
+      return fail(Status::IOError("write made no progress: " + tmp));
+    }
+    written += *n;
+  }
+  Status sync = ops.Sync(fd);
+  if (!sync.ok()) return fail(sync);
+  Status close = ops.Close(fd);
+  if (!close.ok()) {
+    (void)ops.Remove(tmp);
+    return close;
+  }
+  Status rename = ops.Rename(tmp, path);
+  if (!rename.ok()) {
+    (void)ops.Remove(tmp);
+    return rename;
+  }
+  return Status::OK();
+}
+
+}  // namespace texrheo

@@ -1,0 +1,46 @@
+#ifndef TEXRHEO_UTIL_ATOMIC_FILE_H_
+#define TEXRHEO_UTIL_ATOMIC_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace texrheo {
+
+/// Seam over the handful of POSIX file operations the durable-write path
+/// needs. Production code uses Real(); tests subclass it to inject short
+/// writes, ENOSPC, crash-before-rename, and corruption, so the recovery
+/// logic can be exercised without an actual power cut.
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// Opens `path` for writing (create + truncate). Returns a descriptor.
+  virtual StatusOr<int> OpenForWrite(const std::string& path);
+  /// Writes up to `size` bytes; may write fewer (short write), like write(2).
+  virtual StatusOr<size_t> Write(int fd, const void* data, size_t size);
+  /// Flushes file contents to stable storage.
+  virtual Status Sync(int fd);
+  virtual Status Close(int fd);
+  /// Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual Status Rename(const std::string& from, const std::string& to);
+  virtual Status Remove(const std::string& path);
+
+  /// Shared pass-through instance backed by the real filesystem.
+  static FileOps& Real();
+};
+
+/// Durably replaces `path` with `content`: writes `path`.tmp, fsyncs,
+/// closes, then renames over `path`. On any failure the temp file is
+/// removed and `path` is left untouched (a previous version, if any,
+/// survives intact). Short writes from `ops` are retried until the content
+/// is fully written or an error is returned.
+Status AtomicWriteFile(const std::string& path, std::string_view content,
+                       FileOps& ops = FileOps::Real());
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_ATOMIC_FILE_H_

@@ -1,0 +1,21 @@
+#ifndef TEXRHEO_UTIL_CRC32_H_
+#define TEXRHEO_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace texrheo {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`, the same
+/// checksum zlib's crc32() computes. Used to frame checkpoint files so a
+/// torn or bit-flipped snapshot is detected before any state is restored.
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_CRC32_H_

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace texrheo {
 namespace {
@@ -112,6 +113,22 @@ size_t Rng::NextCategorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  std::memcpy(&state.cached_gaussian_bits, &cached_gaussian_,
+              sizeof(cached_gaussian_));
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  std::memcpy(&cached_gaussian_, &state.cached_gaussian_bits,
+              sizeof(cached_gaussian_));
+}
 
 uint64_t Rng::StreamSeed(uint64_t seed, uint64_t stream) {
   // Mix the master seed first so nearby seeds land far apart, then fold in

@@ -76,6 +76,24 @@ class Rng {
     return Rng(StreamSeed(seed, stream));
   }
 
+  /// Complete serializable generator state: the four xoshiro words plus the
+  /// Marsaglia-polar spare deviate (its presence matters — dropping it would
+  /// desynchronize a restored chain by one NextGaussian() call). The double
+  /// travels as its raw bit pattern so a save/restore round trip is
+  /// bit-exact. Used by the checkpoint subsystem.
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    uint64_t cached_gaussian_bits = 0;
+  };
+
+  /// Captures the current state for checkpointing.
+  State SaveState() const;
+
+  /// Restores a previously captured state; the next draw continues exactly
+  /// where the saved generator left off.
+  void RestoreState(const State& state);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

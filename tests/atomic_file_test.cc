@@ -1,0 +1,139 @@
+#include "util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "fault_injection.h"
+#include "util/csv.h"
+
+namespace texrheo {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("atomic_file_test.txt");
+    fs::remove(path_);
+    fs::remove(path_ + ".tmp");
+  }
+  void TearDown() override {
+    fs::remove(path_);
+    fs::remove(path_ + ".tmp");
+  }
+  std::string path_;
+};
+
+TEST_F(AtomicFileTest, WritesContent) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "hello durable world").ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello durable world");
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, EmptyContentIsValid) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "").ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST_F(AtomicFileTest, OverwriteReplacesContent) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "version 1").ok());
+  ASSERT_TRUE(AtomicWriteFile(path_, "version 2").ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "version 2");
+}
+
+TEST_F(AtomicFileTest, ShortWritesAreRetriedToCompletion) {
+  FaultInjectingFileOps ops;
+  ops.max_write_bytes = 7;
+  std::string content(100, 'x');
+  content += "tail-marker";
+  ASSERT_TRUE(AtomicWriteFile(path_, content, ops).ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, content);
+  EXPECT_GT(ops.write_calls, 10);
+}
+
+TEST_F(AtomicFileTest, ZeroProgressWriteFailsInsteadOfSpinning) {
+  FaultInjectingFileOps ops;
+  ops.write_returns_zero = true;
+  Status status = AtomicWriteFile(path_, "content", ops);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(fs::exists(path_));
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, WriteFailureLeavesOldFileIntact) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "the good old version").ok());
+  FaultInjectingFileOps ops;
+  ops.fail_write_after = 0;  // Disk full from the first byte.
+  Status status = AtomicWriteFile(path_, "half-written replacement", ops);
+  EXPECT_FALSE(status.ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "the good old version");
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, MidStreamDiskFullLeavesOldFileIntact) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "the good old version").ok());
+  FaultInjectingFileOps ops;
+  ops.max_write_bytes = 4;
+  ops.fail_write_after = 3;  // A few chunks land, then the disk fills.
+  Status status = AtomicWriteFile(path_, std::string(64, 'y'), ops);
+  EXPECT_FALSE(status.ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "the good old version");
+}
+
+TEST_F(AtomicFileTest, SyncFailurePropagatesAndPreservesTarget) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "the good old version").ok());
+  FaultInjectingFileOps ops;
+  ops.fail_sync = true;
+  EXPECT_FALSE(AtomicWriteFile(path_, "unsynced", ops).ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "the good old version");
+}
+
+TEST_F(AtomicFileTest, CrashBeforeRenameLeavesOldFileIntact) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "the good old version").ok());
+  FaultInjectingFileOps ops;
+  ops.crash_before_rename = true;
+  ops.skip_remove = true;  // A dead process cannot clean up either.
+  EXPECT_FALSE(AtomicWriteFile(path_, "never renamed", ops).ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "the good old version");
+  // The orphaned temp file is the expected crash debris.
+  EXPECT_TRUE(fs::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, OpenFailurePropagates) {
+  FaultInjectingFileOps ops;
+  ops.fail_open = true;
+  EXPECT_FALSE(AtomicWriteFile(path_, "content", ops).ok());
+  EXPECT_FALSE(fs::exists(path_));
+}
+
+TEST_F(AtomicFileTest, WritesIntoMissingDirectoryFails) {
+  Status status =
+      AtomicWriteFile("/nonexistent-texrheo-dir/file.txt", "content");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace texrheo

@@ -1,0 +1,86 @@
+// FileOps decorator that injects storage faults (short writes, ENOSPC,
+// fsync failures, crash-before-rename) into the atomic-write path. Shared
+// by the atomic-file, serialization, and checkpoint test suites.
+
+#ifndef TEXRHEO_TESTS_FAULT_INJECTION_H_
+#define TEXRHEO_TESTS_FAULT_INJECTION_H_
+
+#include <algorithm>
+#include <string>
+
+#include "util/atomic_file.h"
+#include "util/status.h"
+
+namespace texrheo {
+
+class FaultInjectingFileOps : public FileOps {
+ public:
+  // Fault knobs. All default to "behave like the real filesystem".
+  bool fail_open = false;
+  /// Fail every Write call with index >= this (0-based; -1 = never), like
+  /// a disk that runs out of space mid-file.
+  int fail_write_after = -1;
+  /// When > 0, every Write is short: at most this many bytes land.
+  size_t max_write_bytes = 0;
+  /// When set, Write reports 0 bytes written without failing — a
+  /// pathological short write the caller must not spin on forever.
+  bool write_returns_zero = false;
+  bool fail_sync = false;
+  /// Rename fails as if the process died between fsync and rename.
+  bool crash_before_rename = false;
+  /// Remove silently does nothing (a crashed process cannot clean its temp
+  /// file either) — pair with crash_before_rename to leave a *.tmp behind.
+  bool skip_remove = false;
+  bool fail_remove = false;
+
+  // Observability.
+  int open_calls = 0;
+  int write_calls = 0;
+  int rename_calls = 0;
+  int remove_calls = 0;
+  std::string last_open_path;
+
+  StatusOr<int> OpenForWrite(const std::string& path) override {
+    ++open_calls;
+    last_open_path = path;
+    if (fail_open) return Status::IOError("injected: open failure");
+    return FileOps::Real().OpenForWrite(path);
+  }
+
+  StatusOr<size_t> Write(int fd, const void* data, size_t size) override {
+    int call = write_calls++;
+    if (fail_write_after >= 0 && call >= fail_write_after) {
+      return Status::IOError("injected: no space left on device");
+    }
+    if (write_returns_zero) return static_cast<size_t>(0);
+    size_t n = size;
+    if (max_write_bytes > 0) n = std::min(n, max_write_bytes);
+    return FileOps::Real().Write(fd, data, n);
+  }
+
+  Status Sync(int fd) override {
+    if (fail_sync) return Status::IOError("injected: fsync failure");
+    return FileOps::Real().Sync(fd);
+  }
+
+  Status Close(int fd) override { return FileOps::Real().Close(fd); }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    ++rename_calls;
+    if (crash_before_rename) {
+      return Status::IOError("injected: crash before rename");
+    }
+    return FileOps::Real().Rename(from, to);
+  }
+
+  Status Remove(const std::string& path) override {
+    ++remove_calls;
+    if (skip_remove) return Status::OK();
+    if (fail_remove) return Status::IOError("injected: remove failure");
+    return FileOps::Real().Remove(path);
+  }
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_TESTS_FAULT_INJECTION_H_

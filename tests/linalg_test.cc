@@ -168,6 +168,47 @@ TEST(CholeskyTest, RejectsNonSquare) {
   EXPECT_FALSE(Cholesky::Factor(Matrix(2, 3)).ok());
 }
 
+TEST(CholeskyWithJitterTest, HealthyMatrixFactorsBitExactly) {
+  Matrix spd(2, 2);
+  spd(0, 0) = 4.0;
+  spd(0, 1) = 1.0;
+  spd(1, 0) = 1.0;
+  spd(1, 1) = 3.0;
+  auto plain = Cholesky::Factor(spd);
+  auto jittered = CholeskyWithJitter(spd);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(jittered.ok());
+  // The jitter-free first attempt must be taken: identical factors.
+  EXPECT_TRUE(plain->L() == jittered->L());
+}
+
+TEST(CholeskyWithJitterTest, RepairsBarelySingularMatrix) {
+  // Rank-1 PSD matrix: plain Cholesky fails, a tiny diagonal bump fixes it.
+  Matrix psd(2, 2);
+  psd(0, 0) = 1.0;
+  psd(0, 1) = 1.0;
+  psd(1, 0) = 1.0;
+  psd(1, 1) = 1.0;
+  EXPECT_FALSE(Cholesky::Factor(psd).ok());
+  auto repaired = CholeskyWithJitter(psd);
+  EXPECT_TRUE(repaired.ok()) << repaired.status().ToString();
+}
+
+TEST(CholeskyWithJitterTest, RejectsClearlyIndefiniteMatrix) {
+  Matrix indefinite = Matrix::Diagonal({1.0, -3.0});
+  auto attempt = CholeskyWithJitter(indefinite);
+  EXPECT_FALSE(attempt.ok());
+  EXPECT_EQ(attempt.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyWithJitterTest, RejectsNonFiniteEntriesOutright) {
+  Matrix poisoned = Matrix::Identity(2, 1.0);
+  poisoned(1, 0) = std::nan("");
+  auto attempt = CholeskyWithJitter(poisoned);
+  ASSERT_FALSE(attempt.ok());
+  EXPECT_NE(attempt.status().message().find("non-finite"), std::string::npos);
+}
+
 TEST(QuadraticFormTest, HandComputed) {
   Matrix a = Matrix::Identity(2, 2.0);
   // (x - mu)^T A (x - mu) with diff (1, 2): 2*1 + 2*4 = 10.

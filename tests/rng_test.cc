@@ -141,5 +141,38 @@ TEST(RngTest, NextUniformRange) {
   }
 }
 
+TEST(RngTest, SaveRestoreRoundTripsBitExactly) {
+  Rng rng(44);
+  // Burn a few draws so the state is mid-stream.
+  for (int i = 0; i < 17; ++i) rng.NextU64();
+  Rng::State state = rng.SaveState();
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 32; ++i) expected.push_back(rng.NextU64());
+
+  Rng restored(999);  // Different seed; RestoreState must overwrite fully.
+  restored.RestoreState(state);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(restored.NextU64(), expected[static_cast<size_t>(i)]) << i;
+  }
+}
+
+TEST(RngTest, SaveRestorePreservesCachedGaussianSpare) {
+  Rng rng(45);
+  // An odd number of NextGaussian() calls leaves a Marsaglia-polar spare
+  // cached; dropping it would desynchronize a restored chain by one draw.
+  rng.NextGaussian();
+  Rng::State state = rng.SaveState();
+  EXPECT_TRUE(state.has_cached_gaussian);
+  std::vector<double> expected;
+  for (int i = 0; i < 8; ++i) expected.push_back(rng.NextGaussian());
+
+  Rng restored(999);
+  restored.RestoreState(state);
+  for (int i = 0; i < 8; ++i) {
+    // Bit-exact equality, not approximate.
+    EXPECT_EQ(restored.NextGaussian(), expected[static_cast<size_t>(i)]) << i;
+  }
+}
+
 }  // namespace
 }  // namespace texrheo

@@ -8,7 +8,10 @@
 #include <cmath>
 #include <string>
 
+#include "core/checkpoint.h"
+#include "core/joint_topic_model.h"
 #include "core/serialization.h"
+#include "recipe/dataset.h"
 #include "recipe/recipe.h"
 #include "recipe/units.h"
 #include "text/tokenizer.h"
@@ -23,9 +26,13 @@ std::string RandomBytes(Rng& rng, size_t max_len) {
   std::string s;
   s.reserve(len);
   for (size_t i = 0; i < len; ++i) {
-    // Printable-ish byte soup plus the delimiters parsers care about.
+    // Printable-ish byte soup plus the delimiters parsers care about,
+    // spiked with NULs, high bytes, and invalid UTF-8 lead/continuation
+    // bytes so parsers see genuinely hostile input too.
     static constexpr char kAlphabet[] =
-        "abcdefghijklmnopqrstuvwxyz0123456789 \t\n\".,;=/-+eE";
+        "abcdefghijklmnopqrstuvwxyz0123456789 \t\n\".,;=/-+eE"
+        "\x00\x01\x7f\x80\xbf\xc0\xe0\xf0\xfe\xff";
+    // sizeof - 1 drops only the terminating NUL; the embedded one stays.
     s.push_back(kAlphabet[rng.NextUint(sizeof(kAlphabet) - 1)]);
   }
   return s;
@@ -90,10 +97,24 @@ TEST_P(FuzzSeedTest, RecipeRowParserNeverCrashes) {
 TEST_P(FuzzSeedTest, ModelDeserializerNeverCrashes) {
   Rng rng(static_cast<uint64_t>(GetParam()) + 4000);
   for (int i = 0; i < 200; ++i) {
-    std::string content = "texrheo-model 1\n" + RandomBytes(rng, 200);
+    std::string content = "texrheo-model 2\n" + RandomBytes(rng, 200);
     auto snapshot = core::DeserializeModel(content);
     // Virtually all random bodies are rejected; none may crash.
     (void)snapshot;
+  }
+}
+
+TEST_P(FuzzSeedTest, CheckpointDecoderNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 6000);
+  for (int i = 0; i < 200; ++i) {
+    auto state = core::DecodeCheckpoint(RandomBytes(rng, 400));
+    EXPECT_FALSE(state.ok());  // Random soup never checksums.
+  }
+  // Byte soup behind a valid frame header must be rejected cleanly too:
+  // the length/CRC fields are attacker-controlled.
+  for (int i = 0; i < 200; ++i) {
+    std::string framed = "TXRCKPT1" + RandomBytes(rng, 400);
+    EXPECT_FALSE(core::DecodeCheckpoint(framed).ok());
   }
 }
 
@@ -110,6 +131,50 @@ TEST_P(FuzzSeedTest, TokenizerHandlesArbitraryText) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest, ::testing::Range(0, 5));
+
+// Truncation fuzz: a crash can cut a file at *any* byte; every strict
+// prefix of both durable formats must be rejected, never half-loaded.
+TEST(RobustnessTest, TruncatedModelAndCheckpointFilesAreAlwaysRejected) {
+  core::ModelSnapshot snapshot;
+  snapshot.vocab.Add("purupuru");
+  snapshot.vocab.Add("fuwafuwa");
+  snapshot.estimates.phi = {{0.6, 0.4}};
+  snapshot.estimates.gel_topics.push_back(
+      math::Gaussian::FromPrecision({1.0}, math::Matrix::Identity(1))
+          .value());
+  snapshot.estimates.emulsion_topics.push_back(
+      math::Gaussian::FromPrecision({0.0}, math::Matrix::Identity(1))
+          .value());
+  snapshot.estimates.topic_recipe_count = {2};
+  std::string model_bytes = core::SerializeModel(snapshot);
+  for (size_t len = 0; len < model_bytes.size(); ++len) {
+    EXPECT_FALSE(core::DeserializeModel(model_bytes.substr(0, len)).ok())
+        << "model prefix of length " << len << " accepted";
+  }
+
+  recipe::Dataset ds;
+  ds.term_vocab.Add("w0");
+  recipe::Document doc;
+  doc.recipe_index = 0;
+  doc.term_ids = {0};
+  doc.gel_feature = math::Vector(1, 1.0);
+  doc.emulsion_feature = math::Vector(1, 0.0);
+  doc.gel_concentration = math::Vector(1, 0.01);
+  doc.emulsion_concentration = math::Vector(1, 0.1);
+  ds.documents.push_back(std::move(doc));
+  core::JointTopicModelConfig config;
+  config.num_topics = 1;
+  config.seed = 4;
+  auto model = core::JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(model.ok());
+  std::string ckpt_bytes = core::EncodeCheckpoint(model->CaptureCheckpoint());
+  for (size_t len = 0; len < ckpt_bytes.size(); ++len) {
+    EXPECT_FALSE(
+        core::DecodeCheckpoint(std::string_view(ckpt_bytes).substr(0, len))
+            .ok())
+        << "checkpoint prefix of length " << len << " accepted";
+  }
+}
 
 TEST(RobustnessTest, QuantityParserEdgeInputs) {
   // Handcrafted adversarial inputs.

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "fault_injection.h"
+#include "util/csv.h"
 
 namespace texrheo::core {
 namespace {
@@ -82,6 +87,8 @@ TEST(SerializationTest, RejectsGarbage) {
   EXPECT_FALSE(DeserializeModel("").ok());
   EXPECT_FALSE(DeserializeModel("not-a-model 1\n").ok());
   EXPECT_FALSE(DeserializeModel("texrheo-model 99\n").ok());
+  // Format 1 predates the 'end' sentinel; refuse rather than mis-parse.
+  EXPECT_FALSE(DeserializeModel("texrheo-model 1\nvocab 0\ntopics 0 0\n").ok());
 }
 
 TEST(SerializationTest, RejectsTruncatedFile) {
@@ -89,6 +96,83 @@ TEST(SerializationTest, RejectsTruncatedFile) {
   // Chop off the last gaussian lines.
   std::string truncated = content.substr(0, content.size() / 2);
   EXPECT_FALSE(DeserializeModel(truncated).ok());
+}
+
+TEST(SerializationTest, RejectsEveryStrictPrefix) {
+  std::string content = SerializeModel(SampleSnapshot());
+  ASSERT_GT(content.size(), 100u);
+  for (size_t len = 0; len < content.size(); ++len) {
+    auto loaded = DeserializeModel(content.substr(0, len));
+    EXPECT_FALSE(loaded.ok()) << "prefix of length " << len << " accepted";
+  }
+}
+
+TEST(SerializationTest, RejectsContentAfterEndMarker) {
+  std::string content = SerializeModel(SampleSnapshot());
+  EXPECT_FALSE(DeserializeModel(content + "stray trailing line\n").ok());
+}
+
+TEST(SerializationTest, ErrorsCarryLineNumbersAndExcerpts) {
+  std::string content = SerializeModel(SampleSnapshot());
+
+  // Header on line 1.
+  auto bad_header = DeserializeModel("texrheo-model zero\nrest\n");
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_NE(bad_header.status().message().find("line 1"), std::string::npos)
+      << bad_header.status().ToString();
+
+  // Corrupt the vocab count (line 2: "vocab 3").
+  std::string bad = content;
+  size_t pos = bad.find("vocab 3");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 7, "vocab x");
+  auto loaded = DeserializeModel(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+      << loaded.status().ToString();
+  // The offending line is excerpted in the message.
+  EXPECT_NE(loaded.status().message().find("vocab x"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(SerializationTest, MissingEndMarkerNamesTheLastLine) {
+  std::string content = SerializeModel(SampleSnapshot());
+  // Drop the "end\n" sentinel but keep the file newline-terminated.
+  size_t pos = content.rfind("end\n");
+  ASSERT_NE(pos, std::string::npos);
+  auto loaded = DeserializeModel(content.substr(0, pos));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("end"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(SerializationTest, SaveModelCrashBeforeRenameKeepsOldModel) {
+  std::string path = testing::TempDir() + "/texrheo_atomic_model.txt";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+  ModelSnapshot original = SampleSnapshot();
+  ASSERT_TRUE(SaveModel(path, original).ok());
+  auto before = ReadFileToString(path);
+  ASSERT_TRUE(before.ok());
+
+  // The process dies between fsync and rename; the temp file cannot be
+  // cleaned up either.
+  ModelSnapshot changed = SampleSnapshot();
+  changed.vocab.Add("tsurutsuru");
+  FaultInjectingFileOps ops;
+  ops.crash_before_rename = true;
+  ops.skip_remove = true;
+  EXPECT_FALSE(SaveModel(path, changed, ops).ok());
+
+  // The previously saved model is untouched and still loads.
+  auto after = ReadFileToString(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->vocab.size(), 3u);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
 }
 
 TEST(SerializationTest, RejectsCorruptedPrecision) {
