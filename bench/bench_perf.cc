@@ -8,6 +8,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include <thread>
+#include <vector>
+
 #include "core/checkpoint.h"
 #include "core/collapsed_sampler.h"
 #include "core/joint_topic_model.h"
@@ -18,6 +21,8 @@
 #include "math/distributions.h"
 #include "recipe/dataset.h"
 #include "rules/transactions.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
 #include "rheology/rheometer.h"
 #include "text/tokenizer.h"
 #include "text/word2vec.h"
@@ -358,6 +363,166 @@ void BM_CheckpointSaveRestore(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CheckpointSaveRestore)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- Serving-layer benchmarks (BM_QueryEngine*) ------------------------
+//
+// ci.sh --bench filters on 'BM_QueryEngine' and writes the JSON to
+// bench/out/serve.json. The pair FoldIn / CachedHit is the acceptance
+// check for the result cache: the cached p50 must be >= 10x faster than
+// the uncached fold-in path (compare "p50_us" across the two entries).
+
+std::shared_ptr<const serve::ServingSnapshot> SharedServingSnapshot() {
+  static auto& snapshot =
+      *new std::shared_ptr<const serve::ServingSnapshot>([] {
+        const recipe::Dataset& ds = SharedDataset(4000);
+        core::JointTopicModelConfig config;
+        config.num_topics = 10;
+        config.sweeps = 30;
+        auto model = core::JointTopicModel::Create(config, &ds);
+        if (!model.ok() || !model->Train().ok()) {
+          return std::shared_ptr<const serve::ServingSnapshot>();
+        }
+        core::ModelSnapshot snap =
+            core::MakeSnapshot(model->Estimate(), ds.term_vocab);
+        auto serving = serve::ServingSnapshot::FromModel(snap, "bench");
+        return serving.ok()
+                   ? *serving
+                   : std::shared_ptr<const serve::ServingSnapshot>();
+      }());
+  return snapshot;
+}
+
+serve::TextureQuery BenchQuery() {
+  serve::TextureQuery query;
+  query.gel_concentration = math::Vector(recipe::kNumGelTypes);
+  query.gel_concentration[0] = 0.012;
+  query.texture_terms = {"purupuru", "fuwafuwa"};
+  return query;
+}
+
+// Uncached PredictTexture: cache disabled, so every iteration pays the
+// full eq.-5 fold-in through the batcher.
+void BM_QueryEngineFoldIn(benchmark::State& state) {
+  auto snapshot = SharedServingSnapshot();
+  if (snapshot == nullptr) {
+    state.SkipWithError("serving snapshot setup failed");
+    return;
+  }
+  serve::QueryEngineConfig config;
+  config.cache_capacity = 0;
+  config.batch_linger_micros = 0;
+  auto engine = serve::QueryEngine::Create(config, snapshot, nullptr);
+  if (!engine.ok()) {
+    state.SkipWithError("engine create failed");
+    return;
+  }
+  serve::TextureQuery query = BenchQuery();
+  for (auto _ : state) {
+    auto prediction = (*engine)->PredictTexture(query);
+    if (!prediction.ok()) {
+      state.SkipWithError("predict failed");
+      return;
+    }
+    benchmark::DoNotOptimize(prediction->topic);
+  }
+  serve::QueryEngineStats stats = (*engine)->GetStats();
+  state.counters["queries_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["p50_us"] =
+      static_cast<double>(stats.predict.QuantileUpperBound(0.5));
+  state.counters["cache_hit_rate"] = stats.cache.HitRate();
+}
+BENCHMARK(BM_QueryEngineFoldIn)->Unit(benchmark::kMicrosecond);
+
+// Cached PredictTexture: the same canonical query repeated, so after the
+// primer every iteration is an LRU hit.
+void BM_QueryEngineCachedHit(benchmark::State& state) {
+  auto snapshot = SharedServingSnapshot();
+  if (snapshot == nullptr) {
+    state.SkipWithError("serving snapshot setup failed");
+    return;
+  }
+  serve::QueryEngineConfig config;
+  config.batch_linger_micros = 0;
+  auto engine = serve::QueryEngine::Create(config, snapshot, nullptr);
+  if (!engine.ok()) {
+    state.SkipWithError("engine create failed");
+    return;
+  }
+  serve::TextureQuery query = BenchQuery();
+  if (!(*engine)->PredictTexture(query).ok()) {  // Prime the cache.
+    state.SkipWithError("primer predict failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto prediction = (*engine)->PredictTexture(query);
+    if (!prediction.ok() || !prediction->from_cache) {
+      state.SkipWithError("expected a cache hit");
+      return;
+    }
+    benchmark::DoNotOptimize(prediction->topic);
+  }
+  serve::QueryEngineStats stats = (*engine)->GetStats();
+  state.counters["queries_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["p50_us"] =
+      static_cast<double>(stats.predict.QuantileUpperBound(0.5));
+  state.counters["cache_hit_rate"] = stats.cache.HitRate();
+}
+BENCHMARK(BM_QueryEngineCachedHit)->Unit(benchmark::kMicrosecond);
+
+// Concurrent load through the micro-batcher: each iteration fires
+// kClients threads x kPerClient uncached queries with a live linger
+// window, so concurrent fold-ins coalesce into shared batches.
+// "mean_batch_size" (jobs / batches dispatched) is the grouping the
+// batcher actually achieved under this load.
+void BM_QueryEngineConcurrent(benchmark::State& state) {
+  auto snapshot = SharedServingSnapshot();
+  if (snapshot == nullptr) {
+    state.SkipWithError("serving snapshot setup failed");
+    return;
+  }
+  serve::QueryEngineConfig config;
+  config.cache_capacity = 0;
+  config.batch_linger_micros = 200;
+  config.batch_max_size = 8;
+  auto engine = serve::QueryEngine::Create(config, snapshot, nullptr);
+  if (!engine.ok()) {
+    state.SkipWithError("engine create failed");
+    return;
+  }
+  constexpr int kClients = 4;
+  const int per_client = static_cast<int>(state.range(0));
+  serve::TextureQuery query = BenchQuery();
+  for (auto _ : state) {
+    auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        for (int i = 0; i < per_client; ++i) {
+          auto prediction = (*engine)->PredictTexture(query);
+          benchmark::DoNotOptimize(prediction);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count());
+  }
+  serve::QueryEngineStats stats = (*engine)->GetStats();
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kClients * per_client),
+      benchmark::Counter::kIsRate);
+  state.counters["mean_batch_size"] = stats.batcher.MeanBatchSize();
+  state.counters["shed"] = static_cast<double>(stats.batcher.shed);
+}
+BENCHMARK(BM_QueryEngineConcurrent)
+    ->Arg(8)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI driver: tier-1 verify (full build + ctest), a ThreadSanitizer pass over
-# the concurrency-sensitive tests, an ASan+UBSan pass over the
-# serialization / checkpoint / fault-injection paths, and the Gibbs-sweep
-# scaling benchmark with JSON output.
+# the concurrency-sensitive tests (including the serving layer), an
+# ASan+UBSan pass over the serialization / checkpoint / fault-injection
+# paths plus a texrheo_serve smoke session (toy model, scripted queries,
+# clean shutdown), and the Gibbs-sweep / serving benchmarks with JSON
+# output.
 #
 # Usage:
 #   ./ci.sh            # tier-1 + TSan + ASan/UBSan
@@ -34,9 +36,10 @@ echo "==> TSan: rebuild concurrency-sensitive targets with -fsanitize=thread"
 # A separate build tree keeps the sanitizer objects out of the main build.
 cmake -B build-tsan -S . -DTEXRHEO_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target thread_pool_test geweke_test sampler_exactness_test
+  --target thread_pool_test geweke_test sampler_exactness_test \
+  query_engine_test serve_snapshot_test joint_topic_model_test
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(thread_pool_test|geweke_test|sampler_exactness_test)$')
+  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test)$')
 
 echo "==> ASan/UBSan: rebuild durability-sensitive targets with -fsanitize=address,undefined"
 cmake -B build-asan -S . -DTEXRHEO_SANITIZE=address >/dev/null
@@ -44,6 +47,13 @@ cmake --build build-asan -j "$JOBS" \
   --target serialization_test robustness_test checkpoint_test atomic_file_test
 (cd build-asan && ctest --output-on-failure \
   -R '^(serialization_test|robustness_test|checkpoint_test|atomic_file_test)$')
+
+echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
+# Trains a small toy model, runs the scripted query session (PREDICT /
+# NEAREST / SIMILAR / TOPIC / RELOAD / STATSZ) over real sockets, and
+# exits; ASan makes shutdown leaks and use-after-frees fatal.
+cmake --build build-asan -j "$JOBS" --target texrheo_serve
+./build-asan/src/serve/texrheo_serve --toy --toy-scale=0.03 --selftest
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "==> bench: Gibbs sweep scaling at 1/2/4/8 threads"
@@ -60,6 +70,12 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     --benchmark_out=bench/out/checkpoint.json \
     --benchmark_out_format=json
   echo "wrote bench/out/checkpoint.json"
+  echo "==> bench: query engine (fold-in vs cached, batching under load)"
+  ./build/bench/bench_perf \
+    --benchmark_filter='BM_QueryEngine' \
+    --benchmark_out=bench/out/serve.json \
+    --benchmark_out_format=json
+  echo "wrote bench/out/serve.json"
 fi
 
 echo "==> CI passed"

@@ -699,7 +699,7 @@ math::Vector JointTopicModel::TopicGelFeatureMean(int k) const {
 }
 
 texrheo::StatusOr<std::vector<double>> JointTopicModel::FoldInTheta(
-    const recipe::Document& doc, int fold_in_sweeps) {
+    const recipe::Document& doc, int fold_in_sweeps, Rng& rng) const {
   if (fold_in_sweeps < 1) {
     return Status::InvalidArgument("fold-in: sweeps must be >= 1");
   }
@@ -716,12 +716,12 @@ texrheo::StatusOr<std::vector<double>> JointTopicModel::FoldInTheta(
   std::vector<int> local_z(doc.term_ids.size());
   std::vector<int> local_n_k(static_cast<size_t>(k_count), 0);
   for (size_t n = 0; n < doc.term_ids.size(); ++n) {
-    int k = static_cast<int>(rng_.NextUint(static_cast<uint64_t>(k_count)));
+    int k = static_cast<int>(rng.NextUint(static_cast<uint64_t>(k_count)));
     local_z[n] = k;
     ++local_n_k[static_cast<size_t>(k)];
   }
   int local_y =
-      static_cast<int>(rng_.NextUint(static_cast<uint64_t>(k_count)));
+      static_cast<int>(rng.NextUint(static_cast<uint64_t>(k_count)));
 
   std::vector<double> weights(static_cast<size_t>(k_count));
   std::vector<double> log_w(static_cast<size_t>(k_count));
@@ -737,7 +737,7 @@ texrheo::StatusOr<std::vector<double>> JointTopicModel::FoldInTheta(
             (static_cast<double>(n_kv_[ks][v]) + config_.gamma) /
             (static_cast<double>(n_k_[ks]) + gamma_v);
       }
-      local_z[n] = static_cast<int>(rng_.NextCategorical(weights));
+      local_z[n] = static_cast<int>(rng.NextCategorical(weights));
       ++local_n_k[static_cast<size_t>(local_z[n])];
     }
     for (int k = 0; k < k_count; ++k) {
@@ -755,7 +755,7 @@ texrheo::StatusOr<std::vector<double>> JointTopicModel::FoldInTheta(
       weights[static_cast<size_t>(k)] =
           std::exp(log_w[static_cast<size_t>(k)] - norm);
     }
-    local_y = static_cast<int>(rng_.NextCategorical(weights));
+    local_y = static_cast<int>(rng.NextCategorical(weights));
   }
 
   double n_d = static_cast<double>(doc.term_ids.size());

@@ -192,8 +192,23 @@ class JointTopicModel {
   /// `fold_in_sweeps`, then returns the eq.-5 theta estimate. This is the
   /// standard way to score or place recipes that were not in the training
   /// corpus.
+  ///
+  /// The read path is const and touches only frozen model state (count
+  /// caches, instantiated Gaussians, config); all per-document scratch is
+  /// local and the caller supplies the RNG, so any number of threads may
+  /// fold in documents concurrently against one model — each with its own
+  /// `rng` — as long as no thread is mutating the model (RunSweeps /
+  /// Restore / Resync). The serving layer and the TSan-covered
+  /// concurrent-query test rely on exactly this contract.
   texrheo::StatusOr<std::vector<double>> FoldInTheta(
-      const recipe::Document& doc, int fold_in_sweeps = 30);
+      const recipe::Document& doc, int fold_in_sweeps, Rng& rng) const;
+
+  /// Convenience overload drawing from the model's own master RNG stream
+  /// (non-const: advances the stream; single-threaded callers only).
+  texrheo::StatusOr<std::vector<double>> FoldInTheta(
+      const recipe::Document& doc, int fold_in_sweeps = 30) {
+    return FoldInTheta(doc, fold_in_sweeps, rng_);
+  }
 
   /// Snapshot of the complete sampler state (assignments, counts, RNG
   /// streams, instantiated Gaussians, likelihood trace) for checkpointing.

@@ -2,34 +2,66 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 namespace texrheo::core {
 namespace {
 
+/// Ensures a computed divergence is usable for ranking. A degenerate or
+/// near-singular topic covariance (collapsed topic, overflowed precision)
+/// yields Inf or NaN here; NaN in particular poisons every comparison and
+/// would silently scramble the ranking, so it becomes a clean Status
+/// instead.
+texrheo::StatusOr<double> CheckedScore(double score, const char* method) {
+  if (!std::isfinite(score)) {
+    return Status::FailedPrecondition(
+        std::string("degenerate topic Gaussian: non-finite ") + method +
+        " divergence");
+  }
+  return score;
+}
+
 texrheo::StatusOr<double> Divergence(const math::Vector& feature,
                                      const math::Gaussian& topic,
                                      const LinkageOptions& options) {
+  if (feature.size() != topic.mean().size()) {
+    return Status::InvalidArgument(
+        "linkage: feature dimension does not match topic Gaussian");
+  }
   switch (options.method) {
     case LinkageMethod::kGaussianKL: {
       if (options.measurement_sigma <= 0.0) {
         return Status::InvalidArgument("measurement_sigma must be positive");
       }
-      double precision =
-          1.0 / (options.measurement_sigma * options.measurement_sigma);
-      TEXRHEO_ASSIGN_OR_RETURN(
-          math::Gaussian wrapped,
-          math::Gaussian::FromPrecision(
-              feature, math::Matrix::Identity(feature.size(), precision)));
-      return math::GaussianKL(wrapped, topic);
+      // Closed-form KL(N(f, sigma^2 I) || topic). Re-factorizing the topic
+      // precision through the jitter ladder (instead of trusting the
+      // log-det cached at construction) is what turns a numerically
+      // stressed topic into a Status rather than a NaN ordering.
+      auto chol = math::CholeskyWithJitter(topic.precision());
+      if (!chol.ok()) {
+        return Status::FailedPrecondition(
+            "degenerate topic covariance: precision not factorizable (" +
+            chol.status().message() + ")");
+      }
+      double sigma2 = options.measurement_sigma * options.measurement_sigma;
+      double d = static_cast<double>(feature.size());
+      double trace_term = sigma2 * topic.precision().Trace();
+      double quad = math::QuadraticForm(topic.precision(), feature,
+                                        topic.mean());
+      double log_det_term = -d * std::log(sigma2) - chol->LogDet();
+      return CheckedScore(0.5 * (trace_term + quad - d + log_det_term),
+                          "Gaussian-KL");
     }
     case LinkageMethod::kNegLogDensity:
-      return -topic.LogPdf(feature);
+      return CheckedScore(-topic.LogPdf(feature), "neg-log-density");
     case LinkageMethod::kMahalanobis:
-      return math::QuadraticForm(topic.precision(), feature, topic.mean());
+      return CheckedScore(
+          math::QuadraticForm(topic.precision(), feature, topic.mean()),
+          "Mahalanobis");
     case LinkageMethod::kEuclidean: {
       math::Vector d = feature;
       d -= topic.mean();
-      return d.Norm();
+      return CheckedScore(d.Norm(), "Euclidean");
     }
   }
   return Status::Internal("unhandled linkage method");

@@ -1,0 +1,82 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace texrheo::serve {
+
+FoldInBatcher::FoldInBatcher(const Options& options, BatchFn run_batch)
+    : options_(options), run_batch_(std::move(run_batch)) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+FoldInBatcher::~FoldInBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+StatusOr<std::future<StatusOr<std::vector<double>>>> FoldInBatcher::Submit(
+    FoldInJob job) {
+  std::future<StatusOr<std::vector<double>>> future =
+      job.result.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::Unavailable("fold-in batcher is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      ++stats_.shed;
+      return Status::Unavailable("fold-in queue full (" +
+                                 std::to_string(options_.max_queue) +
+                                 " pending); retry later");
+    }
+    ++stats_.submitted;
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+void FoldInBatcher::DispatcherLoop() {
+  for (;;) {
+    std::vector<FoldInJob> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      if (options_.linger_micros > 0 &&
+          queue_.size() < options_.max_batch && !shutdown_) {
+        // Brief linger: near-simultaneous requests (N client threads firing
+        // together) coalesce into one dispatch instead of N.
+        work_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.linger_micros), [this] {
+              return shutdown_ || queue_.size() >= options_.max_batch;
+            });
+      }
+      size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.jobs_processed += take;
+      stats_.max_batch_size =
+          std::max<uint64_t>(stats_.max_batch_size, take);
+    }
+    run_batch_(batch);
+  }
+}
+
+FoldInBatcher::Stats FoldInBatcher::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace texrheo::serve

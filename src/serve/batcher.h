@@ -1,0 +1,107 @@
+#ifndef TEXRHEO_SERVE_BATCHER_H_
+#define TEXRHEO_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "math/linalg.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace texrheo::serve {
+
+/// One queued fold-in request. The job pins the snapshot that was current
+/// when the query was *admitted*: a hot reload between admission and
+/// dispatch must not re-map the already-resolved term ids onto a different
+/// vocabulary, and pinning is also what makes reload drain-free (in-flight
+/// work keeps its model alive via the shared_ptr).
+struct FoldInJob {
+  std::shared_ptr<const ServingSnapshot> snapshot;
+  std::vector<int32_t> term_ids;
+  math::Vector gel_feature;
+  /// Monotonic admission number; keys the job's private RNG stream, so a
+  /// fold-in's sampled theta does not depend on which batch it rode in.
+  uint64_t sequence = 0;
+  std::promise<StatusOr<std::vector<double>>> result;
+};
+
+/// Bounded fold-in queue with micro-batching and load shedding.
+///
+/// Concurrent PredictTexture misses enqueue here; a dedicated dispatcher
+/// thread collects up to `max_batch` jobs (lingering briefly after the
+/// first so near-simultaneous arrivals share a dispatch) and hands them to
+/// `run_batch` as one unit. Batching amortizes dispatch overhead and gives
+/// the engine a natural place to fan a batch across its ThreadPool.
+///
+/// Admission control is strict: when `max_queue` jobs are already waiting,
+/// Submit fails *immediately* with Unavailable instead of blocking — a
+/// serving layer that queues without bound converts overload into
+/// unbounded latency for everyone.
+class FoldInBatcher {
+ public:
+  struct Options {
+    size_t max_queue = 256;
+    size_t max_batch = 16;
+    /// How long the dispatcher waits for companions after the first job of
+    /// a batch. 0 dispatches immediately (no artificial latency).
+    int linger_micros = 200;
+  };
+
+  /// Counters (monotonic except where noted).
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t shed = 0;  ///< Rejected by admission control.
+    uint64_t batches = 0;
+    uint64_t jobs_processed = 0;
+    uint64_t max_batch_size = 0;
+    double MeanBatchSize() const {
+      return batches == 0 ? 0.0 : static_cast<double>(jobs_processed) /
+                                      static_cast<double>(batches);
+    }
+  };
+
+  using BatchFn = std::function<void(std::vector<FoldInJob>& batch)>;
+
+  /// `run_batch` runs on the dispatcher thread and must fulfil every job's
+  /// promise (exactly once).
+  FoldInBatcher(const Options& options, BatchFn run_batch);
+
+  /// Drains every queued job through `run_batch`, then joins the
+  /// dispatcher. No admitted job is ever dropped.
+  ~FoldInBatcher();
+
+  FoldInBatcher(const FoldInBatcher&) = delete;
+  FoldInBatcher& operator=(const FoldInBatcher&) = delete;
+
+  /// Admits one fold-in job, or sheds with Unavailable when the queue is
+  /// full (or the batcher is shutting down). On success the caller waits
+  /// on the returned future.
+  StatusOr<std::future<StatusOr<std::vector<double>>>> Submit(FoldInJob job);
+
+  Stats GetStats() const;
+
+ private:
+  void DispatcherLoop();
+
+  const Options options_;
+  const BatchFn run_batch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Signals the dispatcher.
+  std::deque<FoldInJob> queue_;      // Guarded by mu_.
+  bool shutdown_ = false;            // Guarded by mu_.
+  Stats stats_;                      // Guarded by mu_.
+
+  std::thread dispatcher_;
+};
+
+}  // namespace texrheo::serve
+
+#endif  // TEXRHEO_SERVE_BATCHER_H_

@@ -1,0 +1,42 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace texrheo::serve {
+
+namespace {
+
+void AppendQuantized(const math::Vector& v, double quantum, char tag,
+                     std::string* out) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    long long q = std::llround(v[i] / quantum);
+    if (q == 0) continue;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%c%zu:%lld;", tag, i, q);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const math::Vector& gel_concentration,
+                              const math::Vector& emulsion_concentration,
+                              const std::vector<int32_t>& term_ids,
+                              double quantum) {
+  std::string key;
+  key.reserve(64);
+  AppendQuantized(gel_concentration, quantum, 'g', &key);
+  AppendQuantized(emulsion_concentration, quantum, 'e', &key);
+  std::vector<int32_t> sorted_terms = term_ids;
+  std::sort(sorted_terms.begin(), sorted_terms.end());
+  for (int32_t t : sorted_terms) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "t%d;", t);
+    key += buf;
+  }
+  return key;
+}
+
+}  // namespace texrheo::serve

@@ -1,0 +1,35 @@
+#ifndef TEXRHEO_SERVE_CACHE_H_
+#define TEXRHEO_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/linalg.h"
+
+namespace texrheo::serve {
+
+/// Canonical cache key for a texture query.
+///
+/// Two queries that denote the same recipe must hash identically no matter
+/// how the caller assembled them, so the key is built from:
+///  - concentrations *quantized* to `quantum` (callers sending 0.02 and
+///    0.020000001 — float noise, re-parsed text — land on one key),
+///  - emitted sparsely as (dimension, quantized-count) pairs in dimension
+///    order (ingredient order cannot leak in: the vectors are indexed by
+///    GelType / EmulsionType, and zero entries are skipped so a query that
+///    never mentions agar equals one that says agar=0),
+///  - term ids sorted ascending (texture terms are a bag, not a sequence,
+///    under eq. 5 fold-in: theta depends only on term counts).
+///
+/// Quantization is round-half-away-from-zero on value/quantum; quantum
+/// must be positive (a serving config with quantum <= 0 is rejected at
+/// engine construction).
+std::string CanonicalQueryKey(const math::Vector& gel_concentration,
+                              const math::Vector& emulsion_concentration,
+                              const std::vector<int32_t>& term_ids,
+                              double quantum);
+
+}  // namespace texrheo::serve
+
+#endif  // TEXRHEO_SERVE_CACHE_H_

@@ -1,0 +1,473 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "eval/figures.h"
+#include "recipe/features.h"
+#include "recipe/ingredient.h"
+#include "serve/cache.h"
+
+namespace texrheo::serve {
+
+namespace {
+
+/// Records wall time into a histogram at scope exit, so every return path
+/// of a query method is measured.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    hist_->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+math::Vector OrZeros(const math::Vector& v, size_t dim) {
+  return v.empty() ? math::Vector(dim) : v;
+}
+
+}  // namespace
+
+StatusOr<TextureQuery> QueryFromIngredients(
+    const std::vector<std::pair<std::string, double>>& ingredients,
+    std::vector<std::string> texture_terms) {
+  const recipe::IngredientDatabase& db =
+      recipe::IngredientDatabase::Embedded();
+  TextureQuery query;
+  query.gel_concentration = math::Vector(recipe::kNumGelTypes);
+  query.emulsion_concentration = math::Vector(recipe::kNumEmulsionTypes);
+  for (const auto& [name, concentration] : ingredients) {
+    if (concentration < 0.0 || concentration > 1.0 ||
+        !std::isfinite(concentration)) {
+      return Status::InvalidArgument("concentration of '" + name +
+                                     "' must be a ratio in [0, 1]");
+    }
+    const recipe::IngredientInfo* info = db.Find(name);
+    if (info == nullptr) {
+      return Status::InvalidArgument("unknown ingredient '" + name + "'");
+    }
+    switch (info->cls) {
+      case recipe::IngredientClass::kGel:
+        query.gel_concentration[static_cast<size_t>(info->gel_type)] +=
+            concentration;
+        break;
+      case recipe::IngredientClass::kEmulsion:
+        query.emulsion_concentration[static_cast<size_t>(
+            info->emulsion_type)] += concentration;
+        break;
+      case recipe::IngredientClass::kOther:
+        break;  // Not part of the model's concentration space.
+    }
+  }
+  query.texture_terms = std::move(texture_terms);
+  return query;
+}
+
+QueryEngine::QueryEngine(const QueryEngineConfig& config,
+                         const recipe::Dataset* corpus)
+    : config_(config), corpus_(corpus), cache_(config.cache_capacity) {}
+
+QueryEngine::~QueryEngine() = default;
+
+StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    const QueryEngineConfig& config,
+    std::shared_ptr<const ServingSnapshot> snapshot,
+    const recipe::Dataset* corpus) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("query engine: snapshot is null");
+  }
+  if (config.fold_in_sweeps < 1) {
+    return Status::InvalidArgument("query engine: fold_in_sweeps must be >= 1");
+  }
+  if (config.alpha <= 0.0) {
+    return Status::InvalidArgument("query engine: alpha must be positive");
+  }
+  if (config.cache_quantum <= 0.0) {
+    return Status::InvalidArgument(
+        "query engine: cache_quantum must be positive");
+  }
+  if (config.batch_max_size < 1 || config.max_queue < 1) {
+    return Status::InvalidArgument(
+        "query engine: batch_max_size and max_queue must be >= 1");
+  }
+  if (config.num_threads < 0) {
+    return Status::InvalidArgument("query engine: num_threads must be >= 0");
+  }
+  auto engine =
+      std::unique_ptr<QueryEngine>(new QueryEngine(config, corpus));
+  engine->state_ = BuildState(std::move(snapshot), corpus);
+  int threads = config.num_threads == 0 ? ThreadPool::HardwareConcurrency()
+                                        : config.num_threads;
+  engine->pool_ = std::make_unique<ThreadPool>(threads);
+  FoldInBatcher::Options batch_options;
+  batch_options.max_queue = config.max_queue;
+  batch_options.max_batch = config.batch_max_size;
+  batch_options.linger_micros = config.batch_linger_micros;
+  QueryEngine* raw = engine.get();
+  engine->batcher_ = std::make_unique<FoldInBatcher>(
+      batch_options,
+      [raw](std::vector<FoldInJob>& batch) { raw->RunBatch(batch); });
+  return engine;
+}
+
+std::shared_ptr<const QueryEngine::ServingState> QueryEngine::state() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+std::shared_ptr<const QueryEngine::ServingState> QueryEngine::BuildState(
+    std::shared_ptr<const ServingSnapshot> snapshot,
+    const recipe::Dataset* corpus) {
+  auto state = std::make_shared<ServingState>();
+  state->topic_docs.resize(static_cast<size_t>(snapshot->num_topics()));
+  if (corpus != nullptr) {
+    for (size_t d = 0; d < corpus->documents.size(); ++d) {
+      int k = snapshot->InferTopicForFeatures(
+          corpus->documents[d].gel_feature);
+      state->topic_docs[static_cast<size_t>(k)].push_back(d);
+    }
+  }
+  state->snapshot = std::move(snapshot);
+  return state;
+}
+
+std::vector<int32_t> QueryEngine::ResolveTerms(
+    const ServingSnapshot& snapshot, const std::vector<std::string>& terms) {
+  std::vector<int32_t> ids;
+  ids.reserve(terms.size());
+  for (const std::string& term : terms) {
+    int32_t id = snapshot.model().vocab.IdOf(term);
+    if (id == text::Vocabulary::kUnknownId) {
+      unknown_terms_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Status QueryEngine::ValidateQuery(const TextureQuery& query) const {
+  if (!query.gel_concentration.empty() &&
+      query.gel_concentration.size() != recipe::kNumGelTypes) {
+    return Status::InvalidArgument("gel concentration must have dimension " +
+                                   std::to_string(recipe::kNumGelTypes));
+  }
+  if (!query.emulsion_concentration.empty() &&
+      query.emulsion_concentration.size() != recipe::kNumEmulsionTypes) {
+    return Status::InvalidArgument(
+        "emulsion concentration must have dimension " +
+        std::to_string(recipe::kNumEmulsionTypes));
+  }
+  auto finite_ratios = [](const math::Vector& v) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (!std::isfinite(v[i]) || v[i] < 0.0 || v[i] > 1.0) return false;
+    }
+    return true;
+  };
+  if (!finite_ratios(query.gel_concentration) ||
+      !finite_ratios(query.emulsion_concentration)) {
+    return Status::InvalidArgument(
+        "concentrations must be finite ratios in [0, 1]");
+  }
+  return Status::OK();
+}
+
+TexturePrediction QueryEngine::BuildPrediction(
+    const ServingSnapshot& snapshot, std::vector<double> theta) const {
+  TexturePrediction prediction;
+  prediction.model_fingerprint = snapshot.fingerprint();
+  prediction.topic = static_cast<int>(
+      std::max_element(theta.begin(), theta.end()) - theta.begin());
+  // Theta-weighted mixtures over topics: per-pole masses and term marginal.
+  const core::TopicEstimates& est = snapshot.model().estimates;
+  std::vector<double> mix(snapshot.vocab_size(), 0.0);
+  for (size_t k = 0; k < theta.size(); ++k) {
+    const CategoryMasses& m = snapshot.term_summary(static_cast<int>(k)).masses;
+    double w = theta[k];
+    prediction.categories.hard += w * m.hard;
+    prediction.categories.soft += w * m.soft;
+    prediction.categories.elastic += w * m.elastic;
+    prediction.categories.crumbly += w * m.crumbly;
+    prediction.categories.sticky += w * m.sticky;
+    prediction.categories.dry += w * m.dry;
+    prediction.categories.other += w * m.other;
+    for (size_t v = 0; v < mix.size(); ++v) mix[v] += w * est.phi[k][v];
+  }
+  std::vector<size_t> order(mix.size());
+  for (size_t v = 0; v < order.size(); ++v) order[v] = v;
+  size_t keep = std::min<size_t>(static_cast<size_t>(config_.top_terms),
+                                 order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                    order.end(),
+                    [&mix](size_t a, size_t b) { return mix[a] > mix[b]; });
+  for (size_t i = 0; i < keep; ++i) {
+    prediction.top_terms.emplace_back(
+        snapshot.model().vocab.WordOf(static_cast<int32_t>(order[i])),
+        mix[order[i]]);
+  }
+  prediction.theta = std::move(theta);
+  return prediction;
+}
+
+void QueryEngine::RunBatch(std::vector<FoldInJob>& batch) {
+  // Fan the batch across the pool; each job's RNG is keyed on its admission
+  // sequence, so results are independent of batch composition and of which
+  // worker runs the job.
+  pool_->ParallelFor(
+      static_cast<int>(batch.size()), [this, &batch](int i) {
+        FoldInJob& job = batch[static_cast<size_t>(i)];
+        Rng rng = Rng::ForStream(config_.seed, job.sequence);
+        job.result.set_value(job.snapshot->FoldInTheta(
+            job.term_ids, job.gel_feature, config_.fold_in_sweeps,
+            config_.alpha, rng));
+      });
+}
+
+StatusOr<TexturePrediction> QueryEngine::PredictTexture(
+    const TextureQuery& query) {
+  ScopedTimer timer(&predict_latency_);
+  TEXRHEO_RETURN_IF_ERROR(ValidateQuery(query));
+  std::shared_ptr<const ServingState> state = this->state();
+  const ServingSnapshot& snapshot = *state->snapshot;
+
+  math::Vector gel =
+      OrZeros(query.gel_concentration, recipe::kNumGelTypes);
+  math::Vector emulsion =
+      OrZeros(query.emulsion_concentration, recipe::kNumEmulsionTypes);
+  std::vector<int32_t> term_ids =
+      ResolveTerms(snapshot, query.texture_terms);
+
+  std::string key =
+      CanonicalQueryKey(gel, emulsion, term_ids, config_.cache_quantum);
+  if (std::optional<TexturePrediction> hit = cache_.Get(key)) {
+    hit->from_cache = true;
+    return *std::move(hit);
+  }
+
+  FoldInJob job;
+  job.snapshot = state->snapshot;
+  job.term_ids = std::move(term_ids);
+  job.gel_feature = recipe::ToFeature(gel, config_.feature);
+  job.sequence = sequence_.fetch_add(1, std::memory_order_relaxed);
+  auto future_or = batcher_->Submit(std::move(job));
+  if (!future_or.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return future_or.status();
+  }
+  StatusOr<std::vector<double>> theta = future_or->get();
+  if (!theta.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return theta.status();
+  }
+  TexturePrediction prediction =
+      BuildPrediction(snapshot, std::move(theta).value());
+  cache_.Put(key, prediction);
+  return prediction;
+}
+
+StatusOr<std::vector<RheologyMatch>> QueryEngine::NearestRheology(
+    int topic, const core::LinkageOptions* options) {
+  ScopedTimer timer(&nearest_latency_);
+  std::shared_ptr<const ServingState> state = this->state();
+  const ServingSnapshot& snapshot = *state->snapshot;
+  if (topic < 0 || topic >= snapshot.num_topics()) {
+    return Status::OutOfRange("topic index out of range");
+  }
+  const core::LinkageOptions& opts =
+      options != nullptr ? *options : config_.linkage;
+  const std::vector<rheology::EmpiricalSetting>& settings =
+      rheology::TableI();
+  auto links_or = core::LinkSettingsToTopics(snapshot.model().estimates,
+                                             settings, config_.feature, opts);
+  if (!links_or.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return links_or.status();
+  }
+  std::vector<RheologyMatch> matches;
+  matches.reserve(settings.size());
+  for (size_t i = 0; i < settings.size(); ++i) {
+    RheologyMatch match;
+    match.setting_id = settings[i].id;
+    match.source = settings[i].source;
+    match.attributes = settings[i].attributes;
+    match.divergence =
+        (*links_or)[i].divergence_by_topic[static_cast<size_t>(topic)];
+    matches.push_back(std::move(match));
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const RheologyMatch& a, const RheologyMatch& b) {
+              return a.divergence < b.divergence;
+            });
+  return matches;
+}
+
+StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
+    const TextureQuery& query, size_t top_n) {
+  ScopedTimer timer(&similar_latency_);
+  TEXRHEO_RETURN_IF_ERROR(ValidateQuery(query));
+  if (corpus_ == nullptr) {
+    return Status::FailedPrecondition(
+        "similar-recipes requires an indexed corpus (engine built without "
+        "one)");
+  }
+  std::shared_ptr<const ServingState> state = this->state();
+  const ServingSnapshot& snapshot = *state->snapshot;
+
+  SimilarRecipesResult result;
+  if (query.texture_terms.empty()) {
+    // Feature-only query: place it by gel Gaussian (fast path, no fold-in).
+    math::Vector gel_feature = recipe::ToFeature(
+        OrZeros(query.gel_concentration, recipe::kNumGelTypes),
+        config_.feature);
+    result.topic = snapshot.InferTopicForFeatures(gel_feature);
+  } else {
+    TEXRHEO_ASSIGN_OR_RETURN(TexturePrediction prediction,
+                             PredictTexture(query));
+    result.topic = prediction.topic;
+  }
+
+  const std::vector<size_t>& members =
+      state->topic_docs[static_cast<size_t>(result.topic)];
+  math::Vector emulsion =
+      OrZeros(query.emulsion_concentration, recipe::kNumEmulsionTypes);
+  auto ranked_or = eval::RankByEmulsionKL(*corpus_, members, emulsion);
+  if (!ranked_or.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ranked_or.status();
+  }
+  size_t keep = top_n == 0 ? config_.max_similar : top_n;
+  keep = std::min(keep, ranked_or->size());
+  result.recipes.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    result.recipes.push_back(
+        SimilarRecipe{(*ranked_or)[i].doc_index, (*ranked_or)[i].divergence});
+  }
+  return result;
+}
+
+StatusOr<TopicCardResult> QueryEngine::TopicCard(int topic) {
+  ScopedTimer timer(&topic_card_latency_);
+  std::shared_ptr<const ServingState> state = this->state();
+  const ServingSnapshot& snapshot = *state->snapshot;
+  if (topic < 0 || topic >= snapshot.num_topics()) {
+    return Status::OutOfRange("topic index out of range");
+  }
+  const core::TopicEstimates& est = snapshot.model().estimates;
+  const TopicTermSummary& summary = snapshot.term_summary(topic);
+  TopicCardResult card;
+  card.topic = topic;
+  if (!est.topic_recipe_count.empty()) {
+    card.recipe_count = est.topic_recipe_count[static_cast<size_t>(topic)];
+  }
+  card.top_terms = summary.top_terms;
+  if (card.top_terms.size() > static_cast<size_t>(config_.top_terms)) {
+    card.top_terms.resize(static_cast<size_t>(config_.top_terms));
+  }
+  card.categories = summary.masses;
+  card.gel_mean_concentration = recipe::FromFeature(
+      est.gel_topics[static_cast<size_t>(topic)].mean(), config_.feature);
+  card.emulsion_mean_concentration = recipe::FromFeature(
+      est.emulsion_topics[static_cast<size_t>(topic)].mean(),
+      config_.feature);
+  return card;
+}
+
+Status QueryEngine::Reload(std::shared_ptr<const ServingSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("reload: snapshot is null");
+  }
+  std::shared_ptr<const ServingState> fresh =
+      BuildState(std::move(snapshot), corpus_);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = std::move(fresh);
+  }
+  // Flush *after* publishing: a result computed against the old model can
+  // re-enter the cache between a flush-then-publish, but not the reverse
+  // ordering... it still can (a slow in-flight Put lands late). That is
+  // acceptable staleness: entries carry the model fingerprint, and the
+  // next eviction or reload clears them; correctness-critical readers
+  // compare fingerprints.
+  cache_.Clear();
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status QueryEngine::ReloadFromFile(const std::string& path) {
+  TEXRHEO_ASSIGN_OR_RETURN(std::shared_ptr<const ServingSnapshot> snapshot,
+                           ServingSnapshot::FromModelFile(path));
+  return Reload(std::move(snapshot));
+}
+
+std::shared_ptr<const ServingSnapshot> QueryEngine::snapshot() const {
+  return state()->snapshot;
+}
+
+QueryEngineStats QueryEngine::GetStats() const {
+  QueryEngineStats stats;
+  stats.predict = predict_latency_.TakeSnapshot();
+  stats.nearest = nearest_latency_.TakeSnapshot();
+  stats.similar = similar_latency_.TakeSnapshot();
+  stats.topic_card = topic_card_latency_.TakeSnapshot();
+  stats.cache = cache_.Stats();
+  stats.batcher = batcher_->GetStats();
+  stats.reloads = reloads_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.unknown_terms = unknown_terms_.load(std::memory_order_relaxed);
+  stats.model_fingerprint = state()->snapshot->fingerprint();
+  return stats;
+}
+
+std::string QueryEngine::Statsz() const {
+  QueryEngineStats stats = GetStats();
+  std::shared_ptr<const ServingSnapshot> snapshot = this->snapshot();
+  std::ostringstream out;
+  char fp[16];
+  std::snprintf(fp, sizeof(fp), "%08x", snapshot->fingerprint());
+  out << "texrheo_serve statsz\n";
+  out << "model: fingerprint=" << fp << " topics=" << snapshot->num_topics()
+      << " vocab=" << snapshot->vocab_size()
+      << " source=" << snapshot->source() << " reloads=" << stats.reloads
+      << "\n";
+  out << "cache: capacity=" << stats.cache.capacity
+      << " size=" << stats.cache.size << " hits=" << stats.cache.hits
+      << " misses=" << stats.cache.misses
+      << " evictions=" << stats.cache.evictions << " hit_rate=";
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.4f", stats.cache.HitRate());
+  out << rate << "\n";
+  out << "batcher: submitted=" << stats.batcher.submitted
+      << " shed=" << stats.batcher.shed
+      << " batches=" << stats.batcher.batches
+      << " jobs=" << stats.batcher.jobs_processed << " mean_batch=";
+  std::snprintf(rate, sizeof(rate), "%.2f", stats.batcher.MeanBatchSize());
+  out << rate << " max_batch=" << stats.batcher.max_batch_size << "\n";
+  out << "errors: total=" << stats.errors
+      << " unknown_terms=" << stats.unknown_terms << "\n";
+  auto line = [&out](const char* name,
+                     const LatencyHistogram::Snapshot& snap) {
+    out << name << ": count=" << snap.count << " mean_us=";
+    char mean[32];
+    std::snprintf(mean, sizeof(mean), "%.1f", snap.MeanMicros());
+    out << mean << " p50_us=" << snap.QuantileUpperBound(0.50)
+        << " p95_us=" << snap.QuantileUpperBound(0.95)
+        << " p99_us=" << snap.QuantileUpperBound(0.99)
+        << " max_us=" << snap.max_micros << "\n";
+  };
+  line("predict_texture", stats.predict);
+  line("nearest_rheology", stats.nearest);
+  line("similar_recipes", stats.similar);
+  line("topic_card", stats.topic_card);
+  return out.str();
+}
+
+}  // namespace texrheo::serve

@@ -1,0 +1,252 @@
+#ifndef TEXRHEO_SERVE_QUERY_ENGINE_H_
+#define TEXRHEO_SERVE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/linkage.h"
+#include "math/linalg.h"
+#include "recipe/dataset.h"
+#include "rheology/empirical_data.h"
+#include "serve/batcher.h"
+#include "serve/snapshot.h"
+#include "util/histogram.h"
+#include "util/lru_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace texrheo::serve {
+
+/// Tuning of a QueryEngine instance. Defaults are sized for the toy serving
+/// path; a production deployment raises cache_capacity / max_queue.
+struct QueryEngineConfig {
+  /// Gibbs sweeps per fold-in (eq.-5 scoring of an unseen recipe).
+  int fold_in_sweeps = 25;
+  /// Symmetric Dirichlet on the query document's theta. The model file does
+  /// not persist training alpha, so serving declares its own (default
+  /// matches JointTopicModelConfig::alpha).
+  double alpha = 0.3;
+  /// Seed of the per-query RNG streams: query N draws from
+  /// Rng::ForStream(seed, N), so a single-client session is reproducible.
+  uint64_t seed = 1234;
+  /// ThreadPool parallelism used *inside* a fold-in batch. 0 = hardware
+  /// concurrency, 1 = run batches on the dispatcher thread alone.
+  int num_threads = 1;
+
+  /// PredictTexture result cache (canonicalized keys). 0 disables.
+  size_t cache_capacity = 4096;
+  /// Quantization step of the canonical key, in concentration-ratio units.
+  double cache_quantum = 1e-4;
+
+  /// Admission control + micro-batching (see FoldInBatcher).
+  size_t max_queue = 256;
+  size_t batch_max_size = 16;
+  int batch_linger_micros = 200;
+
+  /// Result sizing.
+  int top_terms = 8;
+  size_t max_similar = 20;
+
+  /// Concentration -> feature transform; must match training.
+  recipe::FeatureConfig feature;
+  /// Default Table-I linkage scoring for NearestRheology.
+  core::LinkageOptions linkage;
+};
+
+/// One texture query: the observables of an *unseen* recipe. Concentration
+/// vectors are raw ratios (same space as recipe::Concentrations); either
+/// may be empty, meaning all-zero. texture_terms are optional surface
+/// forms; words outside the model vocabulary are ignored (counted in
+/// stats, not errors — recipe text is noisy).
+struct TextureQuery {
+  math::Vector gel_concentration;
+  math::Vector emulsion_concentration;
+  std::vector<std::string> texture_terms;
+};
+
+/// Builds a TextureQuery from free-form (ingredient name, concentration
+/// ratio) pairs, resolving names through the embedded ingredient database.
+/// Order-independent: {gelatin: .02, milk: .1} == {milk: .1, gelatin: .02}.
+/// Non-gel, non-emulsion ingredients (water, fruit...) are ignored — they
+/// do not enter the model's concentration space. Unknown names are errors.
+/// Duplicate names accumulate.
+StatusOr<TextureQuery> QueryFromIngredients(
+    const std::vector<std::pair<std::string, double>>& ingredients,
+    std::vector<std::string> texture_terms = {});
+
+/// PredictTexture answer: where the recipe lands in topic space and what
+/// texture its topic's terms describe.
+struct TexturePrediction {
+  std::vector<double> theta;  ///< Eq.-5 fold-in estimate.
+  int topic = 0;              ///< argmax theta.
+  /// Theta-weighted per-pole term mass across topics (the per-category
+  /// texture-term distribution of the query).
+  CategoryMasses categories;
+  /// Theta-weighted phi, top terms descending: (surface, probability).
+  std::vector<std::pair<std::string, double>> top_terms;
+  bool from_cache = false;
+  uint32_t model_fingerprint = 0;
+};
+
+/// One Table-I rheometer setting ranked against a topic.
+struct RheologyMatch {
+  int setting_id = 0;
+  std::string source;
+  double divergence = 0.0;
+  rheology::TpaAttributes attributes;
+};
+
+struct SimilarRecipe {
+  size_t recipe_index = 0;  ///< Document index in the indexed corpus.
+  double divergence = 0.0;  ///< Emulsion-concentration KL to the query.
+};
+
+struct SimilarRecipesResult {
+  int topic = 0;
+  std::vector<SimilarRecipe> recipes;  ///< Nearest first.
+};
+
+/// TopicCard answer: a one-topic summary (phi top terms + Gaussian means
+/// mapped back to concentration space).
+struct TopicCardResult {
+  int topic = 0;
+  int recipe_count = 0;
+  std::vector<std::pair<std::string, double>> top_terms;
+  CategoryMasses categories;
+  math::Vector gel_mean_concentration;
+  math::Vector emulsion_mean_concentration;
+};
+
+/// Point-in-time engine statistics.
+struct QueryEngineStats {
+  LatencyHistogram::Snapshot predict;
+  LatencyHistogram::Snapshot nearest;
+  LatencyHistogram::Snapshot similar;
+  LatencyHistogram::Snapshot topic_card;
+  LruCacheStats cache;
+  FoldInBatcher::Stats batcher;
+  uint64_t reloads = 0;
+  uint64_t errors = 0;
+  uint64_t unknown_terms = 0;
+  uint32_t model_fingerprint = 0;
+};
+
+/// Concurrent serving layer over one trained model.
+///
+/// All four query methods are safe to call from any number of threads.
+/// The model lives in an immutable ServingSnapshot behind a
+/// shared_ptr swap: readers take a reference under a short lock, then work
+/// entirely on their private reference, so Reload never blocks or fails an
+/// in-flight query — it only changes what *subsequent* queries see.
+/// PredictTexture misses flow through the FoldInBatcher (bounded queue,
+/// micro-batching, shed-with-Unavailable under overload) and land in a
+/// canonicalized LRU result cache.
+class QueryEngine {
+ public:
+  /// `corpus` (optional, may be null) enables SimilarRecipes: its documents
+  /// are indexed by topic at construction and on every reload. The corpus
+  /// must outlive the engine.
+  static StatusOr<std::unique_ptr<QueryEngine>> Create(
+      const QueryEngineConfig& config,
+      std::shared_ptr<const ServingSnapshot> snapshot,
+      const recipe::Dataset* corpus);
+
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Folds the query into the model and reports its per-category
+  /// texture-term distribution (paper eq. 5). Cached by canonical key.
+  StatusOr<TexturePrediction> PredictTexture(const TextureQuery& query);
+
+  /// Ranks the paper's Table-I rheometer settings by divergence to
+  /// `topic`'s gel Gaussian (Section III.C.4 linkage), nearest first.
+  /// `options` overrides the config default when non-null.
+  StatusOr<std::vector<RheologyMatch>> NearestRheology(
+      int topic, const core::LinkageOptions* options = nullptr);
+
+  /// Places the query in its topic, then ranks that topic's indexed
+  /// recipes by emulsion-concentration KL (Section V.B), nearest first.
+  /// top_n == 0 uses config.max_similar.
+  StatusOr<SimilarRecipesResult> SimilarRecipes(const TextureQuery& query,
+                                                size_t top_n = 0);
+
+  /// Summarizes one topic (phi top terms + Gaussian summaries).
+  StatusOr<TopicCardResult> TopicCard(int topic);
+
+  /// Atomically swaps in a new model snapshot: validates it, rebuilds the
+  /// corpus topic index against it, flushes the (now stale) result cache,
+  /// and publishes. In-flight queries complete against the snapshot they
+  /// started with; zero queries fail due to a reload.
+  Status Reload(std::shared_ptr<const ServingSnapshot> snapshot);
+
+  /// Reload() from a text-format model file.
+  Status ReloadFromFile(const std::string& path);
+
+  /// Snapshot currently being served.
+  std::shared_ptr<const ServingSnapshot> snapshot() const;
+
+  QueryEngineStats GetStats() const;
+
+  /// Human-readable multi-line counters dump (the /statsz page).
+  std::string Statsz() const;
+
+  const QueryEngineConfig& config() const { return config_; }
+
+ private:
+  /// Immutable serving state bundle; replaced wholesale on reload so the
+  /// snapshot and the corpus index built against it can never be observed
+  /// out of sync.
+  struct ServingState {
+    std::shared_ptr<const ServingSnapshot> snapshot;
+    /// topic_docs[k]: corpus document indices whose gel features place
+    /// them in topic k. Empty when no corpus is attached.
+    std::vector<std::vector<size_t>> topic_docs;
+  };
+
+  QueryEngine(const QueryEngineConfig& config, const recipe::Dataset* corpus);
+
+  std::shared_ptr<const ServingState> state() const;
+  static std::shared_ptr<const ServingState> BuildState(
+      std::shared_ptr<const ServingSnapshot> snapshot,
+      const recipe::Dataset* corpus);
+
+  /// Resolves surface terms to vocab ids against `snapshot`; unknown
+  /// surfaces are dropped and counted.
+  std::vector<int32_t> ResolveTerms(const ServingSnapshot& snapshot,
+                                    const std::vector<std::string>& terms);
+  Status ValidateQuery(const TextureQuery& query) const;
+  /// Fills the derived fields of a prediction from theta.
+  TexturePrediction BuildPrediction(const ServingSnapshot& snapshot,
+                                    std::vector<double> theta) const;
+  void RunBatch(std::vector<FoldInJob>& batch);
+
+  const QueryEngineConfig config_;
+  const recipe::Dataset* corpus_;  ///< Not owned; may be null.
+
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ServingState> state_;  // Guarded by state_mu_.
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<FoldInBatcher> batcher_;
+  LruCache<std::string, TexturePrediction> cache_;
+
+  LatencyHistogram predict_latency_;
+  LatencyHistogram nearest_latency_;
+  LatencyHistogram similar_latency_;
+  LatencyHistogram topic_card_latency_;
+  std::atomic<uint64_t> sequence_{0};
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> unknown_terms_{0};
+};
+
+}  // namespace texrheo::serve
+
+#endif  // TEXRHEO_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,194 @@
+// texrheo_serve: line-protocol TCP front-end over the texture query engine.
+//
+//   texrheo_serve --model=model.txt [--port=7333]
+//   texrheo_serve --toy [--port=0] [--selftest]
+//
+// --toy trains a small synthetic-corpus model in-process (no files needed);
+// --selftest additionally runs a scripted client session against the
+// freshly started server and exits 0/1 — this is the CI smoke mode.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/serialization.h"
+#include "eval/experiment.h"
+#include "recipe/dataset.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace {
+
+using texrheo::Status;
+using texrheo::StatusOr;
+
+struct LoadedModel {
+  std::shared_ptr<const texrheo::serve::ServingSnapshot> snapshot;
+  /// Non-null only for --toy (enables SIMILAR); kept alive by the caller.
+  std::unique_ptr<texrheo::recipe::Dataset> corpus;
+  /// Model file usable as a RELOAD target in selftest (toy mode only).
+  std::string model_file;
+};
+
+StatusOr<LoadedModel> LoadToy(double scale, const std::string& dump_dir) {
+  texrheo::eval::ExperimentConfig config =
+      texrheo::eval::DefaultExperimentConfig(scale);
+  TEXRHEO_ASSIGN_OR_RETURN(texrheo::eval::ExperimentResult result,
+                           texrheo::eval::RunJointExperiment(config));
+  LoadedModel loaded;
+  texrheo::core::ModelSnapshot model = texrheo::core::MakeSnapshot(
+      result.estimates, result.dataset.term_vocab);
+  if (!dump_dir.empty()) {
+    loaded.model_file = dump_dir + "/texrheo_serve_toy_model.txt";
+    TEXRHEO_RETURN_IF_ERROR(
+        texrheo::core::SaveModel(loaded.model_file, model));
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(
+      loaded.snapshot, texrheo::serve::ServingSnapshot::FromModel(
+                           std::move(model), "toy-experiment"));
+  loaded.corpus = std::make_unique<texrheo::recipe::Dataset>(
+      std::move(result.dataset));
+  return loaded;
+}
+
+StatusOr<LoadedModel> LoadFromFile(const std::string& path) {
+  LoadedModel loaded;
+  TEXRHEO_ASSIGN_OR_RETURN(
+      loaded.snapshot, texrheo::serve::ServingSnapshot::FromModelFile(path));
+  loaded.model_file = path;
+  return loaded;
+}
+
+/// Scripted client session: every query type, a cache-hit repeat, a hot
+/// reload, and a stats read. Returns non-OK on any unexpected response.
+Status RunSelftest(int port, const std::string& reload_file) {
+  using texrheo::serve::LineClient;
+  TEXRHEO_ASSIGN_OR_RETURN(std::unique_ptr<LineClient> client,
+                           LineClient::Connect("127.0.0.1", port));
+  auto expect_ok = [&](const std::string& command) -> Status {
+    TEXRHEO_ASSIGN_OR_RETURN(std::string reply, client->RoundTrip(command));
+    if (reply.rfind("OK", 0) != 0) {
+      return Status::Internal("selftest: '" + command + "' -> " + reply);
+    }
+    TEXRHEO_LOG(Info) << command << " -> " << reply;
+    return Status::OK();
+  };
+  TEXRHEO_RETURN_IF_ERROR(expect_ok("PING"));
+  TEXRHEO_RETURN_IF_ERROR(
+      expect_ok("PREDICT gelatin=0.012,milk=0.25 terms=jiggly,smooth"));
+  // Identical query again: must be answered from the cache.
+  TEXRHEO_ASSIGN_OR_RETURN(
+      std::string cached,
+      client->RoundTrip("PREDICT gelatin=0.012,milk=0.25 terms=jiggly,smooth"));
+  if (cached.find("cached=1") == std::string::npos) {
+    return Status::Internal("selftest: repeat PREDICT not cached: " + cached);
+  }
+  TEXRHEO_RETURN_IF_ERROR(expect_ok("NEAREST 0"));
+  TEXRHEO_RETURN_IF_ERROR(expect_ok("NEAREST 0 method=mahalanobis"));
+  TEXRHEO_RETURN_IF_ERROR(expect_ok("SIMILAR gelatin=0.02 n=3"));
+  TEXRHEO_RETURN_IF_ERROR(expect_ok("TOPIC 0"));
+  // A malformed command must produce a clean ERR, not a dropped connection.
+  TEXRHEO_ASSIGN_OR_RETURN(std::string err, client->RoundTrip("NEAREST 9999"));
+  if (err.rfind("ERR", 0) != 0) {
+    return Status::Internal("selftest: expected ERR, got " + err);
+  }
+  if (!reload_file.empty()) {
+    TEXRHEO_RETURN_IF_ERROR(expect_ok("RELOAD " + reload_file));
+  }
+  TEXRHEO_RETURN_IF_ERROR(client->SendLine("STATSZ"));
+  TEXRHEO_ASSIGN_OR_RETURN(std::string statsz, client->ReadUntilDot());
+  if (statsz.find("cache:") == std::string::npos ||
+      statsz.find("batcher:") == std::string::npos) {
+    return Status::Internal("selftest: statsz missing sections:\n" + statsz);
+  }
+  TEXRHEO_LOG(Info) << "statsz:\n" << statsz;
+  TEXRHEO_RETURN_IF_ERROR(expect_ok("QUIT"));
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  texrheo::FlagParser flags;
+  Status parse = flags.Parse(argc, argv);
+  if (!parse.ok()) {
+    std::fprintf(stderr, "%s\n", parse.ToString().c_str());
+    return 2;
+  }
+  const bool toy = flags.GetBool("toy", false);
+  const bool selftest = flags.GetBool("selftest", false);
+  const std::string model_path = flags.GetString("model", "");
+  auto port_or = flags.GetInt("port", selftest ? 0 : 7333);
+  auto scale_or = flags.GetDouble("toy-scale", 0.06);
+  if (!port_or.ok() || !scale_or.ok()) {
+    std::fprintf(stderr, "bad --port / --toy-scale\n");
+    return 2;
+  }
+  if (toy == !model_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: texrheo_serve (--toy | --model=FILE) [--port=N] "
+                 "[--selftest]\n");
+    return 2;
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  StatusOr<LoadedModel> loaded_or =
+      toy ? LoadToy(*scale_or, tmp != nullptr ? tmp : "/tmp")
+          : LoadFromFile(model_path);
+  if (!loaded_or.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 loaded_or.status().ToString().c_str());
+    return 1;
+  }
+  LoadedModel loaded = std::move(loaded_or).value();
+
+  texrheo::serve::QueryEngineConfig config;
+  config.num_threads = 0;  // Serving: use the hardware.
+  auto engine_or = texrheo::serve::QueryEngine::Create(
+      config, loaded.snapshot, loaded.corpus.get());
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<texrheo::serve::QueryEngine> engine =
+      std::move(engine_or).value();
+
+  texrheo::serve::ServerOptions server_options;
+  server_options.port = static_cast<int>(*port_or);
+  texrheo::serve::LineProtocolServer server(engine.get(), server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("texrheo_serve listening on 127.0.0.1:%d (model %08x, %d "
+              "topics)\n",
+              server.port(), loaded.snapshot->fingerprint(),
+              loaded.snapshot->num_topics());
+  std::fflush(stdout);
+
+  if (selftest) {
+    Status result = RunSelftest(server.port(), loaded.model_file);
+    server.Stop();
+    if (!result.ok()) {
+      std::fprintf(stderr, "SELFTEST FAILED: %s\n",
+                   result.ToString().c_str());
+      return 1;
+    }
+    std::printf("selftest passed\n");
+    return 0;
+  }
+
+  // Foreground serve: block until the accept thread exits (ctrl-C kills us).
+  for (;;) pause();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,451 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace texrheo::serve {
+
+namespace {
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// Parses "name=ratio,name=ratio" ("-" = none) into ingredient pairs.
+StatusOr<std::vector<std::pair<std::string, double>>> ParseIngredients(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, double>> out;
+  if (spec == "-") return out;
+  for (const std::string& part : SplitCommas(spec)) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected name=ratio, got '" + part +
+                                     "'");
+    }
+    char* end = nullptr;
+    double value = std::strtod(part.c_str() + eq + 1, &end);
+    if (end == part.c_str() + eq + 1 || *end != '\0') {
+      return Status::InvalidArgument("bad ratio in '" + part + "'");
+    }
+    out.emplace_back(part.substr(0, eq), value);
+  }
+  return out;
+}
+
+/// Builds a TextureQuery from positional <ingredients> plus key=value
+/// options (terms=..., n=...).
+StatusOr<TextureQuery> ParseQuery(const std::vector<std::string>& tokens,
+                                  size_t* top_n) {
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument("usage: " + tokens[0] +
+                                   " <name=ratio,...|-> [terms=a,b] [n=N]");
+  }
+  std::vector<std::string> terms;
+  if (top_n != nullptr) *top_n = 0;
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const std::string& opt = tokens[i];
+    if (opt.rfind("terms=", 0) == 0) {
+      terms = SplitCommas(opt.substr(6));
+    } else if (top_n != nullptr && opt.rfind("n=", 0) == 0) {
+      *top_n = static_cast<size_t>(std::strtoul(opt.c_str() + 2, nullptr, 10));
+    } else {
+      return Status::InvalidArgument("unknown option '" + opt + "'");
+    }
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(auto ingredients, ParseIngredients(tokens[1]));
+  return QueryFromIngredients(ingredients, std::move(terms));
+}
+
+StatusOr<int> ParseTopic(const std::string& token) {
+  char* end = nullptr;
+  long topic = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad topic index '" + token + "'");
+  }
+  return static_cast<int>(topic);
+}
+
+StatusOr<core::LinkageMethod> ParseMethod(const std::string& name) {
+  if (name == "gaussian-kl") return core::LinkageMethod::kGaussianKL;
+  if (name == "neg-log-density") return core::LinkageMethod::kNegLogDensity;
+  if (name == "mahalanobis") return core::LinkageMethod::kMahalanobis;
+  if (name == "euclidean") return core::LinkageMethod::kEuclidean;
+  return Status::InvalidArgument("unknown linkage method '" + name + "'");
+}
+
+std::string ErrLine(const Status& status) {
+  return "ERR " + status.ToString();
+}
+
+void AppendF(std::string* out, const char* fmt, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  *out += buf;
+}
+
+}  // namespace
+
+LineProtocolServer::LineProtocolServer(QueryEngine* engine,
+                                       const ServerOptions& options)
+    : engine_(engine), options_(options) {}
+
+LineProtocolServer::~LineProtocolServer() { Stop(); }
+
+Status LineProtocolServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      options_.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LineProtocolServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Already stopping/stopped; still join if the first Stop was concurrent.
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() unblocks accept(); close() alone does not on Linux.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+    // Wake connection threads blocked in recv(); they observe EOF and
+    // exit. The fd itself is closed by its owning thread.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void LineProtocolServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == EINTR) continue;
+      return;  // Listener gone.
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void LineProtocolServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[1024];
+  bool quit = false;
+  while (!quit) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // Peer closed (or error): drop the connection.
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = HandleCommand(line, &quit) + "\n";
+      size_t sent = 0;
+      while (sent < response.size()) {
+        ssize_t w = ::send(fd, response.data() + sent, response.size() - sent,
+                           MSG_NOSIGNAL);
+        if (w <= 0) {
+          quit = true;
+          break;
+        }
+        sent += static_cast<size_t>(w);
+      }
+    }
+  }
+  // Deregister before close so Stop() can never shutdown() a recycled fd.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < conn_fds_.size(); ++i) {
+      if (conn_fds_[i] == fd) {
+        conn_fds_[i] = conn_fds_.back();
+        conn_fds_.pop_back();
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+std::string LineProtocolServer::HandleCommand(const std::string& line,
+                                              bool* quit) {
+  *quit = false;
+  std::vector<std::string> tokens = SplitTokens(line);
+  if (tokens.empty()) return ErrLine(Status::InvalidArgument("empty command"));
+  const std::string& cmd = tokens[0];
+
+  if (cmd == "PING") return "OK pong";
+  if (cmd == "QUIT") {
+    *quit = true;
+    return "OK bye";
+  }
+
+  if (cmd == "PREDICT") {
+    auto query_or = ParseQuery(tokens, nullptr);
+    if (!query_or.ok()) return ErrLine(query_or.status());
+    auto prediction_or = engine_->PredictTexture(*query_or);
+    if (!prediction_or.ok()) return ErrLine(prediction_or.status());
+    const TexturePrediction& p = *prediction_or;
+    std::string out = "OK topic=" + std::to_string(p.topic) +
+                      " cached=" + (p.from_cache ? "1" : "0");
+    out += " hard=";
+    AppendF(&out, "%.4f", p.categories.hard);
+    out += " soft=";
+    AppendF(&out, "%.4f", p.categories.soft);
+    out += " elastic=";
+    AppendF(&out, "%.4f", p.categories.elastic);
+    out += " crumbly=";
+    AppendF(&out, "%.4f", p.categories.crumbly);
+    out += " sticky=";
+    AppendF(&out, "%.4f", p.categories.sticky);
+    out += " dry=";
+    AppendF(&out, "%.4f", p.categories.dry);
+    out += " top=";
+    for (size_t i = 0; i < p.top_terms.size(); ++i) {
+      if (i > 0) out += ',';
+      out += p.top_terms[i].first + ':';
+      AppendF(&out, "%.4f", p.top_terms[i].second);
+    }
+    return out;
+  }
+
+  if (cmd == "NEAREST") {
+    if (tokens.size() < 2) {
+      return ErrLine(
+          Status::InvalidArgument("usage: NEAREST <topic> [method=...]"));
+    }
+    auto topic_or = ParseTopic(tokens[1]);
+    if (!topic_or.ok()) return ErrLine(topic_or.status());
+    core::LinkageOptions options = engine_->config().linkage;
+    const core::LinkageOptions* options_ptr = nullptr;
+    if (tokens.size() > 2) {
+      if (tokens[2].rfind("method=", 0) != 0) {
+        return ErrLine(
+            Status::InvalidArgument("unknown option '" + tokens[2] + "'"));
+      }
+      auto method_or = ParseMethod(tokens[2].substr(7));
+      if (!method_or.ok()) return ErrLine(method_or.status());
+      options.method = *method_or;
+      options_ptr = &options;
+    }
+    auto matches_or = engine_->NearestRheology(*topic_or, options_ptr);
+    if (!matches_or.ok()) return ErrLine(matches_or.status());
+    std::string out = "OK";
+    size_t rows = std::min(options_.max_rows, matches_or->size());
+    for (size_t i = 0; i < rows; ++i) {
+      const RheologyMatch& m = (*matches_or)[i];
+      out += " setting=" + std::to_string(m.setting_id) + ":";
+      AppendF(&out, "%.4f", m.divergence);
+    }
+    return out;
+  }
+
+  if (cmd == "SIMILAR") {
+    size_t top_n = 0;
+    auto query_or = ParseQuery(tokens, &top_n);
+    if (!query_or.ok()) return ErrLine(query_or.status());
+    auto result_or = engine_->SimilarRecipes(*query_or, top_n);
+    if (!result_or.ok()) return ErrLine(result_or.status());
+    std::string out = "OK topic=" + std::to_string(result_or->topic);
+    size_t rows = std::min(options_.max_rows, result_or->recipes.size());
+    if (top_n != 0) rows = std::min(rows, top_n);
+    out += " recipes=";
+    for (size_t i = 0; i < rows; ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(result_or->recipes[i].recipe_index) + ':';
+      AppendF(&out, "%.4f", result_or->recipes[i].divergence);
+    }
+    return out;
+  }
+
+  if (cmd == "TOPIC") {
+    if (tokens.size() < 2) {
+      return ErrLine(Status::InvalidArgument("usage: TOPIC <k>"));
+    }
+    auto topic_or = ParseTopic(tokens[1]);
+    if (!topic_or.ok()) return ErrLine(topic_or.status());
+    auto card_or = engine_->TopicCard(*topic_or);
+    if (!card_or.ok()) return ErrLine(card_or.status());
+    std::string out = "OK topic=" + std::to_string(card_or->topic) +
+                      " recipes=" + std::to_string(card_or->recipe_count) +
+                      " top=";
+    for (size_t i = 0; i < card_or->top_terms.size(); ++i) {
+      if (i > 0) out += ',';
+      out += card_or->top_terms[i].first + ':';
+      AppendF(&out, "%.4f", card_or->top_terms[i].second);
+    }
+    out += " gel=";
+    for (size_t i = 0; i < card_or->gel_mean_concentration.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendF(&out, "%.5f", card_or->gel_mean_concentration[i]);
+    }
+    return out;
+  }
+
+  if (cmd == "RELOAD") {
+    if (tokens.size() < 2) {
+      return ErrLine(Status::InvalidArgument("usage: RELOAD <model-file>"));
+    }
+    Status status = engine_->ReloadFromFile(tokens[1]);
+    if (!status.ok()) return ErrLine(status);
+    char fp[16];
+    std::snprintf(fp, sizeof(fp), "%08x",
+                  engine_->snapshot()->fingerprint());
+    return std::string("OK reloaded fingerprint=") + fp;
+  }
+
+  if (cmd == "STATSZ") {
+    std::string stats = engine_->Statsz();
+    if (!stats.empty() && stats.back() == '\n') stats.pop_back();
+    return stats + "\n.";
+  }
+
+  return ErrLine(Status::InvalidArgument("unknown command '" + cmd + "'"));
+}
+
+StatusOr<std::unique_ptr<LineClient>> LineClient::Connect(
+    const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<LineClient>(new LineClient(fd));
+}
+
+LineClient::~LineClient() { Close(); }
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client closed");
+  std::string payload = line + "\n";
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    ssize_t w =
+        ::send(fd_, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
+    if (w <= 0) {
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("client closed");
+  for (;;) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[1024];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::Internal("connection closed while awaiting response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<std::string> LineClient::RoundTrip(const std::string& line) {
+  TEXRHEO_RETURN_IF_ERROR(SendLine(line));
+  return ReadLine();
+}
+
+StatusOr<std::string> LineClient::ReadUntilDot() {
+  std::string all;
+  for (;;) {
+    TEXRHEO_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    if (line == ".") return all;
+    if (!all.empty()) all += '\n';
+    all += line;
+  }
+}
+
+}  // namespace texrheo::serve

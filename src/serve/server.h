@@ -1,0 +1,121 @@
+#ifndef TEXRHEO_SERVE_SERVER_H_
+#define TEXRHEO_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/query_engine.h"
+#include "util/status.h"
+
+namespace texrheo::serve {
+
+/// Line protocol spoken by texrheo_serve. One request per line, one
+/// response per line (STATSZ is multi-line, terminated by a lone ".").
+/// Responses start with "OK" or "ERR <StatusCode>:".
+///
+///   PING
+///   PREDICT <name=ratio[,name=ratio...]|-> [terms=a,b,...]
+///   NEAREST <topic> [method=gaussian-kl|neg-log-density|mahalanobis|euclidean]
+///   SIMILAR <name=ratio[,...]|-> [terms=a,b,...] [n=N]
+///   TOPIC <k>
+///   RELOAD <model-file>
+///   STATSZ
+///   QUIT
+///
+/// "-" stands for an empty ingredient list (texture-terms-only query).
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read back via port()).
+  int port = 0;
+  /// Loopback-only by default; the toy server has no auth story.
+  bool loopback_only = true;
+  /// NEAREST / SIMILAR rows per response line.
+  size_t max_rows = 5;
+};
+
+/// Blocking thread-per-connection TCP front-end over a QueryEngine.
+///
+/// The server owns no model state: every command is answered through the
+/// engine, so concurrent connections exercise exactly the same thread
+/// safety the in-process API guarantees. Stop() (or destruction) closes
+/// the listener, wakes every connection, and joins all threads.
+class LineProtocolServer {
+ public:
+  /// `engine` must outlive the server.
+  LineProtocolServer(QueryEngine* engine, const ServerOptions& options);
+  ~LineProtocolServer();
+
+  LineProtocolServer(const LineProtocolServer&) = delete;
+  LineProtocolServer& operator=(const LineProtocolServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// Idempotent; safe to call while connections are active.
+  void Stop();
+
+  /// Bound port (valid after Start succeeded).
+  int port() const { return port_; }
+
+  uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Executes one protocol line against the engine and returns the full
+  /// response (no trailing newline; may contain internal newlines). Public
+  /// so tests can drive the protocol without sockets.
+  std::string HandleCommand(const std::string& line, bool* quit);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  QueryEngine* engine_;  ///< Not owned.
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;  // Guarded by conn_mu_.
+  std::vector<int> conn_fds_;              // Live sockets; guarded by conn_mu_.
+};
+
+/// Minimal blocking client for the line protocol; used by tests and the
+/// --selftest mode of texrheo_serve.
+class LineClient {
+ public:
+  static StatusOr<std::unique_ptr<LineClient>> Connect(const std::string& host,
+                                                       int port);
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  Status SendLine(const std::string& line);
+  /// Next newline-terminated line (without the newline).
+  StatusOr<std::string> ReadLine();
+  /// SendLine + ReadLine.
+  StatusOr<std::string> RoundTrip(const std::string& line);
+  /// Reads lines until a lone "."; returns them joined by '\n' (for STATSZ).
+  StatusOr<std::string> ReadUntilDot();
+
+  void Close();
+
+ private:
+  explicit LineClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace texrheo::serve
+
+#endif  // TEXRHEO_SERVE_SERVER_H_

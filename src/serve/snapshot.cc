@@ -1,0 +1,236 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/checkpoint.h"
+#include "core/joint_topic_model.h"
+#include "math/special.h"
+#include "util/crc32.h"
+
+namespace texrheo::serve {
+
+namespace {
+constexpr int kTopTermsPerTopic = 12;
+}  // namespace
+
+ServingSnapshot::ServingSnapshot(core::ModelSnapshot model, std::string source)
+    : model_(std::move(model)), source_(std::move(source)) {}
+
+Status ServingSnapshot::Validate() const {
+  const core::TopicEstimates& est = model_.estimates;
+  size_t k_count = est.phi.size();
+  if (k_count == 0) {
+    return Status::InvalidArgument("serving snapshot: model has no topics");
+  }
+  for (const auto& row : est.phi) {
+    if (row.size() != model_.vocab.size()) {
+      return Status::InvalidArgument(
+          "serving snapshot: phi row width disagrees with vocabulary");
+    }
+    for (double p : row) {
+      if (!std::isfinite(p) || p < 0.0) {
+        return Status::InvalidArgument(
+            "serving snapshot: phi contains negative or non-finite mass");
+      }
+    }
+  }
+  if (est.gel_topics.size() != k_count ||
+      est.emulsion_topics.size() != k_count) {
+    return Status::InvalidArgument(
+        "serving snapshot: per-topic Gaussian count disagrees with phi");
+  }
+  if (!est.topic_recipe_count.empty() &&
+      est.topic_recipe_count.size() != k_count) {
+    return Status::InvalidArgument(
+        "serving snapshot: topic_recipe_count size disagrees with phi");
+  }
+  return Status::OK();
+}
+
+void ServingSnapshot::BuildSummaries(const text::TextureDictionary& dict,
+                                     int top_terms) {
+  const core::TopicEstimates& est = model_.estimates;
+  summaries_.clear();
+  summaries_.resize(est.phi.size());
+  for (size_t k = 0; k < est.phi.size(); ++k) {
+    TopicTermSummary& summary = summaries_[k];
+    std::vector<std::pair<std::string, double>> terms;
+    terms.reserve(est.phi[k].size());
+    for (size_t v = 0; v < est.phi[k].size(); ++v) {
+      double p = est.phi[k][v];
+      const std::string& word = model_.vocab.WordOf(static_cast<int32_t>(v));
+      terms.emplace_back(word, p);
+      const text::TextureTerm* term = dict.Find(word);
+      if (term == nullptr) {
+        summary.masses.other += p;
+        continue;
+      }
+      if (text::IsHardTerm(*term)) summary.masses.hard += p;
+      else if (text::IsSoftTerm(*term)) summary.masses.soft += p;
+      else if (text::IsElasticTerm(*term)) summary.masses.elastic += p;
+      else if (text::IsCrumblyTerm(*term)) summary.masses.crumbly += p;
+      else if (text::IsStickyTerm(*term)) summary.masses.sticky += p;
+      else summary.masses.dry += p;
+    }
+    std::sort(terms.begin(), terms.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (terms.size() > static_cast<size_t>(top_terms)) {
+      terms.resize(static_cast<size_t>(top_terms));
+    }
+    summary.top_terms = std::move(terms);
+  }
+}
+
+StatusOr<std::shared_ptr<const ServingSnapshot>> ServingSnapshot::FromModel(
+    core::ModelSnapshot model, std::string source) {
+  auto snapshot = std::shared_ptr<ServingSnapshot>(
+      new ServingSnapshot(std::move(model), std::move(source)));
+  TEXRHEO_RETURN_IF_ERROR(snapshot->Validate());
+  // The fingerprint hashes the canonical text serialization, so it is
+  // stable across load paths: a model file and the checkpoint it was
+  // exported from produce the same id when they encode the same estimates.
+  snapshot->fingerprint_ = Crc32(core::SerializeModel(snapshot->model_));
+  snapshot->BuildSummaries(text::TextureDictionary::Embedded(),
+                           kTopTermsPerTopic);
+  return std::shared_ptr<const ServingSnapshot>(std::move(snapshot));
+}
+
+StatusOr<std::shared_ptr<const ServingSnapshot>>
+ServingSnapshot::FromModelFile(const std::string& path) {
+  TEXRHEO_ASSIGN_OR_RETURN(core::ModelSnapshot model, core::LoadModel(path));
+  return FromModel(std::move(model), path);
+}
+
+StatusOr<std::shared_ptr<const ServingSnapshot>>
+ServingSnapshot::FromCheckpointFile(const std::string& path,
+                                    const recipe::Dataset& dataset) {
+  TEXRHEO_ASSIGN_OR_RETURN(core::CheckpointState state,
+                           core::ReadCheckpointFile(path));
+  if (state.fingerprint.sampler != core::SamplerKind::kJoint) {
+    return Status::FailedPrecondition(
+        "serving snapshot: checkpoint was written by a different sampler");
+  }
+  // Reconstruct the training configuration from the checkpoint fingerprint;
+  // RestoreFromCheckpoint then re-verifies the fingerprint and cross-checks
+  // the count matrices against `dataset`, refusing a corpus mismatch.
+  core::JointTopicModelConfig config;
+  config.num_topics = state.fingerprint.num_topics;
+  config.alpha = state.fingerprint.alpha;
+  config.gamma = state.fingerprint.gamma;
+  config.seed = state.fingerprint.seed;
+  config.num_threads = state.fingerprint.num_threads;
+  config.optimize_alpha = state.fingerprint.optimize_alpha;
+  config.use_emulsion_likelihood = state.fingerprint.use_emulsion_likelihood;
+  config.gmm_init = state.fingerprint.gmm_init;
+  TEXRHEO_ASSIGN_OR_RETURN(core::JointTopicModel model,
+                           core::JointTopicModel::Create(config, &dataset));
+  TEXRHEO_RETURN_IF_ERROR(model.RestoreFromCheckpoint(state));
+  return FromModel(core::MakeSnapshot(model.Estimate(), dataset.term_vocab),
+                   path);
+}
+
+StatusOr<std::vector<double>> ServingSnapshot::FoldInTheta(
+    const std::vector<int32_t>& term_ids, const math::Vector& gel_feature,
+    int sweeps, double alpha, Rng& rng) const {
+  if (sweeps < 1) {
+    return Status::InvalidArgument("fold-in: sweeps must be >= 1");
+  }
+  if (alpha <= 0.0) {
+    return Status::InvalidArgument("fold-in: alpha must be positive");
+  }
+  const core::TopicEstimates& est = model_.estimates;
+  int k_count = num_topics();
+  for (int32_t term : term_ids) {
+    if (term < 0 || static_cast<size_t>(term) >= vocab_size()) {
+      return Status::OutOfRange("fold-in: term id outside model vocabulary");
+    }
+  }
+  if (gel_feature.size() != est.gel_topics.front().dim()) {
+    return Status::InvalidArgument(
+        "fold-in: gel feature dimension does not match model");
+  }
+
+  // Same two-block Gibbs scan as JointTopicModel::FoldInTheta, with the
+  // collapsed count ratios replaced by the snapshot's phi point estimates.
+  std::vector<int> local_z(term_ids.size());
+  std::vector<int> local_n_k(static_cast<size_t>(k_count), 0);
+  for (size_t n = 0; n < term_ids.size(); ++n) {
+    int k = static_cast<int>(rng.NextUint(static_cast<uint64_t>(k_count)));
+    local_z[n] = k;
+    ++local_n_k[static_cast<size_t>(k)];
+  }
+  int local_y =
+      static_cast<int>(rng.NextUint(static_cast<uint64_t>(k_count)));
+
+  std::vector<double> weights(static_cast<size_t>(k_count));
+  std::vector<double> log_w(static_cast<size_t>(k_count));
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (size_t n = 0; n < term_ids.size(); ++n) {
+      size_t v = static_cast<size_t>(term_ids[n]);
+      --local_n_k[static_cast<size_t>(local_z[n])];
+      for (int k = 0; k < k_count; ++k) {
+        size_t ks = static_cast<size_t>(k);
+        weights[ks] = (static_cast<double>(local_n_k[ks]) +
+                       (local_y == k ? 1.0 : 0.0) + alpha) *
+                      est.phi[ks][v];
+      }
+      double total = 0.0;
+      for (double w : weights) total += w;
+      if (total <= 0.0) {
+        // Every topic gives this term zero mass (possible after reload onto
+        // a model whose phi zeroes the term); fall back to the prior.
+        for (double& w : weights) w = 1.0;
+      }
+      local_z[n] = static_cast<int>(rng.NextCategorical(weights));
+      ++local_n_k[static_cast<size_t>(local_z[n])];
+    }
+    for (int k = 0; k < k_count; ++k) {
+      size_t ks = static_cast<size_t>(k);
+      double lw =
+          std::log(static_cast<double>(local_n_k[ks]) + alpha) +
+          est.gel_topics[ks].LogPdf(gel_feature);
+      log_w[ks] = lw;
+    }
+    double norm = math::LogSumExp(log_w.data(), log_w.size());
+    for (int k = 0; k < k_count; ++k) {
+      weights[static_cast<size_t>(k)] =
+          std::exp(log_w[static_cast<size_t>(k)] - norm);
+    }
+    local_y = static_cast<int>(rng.NextCategorical(weights));
+  }
+
+  double n_d = static_cast<double>(term_ids.size());
+  double alpha_sum = alpha * static_cast<double>(k_count);
+  std::vector<double> theta(static_cast<size_t>(k_count));
+  for (int k = 0; k < k_count; ++k) {
+    size_t ks = static_cast<size_t>(k);
+    theta[ks] = (static_cast<double>(local_n_k[ks]) +
+                 (local_y == k ? 1.0 : 0.0) + alpha) /
+                (n_d + 1.0 + alpha_sum);
+  }
+  return theta;
+}
+
+int ServingSnapshot::InferTopicForFeatures(
+    const math::Vector& gel_feature) const {
+  const core::TopicEstimates& est = model_.estimates;
+  int best = 0;
+  double best_lw = -std::numeric_limits<double>::infinity();
+  for (int k = 0; k < num_topics(); ++k) {
+    size_t ks = static_cast<size_t>(k);
+    double prior = 1.0;
+    if (!est.topic_recipe_count.empty()) {
+      prior += static_cast<double>(est.topic_recipe_count[ks]);
+    }
+    double lw = std::log(prior) + est.gel_topics[ks].LogPdf(gel_feature);
+    if (lw > best_lw) {
+      best_lw = lw;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace texrheo::serve

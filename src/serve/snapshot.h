@@ -1,0 +1,108 @@
+#ifndef TEXRHEO_SERVE_SNAPSHOT_H_
+#define TEXRHEO_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/serialization.h"
+#include "math/linalg.h"
+#include "recipe/dataset.h"
+#include "text/texture_dictionary.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace texrheo::serve {
+
+/// Probability mass a topic's term distribution puts on each pole of the
+/// three TPA axes (hardness, cohesiveness, adhesiveness). `other` absorbs
+/// vocabulary words absent from the texture dictionary.
+struct CategoryMasses {
+  double hard = 0.0;
+  double soft = 0.0;
+  double elastic = 0.0;
+  double crumbly = 0.0;
+  double sticky = 0.0;
+  double dry = 0.0;
+  double other = 0.0;
+};
+
+/// Pre-aggregated term view of one topic, derived once at snapshot build
+/// time so per-query work never touches the raw phi matrix for reporting.
+struct TopicTermSummary {
+  CategoryMasses masses;
+  /// Top terms by phi, descending: (surface form, probability).
+  std::vector<std::pair<std::string, double>> top_terms;
+};
+
+/// An immutable, self-contained trained model prepared for serving.
+///
+/// ServingSnapshot is the unit the query engine swaps on hot reload: it is
+/// built fully before it becomes visible, never mutated afterwards, and
+/// handed out as shared_ptr<const ServingSnapshot> so an in-flight query
+/// keeps its model alive across any number of reloads. Every accessor is
+/// therefore safe from any thread by construction.
+class ServingSnapshot {
+ public:
+  /// Wraps a deserialized model, derives the per-topic term summaries, and
+  /// computes the content fingerprint. Fails on structurally inconsistent
+  /// estimates (phi/Gaussian/topic-count shape mismatches).
+  static StatusOr<std::shared_ptr<const ServingSnapshot>> FromModel(
+      core::ModelSnapshot model, std::string source);
+
+  /// Loads a text-format (v2) model file.
+  static StatusOr<std::shared_ptr<const ServingSnapshot>> FromModelFile(
+      const std::string& path);
+
+  /// Rebuilds a servable model from a Gibbs *checkpoint*: the checkpoint's
+  /// fingerprint reconstructs the training configuration, the sampler state
+  /// is restored through the usual fingerprint + corpus cross-checks
+  /// (refused on any mismatch), and eq.-5 estimates are extracted. The
+  /// dataset must be the corpus the checkpoint was trained on.
+  static StatusOr<std::shared_ptr<const ServingSnapshot>> FromCheckpointFile(
+      const std::string& path, const recipe::Dataset& dataset);
+
+  const core::ModelSnapshot& model() const { return model_; }
+  int num_topics() const { return model_.num_topics(); }
+  size_t vocab_size() const { return model_.vocab.size(); }
+  /// CRC32 of the canonical serialized model text: two snapshots with the
+  /// same fingerprint serve identical answers.
+  uint32_t fingerprint() const { return fingerprint_; }
+  /// Where the snapshot came from (path or label), for /statsz.
+  const std::string& source() const { return source_; }
+
+  const TopicTermSummary& term_summary(int k) const {
+    return summaries_[static_cast<size_t>(k)];
+  }
+
+  /// Eq.-5 fold-in against the snapshot's *point estimates*: phi replaces
+  /// the training count ratios and the stored per-topic gel Gaussian
+  /// replaces the instantiated eq.-4 sample. Gibbs-samples the query's own
+  /// z / y for `sweeps` and returns the theta estimate. Const and
+  /// re-entrant: the caller supplies the RNG, all scratch is local.
+  StatusOr<std::vector<double>> FoldInTheta(
+      const std::vector<int32_t>& term_ids, const math::Vector& gel_feature,
+      int sweeps, double alpha, Rng& rng) const;
+
+  /// Most likely topic for a gel feature vector alone, prior-weighted by
+  /// the per-topic training recipe counts (the serving analogue of
+  /// JointTopicModel::InferTopicForFeatures).
+  int InferTopicForFeatures(const math::Vector& gel_feature) const;
+
+ private:
+  ServingSnapshot(core::ModelSnapshot model, std::string source);
+
+  Status Validate() const;
+  void BuildSummaries(const text::TextureDictionary& dict, int top_terms);
+
+  core::ModelSnapshot model_;
+  std::string source_;
+  uint32_t fingerprint_ = 0;
+  std::vector<TopicTermSummary> summaries_;
+};
+
+}  // namespace texrheo::serve
+
+#endif  // TEXRHEO_SERVE_SNAPSHOT_H_

@@ -1,0 +1,77 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace texrheo {
+
+size_t LatencyHistogram::BucketFor(int64_t micros) {
+  if (micros < 1) return 0;
+  uint64_t u = static_cast<uint64_t>(micros);
+  size_t b = static_cast<size_t>(63 - __builtin_clzll(u));
+  return b >= kNumBuckets ? kNumBuckets - 1 : b;
+}
+
+void LatencyHistogram::Record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(static_cast<uint64_t>(micros),
+                        std::memory_order_relaxed);
+  uint64_t prev = max_micros_.load(std::memory_order_relaxed);
+  while (prev < static_cast<uint64_t>(micros) &&
+         !max_micros_.compare_exchange_weak(prev,
+                                            static_cast<uint64_t>(micros),
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_micros = sum_micros_.load(std::memory_order_relaxed);
+  snap.max_micros = max_micros_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t LatencyHistogram::Snapshot::QuantileUpperBound(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; ceil so p100 lands on the last one.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Upper bound of bucket b is 2^(b+1) - 1 us; cap by the observed max.
+      // The last bucket absorbs every clamped outlier, so only the max is a
+      // valid bound there.
+      uint64_t upper =
+          (b + 1 >= kNumBuckets) ? max_micros : ((1ULL << (b + 1)) - 1);
+      return upper < max_micros ? upper : max_micros;
+    }
+  }
+  return max_micros;
+}
+
+std::string LatencyHistogram::ToString() const {
+  Snapshot snap = TakeSnapshot();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu (us)",
+                static_cast<unsigned long long>(snap.count),
+                snap.MeanMicros(),
+                static_cast<unsigned long long>(snap.QuantileUpperBound(0.50)),
+                static_cast<unsigned long long>(snap.QuantileUpperBound(0.95)),
+                static_cast<unsigned long long>(snap.QuantileUpperBound(0.99)),
+                static_cast<unsigned long long>(snap.max_micros));
+  return std::string(buf);
+}
+
+}  // namespace texrheo

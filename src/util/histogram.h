@@ -1,0 +1,65 @@
+#ifndef TEXRHEO_UTIL_HISTOGRAM_H_
+#define TEXRHEO_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace texrheo {
+
+/// Lock-free latency histogram with power-of-two microsecond buckets.
+///
+/// Bucket b covers [2^b, 2^(b+1)) microseconds (bucket 0 additionally
+/// absorbs sub-microsecond samples), so 40 buckets span <1 us to ~18 min —
+/// more than any query this library serves. Record() is a single relaxed
+/// fetch_add, safe from any number of threads; Snapshot() is a racy-but-
+/// consistent-enough read intended for monitoring, not accounting (a
+/// snapshot taken mid-Record may miss that one sample).
+///
+/// Quantiles are estimated from the bucket counts: the reported value is
+/// the upper bound of the bucket containing the target rank, i.e. an
+/// overestimate by at most 2x. That is the standard fidelity/footprint
+/// trade for serving-side histograms (cf. hdrhistogram's coarse configs).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  LatencyHistogram() = default;
+
+  /// Records one sample. Negative durations clamp to 0.
+  void Record(int64_t micros);
+
+  /// Point-in-time copy of the counters (see class comment on atomicity).
+  struct Snapshot {
+    std::array<uint64_t, kNumBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t sum_micros = 0;
+    uint64_t max_micros = 0;
+
+    /// Upper-bound estimate of the q-quantile in microseconds (q in [0,1]).
+    /// 0 when the histogram is empty.
+    uint64_t QuantileUpperBound(double q) const;
+    double MeanMicros() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum_micros) /
+                              static_cast<double>(count);
+    }
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// One-line human dump: "count=N mean=X p50=A p95=B p99=C max=D (us)".
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(int64_t micros);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> max_micros_{0};
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_HISTOGRAM_H_

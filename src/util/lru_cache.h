@@ -1,0 +1,130 @@
+#ifndef TEXRHEO_UTIL_LRU_CACHE_H_
+#define TEXRHEO_UTIL_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace texrheo {
+
+/// Counter snapshot of an LruCache. All values are monotonic totals except
+/// `size` (current entry count) and `capacity`.
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t size = 0;
+  size_t capacity = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Thread-safe least-recently-used cache.
+///
+/// A single mutex guards the map, the recency list, and the counters; the
+/// critical sections are O(1) (hash probe + list splice), so the lock is
+/// held for well under the cost of recomputing any value this library
+/// caches. Values are returned *by copy* so a reader never holds a
+/// reference into the cache after the lock is released (an entry can be
+/// evicted the instant Get returns).
+///
+/// Eviction is strict LRU: Get and Put both refresh recency; inserting into
+/// a full cache evicts the least recently touched entry.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// `capacity` == 0 disables caching entirely: every Get is a miss and Put
+  /// is a no-op (counted as neither insertion nor eviction).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns a copy of the cached value and refreshes its recency, or
+  /// nullopt on a miss.
+  std::optional<Value> Get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites `key`; either way the entry becomes most
+  /// recent and counts as an insertion. Evicts the LRU entry when a *new*
+  /// key exceeds capacity (overwrites never evict).
+  void Put(const Key& key, Value value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      ++insertions_;
+      return;
+    }
+    if (order_.size() >= capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    ++insertions_;
+  }
+
+  /// Drops every entry (counters other than `size` are preserved; an
+  /// explicit flush is not an eviction).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    order_.clear();
+    index_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+  LruCacheStats Stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    LruCacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.insertions = insertions_;
+    stats.evictions = evictions_;
+    stats.size = order_.size();
+    stats.capacity = capacity_;
+    return stats;
+  }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  ///< Front = most recent. Guarded by mu_.
+  std::unordered_map<Key, typename std::list<Entry>::iterator>
+      index_;  ///< Guarded by mu_.
+  uint64_t hits_ = 0;        // Guarded by mu_.
+  uint64_t misses_ = 0;      // Guarded by mu_.
+  uint64_t insertions_ = 0;  // Guarded by mu_.
+  uint64_t evictions_ = 0;   // Guarded by mu_.
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_LRU_CACHE_H_

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

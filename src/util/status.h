@@ -19,6 +19,7 @@ enum class StatusCode {
   kUnimplemented = 6,
   kIOError = 7,
   kAlreadyExists = 8,
+  kUnavailable = 9,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -64,6 +65,11 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Transient overload: the operation was shed and may succeed on retry
+  /// (used by the serving layer's admission control).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,112 @@
+// LatencyHistogram: bucket placement, quantile upper bounds (including the
+// small-count ceil behaviour), max tracking, and concurrent recording.
+
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace texrheo {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero) {
+  LatencyHistogram hist;
+  LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.QuantileUpperBound(0.5), 0u);
+  EXPECT_EQ(snap.max_micros, 0u);
+  EXPECT_DOUBLE_EQ(snap.MeanMicros(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleDominatesEveryQuantile) {
+  LatencyHistogram hist;
+  hist.Record(100);
+  LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.max_micros, 100u);
+  // 100us lands in bucket [64, 127]; the bound is capped by the max.
+  EXPECT_EQ(snap.QuantileUpperBound(0.50), 100u);
+  EXPECT_EQ(snap.QuantileUpperBound(0.99), 100u);
+  EXPECT_DOUBLE_EQ(snap.MeanMicros(), 100.0);
+}
+
+TEST(LatencyHistogramTest, HighQuantileSelectsSlowSampleOfTwo) {
+  LatencyHistogram hist;
+  hist.Record(3);
+  hist.Record(364);
+  LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  // rank(ceil(0.95 * 2)) = 2: the 364us sample, not the 3us one.
+  EXPECT_EQ(snap.QuantileUpperBound(0.50), 3u);
+  EXPECT_GE(snap.QuantileUpperBound(0.95), 256u);
+  EXPECT_EQ(snap.QuantileUpperBound(0.95), 364u);
+}
+
+TEST(LatencyHistogramTest, QuantileBoundsBracketUniformSamples) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Record(i);
+  LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  // The p50 sample is 500us (bucket [256, 511]); the bound must cover it
+  // without exceeding the bucket ceiling.
+  uint64_t p50 = snap.QuantileUpperBound(0.50);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 511u);
+  uint64_t p99 = snap.QuantileUpperBound(0.99);
+  EXPECT_GE(p99, 990u);
+  EXPECT_LE(p99, 1000u);  // Capped by the observed max.
+  EXPECT_NEAR(snap.MeanMicros(), 500.5, 1e-9);
+}
+
+TEST(LatencyHistogramTest, ZeroAndNegativeLandInFirstBucket) {
+  LatencyHistogram hist;
+  hist.Record(0);
+  hist.Record(-5);  // Clamped.
+  hist.Record(1);
+  LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.buckets[0], 3u);
+  EXPECT_EQ(snap.QuantileUpperBound(1.0), 1u);
+}
+
+TEST(LatencyHistogramTest, HugeValueIsClampedToLastBucket) {
+  LatencyHistogram hist;
+  hist.Record(int64_t{1} << 62);
+  LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.buckets[LatencyHistogram::kNumBuckets - 1], 1u);
+  EXPECT_EQ(snap.QuantileUpperBound(0.5), uint64_t{1} << 62);
+}
+
+TEST(LatencyHistogramTest, ToStringMentionsAllFields) {
+  LatencyHistogram hist;
+  hist.Record(10);
+  std::string s = hist.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("max=10"), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsLoseNothing) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) hist.Record(t * 1000 + i % 100);
+    });
+  }
+  for (auto& t : threads) t.join();
+  LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(snap.max_micros, 3099u);
+}
+
+}  // namespace
+}  // namespace texrheo

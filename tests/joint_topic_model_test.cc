@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "eval/metrics.h"
 #include "util/rng.h"
@@ -323,6 +326,77 @@ TEST(JointTopicModelTest, UpdateAlphaIsAFixedPointOnItsOwnOutput) {
   EXPECT_LT(diff, 1e-4);
 }
 
+
+TEST(JointTopicModelTest, ConstFoldInIsDeterministicAndThreadSafe) {
+  // The serving read path: after training stops, any number of threads may
+  // fold in unseen recipes through the const overload concurrently. Each
+  // caller brings its own RNG, so per-stream results must be bit-identical
+  // to a serial run (and the TSan CI leg verifies the absence of hidden
+  // mutable state on this path).
+  recipe::Dataset ds = PlantedDataset(40, 19);
+  auto model = JointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->RunSweeps(40).ok());
+  const JointTopicModel& frozen = *model;
+
+  auto query_doc = [](int cluster) {
+    recipe::Document doc;
+    doc.term_ids = cluster == 0 ? std::vector<int32_t>{0, 1, 0}
+                                : std::vector<int32_t>{2, 3, 2};
+    doc.gel_feature = math::Vector(3, 9.0);
+    doc.gel_feature[cluster == 0 ? 0 : 1] = cluster == 0 ? 4.0 : 5.0;
+    doc.emulsion_feature = math::Vector(2, 9.0);
+    doc.emulsion_feature[cluster] = cluster == 0 ? 1.0 : 2.0;
+    return doc;
+  };
+
+  constexpr int kWorkers = 8;
+  std::vector<std::vector<double>> expected(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    Rng rng = Rng::ForStream(77, static_cast<uint64_t>(i));
+    auto theta = frozen.FoldInTheta(query_doc(i % 2), 30, rng);
+    ASSERT_TRUE(theta.ok());
+    expected[static_cast<size_t>(i)] = *theta;
+  }
+  std::vector<int> mismatches(kWorkers, 0);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kWorkers; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng = Rng::ForStream(77, static_cast<uint64_t>(i));
+      auto theta = frozen.FoldInTheta(query_doc(i % 2), 30, rng);
+      if (!theta.ok() || *theta != expected[static_cast<size_t>(i)]) {
+        mismatches[static_cast<size_t>(i)] = 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kWorkers; ++i) {
+    EXPECT_EQ(mismatches[static_cast<size_t>(i)], 0) << "worker " << i;
+  }
+}
+
+TEST(JointTopicModelTest, ConstAndConvenienceFoldInAgreeOnPlacement) {
+  recipe::Dataset ds = PlantedDataset(40, 21);
+  auto model = JointTopicModel::Create(SmallConfig(2), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Train().ok());
+  recipe::Document doc;
+  doc.term_ids = {0, 1, 0, 1};
+  doc.gel_feature = math::Vector(3, 9.0);
+  doc.gel_feature[0] = 4.0;
+  doc.emulsion_feature = math::Vector(2, 9.0);
+  doc.emulsion_feature[0] = 1.0;
+  Rng rng = Rng::ForStream(5, 0);
+  auto via_const = model->FoldInTheta(doc, 50, rng);
+  auto via_member = model->FoldInTheta(doc, 50);
+  ASSERT_TRUE(via_const.ok() && via_member.ok());
+  // Different RNGs, same posterior mode: both runs place the query in the
+  // same dominant topic.
+  auto argmax = [](const std::vector<double>& v) {
+    return std::max_element(v.begin(), v.end()) - v.begin();
+  };
+  EXPECT_EQ(argmax(*via_const), argmax(*via_member));
+}
 
 TEST(JointTopicModelTest, GmmInitRecoversClustersFaster) {
   recipe::Dataset ds = PlantedDataset(60, 18);

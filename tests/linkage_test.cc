@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace texrheo::core {
 namespace {
 
@@ -124,6 +126,98 @@ TEST(LinkageTest, EmptyTopicsYieldEmptyDivergences) {
   ASSERT_TRUE(links.ok());
   for (const auto& link : *links) {
     EXPECT_TRUE(link.divergence_by_topic.empty());
+  }
+}
+
+// --- Degenerate topic Gaussians --------------------------------------------
+//
+// A collapsed topic (all recipes at one point) or an overflowed precision
+// must surface as a clean Status, never as Inf/NaN divergences that
+// silently scramble the ranking.
+
+TopicEstimates WithDegenerateSecondTopic() {
+  recipe::FeatureConfig fc;
+  TopicEstimates est;
+  est.gel_topics.push_back(
+      math::Gaussian::FromPrecision(recipe::ToFeature({0.02, 0.0, 0.0}, fc),
+                                    math::Matrix::Identity(3, 4.0))
+          .value());
+  // Numerically exploded precision: constructible (still PD), but its
+  // trace / quadratic forms overflow to Inf against any real setting.
+  est.gel_topics.push_back(
+      math::Gaussian::FromPrecision(math::Vector(3, 0.0),
+                                    math::Matrix::Identity(3, 1e308))
+          .value());
+  return est;
+}
+
+class DegenerateLinkageTest : public ::testing::TestWithParam<LinkageMethod> {
+};
+
+TEST_P(DegenerateLinkageTest, CovarianceDependentMethodsFailCleanly) {
+  TopicEstimates est = WithDegenerateSecondTopic();
+  recipe::FeatureConfig fc;
+  LinkageOptions options;
+  options.method = GetParam();
+  auto links = LinkSettingsToTopics(est, rheology::TableI(), fc, options);
+  if (GetParam() == LinkageMethod::kEuclidean) {
+    // Euclidean never touches the covariance; the degenerate topic is
+    // harmless and every divergence must still be finite.
+    ASSERT_TRUE(links.ok()) << links.status().ToString();
+    for (const auto& link : *links) {
+      for (double d : link.divergence_by_topic) {
+        EXPECT_TRUE(std::isfinite(d));
+      }
+    }
+  } else {
+    ASSERT_FALSE(links.ok());
+    EXPECT_EQ(links.status().code(), StatusCode::kFailedPrecondition)
+        << links.status().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, DegenerateLinkageTest,
+                         ::testing::Values(LinkageMethod::kGaussianKL,
+                                           LinkageMethod::kNegLogDensity,
+                                           LinkageMethod::kMahalanobis,
+                                           LinkageMethod::kEuclidean));
+
+TEST(LinkageTest, DegenerateTopicErrorPropagatesThroughDishLinkage) {
+  TopicEstimates est = WithDegenerateSecondTopic();
+  recipe::FeatureConfig fc;
+  auto link = LinkConcentrationToTopic(est, {0.02, 0.0, 0.0}, fc);
+  ASSERT_FALSE(link.ok());
+  EXPECT_EQ(link.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LinkageTest, FeatureDimensionMismatchIsInvalidArgument) {
+  recipe::FeatureConfig fc;
+  TopicEstimates est;
+  // 2-D topic against 3-D gel settings.
+  est.gel_topics.push_back(
+      math::Gaussian::FromPrecision(math::Vector(2, 1.0),
+                                    math::Matrix::Identity(2, 1.0))
+          .value());
+  auto links = LinkSettingsToTopics(est, rheology::TableI(), fc);
+  ASSERT_FALSE(links.ok());
+  EXPECT_EQ(links.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinkageTest, WellConditionedTopicsStayFiniteUnderEveryMethod) {
+  TopicEstimates est = TwoTopicEstimates();
+  recipe::FeatureConfig fc;
+  for (LinkageMethod method :
+       {LinkageMethod::kGaussianKL, LinkageMethod::kNegLogDensity,
+        LinkageMethod::kMahalanobis, LinkageMethod::kEuclidean}) {
+    LinkageOptions options;
+    options.method = method;
+    auto links = LinkSettingsToTopics(est, rheology::TableI(), fc, options);
+    ASSERT_TRUE(links.ok());
+    for (const auto& link : *links) {
+      for (double d : link.divergence_by_topic) {
+        EXPECT_TRUE(std::isfinite(d));
+      }
+    }
   }
 }
 

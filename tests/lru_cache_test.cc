@@ -1,0 +1,158 @@
+// LruCache: eviction order, recency refresh on Get and Put-overwrite,
+// counter correctness (including under concurrent hits), and the disabled
+// (capacity 0) mode used when serving is configured cache-less.
+
+#include "util/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace texrheo {
+namespace {
+
+TEST(LruCacheTest, GetReturnsWhatWasPut) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  auto a = cache.Get("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_FALSE(cache.Get("missing").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Put(3, 3);
+  cache.Put(4, 4);  // Evicts 1 (oldest).
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+  cache.Put(5, 5);  // 3 is now the least recent (2 was refreshed by Get).
+  EXPECT_FALSE(cache.Get(3).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(4).has_value());
+  EXPECT_TRUE(cache.Get(5).has_value());
+  EXPECT_EQ(cache.Stats().evictions, 2u);
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  ASSERT_TRUE(cache.Get(1).has_value());  // 2 becomes least recent.
+  cache.Put(3, 3);
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, PutOverwriteRefreshesWithoutEviction) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Put(1, 10);  // Overwrite: no eviction, 1 becomes most recent.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+  cache.Put(3, 3);  // Evicts 2, not 1.
+  auto one = cache.Get(1);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(*one, 10);
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, CapacityZeroDisablesCaching) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  // A disabled cache still counts the miss (hit rate stays meaningful).
+  EXPECT_EQ(cache.Stats().misses, 1u);
+}
+
+TEST(LruCacheTest, ClearEmptiesButKeepsCounters) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  ASSERT_TRUE(cache.Get(1).has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(LruCacheTest, StatsCountersAreExact) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);   // insertion
+  cache.Put(2, 2);   // insertion
+  cache.Put(2, 22);  // overwrite: counts as insertion, not eviction
+  cache.Get(1);      // hit
+  cache.Get(9);      // miss
+  cache.Put(3, 3);   // insertion + eviction (of 2)
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 4u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(LruCacheTest, CountersExactUnderConcurrentHits) {
+  LruCache<int, int> cache(8);
+  for (int i = 0; i < 8; ++i) cache.Put(i, i);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<int> wrong_values{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &wrong_values, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int key = (t + i) % 8;         // Always present: every op is a hit.
+        auto value = cache.Get(key);
+        if (!value.has_value() || *value != key) ++wrong_values;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong_values.load(), 0);
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.size, 8u);
+}
+
+TEST(LruCacheTest, ConcurrentMixedPutGetStaysConsistent) {
+  LruCache<int, int> cache(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 1000; ++i) {
+        int key = (t * 31 + i) % 64;
+        if (i % 3 == 0) {
+          cache.Put(key, key * 10);
+        } else {
+          auto value = cache.Get(key);
+          if (value.has_value()) {
+            EXPECT_EQ(*value, key * 10);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LruCacheStats stats = cache.Stats();
+  EXPECT_LE(stats.size, 16u);
+  // Per thread: 334 puts (i % 3 == 0 for i in [0, 1000)), 666 gets.
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 666u);
+}
+
+}  // namespace
+}  // namespace texrheo

@@ -1,0 +1,478 @@
+// QueryEngine: all four query types, result caching, micro-batching,
+// admission control, concurrent mixed-type queries, and hot reload with
+// zero in-flight failures. Runs on a hand-built two-topic model so the
+// suite stays fast; ci.sh re-runs it under TSan.
+
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "math/distributions.h"
+#include "recipe/dataset.h"
+#include "recipe/ingredient.h"
+#include "serve/snapshot.h"
+
+namespace texrheo::serve {
+namespace {
+
+math::Gaussian MakeGaussian(double mean, size_t dim) {
+  auto g = math::Gaussian::FromPrecision(math::Vector(dim, mean),
+                                         math::Matrix::Identity(dim, 4.0));
+  EXPECT_TRUE(g.ok());
+  return *g;
+}
+
+/// Topic 0: hard, gel features near 2. Topic 1: elastic, features near 6.
+core::ModelSnapshot TinyModel() {
+  core::ModelSnapshot model;
+  model.vocab.Add("katai");
+  model.vocab.Add("purupuru");
+  model.vocab.Add("fuwafuwa");
+  model.vocab.Add("zzz-not-a-texture-word");
+  model.estimates.phi = {{0.7, 0.1, 0.1, 0.1}, {0.05, 0.75, 0.1, 0.1}};
+  model.estimates.gel_topics = {MakeGaussian(2.0, 3), MakeGaussian(6.0, 3)};
+  model.estimates.emulsion_topics = {MakeGaussian(1.0, 6),
+                                     MakeGaussian(3.0, 6)};
+  model.estimates.topic_recipe_count = {3, 3};
+  return model;
+}
+
+std::shared_ptr<const ServingSnapshot> TinySnapshot(
+    const std::string& label = "tiny") {
+  auto snapshot = ServingSnapshot::FromModel(TinyModel(), label);
+  EXPECT_TRUE(snapshot.ok());
+  return *snapshot;
+}
+
+/// Six documents, three per topic (by gel feature), with emulsion
+/// concentrations at increasing distance from {0.1 x6}.
+recipe::Dataset TinyCorpus() {
+  recipe::Dataset ds;
+  ds.term_vocab.Add("katai");
+  for (int i = 0; i < 6; ++i) {
+    recipe::Document doc;
+    doc.recipe_index = static_cast<size_t>(i);
+    doc.term_ids = {0};
+    doc.gel_feature = math::Vector(3, i < 3 ? 2.0 : 6.0);
+    doc.gel_concentration = math::Vector(3, 0.01);
+    doc.emulsion_feature = math::Vector(6, 1.0);
+    doc.emulsion_concentration = math::Vector(6, 0.1 + 0.05 * (i % 3));
+    ds.documents.push_back(std::move(doc));
+  }
+  return ds;
+}
+
+QueryEngineConfig FastConfig() {
+  QueryEngineConfig config;
+  config.fold_in_sweeps = 10;
+  config.batch_linger_micros = 0;  // Tests shouldn't sleep.
+  return config;
+}
+
+TextureQuery HardQuery() {
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.01);
+  query.texture_terms = {"katai", "katai"};
+  return query;
+}
+
+TEST(QueryEngineTest, CreateValidatesConfig) {
+  auto corpus = TinyCorpus();
+  QueryEngineConfig bad = FastConfig();
+  bad.fold_in_sweeps = 0;
+  EXPECT_FALSE(QueryEngine::Create(bad, TinySnapshot(), &corpus).ok());
+  bad = FastConfig();
+  bad.cache_quantum = 0.0;
+  EXPECT_FALSE(QueryEngine::Create(bad, TinySnapshot(), &corpus).ok());
+  bad = FastConfig();
+  bad.alpha = -1.0;
+  EXPECT_FALSE(QueryEngine::Create(bad, TinySnapshot(), &corpus).ok());
+  EXPECT_FALSE(QueryEngine::Create(FastConfig(), nullptr, &corpus).ok());
+}
+
+TEST(QueryEngineTest, PredictTextureAnswersAndCaches) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto first = (*engine)->PredictTexture(HardQuery());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->from_cache);
+  ASSERT_EQ(first->theta.size(), 2u);
+  EXPECT_NEAR(first->theta[0] + first->theta[1], 1.0, 1e-9);
+  EXPECT_FALSE(first->top_terms.empty());
+  EXPECT_NE(first->model_fingerprint, 0u);
+
+  auto second = (*engine)->PredictTexture(HardQuery());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(second->theta, first->theta);
+  EXPECT_EQ(second->topic, first->topic);
+
+  QueryEngineStats stats = (*engine)->GetStats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.batcher.submitted, 1u);  // Only the miss folded in.
+  EXPECT_EQ(stats.predict.count, 2u);
+}
+
+TEST(QueryEngineTest, CacheKeyIsIngredientOrderIndependent) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  auto a = QueryFromIngredients({{"gelatin", 0.01}, {"milk", 0.2}},
+                                {"katai", "purupuru"});
+  auto b = QueryFromIngredients({{"milk", 0.2}, {"gelatin", 0.01}},
+                                {"purupuru", "katai"});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*engine)->PredictTexture(*a).ok());
+  auto hit = (*engine)->PredictTexture(*b);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->from_cache);
+}
+
+TEST(QueryEngineTest, UnknownTermsAreCountedNotFatal) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  TextureQuery query = HardQuery();
+  query.texture_terms = {"katai", "not-in-vocab"};
+  ASSERT_TRUE((*engine)->PredictTexture(query).ok());
+  EXPECT_EQ((*engine)->GetStats().unknown_terms, 1u);
+}
+
+TEST(QueryEngineTest, PredictTextureRejectsBadDimensions) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  TextureQuery query;
+  query.gel_concentration = math::Vector(2, 0.01);  // Must be 3.
+  EXPECT_FALSE((*engine)->PredictTexture(query).ok());
+  query.gel_concentration = math::Vector(3, 2.0);  // Ratio > 1.
+  EXPECT_FALSE((*engine)->PredictTexture(query).ok());
+}
+
+TEST(QueryEngineTest, NearestRheologyRanksAscendingAndChecksRange) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  auto matches = (*engine)->NearestRheology(0);
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  ASSERT_GT(matches->size(), 1u);
+  for (size_t i = 1; i < matches->size(); ++i) {
+    EXPECT_LE((*matches)[i - 1].divergence, (*matches)[i].divergence);
+  }
+  EXPECT_FALSE((*engine)->NearestRheology(-1).ok());
+  EXPECT_FALSE((*engine)->NearestRheology(2).ok());
+}
+
+TEST(QueryEngineTest, NearestRheologyHonoursMethodOverride) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  core::LinkageOptions euclid;
+  euclid.method = core::LinkageMethod::kEuclidean;
+  auto kl = (*engine)->NearestRheology(0);
+  auto eu = (*engine)->NearestRheology(0, &euclid);
+  ASSERT_TRUE(kl.ok() && eu.ok());
+  // Different scoring functions produce different divergence values.
+  EXPECT_NE((*kl)[0].divergence, (*eu)[0].divergence);
+}
+
+TEST(QueryEngineTest, SimilarRecipesStaysInTopicAndRanks) {
+  auto corpus = TinyCorpus();
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), &corpus);
+  ASSERT_TRUE(engine.ok());
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.01);
+  query.emulsion_concentration = math::Vector(6, 0.1);
+  auto result = (*engine)->SimilarRecipes(query, 10);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Feature-only query near exp(-2): lands in a topic with 3 documents.
+  EXPECT_EQ(result->recipes.size(), 3u);
+  for (const SimilarRecipe& r : result->recipes) {
+    EXPECT_EQ(r.recipe_index < 3, result->topic == 0);
+  }
+  for (size_t i = 1; i < result->recipes.size(); ++i) {
+    EXPECT_LE(result->recipes[i - 1].divergence,
+              result->recipes[i].divergence);
+  }
+  // top_n truncates.
+  auto top1 = (*engine)->SimilarRecipes(query, 1);
+  ASSERT_TRUE(top1.ok());
+  EXPECT_EQ(top1->recipes.size(), 1u);
+}
+
+TEST(QueryEngineTest, SimilarRecipesRequiresCorpus) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.01);
+  auto result = (*engine)->SimilarRecipes(query);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryEngineTest, TopicCardSummarizesTopic) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  auto card = (*engine)->TopicCard(0);
+  ASSERT_TRUE(card.ok()) << card.status().ToString();
+  EXPECT_EQ(card->topic, 0);
+  EXPECT_EQ(card->recipe_count, 3);
+  ASSERT_FALSE(card->top_terms.empty());
+  EXPECT_EQ(card->top_terms[0].first, "katai");
+  EXPECT_GT(card->categories.hard, 0.5);
+  // Gaussian mean (feature space 2.0) maps back to exp(-2) concentration.
+  ASSERT_EQ(card->gel_mean_concentration.size(), 3u);
+  EXPECT_NEAR(card->gel_mean_concentration[0], std::exp(-2.0), 1e-6);
+  EXPECT_FALSE((*engine)->TopicCard(7).ok());
+}
+
+TEST(QueryEngineTest, ReloadSwapsModelAndFlushesCache) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  auto before = (*engine)->PredictTexture(HardQuery());
+  ASSERT_TRUE(before.ok());
+
+  core::ModelSnapshot changed = TinyModel();
+  changed.estimates.phi[0] = {0.1, 0.1, 0.7, 0.1};  // Now fuwafuwa-heavy.
+  changed.estimates.phi[1] = {0.1, 0.1, 0.2, 0.6};
+  auto new_snapshot = ServingSnapshot::FromModel(std::move(changed), "v2");
+  ASSERT_TRUE(new_snapshot.ok());
+  ASSERT_TRUE((*engine)->Reload(*new_snapshot).ok());
+
+  EXPECT_EQ((*engine)->snapshot()->fingerprint(),
+            (*new_snapshot)->fingerprint());
+  auto after = (*engine)->PredictTexture(HardQuery());
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->from_cache);  // Cache was flushed.
+  EXPECT_EQ(after->model_fingerprint, (*new_snapshot)->fingerprint());
+  QueryEngineStats stats = (*engine)->GetStats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.model_fingerprint, (*new_snapshot)->fingerprint());
+  EXPECT_FALSE((*engine)->Reload(nullptr).ok());
+}
+
+TEST(QueryEngineTest, StatszMentionsEverySection) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->PredictTexture(HardQuery()).ok());
+  std::string statsz = (*engine)->Statsz();
+  for (const char* section :
+       {"model:", "cache:", "batcher:", "errors:", "predict_texture:",
+        "nearest_rheology:", "similar_recipes:", "topic_card:"}) {
+    EXPECT_NE(statsz.find(section), std::string::npos) << section;
+  }
+}
+
+TEST(QueryEngineTest, AdmissionControlShedsWithUnavailable) {
+  // max_queue 1 with a batcher throttled by a slow fold-in: flood with
+  // distinct queries from several threads and require at least one clean
+  // Unavailable shed plus zero crashes.
+  QueryEngineConfig config = FastConfig();
+  config.cache_capacity = 0;  // Every query must fold in.
+  config.max_queue = 1;
+  config.batch_max_size = 1;
+  config.fold_in_sweeps = 2000;  // Slow enough to back up the queue.
+  auto engine = QueryEngine::Create(config, TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  std::atomic<int> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        TextureQuery query;
+        query.texture_terms = {"katai", "purupuru", "katai", "fuwafuwa"};
+        query.gel_concentration = math::Vector(3);
+        query.gel_concentration[0] = 0.001 * (t * 8 + i + 1);
+        auto result = (*engine)->PredictTexture(query);
+        if (result.ok()) {
+          ++ok;
+        } else if (result.status().code() == StatusCode::kUnavailable) {
+          ++shed;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(shed.load(), 0);
+  QueryEngineStats stats = (*engine)->GetStats();
+  EXPECT_EQ(stats.batcher.shed, static_cast<uint64_t>(shed.load()));
+  EXPECT_EQ(stats.errors, static_cast<uint64_t>(shed.load()));
+}
+
+TEST(QueryEngineTest, ConcurrentBatchedFoldInsMatchSerialResults) {
+  // Determinism across batch layouts: each query's RNG stream is keyed on
+  // its admission sequence, so with a fixed submission order the theta must
+  // not depend on how the dispatcher grouped the jobs.
+  QueryEngineConfig config = FastConfig();
+  config.cache_capacity = 0;
+  config.batch_linger_micros = 500;  // Encourage multi-job batches.
+  config.batch_max_size = 8;
+  auto engine = QueryEngine::Create(config, TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+
+  // One fixed query, submitted 8 times: every submission draws a distinct
+  // sequence number (and therefore RNG stream), so the 8 thetas form a
+  // fixed multiset {f(stream 0), ..., f(stream 7)} however they were
+  // batched or raced.
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.005);
+  query.texture_terms = {"katai", "purupuru"};
+  std::vector<std::vector<double>> serial(8);
+  for (int i = 0; i < 8; ++i) {
+    auto p = (*engine)->PredictTexture(query);
+    ASSERT_TRUE(p.ok());
+    serial[static_cast<size_t>(i)] = p->theta;
+  }
+  auto engine2 = QueryEngine::Create(config, TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine2.ok());
+  std::vector<std::vector<double>> concurrent(8);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      auto p = (*engine2)->PredictTexture(query);
+      if (p.ok()) concurrent[static_cast<size_t>(i)] = p->theta;
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sequence numbers were raced across threads, so compare as multisets.
+  auto sorted = [](std::vector<std::vector<double>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(serial), sorted(concurrent));
+  EXPECT_GE((*engine2)->GetStats().batcher.max_batch_size, 1u);
+}
+
+TEST(QueryEngineTest, MixedQueryTypesRaceSafely) {
+  auto corpus = TinyCorpus();
+  QueryEngineConfig config = FastConfig();
+  config.num_threads = 2;
+  auto engine = QueryEngine::Create(config, TinySnapshot(), &corpus);
+  ASSERT_TRUE(engine.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        bool ok = true;
+        switch ((t + i) % 4) {
+          case 0: {
+            TextureQuery query;
+            query.gel_concentration = math::Vector(3);
+            query.gel_concentration[0] = 0.001 * ((i % 5) + 1);
+            ok = (*engine)->PredictTexture(query).ok();
+            break;
+          }
+          case 1:
+            ok = (*engine)->NearestRheology(i % 2).ok();
+            break;
+          case 2: {
+            TextureQuery query;
+            query.gel_concentration = math::Vector(3, 0.01);
+            query.emulsion_concentration = math::Vector(6, 0.1);
+            ok = (*engine)->SimilarRecipes(query).ok();
+            break;
+          }
+          case 3:
+            ok = (*engine)->TopicCard(i % 2).ok();
+            break;
+        }
+        if (!ok) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  QueryEngineStats stats = (*engine)->GetStats();
+  EXPECT_EQ(stats.predict.count + stats.nearest.count + stats.similar.count +
+                stats.topic_card.count,
+            6u * 20u);
+}
+
+TEST(QueryEngineTest, ReloadUnderLoadFailsZeroQueries) {
+  // The acceptance criterion: hot reload swaps models while queries are in
+  // flight, and not a single query fails because of it.
+  auto corpus = TinyCorpus();
+  QueryEngineConfig config = FastConfig();
+  config.cache_capacity = 0;  // Force every predict through fold-in.
+  config.fold_in_sweeps = 30;
+  auto engine = QueryEngine::Create(config, TinySnapshot("v1"), &corpus);
+  ASSERT_TRUE(engine.ok());
+
+  auto alt_model = [] {
+    core::ModelSnapshot model = TinyModel();
+    model.estimates.phi[0] = {0.4, 0.2, 0.2, 0.2};
+    return model;
+  };
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        TextureQuery query;
+        query.gel_concentration = math::Vector(3);
+        query.gel_concentration[0] = 0.001 * ((i + t) % 20 + 1);
+        auto result = (*engine)->PredictTexture(query);
+        // Shedding is admission control, not a reload failure; anything
+        // else non-OK is.
+        if (result.ok()) {
+          ++served;
+        } else if (result.status().code() != StatusCode::kUnavailable) {
+          ++failures;
+        }
+      }
+    });
+  }
+  // Hammer reloads while the clients run.
+  for (int r = 0; r < 20; ++r) {
+    auto snapshot = ServingSnapshot::FromModel(
+        r % 2 == 0 ? alt_model() : TinyModel(),
+        "reload-" + std::to_string(r));
+    ASSERT_TRUE(snapshot.ok());
+    ASSERT_TRUE((*engine)->Reload(*snapshot).ok());
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ((*engine)->GetStats().reloads, 20u);
+}
+
+TEST(QueryFromIngredientsTest, ResolvesAndAccumulates) {
+  auto query = QueryFromIngredients(
+      {{"gelatin", 0.01}, {"milk", 0.2}, {"gelatin", 0.005}}, {"katai"});
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->gel_concentration.size(),
+            static_cast<size_t>(recipe::kNumGelTypes));
+  EXPECT_NEAR(query->gel_concentration[0], 0.015, 1e-12);  // Accumulated.
+  EXPECT_EQ(query->texture_terms.size(), 1u);
+}
+
+TEST(QueryFromIngredientsTest, RejectsUnknownAndOutOfRange) {
+  EXPECT_FALSE(QueryFromIngredients({{"unobtainium", 0.1}}).ok());
+  EXPECT_FALSE(QueryFromIngredients({{"gelatin", 1.5}}).ok());
+  EXPECT_FALSE(QueryFromIngredients({{"gelatin", -0.1}}).ok());
+}
+
+TEST(QueryFromIngredientsTest, IgnoresNonModelIngredients) {
+  auto query = QueryFromIngredients({{"water", 0.9}, {"gelatin", 0.01}});
+  ASSERT_TRUE(query.ok());
+  double gel_total = 0.0;
+  for (size_t i = 0; i < query->gel_concentration.size(); ++i) {
+    gel_total += query->gel_concentration[i];
+  }
+  EXPECT_NEAR(gel_total, 0.01, 1e-12);  // Water contributed nothing.
+}
+
+}  // namespace
+}  // namespace texrheo::serve

@@ -1,0 +1,113 @@
+// CanonicalQueryKey: quantization boundaries, ingredient-order (dimension
+// vs. insertion order) independence, term-bag independence, and tag
+// separation between the gel and emulsion blocks.
+
+#include "serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "math/linalg.h"
+
+namespace texrheo::serve {
+namespace {
+
+math::Vector Vec(std::initializer_list<double> values) {
+  math::Vector v(values.size());
+  size_t i = 0;
+  for (double x : values) v[i++] = x;
+  return v;
+}
+
+constexpr double kQuantum = 1e-4;
+
+TEST(CanonicalQueryKeyTest, IdenticalInputsIdenticalKeys) {
+  std::string a =
+      CanonicalQueryKey(Vec({0.01, 0, 0}), Vec({0.2, 0, 0, 0, 0, 0}),
+                        {3, 1, 2}, kQuantum);
+  std::string b =
+      CanonicalQueryKey(Vec({0.01, 0, 0}), Vec({0.2, 0, 0, 0, 0, 0}),
+                        {3, 1, 2}, kQuantum);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(CanonicalQueryKeyTest, TermOrderDoesNotMatter) {
+  std::string a = CanonicalQueryKey(Vec({0.01}), Vec({}), {3, 1, 2}, kQuantum);
+  std::string b = CanonicalQueryKey(Vec({0.01}), Vec({}), {2, 3, 1}, kQuantum);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalQueryKeyTest, TermMultiplicityMatters) {
+  // Eq.-5 scores a bag, not a set: a repeated term is a different query.
+  std::string once = CanonicalQueryKey(Vec({0.01}), Vec({}), {7}, kQuantum);
+  std::string twice =
+      CanonicalQueryKey(Vec({0.01}), Vec({}), {7, 7}, kQuantum);
+  EXPECT_NE(once, twice);
+}
+
+TEST(CanonicalQueryKeyTest, SubQuantumNoiseCollapsesToOneKey) {
+  // Two measurements of the same recipe differing by far less than the
+  // quantum must share a cache entry.
+  std::string a = CanonicalQueryKey(Vec({0.0100001}), Vec({}), {}, kQuantum);
+  std::string b = CanonicalQueryKey(Vec({0.0099999}), Vec({}), {}, kQuantum);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalQueryKeyTest, SuperQuantumDifferenceSeparatesKeys) {
+  std::string a = CanonicalQueryKey(Vec({0.0100}), Vec({}), {}, kQuantum);
+  std::string b = CanonicalQueryKey(Vec({0.0102}), Vec({}), {}, kQuantum);
+  EXPECT_NE(a, b);
+}
+
+TEST(CanonicalQueryKeyTest, RoundingBoundaryIsStable) {
+  // llround: exactly half-quantum rounds away from zero; values on either
+  // side of the midpoint land in adjacent cells.
+  std::string below =
+      CanonicalQueryKey(Vec({1.4 * kQuantum}), Vec({}), {}, kQuantum);
+  std::string above =
+      CanonicalQueryKey(Vec({1.6 * kQuantum}), Vec({}), {}, kQuantum);
+  std::string one = CanonicalQueryKey(Vec({kQuantum}), Vec({}), {}, kQuantum);
+  EXPECT_EQ(below, one);
+  EXPECT_NE(above, one);
+}
+
+TEST(CanonicalQueryKeyTest, ZeroDimensionsAreOmitted) {
+  // Sparse emission: explicit zeros and absent dimensions canonicalize the
+  // same way, so vector padding cannot split the cache.
+  std::string padded =
+      CanonicalQueryKey(Vec({0.01, 0.0, 0.0}), Vec({}), {}, kQuantum);
+  std::string no_tail = CanonicalQueryKey(Vec({0.01}), Vec({}), {}, kQuantum);
+  EXPECT_EQ(padded, no_tail);
+}
+
+TEST(CanonicalQueryKeyTest, DimensionIndexMatters) {
+  // Same mass in a different gel slot is a different recipe.
+  std::string gelatin =
+      CanonicalQueryKey(Vec({0.01, 0, 0}), Vec({}), {}, kQuantum);
+  std::string agar =
+      CanonicalQueryKey(Vec({0, 0, 0.01}), Vec({}), {}, kQuantum);
+  EXPECT_NE(gelatin, agar);
+}
+
+TEST(CanonicalQueryKeyTest, GelAndEmulsionBlocksDoNotAlias) {
+  std::string gel = CanonicalQueryKey(Vec({0.01}), Vec({}), {}, kQuantum);
+  std::string emulsion = CanonicalQueryKey(Vec({}), Vec({0.01}), {}, kQuantum);
+  EXPECT_NE(gel, emulsion);
+}
+
+TEST(CanonicalQueryKeyTest, EmptyQueryHasEmptyButUsableKey) {
+  std::string key = CanonicalQueryKey(Vec({}), Vec({}), {}, kQuantum);
+  EXPECT_TRUE(key.empty());  // Degenerate but a valid (cacheable) map key.
+}
+
+TEST(CanonicalQueryKeyTest, NegativeFeatureValuesKeepSign) {
+  std::string pos = CanonicalQueryKey(Vec({0.01}), Vec({}), {}, kQuantum);
+  std::string neg = CanonicalQueryKey(Vec({-0.01}), Vec({}), {}, kQuantum);
+  EXPECT_NE(pos, neg);
+}
+
+}  // namespace
+}  // namespace texrheo::serve

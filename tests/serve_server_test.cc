@@ -1,0 +1,190 @@
+// LineProtocolServer + LineClient: end-to-end TCP sessions on an ephemeral
+// port, protocol parsing (including malformed input), concurrent clients,
+// and clean shutdown with connections open.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "math/distributions.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+
+namespace texrheo::serve {
+namespace {
+
+math::Gaussian MakeGaussian(double mean, size_t dim) {
+  auto g = math::Gaussian::FromPrecision(math::Vector(dim, mean),
+                                         math::Matrix::Identity(dim, 4.0));
+  EXPECT_TRUE(g.ok());
+  return *g;
+}
+
+core::ModelSnapshot TinyModel() {
+  core::ModelSnapshot model;
+  model.vocab.Add("katai");
+  model.vocab.Add("purupuru");
+  model.estimates.phi = {{0.8, 0.2}, {0.1, 0.9}};
+  model.estimates.gel_topics = {MakeGaussian(2.0, 3), MakeGaussian(6.0, 3)};
+  model.estimates.emulsion_topics = {MakeGaussian(1.0, 6),
+                                     MakeGaussian(3.0, 6)};
+  model.estimates.topic_recipe_count = {2, 2};
+  return model;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto snapshot = ServingSnapshot::FromModel(TinyModel(), "server-test");
+    ASSERT_TRUE(snapshot.ok());
+    QueryEngineConfig config;
+    config.fold_in_sweeps = 10;
+    config.batch_linger_micros = 0;
+    auto engine = QueryEngine::Create(config, *snapshot, nullptr);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(engine).value();
+    server_ = std::make_unique<LineProtocolServer>(engine_.get(),
+                                                   ServerOptions{});
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<LineProtocolServer> server_;
+};
+
+TEST_F(ServerTest, PingPong) {
+  auto client = LineClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto reply = (*client)->RoundTrip("PING");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, "OK pong");
+}
+
+TEST_F(ServerTest, FullScriptedSession) {
+  auto client = LineClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  auto predict =
+      (*client)->RoundTrip("PREDICT gelatin=0.01 terms=katai,katai");
+  ASSERT_TRUE(predict.ok());
+  EXPECT_EQ(predict->rfind("OK topic=", 0), 0u) << *predict;
+  EXPECT_NE(predict->find("cached=0"), std::string::npos);
+
+  auto cached = (*client)->RoundTrip("PREDICT gelatin=0.01 terms=katai,katai");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_NE(cached->find("cached=1"), std::string::npos) << *cached;
+
+  auto nearest = (*client)->RoundTrip("NEAREST 0");
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(nearest->rfind("OK setting=", 0), 0u) << *nearest;
+
+  auto topic = (*client)->RoundTrip("TOPIC 1");
+  ASSERT_TRUE(topic.ok());
+  EXPECT_NE(topic->find("top=purupuru"), std::string::npos) << *topic;
+
+  ASSERT_TRUE((*client)->SendLine("STATSZ").ok());
+  auto statsz = (*client)->ReadUntilDot();
+  ASSERT_TRUE(statsz.ok());
+  EXPECT_NE(statsz->find("cache:"), std::string::npos);
+
+  auto bye = (*client)->RoundTrip("QUIT");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_EQ(*bye, "OK bye");
+}
+
+TEST_F(ServerTest, MalformedCommandsGetErrNotDisconnect) {
+  auto client = LineClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  for (const char* bad :
+       {"FROBNICATE", "PREDICT", "PREDICT gelatin", "PREDICT gelatin=x",
+        "PREDICT unobtainium=0.5", "NEAREST", "NEAREST abc", "NEAREST 42",
+        "NEAREST 0 method=cosine", "TOPIC -3", "SIMILAR -",
+        "RELOAD /nonexistent/model.txt"}) {
+    auto reply = (*client)->RoundTrip(bad);
+    ASSERT_TRUE(reply.ok()) << bad;
+    EXPECT_EQ(reply->rfind("ERR", 0), 0u) << bad << " -> " << *reply;
+  }
+  // The connection survived all of it.
+  auto reply = (*client)->RoundTrip("PING");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, "OK pong");
+}
+
+TEST_F(ServerTest, SimilarWithoutCorpusIsFailedPrecondition) {
+  auto client = LineClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  auto reply = (*client)->RoundTrip("SIMILAR gelatin=0.01");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->rfind("ERR FailedPrecondition", 0), 0u) << *reply;
+}
+
+TEST_F(ServerTest, ConcurrentClientsAllGetAnswers) {
+  constexpr int kClients = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = LineClient::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 10; ++i) {
+        std::string cmd;
+        switch ((c + i) % 3) {
+          case 0:
+            cmd = "PREDICT gelatin=0.00" + std::to_string(i % 5 + 1);
+            break;
+          case 1:
+            cmd = "NEAREST " + std::to_string(i % 2);
+            break;
+          default:
+            cmd = "TOPIC " + std::to_string(i % 2);
+        }
+        auto reply = (*client)->RoundTrip(cmd);
+        if (!reply.ok() || reply->rfind("OK", 0) != 0) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server_->connections_accepted(), static_cast<uint64_t>(kClients));
+}
+
+TEST_F(ServerTest, StopWithOpenConnectionsIsClean) {
+  auto client = LineClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->RoundTrip("PING").ok());
+  server_->Stop();  // Client still open: must not hang or crash.
+  // After stop, the next read fails instead of blocking forever.
+  auto reply = (*client)->RoundTrip("PING");
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST(ServerProtocolTest, HandleCommandIsUsableWithoutSockets) {
+  auto snapshot = ServingSnapshot::FromModel(TinyModel(), "proto-test");
+  ASSERT_TRUE(snapshot.ok());
+  QueryEngineConfig config;
+  config.fold_in_sweeps = 5;
+  config.batch_linger_micros = 0;
+  auto engine = QueryEngine::Create(config, *snapshot, nullptr);
+  ASSERT_TRUE(engine.ok());
+  LineProtocolServer server(engine->get(), ServerOptions{});
+  bool quit = false;
+  EXPECT_EQ(server.HandleCommand("PING", &quit), "OK pong");
+  EXPECT_FALSE(quit);
+  EXPECT_EQ(server.HandleCommand("QUIT", &quit), "OK bye");
+  EXPECT_TRUE(quit);
+  quit = false;
+  std::string statsz = server.HandleCommand("STATSZ", &quit);
+  EXPECT_NE(statsz.find("texrheo_serve statsz"), std::string::npos);
+  EXPECT_EQ(statsz.substr(statsz.size() - 2), "\n.");
+}
+
+}  // namespace
+}  // namespace texrheo::serve

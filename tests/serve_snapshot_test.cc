@@ -1,0 +1,284 @@
+// ServingSnapshot: structural validation, fingerprint semantics, model-file
+// and checkpoint loading, eq.-5 fold-in against point estimates (incl.
+// determinism and thread safety of the const read path).
+
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/joint_topic_model.h"
+#include "core/serialization.h"
+#include "math/distributions.h"
+#include "recipe/dataset.h"
+#include "util/rng.h"
+
+namespace texrheo::serve {
+namespace {
+
+math::Gaussian MakeGaussian(double mean, size_t dim) {
+  auto g = math::Gaussian::FromPrecision(math::Vector(dim, mean),
+                                         math::Matrix::Identity(dim, 4.0));
+  EXPECT_TRUE(g.ok());
+  return *g;
+}
+
+/// Two well-separated topics over a 4-word vocabulary. Topic 0 is a "hard"
+/// topic (katai-heavy, gel feature around 2); topic 1 is an "elastic" one
+/// (purupuru-heavy, gel feature around 6).
+core::ModelSnapshot TinyModel() {
+  core::ModelSnapshot model;
+  model.vocab.Add("katai");      // hard pole
+  model.vocab.Add("purupuru");   // elastic pole
+  model.vocab.Add("fuwafuwa");   // soft pole
+  model.vocab.Add("zzz-not-a-texture-word");
+  model.estimates.phi = {{0.7, 0.1, 0.1, 0.1}, {0.05, 0.75, 0.1, 0.1}};
+  model.estimates.gel_topics = {MakeGaussian(2.0, 3), MakeGaussian(6.0, 3)};
+  model.estimates.emulsion_topics = {MakeGaussian(1.0, 6),
+                                     MakeGaussian(3.0, 6)};
+  model.estimates.doc_topic = {0, 1, 1};
+  model.estimates.topic_recipe_count = {1, 2};
+  model.estimates.theta = {{0.9, 0.1}, {0.2, 0.8}, {0.1, 0.9}};
+  return model;
+}
+
+TEST(ServingSnapshotTest, FromModelExposesModelAndSource) {
+  auto snapshot = ServingSnapshot::FromModel(TinyModel(), "unit-test");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ((*snapshot)->num_topics(), 2);
+  EXPECT_EQ((*snapshot)->vocab_size(), 4u);
+  EXPECT_EQ((*snapshot)->source(), "unit-test");
+  EXPECT_NE((*snapshot)->fingerprint(), 0u);
+}
+
+TEST(ServingSnapshotTest, FingerprintIsContentAddressed) {
+  auto a = ServingSnapshot::FromModel(TinyModel(), "a");
+  auto b = ServingSnapshot::FromModel(TinyModel(), "b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Same model content, different source label: same fingerprint.
+  EXPECT_EQ((*a)->fingerprint(), (*b)->fingerprint());
+
+  core::ModelSnapshot changed = TinyModel();
+  changed.estimates.phi[0][0] = 0.69;
+  changed.estimates.phi[0][1] = 0.11;
+  auto c = ServingSnapshot::FromModel(std::move(changed), "c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE((*a)->fingerprint(), (*c)->fingerprint());
+}
+
+TEST(ServingSnapshotTest, RejectsStructurallyBrokenModels) {
+  {
+    core::ModelSnapshot model = TinyModel();
+    model.estimates.phi.clear();  // No topics.
+    EXPECT_FALSE(ServingSnapshot::FromModel(std::move(model), "x").ok());
+  }
+  {
+    core::ModelSnapshot model = TinyModel();
+    model.estimates.phi[1].pop_back();  // Width != vocab size.
+    EXPECT_FALSE(ServingSnapshot::FromModel(std::move(model), "x").ok());
+  }
+  {
+    core::ModelSnapshot model = TinyModel();
+    model.estimates.phi[0][0] = -0.1;  // Negative probability.
+    EXPECT_FALSE(ServingSnapshot::FromModel(std::move(model), "x").ok());
+  }
+  {
+    core::ModelSnapshot model = TinyModel();
+    model.estimates.gel_topics.pop_back();  // Gaussian count mismatch.
+    EXPECT_FALSE(ServingSnapshot::FromModel(std::move(model), "x").ok());
+  }
+}
+
+TEST(ServingSnapshotTest, TermSummariesClassifyByDictionaryPole) {
+  auto snapshot = ServingSnapshot::FromModel(TinyModel(), "x");
+  ASSERT_TRUE(snapshot.ok());
+  const TopicTermSummary& hard_topic = (*snapshot)->term_summary(0);
+  // Topic 0 puts 0.7 on "katai": hard must dominate and the unknown word's
+  // 0.1 must land in `other`.
+  EXPECT_GT(hard_topic.masses.hard, 0.5);
+  EXPECT_NEAR(hard_topic.masses.other, 0.1, 1e-9);
+  ASSERT_FALSE(hard_topic.top_terms.empty());
+  EXPECT_EQ(hard_topic.top_terms[0].first, "katai");
+
+  const TopicTermSummary& elastic_topic = (*snapshot)->term_summary(1);
+  EXPECT_GT(elastic_topic.masses.elastic, 0.5);
+  EXPECT_EQ(elastic_topic.top_terms[0].first, "purupuru");
+
+  // Masses are a distribution over the whole vocabulary.
+  const CategoryMasses& m = hard_topic.masses;
+  EXPECT_NEAR(m.hard + m.soft + m.elastic + m.crumbly + m.sticky + m.dry +
+                  m.other,
+              1.0, 1e-9);
+}
+
+TEST(ServingSnapshotTest, FoldInThetaIsNormalizedAndTermSensitive) {
+  auto snapshot = ServingSnapshot::FromModel(TinyModel(), "x");
+  ASSERT_TRUE(snapshot.ok());
+  // Features sit exactly on topic 1's mean; terms scream topic 0.
+  math::Vector near_topic1(3, 6.0);
+  Rng rng_a = Rng::ForStream(7, 1);
+  auto hard_terms =
+      (*snapshot)->FoldInTheta({0, 0, 0, 0}, near_topic1, 40, 0.3, rng_a);
+  ASSERT_TRUE(hard_terms.ok()) << hard_terms.status().ToString();
+  ASSERT_EQ(hard_terms->size(), 2u);
+  double sum = (*hard_terms)[0] + (*hard_terms)[1];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Four "katai" tokens against one feature observation: the term evidence
+  // must pull substantial mass onto topic 0.
+  EXPECT_GT((*hard_terms)[0], 0.3);
+
+  Rng rng_b = Rng::ForStream(7, 2);
+  auto no_terms = (*snapshot)->FoldInTheta({}, near_topic1, 40, 0.3, rng_b);
+  ASSERT_TRUE(no_terms.ok());
+  // Feature-only query on topic 1's mean: topic 1 dominates.
+  EXPECT_GT((*no_terms)[1], 0.7);
+}
+
+TEST(ServingSnapshotTest, FoldInThetaIsDeterministicPerStream) {
+  auto snapshot = ServingSnapshot::FromModel(TinyModel(), "x");
+  ASSERT_TRUE(snapshot.ok());
+  math::Vector feature(3, 4.0);
+  Rng rng_a = Rng::ForStream(99, 5);
+  Rng rng_b = Rng::ForStream(99, 5);
+  auto a = (*snapshot)->FoldInTheta({0, 1}, feature, 25, 0.3, rng_a);
+  auto b = (*snapshot)->FoldInTheta({0, 1}, feature, 25, 0.3, rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);  // Bit-identical: same stream, same sweep count.
+}
+
+TEST(ServingSnapshotTest, FoldInThetaRejectsBadArguments) {
+  auto snapshot = ServingSnapshot::FromModel(TinyModel(), "x");
+  ASSERT_TRUE(snapshot.ok());
+  math::Vector feature(3, 4.0);
+  Rng rng = Rng::ForStream(1, 1);
+  EXPECT_FALSE((*snapshot)->FoldInTheta({99}, feature, 25, 0.3, rng).ok());
+  EXPECT_FALSE((*snapshot)->FoldInTheta({0}, feature, 0, 0.3, rng).ok());
+  EXPECT_FALSE((*snapshot)->FoldInTheta({0}, feature, 25, 0.0, rng).ok());
+}
+
+TEST(ServingSnapshotTest, InferTopicForFeaturesPicksNearestGaussian) {
+  auto snapshot = ServingSnapshot::FromModel(TinyModel(), "x");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ((*snapshot)->InferTopicForFeatures(math::Vector(3, 2.0)), 0);
+  EXPECT_EQ((*snapshot)->InferTopicForFeatures(math::Vector(3, 6.0)), 1);
+}
+
+TEST(ServingSnapshotTest, ConcurrentFoldInsAreSafeAndIndependent) {
+  auto snapshot = ServingSnapshot::FromModel(TinyModel(), "x");
+  ASSERT_TRUE(snapshot.ok());
+  // Reference results computed serially, one per stream.
+  std::vector<std::vector<double>> expected(8);
+  for (int i = 0; i < 8; ++i) {
+    Rng rng = Rng::ForStream(123, static_cast<uint64_t>(i));
+    auto theta = (*snapshot)->FoldInTheta({0, 1}, math::Vector(3, 3.0), 20,
+                                          0.3, rng);
+    ASSERT_TRUE(theta.ok());
+    expected[static_cast<size_t>(i)] = *theta;
+  }
+  // The same fold-ins, raced across threads against the shared const
+  // snapshot (TSan leg of ci.sh watches this test).
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng = Rng::ForStream(123, static_cast<uint64_t>(i));
+      auto theta = (*snapshot)->FoldInTheta({0, 1}, math::Vector(3, 3.0), 20,
+                                            0.3, rng);
+      if (!theta.ok() || *theta != expected[static_cast<size_t>(i)]) {
+        mismatches[static_cast<size_t>(i)] = 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(mismatches[static_cast<size_t>(i)], 0);
+}
+
+TEST(ServingSnapshotTest, FromModelFileRoundTripsFingerprint) {
+  std::string path = testing::TempDir() + "/texrheo_serve_snapshot_model.txt";
+  core::ModelSnapshot model = TinyModel();
+  ASSERT_TRUE(core::SaveModel(path, model).ok());
+  auto direct = ServingSnapshot::FromModel(std::move(model), "direct");
+  auto loaded = ServingSnapshot::FromModelFile(path);
+  ASSERT_TRUE(direct.ok() && loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->fingerprint(), (*direct)->fingerprint());
+  EXPECT_EQ((*loaded)->source(), path);
+  std::remove(path.c_str());
+}
+
+TEST(ServingSnapshotTest, FromModelFileFailsCleanlyOnMissingFile) {
+  EXPECT_FALSE(ServingSnapshot::FromModelFile("/nonexistent/model.txt").ok());
+}
+
+// --- Checkpoint loading -----------------------------------------------------
+
+recipe::Dataset CheckpointDataset() {
+  recipe::Dataset ds;
+  ds.term_vocab.Add("w0");
+  ds.term_vocab.Add("w1");
+  auto add = [&ds](std::vector<int32_t> terms, double gel) {
+    recipe::Document doc;
+    doc.recipe_index = ds.documents.size();
+    doc.term_ids = std::move(terms);
+    doc.gel_feature = math::Vector(1, gel);
+    doc.emulsion_feature = math::Vector(1, 0.0);
+    doc.gel_concentration = math::Vector(1, 0.01);
+    doc.emulsion_concentration = math::Vector(1, 0.1);
+    ds.documents.push_back(std::move(doc));
+  };
+  add({0, 0}, 1.0);
+  add({1}, 3.0);
+  add({0, 1}, 1.5);
+  return ds;
+}
+
+core::JointTopicModelConfig CheckpointConfig() {
+  core::JointTopicModelConfig config;
+  config.num_topics = 2;
+  config.alpha = 0.5;
+  config.gamma = 0.5;
+  config.use_emulsion_likelihood = false;
+  config.seed = 31;
+  return config;
+}
+
+TEST(ServingSnapshotTest, FromCheckpointFileRebuildsTheTrainedModel) {
+  recipe::Dataset ds = CheckpointDataset();
+  auto model = core::JointTopicModel::Create(CheckpointConfig(), &ds);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(model->RunSweeps(10).ok());
+  std::string path = testing::TempDir() + "/texrheo_serve_snapshot.ckpt";
+  ASSERT_TRUE(
+      core::WriteCheckpointFile(path, model->CaptureCheckpoint()).ok());
+
+  auto from_ckpt = ServingSnapshot::FromCheckpointFile(path, ds);
+  ASSERT_TRUE(from_ckpt.ok()) << from_ckpt.status().ToString();
+  auto direct = ServingSnapshot::FromModel(
+      core::MakeSnapshot(model->Estimate(), ds.term_vocab), "direct");
+  ASSERT_TRUE(direct.ok());
+  // Bit-exact restore => identical serialized content => same fingerprint.
+  EXPECT_EQ((*from_ckpt)->fingerprint(), (*direct)->fingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(ServingSnapshotTest, FromCheckpointFileRefusesWrongCorpus) {
+  recipe::Dataset ds = CheckpointDataset();
+  auto model = core::JointTopicModel::Create(CheckpointConfig(), &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->RunSweeps(5).ok());
+  std::string path = testing::TempDir() + "/texrheo_serve_snapshot_bad.ckpt";
+  ASSERT_TRUE(
+      core::WriteCheckpointFile(path, model->CaptureCheckpoint()).ok());
+
+  recipe::Dataset other = CheckpointDataset();
+  other.documents.pop_back();  // Different corpus shape.
+  EXPECT_FALSE(ServingSnapshot::FromCheckpointFile(path, other).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace texrheo::serve
