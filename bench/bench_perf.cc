@@ -3,10 +3,16 @@
 // the dense Cholesky kernel, Normal-Wishart posterior draws, the tokenizer,
 // TPA simulation, and word2vec training throughput.
 
+#include <arpa/inet.h>
 #include <benchmark/benchmark.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include <thread>
 #include <vector>
@@ -22,7 +28,9 @@
 #include "recipe/dataset.h"
 #include "rules/transactions.h"
 #include "serve/query_engine.h"
+#include "serve/server.h"
 #include "serve/snapshot.h"
+#include "util/histogram.h"
 #include "rheology/rheometer.h"
 #include "text/tokenizer.h"
 #include "text/word2vec.h"
@@ -525,6 +533,109 @@ BENCHMARK(BM_QueryEngineConcurrent)
     ->Arg(8)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
+
+// --- Serving robustness benchmark (BM_ServerUnderSlowClient) -----------
+//
+// ci.sh --bench filters on 'BM_ServerUnderSlowClient' and writes the JSON
+// to bench/out/serve_robustness.json. This is the wire-level isolation
+// check: one hostile client parks half a request line on a connection
+// (occupying a handler thread inside its idle budget) while healthy
+// clients run PREDICT round trips through real sockets. The healthy
+// "p50_us" / "p99_us" counters are the acceptance numbers — a stalled
+// peer must cost its own connection, never the fleet's latency.
+
+int BenchRawConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void BM_ServerUnderSlowClient(benchmark::State& state) {
+  auto snapshot = SharedServingSnapshot();
+  if (snapshot == nullptr) {
+    state.SkipWithError("serving snapshot setup failed");
+    return;
+  }
+  serve::QueryEngineConfig config;
+  config.batch_linger_micros = 0;
+  auto engine = serve::QueryEngine::Create(config, snapshot, nullptr);
+  if (!engine.ok()) {
+    state.SkipWithError("engine create failed");
+    return;
+  }
+  serve::ServerOptions options;
+  options.idle_timeout_millis = 600000;  // The staller outlives the bench.
+  serve::LineProtocolServer server(engine->get(), options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+
+  // The staller: half a request line, then silence for the whole run.
+  int staller = BenchRawConnect(server.port());
+  if (staller < 0) {
+    state.SkipWithError("staller connect failed");
+    return;
+  }
+  (void)::send(staller, "PREDICT gelatin=", 16, MSG_NOSIGNAL);
+
+  constexpr int kHealthy = 4;
+  serve::LineClientOptions client_options;
+  client_options.io_timeout_millis = 30000;
+  std::vector<std::unique_ptr<serve::LineClient>> clients;
+  for (int c = 0; c < kHealthy; ++c) {
+    auto client =
+        serve::LineClient::Connect("127.0.0.1", server.port(), client_options);
+    if (!client.ok()) {
+      state.SkipWithError("healthy client connect failed");
+      ::close(staller);
+      return;
+    }
+    clients.push_back(std::move(client).value());
+  }
+
+  LatencyHistogram healthy_latency;
+  const std::string command = "PREDICT gelatin=0.012 terms=purupuru,fuwafuwa";
+  for (auto _ : state) {
+    for (auto& client : clients) {
+      auto begin = std::chrono::steady_clock::now();
+      auto reply = client->RoundTrip(command);
+      healthy_latency.Record(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count());
+      if (!reply.ok() || reply->rfind("OK", 0) != 0) {
+        state.SkipWithError("healthy round trip failed under staller");
+        ::close(staller);
+        return;
+      }
+      benchmark::DoNotOptimize(reply);
+    }
+  }
+  ::close(staller);
+
+  LatencyHistogram::Snapshot lat = healthy_latency.TakeSnapshot();
+  serve::ServerStats stats = server.GetStats();
+  state.counters["round_trips_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kHealthy),
+      benchmark::Counter::kIsRate);
+  state.counters["p50_us"] =
+      static_cast<double>(lat.QuantileUpperBound(0.5));
+  state.counters["p99_us"] =
+      static_cast<double>(lat.QuantileUpperBound(0.99));
+  state.counters["accepted"] =
+      static_cast<double>(stats.connections_accepted);
+  state.counters["shed"] = static_cast<double>(stats.connections_shed);
+}
+BENCHMARK(BM_ServerUnderSlowClient)->Unit(benchmark::kMicrosecond);
 
 void BM_Word2VecEpoch(benchmark::State& state) {
   // Training throughput on a small recipe-like corpus.

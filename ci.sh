@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # CI driver: tier-1 verify (full build + ctest), a ThreadSanitizer pass over
-# the concurrency-sensitive tests (including the serving layer), an
-# ASan+UBSan pass over the serialization / checkpoint / fault-injection
-# paths plus a texrheo_serve smoke session (toy model, scripted queries,
-# clean shutdown), and the Gibbs-sweep / serving benchmarks with JSON
-# output.
+# the concurrency-sensitive tests (including the serving layer and the
+# socket chaos suite), an ASan+UBSan pass over the serialization /
+# checkpoint / fault-injection paths plus the hostile-input server suite
+# and a texrheo_serve smoke session (toy model, scripted queries, clean
+# shutdown), and the Gibbs-sweep / serving benchmarks with JSON output.
 #
 # Usage:
 #   ./ci.sh            # tier-1 + TSan + ASan/UBSan
@@ -37,16 +37,18 @@ echo "==> TSan: rebuild concurrency-sensitive targets with -fsanitize=thread"
 cmake -B build-tsan -S . -DTEXRHEO_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target thread_pool_test geweke_test sampler_exactness_test \
-  query_engine_test serve_snapshot_test joint_topic_model_test
+  query_engine_test serve_snapshot_test joint_topic_model_test \
+  serve_chaos_test
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test)$')
+  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test)$')
 
 echo "==> ASan/UBSan: rebuild durability-sensitive targets with -fsanitize=address,undefined"
 cmake -B build-asan -S . -DTEXRHEO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target serialization_test robustness_test checkpoint_test atomic_file_test
+  --target serialization_test robustness_test checkpoint_test atomic_file_test \
+  serve_hostile_test backoff_test
 (cd build-asan && ctest --output-on-failure \
-  -R '^(serialization_test|robustness_test|checkpoint_test|atomic_file_test)$')
+  -R '^(serialization_test|robustness_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test)$')
 
 echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
 # Trains a small toy model, runs the scripted query session (PREDICT /
@@ -76,6 +78,12 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     --benchmark_out=bench/out/serve.json \
     --benchmark_out_format=json
   echo "wrote bench/out/serve.json"
+  echo "==> bench: healthy-client latency with a stalled peer on the wire"
+  ./build/bench/bench_perf \
+    --benchmark_filter='BM_ServerUnderSlowClient' \
+    --benchmark_out=bench/out/serve_robustness.json \
+    --benchmark_out_format=json
+  echo "wrote bench/out/serve_robustness.json"
 fi
 
 echo "==> CI passed"

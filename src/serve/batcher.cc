@@ -30,6 +30,13 @@ StatusOr<std::future<StatusOr<std::vector<double>>>> FoldInBatcher::Submit(
     if (shutdown_) {
       return Status::Unavailable("fold-in batcher is shutting down");
     }
+    // Dead on arrival: the request blew its budget before admission (e.g.
+    // a slow client took the whole budget just delivering the line).
+    if (DeadlineExpired(job.deadline)) {
+      ++stats_.deadline_expired;
+      return Status::DeadlineExceeded(
+          "request deadline expired before fold-in admission");
+    }
     if (queue_.size() >= options_.max_queue) {
       ++stats_.shed;
       return Status::Unavailable("fold-in queue full (" +
@@ -46,6 +53,7 @@ StatusOr<std::future<StatusOr<std::vector<double>>>> FoldInBatcher::Submit(
 void FoldInBatcher::DispatcherLoop() {
   for (;;) {
     std::vector<FoldInJob> batch;
+    std::vector<FoldInJob> expired;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -59,18 +67,32 @@ void FoldInBatcher::DispatcherLoop() {
               return shutdown_ || queue_.size() >= options_.max_batch;
             });
       }
-      size_t take = std::min(queue_.size(), options_.max_batch);
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      // Jobs that expired while queued are shed here, before they can
+      // occupy a batch slot; the freed slots go to still-live jobs.
+      size_t take = 0;
+      while (take < options_.max_batch && !queue_.empty()) {
+        FoldInJob job = std::move(queue_.front());
         queue_.pop_front();
+        if (DeadlineExpired(job.deadline)) {
+          ++stats_.deadline_expired;
+          expired.push_back(std::move(job));
+          continue;
+        }
+        batch.push_back(std::move(job));
+        ++take;
       }
-      ++stats_.batches;
-      stats_.jobs_processed += take;
-      stats_.max_batch_size =
-          std::max<uint64_t>(stats_.max_batch_size, take);
+      if (take > 0) {
+        ++stats_.batches;
+        stats_.jobs_processed += take;
+        stats_.max_batch_size =
+            std::max<uint64_t>(stats_.max_batch_size, take);
+      }
     }
-    run_batch_(batch);
+    for (FoldInJob& job : expired) {
+      job.result.set_value(Status::DeadlineExceeded(
+          "request deadline expired in the fold-in queue"));
+    }
+    if (!batch.empty()) run_batch_(batch);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef TEXRHEO_SERVE_BATCHER_H_
 #define TEXRHEO_SERVE_BATCHER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -17,6 +18,24 @@
 
 namespace texrheo::serve {
 
+/// Absolute per-request time budget, threaded from the protocol front-end
+/// through batcher admission into the engine. kNoDeadline means unlimited
+/// (the in-process API default), so existing callers are unaffected.
+using Deadline = std::chrono::steady_clock::time_point;
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+/// Deadline `budget_millis` from now; <= 0 means unlimited.
+inline Deadline DeadlineAfterMillis(int budget_millis) {
+  if (budget_millis <= 0) return kNoDeadline;
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(budget_millis);
+}
+
+inline bool DeadlineExpired(Deadline deadline) {
+  return deadline != kNoDeadline &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
 /// One queued fold-in request. The job pins the snapshot that was current
 /// when the query was *admitted*: a hot reload between admission and
 /// dispatch must not re-map the already-resolved term ids onto a different
@@ -29,6 +48,10 @@ struct FoldInJob {
   /// Monotonic admission number; keys the job's private RNG stream, so a
   /// fold-in's sampled theta does not depend on which batch it rode in.
   uint64_t sequence = 0;
+  /// Request budget. A job whose deadline has passed is shed with
+  /// DeadlineExceeded instead of occupying a batch slot — the caller has
+  /// already given up, so folding it in would be pure wasted work.
+  Deadline deadline = kNoDeadline;
   std::promise<StatusOr<std::vector<double>>> result;
 };
 
@@ -57,7 +80,10 @@ class FoldInBatcher {
   /// Counters (monotonic except where noted).
   struct Stats {
     uint64_t submitted = 0;
-    uint64_t shed = 0;  ///< Rejected by admission control.
+    uint64_t shed = 0;  ///< Rejected by admission control (queue full).
+    /// Jobs shed with DeadlineExceeded: either dead on arrival at Submit or
+    /// expired in the queue before the dispatcher could batch them.
+    uint64_t deadline_expired = 0;
     uint64_t batches = 0;
     uint64_t jobs_processed = 0;
     uint64_t max_batch_size = 0;

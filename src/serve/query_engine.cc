@@ -233,7 +233,7 @@ void QueryEngine::RunBatch(std::vector<FoldInJob>& batch) {
 }
 
 StatusOr<TexturePrediction> QueryEngine::PredictTexture(
-    const TextureQuery& query) {
+    const TextureQuery& query, Deadline deadline) {
   ScopedTimer timer(&predict_latency_);
   TEXRHEO_RETURN_IF_ERROR(ValidateQuery(query));
   std::shared_ptr<const ServingState> state = this->state();
@@ -258,6 +258,7 @@ StatusOr<TexturePrediction> QueryEngine::PredictTexture(
   job.term_ids = std::move(term_ids);
   job.gel_feature = recipe::ToFeature(gel, config_.feature);
   job.sequence = sequence_.fetch_add(1, std::memory_order_relaxed);
+  job.deadline = deadline;
   auto future_or = batcher_->Submit(std::move(job));
   if (!future_or.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
@@ -311,7 +312,7 @@ StatusOr<std::vector<RheologyMatch>> QueryEngine::NearestRheology(
 }
 
 StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
-    const TextureQuery& query, size_t top_n) {
+    const TextureQuery& query, size_t top_n, Deadline deadline) {
   ScopedTimer timer(&similar_latency_);
   TEXRHEO_RETURN_IF_ERROR(ValidateQuery(query));
   if (corpus_ == nullptr) {
@@ -331,7 +332,7 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
     result.topic = snapshot.InferTopicForFeatures(gel_feature);
   } else {
     TEXRHEO_ASSIGN_OR_RETURN(TexturePrediction prediction,
-                             PredictTexture(query));
+                             PredictTexture(query, deadline));
     result.topic = prediction.topic;
   }
 
@@ -447,6 +448,7 @@ std::string QueryEngine::Statsz() const {
   out << rate << "\n";
   out << "batcher: submitted=" << stats.batcher.submitted
       << " shed=" << stats.batcher.shed
+      << " deadline_expired=" << stats.batcher.deadline_expired
       << " batches=" << stats.batcher.batches
       << " jobs=" << stats.batcher.jobs_processed << " mean_batch=";
   std::snprintf(rate, sizeof(rate), "%.2f", stats.batcher.MeanBatchSize());

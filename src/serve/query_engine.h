@@ -163,7 +163,12 @@ class QueryEngine {
 
   /// Folds the query into the model and reports its per-category
   /// texture-term distribution (paper eq. 5). Cached by canonical key.
-  StatusOr<TexturePrediction> PredictTexture(const TextureQuery& query);
+  /// `deadline` is the request's absolute budget: a query that has already
+  /// blown it is shed with DeadlineExceeded at batcher admission (or while
+  /// queued) instead of occupying a batch slot. Cache hits always succeed —
+  /// answering from memory is cheaper than shedding.
+  StatusOr<TexturePrediction> PredictTexture(const TextureQuery& query,
+                                             Deadline deadline = kNoDeadline);
 
   /// Ranks the paper's Table-I rheometer settings by divergence to
   /// `topic`'s gel Gaussian (Section III.C.4 linkage), nearest first.
@@ -173,9 +178,11 @@ class QueryEngine {
 
   /// Places the query in its topic, then ranks that topic's indexed
   /// recipes by emulsion-concentration KL (Section V.B), nearest first.
-  /// top_n == 0 uses config.max_similar.
+  /// top_n == 0 uses config.max_similar. `deadline` guards the embedded
+  /// fold-in exactly as in PredictTexture.
   StatusOr<SimilarRecipesResult> SimilarRecipes(const TextureQuery& query,
-                                                size_t top_n = 0);
+                                                size_t top_n = 0,
+                                                Deadline deadline = kNoDeadline);
 
   /// Summarizes one topic (phi top terms + Gaussian summaries).
   StatusOr<TopicCardResult> TopicCard(int topic);

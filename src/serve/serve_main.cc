@@ -3,12 +3,20 @@
 //   texrheo_serve --model=model.txt [--port=7333]
 //   texrheo_serve --toy [--port=0] [--selftest]
 //
+// Robustness knobs (defaults in serve/server.h):
+//   --idle-timeout-ms=N       reap connections with no complete line for N ms
+//   --request-deadline-ms=N   per-request budget (0 = unlimited)
+//   --max-connections=N       accept-time shedding beyond N concurrent conns
+//   --max-line-bytes=N        oversized request line => one ERR, then close
+//   --drain-deadline-ms=N     graceful-drain budget on shutdown
+//
 // --toy trains a small synthetic-corpus model in-process (no files needed);
 // --selftest additionally runs a scripted client session against the
 // freshly started server and exits 0/1 — this is the CI smoke mode.
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -70,8 +78,14 @@ StatusOr<LoadedModel> LoadFromFile(const std::string& path) {
 /// reload, and a stats read. Returns non-OK on any unexpected response.
 Status RunSelftest(int port, const std::string& reload_file) {
   using texrheo::serve::LineClient;
-  TEXRHEO_ASSIGN_OR_RETURN(std::unique_ptr<LineClient> client,
-                           LineClient::Connect("127.0.0.1", port));
+  // The selftest client exercises the hardened path: bounded round trips
+  // and connect retry with backoff (harmless against a live server).
+  texrheo::serve::LineClientOptions client_options;
+  client_options.max_connect_attempts = 3;
+  client_options.io_timeout_millis = 30000;
+  TEXRHEO_ASSIGN_OR_RETURN(
+      std::unique_ptr<LineClient> client,
+      LineClient::Connect("127.0.0.1", port, client_options));
   auto expect_ok = [&](const std::string& command) -> Status {
     TEXRHEO_ASSIGN_OR_RETURN(std::string reply, client->RoundTrip(command));
     if (reply.rfind("OK", 0) != 0) {
@@ -105,7 +119,9 @@ Status RunSelftest(int port, const std::string& reload_file) {
   TEXRHEO_RETURN_IF_ERROR(client->SendLine("STATSZ"));
   TEXRHEO_ASSIGN_OR_RETURN(std::string statsz, client->ReadUntilDot());
   if (statsz.find("cache:") == std::string::npos ||
-      statsz.find("batcher:") == std::string::npos) {
+      statsz.find("batcher:") == std::string::npos ||
+      statsz.find("server:") == std::string::npos ||
+      statsz.find("reload_breaker:") == std::string::npos) {
     return Status::Internal("selftest: statsz missing sections:\n" + statsz);
   }
   TEXRHEO_LOG(Info) << "statsz:\n" << statsz;
@@ -161,6 +177,28 @@ int Main(int argc, char** argv) {
 
   texrheo::serve::ServerOptions server_options;
   server_options.port = static_cast<int>(*port_or);
+  auto idle_or = flags.GetInt("idle-timeout-ms",
+                              server_options.idle_timeout_millis);
+  auto deadline_or = flags.GetInt("request-deadline-ms",
+                                  server_options.request_deadline_millis);
+  auto max_conns_or = flags.GetInt(
+      "max-connections", static_cast<int64_t>(server_options.max_connections));
+  auto max_line_or = flags.GetInt(
+      "max-line-bytes", static_cast<int64_t>(server_options.max_line_bytes));
+  auto drain_or = flags.GetInt("drain-deadline-ms",
+                               server_options.drain_deadline_millis);
+  if (!idle_or.ok() || !deadline_or.ok() || !max_conns_or.ok() ||
+      !max_line_or.ok() || !drain_or.ok()) {
+    std::fprintf(stderr, "bad robustness flag (expected integer)\n");
+    return 2;
+  }
+  server_options.idle_timeout_millis = static_cast<int>(*idle_or);
+  server_options.request_deadline_millis = static_cast<int>(*deadline_or);
+  server_options.max_connections = static_cast<size_t>(
+      std::max<int64_t>(1, *max_conns_or));
+  server_options.max_line_bytes = static_cast<size_t>(
+      std::max<int64_t>(64, *max_line_or));
+  server_options.drain_deadline_millis = static_cast<int>(*drain_or);
   texrheo::serve::LineProtocolServer server(engine.get(), server_options);
   Status started = server.Start();
   if (!started.ok()) {

@@ -2,10 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +18,14 @@
 namespace texrheo::serve {
 
 namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// How long a connection thread parks in one poll() before re-checking the
+/// stop/drain flags and its idle budget. Small enough that drain latency
+/// and idle-reap precision stay well under any configured timeout.
+constexpr int kPollSliceMillis = 50;
 
 std::vector<std::string> SplitTokens(const std::string& line) {
   std::vector<std::string> tokens;
@@ -98,106 +109,228 @@ StatusOr<core::LinkageMethod> ParseMethod(const std::string& name) {
   return Status::InvalidArgument("unknown linkage method '" + name + "'");
 }
 
-std::string ErrLine(const Status& status) {
-  return "ERR " + status.ToString();
-}
-
 void AppendF(std::string* out, const char* fmt, double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), fmt, v);
   *out += buf;
 }
 
+long MillisSince(steady_clock::time_point start) {
+  return std::chrono::duration_cast<milliseconds>(steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 LineProtocolServer::LineProtocolServer(QueryEngine* engine,
                                        const ServerOptions& options)
-    : engine_(engine), options_(options) {}
+    : engine_(engine),
+      options_(options),
+      ops_(options.socket_ops != nullptr ? options.socket_ops
+                                         : &SocketOps::Real()),
+      reload_breaker_(CircuitBreaker::Options{
+          options.reload_failure_threshold, options.reload_cooldown_millis}) {}
 
 LineProtocolServer::~LineProtocolServer() { Stop(); }
 
 Status LineProtocolServer::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr =
       options_.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
   addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     Status status =
         Status::Internal(std::string("bind: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return status;
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(fd, 16) < 0) {
     Status status =
         Status::Internal(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return status;
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void LineProtocolServer::Stop() {
-  bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) {
-    // Already stopping/stopped; still join if the first Stop was concurrent.
-  }
-  if (listen_fd_ >= 0) {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+
+  // Phase 1 — stop accepting. Connection threads observe draining_ within
+  // one poll slice; a thread mid-command finishes it and flushes the
+  // response before closing (no computed response is ever dropped here).
+  draining_.store(true, std::memory_order_release);
+  int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
     // shutdown() unblocks accept(); close() alone does not on Linux.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ops_->Shutdown(fd, SHUT_RDWR);
+    ops_->Close(fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Phase 2 — drain: wait for in-flight handlers to finish on their own.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait_for(lock,
+                      milliseconds(std::max(0, options_.drain_deadline_millis)),
+                      [this] { return active_ == 0; });
+  }
+
+  // Phase 3 — force: shut down whatever is still connected. This unblocks
+  // threads parked in poll/recv/send; a thread still inside the engine
+  // finishes its query and then fails the write cleanly.
+  stopping_.store(true, std::memory_order_release);
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int cfd : conn_fds_) ops_->Shutdown(cfd, SHUT_RDWR);
     threads.swap(conn_threads_);
-    // Wake connection threads blocked in recv(); they observe EOF and
-    // exit. The fd itself is closed by its owning thread.
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
+  stopped_ = true;
 }
 
 void LineProtocolServer::AcceptLoop() {
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;
+    int fd = ops_->Accept(lfd);
     if (fd < 0) {
-      if (stopping_.load(std::memory_order_relaxed)) return;
-      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_relaxed) ||
+          draining_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
       return;  // Listener gone.
+    }
+    SetNonBlocking(fd);
+    bool at_capacity;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      at_capacity = conn_fds_.size() >= options_.max_connections;
+    }
+    if (at_capacity) {
+      // Shed at the door: one crisp ERR beats an unbounded connection
+      // backlog that turns overload into latency for everyone.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      WriteAll(fd, "ERR Unavailable: connection capacity (" +
+                       std::to_string(options_.max_connections) +
+                       ") reached; retry later\n");
+      ops_->Close(fd);
+      continue;
     }
     connections_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.push_back(fd);
+    uint64_t cur = conn_fds_.size();
+    uint64_t peak = peak_connections_.load(std::memory_order_relaxed);
+    while (cur > peak && !peak_connections_.compare_exchange_weak(
+                             peak, cur, std::memory_order_relaxed)) {
+    }
+    ++active_;
     conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
   }
+}
+
+bool LineProtocolServer::WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  steady_clock::time_point last_progress = steady_clock::now();
+  while (sent < data.size()) {
+    ssize_t w = ops_->Send(fd, data.data() + sent, data.size() - sent);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      last_progress = steady_clock::now();
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: the peer is not reading. Wait for writability,
+      // but only as long as the write-progress budget allows — a stalled
+      // reader must not park this thread forever.
+      long waited = MillisSince(last_progress);
+      if (options_.write_timeout_millis > 0 &&
+          waited >= options_.write_timeout_millis) {
+        io_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      int slice = kPollSliceMillis;
+      if (options_.write_timeout_millis > 0) {
+        slice = static_cast<int>(std::min<long>(
+            slice, options_.write_timeout_millis - waited));
+      }
+      int ready = ops_->Poll(fd, POLLOUT, std::max(1, slice));
+      if (ready < 0 && errno != EINTR) {
+        io_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      continue;
+    }
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;  // Hard error (EPIPE, ECONNRESET, ...).
+  }
+  return true;
 }
 
 void LineProtocolServer::HandleConnection(int fd) {
   std::string buffer;
   char chunk[1024];
   bool quit = false;
+  // The idle clock measures time since the last *complete request line* —
+  // a slow-loris client dripping one byte per interval gains nothing.
+  steady_clock::time_point last_line = steady_clock::now();
   while (!quit) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;  // Peer closed (or error): drop the connection.
+    if (stopping_.load(std::memory_order_relaxed) ||
+        draining_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    int slice = kPollSliceMillis;
+    if (options_.idle_timeout_millis > 0) {
+      long idle = MillisSince(last_line);
+      long remaining = options_.idle_timeout_millis - idle;
+      if (remaining <= 0) {
+        idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+        WriteAll(fd, Err(Status::DeadlineExceeded(
+                     "idle for more than " +
+                     std::to_string(options_.idle_timeout_millis) +
+                     " ms; closing")) +
+                         "\n");
+        break;
+      }
+      slice = static_cast<int>(std::min<long>(slice, remaining));
+    }
+    int ready = ops_->Poll(fd, POLLIN, std::max(1, slice));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (ready == 0) continue;  // Slice elapsed; re-check stop/idle above.
+    ssize_t n = ops_->Recv(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (n == 0) break;  // Peer closed.
     buffer.append(chunk, static_cast<size_t>(n));
     size_t newline;
     while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
@@ -205,38 +338,118 @@ void LineProtocolServer::HandleConnection(int fd) {
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      std::string response = HandleCommand(line, &quit) + "\n";
-      size_t sent = 0;
-      while (sent < response.size()) {
-        ssize_t w = ::send(fd, response.data() + sent, response.size() - sent,
-                           MSG_NOSIGNAL);
-        if (w <= 0) {
-          quit = true;
-          break;
-        }
-        sent += static_cast<size_t>(w);
+      if (line.size() > options_.max_line_bytes) {
+        oversized_rejected_.fetch_add(1, std::memory_order_relaxed);
+        WriteAll(fd, Err(Status::InvalidArgument(
+                     "request line exceeds " +
+                     std::to_string(options_.max_line_bytes) + " bytes")) +
+                         "\n");
+        quit = true;
+        break;
       }
-    }
-  }
-  // Deregister before close so Stop() can never shutdown() a recycled fd.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (size_t i = 0; i < conn_fds_.size(); ++i) {
-      if (conn_fds_[i] == fd) {
-        conn_fds_[i] = conn_fds_.back();
-        conn_fds_.pop_back();
+      last_line = steady_clock::now();
+      Deadline deadline =
+          DeadlineAfterMillis(options_.request_deadline_millis);
+      std::string response = HandleCommand(line, &quit, deadline) + "\n";
+      if (!WriteAll(fd, response)) {
+        quit = true;
+        break;
+      }
+      // Drain request arrived while this command ran: its response is
+      // flushed (above), remaining pipelined input is abandoned.
+      if (draining_.load(std::memory_order_relaxed)) {
+        quit = true;
         break;
       }
     }
+    if (!quit && buffer.size() > options_.max_line_bytes) {
+      // A line this long is still incomplete: cap the buffer instead of
+      // letting a hostile client grow it without bound.
+      oversized_rejected_.fetch_add(1, std::memory_order_relaxed);
+      WriteAll(fd, Err(Status::InvalidArgument(
+                   "request line exceeds " +
+                   std::to_string(options_.max_line_bytes) + " bytes")) +
+                       "\n");
+      break;
+    }
   }
-  ::close(fd);
+  // Deregister before close so Stop() can never shutdown() a recycled fd.
+  DeregisterConnection(fd);
+  ops_->Close(fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    --active_;
+  }
+  conn_cv_.notify_all();
+}
+
+void LineProtocolServer::DeregisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (size_t i = 0; i < conn_fds_.size(); ++i) {
+    if (conn_fds_[i] == fd) {
+      conn_fds_[i] = conn_fds_.back();
+      conn_fds_.pop_back();
+      break;
+    }
+  }
+}
+
+std::string LineProtocolServer::Err(const Status& status) {
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return "ERR " + status.ToString();
+}
+
+ServerStats LineProtocolServer::GetStats() const {
+  ServerStats stats;
+  stats.connections_accepted = connections_.load(std::memory_order_relaxed);
+  stats.connections_shed = shed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    stats.current_connections = conn_fds_.size();
+  }
+  stats.peak_connections = peak_connections_.load(std::memory_order_relaxed);
+  stats.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+  stats.oversized_rejected =
+      oversized_rejected_.load(std::memory_order_relaxed);
+  stats.deadlines_exceeded =
+      deadlines_exceeded_.load(std::memory_order_relaxed);
+  stats.io_errors = io_errors_.load(std::memory_order_relaxed);
+  stats.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  stats.reload_rejected_by_breaker =
+      reload_rejected_by_breaker_.load(std::memory_order_relaxed);
+  stats.breaker_state = reload_breaker_.state();
+  stats.breaker = reload_breaker_.GetStats();
+  return stats;
+}
+
+std::string LineProtocolServer::StatszSection() const {
+  ServerStats stats = GetStats();
+  std::ostringstream out;
+  out << "server: accepted=" << stats.connections_accepted
+      << " shed=" << stats.connections_shed
+      << " current=" << stats.current_connections
+      << " peak=" << stats.peak_connections
+      << " idle_reaped=" << stats.idle_reaped
+      << " oversized=" << stats.oversized_rejected
+      << " deadlines_exceeded=" << stats.deadlines_exceeded
+      << " io_errors=" << stats.io_errors << "\n";
+  out << "reload_breaker: state="
+      << CircuitBreaker::StateName(stats.breaker_state)
+      << " failures=" << stats.reload_failures
+      << " rejected=" << stats.reload_rejected_by_breaker
+      << " opened=" << stats.breaker.opened
+      << " half_opened=" << stats.breaker.half_opened
+      << " reclosed=" << stats.breaker.reclosed;
+  return out.str();
 }
 
 std::string LineProtocolServer::HandleCommand(const std::string& line,
-                                              bool* quit) {
+                                              bool* quit, Deadline deadline) {
   *quit = false;
   std::vector<std::string> tokens = SplitTokens(line);
-  if (tokens.empty()) return ErrLine(Status::InvalidArgument("empty command"));
+  if (tokens.empty()) return Err(Status::InvalidArgument("empty command"));
   const std::string& cmd = tokens[0];
 
   if (cmd == "PING") return "OK pong";
@@ -247,9 +460,9 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
 
   if (cmd == "PREDICT") {
     auto query_or = ParseQuery(tokens, nullptr);
-    if (!query_or.ok()) return ErrLine(query_or.status());
-    auto prediction_or = engine_->PredictTexture(*query_or);
-    if (!prediction_or.ok()) return ErrLine(prediction_or.status());
+    if (!query_or.ok()) return Err(query_or.status());
+    auto prediction_or = engine_->PredictTexture(*query_or, deadline);
+    if (!prediction_or.ok()) return Err(prediction_or.status());
     const TexturePrediction& p = *prediction_or;
     std::string out = "OK topic=" + std::to_string(p.topic) +
                       " cached=" + (p.from_cache ? "1" : "0");
@@ -276,25 +489,25 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
 
   if (cmd == "NEAREST") {
     if (tokens.size() < 2) {
-      return ErrLine(
+      return Err(
           Status::InvalidArgument("usage: NEAREST <topic> [method=...]"));
     }
     auto topic_or = ParseTopic(tokens[1]);
-    if (!topic_or.ok()) return ErrLine(topic_or.status());
+    if (!topic_or.ok()) return Err(topic_or.status());
     core::LinkageOptions options = engine_->config().linkage;
     const core::LinkageOptions* options_ptr = nullptr;
     if (tokens.size() > 2) {
       if (tokens[2].rfind("method=", 0) != 0) {
-        return ErrLine(
+        return Err(
             Status::InvalidArgument("unknown option '" + tokens[2] + "'"));
       }
       auto method_or = ParseMethod(tokens[2].substr(7));
-      if (!method_or.ok()) return ErrLine(method_or.status());
+      if (!method_or.ok()) return Err(method_or.status());
       options.method = *method_or;
       options_ptr = &options;
     }
     auto matches_or = engine_->NearestRheology(*topic_or, options_ptr);
-    if (!matches_or.ok()) return ErrLine(matches_or.status());
+    if (!matches_or.ok()) return Err(matches_or.status());
     std::string out = "OK";
     size_t rows = std::min(options_.max_rows, matches_or->size());
     for (size_t i = 0; i < rows; ++i) {
@@ -308,9 +521,9 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
   if (cmd == "SIMILAR") {
     size_t top_n = 0;
     auto query_or = ParseQuery(tokens, &top_n);
-    if (!query_or.ok()) return ErrLine(query_or.status());
-    auto result_or = engine_->SimilarRecipes(*query_or, top_n);
-    if (!result_or.ok()) return ErrLine(result_or.status());
+    if (!query_or.ok()) return Err(query_or.status());
+    auto result_or = engine_->SimilarRecipes(*query_or, top_n, deadline);
+    if (!result_or.ok()) return Err(result_or.status());
     std::string out = "OK topic=" + std::to_string(result_or->topic);
     size_t rows = std::min(options_.max_rows, result_or->recipes.size());
     if (top_n != 0) rows = std::min(rows, top_n);
@@ -325,12 +538,12 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
 
   if (cmd == "TOPIC") {
     if (tokens.size() < 2) {
-      return ErrLine(Status::InvalidArgument("usage: TOPIC <k>"));
+      return Err(Status::InvalidArgument("usage: TOPIC <k>"));
     }
     auto topic_or = ParseTopic(tokens[1]);
-    if (!topic_or.ok()) return ErrLine(topic_or.status());
+    if (!topic_or.ok()) return Err(topic_or.status());
     auto card_or = engine_->TopicCard(*topic_or);
-    if (!card_or.ok()) return ErrLine(card_or.status());
+    if (!card_or.ok()) return Err(card_or.status());
     std::string out = "OK topic=" + std::to_string(card_or->topic) +
                       " recipes=" + std::to_string(card_or->recipe_count) +
                       " top=";
@@ -349,10 +562,23 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
 
   if (cmd == "RELOAD") {
     if (tokens.size() < 2) {
-      return ErrLine(Status::InvalidArgument("usage: RELOAD <model-file>"));
+      return Err(Status::InvalidArgument("usage: RELOAD <model-file>"));
+    }
+    // A model file that fails to load will fail identically on every
+    // retry; the breaker stops a reload-retry loop from starving queries.
+    if (!reload_breaker_.Allow(steady_clock::now())) {
+      reload_rejected_by_breaker_.fetch_add(1, std::memory_order_relaxed);
+      return Err(Status::Unavailable(
+          "reload circuit breaker open after repeated failures; retry "
+          "after cooldown"));
     }
     Status status = engine_->ReloadFromFile(tokens[1]);
-    if (!status.ok()) return ErrLine(status);
+    if (!status.ok()) {
+      reload_failures_.fetch_add(1, std::memory_order_relaxed);
+      reload_breaker_.RecordFailure(steady_clock::now());
+      return Err(status);
+    }
+    reload_breaker_.RecordSuccess();
     char fp[16];
     std::snprintf(fp, sizeof(fp), "%08x",
                   engine_->snapshot()->fingerprint());
@@ -362,59 +588,122 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
   if (cmd == "STATSZ") {
     std::string stats = engine_->Statsz();
     if (!stats.empty() && stats.back() == '\n') stats.pop_back();
-    return stats + "\n.";
+    return stats + "\n" + StatszSection() + "\n.";
   }
 
-  return ErrLine(Status::InvalidArgument("unknown command '" + cmd + "'"));
+  return Err(Status::InvalidArgument("unknown command '" + cmd + "'"));
+}
+
+// --- LineClient ---------------------------------------------------------
+
+LineClient::LineClient(int fd, const LineClientOptions& options,
+                       SocketOps* ops, uint64_t connect_retries)
+    : fd_(fd), options_(options), ops_(ops) {
+  stats_.connect_retries = connect_retries;
 }
 
 StatusOr<std::unique_ptr<LineClient>> LineClient::Connect(
-    const std::string& host, int port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    const std::string& host, int port, const LineClientOptions& options) {
+  SocketOps* ops = options.socket_ops != nullptr ? options.socket_ops
+                                                 : &SocketOps::Real();
+  Rng rng(options.backoff_seed);
+  const int attempts = std::max(1, options.max_connect_attempts);
+  uint64_t retries = 0;
+  Status last = Status::Unavailable("connect: no attempts made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      double delay = BackoffDelayMillis(options.backoff, attempt - 1, rng);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay));
+      ++retries;
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return Status::InvalidArgument("bad host '" + host + "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      if (options.io_timeout_millis > 0) SetNonBlocking(fd);
+      return std::unique_ptr<LineClient>(
+          new LineClient(fd, options, ops, retries));
+    }
+    int err = errno;
     ::close(fd);
-    return Status::InvalidArgument("bad host '" + host + "'");
+    const bool transient = err == ECONNREFUSED || err == ECONNRESET ||
+                           err == ETIMEDOUT || err == EINTR ||
+                           err == EAGAIN || err == ENETUNREACH;
+    if (!transient) {
+      return Status::Internal(std::string("connect: ") + std::strerror(err));
+    }
+    last = Status::Unavailable(std::string("connect: ") + std::strerror(err) +
+                               " (attempt " + std::to_string(attempt + 1) +
+                               "/" + std::to_string(attempts) + ")");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status status =
-        Status::Internal(std::string("connect: ") + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  return std::unique_ptr<LineClient>(new LineClient(fd));
+  return last;
 }
 
 LineClient::~LineClient() { Close(); }
 
 void LineClient::Close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    ops_->Close(fd_);
     fd_ = -1;
   }
 }
 
-Status LineClient::SendLine(const std::string& line) {
+Status LineClient::WaitReady(short events, Deadline deadline) {
+  int timeout = -1;
+  if (deadline != kNoDeadline) {
+    auto remaining = std::chrono::duration_cast<milliseconds>(
+                         deadline - steady_clock::now())
+                         .count();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded("client i/o budget (" +
+                                      std::to_string(
+                                          options_.io_timeout_millis) +
+                                      " ms) exhausted");
+    }
+    timeout = static_cast<int>(std::min<long long>(remaining, 1 << 20));
+  }
+  int ready = ops_->Poll(fd_, events, timeout);
+  if (ready < 0 && errno != EINTR) {
+    return Status::Internal(std::string("poll: ") + std::strerror(errno));
+  }
+  return Status::OK();  // Ready, timeout, or EINTR: caller re-checks.
+}
+
+Status LineClient::SendWithDeadline(const std::string& payload,
+                                    Deadline deadline) {
   if (fd_ < 0) return Status::FailedPrecondition("client closed");
-  std::string payload = line + "\n";
   size_t sent = 0;
   while (sent < payload.size()) {
-    ssize_t w =
-        ::send(fd_, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
-    if (w <= 0) {
-      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    ssize_t w = ops_->Send(fd_, payload.data() + sent, payload.size() - sent);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
     }
-    sent += static_cast<size_t>(w);
+    if (w < 0 && errno == EINTR) {
+      ++stats_.io_retries;
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ++stats_.io_retries;
+      TEXRHEO_RETURN_IF_ERROR(WaitReady(POLLOUT, deadline));
+      continue;
+    }
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
   }
   return Status::OK();
 }
 
-StatusOr<std::string> LineClient::ReadLine() {
+StatusOr<std::string> LineClient::ReadLineWithDeadline(Deadline deadline) {
   if (fd_ < 0) return Status::FailedPrecondition("client closed");
   for (;;) {
     size_t newline = buffer_.find('\n');
@@ -425,17 +714,41 @@ StatusOr<std::string> LineClient::ReadLine() {
       return line;
     }
     char chunk[1024];
-    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
+    ssize_t n = ops_->Recv(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
       return Status::Internal("connection closed while awaiting response");
     }
-    buffer_.append(chunk, static_cast<size_t>(n));
+    if (errno == EINTR) {
+      ++stats_.io_retries;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      TEXRHEO_RETURN_IF_ERROR(WaitReady(POLLIN, deadline));
+      continue;
+    }
+    return Status::Internal(std::string("recv: ") + std::strerror(errno));
   }
 }
 
+Status LineClient::SendLine(const std::string& line) {
+  return SendWithDeadline(line + "\n",
+                          DeadlineAfterMillis(options_.io_timeout_millis));
+}
+
+StatusOr<std::string> LineClient::ReadLine() {
+  return ReadLineWithDeadline(
+      DeadlineAfterMillis(options_.io_timeout_millis));
+}
+
 StatusOr<std::string> LineClient::RoundTrip(const std::string& line) {
-  TEXRHEO_RETURN_IF_ERROR(SendLine(line));
-  return ReadLine();
+  // One budget for the whole exchange, not one per leg.
+  Deadline deadline = DeadlineAfterMillis(options_.io_timeout_millis);
+  TEXRHEO_RETURN_IF_ERROR(SendWithDeadline(line + "\n", deadline));
+  return ReadLineWithDeadline(deadline);
 }
 
 StatusOr<std::string> LineClient::ReadUntilDot() {

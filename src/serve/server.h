@@ -2,6 +2,8 @@
 #define TEXRHEO_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -10,6 +12,8 @@
 #include <vector>
 
 #include "serve/query_engine.h"
+#include "util/backoff.h"
+#include "util/socket_ops.h"
 #include "util/status.h"
 
 namespace texrheo::serve {
@@ -35,14 +39,67 @@ struct ServerOptions {
   bool loopback_only = true;
   /// NEAREST / SIMILAR rows per response line.
   size_t max_rows = 5;
+
+  // --- Robustness knobs -------------------------------------------------
+
+  /// Socket seam; null = SocketOps::Real(). Not owned; must outlive the
+  /// server. Tests substitute a fault-injecting decorator here.
+  SocketOps* socket_ops = nullptr;
+  /// A connection with no complete request line for this long is reaped
+  /// (slow-loris defense): it gets one ERR line, then close. <= 0 disables.
+  int idle_timeout_millis = 30000;
+  /// A response write that makes no progress for this long drops the
+  /// connection (a stalled reader must not park a thread forever).
+  int write_timeout_millis = 10000;
+  /// Hard cap on buffered request-line bytes. A line that exceeds it gets
+  /// one ERR response and the connection is closed — an unbounded buffer is
+  /// a memory DoS vector.
+  size_t max_line_bytes = 4096;
+  /// Max concurrent connections; accepts beyond the cap are shed at accept
+  /// time with one ERR line (overload must degrade crisply, not queue).
+  size_t max_connections = 64;
+  /// Per-request budget threaded into the engine (fold-in admission sheds
+  /// blown requests with DeadlineExceeded). <= 0 = unlimited.
+  int request_deadline_millis = 0;
+  /// Stop(): how long in-flight commands may finish (and flush their
+  /// responses) before remaining connections are force-closed.
+  int drain_deadline_millis = 2000;
+  /// RELOAD circuit breaker: after this many consecutive failures the
+  /// server rejects RELOAD with Unavailable for `reload_cooldown_millis`,
+  /// then admits one half-open trial.
+  int reload_failure_threshold = 3;
+  int reload_cooldown_millis = 5000;
+};
+
+/// Robustness counters (monotonic unless noted); exported in STATSZ.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_shed = 0;  ///< Rejected at the connection cap.
+  uint64_t current_connections = 0;  ///< Gauge.
+  uint64_t peak_connections = 0;
+  uint64_t idle_reaped = 0;          ///< Connections dropped by idle timeout.
+  uint64_t oversized_rejected = 0;   ///< Request lines over max_line_bytes.
+  uint64_t deadlines_exceeded = 0;   ///< Commands answered DeadlineExceeded.
+  uint64_t io_errors = 0;  ///< Connections dropped on recv/send failure.
+  uint64_t reload_failures = 0;
+  uint64_t reload_rejected_by_breaker = 0;
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  CircuitBreaker::Stats breaker;
 };
 
 /// Blocking thread-per-connection TCP front-end over a QueryEngine.
 ///
 /// The server owns no model state: every command is answered through the
 /// engine, so concurrent connections exercise exactly the same thread
-/// safety the in-process API guarantees. Stop() (or destruction) closes
-/// the listener, wakes every connection, and joins all threads.
+/// safety the in-process API guarantees. All connection I/O is
+/// non-blocking and driven through SocketOps::Poll with explicit
+/// deadlines, so a slow or hostile peer can stall only its own
+/// connection, and only until its idle/write timeout.
+///
+/// Stop() (or destruction) drains: the listener closes, in-flight commands
+/// finish and flush their responses within drain_deadline_millis, then any
+/// remaining connections are force-closed and all threads joined. A
+/// response that was computed is never dropped by a drain.
 class LineProtocolServer {
  public:
   /// `engine` must outlive the server.
@@ -55,7 +112,8 @@ class LineProtocolServer {
   /// Binds, listens, and starts the accept thread.
   Status Start();
 
-  /// Idempotent; safe to call while connections are active.
+  /// Graceful drain, then force-close: idempotent; safe to call while
+  /// connections are active.
   void Stop();
 
   /// Bound port (valid after Start succeeded).
@@ -65,35 +123,91 @@ class LineProtocolServer {
     return connections_.load(std::memory_order_relaxed);
   }
 
+  ServerStats GetStats() const;
+
   /// Executes one protocol line against the engine and returns the full
   /// response (no trailing newline; may contain internal newlines). Public
-  /// so tests can drive the protocol without sockets.
-  std::string HandleCommand(const std::string& line, bool* quit);
+  /// so tests can drive the protocol without sockets. `deadline` is the
+  /// request's absolute budget (kNoDeadline = unlimited).
+  std::string HandleCommand(const std::string& line, bool* quit,
+                            Deadline deadline = kNoDeadline);
 
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
+  /// Writes all of `data`, looping over partial sends and EINTR, waiting
+  /// for writability up to write_timeout_millis per unit of progress.
+  /// False = connection is unusable (caller should drop it).
+  bool WriteAll(int fd, const std::string& data);
+  /// "ERR <status>", counting deadline-exceeded responses.
+  std::string Err(const Status& status);
+  /// One "server:" + "reload_breaker:" statsz section (appended to the
+  /// engine's).
+  std::string StatszSection() const;
+  void DeregisterConnection(int fd);
 
   QueryEngine* engine_;  ///< Not owned.
   const ServerOptions options_;
+  SocketOps* ops_;  ///< Not owned.
 
-  int listen_fd_ = -1;
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<uint64_t> connections_{0};
   std::thread accept_thread_;
 
-  std::mutex conn_mu_;
+  std::mutex stop_mu_;    ///< Serializes Stop() callers.
+  bool stopped_ = false;  // Guarded by stop_mu_.
+
+  mutable std::mutex conn_mu_;
+  std::condition_variable conn_cv_;        ///< Signals active_ changes.
   std::vector<std::thread> conn_threads_;  // Guarded by conn_mu_.
   std::vector<int> conn_fds_;              // Live sockets; guarded by conn_mu_.
+  size_t active_ = 0;                      // Live handler threads; conn_mu_.
+
+  // Stats (atomics: bumped from many connection threads).
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> peak_connections_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
+  std::atomic<uint64_t> oversized_rejected_{0};
+  std::atomic<uint64_t> deadlines_exceeded_{0};
+  std::atomic<uint64_t> io_errors_{0};
+  std::atomic<uint64_t> reload_failures_{0};
+  std::atomic<uint64_t> reload_rejected_by_breaker_{0};
+  CircuitBreaker reload_breaker_;
+};
+
+/// Client-side tuning. The defaults are the legacy behavior (single
+/// connect attempt, block forever) so in-process test callers are
+/// unchanged; production callers opt into budgets and retries.
+struct LineClientOptions {
+  /// Total connect attempts (>= 1). Transient connect failures (refused /
+  /// reset / interrupted / timed out) are retried with exponential backoff
+  /// + jitter; non-transient ones (bad address) fail immediately.
+  int max_connect_attempts = 1;
+  BackoffPolicy backoff;
+  /// Seeds the jitter stream; fixed seed => reproducible schedule.
+  uint64_t backoff_seed = 0x7ee1;
+  /// Per-round-trip budget: SendLine / ReadLine fail with DeadlineExceeded
+  /// when the socket makes no progress for this long. <= 0 = block forever.
+  int io_timeout_millis = 0;
+  /// Socket seam; null = SocketOps::Real(). Not owned.
+  SocketOps* socket_ops = nullptr;
 };
 
 /// Minimal blocking client for the line protocol; used by tests and the
 /// --selftest mode of texrheo_serve.
 class LineClient {
  public:
-  static StatusOr<std::unique_ptr<LineClient>> Connect(const std::string& host,
-                                                       int port);
+  struct Stats {
+    uint64_t connect_retries = 0;
+    uint64_t io_retries = 0;  ///< EINTR / partial-I/O continuations.
+  };
+
+  static StatusOr<std::unique_ptr<LineClient>> Connect(
+      const std::string& host, int port,
+      const LineClientOptions& options = LineClientOptions{});
   ~LineClient();
 
   LineClient(const LineClient&) = delete;
@@ -102,18 +216,29 @@ class LineClient {
   Status SendLine(const std::string& line);
   /// Next newline-terminated line (without the newline).
   StatusOr<std::string> ReadLine();
-  /// SendLine + ReadLine.
+  /// SendLine + ReadLine under one io_timeout budget.
   StatusOr<std::string> RoundTrip(const std::string& line);
   /// Reads lines until a lone "."; returns them joined by '\n' (for STATSZ).
   StatusOr<std::string> ReadUntilDot();
 
   void Close();
 
+  Stats stats() const { return stats_; }
+
  private:
-  explicit LineClient(int fd) : fd_(fd) {}
+  LineClient(int fd, const LineClientOptions& options, SocketOps* ops,
+             uint64_t connect_retries);
+
+  Status SendWithDeadline(const std::string& payload, Deadline deadline);
+  StatusOr<std::string> ReadLineWithDeadline(Deadline deadline);
+  /// Blocks until `fd_` is ready for `events` or the deadline passes.
+  Status WaitReady(short events, Deadline deadline);
 
   int fd_;
+  const LineClientOptions options_;
+  SocketOps* ops_;  ///< Not owned.
   std::string buffer_;
+  Stats stats_;
 };
 
 }  // namespace texrheo::serve

@@ -1,0 +1,94 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace texrheo {
+
+double BackoffDelayMillis(const BackoffPolicy& policy, int attempt, Rng& rng) {
+  double delay =
+      policy.initial_millis * std::pow(policy.multiplier, std::max(0, attempt));
+  delay = std::min(delay, policy.max_millis);
+  if (policy.jitter > 0.0) {
+    delay *= rng.NextUniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  return std::max(0.0, delay);
+}
+
+bool CircuitBreaker::Allow(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         now - opened_at_)
+                         .count();
+      if (elapsed < options_.cooldown_millis) return false;
+      state_ = State::kHalfOpen;
+      trial_in_flight_ = true;
+      ++stats_.half_opened;
+      return true;
+    }
+    case State::kHalfOpen:
+      // One trial at a time; everyone else keeps getting rejected until it
+      // reports back.
+      if (trial_in_flight_) return false;
+      trial_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    trial_in_flight_ = false;
+    ++stats_.reclosed;
+  }
+}
+
+void CircuitBreaker::RecordFailure(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The trial failed: back to a full cooldown.
+    state_ = State::kOpen;
+    trial_in_flight_ = false;
+    opened_at_ = now;
+    ++stats_.opened;
+    return;
+  }
+  if (state_ == State::kClosed) {
+    if (++consecutive_failures_ >= options_.failure_threshold) {
+      state_ = State::kOpen;
+      opened_at_ = now;
+      ++stats_.opened;
+    }
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace texrheo

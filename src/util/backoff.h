@@ -1,0 +1,89 @@
+#ifndef TEXRHEO_UTIL_BACKOFF_H_
+#define TEXRHEO_UTIL_BACKOFF_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "util/rng.h"
+
+namespace texrheo {
+
+/// Retry schedule: exponential growth from `initial_millis` by `multiplier`
+/// per attempt, capped at `max_millis`, with multiplicative jitter so a
+/// thundering herd of clients that failed together does not retry together.
+struct BackoffPolicy {
+  double initial_millis = 10.0;
+  double max_millis = 2000.0;
+  double multiplier = 2.0;
+  /// Jitter half-width as a fraction of the computed delay: the returned
+  /// delay is uniform in [d * (1 - jitter), d * (1 + jitter)]. 0 disables.
+  double jitter = 0.5;
+};
+
+/// Delay before retry `attempt` (0-based: attempt 0 is the wait after the
+/// first failure). Deterministic given the rng state, so tests can assert
+/// exact schedules by reconstructing the stream.
+double BackoffDelayMillis(const BackoffPolicy& policy, int attempt, Rng& rng);
+
+/// Three-state circuit breaker guarding a repeatedly-failing dependency
+/// (the serving layer uses one per server around RELOAD: a model file that
+/// fails to parse will fail identically on every retry, and hammering the
+/// loader starves query traffic for nothing).
+///
+///   kClosed    normal operation; consecutive failures are counted.
+///   kOpen      tripped: calls are rejected until the cooldown elapses.
+///   kHalfOpen  cooldown elapsed: exactly one trial call is admitted; its
+///              outcome closes the breaker again or re-opens it.
+///
+/// Time is passed in explicitly (steady_clock now) so tests can drive the
+/// cooldown without sleeping. Thread-safe.
+class CircuitBreaker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  struct Options {
+    /// Consecutive failures that trip the breaker.
+    int failure_threshold = 3;
+    /// How long the breaker stays open before admitting a trial call.
+    int cooldown_millis = 5000;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Transition counters (monotonic).
+  struct Stats {
+    uint64_t opened = 0;
+    uint64_t half_opened = 0;
+    uint64_t reclosed = 0;  ///< Half-open trials that succeeded.
+  };
+
+  explicit CircuitBreaker(const Options& options) : options_(options) {}
+
+  /// True when a call may proceed. An open breaker whose cooldown has
+  /// elapsed transitions to half-open here and admits exactly one trial;
+  /// further calls are rejected until that trial reports its outcome.
+  bool Allow(TimePoint now);
+
+  /// Reports the outcome of an admitted call.
+  void RecordSuccess();
+  void RecordFailure(TimePoint now);
+
+  State state() const;
+  Stats GetStats() const;
+
+  static const char* StateName(State state);
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;  // Guarded by mu_.
+  int consecutive_failures_ = 0;  // Guarded by mu_.
+  TimePoint opened_at_{};         // Guarded by mu_.
+  bool trial_in_flight_ = false;  // Guarded by mu_.
+  Stats stats_;                   // Guarded by mu_.
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_BACKOFF_H_

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

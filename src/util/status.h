@@ -20,6 +20,7 @@ enum class StatusCode {
   kIOError = 7,
   kAlreadyExists = 8,
   kUnavailable = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -70,6 +71,11 @@ class Status {
   /// (used by the serving layer's admission control).
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The operation's time budget ran out before it completed (or before it
+  /// was even dispatched); retrying with a larger budget may succeed.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

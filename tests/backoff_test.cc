@@ -1,0 +1,156 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/rng.h"
+
+namespace texrheo {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// ---------------------------------------------------------------- Backoff
+
+TEST(BackoffTest, GrowsGeometricallyWithoutJitter) {
+  BackoffPolicy policy;
+  policy.initial_millis = 10;
+  policy.max_millis = 10000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(BackoffDelayMillis(policy, 0, rng), 10.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMillis(policy, 1, rng), 20.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMillis(policy, 2, rng), 40.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMillis(policy, 5, rng), 320.0);
+}
+
+TEST(BackoffTest, CapsAtMax) {
+  BackoffPolicy policy;
+  policy.initial_millis = 10;
+  policy.max_millis = 100;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(BackoffDelayMillis(policy, 20, rng), 100.0);
+}
+
+TEST(BackoffTest, JitterStaysInBandAndIsDeterministic) {
+  BackoffPolicy policy;
+  policy.initial_millis = 100;
+  policy.max_millis = 10000;
+  policy.multiplier = 1.0;  // Isolate the jitter factor.
+  policy.jitter = 0.5;
+  Rng a(42);
+  Rng b(42);
+  bool saw_below = false;
+  bool saw_above = false;
+  for (int i = 0; i < 200; ++i) {
+    double delay = BackoffDelayMillis(policy, i, a);
+    EXPECT_GE(delay, 50.0);
+    EXPECT_LE(delay, 150.0);
+    if (delay < 95.0) saw_below = true;
+    if (delay > 105.0) saw_above = true;
+    // Same seed, same attempt => identical schedule.
+    EXPECT_DOUBLE_EQ(delay, BackoffDelayMillis(policy, i, b));
+  }
+  EXPECT_TRUE(saw_below);  // Jitter actually spreads, both directions.
+  EXPECT_TRUE(saw_above);
+}
+
+// ---------------------------------------------------------- CircuitBreaker
+
+CircuitBreaker::Options BreakerOptions() {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown_millis = 100;
+  return options;
+}
+
+TEST(CircuitBreakerTest, OpensAtFailureThreshold) {
+  CircuitBreaker breaker(BreakerOptions());
+  auto t0 = steady_clock::now();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.GetStats().opened, 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailureCount) {
+  CircuitBreaker breaker(BreakerOptions());
+  auto t0 = steady_clock::now();
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  breaker.RecordSuccess();  // Streak broken.
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, RejectsWhileOpenUntilCooldown) {
+  CircuitBreaker breaker(BreakerOptions());
+  auto t0 = steady_clock::now();
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(t0);
+  EXPECT_FALSE(breaker.Allow(t0));
+  EXPECT_FALSE(breaker.Allow(t0 + milliseconds(99)));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneTrial) {
+  CircuitBreaker breaker(BreakerOptions());
+  auto t0 = steady_clock::now();
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(t0);
+  auto after = t0 + milliseconds(101);
+  EXPECT_TRUE(breaker.Allow(after));  // The probe.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(after));  // Everyone else waits on the probe.
+  EXPECT_EQ(breaker.GetStats().half_opened, 1u);
+}
+
+TEST(CircuitBreakerTest, TrialSuccessRecloses) {
+  CircuitBreaker breaker(BreakerOptions());
+  auto t0 = steady_clock::now();
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(t0);
+  auto after = t0 + milliseconds(101);
+  ASSERT_TRUE(breaker.Allow(after));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.GetStats().reclosed, 1u);
+  // Fully recovered: new calls flow, and the failure streak restarts at 0.
+  EXPECT_TRUE(breaker.Allow(after));
+  breaker.RecordFailure(after);
+  breaker.RecordFailure(after);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, TrialFailureReopensForAnotherCooldown) {
+  CircuitBreaker breaker(BreakerOptions());
+  auto t0 = steady_clock::now();
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(t0);
+  auto probe_time = t0 + milliseconds(101);
+  ASSERT_TRUE(breaker.Allow(probe_time));
+  breaker.RecordFailure(probe_time);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.GetStats().opened, 2u);
+  // The cooldown restarts from the trial failure, not the original trip.
+  EXPECT_FALSE(breaker.Allow(probe_time + milliseconds(99)));
+  EXPECT_TRUE(breaker.Allow(probe_time + milliseconds(101)));
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  // Statsz consumers parse these strings; renames are contract breaks.
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace texrheo

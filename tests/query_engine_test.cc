@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <thread>
@@ -304,6 +305,60 @@ TEST(QueryEngineTest, AdmissionControlShedsWithUnavailable) {
   QueryEngineStats stats = (*engine)->GetStats();
   EXPECT_EQ(stats.batcher.shed, static_cast<uint64_t>(shed.load()));
   EXPECT_EQ(stats.errors, static_cast<uint64_t>(shed.load()));
+}
+
+TEST(QueryEngineTest, ExpiredDeadlineIsShedBeforeFoldIn) {
+  QueryEngineConfig config = FastConfig();
+  config.cache_capacity = 0;  // Force the fold-in path.
+  auto engine = QueryEngine::Create(config, TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+
+  // A deadline already in the past must be rejected at admission — it
+  // never occupies a batch slot.
+  Deadline expired = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(10);
+  auto result = (*engine)->PredictTexture(HardQuery(), expired);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  QueryEngineStats stats = (*engine)->GetStats();
+  EXPECT_GE(stats.batcher.deadline_expired, 1u);
+  EXPECT_EQ(stats.batcher.jobs_processed, 0u);  // Never reached a batch.
+}
+
+TEST(QueryEngineTest, GenerousDeadlineAnswersNormally) {
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(engine.ok());
+
+  auto with_deadline =
+      (*engine)->PredictTexture(HardQuery(), DeadlineAfterMillis(60000));
+  ASSERT_TRUE(with_deadline.ok()) << with_deadline.status().ToString();
+
+  // Same query without a deadline: identical answer — the deadline only
+  // gates admission, it never perturbs the fold-in arithmetic.
+  auto fresh = QueryEngine::Create(FastConfig(), TinySnapshot(), nullptr);
+  ASSERT_TRUE(fresh.ok());
+  auto unlimited = (*fresh)->PredictTexture(HardQuery());
+  ASSERT_TRUE(unlimited.ok());
+  EXPECT_EQ(with_deadline->theta, unlimited->theta);
+  EXPECT_EQ(with_deadline->topic, unlimited->topic);
+  EXPECT_EQ((*engine)->GetStats().batcher.deadline_expired, 0u);
+}
+
+TEST(QueryEngineTest, SimilarRecipesHonorsDeadline) {
+  auto corpus = TinyCorpus();
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), &corpus);
+  ASSERT_TRUE(engine.ok());
+  Deadline expired = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(10);
+  // Terms force the fold-in path (feature-only queries are placed by the
+  // gel Gaussian directly and never enter the batcher).
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.01);
+  query.texture_terms = {"katai"};
+  auto result = (*engine)->SimilarRecipes(query, 3, expired);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(QueryEngineTest, ConcurrentBatchedFoldInsMatchSerialResults) {

@@ -1,0 +1,138 @@
+// SocketOps decorator that injects network faults (partial reads/writes,
+// EINTR, connection resets, stalls, flaky accepts) into the serving
+// layer's I/O paths. The socket-level sibling of FaultInjectingFileOps
+// (tests/fault_injection.h): real sockets underneath, deterministic fault
+// schedule on top. Shared by the serve chaos suite and the client
+// robustness tests.
+
+#ifndef TEXRHEO_TESTS_SOCKET_FAULT_INJECTION_H_
+#define TEXRHEO_TESTS_SOCKET_FAULT_INJECTION_H_
+
+#include <cerrno>
+#include <chrono>
+#include <atomic>
+#include <thread>
+
+#include "util/socket_ops.h"
+
+namespace texrheo {
+
+/// Each knob fires on every Nth call of that op (1-based global call
+/// index, counted across all threads with atomics so the schedule is
+/// TSan-clean). 0 disables a knob. The *set* of injected faults is a pure
+/// function of call indices, so a single-threaded session replays exactly;
+/// multi-threaded runs interleave the indices but every fault is still one
+/// a real kernel could produce at that point.
+class FaultInjectingSocketOps : public SocketOps {
+ public:
+  struct Options {
+    /// Clamp every Nth Recv to 1 byte (short read).
+    int partial_recv_every = 0;
+    /// Clamp every Nth Send to 1 byte (short write).
+    int partial_send_every = 0;
+    /// Every Nth Recv / Send / Poll / Accept fails with EINTR instead.
+    int eintr_recv_every = 0;
+    int eintr_send_every = 0;
+    int eintr_poll_every = 0;
+    int eintr_accept_every = 0;
+    /// Every Nth Recv or Send sleeps `stall_millis` first (slow peer).
+    int stall_every = 0;
+    int stall_millis = 1;
+    /// One-shot: Recv call with this 1-based index fails ECONNRESET
+    /// (-1 disables). The connection is genuinely poisoned afterwards as
+    /// far as the caller can tell — it must drop it.
+    long long reset_recv_on_call = -1;
+  };
+
+  explicit FaultInjectingSocketOps(const Options& options)
+      : options_(options) {}
+
+  ssize_t Recv(int fd, void* buf, size_t len) override {
+    long long call = ++recv_calls_;
+    MaybeStall(call);
+    if (call == options_.reset_recv_on_call) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (Fires(call, options_.eintr_recv_every)) {
+      ++injected_;
+      errno = EINTR;
+      return -1;
+    }
+    if (Fires(call, options_.partial_recv_every)) {
+      ++injected_;
+      len = 1;
+    }
+    return SocketOps::Real().Recv(fd, buf, len);
+  }
+
+  ssize_t Send(int fd, const void* buf, size_t len) override {
+    long long call = ++send_calls_;
+    MaybeStall(call);
+    if (Fires(call, options_.eintr_send_every)) {
+      ++injected_;
+      errno = EINTR;
+      return -1;
+    }
+    if (Fires(call, options_.partial_send_every)) {
+      ++injected_;
+      len = 1;
+    }
+    return SocketOps::Real().Send(fd, buf, len);
+  }
+
+  int Accept(int listen_fd) override {
+    long long call = ++accept_calls_;
+    if (Fires(call, options_.eintr_accept_every)) {
+      ++injected_;
+      errno = EINTR;
+      return -1;
+    }
+    return SocketOps::Real().Accept(listen_fd);
+  }
+
+  int Poll(int fd, short events, int timeout_millis) override {
+    long long call = ++poll_calls_;
+    if (Fires(call, options_.eintr_poll_every)) {
+      ++injected_;
+      errno = EINTR;
+      return -1;
+    }
+    return SocketOps::Real().Poll(fd, events, timeout_millis);
+  }
+
+  int Close(int fd) override { return SocketOps::Real().Close(fd); }
+
+  int Shutdown(int fd, int how) override {
+    return SocketOps::Real().Shutdown(fd, how);
+  }
+
+  // Observability.
+  long long recv_calls() const { return recv_calls_.load(); }
+  long long send_calls() const { return send_calls_.load(); }
+  long long injected_faults() const { return injected_.load(); }
+
+ private:
+  static bool Fires(long long call, int every) {
+    return every > 0 && call % every == 0;
+  }
+
+  void MaybeStall(long long call) {
+    if (Fires(call, options_.stall_every)) {
+      ++injected_;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.stall_millis));
+    }
+  }
+
+  const Options options_;
+  std::atomic<long long> recv_calls_{0};
+  std::atomic<long long> send_calls_{0};
+  std::atomic<long long> poll_calls_{0};
+  std::atomic<long long> accept_calls_{0};
+  std::atomic<long long> injected_{0};
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_TESTS_SOCKET_FAULT_INJECTION_H_

@@ -99,6 +99,12 @@ TEST(StatusMacrosTest, ReturnIfErrorShortCircuits) {
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  // The serving wire protocol prints this name in ERR lines; clients
+  // string-match it to distinguish shed requests from hard failures.
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace
