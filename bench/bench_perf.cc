@@ -25,6 +25,8 @@
 #include "math/alias_table.h"
 #include "math/divergence.h"
 #include "math/distributions.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recipe/dataset.h"
 #include "rules/transactions.h"
 #include "serve/query_engine.h"
@@ -157,6 +159,75 @@ BENCHMARK(BM_CollapsedSweepThreads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Raw cost of the metrics hot path: one pre-registered counter increment,
+// one gauge set, and one histogram record per iteration — what a single
+// instrumented operation pays. Registration is outside the timed loop, as
+// in production.
+void BM_MetricsOverhead(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.RegisterCounter("bench.count");
+  obs::Gauge* gauge = registry.RegisterGauge("bench.level");
+  LatencyHistogram* hist = registry.RegisterHistogram("bench.latency_us");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    counter->Increment();
+    gauge->Set(static_cast<double>(i));
+    hist->Record(i++ & 1023);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsOverhead);
+
+// End-to-end instrumentation overhead on the real hot path: two serial
+// Gibbs chains with the same seed (bit-identical trajectories, so identical
+// work) run alternating sweeps inside every iteration — one with the full
+// metrics + trace stack attached (production Tracer config: no record ring,
+// histogram export only), one detached. Pairing the sweeps back to back
+// cancels clock-frequency / load drift that sequential A-then-B runs pick
+// up on a shared single-core box. ci.sh fails the --metrics leg when
+// overhead_pct > 2.
+void BM_InstrumentedSweep(benchmark::State& state) {
+  const recipe::Dataset& ds = SharedDataset(4000);
+  core::JointTopicModelConfig config;
+  config.num_topics = 10;
+  auto plain = core::JointTopicModel::Create(config, &ds);
+  auto instrumented = core::JointTopicModel::Create(config, &ds);
+  if (!plain.ok() || !instrumented.ok()) {
+    state.SkipWithError("model create failed");
+    return;
+  }
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(nullptr, obs::Tracer::Options{0});  // Production config.
+  tracer.ExportDurationsTo(&registry);
+  instrumented->SetObservability(&registry, &tracer);
+  double plain_secs = 0.0;
+  double instrumented_secs = 0.0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = plain->RunSweeps(1).ok();
+    auto t1 = std::chrono::steady_clock::now();
+    ok = ok && instrumented->RunSweeps(1).ok();
+    auto t2 = std::chrono::steady_clock::now();
+    if (!ok) {
+      state.SkipWithError("sweep failed");
+      return;
+    }
+    plain_secs += std::chrono::duration<double>(t1 - t0).count();
+    instrumented_secs += std::chrono::duration<double>(t2 - t1).count();
+    state.SetIterationTime(std::chrono::duration<double>(t2 - t0).count());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["plain_sweeps_per_sec"] = iters / plain_secs;
+  state.counters["instr_sweeps_per_sec"] = iters / instrumented_secs;
+  state.counters["overhead_pct"] =
+      100.0 * (instrumented_secs / plain_secs - 1.0);
+  state.SetItemsProcessed(2 * state.iterations() *
+                          static_cast<int64_t>(ds.documents.size()));
+}
+BENCHMARK(BM_InstrumentedSweep)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

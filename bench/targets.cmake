@@ -3,7 +3,8 @@
 # way to regenerate every table/figure is `for b in build/bench/*; do $b; done`.
 set(TEXRHEO_ALL_LIBS
   texrheo_serving texrheo_eval texrheo_core texrheo_corpus texrheo_rules
-  texrheo_rheology texrheo_recipe texrheo_text texrheo_math texrheo_util)
+  texrheo_rheology texrheo_recipe texrheo_text texrheo_math texrheo_obs
+  texrheo_util)
 
 function(texrheo_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)

@@ -10,6 +10,11 @@
 #   ./ci.sh            # tier-1 + TSan + ASan/UBSan
 #   ./ci.sh --bench    # also run the threads + checkpoint benchmarks
 #                      # (JSON to bench/out)
+#   ./ci.sh --metrics  # also validate the METRICSZ pipeline end to end:
+#                      # selftest with --metrics-dir, jq schema check of the
+#                      # exported file, and the instrumentation-overhead
+#                      # benches (fails if instrumented sweeps are > 2%
+#                      # slower; JSON to bench/out/obs_overhead.json)
 #
 # Exit code is nonzero if any stage fails.
 
@@ -18,9 +23,11 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 RUN_BENCH=0
+RUN_METRICS=0
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
+    --metrics) RUN_METRICS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -38,17 +45,17 @@ cmake -B build-tsan -S . -DTEXRHEO_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target thread_pool_test geweke_test sampler_exactness_test \
   query_engine_test serve_snapshot_test joint_topic_model_test \
-  serve_chaos_test
+  serve_chaos_test metrics_registry_test trace_test pipeline_e2e_test
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test)$')
+  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test|metrics_registry_test|trace_test|pipeline_e2e_test)$')
 
 echo "==> ASan/UBSan: rebuild durability-sensitive targets with -fsanitize=address,undefined"
 cmake -B build-asan -S . -DTEXRHEO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target serialization_test robustness_test checkpoint_test atomic_file_test \
-  serve_hostile_test backoff_test
+  serve_hostile_test backoff_test pipeline_e2e_test
 (cd build-asan && ctest --output-on-failure \
-  -R '^(serialization_test|robustness_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test)$')
+  -R '^(serialization_test|robustness_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|pipeline_e2e_test)$')
 
 echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
 # Trains a small toy model, runs the scripted query session (PREDICT /
@@ -56,6 +63,36 @@ echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
 # exits; ASan makes shutdown leaks and use-after-frees fatal.
 cmake --build build-asan -j "$JOBS" --target texrheo_serve
 ./build-asan/src/serve/texrheo_serve --toy --toy-scale=0.03 --selftest
+
+if [[ "$RUN_METRICS" == 1 ]]; then
+  echo "==> metrics: selftest with --metrics-dir + jq schema validation"
+  METRICS_DIR="$(mktemp -d)"
+  trap 'rm -rf "$METRICS_DIR"' EXIT
+  ./build/src/serve/texrheo_serve --toy --toy-scale=0.03 --selftest \
+    --metrics-dir="$METRICS_DIR" --metrics-interval-ms=200
+  test -s "$METRICS_DIR/metricsz.json"
+  jq -e -f ci/metricsz_schema.jq "$METRICS_DIR/metricsz.json" >/dev/null
+  echo "metricsz.json conforms to ci/metricsz_schema.jq"
+
+  echo "==> metrics: instrumentation overhead (BM_MetricsOverhead + BM_InstrumentedSweep)"
+  cmake --build build -j "$JOBS" --target bench_perf
+  mkdir -p bench/out
+  ./build/bench/bench_perf \
+    --benchmark_filter='BM_(MetricsOverhead|InstrumentedSweep)' \
+    --benchmark_min_time=2 \
+    --benchmark_out=bench/out/obs_overhead.json \
+    --benchmark_out_format=json
+  echo "wrote bench/out/obs_overhead.json"
+  # Fail when the instrumented chain loses > 2% sweep throughput. The
+  # bench interleaves plain/instrumented sweeps per iteration, so the
+  # paired overhead_pct is drift-free even on a busy single-core box.
+  jq -e '
+    [.benchmarks[] | select(.name | startswith("BM_InstrumentedSweep"))
+     | .overhead_pct] | .[0] | . <= 2.0
+  ' bench/out/obs_overhead.json >/dev/null \
+    || { echo "instrumented sweep throughput regressed > 2%" >&2; exit 1; }
+  echo "instrumented sweep throughput within 2% of plain"
+fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "==> bench: Gibbs sweep scaling at 1/2/4/8 threads"

@@ -1,0 +1,32 @@
+# Validates a METRICSZ document (the bare-JSON line served by the
+# `METRICSZ` command and the file written by --metrics-dir) against the
+# stable schema contract. Run as:
+#
+#   jq -e -f ci/metricsz_schema.jq metricsz.json
+#
+# jq -e exits nonzero when the final expression is false, which is how
+# ci.sh turns a schema drift into a red build. Keep this file in sync with
+# MetricsSnapshot::ToJson and the "Observability" section of README.md.
+
+def is_num_map: type == "object" and (to_entries | all(.value | type == "number"));
+
+def valid_histogram:
+  type == "object"
+  and ([.count, .sum_us, .max_us, .mean_us, .p50_us, .p95_us, .p99_us]
+       | all(type == "number"));
+
+(.schema_version == 1)
+and (.counters | is_num_map)
+and (.gauges | is_num_map)
+and (.histograms | type == "object")
+and (.histograms | to_entries | all(.value | valid_histogram))
+and (.model | type == "object")
+and (.model.fingerprint | type == "string" and length == 8)
+and (.model.topics | type == "number" and . >= 1)
+and (.model.vocab | type == "number" and . >= 1)
+and (.model.source | type == "string")
+# Pipeline monotonicity: one atomic snapshot must never show a downstream
+# counter ahead of its upstream.
+and (.counters["serve.queries.accepted"] >= .counters["serve.queries.completed"])
+and (.counters["serve.server.requests_received"] >= .counters["serve.server.requests_completed"])
+and (.counters["serve.batcher.submitted"] >= .counters["serve.batcher.jobs_processed"])

@@ -9,6 +9,8 @@
 
 #include "core/checkpoint.h"
 #include "math/distributions.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "math/linalg.h"
 #include "recipe/dataset.h"
 #include "util/atomic_file.h"
@@ -240,6 +242,20 @@ class JointTopicModel {
   /// Pass nullptr to restore the real filesystem. Not owned.
   void set_checkpoint_file_ops(FileOps* ops) { checkpoint_file_ops_ = ops; }
 
+  /// Attaches the trainer to an observability layer (either may be null;
+  /// neither is owned and both must outlive the model). With `metrics` set,
+  /// every sweep exports its timing breakdown (train.sweep_us,
+  /// train.shard_sample_us, train.gaussian_update_us), progress counters
+  /// (train.sweeps_completed, train.checkpoints_written), and state gauges
+  /// (train.log_likelihood, train.alpha, train.alpha_drift). With `tracer`
+  /// set, each sweep emits a hierarchical sweep -> shard_sample /
+  /// gaussian_update span tree stamped by the tracer's injected clock.
+  ///
+  /// Instrumentation reads the sampler state but never writes it and never
+  /// draws from any RNG stream: the chain trajectory is bit-identical with
+  /// observability attached or not (enforced by sampler_exactness_test).
+  void SetObservability(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
  private:
   JointTopicModel(const JointTopicModelConfig& config,
                   const recipe::Dataset* dataset);
@@ -265,6 +281,21 @@ class JointTopicModel {
   /// the checkpoint fingerprint.
   double initial_alpha_ = 0.0;
   FileOps* checkpoint_file_ops_ = nullptr;  ///< Test seam; not owned.
+
+  // Observability (see SetObservability). All null when detached; the
+  // handles are owned by the registry. The timing clock is the tracer's
+  // when one is attached (so ManualClock tests see deterministic
+  // durations), the steady clock otherwise.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* obs_sweeps_ = nullptr;
+  obs::Counter* obs_checkpoints_ = nullptr;
+  obs::Gauge* obs_likelihood_ = nullptr;
+  obs::Gauge* obs_alpha_ = nullptr;
+  obs::Gauge* obs_alpha_drift_ = nullptr;
+  LatencyHistogram* obs_sweep_us_ = nullptr;
+  LatencyHistogram* obs_sample_us_ = nullptr;
+  LatencyHistogram* obs_gaussian_us_ = nullptr;
 
   Rng rng_;
   // Parallel engine (populated on first parallel sweep; see num_threads).

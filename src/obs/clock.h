@@ -1,0 +1,49 @@
+#ifndef TEXRHEO_OBS_CLOCK_H_
+#define TEXRHEO_OBS_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace texrheo::obs {
+
+/// Time source for the observability layer. Everything that stamps a span
+/// or measures a phase reads through this interface, so tests inject a
+/// ManualClock and get deterministic durations while production uses the
+/// steady (monotonic) clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds. Only differences are meaningful; the epoch is
+  /// unspecified (steady-clock start for the real clock, 0 for ManualClock
+  /// unless constructed otherwise).
+  virtual int64_t NowMicros() const = 0;
+
+  /// Shared instance backed by std::chrono::steady_clock.
+  static const Clock& Steady();
+};
+
+/// Test clock: time moves only when the test says so. Advance is
+/// thread-safe, so concurrent spans observe a coherent (if coarse)
+/// timeline.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void AdvanceMicros(int64_t delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  void SetMicros(int64_t now) { now_.store(now, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace texrheo::obs
+
+#endif  // TEXRHEO_OBS_CLOCK_H_

@@ -1,0 +1,65 @@
+#include "obs/exporter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/logging.h"
+
+namespace texrheo::obs {
+
+PeriodicMetricsWriter::PeriodicMetricsWriter(
+    std::function<std::string()> render, Options options)
+    : render_(std::move(render)), options_(std::move(options)) {}
+
+PeriodicMetricsWriter::~PeriodicMetricsWriter() { Stop(); }
+
+Status PeriodicMetricsWriter::Start() {
+  TEXRHEO_RETURN_IF_ERROR(WriteOnce());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::FailedPrecondition("writer already started");
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void PeriodicMetricsWriter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      stopping_ = true;
+      return;
+    }
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final write so the file reflects the last state (e.g. a selftest's
+  // closing counters), best-effort.
+  Status final_write = WriteOnce();
+  (void)final_write;
+}
+
+Status PeriodicMetricsWriter::WriteOnce() const {
+  return AtomicWriteFile(options_.path, render_());
+}
+
+void PeriodicMetricsWriter::Loop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(10, options_.interval_millis));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    Status written = WriteOnce();
+    if (!written.ok()) {
+      TEXRHEO_LOG(Warning) << "metrics write failed: " << written.ToString();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace texrheo::obs

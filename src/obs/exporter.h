@@ -1,0 +1,63 @@
+#ifndef TEXRHEO_OBS_EXPORTER_H_
+#define TEXRHEO_OBS_EXPORTER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace texrheo::obs {
+
+/// Periodically writes a metrics snapshot to a file, atomically (temp +
+/// fsync + rename via util/atomic_file), so a scraper reading the file
+/// never sees a torn JSON document.
+///
+/// The writer takes a render callback instead of a registry so callers can
+/// enrich the payload (the serve binary prepends its model section); the
+/// callback runs on the writer thread and must be thread-safe.
+class PeriodicMetricsWriter {
+ public:
+  struct Options {
+    std::string path;            ///< Destination file (e.g. DIR/metricsz.json).
+    int interval_millis = 1000;  ///< Clamped to >= 10.
+  };
+
+  /// `render` produces the full file payload per tick.
+  PeriodicMetricsWriter(std::function<std::string()> render, Options options);
+
+  /// Stops (with one final write) and joins.
+  ~PeriodicMetricsWriter();
+
+  PeriodicMetricsWriter(const PeriodicMetricsWriter&) = delete;
+  PeriodicMetricsWriter& operator=(const PeriodicMetricsWriter&) = delete;
+
+  /// Writes once synchronously, then starts the background thread.
+  /// Fails (and does not start the thread) when the first write fails —
+  /// a bad --metrics-dir should be a startup error, not a silent log spam.
+  Status Start();
+
+  /// Final write + join. Idempotent.
+  void Stop();
+
+  /// One synchronous write of the current snapshot.
+  Status WriteOnce() const;
+
+ private:
+  void Loop();
+
+  const std::function<std::string()> render_;
+  const Options options_;
+
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;  // Guarded by mu_.
+  bool started_ = false;   // Guarded by mu_.
+  std::thread thread_;
+};
+
+}  // namespace texrheo::obs
+
+#endif  // TEXRHEO_OBS_EXPORTER_H_

@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace texrheo::obs {
+
+TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    span_id_ = other.span_id_;
+    parent_id_ = other.parent_id_;
+    name_ = std::move(other.name_);
+    start_micros_ = other.start_micros_;
+  }
+  return *this;
+}
+
+void TraceSpan::End() {
+  Tracer* tracer = std::exchange(tracer_, nullptr);
+  if (tracer == nullptr) return;
+  tracer->Finish(*this, tracer->clock().NowMicros());
+}
+
+TraceSpan TraceSpan::StartChild(std::string_view name) {
+  if (tracer_ == nullptr) return TraceSpan();
+  return tracer_->StartSpanWithParent(name, span_id_);
+}
+
+Tracer::Tracer(const Clock* clock, Options options)
+    : clock_(clock != nullptr ? clock : &Clock::Steady()),
+      options_(options) {}
+
+TraceSpan Tracer::StartSpanWithParent(std::string_view name,
+                                      uint64_t parent_id) {
+  return TraceSpan(this, next_span_id_.fetch_add(1, std::memory_order_relaxed),
+                   parent_id, std::string(name), clock_->NowMicros());
+}
+
+void Tracer::ExportDurationsTo(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  histograms_.clear();
+}
+
+LatencyHistogram* Tracer::HistogramFor(const std::string& span_name) {
+  // Caller holds mu_. Registration is once per distinct span name.
+  auto it = histograms_.find(span_name);
+  if (it != histograms_.end()) return it->second;
+  LatencyHistogram* hist =
+      registry_->RegisterHistogram("trace." + span_name + "_us");
+  histograms_.emplace(span_name, hist);
+  return hist;
+}
+
+void Tracer::Finish(const TraceSpan& span, int64_t end_micros) {
+  SpanRecord record;
+  record.span_id = span.span_id_;
+  record.parent_id = span.parent_id_;
+  record.name = span.name_;
+  record.start_micros = span.start_micros_;
+  record.duration_micros = end_micros - span.start_micros_;
+  const int64_t duration = record.duration_micros;
+  LatencyHistogram* hist = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (registry_ != nullptr) hist = HistogramFor(record.name);
+    if (options_.max_records > 0) {
+      if (records_.size() >= options_.max_records) {
+        records_.pop_front();
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      records_.push_back(std::move(record));
+    }
+  }
+  if (hist != nullptr) hist->Record(duration);
+}
+
+std::vector<SpanRecord> Tracer::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SpanRecord>(records_.begin(), records_.end());
+}
+
+std::vector<SpanRecord> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out(std::make_move_iterator(records_.begin()),
+                              std::make_move_iterator(records_.end()));
+  records_.clear();
+  return out;
+}
+
+}  // namespace texrheo::obs

@@ -9,6 +9,20 @@ namespace texrheo::serve {
 
 FoldInBatcher::FoldInBatcher(const Options& options, BatchFn run_batch)
     : options_(options), run_batch_(std::move(run_batch)) {
+  obs::MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  // Pipeline order: a job is submitted before it is processed, so
+  // registering submitted first guarantees snapshots never show
+  // jobs_processed > submitted (see MetricsRegistry::TakeSnapshot).
+  submitted_ = metrics->RegisterCounter("serve.batcher.submitted");
+  shed_ = metrics->RegisterCounter("serve.batcher.shed");
+  deadline_expired_ = metrics->RegisterCounter("serve.batcher.deadline_expired");
+  batches_ = metrics->RegisterCounter("serve.batcher.batches");
+  jobs_processed_ = metrics->RegisterCounter("serve.batcher.jobs_processed");
+  max_batch_size_ = metrics->RegisterGauge("serve.batcher.max_batch_size");
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -33,17 +47,17 @@ StatusOr<std::future<StatusOr<std::vector<double>>>> FoldInBatcher::Submit(
     // Dead on arrival: the request blew its budget before admission (e.g.
     // a slow client took the whole budget just delivering the line).
     if (DeadlineExpired(job.deadline)) {
-      ++stats_.deadline_expired;
+      deadline_expired_->Increment();
       return Status::DeadlineExceeded(
           "request deadline expired before fold-in admission");
     }
     if (queue_.size() >= options_.max_queue) {
-      ++stats_.shed;
+      shed_->Increment();
       return Status::Unavailable("fold-in queue full (" +
                                  std::to_string(options_.max_queue) +
                                  " pending); retry later");
     }
-    ++stats_.submitted;
+    submitted_->Increment();
     queue_.push_back(std::move(job));
   }
   work_cv_.notify_one();
@@ -74,7 +88,7 @@ void FoldInBatcher::DispatcherLoop() {
         FoldInJob job = std::move(queue_.front());
         queue_.pop_front();
         if (DeadlineExpired(job.deadline)) {
-          ++stats_.deadline_expired;
+          deadline_expired_->Increment();
           expired.push_back(std::move(job));
           continue;
         }
@@ -82,10 +96,9 @@ void FoldInBatcher::DispatcherLoop() {
         ++take;
       }
       if (take > 0) {
-        ++stats_.batches;
-        stats_.jobs_processed += take;
-        stats_.max_batch_size =
-            std::max<uint64_t>(stats_.max_batch_size, take);
+        batches_->Increment();
+        jobs_processed_->Increment(take);
+        max_batch_size_->SetMax(static_cast<double>(take));
       }
     }
     for (FoldInJob& job : expired) {
@@ -97,8 +110,17 @@ void FoldInBatcher::DispatcherLoop() {
 }
 
 FoldInBatcher::Stats FoldInBatcher::GetStats() const {
+  // Increments all happen under mu_, so holding it here yields the same
+  // mutually consistent view the pre-registry struct gave.
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats;
+  stats.submitted = submitted_->Value();
+  stats.shed = shed_->Value();
+  stats.deadline_expired = deadline_expired_->Value();
+  stats.batches = batches_->Value();
+  stats.jobs_processed = jobs_processed_->Value();
+  stats.max_batch_size = static_cast<uint64_t>(max_batch_size_->Value());
+  return stats;
 }
 
 }  // namespace texrheo::serve

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "math/linalg.h"
+#include "obs/metrics.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
 
@@ -52,6 +53,10 @@ struct FoldInJob {
   /// DeadlineExceeded instead of occupying a batch slot — the caller has
   /// already given up, so folding it in would be pure wasted work.
   Deadline deadline = kNoDeadline;
+  /// Span id of the request's admission span (0 = untraced). The fold-in
+  /// span created at dispatch parents here, stitching the request ->
+  /// admission -> fold-in chain across the queue's thread hop.
+  uint64_t trace_parent = 0;
   std::promise<StatusOr<std::vector<double>>> result;
 };
 
@@ -75,6 +80,12 @@ class FoldInBatcher {
     /// How long the dispatcher waits for companions after the first job of
     /// a batch. 0 dispatches immediately (no artificial latency).
     int linger_micros = 200;
+    /// Registry the batcher's counters live in (serve.batcher.*). Not
+    /// owned; may be null, in which case the batcher keeps a private
+    /// registry so the handles always exist. The serving engine always
+    /// passes its own registry — that is what makes STATSZ/METRICSZ one
+    /// source of truth.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Counters (monotonic except where noted).
@@ -123,7 +134,20 @@ class FoldInBatcher {
   std::condition_variable work_cv_;  ///< Signals the dispatcher.
   std::deque<FoldInJob> queue_;      // Guarded by mu_.
   bool shutdown_ = false;            // Guarded by mu_.
-  Stats stats_;                      // Guarded by mu_.
+
+  /// Counters live in the registry (single source of truth for statsz /
+  /// metricsz); all increments happen under mu_, so GetStats() remains a
+  /// mutually consistent view exactly as before the migration.
+  /// Registration order follows the job pipeline (submitted before
+  /// jobs_processed), which is what makes registry snapshots
+  /// monotone-consistent (submitted >= jobs_processed, always).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  ///< Fallback only.
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* shed_ = nullptr;
+  obs::Counter* deadline_expired_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* jobs_processed_ = nullptr;
+  obs::Gauge* max_batch_size_ = nullptr;
 
   std::thread dispatcher_;
 };

@@ -14,19 +14,28 @@ namespace texrheo::serve {
 
 namespace {
 
-/// Records wall time into a histogram at scope exit, so every return path
-/// of a query method is measured.
-class ScopedTimer {
+/// Per-query accounting, covering every return path: bumps accepted on
+/// entry, and at scope exit records wall time into the method's latency
+/// histogram and bumps completed. accepted-before-work / completed-after
+/// is what gives registry snapshots their accepted >= completed guarantee.
+class QueryScope {
  public:
-  explicit ScopedTimer(LatencyHistogram* hist)
-      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
-  ~ScopedTimer() {
+  QueryScope(obs::Counter* accepted, obs::Counter* completed,
+             LatencyHistogram* hist)
+      : completed_(completed),
+        hist_(hist),
+        start_(std::chrono::steady_clock::now()) {
+    accepted->Increment();
+  }
+  ~QueryScope() {
     hist_->Record(std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now() - start_)
                       .count());
+    completed_->Increment();
   }
 
  private:
+  obs::Counter* completed_;
   LatencyHistogram* hist_;
   std::chrono::steady_clock::time_point start_;
 };
@@ -74,7 +83,28 @@ StatusOr<TextureQuery> QueryFromIngredients(
 
 QueryEngine::QueryEngine(const QueryEngineConfig& config,
                          const recipe::Dataset* corpus)
-    : config_(config), corpus_(corpus), cache_(config.cache_capacity) {}
+    : config_(config), corpus_(corpus), cache_(config.cache_capacity) {
+  metrics_ = config.metrics != nullptr
+                 ? config.metrics
+                 : std::make_shared<obs::MetricsRegistry>();
+  // Pipeline registration order (see header): accepted here, the batcher's
+  // submitted/jobs_processed when the batcher is built, completed last
+  // (in Create) — matching the order a request increments them.
+  queries_accepted_ = metrics_->RegisterCounter("serve.queries.accepted");
+  cache_hits_ = metrics_->RegisterCounter("serve.cache.hits");
+  cache_misses_ = metrics_->RegisterCounter("serve.cache.misses");
+  errors_ = metrics_->RegisterCounter("serve.errors");
+  unknown_terms_ = metrics_->RegisterCounter("serve.unknown_terms");
+  reloads_ = metrics_->RegisterCounter("serve.reloads");
+  cache_size_ = metrics_->RegisterGauge("serve.cache.size");
+  cache_capacity_ = metrics_->RegisterGauge("serve.cache.capacity");
+  cache_evictions_ = metrics_->RegisterGauge("serve.cache.evictions");
+  cache_insertions_ = metrics_->RegisterGauge("serve.cache.insertions");
+  predict_latency_ = metrics_->RegisterHistogram("serve.predict_us");
+  nearest_latency_ = metrics_->RegisterHistogram("serve.nearest_us");
+  similar_latency_ = metrics_->RegisterHistogram("serve.similar_us");
+  topic_card_latency_ = metrics_->RegisterHistogram("serve.topic_card_us");
+}
 
 QueryEngine::~QueryEngine() = default;
 
@@ -112,10 +142,16 @@ StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   batch_options.max_queue = config.max_queue;
   batch_options.max_batch = config.batch_max_size;
   batch_options.linger_micros = config.batch_linger_micros;
+  batch_options.metrics = engine->metrics_.get();
   QueryEngine* raw = engine.get();
   engine->batcher_ = std::make_unique<FoldInBatcher>(
       batch_options,
       [raw](std::vector<FoldInJob>& batch) { raw->RunBatch(batch); });
+  // Registered after the batcher's counters on purpose: completed is the
+  // last counter a request touches, so it must be the first one a snapshot
+  // reads (TakeSnapshot reads in reverse registration order).
+  engine->queries_completed_ =
+      engine->metrics_->RegisterCounter("serve.queries.completed");
   return engine;
 }
 
@@ -147,7 +183,7 @@ std::vector<int32_t> QueryEngine::ResolveTerms(
   for (const std::string& term : terms) {
     int32_t id = snapshot.model().vocab.IdOf(term);
     if (id == text::Vocabulary::kUnknownId) {
-      unknown_terms_.fetch_add(1, std::memory_order_relaxed);
+      unknown_terms_->Increment();
       continue;
     }
     ids.push_back(id);
@@ -219,12 +255,22 @@ TexturePrediction QueryEngine::BuildPrediction(
 }
 
 void QueryEngine::RunBatch(std::vector<FoldInJob>& batch) {
+  // The dispatch span is a root (one batch serves many requests); each
+  // job's fold_in span instead parents to its request's admission span via
+  // the id carried in the job, keeping the per-request chain intact.
+  obs::TraceSpan dispatch;
+  obs::Tracer* tracer = config_.tracer;
+  if (tracer != nullptr) dispatch = tracer->StartSpan("batch_dispatch");
   // Fan the batch across the pool; each job's RNG is keyed on its admission
   // sequence, so results are independent of batch composition and of which
   // worker runs the job.
   pool_->ParallelFor(
-      static_cast<int>(batch.size()), [this, &batch](int i) {
+      static_cast<int>(batch.size()), [this, tracer, &batch](int i) {
         FoldInJob& job = batch[static_cast<size_t>(i)];
+        obs::TraceSpan fold;
+        if (tracer != nullptr) {
+          fold = tracer->StartSpanWithParent("fold_in", job.trace_parent);
+        }
         Rng rng = Rng::ForStream(config_.seed, job.sequence);
         job.result.set_value(job.snapshot->FoldInTheta(
             job.term_ids, job.gel_feature, config_.fold_in_sweeps,
@@ -233,8 +279,16 @@ void QueryEngine::RunBatch(std::vector<FoldInJob>& batch) {
 }
 
 StatusOr<TexturePrediction> QueryEngine::PredictTexture(
-    const TextureQuery& query, Deadline deadline) {
-  ScopedTimer timer(&predict_latency_);
+    const TextureQuery& query, Deadline deadline, uint64_t trace_parent) {
+  QueryScope scope(queries_accepted_, queries_completed_, predict_latency_);
+  // Admission covers validation, term resolution, the cache probe and the
+  // batcher hand-off; the wait for the fold-in result is deliberately
+  // outside it (queue time shows up between admission and fold_in spans).
+  obs::TraceSpan admission;
+  if (config_.tracer != nullptr) {
+    admission =
+        config_.tracer->StartSpanWithParent("admission", trace_parent);
+  }
   TEXRHEO_RETURN_IF_ERROR(ValidateQuery(query));
   std::shared_ptr<const ServingState> state = this->state();
   const ServingSnapshot& snapshot = *state->snapshot;
@@ -249,9 +303,11 @@ StatusOr<TexturePrediction> QueryEngine::PredictTexture(
   std::string key =
       CanonicalQueryKey(gel, emulsion, term_ids, config_.cache_quantum);
   if (std::optional<TexturePrediction> hit = cache_.Get(key)) {
+    cache_hits_->Increment();
     hit->from_cache = true;
     return *std::move(hit);
   }
+  cache_misses_->Increment();
 
   FoldInJob job;
   job.snapshot = state->snapshot;
@@ -259,14 +315,16 @@ StatusOr<TexturePrediction> QueryEngine::PredictTexture(
   job.gel_feature = recipe::ToFeature(gel, config_.feature);
   job.sequence = sequence_.fetch_add(1, std::memory_order_relaxed);
   job.deadline = deadline;
+  job.trace_parent = admission.span_id();
   auto future_or = batcher_->Submit(std::move(job));
+  admission.End();
   if (!future_or.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Increment();
     return future_or.status();
   }
   StatusOr<std::vector<double>> theta = future_or->get();
   if (!theta.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Increment();
     return theta.status();
   }
   TexturePrediction prediction =
@@ -277,7 +335,7 @@ StatusOr<TexturePrediction> QueryEngine::PredictTexture(
 
 StatusOr<std::vector<RheologyMatch>> QueryEngine::NearestRheology(
     int topic, const core::LinkageOptions* options) {
-  ScopedTimer timer(&nearest_latency_);
+  QueryScope scope(queries_accepted_, queries_completed_, nearest_latency_);
   std::shared_ptr<const ServingState> state = this->state();
   const ServingSnapshot& snapshot = *state->snapshot;
   if (topic < 0 || topic >= snapshot.num_topics()) {
@@ -290,7 +348,7 @@ StatusOr<std::vector<RheologyMatch>> QueryEngine::NearestRheology(
   auto links_or = core::LinkSettingsToTopics(snapshot.model().estimates,
                                              settings, config_.feature, opts);
   if (!links_or.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Increment();
     return links_or.status();
   }
   std::vector<RheologyMatch> matches;
@@ -312,8 +370,9 @@ StatusOr<std::vector<RheologyMatch>> QueryEngine::NearestRheology(
 }
 
 StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
-    const TextureQuery& query, size_t top_n, Deadline deadline) {
-  ScopedTimer timer(&similar_latency_);
+    const TextureQuery& query, size_t top_n, Deadline deadline,
+    uint64_t trace_parent) {
+  QueryScope scope(queries_accepted_, queries_completed_, similar_latency_);
   TEXRHEO_RETURN_IF_ERROR(ValidateQuery(query));
   if (corpus_ == nullptr) {
     return Status::FailedPrecondition(
@@ -332,7 +391,7 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
     result.topic = snapshot.InferTopicForFeatures(gel_feature);
   } else {
     TEXRHEO_ASSIGN_OR_RETURN(TexturePrediction prediction,
-                             PredictTexture(query, deadline));
+                             PredictTexture(query, deadline, trace_parent));
     result.topic = prediction.topic;
   }
 
@@ -342,7 +401,7 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
       OrZeros(query.emulsion_concentration, recipe::kNumEmulsionTypes);
   auto ranked_or = eval::RankByEmulsionKL(*corpus_, members, emulsion);
   if (!ranked_or.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Increment();
     return ranked_or.status();
   }
   size_t keep = top_n == 0 ? config_.max_similar : top_n;
@@ -356,7 +415,8 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
 }
 
 StatusOr<TopicCardResult> QueryEngine::TopicCard(int topic) {
-  ScopedTimer timer(&topic_card_latency_);
+  QueryScope scope(queries_accepted_, queries_completed_,
+                   topic_card_latency_);
   std::shared_ptr<const ServingState> state = this->state();
   const ServingSnapshot& snapshot = *state->snapshot;
   if (topic < 0 || topic >= snapshot.num_topics()) {
@@ -399,7 +459,7 @@ Status QueryEngine::Reload(std::shared_ptr<const ServingSnapshot> snapshot) {
   // next eviction or reload clears them; correctness-critical readers
   // compare fingerprints.
   cache_.Clear();
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reloads_->Increment();
   return Status::OK();
 }
 
@@ -415,21 +475,36 @@ std::shared_ptr<const ServingSnapshot> QueryEngine::snapshot() const {
 
 QueryEngineStats QueryEngine::GetStats() const {
   QueryEngineStats stats;
-  stats.predict = predict_latency_.TakeSnapshot();
-  stats.nearest = nearest_latency_.TakeSnapshot();
-  stats.similar = similar_latency_.TakeSnapshot();
-  stats.topic_card = topic_card_latency_.TakeSnapshot();
+  stats.predict = predict_latency_->TakeSnapshot();
+  stats.nearest = nearest_latency_->TakeSnapshot();
+  stats.similar = similar_latency_->TakeSnapshot();
+  stats.topic_card = topic_card_latency_->TakeSnapshot();
   stats.cache = cache_.Stats();
   stats.batcher = batcher_->GetStats();
-  stats.reloads = reloads_.load(std::memory_order_relaxed);
-  stats.errors = errors_.load(std::memory_order_relaxed);
-  stats.unknown_terms = unknown_terms_.load(std::memory_order_relaxed);
+  stats.reloads = reloads_->Value();
+  stats.errors = errors_->Value();
+  stats.unknown_terms = unknown_terms_->Value();
   stats.model_fingerprint = state()->snapshot->fingerprint();
   return stats;
 }
 
-std::string QueryEngine::Statsz() const {
-  QueryEngineStats stats = GetStats();
+void QueryEngine::RefreshDerivedGauges() const {
+  // The LRU cache keeps its own internal tallies (it predates the
+  // registry and its occupancy is not an event stream); mirror them into
+  // gauges right before a snapshot so renders always see current values.
+  LruCacheStats cache = cache_.Stats();
+  cache_size_->Set(static_cast<double>(cache.size));
+  cache_capacity_->Set(static_cast<double>(cache.capacity));
+  cache_evictions_->Set(static_cast<double>(cache.evictions));
+  cache_insertions_->Set(static_cast<double>(cache.insertions));
+}
+
+obs::MetricsSnapshot QueryEngine::TakeMetricsSnapshot() const {
+  RefreshDerivedGauges();
+  return metrics_->TakeSnapshot();
+}
+
+std::string QueryEngine::RenderStatsz(const obs::MetricsSnapshot& snap) const {
   std::shared_ptr<const ServingSnapshot> snapshot = this->snapshot();
   std::ostringstream out;
   char fp[16];
@@ -437,39 +512,81 @@ std::string QueryEngine::Statsz() const {
   out << "texrheo_serve statsz\n";
   out << "model: fingerprint=" << fp << " topics=" << snapshot->num_topics()
       << " vocab=" << snapshot->vocab_size()
-      << " source=" << snapshot->source() << " reloads=" << stats.reloads
-      << "\n";
-  out << "cache: capacity=" << stats.cache.capacity
-      << " size=" << stats.cache.size << " hits=" << stats.cache.hits
-      << " misses=" << stats.cache.misses
-      << " evictions=" << stats.cache.evictions << " hit_rate=";
+      << " source=" << snapshot->source()
+      << " reloads=" << snap.CounterValue("serve.reloads") << "\n";
+  const uint64_t hits = snap.CounterValue("serve.cache.hits");
+  const uint64_t misses = snap.CounterValue("serve.cache.misses");
+  out << "cache: capacity="
+      << static_cast<uint64_t>(snap.GaugeValue("serve.cache.capacity"))
+      << " size=" << static_cast<uint64_t>(snap.GaugeValue("serve.cache.size"))
+      << " hits=" << hits << " misses=" << misses << " evictions="
+      << static_cast<uint64_t>(snap.GaugeValue("serve.cache.evictions"))
+      << " hit_rate=";
   char rate[32];
-  std::snprintf(rate, sizeof(rate), "%.4f", stats.cache.HitRate());
+  std::snprintf(rate, sizeof(rate), "%.4f",
+                hits + misses == 0
+                    ? 0.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(hits + misses));
   out << rate << "\n";
-  out << "batcher: submitted=" << stats.batcher.submitted
-      << " shed=" << stats.batcher.shed
-      << " deadline_expired=" << stats.batcher.deadline_expired
-      << " batches=" << stats.batcher.batches
-      << " jobs=" << stats.batcher.jobs_processed << " mean_batch=";
-  std::snprintf(rate, sizeof(rate), "%.2f", stats.batcher.MeanBatchSize());
-  out << rate << " max_batch=" << stats.batcher.max_batch_size << "\n";
-  out << "errors: total=" << stats.errors
-      << " unknown_terms=" << stats.unknown_terms << "\n";
-  auto line = [&out](const char* name,
-                     const LatencyHistogram::Snapshot& snap) {
-    out << name << ": count=" << snap.count << " mean_us=";
+  const uint64_t batches = snap.CounterValue("serve.batcher.batches");
+  const uint64_t jobs = snap.CounterValue("serve.batcher.jobs_processed");
+  out << "batcher: submitted=" << snap.CounterValue("serve.batcher.submitted")
+      << " shed=" << snap.CounterValue("serve.batcher.shed")
+      << " deadline_expired="
+      << snap.CounterValue("serve.batcher.deadline_expired")
+      << " batches=" << batches << " jobs=" << jobs << " mean_batch=";
+  std::snprintf(rate, sizeof(rate), "%.2f",
+                batches == 0 ? 0.0
+                             : static_cast<double>(jobs) /
+                                   static_cast<double>(batches));
+  out << rate << " max_batch="
+      << static_cast<uint64_t>(snap.GaugeValue("serve.batcher.max_batch_size"))
+      << "\n";
+  out << "queries: accepted=" << snap.CounterValue("serve.queries.accepted")
+      << " completed=" << snap.CounterValue("serve.queries.completed")
+      << "\n";
+  out << "errors: total=" << snap.CounterValue("serve.errors")
+      << " unknown_terms=" << snap.CounterValue("serve.unknown_terms")
+      << "\n";
+  auto line = [&out, &snap](const char* label, const char* metric) {
+    static const LatencyHistogram::Snapshot kEmpty;
+    const LatencyHistogram::Snapshot* h = snap.Histogram(metric);
+    if (h == nullptr) h = &kEmpty;
+    out << label << ": count=" << h->count << " mean_us=";
     char mean[32];
-    std::snprintf(mean, sizeof(mean), "%.1f", snap.MeanMicros());
-    out << mean << " p50_us=" << snap.QuantileUpperBound(0.50)
-        << " p95_us=" << snap.QuantileUpperBound(0.95)
-        << " p99_us=" << snap.QuantileUpperBound(0.99)
-        << " max_us=" << snap.max_micros << "\n";
+    std::snprintf(mean, sizeof(mean), "%.1f", h->MeanMicros());
+    out << mean << " p50_us=" << h->QuantileUpperBound(0.50)
+        << " p95_us=" << h->QuantileUpperBound(0.95)
+        << " p99_us=" << h->QuantileUpperBound(0.99)
+        << " max_us=" << h->max_micros << "\n";
   };
-  line("predict_texture", stats.predict);
-  line("nearest_rheology", stats.nearest);
-  line("similar_recipes", stats.similar);
-  line("topic_card", stats.topic_card);
+  line("predict_texture", "serve.predict_us");
+  line("nearest_rheology", "serve.nearest_us");
+  line("similar_recipes", "serve.similar_us");
+  line("topic_card", "serve.topic_card_us");
   return out.str();
+}
+
+std::string QueryEngine::Statsz() const {
+  return RenderStatsz(TakeMetricsSnapshot());
+}
+
+std::string QueryEngine::MetricszJson() const {
+  obs::MetricsSnapshot snap = TakeMetricsSnapshot();
+  std::shared_ptr<const ServingSnapshot> snapshot = this->snapshot();
+  JsonValue root = snap.ToJson();
+  char fp[16];
+  std::snprintf(fp, sizeof(fp), "%08x", snapshot->fingerprint());
+  JsonValue model = JsonValue::MakeObject();
+  model.AsObject()["fingerprint"] = JsonValue::String(fp);
+  model.AsObject()["topics"] =
+      JsonValue::Number(static_cast<double>(snapshot->num_topics()));
+  model.AsObject()["vocab"] =
+      JsonValue::Number(static_cast<double>(snapshot->vocab_size()));
+  model.AsObject()["source"] = JsonValue::String(snapshot->source());
+  root.AsObject()["model"] = std::move(model);
+  return root.Serialize();
 }
 
 }  // namespace texrheo::serve

@@ -11,6 +11,8 @@
 
 #include "core/linkage.h"
 #include "math/linalg.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recipe/dataset.h"
 #include "rheology/empirical_data.h"
 #include "serve/batcher.h"
@@ -56,6 +58,17 @@ struct QueryEngineConfig {
   recipe::FeatureConfig feature;
   /// Default Table-I linkage scoring for NearestRheology.
   core::LinkageOptions linkage;
+
+  /// Registry every serve.* metric lives in — the single source of truth
+  /// STATSZ and METRICSZ render from. Shared so the protocol server and
+  /// the periodic metrics writer see the same counters. Null => the engine
+  /// creates (and owns) its own.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Optional tracer (not owned; must outlive the engine). When set, every
+  /// query produces an admission span, and each dispatched batch produces
+  /// a batch_dispatch span with per-job fold_in children parented to the
+  /// requests' admission spans. Never consulted on the RNG path.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One texture query: the observables of an *unseen* recipe. Concentration
@@ -167,8 +180,11 @@ class QueryEngine {
   /// blown it is shed with DeadlineExceeded at batcher admission (or while
   /// queued) instead of occupying a batch slot. Cache hits always succeed —
   /// answering from memory is cheaper than shedding.
+  /// `trace_parent` (0 = root) parents the query's admission span, letting
+  /// a protocol front-end stitch request -> admission across layers.
   StatusOr<TexturePrediction> PredictTexture(const TextureQuery& query,
-                                             Deadline deadline = kNoDeadline);
+                                             Deadline deadline = kNoDeadline,
+                                             uint64_t trace_parent = 0);
 
   /// Ranks the paper's Table-I rheometer settings by divergence to
   /// `topic`'s gel Gaussian (Section III.C.4 linkage), nearest first.
@@ -180,9 +196,9 @@ class QueryEngine {
   /// recipes by emulsion-concentration KL (Section V.B), nearest first.
   /// top_n == 0 uses config.max_similar. `deadline` guards the embedded
   /// fold-in exactly as in PredictTexture.
-  StatusOr<SimilarRecipesResult> SimilarRecipes(const TextureQuery& query,
-                                                size_t top_n = 0,
-                                                Deadline deadline = kNoDeadline);
+  StatusOr<SimilarRecipesResult> SimilarRecipes(
+      const TextureQuery& query, size_t top_n = 0,
+      Deadline deadline = kNoDeadline, uint64_t trace_parent = 0);
 
   /// Summarizes one topic (phi top terms + Gaussian summaries).
   StatusOr<TopicCardResult> TopicCard(int topic);
@@ -201,8 +217,27 @@ class QueryEngine {
 
   QueryEngineStats GetStats() const;
 
+  /// The registry backing this engine (never null). The protocol server
+  /// registers its serve.server.* counters here so one snapshot covers the
+  /// whole serving stack.
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  obs::Tracer* tracer() const { return config_.tracer; }
+
+  /// Refreshes derived gauges (cache occupancy and friends) and takes one
+  /// consistent snapshot of the registry. Every STATSZ/METRICSZ render
+  /// starts here, so the two pages can never disagree with each other.
+  obs::MetricsSnapshot TakeMetricsSnapshot() const;
+
+  /// Renders the engine sections of the /statsz page from an
+  /// already-taken snapshot (so server sections can share the same one).
+  std::string RenderStatsz(const obs::MetricsSnapshot& snap) const;
+
   /// Human-readable multi-line counters dump (the /statsz page).
   std::string Statsz() const;
+
+  /// METRICSZ payload: the registry snapshot JSON with a "model" object
+  /// (fingerprint/topics/vocab/source) spliced into the root.
+  std::string MetricszJson() const;
 
   const QueryEngineConfig& config() const { return config_; }
 
@@ -233,6 +268,7 @@ class QueryEngine {
   TexturePrediction BuildPrediction(const ServingSnapshot& snapshot,
                                     std::vector<double> theta) const;
   void RunBatch(std::vector<FoldInJob>& batch);
+  void RefreshDerivedGauges() const;
 
   const QueryEngineConfig config_;
   const recipe::Dataset* corpus_;  ///< Not owned; may be null.
@@ -244,14 +280,31 @@ class QueryEngine {
   std::unique_ptr<FoldInBatcher> batcher_;
   LruCache<std::string, TexturePrediction> cache_;
 
-  LatencyHistogram predict_latency_;
-  LatencyHistogram nearest_latency_;
-  LatencyHistogram similar_latency_;
-  LatencyHistogram topic_card_latency_;
+  /// All counters/gauges/latency histograms live in the registry; the
+  /// members below are pre-registered handles (lock-free on the hot path).
+  /// serve.queries.accepted is registered before the batcher's pipeline
+  /// counters and serve.queries.completed after them, matching the order a
+  /// request touches them, so registry snapshots are monotone-consistent:
+  /// accepted >= batcher.submitted >= batcher.jobs_processed and
+  /// accepted >= completed in every snapshot.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* queries_accepted_ = nullptr;
+  obs::Counter* queries_completed_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* unknown_terms_ = nullptr;
+  obs::Counter* reloads_ = nullptr;
+  obs::Gauge* cache_size_ = nullptr;
+  obs::Gauge* cache_capacity_ = nullptr;
+  obs::Gauge* cache_evictions_ = nullptr;
+  obs::Gauge* cache_insertions_ = nullptr;
+  LatencyHistogram* predict_latency_ = nullptr;
+  LatencyHistogram* nearest_latency_ = nullptr;
+  LatencyHistogram* similar_latency_ = nullptr;
+  LatencyHistogram* topic_card_latency_ = nullptr;
+
   std::atomic<uint64_t> sequence_{0};
-  std::atomic<uint64_t> reloads_{0};
-  std::atomic<uint64_t> errors_{0};
-  std::atomic<uint64_t> unknown_terms_{0};
 };
 
 }  // namespace texrheo::serve

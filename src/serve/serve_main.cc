@@ -10,6 +10,11 @@
 //   --max-line-bytes=N        oversized request line => one ERR, then close
 //   --drain-deadline-ms=N     graceful-drain budget on shutdown
 //
+// Observability:
+//   --metrics-dir=DIR         periodically write DIR/metricsz.json (the
+//                             METRICSZ snapshot) via atomic rename
+//   --metrics-interval-ms=N   write cadence (default 10000)
+//
 // --toy trains a small synthetic-corpus model in-process (no files needed);
 // --selftest additionally runs a scripted client session against the
 // freshly started server and exits 0/1 — this is the CI smoke mode.
@@ -25,11 +30,14 @@
 
 #include "core/serialization.h"
 #include "eval/experiment.h"
+#include "obs/exporter.h"
+#include "obs/trace.h"
 #include "recipe/dataset.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace {
@@ -120,11 +128,43 @@ Status RunSelftest(int port, const std::string& reload_file) {
   TEXRHEO_ASSIGN_OR_RETURN(std::string statsz, client->ReadUntilDot());
   if (statsz.find("cache:") == std::string::npos ||
       statsz.find("batcher:") == std::string::npos ||
+      statsz.find("queries:") == std::string::npos ||
       statsz.find("server:") == std::string::npos ||
       statsz.find("reload_breaker:") == std::string::npos) {
     return Status::Internal("selftest: statsz missing sections:\n" + statsz);
   }
   TEXRHEO_LOG(Info) << "statsz:\n" << statsz;
+  // METRICSZ is STATSZ's machine-readable twin: one bare JSON line that
+  // must parse, carry the documented schema, and be monotone-consistent.
+  TEXRHEO_ASSIGN_OR_RETURN(std::string metricsz,
+                           client->RoundTrip("METRICSZ"));
+  TEXRHEO_ASSIGN_OR_RETURN(texrheo::JsonValue metrics,
+                           texrheo::JsonValue::Parse(metricsz));
+  const texrheo::JsonValue* version = metrics.Find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsNumber() != 1.0) {
+    return Status::Internal("selftest: metricsz missing schema_version 1:\n" +
+                            metricsz);
+  }
+  for (const char* section : {"counters", "gauges", "histograms", "model"}) {
+    const texrheo::JsonValue* value = metrics.Find(section);
+    if (value == nullptr || !value->is_object()) {
+      return Status::Internal(std::string("selftest: metricsz missing '") +
+                              section + "' object:\n" + metricsz);
+    }
+  }
+  const texrheo::JsonValue& counters = *metrics.Find("counters");
+  auto counter = [&counters](const char* name) -> double {
+    const texrheo::JsonValue* v = counters.Find(name);
+    return v != nullptr && v->is_number() ? v->AsNumber() : 0.0;
+  };
+  if (counter("serve.queries.accepted") < counter("serve.queries.completed") ||
+      counter("serve.server.requests_received") <
+          counter("serve.server.requests_completed") ||
+      counter("serve.queries.accepted") < 1.0) {
+    return Status::Internal("selftest: metricsz counters inconsistent:\n" +
+                            metricsz);
+  }
   TEXRHEO_RETURN_IF_ERROR(expect_ok("QUIT"));
   return Status::OK();
 }
@@ -163,8 +203,17 @@ int Main(int argc, char** argv) {
   }
   LoadedModel loaded = std::move(loaded_or).value();
 
+  // Production tracing: steady clock, durations mirrored into the shared
+  // registry as trace.<name>_us histograms (ring disabled — METRICSZ only
+  // needs the aggregates, and serving must not grow per-span state).
+  auto metrics = std::make_shared<texrheo::obs::MetricsRegistry>();
+  texrheo::obs::Tracer tracer(nullptr, texrheo::obs::Tracer::Options{0});
+  tracer.ExportDurationsTo(metrics.get());
+
   texrheo::serve::QueryEngineConfig config;
   config.num_threads = 0;  // Serving: use the hardware.
+  config.metrics = metrics;
+  config.tracer = &tracer;
   auto engine_or = texrheo::serve::QueryEngine::Create(
       config, loaded.snapshot, loaded.corpus.get());
   if (!engine_or.ok()) {
@@ -204,6 +253,29 @@ int Main(int argc, char** argv) {
   if (!started.ok()) {
     std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
     return 1;
+  }
+
+  const std::string metrics_dir = flags.GetString("metrics-dir", "");
+  auto metrics_interval_or = flags.GetInt("metrics-interval-ms", 10000);
+  if (!metrics_interval_or.ok()) {
+    std::fprintf(stderr, "bad --metrics-interval-ms (expected integer)\n");
+    return 2;
+  }
+  std::unique_ptr<texrheo::obs::PeriodicMetricsWriter> metrics_writer;
+  if (!metrics_dir.empty()) {
+    texrheo::obs::PeriodicMetricsWriter::Options writer_options;
+    writer_options.path = metrics_dir + "/metricsz.json";
+    writer_options.interval_millis = static_cast<int>(*metrics_interval_or);
+    texrheo::serve::QueryEngine* raw_engine = engine.get();
+    metrics_writer = std::make_unique<texrheo::obs::PeriodicMetricsWriter>(
+        [raw_engine] { return raw_engine->MetricszJson() + "\n"; },
+        writer_options);
+    Status write_started = metrics_writer->Start();
+    if (!write_started.ok()) {
+      std::fprintf(stderr, "metrics writer: %s\n",
+                   write_started.ToString().c_str());
+      return 1;
+    }
   }
   std::printf("texrheo_serve listening on 127.0.0.1:%d (model %08x, %d "
               "topics)\n",

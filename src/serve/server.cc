@@ -129,7 +129,30 @@ LineProtocolServer::LineProtocolServer(QueryEngine* engine,
       ops_(options.socket_ops != nullptr ? options.socket_ops
                                          : &SocketOps::Real()),
       reload_breaker_(CircuitBreaker::Options{
-          options.reload_failure_threshold, options.reload_cooldown_millis}) {}
+          options.reload_failure_threshold, options.reload_cooldown_millis}) {
+  // All server counters live in the engine's registry so one snapshot
+  // covers the whole serving stack. received before completed = the
+  // monotone-consistency pair (see header).
+  obs::MetricsRegistry* metrics = engine_->metrics();
+  requests_received_ = metrics->RegisterCounter("serve.server.requests_received");
+  connections_accepted_ =
+      metrics->RegisterCounter("serve.server.connections_accepted");
+  connections_shed_ = metrics->RegisterCounter("serve.server.connections_shed");
+  idle_reaped_ = metrics->RegisterCounter("serve.server.idle_reaped");
+  oversized_rejected_ =
+      metrics->RegisterCounter("serve.server.oversized_rejected");
+  deadlines_exceeded_ =
+      metrics->RegisterCounter("serve.server.deadlines_exceeded");
+  io_errors_ = metrics->RegisterCounter("serve.server.io_errors");
+  reload_failures_ = metrics->RegisterCounter("serve.server.reload_failures");
+  reload_rejected_by_breaker_ =
+      metrics->RegisterCounter("serve.server.reload_rejected_by_breaker");
+  requests_completed_ =
+      metrics->RegisterCounter("serve.server.requests_completed");
+  current_connections_ =
+      metrics->RegisterGauge("serve.server.current_connections");
+  peak_connections_ = metrics->RegisterGauge("serve.server.peak_connections");
+}
 
 LineProtocolServer::~LineProtocolServer() { Stop(); }
 
@@ -231,21 +254,19 @@ void LineProtocolServer::AcceptLoop() {
     if (at_capacity) {
       // Shed at the door: one crisp ERR beats an unbounded connection
       // backlog that turns overload into latency for everyone.
-      shed_.fetch_add(1, std::memory_order_relaxed);
+      connections_shed_->Increment();
       WriteAll(fd, "ERR Unavailable: connection capacity (" +
                        std::to_string(options_.max_connections) +
                        ") reached; retry later\n");
       ops_->Close(fd);
       continue;
     }
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_->Increment();
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.push_back(fd);
-    uint64_t cur = conn_fds_.size();
-    uint64_t peak = peak_connections_.load(std::memory_order_relaxed);
-    while (cur > peak && !peak_connections_.compare_exchange_weak(
-                             peak, cur, std::memory_order_relaxed)) {
-    }
+    double cur = static_cast<double>(conn_fds_.size());
+    current_connections_->Set(cur);
+    peak_connections_->SetMax(cur);
     ++active_;
     conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
   }
@@ -269,7 +290,7 @@ bool LineProtocolServer::WriteAll(int fd, const std::string& data) {
       long waited = MillisSince(last_progress);
       if (options_.write_timeout_millis > 0 &&
           waited >= options_.write_timeout_millis) {
-        io_errors_.fetch_add(1, std::memory_order_relaxed);
+        io_errors_->Increment();
         return false;
       }
       int slice = kPollSliceMillis;
@@ -279,12 +300,12 @@ bool LineProtocolServer::WriteAll(int fd, const std::string& data) {
       }
       int ready = ops_->Poll(fd, POLLOUT, std::max(1, slice));
       if (ready < 0 && errno != EINTR) {
-        io_errors_.fetch_add(1, std::memory_order_relaxed);
+        io_errors_->Increment();
         return false;
       }
       continue;
     }
-    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    io_errors_->Increment();
     return false;  // Hard error (EPIPE, ECONNRESET, ...).
   }
   return true;
@@ -307,7 +328,7 @@ void LineProtocolServer::HandleConnection(int fd) {
       long idle = MillisSince(last_line);
       long remaining = options_.idle_timeout_millis - idle;
       if (remaining <= 0) {
-        idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+        idle_reaped_->Increment();
         WriteAll(fd, Err(Status::DeadlineExceeded(
                      "idle for more than " +
                      std::to_string(options_.idle_timeout_millis) +
@@ -320,14 +341,14 @@ void LineProtocolServer::HandleConnection(int fd) {
     int ready = ops_->Poll(fd, POLLIN, std::max(1, slice));
     if (ready < 0) {
       if (errno == EINTR) continue;
-      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      io_errors_->Increment();
       break;
     }
     if (ready == 0) continue;  // Slice elapsed; re-check stop/idle above.
     ssize_t n = ops_->Recv(fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      io_errors_->Increment();
       break;
     }
     if (n == 0) break;  // Peer closed.
@@ -339,7 +360,7 @@ void LineProtocolServer::HandleConnection(int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       if (line.size() > options_.max_line_bytes) {
-        oversized_rejected_.fetch_add(1, std::memory_order_relaxed);
+        oversized_rejected_->Increment();
         WriteAll(fd, Err(Status::InvalidArgument(
                      "request line exceeds " +
                      std::to_string(options_.max_line_bytes) + " bytes")) +
@@ -365,7 +386,7 @@ void LineProtocolServer::HandleConnection(int fd) {
     if (!quit && buffer.size() > options_.max_line_bytes) {
       // A line this long is still incomplete: cap the buffer instead of
       // letting a hostile client grow it without bound.
-      oversized_rejected_.fetch_add(1, std::memory_order_relaxed);
+      oversized_rejected_->Increment();
       WriteAll(fd, Err(Status::InvalidArgument(
                    "request line exceeds " +
                    std::to_string(options_.max_line_bytes) + " bytes")) +
@@ -392,62 +413,85 @@ void LineProtocolServer::DeregisterConnection(int fd) {
       break;
     }
   }
+  current_connections_->Set(static_cast<double>(conn_fds_.size()));
 }
 
 std::string LineProtocolServer::Err(const Status& status) {
   if (status.code() == StatusCode::kDeadlineExceeded) {
-    deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadlines_exceeded_->Increment();
   }
   return "ERR " + status.ToString();
 }
 
 ServerStats LineProtocolServer::GetStats() const {
   ServerStats stats;
-  stats.connections_accepted = connections_.load(std::memory_order_relaxed);
-  stats.connections_shed = shed_.load(std::memory_order_relaxed);
+  stats.requests_received = requests_received_->Value();
+  stats.requests_completed = requests_completed_->Value();
+  stats.connections_accepted = connections_accepted_->Value();
+  stats.connections_shed = connections_shed_->Value();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     stats.current_connections = conn_fds_.size();
   }
-  stats.peak_connections = peak_connections_.load(std::memory_order_relaxed);
-  stats.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
-  stats.oversized_rejected =
-      oversized_rejected_.load(std::memory_order_relaxed);
-  stats.deadlines_exceeded =
-      deadlines_exceeded_.load(std::memory_order_relaxed);
-  stats.io_errors = io_errors_.load(std::memory_order_relaxed);
-  stats.reload_failures = reload_failures_.load(std::memory_order_relaxed);
-  stats.reload_rejected_by_breaker =
-      reload_rejected_by_breaker_.load(std::memory_order_relaxed);
+  stats.peak_connections =
+      static_cast<uint64_t>(peak_connections_->Value());
+  stats.idle_reaped = idle_reaped_->Value();
+  stats.oversized_rejected = oversized_rejected_->Value();
+  stats.deadlines_exceeded = deadlines_exceeded_->Value();
+  stats.io_errors = io_errors_->Value();
+  stats.reload_failures = reload_failures_->Value();
+  stats.reload_rejected_by_breaker = reload_rejected_by_breaker_->Value();
   stats.breaker_state = reload_breaker_.state();
   stats.breaker = reload_breaker_.GetStats();
   return stats;
 }
 
-std::string LineProtocolServer::StatszSection() const {
-  ServerStats stats = GetStats();
+std::string LineProtocolServer::StatszSection(
+    const obs::MetricsSnapshot& snap) const {
   std::ostringstream out;
-  out << "server: accepted=" << stats.connections_accepted
-      << " shed=" << stats.connections_shed
-      << " current=" << stats.current_connections
-      << " peak=" << stats.peak_connections
-      << " idle_reaped=" << stats.idle_reaped
-      << " oversized=" << stats.oversized_rejected
-      << " deadlines_exceeded=" << stats.deadlines_exceeded
-      << " io_errors=" << stats.io_errors << "\n";
+  out << "server: requests="
+      << snap.CounterValue("serve.server.requests_received") << "/"
+      << snap.CounterValue("serve.server.requests_completed")
+      << " accepted=" << snap.CounterValue("serve.server.connections_accepted")
+      << " shed=" << snap.CounterValue("serve.server.connections_shed")
+      << " current="
+      << static_cast<uint64_t>(
+             snap.GaugeValue("serve.server.current_connections"))
+      << " peak="
+      << static_cast<uint64_t>(
+             snap.GaugeValue("serve.server.peak_connections"))
+      << " idle_reaped=" << snap.CounterValue("serve.server.idle_reaped")
+      << " oversized="
+      << snap.CounterValue("serve.server.oversized_rejected")
+      << " deadlines_exceeded="
+      << snap.CounterValue("serve.server.deadlines_exceeded")
+      << " io_errors=" << snap.CounterValue("serve.server.io_errors") << "\n";
+  CircuitBreaker::Stats breaker = reload_breaker_.GetStats();
   out << "reload_breaker: state="
-      << CircuitBreaker::StateName(stats.breaker_state)
-      << " failures=" << stats.reload_failures
-      << " rejected=" << stats.reload_rejected_by_breaker
-      << " opened=" << stats.breaker.opened
-      << " half_opened=" << stats.breaker.half_opened
-      << " reclosed=" << stats.breaker.reclosed;
+      << CircuitBreaker::StateName(reload_breaker_.state())
+      << " failures=" << snap.CounterValue("serve.server.reload_failures")
+      << " rejected="
+      << snap.CounterValue("serve.server.reload_rejected_by_breaker")
+      << " opened=" << breaker.opened
+      << " half_opened=" << breaker.half_opened
+      << " reclosed=" << breaker.reclosed;
   return out.str();
 }
 
 std::string LineProtocolServer::HandleCommand(const std::string& line,
                                               bool* quit, Deadline deadline) {
   *quit = false;
+  // received on entry, completed on every exit (the RAII below), in that
+  // order — the registry snapshot can then never show completed > received.
+  requests_received_->Increment();
+  struct RequestScope {
+    obs::Counter* completed;
+    obs::TraceSpan span;  ///< Root "request" span; ends with the scope.
+    ~RequestScope() { completed->Increment(); }
+  } scope{requests_completed_, {}};
+  obs::Tracer* tracer = engine_->tracer();
+  if (tracer != nullptr) scope.span = tracer->StartSpan("request");
+  const uint64_t trace_parent = scope.span.span_id();
   std::vector<std::string> tokens = SplitTokens(line);
   if (tokens.empty()) return Err(Status::InvalidArgument("empty command"));
   const std::string& cmd = tokens[0];
@@ -461,7 +505,8 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
   if (cmd == "PREDICT") {
     auto query_or = ParseQuery(tokens, nullptr);
     if (!query_or.ok()) return Err(query_or.status());
-    auto prediction_or = engine_->PredictTexture(*query_or, deadline);
+    auto prediction_or =
+        engine_->PredictTexture(*query_or, deadline, trace_parent);
     if (!prediction_or.ok()) return Err(prediction_or.status());
     const TexturePrediction& p = *prediction_or;
     std::string out = "OK topic=" + std::to_string(p.topic) +
@@ -522,7 +567,8 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
     size_t top_n = 0;
     auto query_or = ParseQuery(tokens, &top_n);
     if (!query_or.ok()) return Err(query_or.status());
-    auto result_or = engine_->SimilarRecipes(*query_or, top_n, deadline);
+    auto result_or =
+        engine_->SimilarRecipes(*query_or, top_n, deadline, trace_parent);
     if (!result_or.ok()) return Err(result_or.status());
     std::string out = "OK topic=" + std::to_string(result_or->topic);
     size_t rows = std::min(options_.max_rows, result_or->recipes.size());
@@ -567,14 +613,14 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
     // A model file that fails to load will fail identically on every
     // retry; the breaker stops a reload-retry loop from starving queries.
     if (!reload_breaker_.Allow(steady_clock::now())) {
-      reload_rejected_by_breaker_.fetch_add(1, std::memory_order_relaxed);
+      reload_rejected_by_breaker_->Increment();
       return Err(Status::Unavailable(
           "reload circuit breaker open after repeated failures; retry "
           "after cooldown"));
     }
     Status status = engine_->ReloadFromFile(tokens[1]);
     if (!status.ok()) {
-      reload_failures_.fetch_add(1, std::memory_order_relaxed);
+      reload_failures_->Increment();
       reload_breaker_.RecordFailure(steady_clock::now());
       return Err(status);
     }
@@ -586,9 +632,18 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
   }
 
   if (cmd == "STATSZ") {
-    std::string stats = engine_->Statsz();
+    // One snapshot renders both the engine and server sections, so the
+    // page is internally consistent by construction.
+    obs::MetricsSnapshot snap = engine_->TakeMetricsSnapshot();
+    std::string stats = engine_->RenderStatsz(snap);
     if (!stats.empty() && stats.back() == '\n') stats.pop_back();
-    return stats + "\n" + StatszSection() + "\n.";
+    return stats + "\n" + StatszSection(snap) + "\n.";
+  }
+
+  if (cmd == "METRICSZ") {
+    // Single bare JSON line (see header): the machine-readable twin of
+    // STATSZ, rendered from the same registry.
+    return engine_->MetricszJson();
   }
 
   return Err(Status::InvalidArgument("unknown command '" + cmd + "'"));

@@ -20,7 +20,9 @@ namespace texrheo::serve {
 
 /// Line protocol spoken by texrheo_serve. One request per line, one
 /// response per line (STATSZ is multi-line, terminated by a lone ".").
-/// Responses start with "OK" or "ERR <StatusCode>:".
+/// Responses start with "OK" or "ERR <StatusCode>:", with one exception:
+/// METRICSZ answers a single bare JSON line (machine consumers pipe it
+/// straight into a JSON parser; an OK prefix would just be stripped).
 ///
 ///   PING
 ///   PREDICT <name=ratio[,name=ratio...]|-> [terms=a,b,...]
@@ -29,9 +31,13 @@ namespace texrheo::serve {
 ///   TOPIC <k>
 ///   RELOAD <model-file>
 ///   STATSZ
+///   METRICSZ
 ///   QUIT
 ///
 /// "-" stands for an empty ingredient list (texture-terms-only query).
+/// STATSZ and METRICSZ render from one MetricsSnapshot of the engine's
+/// registry, so the two pages (and any two counters within one page)
+/// can never contradict each other.
 struct ServerOptions {
   /// TCP port; 0 binds an ephemeral port (read back via port()).
   int port = 0;
@@ -72,7 +78,11 @@ struct ServerOptions {
 };
 
 /// Robustness counters (monotonic unless noted); exported in STATSZ.
+/// Filled from the engine's metrics registry (serve.server.*) — the struct
+/// is a convenience view for in-process callers, not a second store.
 struct ServerStats {
+  uint64_t requests_received = 0;   ///< Protocol lines entered HandleCommand.
+  uint64_t requests_completed = 0;  ///< ... and produced a response.
   uint64_t connections_accepted = 0;
   uint64_t connections_shed = 0;  ///< Rejected at the connection cap.
   uint64_t current_connections = 0;  ///< Gauge.
@@ -120,7 +130,7 @@ class LineProtocolServer {
   int port() const { return port_; }
 
   uint64_t connections_accepted() const {
-    return connections_.load(std::memory_order_relaxed);
+    return connections_accepted_->Value();
   }
 
   ServerStats GetStats() const;
@@ -142,8 +152,8 @@ class LineProtocolServer {
   /// "ERR <status>", counting deadline-exceeded responses.
   std::string Err(const Status& status);
   /// One "server:" + "reload_breaker:" statsz section (appended to the
-  /// engine's).
-  std::string StatszSection() const;
+  /// engine's), rendered from the same snapshot as the engine sections.
+  std::string StatszSection(const obs::MetricsSnapshot& snap) const;
   void DeregisterConnection(int fd);
 
   QueryEngine* engine_;  ///< Not owned.
@@ -154,7 +164,6 @@ class LineProtocolServer {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
-  std::atomic<uint64_t> connections_{0};
   std::thread accept_thread_;
 
   std::mutex stop_mu_;    ///< Serializes Stop() callers.
@@ -166,15 +175,23 @@ class LineProtocolServer {
   std::vector<int> conn_fds_;              // Live sockets; guarded by conn_mu_.
   size_t active_ = 0;                      // Live handler threads; conn_mu_.
 
-  // Stats (atomics: bumped from many connection threads).
-  std::atomic<uint64_t> shed_{0};
-  std::atomic<uint64_t> peak_connections_{0};
-  std::atomic<uint64_t> idle_reaped_{0};
-  std::atomic<uint64_t> oversized_rejected_{0};
-  std::atomic<uint64_t> deadlines_exceeded_{0};
-  std::atomic<uint64_t> io_errors_{0};
-  std::atomic<uint64_t> reload_failures_{0};
-  std::atomic<uint64_t> reload_rejected_by_breaker_{0};
+  // Stats: pre-registered handles into the engine's registry
+  // (serve.server.*), bumped lock-free from many connection threads.
+  // requests_received is registered before requests_completed and each
+  // request increments them in that order, so no registry snapshot ever
+  // shows completed > received.
+  obs::Counter* requests_received_ = nullptr;
+  obs::Counter* requests_completed_ = nullptr;
+  obs::Counter* connections_accepted_ = nullptr;
+  obs::Counter* connections_shed_ = nullptr;
+  obs::Counter* idle_reaped_ = nullptr;
+  obs::Counter* oversized_rejected_ = nullptr;
+  obs::Counter* deadlines_exceeded_ = nullptr;
+  obs::Counter* io_errors_ = nullptr;
+  obs::Counter* reload_failures_ = nullptr;
+  obs::Counter* reload_rejected_by_breaker_ = nullptr;
+  obs::Gauge* current_connections_ = nullptr;
+  obs::Gauge* peak_connections_ = nullptr;
   CircuitBreaker reload_breaker_;
 };
 

@@ -15,6 +15,9 @@
 #include "core/collapsed_sampler.h"
 #include "core/joint_topic_model.h"
 #include "corpus/generator.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "eval/geweke.h"
 #include "math/special.h"
 #include "recipe/dataset.h"
@@ -220,6 +223,53 @@ TEST(SamplerExactnessTest, PaperSamplerMatchesExactPosterior) {
   double empirical = static_cast<double>(hits) / samples;
   EXPECT_NEAR(empirical, exact, 0.05)
       << "exact " << exact << " vs empirical " << empirical;
+}
+
+// --- Observability is a pure observer ----------------------------------
+//
+// Attaching the full metrics + tracing stack must not perturb the sampler:
+// instrumentation reads state and stamps clocks but never touches the RNG,
+// so a serial chain with observability on is bit-identical to one with it
+// off, sweep by sweep. A violation here would silently invalidate every
+// instrumented experiment.
+TEST(SamplerExactnessTest, InstrumentationDoesNotPerturbTrajectory) {
+  recipe::Dataset ds_plain = TinyDataset();
+  recipe::Dataset ds_observed = TinyDataset();
+  constexpr uint64_t kSeed = 777;
+  constexpr int kSweeps = 50;
+
+  auto plain = JointTopicModel::Create(TinyConfig(kSeed), &ds_plain);
+  ASSERT_TRUE(plain.ok());
+
+  obs::MetricsRegistry registry;
+  obs::ManualClock clock;
+  obs::Tracer tracer(&clock);
+  tracer.ExportDurationsTo(&registry);
+  auto observed = JointTopicModel::Create(TinyConfig(kSeed), &ds_observed);
+  ASSERT_TRUE(observed.ok());
+  observed->SetObservability(&registry, &tracer);
+
+  // Interleave sweep-by-sweep so any divergence is pinned to its sweep.
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    ASSERT_TRUE(plain->RunSweeps(1).ok());
+    clock.AdvanceMicros(13);  // Nonzero span durations, just to be real.
+    ASSERT_TRUE(observed->RunSweeps(1).ok());
+    ASSERT_EQ(plain->z(), observed->z()) << "z diverged at sweep " << sweep;
+    ASSERT_EQ(plain->y(), observed->y()) << "y diverged at sweep " << sweep;
+  }
+  EXPECT_EQ(plain->likelihood_trace(), observed->likelihood_trace());
+
+  // Detaching must also be inert: keep sampling with observability removed.
+  observed->SetObservability(nullptr, nullptr);
+  ASSERT_TRUE(plain->RunSweeps(10).ok());
+  ASSERT_TRUE(observed->RunSweeps(10).ok());
+  EXPECT_EQ(plain->z(), observed->z());
+  EXPECT_EQ(plain->y(), observed->y());
+
+  // And the observer did actually observe.
+  obs::MetricsSnapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.CounterValue("train.sweeps_completed"),
+            static_cast<uint64_t>(kSweeps));
 }
 
 // --- Serial vs parallel posterior-moment equivalence ------------------

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "serve/query_engine.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "util/json.h"
 
 namespace texrheo::serve {
 namespace {
@@ -489,6 +491,76 @@ TEST_F(HostileTest, ReloadBreakerTripsOnRepeatedFailures) {
   EXPECT_GE(stats.reload_rejected_by_breaker, 1u);
   EXPECT_EQ(stats.breaker_state, CircuitBreaker::State::kOpen);
   EXPECT_EQ(stats.breaker.opened, 1u);
+}
+
+// Counter consistency under fire: a METRICSZ snapshot taken while PREDICTs
+// are in flight must never show a pipeline-downstream counter ahead of its
+// upstream (completions ahead of admissions, processed ahead of submitted).
+// The registry guarantees this via reverse-registration-order snapshot
+// reads; this test is the live regression for the old Statsz() glitch where
+// independently-read atomics could disagree mid-request.
+TEST_F(HostileTest, MetricsStayMonotoneConsistentUnderConcurrentLoad) {
+  StartServer();
+  const int port = server_->port();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 4; ++t) {
+    hammers.emplace_back([port, t, &stop] {
+      int fd = RawConnect(port);
+      ASSERT_GE(fd, 0);
+      std::string carry;
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Distinct concentrations defeat the result cache so every request
+        // takes the full admission -> batch -> fold-in path.
+        std::string cmd = "PREDICT gelatin=0.0" + std::to_string(t) +
+                          std::to_string(++i % 1000) + " terms=katai\n";
+        ASSERT_TRUE(RawSendAll(fd, cmd));
+        std::string reply = RawReadLine(fd, &carry, 5000);
+        ASSERT_FALSE(reply.empty());
+      }
+      ::close(fd);
+    });
+  }
+
+  int fd = RawConnect(port);
+  ASSERT_GE(fd, 0);
+  std::string carry;
+  for (int snap = 0; snap < 200; ++snap) {
+    ASSERT_TRUE(RawSendAll(fd, "METRICSZ\n"));
+    std::string line = RawReadLine(fd, &carry, 5000);
+    ASSERT_FALSE(line.empty());
+    auto parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const JsonValue* counters = parsed->Find("counters");
+    ASSERT_NE(counters, nullptr);
+    auto counter = [counters](const char* name) {
+      const JsonValue* v = counters->Find(name);
+      return v == nullptr ? 0.0 : v->AsNumber();
+    };
+    EXPECT_GE(counter("serve.queries.accepted"),
+              counter("serve.queries.completed"))
+        << "snapshot " << snap << ": completions ahead of admissions";
+    EXPECT_GE(counter("serve.server.requests_received"),
+              counter("serve.server.requests_completed"))
+        << "snapshot " << snap
+        << ": request completions ahead of receptions";
+    EXPECT_GE(counter("serve.batcher.submitted"),
+              counter("serve.batcher.jobs_processed"))
+        << "snapshot " << snap << ": batcher processed ahead of submitted";
+    EXPECT_GE(counter("serve.queries.accepted"),
+              counter("serve.batcher.submitted"))
+        << "snapshot " << snap << ": batcher submissions ahead of admissions";
+  }
+  ::close(fd);
+  stop.store(true);
+  for (std::thread& t : hammers) t.join();
+
+  // Quiescent: the pipeline drains to exact equality.
+  auto snap = engine_->TakeMetricsSnapshot();
+  EXPECT_EQ(snap.CounterValue("serve.queries.accepted"),
+            snap.CounterValue("serve.queries.completed"));
 }
 
 }  // namespace

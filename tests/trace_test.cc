@@ -1,0 +1,179 @@
+// Tracer/TraceSpan: deterministic durations under ManualClock, explicit
+// parent ids across same-thread and cross-thread span creation, RAII /
+// idempotent End, the bounded record ring with drop accounting, duration
+// export into a MetricsRegistry, and concurrent span creation (TSan leg).
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace texrheo::obs {
+namespace {
+
+TEST(TraceTest, ManualClockGivesDeterministicDurations) {
+  ManualClock clock;
+  clock.SetMicros(1000);
+  Tracer tracer(&clock);
+  {
+    TraceSpan span = tracer.StartSpan("work");
+    clock.AdvanceMicros(250);
+  }
+  std::vector<SpanRecord> records = tracer.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "work");
+  EXPECT_EQ(records[0].start_micros, 1000);
+  EXPECT_EQ(records[0].duration_micros, 250);
+  EXPECT_EQ(records[0].parent_id, 0u);
+  EXPECT_NE(records[0].span_id, 0u);
+}
+
+TEST(TraceTest, ChildSpansCarryParentIds) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  TraceSpan sweep = tracer.StartSpan("sweep");
+  clock.AdvanceMicros(10);
+  {
+    TraceSpan sample = sweep.StartChild("shard_sample");
+    clock.AdvanceMicros(30);
+  }
+  {
+    TraceSpan gaussians = sweep.StartChild("gaussian_update");
+    clock.AdvanceMicros(5);
+  }
+  const uint64_t sweep_id = sweep.span_id();
+  sweep.End();
+  sweep.End();  // Idempotent: must not record a second time.
+
+  std::vector<SpanRecord> records = tracer.Drain();
+  ASSERT_EQ(records.size(), 3u);  // Children end before the parent.
+  EXPECT_EQ(records[0].name, "shard_sample");
+  EXPECT_EQ(records[0].parent_id, sweep_id);
+  EXPECT_EQ(records[0].duration_micros, 30);
+  EXPECT_EQ(records[1].name, "gaussian_update");
+  EXPECT_EQ(records[1].parent_id, sweep_id);
+  EXPECT_EQ(records[2].name, "sweep");
+  EXPECT_EQ(records[2].duration_micros, 45);
+  EXPECT_TRUE(tracer.Records().empty());  // Drain removed them.
+}
+
+TEST(TraceTest, CrossThreadParentingByExplicitId) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  TraceSpan request = tracer.StartSpan("request");
+  const uint64_t request_id = request.span_id();
+  request.End();  // Parent may finish before the queued child starts.
+
+  std::thread worker([&tracer, &clock, request_id] {
+    TraceSpan fold =
+        tracer.StartSpanWithParent("fold_in", request_id);
+    clock.AdvanceMicros(7);
+  });
+  worker.join();
+
+  std::vector<SpanRecord> records = tracer.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].name, "fold_in");
+  EXPECT_EQ(records[1].parent_id, request_id);
+  EXPECT_EQ(records[1].duration_micros, 7);
+}
+
+TEST(TraceTest, MovedFromSpanIsInert) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  TraceSpan a = tracer.StartSpan("moved");
+  TraceSpan b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): the contract.
+  EXPECT_TRUE(b.active());
+  a.End();  // No-op.
+  b.End();
+  EXPECT_EQ(tracer.Records().size(), 1u);
+}
+
+TEST(TraceTest, RingBoundDropsOldestAndCounts) {
+  ManualClock clock;
+  Tracer tracer(&clock, Tracer::Options{4});
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span = tracer.StartSpan("s" + std::to_string(i));
+    clock.AdvanceMicros(1);
+  }
+  std::vector<SpanRecord> records = tracer.Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().name, "s6");  // Oldest surviving.
+  EXPECT_EQ(records.back().name, "s9");
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(TraceTest, ZeroCapacityKeepsNoRecordsButStillExports) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  Tracer tracer(&clock, Tracer::Options{0});
+  tracer.ExportDurationsTo(&registry);
+  {
+    TraceSpan span = tracer.StartSpan("request");
+    clock.AdvanceMicros(128);
+  }
+  EXPECT_TRUE(tracer.Records().empty());
+  MetricsSnapshot snap = registry.TakeSnapshot();
+  const LatencyHistogram::Snapshot* hist = snap.Histogram("trace.request_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_EQ(hist->sum_micros, 128u);
+}
+
+TEST(TraceTest, ExportAggregatesBySpanName) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  Tracer tracer(&clock);
+  tracer.ExportDurationsTo(&registry);
+  for (int i = 1; i <= 3; ++i) {
+    TraceSpan span = tracer.StartSpan("sweep");
+    clock.AdvanceMicros(i * 100);
+  }
+  MetricsSnapshot snap = registry.TakeSnapshot();
+  const LatencyHistogram::Snapshot* hist = snap.Histogram("trace.sweep_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_EQ(hist->sum_micros, 600u);
+  EXPECT_EQ(hist->max_micros, 300u);
+}
+
+TEST(TraceTest, ConcurrentSpansAreSafeAndAllRecorded) {
+  ManualClock clock;
+  MetricsRegistry registry;
+  Tracer tracer(&clock, Tracer::Options{1 << 16});
+  tracer.ExportDurationsTo(&registry);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span = tracer.StartSpan("hot");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<SpanRecord> records = tracer.Drain();
+  EXPECT_EQ(records.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // Span ids are unique even under contention.
+  std::vector<uint64_t> ids;
+  ids.reserve(records.size());
+  for (const SpanRecord& r : records) ids.push_back(r.span_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  MetricsSnapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.Histogram("trace.hot_us")->count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace texrheo::obs
