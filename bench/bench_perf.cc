@@ -5,6 +5,7 @@
 
 #include <arpa/inet.h>
 #include <benchmark/benchmark.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -20,6 +21,7 @@
 #include "core/checkpoint.h"
 #include "core/collapsed_sampler.h"
 #include "core/joint_topic_model.h"
+#include "core/model_binary.h"
 #include "core/serialization.h"
 #include "corpus/generator.h"
 #include "math/alias_table.h"
@@ -444,6 +446,139 @@ void BM_CheckpointSaveRestore(benchmark::State& state) {
 BENCHMARK(BM_CheckpointSaveRestore)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
+
+// --- Snapshot load: v2 text parse vs mmap (BM_SnapshotLoad*) -----------
+//
+// ci.sh --bench filters on 'BM_SnapshotLoad' and writes the JSON to
+// bench/out/model_load.json, then gates on the warm-mmap speedup: loading
+// the packed .dat/.idx pair must be >= 20x faster than parsing the v2
+// text file (compare "real_time" across the two entries). The mmap path
+// still pays the per-section CRC pass and the summary build; what it
+// never pays is text-to-double parsing or a per-load heap copy of phi.
+
+struct SnapshotLoadFiles {
+  std::string v2;   ///< v2 text model file.
+  std::string idx;  ///< Index of the packed binary pair.
+};
+
+/// Persists a deterministic production-shaped model (20 topics over a
+/// 6000-word vocabulary — recipe-site scale, far beyond the toy corpora
+/// above) in both formats, once.
+const SnapshotLoadFiles& SharedModelFiles() {
+  static auto& files = *new SnapshotLoadFiles([] {
+    constexpr int kTopics = 20;
+    constexpr size_t kVocab = 6000;
+    Rng rng(20260808);
+    core::ModelSnapshot snap;
+    for (size_t v = 0; v < kVocab; ++v) {
+      snap.vocab.AddWithCount("word" + std::to_string(v),
+                              1 + static_cast<int64_t>(rng.NextUint(50)));
+    }
+    snap.estimates.phi.assign(kTopics, std::vector<double>(kVocab));
+    for (auto& row : snap.estimates.phi) {
+      double sum = 0.0;
+      for (double& p : row) {
+        p = 0.01 + rng.NextDouble();
+        sum += p;
+      }
+      for (double& p : row) p /= sum;
+    }
+    for (int k = 0; k < kTopics; ++k) {
+      snap.estimates.gel_topics.push_back(
+          math::Gaussian::FromPrecision(math::Vector(3, 1.0 + k),
+                                        math::Matrix::Identity(3, 4.0))
+              .value());
+      snap.estimates.emulsion_topics.push_back(
+          math::Gaussian::FromPrecision(math::Vector(6, 0.5 * k),
+                                        math::Matrix::Identity(6, 4.0))
+              .value());
+      snap.estimates.topic_recipe_count.push_back(50 + k);
+    }
+    SnapshotLoadFiles f;
+    f.v2 = "/tmp/texrheo_bench_model_load.txt";
+    std::string base = "/tmp/texrheo_bench_model_load_bin";
+    if (!core::SaveModel(f.v2, snap).ok() ||
+        !core::WriteModelBinary(snap, base).ok()) {
+      return SnapshotLoadFiles();
+    }
+    f.idx = base + ".idx";
+    return f;
+  }());
+  return files;
+}
+
+void BM_SnapshotLoadV2Parse(benchmark::State& state) {
+  const SnapshotLoadFiles& files = SharedModelFiles();
+  if (files.v2.empty()) {
+    state.SkipWithError("model files unavailable");
+    return;
+  }
+  for (auto _ : state) {
+    auto snapshot = serve::ServingSnapshot::FromModelFile(files.v2);
+    if (!snapshot.ok()) {
+      state.SkipWithError("v2 load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_SnapshotLoadV2Parse)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoadMmapWarm(benchmark::State& state) {
+  const SnapshotLoadFiles& files = SharedModelFiles();
+  if (files.idx.empty()) {
+    state.SkipWithError("model files unavailable");
+    return;
+  }
+  {
+    // Prime the page cache so every timed iteration is a warm load.
+    auto warmup = serve::ServingSnapshot::FromBinaryFile(files.idx);
+    if (!warmup.ok()) {
+      state.SkipWithError("mmap load failed");
+      return;
+    }
+    state.counters["mapped_bytes"] =
+        static_cast<double>((*warmup)->mapped_bytes());
+  }
+  for (auto _ : state) {
+    auto snapshot = serve::ServingSnapshot::FromBinaryFile(files.idx);
+    if (!snapshot.ok()) {
+      state.SkipWithError("mmap load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_SnapshotLoadMmapWarm)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoadMmapCold(benchmark::State& state) {
+  // Best-effort cold-cache load: ask the kernel to drop the .dat pages
+  // before each iteration. POSIX_FADV_DONTNEED is advisory, so this is an
+  // upper bound on warmth rather than a guaranteed cold read; the gate in
+  // ci.sh therefore compares the *warm* number against the v2 parse.
+  const SnapshotLoadFiles& files = SharedModelFiles();
+  if (files.idx.empty()) {
+    state.SkipWithError("model files unavailable");
+    return;
+  }
+  std::string dat = files.idx.substr(0, files.idx.size() - 4) + ".dat";
+  for (auto _ : state) {
+    state.PauseTiming();
+    int fd = open(dat.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+      close(fd);
+    }
+    state.ResumeTiming();
+    auto snapshot = serve::ServingSnapshot::FromBinaryFile(files.idx);
+    if (!snapshot.ok()) {
+      state.SkipWithError("mmap load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_SnapshotLoadMmapCold)->Unit(benchmark::kMillisecond);
 
 // --- Serving-layer benchmarks (BM_QueryEngine*) ------------------------
 //

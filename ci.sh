@@ -52,10 +52,11 @@ cmake --build build-tsan -j "$JOBS" \
 echo "==> ASan/UBSan: rebuild durability-sensitive targets with -fsanitize=address,undefined"
 cmake -B build-asan -S . -DTEXRHEO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target serialization_test robustness_test checkpoint_test atomic_file_test \
-  serve_hostile_test backoff_test pipeline_e2e_test
+  --target serialization_test robustness_test model_binary_test \
+  checkpoint_test atomic_file_test serve_hostile_test backoff_test \
+  pipeline_e2e_test
 (cd build-asan && ctest --output-on-failure \
-  -R '^(serialization_test|robustness_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|pipeline_e2e_test)$')
+  -R '^(serialization_test|robustness_test|model_binary_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|pipeline_e2e_test)$')
 
 echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
 # Trains a small toy model, runs the scripted query session (PREDICT /
@@ -115,6 +116,31 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     --benchmark_out=bench/out/serve.json \
     --benchmark_out_format=json
   echo "wrote bench/out/serve.json"
+  echo "==> bench: snapshot load, v2 text parse vs mmap (cold/warm)"
+  ./build/bench/bench_perf \
+    --benchmark_filter='BM_SnapshotLoad' \
+    --benchmark_out=bench/out/model_load.json \
+    --benchmark_out_format=json
+  echo "wrote bench/out/model_load.json"
+  # The point of the binary format: loading the packed pair must be at
+  # least 20x faster than parsing the v2 text file (warm page cache; the
+  # cold number is reported but advisory, POSIX_FADV_DONTNEED is a hint).
+  jq -e '
+    ([.benchmarks[] | select(.name == "BM_SnapshotLoadV2Parse")
+      | .real_time] | .[0]) as $v2
+    | ([.benchmarks[] | select(.name == "BM_SnapshotLoadMmapWarm")
+        | .real_time] | .[0]) as $warm
+    | ($v2 / $warm) >= 20
+  ' bench/out/model_load.json >/dev/null \
+    || { echo "mmap snapshot load is < 20x faster than v2 parse" >&2; exit 1; }
+  jq -r '
+    ([.benchmarks[] | select(.name == "BM_SnapshotLoadV2Parse")
+      | .real_time] | .[0]) as $v2
+    | ([.benchmarks[] | select(.name == "BM_SnapshotLoadMmapWarm")
+        | .real_time] | .[0]) as $warm
+    | "mmap warm load is \($v2 / $warm | floor)x faster than v2 parse"
+  ' bench/out/model_load.json
+
   echo "==> bench: healthy-client latency with a stalled peer on the wire"
   ./build/bench/bench_perf \
     --benchmark_filter='BM_ServerUnderSlowClient' \

@@ -12,23 +12,17 @@ constexpr char kMagic[] = "texrheo-model";
 constexpr int kVersion = 2;
 constexpr char kEndSentinel[] = "end";
 
-// "line <n> (\"<excerpt>\"): " prefix for parse errors, pointing the user
-// at the offending line.
-std::string LineContext(int line_no, const std::string& line) {
+// "line <n> @ byte <m> (\"<excerpt>\"): " prefix for parse errors, pointing
+// the user at the offending line. The byte offset (of the line start) is
+// the same position shape the binary model index reports, so both formats
+// can be diagnosed with one `dd`/hexdump incantation.
+std::string LineContext(int line_no, size_t byte_offset,
+                        const std::string& line) {
   constexpr size_t kExcerptLimit = 48;
   std::string excerpt = line.substr(0, kExcerptLimit);
   if (line.size() > kExcerptLimit) excerpt += "...";
-  return "line " + std::to_string(line_no) + " (\"" + excerpt + "\"): ";
-}
-
-Status ParseError(int line_no, const std::string& line, std::string what) {
-  return Status::InvalidArgument(LineContext(line_no, line) + std::move(what));
-}
-
-Status WithLineContext(const Status& status, int line_no,
-                       const std::string& line) {
-  if (status.ok()) return status;
-  return Status(status.code(), LineContext(line_no, line) + status.message());
+  return "line " + std::to_string(line_no) + " @ byte " +
+         std::to_string(byte_offset) + " (\"" + excerpt + "\"): ";
 }
 
 void AppendGaussian(std::ostringstream& out, const char* tag, size_t k,
@@ -78,11 +72,11 @@ StatusOr<math::Gaussian> ParseGaussian(const std::vector<std::string>& tokens,
 ModelSnapshot MakeSnapshot(const TopicEstimates& estimates,
                            const text::Vocabulary& vocab) {
   ModelSnapshot snapshot;
-  // Rebuild the vocabulary to detach it from the dataset.
+  // Rebuild the vocabulary to detach it from the dataset, preserving the
+  // corpus occurrence counts (they are part of the serialized model).
   for (size_t id = 0; id < vocab.size(); ++id) {
-    int32_t new_id =
-        snapshot.vocab.Add(vocab.WordOf(static_cast<int32_t>(id)));
-    (void)new_id;
+    snapshot.vocab.AddWithCount(vocab.WordOf(static_cast<int32_t>(id)),
+                                vocab.CountOf(static_cast<int32_t>(id)));
   }
   snapshot.estimates.phi = estimates.phi;
   snapshot.estimates.gel_topics = estimates.gel_topics;
@@ -133,10 +127,22 @@ StatusOr<ModelSnapshot> DeserializeModel(const std::string& content) {
   std::istringstream in(content);
   std::string line;
   int line_no = 0;
-  auto next_line = [&in, &line, &line_no]() {
+  size_t line_start = 0;  // Byte offset of the current line's first char.
+  size_t consumed = 0;
+  auto next_line = [&in, &line, &line_no, &line_start, &consumed]() {
+    line_start = consumed;
     if (!std::getline(in, line)) return false;
     ++line_no;
+    consumed += line.size() + 1;  // Every line ends in '\n' (checked above).
     return true;
+  };
+  auto parse_error = [&line_no, &line_start, &line](std::string what) {
+    return Status::InvalidArgument(LineContext(line_no, line_start, line) +
+                                   std::move(what));
+  };
+  auto with_context = [&line_no, &line_start, &line](const Status& status) {
+    return Status(status.code(),
+                  LineContext(line_no, line_start, line) + status.message());
   };
 
   if (!next_line()) {
@@ -145,17 +151,16 @@ StatusOr<ModelSnapshot> DeserializeModel(const std::string& content) {
   {
     std::vector<std::string> header = SplitWhitespace(line);
     if (header.size() != 2 || header[0] != kMagic) {
-      return ParseError(line_no, line, "not a texrheo model file");
+      return parse_error("not a texrheo model file");
     }
     auto version = ParseInt(header[1]);
     if (!version.ok()) {
-      return WithLineContext(version.status(), line_no, line);
+      return with_context(version.status());
     }
     if (*version != kVersion) {
-      return ParseError(line_no, line,
-                        "unsupported model version " +
-                            std::to_string(*version) + " (expected " +
-                            std::to_string(kVersion) + ")");
+      return parse_error("unsupported model version " +
+                         std::to_string(*version) + " (expected " +
+                         std::to_string(kVersion) + ")");
     }
   }
 
@@ -166,25 +171,32 @@ StatusOr<ModelSnapshot> DeserializeModel(const std::string& content) {
   }
   std::vector<std::string> tokens = SplitWhitespace(line);
   if (tokens.size() != 2 || tokens[0] != "vocab") {
-    return ParseError(line_no, line, "expected 'vocab <n>'");
+    return parse_error("expected 'vocab <n>'");
   }
   auto vocab_size_or = ParseInt(tokens[1]);
   if (!vocab_size_or.ok()) {
-    return WithLineContext(vocab_size_or.status(), line_no, line);
+    return with_context(vocab_size_or.status());
   }
   int64_t vocab_size = *vocab_size_or;
   if (vocab_size < 0) {
-    return ParseError(line_no, line, "negative vocab size");
+    return parse_error("negative vocab size");
   }
   for (int64_t i = 0; i < vocab_size; ++i) {
     if (!next_line()) {
-      return ParseError(line_no, line, "truncated vocab section");
+      return parse_error("truncated vocab section");
     }
     std::vector<std::string> wc = SplitWhitespace(line);
     if (wc.size() != 2) {
-      return ParseError(line_no, line, "malformed vocab line");
+      return parse_error("malformed vocab line");
     }
-    snapshot.vocab.Add(wc[0]);
+    auto count_or = ParseInt(wc[1]);
+    if (!count_or.ok()) return with_context(count_or.status());
+    if (*count_or < 0) {
+      return parse_error("negative vocab count");
+    }
+    // Preserve the stored count so re-serializing reproduces the input
+    // byte-for-byte (the binary pack path depends on this fixed point).
+    snapshot.vocab.AddWithCount(wc[0], *count_or);
   }
 
   // topics count.
@@ -193,15 +205,15 @@ StatusOr<ModelSnapshot> DeserializeModel(const std::string& content) {
   }
   tokens = SplitWhitespace(line);
   if (tokens.size() != 2 || tokens[0] != "topics") {
-    return ParseError(line_no, line, "expected 'topics <k>'");
+    return parse_error("expected 'topics <k>'");
   }
   auto k_count_or = ParseInt(tokens[1]);
   if (!k_count_or.ok()) {
-    return WithLineContext(k_count_or.status(), line_no, line);
+    return with_context(k_count_or.status());
   }
   int64_t k_count = *k_count_or;
   if (k_count < 0) {
-    return ParseError(line_no, line, "negative topic count");
+    return parse_error("negative topic count");
   }
   snapshot.estimates.phi.assign(static_cast<size_t>(k_count), {});
   snapshot.estimates.topic_recipe_count.assign(static_cast<size_t>(k_count),
@@ -214,81 +226,77 @@ StatusOr<ModelSnapshot> DeserializeModel(const std::string& content) {
   bool saw_end = false;
   while (next_line()) {
     if (saw_end) {
-      return ParseError(line_no, line, "content after 'end' marker");
+      return parse_error("content after 'end' marker");
     }
     if (Trim(line).empty()) continue;
     tokens = SplitWhitespace(line);
     const std::string& tag = tokens[0];
     if (tag == kEndSentinel) {
       if (tokens.size() != 1) {
-        return ParseError(line_no, line, "malformed 'end' marker");
+        return parse_error("malformed 'end' marker");
       }
       saw_end = true;
     } else if (tag == "phi") {
       if (tokens.size() < 2) {
-        return ParseError(line_no, line, "bad phi line");
+        return parse_error("bad phi line");
       }
       auto k_or = ParseInt(tokens[1]);
-      if (!k_or.ok()) return WithLineContext(k_or.status(), line_no, line);
+      if (!k_or.ok()) return with_context(k_or.status());
       int64_t k = *k_or;
       if (k < 0 || k >= k_count) {
-        return WithLineContext(
-            Status::OutOfRange("phi topic index out of range"), line_no,
-            line);
+        return with_context(
+            Status::OutOfRange("phi topic index out of range"));
       }
       std::vector<double> row;
       row.reserve(tokens.size() - 2);
       for (size_t i = 2; i < tokens.size(); ++i) {
         auto p = ParseDouble(tokens[i]);
-        if (!p.ok()) return WithLineContext(p.status(), line_no, line);
+        if (!p.ok()) return with_context(p.status());
         row.push_back(*p);
       }
       if (static_cast<int64_t>(row.size()) != vocab_size) {
-        return ParseError(line_no, line, "phi row length != vocab size");
+        return parse_error("phi row length != vocab size");
       }
       snapshot.estimates.phi[static_cast<size_t>(k)] = std::move(row);
     } else if (tag == "gel_topic" || tag == "emulsion_topic") {
       size_t k = 0;
       auto g = ParseGaussian(tokens, &k);
-      if (!g.ok()) return WithLineContext(g.status(), line_no, line);
+      if (!g.ok()) return with_context(g.status());
       if (k >= static_cast<size_t>(k_count)) {
-        return WithLineContext(
-            Status::OutOfRange("gaussian topic index out of range"), line_no,
-            line);
+        return with_context(
+            Status::OutOfRange("gaussian topic index out of range"));
       }
       auto& list = tag[0] == 'g' ? snapshot.estimates.gel_topics
                                  : snapshot.estimates.emulsion_topics;
       auto& have = tag[0] == 'g' ? have_gel : have_emulsion;
       if (k != list.size() || have[k]) {
-        return ParseError(line_no, line,
-                          "gaussians must appear once, in topic order");
+        return parse_error("gaussians must appear once, in topic order");
       }
       list.push_back(std::move(g).value());
       have[k] = true;
     } else if (tag == "recipe_count") {
       if (tokens.size() != 3) {
-        return ParseError(line_no, line, "bad recipe_count line");
+        return parse_error("bad recipe_count line");
       }
       auto k_or = ParseInt(tokens[1]);
-      if (!k_or.ok()) return WithLineContext(k_or.status(), line_no, line);
+      if (!k_or.ok()) return with_context(k_or.status());
       auto n_or = ParseInt(tokens[2]);
-      if (!n_or.ok()) return WithLineContext(n_or.status(), line_no, line);
+      if (!n_or.ok()) return with_context(n_or.status());
       if (*k_or < 0 || *k_or >= k_count) {
-        return WithLineContext(
-            Status::OutOfRange("recipe_count topic out of range"), line_no,
-            line);
+        return with_context(
+            Status::OutOfRange("recipe_count topic out of range"));
       }
       snapshot.estimates.topic_recipe_count[static_cast<size_t>(*k_or)] =
           static_cast<int>(*n_or);
     } else {
-      return ParseError(line_no, line, "unknown section: " + tag);
+      return parse_error("unknown section: " + tag);
     }
   }
 
   if (!saw_end) {
     return Status::InvalidArgument(
         "missing 'end' marker after line " + std::to_string(line_no) +
-        " (truncated model file)");
+        " @ byte " + std::to_string(line_start) + " (truncated model file)");
   }
   if (snapshot.estimates.gel_topics.size() !=
           static_cast<size_t>(k_count) ||

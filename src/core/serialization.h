@@ -44,7 +44,12 @@ std::string SerializeModel(const ModelSnapshot& snapshot);
 
 /// Parses a snapshot produced by SerializeModel; validates dimensions and
 /// positive-definiteness of the stored precisions. Errors carry the
-/// 1-based line number and an excerpt of the offending line.
+/// 1-based line number, the byte offset of the line start (the same
+/// position shape the binary model format reports), and an excerpt of the
+/// offending line. Parsing is a fixed point of serialization: vocabulary
+/// counts are preserved, so serialize(parse(bytes)) == bytes for any valid
+/// model file. The packed binary sibling of this format lives in
+/// core/model_binary.h (`SaveModelBinary` conversion included there).
 StatusOr<ModelSnapshot> DeserializeModel(const std::string& content);
 
 /// Convenience file wrappers. SaveModel writes atomically (temp file +

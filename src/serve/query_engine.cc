@@ -181,7 +181,7 @@ std::vector<int32_t> QueryEngine::ResolveTerms(
   std::vector<int32_t> ids;
   ids.reserve(terms.size());
   for (const std::string& term : terms) {
-    int32_t id = snapshot.model().vocab.IdOf(term);
+    int32_t id = snapshot.WordId(term);
     if (id == text::Vocabulary::kUnknownId) {
       unknown_terms_->Increment();
       continue;
@@ -224,7 +224,6 @@ TexturePrediction QueryEngine::BuildPrediction(
   prediction.topic = static_cast<int>(
       std::max_element(theta.begin(), theta.end()) - theta.begin());
   // Theta-weighted mixtures over topics: per-pole masses and term marginal.
-  const core::TopicEstimates& est = snapshot.model().estimates;
   std::vector<double> mix(snapshot.vocab_size(), 0.0);
   for (size_t k = 0; k < theta.size(); ++k) {
     const CategoryMasses& m = snapshot.term_summary(static_cast<int>(k)).masses;
@@ -236,7 +235,8 @@ TexturePrediction QueryEngine::BuildPrediction(
     prediction.categories.sticky += w * m.sticky;
     prediction.categories.dry += w * m.dry;
     prediction.categories.other += w * m.other;
-    for (size_t v = 0; v < mix.size(); ++v) mix[v] += w * est.phi[k][v];
+    std::span<const double> row = snapshot.phi(static_cast<int>(k));
+    for (size_t v = 0; v < mix.size(); ++v) mix[v] += w * row[v];
   }
   std::vector<size_t> order(mix.size());
   for (size_t v = 0; v < order.size(); ++v) order[v] = v;
@@ -246,9 +246,8 @@ TexturePrediction QueryEngine::BuildPrediction(
                     order.end(),
                     [&mix](size_t a, size_t b) { return mix[a] > mix[b]; });
   for (size_t i = 0; i < keep; ++i) {
-    prediction.top_terms.emplace_back(
-        snapshot.model().vocab.WordOf(static_cast<int32_t>(order[i])),
-        mix[order[i]]);
+    prediction.top_terms.emplace_back(std::string(snapshot.word(order[i])),
+                                      mix[order[i]]);
   }
   prediction.theta = std::move(theta);
   return prediction;
@@ -345,8 +344,8 @@ StatusOr<std::vector<RheologyMatch>> QueryEngine::NearestRheology(
       options != nullptr ? *options : config_.linkage;
   const std::vector<rheology::EmpiricalSetting>& settings =
       rheology::TableI();
-  auto links_or = core::LinkSettingsToTopics(snapshot.model().estimates,
-                                             settings, config_.feature, opts);
+  auto links_or = core::LinkSettingsToTopics(snapshot.estimates(), settings,
+                                             config_.feature, opts);
   if (!links_or.ok()) {
     errors_->Increment();
     return links_or.status();
@@ -422,7 +421,7 @@ StatusOr<TopicCardResult> QueryEngine::TopicCard(int topic) {
   if (topic < 0 || topic >= snapshot.num_topics()) {
     return Status::OutOfRange("topic index out of range");
   }
-  const core::TopicEstimates& est = snapshot.model().estimates;
+  const core::TopicEstimates& est = snapshot.estimates();
   const TopicTermSummary& summary = snapshot.term_summary(topic);
   TopicCardResult card;
   card.topic = topic;
@@ -465,7 +464,7 @@ Status QueryEngine::Reload(std::shared_ptr<const ServingSnapshot> snapshot) {
 
 Status QueryEngine::ReloadFromFile(const std::string& path) {
   TEXRHEO_ASSIGN_OR_RETURN(std::shared_ptr<const ServingSnapshot> snapshot,
-                           ServingSnapshot::FromModelFile(path));
+                           ServingSnapshot::FromFile(path));
   return Reload(std::move(snapshot));
 }
 

@@ -209,7 +209,9 @@ class QueryEngine {
   /// started with; zero queries fail due to a reload.
   Status Reload(std::shared_ptr<const ServingSnapshot> snapshot);
 
-  /// Reload() from a text-format model file.
+  /// Reload() from a model file on disk: `.idx`/`.dat` paths mmap the
+  /// packed binary pair (reload becomes an mmap + pointer swap), anything
+  /// else parses the v2 text format.
   Status ReloadFromFile(const std::string& path);
 
   /// Snapshot currently being served.

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/model_binary.h"
 #include "core/serialization.h"
 #include "eval/experiment.h"
 #include "obs/exporter.h"
@@ -51,6 +52,8 @@ struct LoadedModel {
   std::unique_ptr<texrheo::recipe::Dataset> corpus;
   /// Model file usable as a RELOAD target in selftest (toy mode only).
   std::string model_file;
+  /// Packed binary twin (`.idx`) of model_file, also selftest-reloaded.
+  std::string binary_idx;
 };
 
 StatusOr<LoadedModel> LoadToy(double scale, const std::string& dump_dir) {
@@ -65,6 +68,10 @@ StatusOr<LoadedModel> LoadToy(double scale, const std::string& dump_dir) {
     loaded.model_file = dump_dir + "/texrheo_serve_toy_model.txt";
     TEXRHEO_RETURN_IF_ERROR(
         texrheo::core::SaveModel(loaded.model_file, model));
+    // Pack the binary twin so selftest exercises the mmap reload path too.
+    std::string base = dump_dir + "/texrheo_serve_toy_model";
+    TEXRHEO_RETURN_IF_ERROR(texrheo::core::WriteModelBinary(model, base));
+    loaded.binary_idx = base + ".idx";
   }
   TEXRHEO_ASSIGN_OR_RETURN(
       loaded.snapshot, texrheo::serve::ServingSnapshot::FromModel(
@@ -76,15 +83,18 @@ StatusOr<LoadedModel> LoadToy(double scale, const std::string& dump_dir) {
 
 StatusOr<LoadedModel> LoadFromFile(const std::string& path) {
   LoadedModel loaded;
-  TEXRHEO_ASSIGN_OR_RETURN(
-      loaded.snapshot, texrheo::serve::ServingSnapshot::FromModelFile(path));
+  // FromFile dispatches on the extension: .idx/.dat mmap the packed binary
+  // pair, anything else parses the v2 text format.
+  TEXRHEO_ASSIGN_OR_RETURN(loaded.snapshot,
+                           texrheo::serve::ServingSnapshot::FromFile(path));
   loaded.model_file = path;
   return loaded;
 }
 
 /// Scripted client session: every query type, a cache-hit repeat, a hot
 /// reload, and a stats read. Returns non-OK on any unexpected response.
-Status RunSelftest(int port, const std::string& reload_file) {
+Status RunSelftest(int port, const std::string& reload_file,
+                   const std::string& reload_binary) {
   using texrheo::serve::LineClient;
   // The selftest client exercises the hardened path: bounded round trips
   // and connect retry with backoff (harmless against a live server).
@@ -123,6 +133,12 @@ Status RunSelftest(int port, const std::string& reload_file) {
   }
   if (!reload_file.empty()) {
     TEXRHEO_RETURN_IF_ERROR(expect_ok("RELOAD " + reload_file));
+  }
+  if (!reload_binary.empty()) {
+    // Hot reload from the packed binary pair (mmap path), then prove the
+    // swapped-in mapping actually serves.
+    TEXRHEO_RETURN_IF_ERROR(expect_ok("RELOAD " + reload_binary));
+    TEXRHEO_RETURN_IF_ERROR(expect_ok("TOPIC 0"));
   }
   TEXRHEO_RETURN_IF_ERROR(client->SendLine("STATSZ"));
   TEXRHEO_ASSIGN_OR_RETURN(std::string statsz, client->ReadUntilDot());
@@ -284,7 +300,8 @@ int Main(int argc, char** argv) {
   std::fflush(stdout);
 
   if (selftest) {
-    Status result = RunSelftest(server.port(), loaded.model_file);
+    Status result =
+        RunSelftest(server.port(), loaded.model_file, loaded.binary_idx);
     server.Stop();
     if (!result.ok()) {
       std::fprintf(stderr, "SELFTEST FAILED: %s\n",

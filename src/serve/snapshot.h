@@ -3,10 +3,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/model_binary.h"
 #include "core/serialization.h"
 #include "math/linalg.h"
 #include "recipe/dataset.h"
@@ -44,6 +48,17 @@ struct TopicTermSummary {
 /// handed out as shared_ptr<const ServingSnapshot> so an in-flight query
 /// keeps its model alive across any number of reloads. Every accessor is
 /// therefore safe from any thread by construction.
+///
+/// Two storage paths sit behind one span/string_view interface:
+///  - heap: FromModelFile / FromModel / FromCheckpointFile own a decoded
+///    core::ModelSnapshot;
+///  - mmap: FromBinaryFile keeps a shared_ptr<const core::MappedModel> and
+///    serves phi rows and the vocabulary string pool directly out of the
+///    mapping - no per-load heap copy of the big tables. The snapshot (and
+///    transitively every in-flight query holding it) keeps the mapping
+///    alive, so unmapping is deferred until the last reference drops.
+/// Both paths serve byte-identical answers for the same model: the binary
+/// pack canonicalizes through the v2 text round-trip.
 class ServingSnapshot {
  public:
   /// Wraps a deserialized model, derives the per-topic term summaries, and
@@ -56,6 +71,19 @@ class ServingSnapshot {
   static StatusOr<std::shared_ptr<const ServingSnapshot>> FromModelFile(
       const std::string& path);
 
+  /// Maps a packed binary model pair (see core/model_binary.h). `path` may
+  /// be the `.idx`, the `.dat`, or the bare base path. The fingerprint is
+  /// read from the verified index header rather than recomputed, so load
+  /// cost is the mmap, one CRC pass, and the per-topic summaries.
+  static StatusOr<std::shared_ptr<const ServingSnapshot>> FromBinaryFile(
+      const std::string& path,
+      core::MemoryMapOps& ops = core::MemoryMapOps::Real());
+
+  /// Dispatches on the file name: `.idx`/`.dat` go to FromBinaryFile,
+  /// anything else to FromModelFile. What RELOAD and --model accept.
+  static StatusOr<std::shared_ptr<const ServingSnapshot>> FromFile(
+      const std::string& path);
+
   /// Rebuilds a servable model from a Gibbs *checkpoint*: the checkpoint's
   /// fingerprint reconstructs the training configuration, the sampler state
   /// is restored through the usual fingerprint + corpus cross-checks
@@ -64,14 +92,38 @@ class ServingSnapshot {
   static StatusOr<std::shared_ptr<const ServingSnapshot>> FromCheckpointFile(
       const std::string& path, const recipe::Dataset& dataset);
 
-  const core::ModelSnapshot& model() const { return model_; }
-  int num_topics() const { return model_.num_topics(); }
-  size_t vocab_size() const { return model_.vocab.size(); }
+  int num_topics() const { return num_topics_; }
+  size_t vocab_size() const { return vocab_size_; }
   /// CRC32 of the canonical serialized model text: two snapshots with the
   /// same fingerprint serve identical answers.
   uint32_t fingerprint() const { return fingerprint_; }
   /// Where the snapshot came from (path or label), for /statsz.
   const std::string& source() const { return source_; }
+  /// True when phi and the vocabulary are served out of a file mapping.
+  bool mmap_backed() const { return mapped_ != nullptr; }
+  /// Bytes of the `.dat` mapping (0 on the heap path), for /statsz.
+  size_t mapped_bytes() const {
+    return mapped_ != nullptr ? mapped_->mapped_bytes() : 0;
+  }
+
+  /// P(term v | topic k): a view into either the heap row or the mapping.
+  std::span<const double> phi(int k) const {
+    if (mapped_ != nullptr) return mapped_->phi_row(k);
+    return model_.estimates.phi[static_cast<size_t>(k)];
+  }
+  /// Surface form of a vocabulary id.
+  std::string_view word(size_t v) const {
+    if (mapped_ != nullptr) return mapped_->word(v);
+    return model_.vocab.WordOf(static_cast<int32_t>(v));
+  }
+  /// Id of `term`, or text::Vocabulary::kUnknownId.
+  int32_t WordId(std::string_view term) const;
+  /// Per-topic Gaussians and Table-I linkage counts. On the mmap path the
+  /// Gaussians are materialized once at load (they need a Cholesky for
+  /// LogPdf anyway) and `phi` inside is intentionally empty - use phi(k).
+  const core::TopicEstimates& estimates() const {
+    return mapped_ != nullptr ? gaussian_estimates_ : model_.estimates;
+  }
 
   const TopicTermSummary& term_summary(int k) const {
     return summaries_[static_cast<size_t>(k)];
@@ -92,15 +144,29 @@ class ServingSnapshot {
   int InferTopicForFeatures(const math::Vector& gel_feature) const;
 
  private:
-  ServingSnapshot(core::ModelSnapshot model, std::string source);
+  ServingSnapshot() = default;
 
+  /// Shared tail of every factory: validate shapes/finiteness through the
+  /// view accessors, then derive the per-topic summaries.
+  Status Finalize();
   Status Validate() const;
   void BuildSummaries(const text::TextureDictionary& dict, int top_terms);
 
-  core::ModelSnapshot model_;
   std::string source_;
   uint32_t fingerprint_ = 0;
+  int num_topics_ = 0;
+  size_t vocab_size_ = 0;
   std::vector<TopicTermSummary> summaries_;
+
+  // Heap path: the decoded model. Unused (empty) when mapped_ is set.
+  core::ModelSnapshot model_;
+
+  // Mmap path: the verified mapping, Gaussians/linkage materialized from
+  // it (phi left empty), and a word -> id index over pool string_views
+  // (stable for the life of the mapping).
+  std::shared_ptr<const core::MappedModel> mapped_;
+  core::TopicEstimates gaussian_estimates_;
+  std::unordered_map<std::string_view, int32_t> word_index_;
 };
 
 }  // namespace texrheo::serve

@@ -20,6 +20,15 @@ int32_t Vocabulary::Add(std::string_view word) {
   return id;
 }
 
+int32_t Vocabulary::AddWithCount(std::string_view word, int64_t count) {
+  assert(count >= 0);
+  int32_t id = Add(word);
+  // Add() contributed 1; adjust to the requested delta.
+  counts_[id] += count - 1;
+  total_count_ += count - 1;
+  return id;
+}
+
 int32_t Vocabulary::IdOf(std::string_view word) const {
   auto it = index_.find(std::string(word));
   return it == index_.end() ? kUnknownId : it->second;

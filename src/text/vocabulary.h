@@ -19,6 +19,11 @@ class Vocabulary {
   /// Interns `word`, creating an id on first sight, and bumps its count.
   int32_t Add(std::string_view word);
 
+  /// Interns `word` and adds `count` occurrences in one step (count >= 0).
+  /// Used by deserializers that must reproduce stored frequencies exactly
+  /// instead of re-counting one Add() per token.
+  int32_t AddWithCount(std::string_view word, int64_t count);
+
   /// Id of `word`, or kUnknownId.
   int32_t IdOf(std::string_view word) const;
 

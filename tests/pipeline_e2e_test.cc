@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/joint_topic_model.h"
+#include "core/model_binary.h"
 #include "core/serialization.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -122,12 +123,13 @@ const std::vector<std::string>& GoldenCommands() {
   return kCommands;
 }
 
-/// Starts a server over `model_file`, replays the golden commands over a
-/// real socket, and returns the responses.
+/// Starts a server over `model_file` (v2 text or packed .idx/.dat pair —
+/// ServingSnapshot::FromFile dispatches on the extension), replays the
+/// golden commands over a real socket, and returns the responses.
 std::vector<std::string> ServeAndCollect(const std::string& model_file,
                                          const recipe::Dataset* corpus,
                                          uint32_t* fingerprint) {
-  auto snapshot = serve::ServingSnapshot::FromModelFile(model_file);
+  auto snapshot = serve::ServingSnapshot::FromFile(model_file);
   EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
   *fingerprint = (*snapshot)->fingerprint();
 
@@ -246,6 +248,42 @@ TEST(PipelineE2eTest, CrashResumeServesBitIdenticalAnswers) {
   }
   // The repeated PREDICT (index 3) must have come from the cache.
   EXPECT_NE(responses_a[3].find("cached=1"), std::string::npos);
+}
+
+TEST(PipelineE2eTest, BinaryPackServesBitIdenticalAnswersToV2) {
+  // Same model, two on-disk representations: the v2 text file parsed onto
+  // the heap, and the packed .dat/.idx pair served straight off the mmap.
+  // Over a real socket, every protocol response must be byte-identical and
+  // the fingerprints equal — the binary format is a transparent cache of
+  // the text format, never a reinterpretation.
+  recipe::Dataset dataset = PipelineDataset();
+  std::string dir = FreshDir("binary_pack");
+  auto model = core::JointTopicModel::Create(PipelineConfig(dir), &dataset);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(model->RunSweeps(15).ok());
+
+  std::string v2_file = dir + "/model.txt";
+  ASSERT_TRUE(core::SaveModel(v2_file,
+                              core::MakeSnapshot(model->Estimate(),
+                                                 dataset.term_vocab))
+                  .ok());
+  std::string base = dir + "/model_bin";
+  ASSERT_TRUE(core::ConvertModelFileToBinary(v2_file, base).ok());
+
+  uint32_t fingerprint_text = 0;
+  uint32_t fingerprint_mmap = 0;
+  std::vector<std::string> responses_text =
+      ServeAndCollect(v2_file, &dataset, &fingerprint_text);
+  std::vector<std::string> responses_mmap =
+      ServeAndCollect(base + ".idx", &dataset, &fingerprint_mmap);
+  EXPECT_EQ(fingerprint_text, fingerprint_mmap);
+  ASSERT_EQ(responses_text.size(), responses_mmap.size());
+  for (size_t i = 0; i < responses_text.size(); ++i) {
+    EXPECT_EQ(responses_text[i], responses_mmap[i])
+        << "command diverged: " << GoldenCommands()[i];
+    EXPECT_EQ(responses_text[i].rfind("OK", 0), 0u)
+        << GoldenCommands()[i] << " -> " << responses_text[i];
+  }
 }
 
 }  // namespace

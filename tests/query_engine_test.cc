@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/model_binary.h"
 #include "math/distributions.h"
 #include "recipe/dataset.h"
 #include "recipe/ingredient.h"
@@ -501,6 +502,61 @@ TEST(QueryEngineTest, ReloadUnderLoadFailsZeroQueries) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GT(served.load(), 0);
   EXPECT_EQ((*engine)->GetStats().reloads, 20u);
+}
+
+TEST(QueryEngineTest, ReloadFromBinaryFileUnderLoadFailsZeroQueries) {
+  // Same acceptance bar as ReloadUnderLoadFailsZeroQueries, but the reload
+  // path is the mmap-backed binary pair: each swap maps a new .dat and the
+  // previous mapping may only be released once its last in-flight query
+  // finishes. TSan (ci.sh) watches this for use-after-unmap.
+  std::string base_a = testing::TempDir() + "/texrheo_qe_reload_a";
+  std::string base_b = testing::TempDir() + "/texrheo_qe_reload_b";
+  core::ModelSnapshot alt = TinyModel();
+  alt.estimates.phi[0] = {0.4, 0.2, 0.2, 0.2};
+  ASSERT_TRUE(core::WriteModelBinary(TinyModel(), base_a).ok());
+  ASSERT_TRUE(core::WriteModelBinary(alt, base_b).ok());
+
+  auto corpus = TinyCorpus();
+  QueryEngineConfig config = FastConfig();
+  config.cache_capacity = 0;  // Force every predict through fold-in.
+  config.fold_in_sweeps = 30;
+  auto engine = QueryEngine::Create(config, TinySnapshot("v1"), &corpus);
+  ASSERT_TRUE(engine.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        TextureQuery query;
+        query.gel_concentration = math::Vector(3);
+        query.gel_concentration[0] = 0.001 * ((i + t) % 20 + 1);
+        auto result = (*engine)->PredictTexture(query);
+        if (result.ok()) {
+          ++served;
+        } else if (result.status().code() != StatusCode::kUnavailable) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 20; ++r) {
+    std::string idx = (r % 2 == 0 ? base_b : base_a) + ".idx";
+    ASSERT_TRUE((*engine)->ReloadFromFile(idx).ok());
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ((*engine)->GetStats().reloads, 20u);
+  // The published snapshot is the last binary reload, served off the map.
+  auto expected = ServingSnapshot::FromBinaryFile(base_a + ".idx");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ((*engine)->GetStats().model_fingerprint,
+            (*expected)->fingerprint());
 }
 
 TEST(QueryFromIngredientsTest, ResolvesAndAccumulates) {

@@ -10,6 +10,7 @@
 
 #include "core/checkpoint.h"
 #include "core/joint_topic_model.h"
+#include "core/model_binary.h"
 #include "core/serialization.h"
 #include "recipe/dataset.h"
 #include "recipe/recipe.h"
@@ -116,6 +117,107 @@ TEST_P(FuzzSeedTest, CheckpointDecoderNeverCrashes) {
     std::string framed = "TXRCKPT1" + RandomBytes(rng, 400);
     EXPECT_FALSE(core::DecodeCheckpoint(framed).ok());
   }
+}
+
+TEST_P(FuzzSeedTest, BinaryIndexParserNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 7000);
+  for (int i = 0; i < 400; ++i) {
+    // Raw soup, then soup behind a valid magic so the parser gets past the
+    // first gate and exercises the frame/CRC/entry decoding on hostile
+    // length and count fields.
+    std::string soup = RandomBytes(rng, 512);
+    auto parsed = core::ParseModelBinaryIndex(soup);
+    if (!parsed.ok()) EXPECT_FALSE(parsed.status().message().empty());
+    auto framed = core::ParseModelBinaryIndex("texrmbi1" + soup);
+    if (framed.ok()) {
+      // Astronomically unlikely CRC collision aside, anything that parses
+      // must still pass structural validation or fail with a clean Status.
+      (void)core::ValidateModelBinaryIndex(*framed);
+    }
+  }
+}
+
+// Structure-aware index fuzz: take a *valid* packed model, mutate random
+// header/section-table fields to adversarial values, re-encode with a
+// correct trailing CRC (so the checksum gate cannot save us), and open.
+// Every rejection must be a position-noted Status — section name or byte
+// offset — and every acceptance must describe the original model.
+TEST_P(FuzzSeedTest, BinaryIndexMutationsAlwaysYieldCleanStatus) {
+  core::ModelSnapshot snapshot;
+  snapshot.vocab.Add("purupuru");
+  snapshot.vocab.Add("fuwafuwa");
+  snapshot.vocab.Add("katai");
+  snapshot.estimates.phi = {{0.5, 0.3, 0.2}, {0.2, 0.3, 0.5}};
+  for (int k = 0; k < 2; ++k) {
+    snapshot.estimates.gel_topics.push_back(
+        math::Gaussian::FromPrecision(math::Vector(2, 1.0 + k),
+                                      math::Matrix::Identity(2))
+            .value());
+    snapshot.estimates.emulsion_topics.push_back(
+        math::Gaussian::FromPrecision(math::Vector(3, 2.0 * k),
+                                      math::Matrix::Identity(3))
+            .value());
+  }
+  snapshot.estimates.topic_recipe_count = {3, 4};
+  std::string base = testing::TempDir() + "/robust_binary_fuzz_" +
+                     std::to_string(GetParam());
+  ASSERT_TRUE(core::WriteModelBinary(snapshot, base).ok());
+  core::ModelBinaryPaths paths = core::ModelBinaryPathsFor(base);
+  auto idx_bytes = ReadFileToString(paths.idx);
+  ASSERT_TRUE(idx_bytes.ok());
+  auto pristine = core::ParseModelBinaryIndex(*idx_bytes);
+  ASSERT_TRUE(pristine.ok());
+
+  static constexpr uint64_t kHostileValues[] = {
+      0,  1,  7,  63, 64, 65, 4096, uint64_t{1} << 20, uint64_t{1} << 31,
+      uint64_t{1} << 40, ~uint64_t{0}, ~uint64_t{0} - 63};
+  Rng rng(static_cast<uint64_t>(GetParam()) + 8000);
+  for (int i = 0; i < 300; ++i) {
+    core::ModelBinaryIndex mutated = *pristine;
+    size_t edits = 1 + rng.NextUint(3);
+    for (size_t e = 0; e < edits; ++e) {
+      uint64_t value = kHostileValues[rng.NextUint(
+          sizeof(kHostileValues) / sizeof(kHostileValues[0]))];
+      size_t slot = rng.NextUint(mutated.sections.size());
+      switch (rng.NextUint(10)) {
+        case 0: mutated.num_topics = static_cast<uint32_t>(value); break;
+        case 1: mutated.vocab_size = value; break;
+        case 2: mutated.gel_dim = static_cast<uint32_t>(value); break;
+        case 3: mutated.emulsion_dim = static_cast<uint32_t>(value); break;
+        case 4: mutated.data_file_size = value; break;
+        case 5: mutated.sections[slot].id = static_cast<uint32_t>(value); break;
+        case 6: mutated.sections[slot].offset = value; break;
+        case 7: mutated.sections[slot].size = value; break;
+        case 8: mutated.sections[slot].count = value; break;
+        case 9:
+          std::swap(mutated.sections[slot],
+                    mutated.sections[rng.NextUint(mutated.sections.size())]);
+          break;
+      }
+    }
+    Status written =
+        WriteStringToFile(paths.idx, core::EncodeModelBinaryIndex(mutated));
+    ASSERT_TRUE(written.ok());
+    auto opened = core::MappedModel::Open(base);
+    if (!opened.ok()) {
+      const std::string& message = opened.status().message();
+      EXPECT_FALSE(message.empty());
+      EXPECT_TRUE(message.find("model binary") != std::string::npos ||
+                  message.find("mmap:") != std::string::npos)
+          << "unlabelled rejection: " << message;
+    } else {
+      // The mutations happened to cancel out; the model served must be the
+      // original, never a reinterpretation of its bytes.
+      EXPECT_EQ((*opened)->num_topics(), 2);
+      EXPECT_EQ((*opened)->vocab_size(), 3u);
+      EXPECT_EQ((*opened)->fingerprint(), pristine->fingerprint);
+    }
+  }
+  // Restore the pristine index: the pair still opens after the barrage.
+  ASSERT_TRUE(
+      WriteStringToFile(paths.idx, core::EncodeModelBinaryIndex(*pristine))
+          .ok());
+  EXPECT_TRUE(core::MappedModel::Open(base).ok());
 }
 
 TEST_P(FuzzSeedTest, TokenizerHandlesArbitraryText) {

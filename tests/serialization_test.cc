@@ -135,6 +135,40 @@ TEST(SerializationTest, ErrorsCarryLineNumbersAndExcerpts) {
       << loaded.status().ToString();
 }
 
+TEST(SerializationTest, ErrorsCarryByteOffsets) {
+  std::string content = SerializeModel(SampleSnapshot());
+
+  // Line 1 starts at byte 0.
+  auto bad_header = DeserializeModel("texrheo-model zero\nrest\n");
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_NE(bad_header.status().message().find("@ byte 0"), std::string::npos)
+      << bad_header.status().ToString();
+
+  // Corrupt the vocab count: the reported offset is where line 2 starts,
+  // i.e. the length of line 1 plus its newline.
+  std::string bad = content;
+  size_t pos = bad.find("vocab 3");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 7, "vocab x");
+  auto loaded = DeserializeModel(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("@ byte " + std::to_string(pos)),
+            std::string::npos)
+      << loaded.status().ToString();
+
+  // Deep corruption (a gaussian line) points far into the file, not at 0.
+  size_t gel_pos = content.find("gel_topic");
+  ASSERT_NE(gel_pos, std::string::npos);
+  std::string deep = content;
+  deep.replace(gel_pos, 9, "gel_tpoic");
+  auto deep_loaded = DeserializeModel(deep);
+  ASSERT_FALSE(deep_loaded.ok());
+  EXPECT_NE(
+      deep_loaded.status().message().find("@ byte " + std::to_string(gel_pos)),
+      std::string::npos)
+      << deep_loaded.status().ToString();
+}
+
 TEST(SerializationTest, MissingEndMarkerNamesTheLastLine) {
   std::string content = SerializeModel(SampleSnapshot());
   // Drop the "end\n" sentinel but keep the file newline-terminated.

@@ -11,8 +11,11 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "core/checkpoint.h"
 #include "core/joint_topic_model.h"
+#include "core/model_binary.h"
 #include "core/serialization.h"
 #include "math/distributions.h"
 #include "recipe/dataset.h"
@@ -212,6 +215,125 @@ TEST(ServingSnapshotTest, FromModelFileRoundTripsFingerprint) {
 
 TEST(ServingSnapshotTest, FromModelFileFailsCleanlyOnMissingFile) {
   EXPECT_FALSE(ServingSnapshot::FromModelFile("/nonexistent/model.txt").ok());
+}
+
+// --- Memory-mapped binary snapshots ----------------------------------------
+
+/// Packs TinyModel to TempDir under `name` and returns the base path.
+std::string PackTinyBinary(const char* name) {
+  std::string base = testing::TempDir() + "/" + name;
+  EXPECT_TRUE(core::WriteModelBinary(TinyModel(), base).ok());
+  return base;
+}
+
+TEST(ServingSnapshotTest, FromFileDispatchesOnExtension) {
+  std::string v2_path = testing::TempDir() + "/texrheo_dispatch_model.txt";
+  ASSERT_TRUE(core::SaveModel(v2_path, TinyModel()).ok());
+  std::string base = PackTinyBinary("texrheo_dispatch_model");
+
+  auto text = ServingSnapshot::FromFile(v2_path);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_FALSE((*text)->mmap_backed());
+
+  // Either spelling of the pair resolves to the mmap path.
+  for (const std::string& path : {base + ".idx", base + ".dat"}) {
+    auto mapped = ServingSnapshot::FromFile(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_TRUE((*mapped)->mmap_backed());
+    EXPECT_GT((*mapped)->mapped_bytes(), 0u);
+    EXPECT_EQ((*mapped)->fingerprint(), (*text)->fingerprint());
+  }
+  std::remove(v2_path.c_str());
+}
+
+TEST(ServingSnapshotTest, ConcurrentFoldInsOnMmapSnapshotMatchHeapSnapshot) {
+  // The mmap read path (phi rows served straight from the mapping) must be
+  // bit-identical to the heap path and safe to race; the TSan leg of ci.sh
+  // watches this test like its heap twin above.
+  std::string base = PackTinyBinary("texrheo_mmap_concurrent");
+  auto heap = ServingSnapshot::FromModel(TinyModel(), "heap");
+  auto mapped = ServingSnapshot::FromBinaryFile(base + ".idx");
+  ASSERT_TRUE(heap.ok() && mapped.ok()) << mapped.status().ToString();
+  std::vector<std::vector<double>> expected(8);
+  for (int i = 0; i < 8; ++i) {
+    Rng rng = Rng::ForStream(321, static_cast<uint64_t>(i));
+    auto theta =
+        (*heap)->FoldInTheta({0, 1}, math::Vector(3, 3.0), 20, 0.3, rng);
+    ASSERT_TRUE(theta.ok());
+    expected[static_cast<size_t>(i)] = *theta;
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng = Rng::ForStream(321, static_cast<uint64_t>(i));
+      auto theta =
+          (*mapped)->FoldInTheta({0, 1}, math::Vector(3, 3.0), 20, 0.3, rng);
+      if (!theta.ok() || *theta != expected[static_cast<size_t>(i)]) {
+        mismatches[static_cast<size_t>(i)] = 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(mismatches[static_cast<size_t>(i)], 0);
+}
+
+/// Real mmap plus map/unmap accounting, so tests can observe exactly when
+/// the mapping is released relative to snapshot references.
+class CountingMapOps final : public core::MemoryMapOps {
+ public:
+  StatusOr<core::MappedRegion> Map(const std::string& path) override {
+    maps.fetch_add(1, std::memory_order_relaxed);
+    return core::MemoryMapOps::Map(path);
+  }
+  void Unmap(core::MappedRegion region) override {
+    unmaps.fetch_add(1, std::memory_order_relaxed);
+    core::MemoryMapOps::Unmap(region);
+  }
+  std::atomic<int> maps{0};
+  std::atomic<int> unmaps{0};
+};
+
+TEST(ServingSnapshotTest, UnmapDeferredUntilLastReferenceDrops) {
+  std::string base = PackTinyBinary("texrheo_mmap_refcount");
+  CountingMapOps ops;
+  auto loaded = ServingSnapshot::FromBinaryFile(base + ".idx", ops);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(ops.maps.load(), 1);
+  std::shared_ptr<const ServingSnapshot> holder = *loaded;
+  loaded->reset();  // "Reload" drops the published pointer...
+  EXPECT_EQ(ops.unmaps.load(), 0);  // ...but an in-flight query still reads.
+  EXPECT_EQ(holder->phi(0)[0], 0.7);
+  holder.reset();
+  EXPECT_EQ(ops.unmaps.load(), 1);  // Last reference gone: region released.
+}
+
+TEST(ServingSnapshotTest, UnmapWaitsForInFlightQueriesUnderRace) {
+  // Threads keep querying their own reference while the main thread drops
+  // the published snapshot mid-flight (the reload pattern). The mapping
+  // must be released exactly once, only after the stragglers finish; TSan
+  // verifies no query ever touches unmapped memory.
+  std::string base = PackTinyBinary("texrheo_mmap_reload_race");
+  CountingMapOps ops;
+  auto loaded = ServingSnapshot::FromBinaryFile(base + ".idx", ops);
+  ASSERT_TRUE(loaded.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([snapshot = *loaded, i, &failures] {
+      for (int sweep = 0; sweep < 30; ++sweep) {
+        Rng rng = Rng::ForStream(55, static_cast<uint64_t>(i * 100 + sweep));
+        auto theta =
+            snapshot->FoldInTheta({0, 1}, math::Vector(3, 3.0), 5, 0.3, rng);
+        if (!theta.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  loaded->reset();  // Unpublish while queries are in flight.
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ops.maps.load(), 1);
+  EXPECT_EQ(ops.unmaps.load(), 1);
 }
 
 // --- Checkpoint loading -----------------------------------------------------
