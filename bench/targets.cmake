@@ -26,6 +26,7 @@ add_executable(bench_perf ${CMAKE_SOURCE_DIR}/bench/bench_perf.cc)
 target_link_libraries(bench_perf PRIVATE ${TEXRHEO_ALL_LIBS} benchmark::benchmark)
 set_target_properties(bench_perf PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+texrheo_add_bench(bench_router)
 texrheo_add_bench(bench_rules)
 texrheo_add_bench(bench_model_selection)
 texrheo_add_bench(bench_convergence)

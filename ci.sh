@@ -45,18 +45,19 @@ cmake -B build-tsan -S . -DTEXRHEO_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target thread_pool_test geweke_test sampler_exactness_test \
   query_engine_test serve_snapshot_test joint_topic_model_test \
-  serve_chaos_test metrics_registry_test trace_test pipeline_e2e_test
+  serve_chaos_test router_chaos_test backoff_test metrics_registry_test \
+  trace_test pipeline_e2e_test
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test|metrics_registry_test|trace_test|pipeline_e2e_test)$')
+  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test|router_chaos_test|backoff_test|metrics_registry_test|trace_test|pipeline_e2e_test)$')
 
 echo "==> ASan/UBSan: rebuild durability-sensitive targets with -fsanitize=address,undefined"
 cmake -B build-asan -S . -DTEXRHEO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target serialization_test robustness_test model_binary_test \
   checkpoint_test atomic_file_test serve_hostile_test backoff_test \
-  pipeline_e2e_test
+  router_chaos_test pipeline_e2e_test
 (cd build-asan && ctest --output-on-failure \
-  -R '^(serialization_test|robustness_test|model_binary_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|pipeline_e2e_test)$')
+  -R '^(serialization_test|robustness_test|model_binary_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|router_chaos_test|pipeline_e2e_test)$')
 
 echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
 # Trains a small toy model, runs the scripted query session (PREDICT /
@@ -147,6 +148,22 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     --benchmark_out=bench/out/serve_robustness.json \
     --benchmark_out_format=json
   echo "wrote bench/out/serve_robustness.json"
+
+  echo "==> bench: router SLO (open-loop load, replica kill/restart mid-run)"
+  cmake --build build -j "$JOBS" --target bench_router
+  ./build/bench/bench_router --out=bench/out/router_slo.json
+  echo "wrote bench/out/router_slo.json"
+  # The fleet contract: with every replica up, the router adds zero errors
+  # and sheds nothing; with one of three replicas killed mid-run, retries +
+  # breaker ejection keep availability >= 99% for scheduled arrivals.
+  jq -e '
+    (.healthy.error_rate == 0)
+    and (.healthy.shed_rate == 0)
+    and (.kill_window.availability >= 0.99)
+    and (.kill_window.replica_restarted == true)
+  ' bench/out/router_slo.json >/dev/null \
+    || { echo "router SLO gate failed (see bench/out/router_slo.json)" >&2; exit 1; }
+  echo "router SLO gate passed"
 fi
 
 echo "==> CI passed"

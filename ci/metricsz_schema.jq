@@ -30,3 +30,11 @@ and (.model.source | type == "string")
 and (.counters["serve.queries.accepted"] >= .counters["serve.queries.completed"])
 and (.counters["serve.server.requests_received"] >= .counters["serve.server.requests_completed"])
 and (.counters["serve.batcher.submitted"] >= .counters["serve.batcher.jobs_processed"])
+# Reload-breaker transition counters (util/backoff.h listeners; see the
+# ServerStats doc in serve/server.h). The state machine's arithmetic:
+# every recovery concluded an admitted trial, every trial followed a trip.
+and (.counters | has("serve.breaker.trips"))
+and (.counters | has("serve.breaker.half_open_trials"))
+and (.counters | has("serve.breaker.recoveries"))
+and (.counters["serve.breaker.trips"] >= .counters["serve.breaker.half_open_trials"])
+and (.counters["serve.breaker.half_open_trials"] >= .counters["serve.breaker.recoveries"])

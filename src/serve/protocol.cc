@@ -1,0 +1,94 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace texrheo::serve {
+
+std::vector<std::string> SplitProtocolTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+std::vector<std::string> SplitCommaList(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+StatusOr<std::vector<std::pair<std::string, double>>> ParseIngredientSpec(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, double>> out;
+  if (spec == "-") return out;
+  for (const std::string& part : SplitCommaList(spec)) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected name=ratio, got '" + part +
+                                     "'");
+    }
+    char* end = nullptr;
+    double value = std::strtod(part.c_str() + eq + 1, &end);
+    if (end == part.c_str() + eq + 1 || *end != '\0') {
+      return Status::InvalidArgument("bad ratio in '" + part + "'");
+    }
+    out.emplace_back(part.substr(0, eq), value);
+  }
+  return out;
+}
+
+StatusOr<TextureQuery> ParseQueryCommand(
+    const std::vector<std::string>& tokens, size_t* top_n) {
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument("usage: " + tokens[0] +
+                                   " <name=ratio,...|-> [terms=a,b] [n=N]");
+  }
+  std::vector<std::string> terms;
+  if (top_n != nullptr) *top_n = 0;
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const std::string& opt = tokens[i];
+    if (opt.rfind("terms=", 0) == 0) {
+      terms = SplitCommaList(opt.substr(6));
+    } else if (top_n != nullptr && opt.rfind("n=", 0) == 0) {
+      *top_n = static_cast<size_t>(std::strtoul(opt.c_str() + 2, nullptr, 10));
+    } else {
+      return Status::InvalidArgument("unknown option '" + opt + "'");
+    }
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(auto ingredients, ParseIngredientSpec(tokens[1]));
+  return QueryFromIngredients(ingredients, std::move(terms));
+}
+
+StatusOr<int> ParseTopicIndex(const std::string& token) {
+  char* end = nullptr;
+  long topic = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad topic index '" + token + "'");
+  }
+  return static_cast<int>(topic);
+}
+
+StatusOr<core::LinkageMethod> ParseLinkageMethod(const std::string& name) {
+  if (name == "gaussian-kl") return core::LinkageMethod::kGaussianKL;
+  if (name == "neg-log-density") return core::LinkageMethod::kNegLogDensity;
+  if (name == "mahalanobis") return core::LinkageMethod::kMahalanobis;
+  if (name == "euclidean") return core::LinkageMethod::kEuclidean;
+  return Status::InvalidArgument("unknown linkage method '" + name + "'");
+}
+
+void AppendFixed(std::string* out, const char* fmt, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  *out += buf;
+}
+
+}  // namespace texrheo::serve

@@ -1,0 +1,47 @@
+#ifndef TEXRHEO_SERVE_PROTOCOL_H_
+#define TEXRHEO_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/linkage.h"
+#include "serve/query_engine.h"
+#include "util/status.h"
+
+namespace texrheo::serve {
+
+/// Text-level parsing of the line protocol (see server.h for the grammar).
+/// Shared by the replica server (which executes commands against a
+/// QueryEngine) and the router front tier (which parses just enough of a
+/// command to compute its routing key and forwards the line verbatim) —
+/// one grammar, two consumers, zero drift.
+
+/// Whitespace-splits one protocol line into tokens.
+std::vector<std::string> SplitProtocolTokens(const std::string& line);
+
+/// Splits "a,b,c" into parts; empty segments are dropped.
+std::vector<std::string> SplitCommaList(const std::string& s);
+
+/// Parses "name=ratio,name=ratio" ("-" = none) into ingredient pairs.
+StatusOr<std::vector<std::pair<std::string, double>>> ParseIngredientSpec(
+    const std::string& spec);
+
+/// Builds a TextureQuery from positional <ingredients> plus key=value
+/// options (terms=..., n=...). `top_n` (optional) receives n= when the
+/// command supports it (SIMILAR); 0 = unset.
+StatusOr<TextureQuery> ParseQueryCommand(
+    const std::vector<std::string>& tokens, size_t* top_n);
+
+/// Parses a topic index argument.
+StatusOr<int> ParseTopicIndex(const std::string& token);
+
+/// Parses a NEAREST method= value.
+StatusOr<core::LinkageMethod> ParseLinkageMethod(const std::string& name);
+
+/// snprintf's `v` with `fmt` onto `out` (fixed-width response fields).
+void AppendFixed(std::string* out, const char* fmt, double v);
+
+}  // namespace texrheo::serve
+
+#endif  // TEXRHEO_SERVE_PROTOCOL_H_

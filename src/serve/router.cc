@@ -1,0 +1,762 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "util/json.h"
+
+namespace texrheo::serve {
+
+namespace {
+
+using std::chrono::steady_clock;
+
+int64_t MicrosSince(steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             steady_clock::now() - t0)
+      .count();
+}
+
+Deadline MinDeadline(Deadline a, Deadline b) { return a < b ? a : b; }
+
+std::string HexFingerprint(uint32_t fp) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", fp);
+  return buf;
+}
+
+/// Fingerprint out of a replica's METRICSZ JSON ({"model":
+/// {"fingerprint": "deadbeef", ...}, ...}); 0 when absent/unparseable
+/// (a probe against a non-engine peer still proves liveness).
+uint32_t FingerprintFromMetricsz(const std::string& json) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(json);
+  if (!parsed.ok()) return 0;
+  const JsonValue* model = parsed.value().Find("model");
+  if (model == nullptr) return 0;
+  const JsonValue* fp = model->Find("fingerprint");
+  if (fp == nullptr || !fp->is_string()) return 0;
+  return static_cast<uint32_t>(
+      std::strtoul(fp->AsString().c_str(), nullptr, 16));
+}
+
+/// Fingerprint out of a replica's "OK reloaded fingerprint=deadbeef" line.
+uint32_t FingerprintFromReloadReply(const std::string& reply) {
+  const std::string marker = "fingerprint=";
+  size_t pos = reply.find(marker);
+  if (pos == std::string::npos) return 0;
+  return static_cast<uint32_t>(
+      std::strtoul(reply.c_str() + pos + marker.size(), nullptr, 16));
+}
+
+}  // namespace
+
+/// Per-replica runtime state. The vector of these is immutable after
+/// Create; every field is either atomic, internally locked, or a
+/// registry-owned handle, so replicas are shared freely across connection
+/// threads, the probe thread, and ROLLING_RELOAD.
+struct ReplicaRouter::Replica {
+  Replica(int id_in, ReplicaAddress address_in,
+          const CircuitBreaker::Options& breaker_options)
+      : id(id_in), address(std::move(address_in)), breaker(breaker_options) {}
+
+  const int id;
+  const ReplicaAddress address;
+  CircuitBreaker breaker;
+  /// ROLLING_RELOAD: no new legs while set. Written under inflight_mu_
+  /// (atomic so views/probes can read it without the lock).
+  std::atomic<bool> draining{false};
+  /// Data-path legs currently running against this replica. Raised under
+  /// inflight_mu_ (in NextEligible), lowered under it (leg completion).
+  std::atomic<uint64_t> inflight{0};
+  std::atomic<uint32_t> fingerprint{0};  ///< Last observed; 0 = unknown.
+
+  std::mutex pool_mu;
+  std::vector<std::unique_ptr<LineClient>> pool;  // Idle; guarded by pool_mu.
+
+  obs::Gauge* healthy_gauge = nullptr;      ///< 1 = breaker closed.
+  obs::Gauge* fingerprint_gauge = nullptr;  ///< Mirrors `fingerprint`.
+};
+
+/// One attempt against one replica. Owned by ForwardLine's stack; when the
+/// leg runs on a thread, the coordinator joins it before the leg dies.
+/// `mu`/`cv` are shared across the (up to two) legs of one request.
+struct ReplicaRouter::Leg {
+  Replica* replica = nullptr;
+  const std::string* line = nullptr;
+  bool trial = false;  ///< Admission was the breaker's half-open trial.
+
+  std::mutex* mu = nullptr;
+  std::condition_variable* cv = nullptr;
+  // --- Guarded by *mu ---------------------------------------------------
+  std::unique_ptr<LineClient> conn;  ///< Published for cross-thread Abort.
+  StatusOr<std::string> reply{Status::Unavailable("leg not run")};
+  bool done = false;
+  bool aborted = false;  ///< Coordinator gave up on this leg.
+  // ----------------------------------------------------------------------
+  std::thread thread;
+};
+
+StatusOr<std::unique_ptr<ReplicaRouter>> ReplicaRouter::Create(
+    const RouterOptions& options) {
+  if (options.replicas.empty()) {
+    return Status::InvalidArgument("router needs at least one replica");
+  }
+  if (options.vnodes_per_replica < 1) {
+    return Status::InvalidArgument("vnodes_per_replica must be >= 1");
+  }
+  if (options.max_tries < 1) {
+    return Status::InvalidArgument("max_tries must be >= 1");
+  }
+  if (options.cache_quantum <= 0.0) {
+    return Status::InvalidArgument("cache_quantum must be positive");
+  }
+  return std::unique_ptr<ReplicaRouter>(new ReplicaRouter(options));
+}
+
+ReplicaRouter::ReplicaRouter(const RouterOptions& options)
+    : options_(options),
+      ops_(options.socket_ops != nullptr ? options.socket_ops
+                                         : &SocketOps::Real()),
+      ring_(options.vnodes_per_replica),
+      metrics_(options.metrics != nullptr
+                   ? options.metrics
+                   : std::make_shared<obs::MetricsRegistry>()) {
+  // requests is registered first and answered last; each request bumps
+  // requests on entry and answered on exit, so no registry snapshot ever
+  // shows answered > requests (see MetricsRegistry::TakeSnapshot).
+  requests_ = metrics_->RegisterCounter("router.requests");
+  retries_ = metrics_->RegisterCounter("router.retries");
+  hedges_ = metrics_->RegisterCounter("router.hedges");
+  hedge_wins_ = metrics_->RegisterCounter("router.hedge_wins");
+  breaker_skips_ = metrics_->RegisterCounter("router.breaker.skips");
+  breaker_trips_ = metrics_->RegisterCounter("router.breaker.trips");
+  breaker_half_open_ =
+      metrics_->RegisterCounter("router.breaker.half_open_trials");
+  breaker_recoveries_ = metrics_->RegisterCounter("router.breaker.recoveries");
+  probes_ = metrics_->RegisterCounter("router.probes");
+  probe_failures_ = metrics_->RegisterCounter("router.probe_failures");
+  rolling_reloads_ = metrics_->RegisterCounter("router.rolling_reloads");
+  rolling_reload_failures_ =
+      metrics_->RegisterCounter("router.rolling_reload_failures");
+  unavailable_ = metrics_->RegisterCounter("router.unavailable");
+  answered_ = metrics_->RegisterCounter("router.answered");
+  try_latency_ = metrics_->RegisterHistogram("router.try_us");
+  request_latency_ = metrics_->RegisterHistogram("router.request_us");
+
+  for (size_t i = 0; i < options_.replicas.size(); ++i) {
+    auto replica = std::make_unique<Replica>(
+        static_cast<int>(i), options_.replicas[i], options_.breaker);
+    // All replicas feed one router.breaker.* family: the fleet-level
+    // trip/recovery story is what METRICSZ consumers alert on; per-replica
+    // state is in the healthy gauges and GetReplicaViews.
+    replica->breaker.SetListeners(CircuitBreaker::TransitionListeners{
+        [c = breaker_trips_] { c->Increment(); },
+        [c = breaker_half_open_] { c->Increment(); },
+        [c = breaker_recoveries_] { c->Increment(); }});
+    const std::string prefix = "router.replica." + std::to_string(i);
+    replica->healthy_gauge = metrics_->RegisterGauge(prefix + ".healthy");
+    replica->healthy_gauge->Set(1.0);
+    replica->fingerprint_gauge =
+        metrics_->RegisterGauge(prefix + ".fingerprint");
+    ring_.AddNode(static_cast<int>(i),
+                  options_.replicas[i].host + ":" +
+                      std::to_string(options_.replicas[i].port));
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+ReplicaRouter::~ReplicaRouter() { Stop(); }
+
+CircuitBreaker::TimePoint ReplicaRouter::Now() const {
+  return options_.now_fn ? options_.now_fn() : steady_clock::now();
+}
+
+Status ReplicaRouter::Start() {
+  // Synchronous first pass: fingerprints and dead-replica ejection are in
+  // place before the first query, not one probe interval later.
+  ProbeAllOnce();
+  if (options_.probe_interval_millis > 0) {
+    probe_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      while (!stopping_) {
+        if (stop_cv_.wait_for(
+                lock,
+                std::chrono::milliseconds(options_.probe_interval_millis),
+                [this] { return stopping_; })) {
+          break;
+        }
+        lock.unlock();
+        ProbeAllOnce();
+        lock.lock();
+      }
+    });
+  }
+  return Status::OK();
+}
+
+void ReplicaRouter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  for (auto& replica : replicas_) {
+    std::lock_guard<std::mutex> lock(replica->pool_mu);
+    replica->pool.clear();
+  }
+}
+
+// --- Connection pool -------------------------------------------------------
+
+StatusOr<std::unique_ptr<LineClient>> ReplicaRouter::CheckoutConnection(
+    Replica& replica) {
+  {
+    std::lock_guard<std::mutex> lock(replica.pool_mu);
+    if (!replica.pool.empty()) {
+      std::unique_ptr<LineClient> conn = std::move(replica.pool.back());
+      replica.pool.pop_back();
+      return conn;
+    }
+  }
+  LineClientOptions copts;
+  copts.io_timeout_millis = options_.replica_io_timeout_millis;
+  copts.socket_ops = ops_;
+  return LineClient::Connect(replica.address.host, replica.address.port,
+                             copts);
+}
+
+void ReplicaRouter::ReturnConnection(Replica& replica,
+                                     std::unique_ptr<LineClient> conn) {
+  if (conn == nullptr) return;
+  std::lock_guard<std::mutex> lock(replica.pool_mu);
+  if (replica.pool.size() < options_.max_pool_per_replica) {
+    replica.pool.push_back(std::move(conn));
+  }
+  // else: drop -> closed. Only connections whose last round trip fully
+  // succeeded are ever returned, so the pool never holds a stream with
+  // leftover bytes or a half-finished exchange.
+}
+
+// --- Candidate selection ---------------------------------------------------
+
+ReplicaRouter::Replica* ReplicaRouter::NextEligible(
+    const std::vector<int>& candidates, size_t* cursor, bool* was_trial) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  while (*cursor < candidates.size()) {
+    Replica& replica = *replicas_[candidates[*cursor]];
+    ++*cursor;
+    if (replica.draining.load(std::memory_order_acquire)) continue;
+    if (!replica.breaker.Allow(Now())) {
+      breaker_skips_->Increment();
+      continue;
+    }
+    // An admission that left the breaker half-open claimed its single
+    // trial slot; that leg is obligated to report an outcome (see RunLeg).
+    *was_trial =
+        replica.breaker.state() == CircuitBreaker::State::kHalfOpen;
+    replica.inflight.fetch_add(1, std::memory_order_acq_rel);
+    return &replica;
+  }
+  return nullptr;
+}
+
+// --- One leg ---------------------------------------------------------------
+
+void ReplicaRouter::RunLeg(Leg& leg, Deadline try_deadline) {
+  Replica& replica = *leg.replica;
+  const auto t0 = steady_clock::now();
+  StatusOr<std::string> reply = Status::Unavailable("leg did not run");
+  StatusOr<std::unique_ptr<LineClient>> conn_or = CheckoutConnection(replica);
+  if (!conn_or.ok()) {
+    reply = conn_or.status();
+  } else {
+    LineClient* conn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(*leg.mu);
+      leg.conn = std::move(conn_or).value();
+      conn = leg.conn.get();
+      // Lost the race with an abort that fired before the connection was
+      // published: apply it now so the round trip fails promptly.
+      if (leg.aborted) conn->Abort();
+    }
+    // leg.conn is stable until the coordinator joins this thread, so the
+    // raw pointer is safe to use outside the lock (Abort is the documented
+    // cross-thread cancellation path).
+    reply = conn->RoundTrip(*leg.line, try_deadline);
+  }
+  try_latency_->Record(MicrosSince(t0));
+
+  const bool ok = reply.ok();
+  bool aborted;
+  {
+    std::lock_guard<std::mutex> lock(*leg.mu);
+    aborted = leg.aborted;
+    leg.reply = std::move(reply);
+    leg.done = true;
+  }
+  // Breaker bookkeeping. An aborted leg's transport error is the router's
+  // own doing (hedge loser cancelled), so it must not count against the
+  // replica — unless this leg held the breaker's half-open trial, which
+  // has to conclude one way or the other or the breaker would reject
+  // everything forever. Concluding it as a failure is the conservative
+  // choice: the replica stays ejected until the next probe re-trials it.
+  if (ok) {
+    replica.breaker.RecordSuccess();
+  } else if (!aborted || leg.trial) {
+    replica.breaker.RecordFailure(Now());
+  }
+  replica.healthy_gauge->Set(
+      replica.breaker.state() == CircuitBreaker::State::kClosed ? 1.0 : 0.0);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    replica.inflight.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  inflight_cv_.notify_all();
+  leg.cv->notify_all();
+}
+
+// --- Forward path ----------------------------------------------------------
+
+int ReplicaRouter::HedgeDelayMillis() const {
+  if (options_.hedge_delay_millis == 0) return 0;
+  if (options_.hedge_delay_millis > 0) return options_.hedge_delay_millis;
+  // Auto mode: hedge above the observed tail. Until there is enough signal
+  // the delay falls back to a conservative constant so cold starts do not
+  // hedge every request.
+  LatencyHistogram::Snapshot snap = try_latency_->TakeSnapshot();
+  int64_t delay_ms = 10;
+  if (snap.count >= 20) {
+    delay_ms = static_cast<int64_t>(snap.QuantileUpperBound(0.99) / 1000);
+  }
+  return static_cast<int>(
+      std::max<int64_t>(options_.min_hedge_delay_millis, delay_ms));
+}
+
+StatusOr<std::string> ReplicaRouter::ForwardLine(const std::string& line,
+                                                 const std::string& key,
+                                                 Deadline deadline) {
+  requests_->Increment();
+  const auto t0 = steady_clock::now();
+  obs::TraceSpan span;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->StartSpan("router.forward");
+  }
+
+  const std::vector<int> candidates = ring_.NodesFor(key, replicas_.size());
+  size_t cursor = 0;
+  int tries = 0;
+  const int hedge_delay = HedgeDelayMillis();
+  Status last_error = Status::Unavailable("no live replica for key");
+
+  while (tries < options_.max_tries) {
+    if (DeadlineExpired(deadline)) {
+      last_error = Status::DeadlineExceeded("request budget exhausted after " +
+                                            std::to_string(tries) + " tries");
+      break;
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    Leg legs[2];
+    for (Leg& leg : legs) {
+      leg.line = &line;
+      leg.mu = &mu;
+      leg.cv = &cv;
+    }
+    legs[0].replica = NextEligible(candidates, &cursor, &legs[0].trial);
+    if (legs[0].replica == nullptr) break;
+    ++tries;
+    if (tries > 1) retries_->Increment();
+    const Deadline try_deadline = MinDeadline(
+        deadline, DeadlineAfterMillis(options_.replica_io_timeout_millis));
+
+    bool hedged = false;
+    if (hedge_delay <= 0 || tries >= options_.max_tries) {
+      // No hedge possible: run the leg inline, no thread.
+      RunLeg(legs[0], try_deadline);
+    } else {
+      legs[0].thread =
+          std::thread([this, &legs, try_deadline] { RunLeg(legs[0], try_deadline); });
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait_for(lock, std::chrono::milliseconds(hedge_delay),
+                    [&] { return legs[0].done; });
+      }
+      bool primary_done;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        primary_done = legs[0].done;
+      }
+      if (!primary_done) {
+        // Primary is slow: race a second leg on the next live replica.
+        legs[1].replica = NextEligible(candidates, &cursor, &legs[1].trial);
+        if (legs[1].replica != nullptr) {
+          ++tries;
+          hedges_->Increment();
+          hedged = true;
+          legs[1].thread = std::thread(
+              [this, &legs, try_deadline] { RunLeg(legs[1], try_deadline); });
+        }
+      }
+      int winner = -1;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          if (legs[0].done && legs[0].reply.ok()) return true;
+          if (hedged && legs[1].done && legs[1].reply.ok()) return true;
+          return legs[0].done && (!hedged || legs[1].done);
+        });
+        if (legs[0].done && legs[0].reply.ok()) {
+          winner = 0;
+        } else if (hedged && legs[1].done && legs[1].reply.ok()) {
+          winner = 1;
+        }
+        // Cancel the leg that lost (or became moot): Abort unblocks its
+        // thread promptly instead of letting it run out its I/O budget.
+        for (int i = 0; i < 2; ++i) {
+          if (i == winner) continue;
+          if (i == 1 && !hedged) continue;
+          if (!legs[i].done) {
+            legs[i].aborted = true;
+            if (legs[i].conn != nullptr) legs[i].conn->Abort();
+          }
+        }
+      }
+      legs[0].thread.join();
+      if (hedged) legs[1].thread.join();
+      if (winner == 1) hedge_wins_->Increment();
+      // From here both legs are finished and single-threaded again.
+      if (winner >= 0) {
+        ReturnConnection(*legs[winner].replica,
+                         std::move(legs[winner].conn));
+        answered_->Increment();
+        request_latency_->Record(MicrosSince(t0));
+        return std::move(legs[winner].reply);
+      }
+      last_error = legs[0].reply.status();
+      continue;
+    }
+
+    // Inline (unhedged) leg outcome.
+    if (legs[0].reply.ok()) {
+      ReturnConnection(*legs[0].replica, std::move(legs[0].conn));
+      answered_->Increment();
+      request_latency_->Record(MicrosSince(t0));
+      return std::move(legs[0].reply);
+    }
+    last_error = legs[0].reply.status();
+  }
+
+  unavailable_->Increment();
+  request_latency_->Record(MicrosSince(t0));
+  if (last_error.code() == StatusCode::kDeadlineExceeded) return last_error;
+  return Status::Unavailable("no replica answered (" +
+                             std::to_string(tries) + " tries): " +
+                             last_error.ToString());
+}
+
+// --- Routing keys ----------------------------------------------------------
+
+StatusOr<std::string> ReplicaRouter::RoutingKeyFor(
+    const std::vector<std::string>& tokens) const {
+  const std::string& cmd = tokens[0];
+  if (cmd == "PREDICT" || cmd == "SIMILAR") {
+    // Text-level twin of the engine's canonical cache key: quantized
+    // concentrations + the sorted term bag. The router has no vocabulary
+    // (term ids are a model artifact), so terms enter as sorted surface
+    // strings — same recipe text, same key, same replica, hot cache.
+    size_t top_n = 0;
+    TEXRHEO_ASSIGN_OR_RETURN(
+        TextureQuery query,
+        ParseQueryCommand(tokens, cmd == "SIMILAR" ? &top_n : nullptr));
+    std::string key = CanonicalQueryKey(query.gel_concentration,
+                                        query.emulsion_concentration, {},
+                                        options_.cache_quantum);
+    std::vector<std::string> terms = query.texture_terms;
+    std::sort(terms.begin(), terms.end());
+    key += "|terms:";
+    for (const std::string& term : terms) {
+      key += term;
+      key += ',';
+    }
+    return key;
+  }
+  // NEAREST / TOPIC are deterministic per token string; normalizing
+  // whitespace is all the canonicalization they need.
+  std::string key = cmd;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    key += '|';
+    key += tokens[i];
+  }
+  return key;
+}
+
+std::vector<int> ReplicaRouter::CandidatesFor(const std::string& line) const {
+  std::vector<std::string> tokens = SplitProtocolTokens(line);
+  if (tokens.empty()) return {};
+  const std::string& cmd = tokens[0];
+  if (cmd != "PREDICT" && cmd != "NEAREST" && cmd != "SIMILAR" &&
+      cmd != "TOPIC") {
+    return {};
+  }
+  StatusOr<std::string> key = RoutingKeyFor(tokens);
+  if (!key.ok()) return {};
+  return ring_.NodesFor(key.value(), replicas_.size());
+}
+
+// --- Probing ---------------------------------------------------------------
+
+void ReplicaRouter::ProbeReplica(Replica& replica) {
+  if (replica.draining.load(std::memory_order_acquire)) return;
+  probes_->Increment();
+  if (!replica.breaker.Allow(Now())) {
+    // Open and still cooling down: stay ejected, keep the gauge honest.
+    replica.healthy_gauge->Set(0.0);
+    return;
+  }
+  StatusOr<std::string> reply = Status::Unavailable("probe did not run");
+  StatusOr<std::unique_ptr<LineClient>> conn_or = CheckoutConnection(replica);
+  if (!conn_or.ok()) {
+    reply = conn_or.status();
+  } else {
+    std::unique_ptr<LineClient> conn = std::move(conn_or).value();
+    // METRICSZ rather than PING: one round trip buys liveness *and* the
+    // served snapshot's fingerprint (drift detection for free).
+    reply = conn->RoundTrip(
+        "METRICSZ", DeadlineAfterMillis(options_.probe_timeout_millis));
+    if (reply.ok()) ReturnConnection(replica, std::move(conn));
+  }
+  if (reply.ok()) {
+    replica.breaker.RecordSuccess();
+    uint32_t fp = FingerprintFromMetricsz(reply.value());
+    if (fp != 0) {
+      replica.fingerprint.store(fp, std::memory_order_release);
+      replica.fingerprint_gauge->Set(static_cast<double>(fp));
+    }
+  } else {
+    probe_failures_->Increment();
+    replica.breaker.RecordFailure(Now());
+  }
+  replica.healthy_gauge->Set(
+      replica.breaker.state() == CircuitBreaker::State::kClosed ? 1.0 : 0.0);
+}
+
+void ReplicaRouter::ProbeAllOnce() {
+  for (auto& replica : replicas_) ProbeReplica(*replica);
+}
+
+// --- Rolling reload --------------------------------------------------------
+
+Status ReplicaRouter::ReloadOneReplica(Replica& replica,
+                                       const std::string& model_file,
+                                       std::vector<uint32_t>* fingerprints) {
+  LineClientOptions copts;
+  copts.io_timeout_millis = options_.reload_timeout_millis;
+  copts.socket_ops = ops_;
+  // Fresh control connection: pooled data-path connections keep their
+  // tighter I/O budget, and a reload that dies mid-exchange never poisons
+  // the pool.
+  TEXRHEO_ASSIGN_OR_RETURN(
+      std::unique_ptr<LineClient> conn,
+      LineClient::Connect(replica.address.host, replica.address.port, copts));
+  TEXRHEO_ASSIGN_OR_RETURN(std::string reply,
+                           conn->RoundTrip("RELOAD " + model_file));
+  if (reply.rfind("OK", 0) != 0) {
+    return Status::Internal("replica rejected RELOAD: " + reply);
+  }
+  uint32_t fp = FingerprintFromReloadReply(reply);
+  if (fp == 0) {
+    return Status::Internal("replica RELOAD reply carried no fingerprint: " +
+                            reply);
+  }
+  replica.fingerprint.store(fp, std::memory_order_release);
+  replica.fingerprint_gauge->Set(static_cast<double>(fp));
+  fingerprints->push_back(fp);
+  return Status::OK();
+}
+
+Status ReplicaRouter::RollingReload(const std::string& model_file,
+                                    std::string* summary) {
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  rolling_reloads_->Increment();
+  std::vector<uint32_t> fingerprints;
+  const size_t fleet = replicas_.size();
+  for (auto& replica_ptr : replicas_) {
+    Replica& replica = *replica_ptr;
+    // Drain: new legs stop selecting this replica (NextEligible checks
+    // draining under the same mutex that guards the inflight count, so a
+    // concurrently-selected leg is either counted here or never ran), then
+    // wait for the counted ones to finish and flush their responses.
+    bool drained;
+    {
+      std::unique_lock<std::mutex> lock(inflight_mu_);
+      replica.draining.store(true, std::memory_order_release);
+      drained = inflight_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.rolling_drain_millis),
+          [&] { return replica.inflight.load() == 0; });
+    }
+    Status step =
+        drained ? ReloadOneReplica(replica, model_file, &fingerprints)
+                : Status::DeadlineExceeded(
+                      "replica did not drain within " +
+                      std::to_string(options_.rolling_drain_millis) + "ms");
+    replica.draining.store(false, std::memory_order_release);
+    if (!step.ok()) {
+      rolling_reload_failures_->Increment();
+      return Status::Internal(
+          "rolling reload aborted at replica " + std::to_string(replica.id) +
+          "/" + std::to_string(fleet) + " (" +
+          std::to_string(fingerprints.size()) +
+          " already on the new snapshot): " + step.ToString());
+    }
+  }
+  for (uint32_t fp : fingerprints) {
+    if (fp != fingerprints.front()) {
+      rolling_reload_failures_->Increment();
+      return Status::Internal(
+          "rolling reload finished with diverged fingerprints: replicas "
+          "do not serve one model");
+    }
+  }
+  if (summary != nullptr) {
+    *summary = "OK rolled replicas=" + std::to_string(fleet) +
+               " fingerprint=" + HexFingerprint(fingerprints.front());
+  }
+  return Status::OK();
+}
+
+// --- Introspection ---------------------------------------------------------
+
+std::vector<ReplicaRouter::ReplicaView> ReplicaRouter::GetReplicaViews()
+    const {
+  std::vector<ReplicaView> views;
+  views.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    ReplicaView view;
+    view.id = replica->id;
+    view.address = replica->address;
+    view.state = replica->breaker.state();
+    view.breaker = replica->breaker.GetStats();
+    view.draining = replica->draining.load(std::memory_order_acquire);
+    view.inflight = replica->inflight.load(std::memory_order_acquire);
+    view.fingerprint = replica->fingerprint.load(std::memory_order_acquire);
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+std::string ReplicaRouter::RenderStatsz() const {
+  obs::MetricsSnapshot snap = metrics_->TakeSnapshot();
+  std::ostringstream out;
+  out << "texrheo_router statsz\n";
+  out << "router: requests=" << snap.CounterValue("router.requests")
+      << " answered=" << snap.CounterValue("router.answered")
+      << " unavailable=" << snap.CounterValue("router.unavailable")
+      << " retries=" << snap.CounterValue("router.retries")
+      << " hedges=" << snap.CounterValue("router.hedges")
+      << " hedge_wins=" << snap.CounterValue("router.hedge_wins") << "\n";
+  out << "breaker: skips=" << snap.CounterValue("router.breaker.skips")
+      << " trips=" << snap.CounterValue("router.breaker.trips")
+      << " half_open_trials="
+      << snap.CounterValue("router.breaker.half_open_trials")
+      << " recoveries=" << snap.CounterValue("router.breaker.recoveries")
+      << "\n";
+  out << "probes: probes=" << snap.CounterValue("router.probes")
+      << " failures=" << snap.CounterValue("router.probe_failures")
+      << " rolling_reloads=" << snap.CounterValue("router.rolling_reloads")
+      << " rolling_reload_failures="
+      << snap.CounterValue("router.rolling_reload_failures") << "\n";
+  out << "latency: try " << try_latency_->ToString() << "\n";
+  out << "latency: request " << request_latency_->ToString() << "\n";
+  for (const ReplicaView& view : GetReplicaViews()) {
+    out << "replica " << view.id << ": " << view.address.host << ":"
+        << view.address.port << " state="
+        << CircuitBreaker::StateName(view.state)
+        << " draining=" << (view.draining ? 1 : 0)
+        << " inflight=" << view.inflight
+        << " fingerprint=" << HexFingerprint(view.fingerprint) << "\n";
+  }
+  out << ".";
+  return out.str();
+}
+
+std::string ReplicaRouter::MetricszJson() const {
+  obs::MetricsSnapshot snap = metrics_->TakeSnapshot();
+  JsonValue root = snap.ToJson();
+  JsonValue fleet = JsonValue::MakeObject();
+  JsonValue states = JsonValue::MakeArray();
+  JsonValue fingerprints = JsonValue::MakeArray();
+  int healthy = 0;
+  for (const ReplicaView& view : GetReplicaViews()) {
+    if (view.state == CircuitBreaker::State::kClosed && !view.draining) {
+      ++healthy;
+    }
+    states.AsArray().push_back(
+        JsonValue::String(CircuitBreaker::StateName(view.state)));
+    fingerprints.AsArray().push_back(
+        JsonValue::String(HexFingerprint(view.fingerprint)));
+  }
+  fleet.AsObject()["replicas"] =
+      JsonValue::Number(static_cast<double>(replicas_.size()));
+  fleet.AsObject()["healthy"] = JsonValue::Number(healthy);
+  fleet.AsObject()["states"] = std::move(states);
+  fleet.AsObject()["fingerprints"] = std::move(fingerprints);
+  root.AsObject()["fleet"] = std::move(fleet);
+  return root.Serialize();
+}
+
+// --- Protocol surface ------------------------------------------------------
+
+std::string ReplicaRouter::Err(const Status& status) {
+  return "ERR " + status.ToString();
+}
+
+std::string ReplicaRouter::Handle(const std::string& line, bool* quit,
+                                  Deadline deadline) {
+  std::vector<std::string> tokens = SplitProtocolTokens(line);
+  if (tokens.empty()) return Err(Status::InvalidArgument("empty command"));
+  const std::string& cmd = tokens[0];
+
+  if (cmd == "PING") return "OK pong";
+  if (cmd == "QUIT") {
+    *quit = true;
+    return "OK bye";
+  }
+  if (cmd == "STATSZ") return RenderStatsz();
+  if (cmd == "METRICSZ") return MetricszJson();
+  if (cmd == "ROLLING_RELOAD") {
+    if (tokens.size() != 2) {
+      return Err(Status::InvalidArgument("usage: ROLLING_RELOAD <model-file>"));
+    }
+    std::string summary;
+    Status status = RollingReload(tokens[1], &summary);
+    return status.ok() ? summary : Err(status);
+  }
+  if (cmd == "RELOAD") {
+    return Err(Status::InvalidArgument(
+        "RELOAD targets a single replica; use ROLLING_RELOAD <model-file> "
+        "for a zero-downtime fleet swap"));
+  }
+  if (cmd == "PREDICT" || cmd == "NEAREST" || cmd == "SIMILAR" ||
+      cmd == "TOPIC") {
+    StatusOr<std::string> key = RoutingKeyFor(tokens);
+    // A line the replicas would reject anyway is answered locally — same
+    // parser, same error, no replica leg burned.
+    if (!key.ok()) return Err(key.status());
+    StatusOr<std::string> reply = ForwardLine(line, key.value(), deadline);
+    if (!reply.ok()) return Err(reply.status());
+    // Replica responses (including replica-side ERR lines) pass through
+    // byte-for-byte: the router adds fault tolerance, not a dialect.
+    return std::move(reply).value();
+  }
+  return Err(Status::InvalidArgument("unknown command '" + cmd + "'"));
+}
+
+}  // namespace texrheo::serve

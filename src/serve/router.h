@@ -1,0 +1,255 @@
+#ifndef TEXRHEO_SERVE_ROUTER_H_
+#define TEXRHEO_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+#include "util/backoff.h"
+#include "util/hash_ring.h"
+#include "util/histogram.h"
+#include "util/socket_ops.h"
+#include "util/status.h"
+
+namespace texrheo::serve {
+
+/// One replica backend (a LineProtocolServer + QueryEngine, typically
+/// mmap-serving the same packed .idx/.dat pair as its siblings so the page
+/// cache is shared across the fleet).
+struct ReplicaAddress {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Tuning of a ReplicaRouter. Defaults suit an interactive fleet on
+/// loopback; tests inject socket_ops / now_fn and drive probes manually.
+struct RouterOptions {
+  std::vector<ReplicaAddress> replicas;
+
+  /// Virtual nodes per replica on the consistent-hash ring. More vnodes =
+  /// smoother key split, slower ring build (lookup stays O(log points)).
+  int vnodes_per_replica = 64;
+  /// Quantization step for the canonical routing key; must match the
+  /// replicas' QueryEngineConfig::cache_quantum or float-noise twins of
+  /// one query land on different replicas and their caches double-fill.
+  double cache_quantum = 1e-4;
+
+  // --- Health probing ---------------------------------------------------
+
+  /// Cadence of the background probe pass (METRICSZ round trip per
+  /// replica: liveness + snapshot fingerprint in one probe). <= 0 disables
+  /// the thread; tests call ProbeAllOnce() to step probes deterministically.
+  int probe_interval_millis = 1000;
+  /// Per-probe round-trip budget.
+  int probe_timeout_millis = 1000;
+  /// Per-replica ejection breaker: consecutive transport failures (data
+  /// path and probes both count) trip it, the cooldown elapses, and the
+  /// next Allow — usually a probe — is the half-open readmission trial.
+  CircuitBreaker::Options breaker;
+
+  // --- Data path --------------------------------------------------------
+
+  /// Per-try round-trip budget against one replica ("replica slow").
+  int replica_io_timeout_millis = 5000;
+  /// Max legs dispatched per request across distinct replicas (first try,
+  /// retries, and hedges all count). >= 1.
+  int max_tries = 3;
+  /// Tail-latency hedging: when the primary leg has not answered after
+  /// this long, a second leg is sent to the next live replica and the
+  /// first answer wins (the loser is aborted). 0 disables; < 0 derives the
+  /// delay from the observed p99 of router.try_us (clamped below by
+  /// min_hedge_delay_millis) — the classic "hedge above the tail" policy.
+  int hedge_delay_millis = 0;
+  int min_hedge_delay_millis = 1;
+  /// Idle connections kept per replica.
+  size_t max_pool_per_replica = 8;
+  /// RELOAD round-trip budget (model loads outlast query budgets).
+  int reload_timeout_millis = 30000;
+  /// ROLLING_RELOAD: how long one replica may take to drain its in-flight
+  /// router legs before the rollout aborts.
+  int rolling_drain_millis = 5000;
+
+  // --- Seams ------------------------------------------------------------
+
+  /// Socket seam for the replica links; null = SocketOps::Real(). Not
+  /// owned. Tests substitute the fault-injecting decorator here.
+  SocketOps* socket_ops = nullptr;
+  /// Breaker clock; null = steady_clock::now. Injecting it makes the
+  /// ejection / readmission schedule fully deterministic in tests.
+  std::function<CircuitBreaker::TimePoint()> now_fn;
+  /// Registry the router.* metric family lives in; null => the router
+  /// creates (and owns) its own.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Optional tracer (not owned; must outlive the router): request ->
+  /// try / hedge legs and probe spans.
+  obs::Tracer* tracer = nullptr;
+};
+
+/// Fault-tolerant front tier fanning line-protocol queries over N replica
+/// backends. Plugged into LineProtocolServer as a CommandHandler, so the
+/// router front speaks exactly the protocol the replicas speak:
+///
+///   PREDICT / NEAREST / SIMILAR / TOPIC   forwarded to the fleet
+///   PING / STATSZ / METRICSZ / QUIT       answered locally
+///   ROLLING_RELOAD <model-file>           drain-reload each replica in turn
+///
+/// Routing is consistent hashing on the canonical query key (quantized
+/// concentrations + sorted term bag — the text-level twin of the engine's
+/// CanonicalQueryKey), so each replica's LRU cache stays hot for its key
+/// range. A request whose primary replica is ejected, down, or slow moves
+/// to the next distinct replica on the ring under a per-request try budget
+/// riding the Deadline; optional hedging sends a second leg after a
+/// p99-derived delay and takes the first answer. Replica sickness is
+/// tracked by a per-replica CircuitBreaker fed by probes and data-path
+/// transport failures; ROLLING_RELOAD drains one replica at a time so a
+/// fleet-wide snapshot swap loses zero in-flight queries.
+///
+/// Thread-safe: Handle may be called from any number of connection
+/// threads; the probe thread and ROLLING_RELOAD run concurrently with
+/// traffic.
+class ReplicaRouter : public CommandHandler {
+ public:
+  static StatusOr<std::unique_ptr<ReplicaRouter>> Create(
+      const RouterOptions& options);
+
+  ~ReplicaRouter() override;
+
+  ReplicaRouter(const ReplicaRouter&) = delete;
+  ReplicaRouter& operator=(const ReplicaRouter&) = delete;
+
+  /// Runs one synchronous probe pass (fingerprints + liveness), then
+  /// starts the background probe thread (when probe_interval_millis > 0).
+  Status Start();
+
+  /// Stops probing and closes pooled replica connections. Idempotent.
+  void Stop();
+
+  /// CommandHandler: executes one front-tier protocol line.
+  std::string Handle(const std::string& line, bool* quit,
+                     Deadline deadline) override;
+
+  /// One probe pass over every replica, synchronously on the caller's
+  /// thread. Public so tests (and the selftest smoke) can step the health
+  /// state machine deterministically instead of sleeping.
+  void ProbeAllOnce();
+
+  /// Drains + reloads each replica in turn; returns non-OK if any replica
+  /// failed to drain or reload (replicas already rolled stay on the new
+  /// snapshot — the error text says how far the rollout got).
+  /// `summary` (optional) receives the OK response line.
+  Status RollingReload(const std::string& model_file, std::string* summary);
+
+  /// Point-in-time per-replica view (tests / introspection).
+  struct ReplicaView {
+    int id = 0;
+    ReplicaAddress address;
+    CircuitBreaker::State state = CircuitBreaker::State::kClosed;
+    CircuitBreaker::Stats breaker;
+    bool draining = false;
+    uint64_t inflight = 0;
+    uint32_t fingerprint = 0;  ///< Last observed; 0 = never probed.
+  };
+  std::vector<ReplicaView> GetReplicaViews() const;
+
+  /// Replica candidate order (primary first) the router would use for
+  /// `line`; empty for commands that are not forwarded. Exposed so tests
+  /// can aim a query at a chosen replica without reverse-engineering the
+  /// ring.
+  std::vector<int> CandidatesFor(const std::string& line) const;
+
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+ private:
+  struct Replica;
+  struct Leg;
+
+  explicit ReplicaRouter(const RouterOptions& options);
+
+  CircuitBreaker::TimePoint Now() const;
+  /// Routing key for a forwarded command; error when the command cannot
+  /// even be parsed (answered locally without burning a replica leg).
+  StatusOr<std::string> RoutingKeyFor(
+      const std::vector<std::string>& tokens) const;
+
+  /// Next candidate (from `candidates`, advancing `*cursor`) that is not
+  /// draining and whose breaker admits a call now; the replica's inflight
+  /// count is already raised when this returns (the draining check and the
+  /// count move together under inflight_mu_, so ROLLING_RELOAD's drain can
+  /// never miss a leg selected concurrently). *was_trial is set when the
+  /// admission was the breaker's half-open trial — that leg must report an
+  /// outcome even if it is later abandoned. Null when exhausted.
+  Replica* NextEligible(const std::vector<int>& candidates, size_t* cursor,
+                        bool* was_trial);
+
+  StatusOr<std::unique_ptr<LineClient>> CheckoutConnection(
+      Replica& replica);
+  void ReturnConnection(Replica& replica, std::unique_ptr<LineClient> conn);
+
+  /// One leg: checkout -> round trip -> breaker + latency bookkeeping.
+  /// Runs inline (no hedge) or on a leg thread (hedged).
+  void RunLeg(Leg& leg, Deadline try_deadline);
+
+  /// Full forward path: candidate walk, retries, hedging.
+  StatusOr<std::string> ForwardLine(const std::string& line,
+                                    const std::string& key,
+                                    Deadline deadline);
+
+  void ProbeReplica(Replica& replica);
+  /// Drains one replica, then RELOADs it over a fresh control connection.
+  Status ReloadOneReplica(Replica& replica, const std::string& model_file,
+                          std::vector<uint32_t>* fingerprints);
+  int HedgeDelayMillis() const;
+  std::string RenderStatsz() const;
+  std::string MetricszJson() const;
+  static std::string Err(const Status& status);
+
+  const RouterOptions options_;
+  SocketOps* ops_;  ///< Not owned.
+  HashRing ring_;   ///< Immutable after Create.
+  std::vector<std::unique_ptr<Replica>> replicas_;  ///< Immutable vector.
+
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* hedges_ = nullptr;
+  obs::Counter* hedge_wins_ = nullptr;
+  obs::Counter* breaker_skips_ = nullptr;
+  obs::Counter* breaker_trips_ = nullptr;
+  obs::Counter* breaker_half_open_ = nullptr;
+  obs::Counter* breaker_recoveries_ = nullptr;
+  obs::Counter* probes_ = nullptr;
+  obs::Counter* probe_failures_ = nullptr;
+  obs::Counter* rolling_reloads_ = nullptr;
+  obs::Counter* rolling_reload_failures_ = nullptr;
+  obs::Counter* unavailable_ = nullptr;
+  obs::Counter* answered_ = nullptr;
+  LatencyHistogram* try_latency_ = nullptr;
+  LatencyHistogram* request_latency_ = nullptr;
+
+  /// Signals every in-flight-leg count change (ROLLING_RELOAD's per-replica
+  /// drain waits on it).
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+
+  std::mutex reload_mu_;  ///< One rolling reload at a time.
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;  // Guarded by stop_mu_.
+  bool stopped_ = false;   // Guarded by stop_mu_.
+  std::thread probe_thread_;
+};
+
+}  // namespace texrheo::serve
+
+#endif  // TEXRHEO_SERVE_ROUTER_H_

@@ -1,0 +1,186 @@
+// texrheo_router: fault-tolerant front tier over N texrheo_serve replicas.
+//
+//   texrheo_router --replicas=127.0.0.1:7334,127.0.0.1:7335 [--port=7333]
+//
+// The router speaks the same line protocol as the replicas (PREDICT /
+// NEAREST / SIMILAR / TOPIC forwarded; PING / STATSZ / METRICSZ local;
+// ROLLING_RELOAD <model-file> drains and reloads the fleet one replica at
+// a time), so existing clients point at the router unchanged.
+//
+// Fleet knobs (defaults in serve/router.h):
+//   --max-tries=N            legs per request across distinct replicas
+//   --hedge-delay-ms=N       tail hedging: 0 off, -1 auto (p99-derived),
+//                            >0 fixed delay before the second leg
+//   --probe-interval-ms=N    health-probe cadence (METRICSZ per replica)
+//   --replica-timeout-ms=N   per-leg round-trip budget
+//   --breaker-failures=N     consecutive failures that eject a replica
+//   --breaker-cooldown-ms=N  ejection cooldown before a readmission trial
+//   --cache-quantum=X        must match the replicas' cache_quantum
+//
+// Front-socket robustness flags mirror texrheo_serve:
+//   --idle-timeout-ms / --request-deadline-ms / --max-connections /
+//   --max-line-bytes / --drain-deadline-ms
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/router.h"
+#include "serve/server.h"
+#include "util/flags.h"
+
+namespace {
+
+using texrheo::Status;
+using texrheo::StatusOr;
+
+StatusOr<std::vector<texrheo::serve::ReplicaAddress>> ParseReplicas(
+    const std::string& spec) {
+  std::vector<texrheo::serve::ReplicaAddress> replicas;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > start) {
+      const std::string entry = spec.substr(start, comma - start);
+      size_t colon = entry.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= entry.size()) {
+        return Status::InvalidArgument("bad replica '" + entry +
+                                       "' (expected host:port)");
+      }
+      texrheo::serve::ReplicaAddress address;
+      address.host = entry.substr(0, colon);
+      char* end = nullptr;
+      long port = std::strtol(entry.c_str() + colon + 1, &end, 10);
+      if (*end != '\0' || port <= 0 || port > 65535) {
+        return Status::InvalidArgument("bad replica port in '" + entry + "'");
+      }
+      address.port = static_cast<int>(port);
+      replicas.push_back(std::move(address));
+    }
+    start = comma + 1;
+  }
+  if (replicas.empty()) {
+    return Status::InvalidArgument("--replicas lists no host:port entries");
+  }
+  return replicas;
+}
+
+int Main(int argc, char** argv) {
+  texrheo::FlagParser flags;
+  Status parse = flags.Parse(argc, argv);
+  if (!parse.ok()) {
+    std::fprintf(stderr, "%s\n", parse.ToString().c_str());
+    return 2;
+  }
+  const std::string replicas_spec = flags.GetString("replicas", "");
+  if (replicas_spec.empty()) {
+    std::fprintf(stderr,
+                 "usage: texrheo_router --replicas=host:port[,host:port...] "
+                 "[--port=N]\n");
+    return 2;
+  }
+  StatusOr<std::vector<texrheo::serve::ReplicaAddress>> replicas_or =
+      ParseReplicas(replicas_spec);
+  if (!replicas_or.ok()) {
+    std::fprintf(stderr, "%s\n", replicas_or.status().ToString().c_str());
+    return 2;
+  }
+
+  texrheo::serve::RouterOptions router_options;
+  router_options.replicas = std::move(replicas_or).value();
+  auto port_or = flags.GetInt("port", 7333);
+  auto max_tries_or = flags.GetInt("max-tries", router_options.max_tries);
+  auto hedge_or =
+      flags.GetInt("hedge-delay-ms", router_options.hedge_delay_millis);
+  auto probe_or =
+      flags.GetInt("probe-interval-ms", router_options.probe_interval_millis);
+  auto replica_timeout_or = flags.GetInt(
+      "replica-timeout-ms", router_options.replica_io_timeout_millis);
+  auto breaker_failures_or = flags.GetInt(
+      "breaker-failures", router_options.breaker.failure_threshold);
+  auto breaker_cooldown_or = flags.GetInt(
+      "breaker-cooldown-ms", router_options.breaker.cooldown_millis);
+  auto quantum_or =
+      flags.GetDouble("cache-quantum", router_options.cache_quantum);
+  if (!port_or.ok() || !max_tries_or.ok() || !hedge_or.ok() ||
+      !probe_or.ok() || !replica_timeout_or.ok() ||
+      !breaker_failures_or.ok() || !breaker_cooldown_or.ok() ||
+      !quantum_or.ok()) {
+    std::fprintf(stderr, "bad fleet flag (expected number)\n");
+    return 2;
+  }
+  router_options.max_tries = static_cast<int>(*max_tries_or);
+  router_options.hedge_delay_millis = static_cast<int>(*hedge_or);
+  router_options.probe_interval_millis = static_cast<int>(*probe_or);
+  router_options.replica_io_timeout_millis =
+      static_cast<int>(*replica_timeout_or);
+  router_options.breaker.failure_threshold =
+      static_cast<int>(*breaker_failures_or);
+  router_options.breaker.cooldown_millis =
+      static_cast<int>(*breaker_cooldown_or);
+  router_options.cache_quantum = *quantum_or;
+
+  auto router_or = texrheo::serve::ReplicaRouter::Create(router_options);
+  if (!router_or.ok()) {
+    std::fprintf(stderr, "router: %s\n",
+                 router_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<texrheo::serve::ReplicaRouter> router =
+      std::move(router_or).value();
+  Status router_started = router->Start();
+  if (!router_started.ok()) {
+    std::fprintf(stderr, "router: %s\n", router_started.ToString().c_str());
+    return 1;
+  }
+
+  texrheo::serve::ServerOptions server_options;
+  server_options.port = static_cast<int>(*port_or);
+  auto idle_or =
+      flags.GetInt("idle-timeout-ms", server_options.idle_timeout_millis);
+  auto deadline_or = flags.GetInt("request-deadline-ms",
+                                  server_options.request_deadline_millis);
+  auto max_conns_or = flags.GetInt(
+      "max-connections", static_cast<int64_t>(server_options.max_connections));
+  auto max_line_or = flags.GetInt(
+      "max-line-bytes", static_cast<int64_t>(server_options.max_line_bytes));
+  auto drain_or =
+      flags.GetInt("drain-deadline-ms", server_options.drain_deadline_millis);
+  if (!idle_or.ok() || !deadline_or.ok() || !max_conns_or.ok() ||
+      !max_line_or.ok() || !drain_or.ok()) {
+    std::fprintf(stderr, "bad robustness flag (expected integer)\n");
+    return 2;
+  }
+  server_options.idle_timeout_millis = static_cast<int>(*idle_or);
+  server_options.request_deadline_millis = static_cast<int>(*deadline_or);
+  server_options.max_connections =
+      static_cast<size_t>(std::max<int64_t>(1, *max_conns_or));
+  server_options.max_line_bytes =
+      static_cast<size_t>(std::max<int64_t>(64, *max_line_or));
+  server_options.drain_deadline_millis = static_cast<int>(*drain_or);
+
+  texrheo::serve::LineProtocolServer server(router.get(), router->metrics(),
+                                            server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("texrheo_router listening on 127.0.0.1:%d (%zu replicas)\n",
+              server.port(), router_options.replicas.size());
+  std::fflush(stdout);
+
+  // Foreground serve: block until killed (ctrl-C).
+  for (;;) pause();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -35,6 +35,7 @@
 #include "obs/trace.h"
 #include "recipe/dataset.h"
 #include "serve/query_engine.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "util/flags.h"
@@ -65,11 +66,15 @@ StatusOr<LoadedModel> LoadToy(double scale, const std::string& dump_dir) {
   texrheo::core::ModelSnapshot model = texrheo::core::MakeSnapshot(
       result.estimates, result.dataset.term_vocab);
   if (!dump_dir.empty()) {
-    loaded.model_file = dump_dir + "/texrheo_serve_toy_model.txt";
+    // Per-process filename: a replica fleet started from the README's
+    // multi-instance recipe must not race on one shared dump path (the
+    // atomic-rename tmp files collide and the loser dies at startup).
+    const std::string base = dump_dir + "/texrheo_serve_toy_model." +
+                             std::to_string(static_cast<long>(getpid()));
+    loaded.model_file = base + ".txt";
     TEXRHEO_RETURN_IF_ERROR(
         texrheo::core::SaveModel(loaded.model_file, model));
     // Pack the binary twin so selftest exercises the mmap reload path too.
-    std::string base = dump_dir + "/texrheo_serve_toy_model";
     TEXRHEO_RETURN_IF_ERROR(texrheo::core::WriteModelBinary(model, base));
     loaded.binary_idx = base + ".idx";
   }
@@ -182,6 +187,71 @@ Status RunSelftest(int port, const std::string& reload_file,
                             metricsz);
   }
   TEXRHEO_RETURN_IF_ERROR(expect_ok("QUIT"));
+  return Status::OK();
+}
+
+/// Fleet smoke for the router front tier: three in-process replicas
+/// serving the toy snapshot behind a ReplicaRouter. Proves the failover
+/// story end to end — queries answer through the full fleet, keep
+/// answering after one replica is killed (retry + breaker ejection, probe
+/// stepped manually), and the ejection is visible in the router's
+/// METRICSZ fleet object.
+Status RunRouterSmoke(
+    std::shared_ptr<const texrheo::serve::ServingSnapshot> snapshot) {
+  using texrheo::serve::LineProtocolServer;
+  using texrheo::serve::QueryEngine;
+  struct Replica {
+    std::unique_ptr<QueryEngine> engine;
+    std::unique_ptr<LineProtocolServer> server;
+  };
+  std::vector<Replica> fleet(3);
+  texrheo::serve::RouterOptions router_options;
+  for (Replica& replica : fleet) {
+    texrheo::serve::QueryEngineConfig config;
+    config.batch_linger_micros = 0;
+    TEXRHEO_ASSIGN_OR_RETURN(replica.engine,
+                             QueryEngine::Create(config, snapshot, nullptr));
+    replica.server = std::make_unique<LineProtocolServer>(
+        replica.engine.get(), texrheo::serve::ServerOptions{});
+    TEXRHEO_RETURN_IF_ERROR(replica.server->Start());
+    router_options.replicas.push_back({"127.0.0.1", replica.server->port()});
+  }
+  router_options.probe_interval_millis = 0;  // Smoke steps probes manually.
+  router_options.breaker.failure_threshold = 1;
+  TEXRHEO_ASSIGN_OR_RETURN(
+      std::unique_ptr<texrheo::serve::ReplicaRouter> router,
+      texrheo::serve::ReplicaRouter::Create(router_options));
+  TEXRHEO_RETURN_IF_ERROR(router->Start());
+  bool quit = false;
+  auto route_ok = [&](const std::string& command) -> Status {
+    std::string reply =
+        router->Handle(command, &quit, texrheo::serve::kNoDeadline);
+    if (reply.rfind("OK", 0) != 0) {
+      return Status::Internal("router smoke: '" + command + "' -> " + reply);
+    }
+    TEXRHEO_LOG(Info) << "router: " << command << " -> " << reply;
+    return Status::OK();
+  };
+  TEXRHEO_RETURN_IF_ERROR(route_ok("PREDICT gelatin=0.012 terms=jiggly"));
+  // Kill one replica: the next probe pass ejects it (threshold 1) and
+  // queries keep answering through the survivors.
+  fleet[2].server->Stop();
+  router->ProbeAllOnce();
+  TEXRHEO_RETURN_IF_ERROR(route_ok("PREDICT gelatin=0.02 terms=smooth"));
+  TEXRHEO_RETURN_IF_ERROR(route_ok("NEAREST 0"));
+  std::string metricsz =
+      router->Handle("METRICSZ", &quit, texrheo::serve::kNoDeadline);
+  TEXRHEO_ASSIGN_OR_RETURN(texrheo::JsonValue metrics,
+                           texrheo::JsonValue::Parse(metricsz));
+  const texrheo::JsonValue* fleet_obj = metrics.Find("fleet");
+  if (fleet_obj == nullptr || fleet_obj->Find("healthy") == nullptr ||
+      fleet_obj->Find("healthy")->AsNumber() != 2.0) {
+    return Status::Internal(
+        "router smoke: METRICSZ fleet does not show the ejection:\n" +
+        metricsz);
+  }
+  TEXRHEO_LOG(Info) << "router: one replica ejected, fleet.healthy=2";
+  router->Stop();
   return Status::OK();
 }
 
@@ -302,6 +372,7 @@ int Main(int argc, char** argv) {
   if (selftest) {
     Status result =
         RunSelftest(server.port(), loaded.model_file, loaded.binary_idx);
+    if (result.ok()) result = RunRouterSmoke(loaded.snapshot);
     server.Stop();
     if (!result.ok()) {
       std::fprintf(stderr, "SELFTEST FAILED: %s\n",

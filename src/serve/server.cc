@@ -15,6 +15,8 @@
 #include <sstream>
 #include <utility>
 
+#include "serve/protocol.h"
+
 namespace texrheo::serve {
 
 namespace {
@@ -27,94 +29,6 @@ using std::chrono::steady_clock;
 /// and idle-reap precision stay well under any configured timeout.
 constexpr int kPollSliceMillis = 50;
 
-std::vector<std::string> SplitTokens(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream in(line);
-  std::string token;
-  while (in >> token) tokens.push_back(std::move(token));
-  return tokens;
-}
-
-std::vector<std::string> SplitCommas(const std::string& s) {
-  std::vector<std::string> parts;
-  size_t start = 0;
-  while (start <= s.size()) {
-    size_t comma = s.find(',', start);
-    if (comma == std::string::npos) comma = s.size();
-    if (comma > start) parts.push_back(s.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return parts;
-}
-
-/// Parses "name=ratio,name=ratio" ("-" = none) into ingredient pairs.
-StatusOr<std::vector<std::pair<std::string, double>>> ParseIngredients(
-    const std::string& spec) {
-  std::vector<std::pair<std::string, double>> out;
-  if (spec == "-") return out;
-  for (const std::string& part : SplitCommas(spec)) {
-    size_t eq = part.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      return Status::InvalidArgument("expected name=ratio, got '" + part +
-                                     "'");
-    }
-    char* end = nullptr;
-    double value = std::strtod(part.c_str() + eq + 1, &end);
-    if (end == part.c_str() + eq + 1 || *end != '\0') {
-      return Status::InvalidArgument("bad ratio in '" + part + "'");
-    }
-    out.emplace_back(part.substr(0, eq), value);
-  }
-  return out;
-}
-
-/// Builds a TextureQuery from positional <ingredients> plus key=value
-/// options (terms=..., n=...).
-StatusOr<TextureQuery> ParseQuery(const std::vector<std::string>& tokens,
-                                  size_t* top_n) {
-  if (tokens.size() < 2) {
-    return Status::InvalidArgument("usage: " + tokens[0] +
-                                   " <name=ratio,...|-> [terms=a,b] [n=N]");
-  }
-  std::vector<std::string> terms;
-  if (top_n != nullptr) *top_n = 0;
-  for (size_t i = 2; i < tokens.size(); ++i) {
-    const std::string& opt = tokens[i];
-    if (opt.rfind("terms=", 0) == 0) {
-      terms = SplitCommas(opt.substr(6));
-    } else if (top_n != nullptr && opt.rfind("n=", 0) == 0) {
-      *top_n = static_cast<size_t>(std::strtoul(opt.c_str() + 2, nullptr, 10));
-    } else {
-      return Status::InvalidArgument("unknown option '" + opt + "'");
-    }
-  }
-  TEXRHEO_ASSIGN_OR_RETURN(auto ingredients, ParseIngredients(tokens[1]));
-  return QueryFromIngredients(ingredients, std::move(terms));
-}
-
-StatusOr<int> ParseTopic(const std::string& token) {
-  char* end = nullptr;
-  long topic = std::strtol(token.c_str(), &end, 10);
-  if (end == token.c_str() || *end != '\0') {
-    return Status::InvalidArgument("bad topic index '" + token + "'");
-  }
-  return static_cast<int>(topic);
-}
-
-StatusOr<core::LinkageMethod> ParseMethod(const std::string& name) {
-  if (name == "gaussian-kl") return core::LinkageMethod::kGaussianKL;
-  if (name == "neg-log-density") return core::LinkageMethod::kNegLogDensity;
-  if (name == "mahalanobis") return core::LinkageMethod::kMahalanobis;
-  if (name == "euclidean") return core::LinkageMethod::kEuclidean;
-  return Status::InvalidArgument("unknown linkage method '" + name + "'");
-}
-
-void AppendF(std::string* out, const char* fmt, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), fmt, v);
-  *out += buf;
-}
-
 long MillisSince(steady_clock::time_point start) {
   return std::chrono::duration_cast<milliseconds>(steady_clock::now() - start)
       .count();
@@ -124,16 +38,27 @@ long MillisSince(steady_clock::time_point start) {
 
 LineProtocolServer::LineProtocolServer(QueryEngine* engine,
                                        const ServerOptions& options)
+    : LineProtocolServer(engine, nullptr, engine->metrics(), options) {}
+
+LineProtocolServer::LineProtocolServer(CommandHandler* handler,
+                                       obs::MetricsRegistry* metrics,
+                                       const ServerOptions& options)
+    : LineProtocolServer(nullptr, handler, metrics, options) {}
+
+LineProtocolServer::LineProtocolServer(QueryEngine* engine,
+                                       CommandHandler* handler,
+                                       obs::MetricsRegistry* metrics,
+                                       const ServerOptions& options)
     : engine_(engine),
+      handler_(handler),
       options_(options),
       ops_(options.socket_ops != nullptr ? options.socket_ops
                                          : &SocketOps::Real()),
       reload_breaker_(CircuitBreaker::Options{
           options.reload_failure_threshold, options.reload_cooldown_millis}) {
-  // All server counters live in the engine's registry so one snapshot
-  // covers the whole serving stack. received before completed = the
-  // monotone-consistency pair (see header).
-  obs::MetricsRegistry* metrics = engine_->metrics();
+  // All server counters live in one registry (the engine's in engine mode)
+  // so one snapshot covers the whole serving stack. received before
+  // completed = the monotone-consistency pair (see header).
   requests_received_ = metrics->RegisterCounter("serve.server.requests_received");
   connections_accepted_ =
       metrics->RegisterCounter("serve.server.connections_accepted");
@@ -152,6 +77,20 @@ LineProtocolServer::LineProtocolServer(QueryEngine* engine,
   current_connections_ =
       metrics->RegisterGauge("serve.server.current_connections");
   peak_connections_ = metrics->RegisterGauge("serve.server.peak_connections");
+  if (engine_ != nullptr) {
+    // Surface the reload breaker's transitions as counters (not just the
+    // STATSZ text section) so METRICSZ consumers see ejections. Counter
+    // increments are lock-free, which is what SetListeners requires.
+    obs::Counter* trips = metrics->RegisterCounter("serve.breaker.trips");
+    obs::Counter* trials =
+        metrics->RegisterCounter("serve.breaker.half_open_trials");
+    obs::Counter* recoveries =
+        metrics->RegisterCounter("serve.breaker.recoveries");
+    reload_breaker_.SetListeners(CircuitBreaker::TransitionListeners{
+        [trips] { trips->Increment(); },
+        [trials] { trials->Increment(); },
+        [recoveries] { recoveries->Increment(); }});
+  }
 }
 
 LineProtocolServer::~LineProtocolServer() { Stop(); }
@@ -489,10 +428,13 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
     obs::TraceSpan span;  ///< Root "request" span; ends with the scope.
     ~RequestScope() { completed->Increment(); }
   } scope{requests_completed_, {}};
+  // Handler mode: the handler owns the whole command surface (including
+  // its own tracing); the server contributes only the counter pair above.
+  if (handler_ != nullptr) return handler_->Handle(line, quit, deadline);
   obs::Tracer* tracer = engine_->tracer();
   if (tracer != nullptr) scope.span = tracer->StartSpan("request");
   const uint64_t trace_parent = scope.span.span_id();
-  std::vector<std::string> tokens = SplitTokens(line);
+  std::vector<std::string> tokens = SplitProtocolTokens(line);
   if (tokens.empty()) return Err(Status::InvalidArgument("empty command"));
   const std::string& cmd = tokens[0];
 
@@ -503,7 +445,7 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
   }
 
   if (cmd == "PREDICT") {
-    auto query_or = ParseQuery(tokens, nullptr);
+    auto query_or = ParseQueryCommand(tokens, nullptr);
     if (!query_or.ok()) return Err(query_or.status());
     auto prediction_or =
         engine_->PredictTexture(*query_or, deadline, trace_parent);
@@ -512,22 +454,22 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
     std::string out = "OK topic=" + std::to_string(p.topic) +
                       " cached=" + (p.from_cache ? "1" : "0");
     out += " hard=";
-    AppendF(&out, "%.4f", p.categories.hard);
+    AppendFixed(&out, "%.4f", p.categories.hard);
     out += " soft=";
-    AppendF(&out, "%.4f", p.categories.soft);
+    AppendFixed(&out, "%.4f", p.categories.soft);
     out += " elastic=";
-    AppendF(&out, "%.4f", p.categories.elastic);
+    AppendFixed(&out, "%.4f", p.categories.elastic);
     out += " crumbly=";
-    AppendF(&out, "%.4f", p.categories.crumbly);
+    AppendFixed(&out, "%.4f", p.categories.crumbly);
     out += " sticky=";
-    AppendF(&out, "%.4f", p.categories.sticky);
+    AppendFixed(&out, "%.4f", p.categories.sticky);
     out += " dry=";
-    AppendF(&out, "%.4f", p.categories.dry);
+    AppendFixed(&out, "%.4f", p.categories.dry);
     out += " top=";
     for (size_t i = 0; i < p.top_terms.size(); ++i) {
       if (i > 0) out += ',';
       out += p.top_terms[i].first + ':';
-      AppendF(&out, "%.4f", p.top_terms[i].second);
+      AppendFixed(&out, "%.4f", p.top_terms[i].second);
     }
     return out;
   }
@@ -537,7 +479,7 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
       return Err(
           Status::InvalidArgument("usage: NEAREST <topic> [method=...]"));
     }
-    auto topic_or = ParseTopic(tokens[1]);
+    auto topic_or = ParseTopicIndex(tokens[1]);
     if (!topic_or.ok()) return Err(topic_or.status());
     core::LinkageOptions options = engine_->config().linkage;
     const core::LinkageOptions* options_ptr = nullptr;
@@ -546,7 +488,7 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
         return Err(
             Status::InvalidArgument("unknown option '" + tokens[2] + "'"));
       }
-      auto method_or = ParseMethod(tokens[2].substr(7));
+      auto method_or = ParseLinkageMethod(tokens[2].substr(7));
       if (!method_or.ok()) return Err(method_or.status());
       options.method = *method_or;
       options_ptr = &options;
@@ -558,14 +500,14 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
     for (size_t i = 0; i < rows; ++i) {
       const RheologyMatch& m = (*matches_or)[i];
       out += " setting=" + std::to_string(m.setting_id) + ":";
-      AppendF(&out, "%.4f", m.divergence);
+      AppendFixed(&out, "%.4f", m.divergence);
     }
     return out;
   }
 
   if (cmd == "SIMILAR") {
     size_t top_n = 0;
-    auto query_or = ParseQuery(tokens, &top_n);
+    auto query_or = ParseQueryCommand(tokens, &top_n);
     if (!query_or.ok()) return Err(query_or.status());
     auto result_or =
         engine_->SimilarRecipes(*query_or, top_n, deadline, trace_parent);
@@ -577,7 +519,7 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
     for (size_t i = 0; i < rows; ++i) {
       if (i > 0) out += ',';
       out += std::to_string(result_or->recipes[i].recipe_index) + ':';
-      AppendF(&out, "%.4f", result_or->recipes[i].divergence);
+      AppendFixed(&out, "%.4f", result_or->recipes[i].divergence);
     }
     return out;
   }
@@ -586,7 +528,7 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
     if (tokens.size() < 2) {
       return Err(Status::InvalidArgument("usage: TOPIC <k>"));
     }
-    auto topic_or = ParseTopic(tokens[1]);
+    auto topic_or = ParseTopicIndex(tokens[1]);
     if (!topic_or.ok()) return Err(topic_or.status());
     auto card_or = engine_->TopicCard(*topic_or);
     if (!card_or.ok()) return Err(card_or.status());
@@ -596,12 +538,12 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
     for (size_t i = 0; i < card_or->top_terms.size(); ++i) {
       if (i > 0) out += ',';
       out += card_or->top_terms[i].first + ':';
-      AppendF(&out, "%.4f", card_or->top_terms[i].second);
+      AppendFixed(&out, "%.4f", card_or->top_terms[i].second);
     }
     out += " gel=";
     for (size_t i = 0; i < card_or->gel_mean_concentration.size(); ++i) {
       if (i > 0) out += ',';
-      AppendF(&out, "%.5f", card_or->gel_mean_concentration[i]);
+      AppendFixed(&out, "%.5f", card_or->gel_mean_concentration[i]);
     }
     return out;
   }
@@ -695,7 +637,12 @@ StatusOr<std::unique_ptr<LineClient>> LineClient::Connect(
                            err == ETIMEDOUT || err == EINTR ||
                            err == EAGAIN || err == ENETUNREACH;
     if (!transient) {
-      return Status::Internal(std::string("connect: ") + std::strerror(err));
+      // Still Unavailable, not Internal: whatever the errno, the peer is
+      // unreachable — a router must treat it as "this replica is down"
+      // (retry elsewhere now), never as a caller bug. Only retrying *here*
+      // is pointless, hence no backoff loop.
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(err));
     }
     last = Status::Unavailable(std::string("connect: ") + std::strerror(err) +
                                " (attempt " + std::to_string(attempt + 1) +
@@ -711,6 +658,14 @@ void LineClient::Close() {
     ops_->Close(fd_);
     fd_ = -1;
   }
+}
+
+void LineClient::Abort() {
+  // shutdown, not close: the fd stays allocated (no reuse race with the
+  // thread still blocked in poll/recv on it), but every pending and future
+  // I/O on it fails promptly. fd_ itself is only ever written by the owner
+  // thread (ctor / Close), so this cross-thread read is race-free.
+  if (fd_ >= 0) ops_->Shutdown(fd_, SHUT_RDWR);
 }
 
 Status LineClient::WaitReady(short events, Deadline deadline) {
@@ -753,7 +708,8 @@ Status LineClient::SendWithDeadline(const std::string& payload,
       TEXRHEO_RETURN_IF_ERROR(WaitReady(POLLOUT, deadline));
       continue;
     }
-    return Status::Internal(std::string("send: ") + std::strerror(errno));
+    // EPIPE / ECONNRESET / ...: the connection is gone, not slow.
+    return Status::Unavailable(std::string("send: ") + std::strerror(errno));
   }
   return Status::OK();
 }
@@ -775,7 +731,18 @@ StatusOr<std::string> LineClient::ReadLineWithDeadline(Deadline deadline) {
       continue;
     }
     if (n == 0) {
-      return Status::Internal("connection closed while awaiting response");
+      // Peer closed mid-response. A buffered unterminated line must be
+      // reported and dropped — surfacing a truncated response as data
+      // would hand the caller a silently-corrupt answer.
+      if (!buffer_.empty()) {
+        size_t dropped = buffer_.size();
+        buffer_.clear();
+        return Status::Unavailable(
+            "connection closed mid-response with " +
+            std::to_string(dropped) +
+            " unterminated byte(s) buffered; partial line dropped");
+      }
+      return Status::Unavailable("connection closed while awaiting response");
     }
     if (errno == EINTR) {
       ++stats_.io_retries;
@@ -785,7 +752,7 @@ StatusOr<std::string> LineClient::ReadLineWithDeadline(Deadline deadline) {
       TEXRHEO_RETURN_IF_ERROR(WaitReady(POLLIN, deadline));
       continue;
     }
-    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
   }
 }
 
@@ -801,7 +768,11 @@ StatusOr<std::string> LineClient::ReadLine() {
 
 StatusOr<std::string> LineClient::RoundTrip(const std::string& line) {
   // One budget for the whole exchange, not one per leg.
-  Deadline deadline = DeadlineAfterMillis(options_.io_timeout_millis);
+  return RoundTrip(line, DeadlineAfterMillis(options_.io_timeout_millis));
+}
+
+StatusOr<std::string> LineClient::RoundTrip(const std::string& line,
+                                            Deadline deadline) {
   TEXRHEO_RETURN_IF_ERROR(SendWithDeadline(line + "\n", deadline));
   return ReadLineWithDeadline(deadline);
 }

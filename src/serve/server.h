@@ -18,6 +18,23 @@
 
 namespace texrheo::serve {
 
+/// Executes one protocol line and returns the full response (no trailing
+/// newline; may contain internal newlines, e.g. a multi-line STATSZ page
+/// ending in a lone "."). The seam that lets LineProtocolServer front
+/// anything that speaks the line protocol: a QueryEngine (the built-in
+/// handler below) or a ReplicaRouter fanning commands over a fleet
+/// (serve/router.h). Implementations must be safe to call from many
+/// connection threads at once.
+class CommandHandler {
+ public:
+  virtual ~CommandHandler() = default;
+
+  /// `deadline` is the request's absolute budget (kNoDeadline = unlimited).
+  /// Set *quit to end the connection after the response is flushed.
+  virtual std::string Handle(const std::string& line, bool* quit,
+                             Deadline deadline) = 0;
+};
+
 /// Line protocol spoken by texrheo_serve. One request per line, one
 /// response per line (STATSZ is multi-line, terminated by a lone ".").
 /// Responses start with "OK" or "ERR <StatusCode>:", with one exception:
@@ -80,6 +97,13 @@ struct ServerOptions {
 /// Robustness counters (monotonic unless noted); exported in STATSZ.
 /// Filled from the engine's metrics registry (serve.server.*) — the struct
 /// is a convenience view for in-process callers, not a second store.
+///
+/// The reload breaker's state machine is additionally exported through the
+/// registry (so METRICSZ consumers see ejections, not just the STATSZ text
+/// section); names kept in sync with ci/metricsz_schema.jq:
+///   serve.breaker.trips             transitions into kOpen
+///   serve.breaker.half_open_trials  cooldown-elapsed trial admissions
+///   serve.breaker.recoveries        half-open trials that reclosed
 struct ServerStats {
   uint64_t requests_received = 0;   ///< Protocol lines entered HandleCommand.
   uint64_t requests_completed = 0;  ///< ... and produced a response.
@@ -112,8 +136,18 @@ struct ServerStats {
 /// response that was computed is never dropped by a drain.
 class LineProtocolServer {
  public:
-  /// `engine` must outlive the server.
+  /// `engine` must outlive the server. Commands run through the built-in
+  /// engine protocol; serve.server.* and serve.breaker.* metrics register
+  /// in the engine's registry.
   LineProtocolServer(QueryEngine* engine, const ServerOptions& options);
+
+  /// Fronts an arbitrary CommandHandler (the router path). `handler` and
+  /// `metrics` must outlive the server; serve.server.* metrics register in
+  /// `metrics`. The handler owns the whole command surface — the server
+  /// contributes only socket I/O, per-connection budgets, and counters.
+  LineProtocolServer(CommandHandler* handler, obs::MetricsRegistry* metrics,
+                     const ServerOptions& options);
+
   ~LineProtocolServer();
 
   LineProtocolServer(const LineProtocolServer&) = delete;
@@ -143,6 +177,10 @@ class LineProtocolServer {
                             Deadline deadline = kNoDeadline);
 
  private:
+  LineProtocolServer(QueryEngine* engine, CommandHandler* handler,
+                     obs::MetricsRegistry* metrics,
+                     const ServerOptions& options);
+
   void AcceptLoop();
   void HandleConnection(int fd);
   /// Writes all of `data`, looping over partial sends and EINTR, waiting
@@ -156,7 +194,8 @@ class LineProtocolServer {
   std::string StatszSection(const obs::MetricsSnapshot& snap) const;
   void DeregisterConnection(int fd);
 
-  QueryEngine* engine_;  ///< Not owned.
+  QueryEngine* engine_;      ///< Not owned; null in handler mode.
+  CommandHandler* handler_;  ///< Not owned; null in engine mode.
   const ServerOptions options_;
   SocketOps* ops_;  ///< Not owned.
 
@@ -213,8 +252,18 @@ struct LineClientOptions {
   SocketOps* socket_ops = nullptr;
 };
 
-/// Minimal blocking client for the line protocol; used by tests and the
-/// --selftest mode of texrheo_serve.
+/// Minimal blocking client for the line protocol; used by tests, the
+/// --selftest mode of texrheo_serve, and the router's replica links.
+///
+/// Status-code contract (the router's retry policy is built on it):
+///  - connect-phase failures -> Unavailable ("replica down": trying the
+///    next replica immediately is safe and costs nothing),
+///  - per-round-trip budget exhausted -> DeadlineExceeded ("replica slow":
+///    retrying elsewhere only makes sense if the request's own budget
+///    still allows it),
+///  - mid-stream close / reset -> Unavailable; when the peer closes with
+///    an unterminated partial line buffered, the Status says so and the
+///    partial bytes are dropped, never surfaced as a response.
 class LineClient {
  public:
   struct Stats {
@@ -235,10 +284,21 @@ class LineClient {
   StatusOr<std::string> ReadLine();
   /// SendLine + ReadLine under one io_timeout budget.
   StatusOr<std::string> RoundTrip(const std::string& line);
+  /// RoundTrip under an explicit absolute deadline instead of the client's
+  /// io_timeout (how the router threads per-request / per-probe budgets
+  /// through pooled connections).
+  StatusOr<std::string> RoundTrip(const std::string& line, Deadline deadline);
   /// Reads lines until a lone "."; returns them joined by '\n' (for STATSZ).
   StatusOr<std::string> ReadUntilDot();
 
   void Close();
+
+  /// Makes a thread blocked inside this client's I/O fail promptly with
+  /// Unavailable by shutting the socket down (recv sees EOF, send sees
+  /// EPIPE). Safe to call from another thread while one thread is inside
+  /// SendLine / ReadLine / RoundTrip — this is how the router cancels the
+  /// losing leg of a hedged request. The client is unusable afterwards.
+  void Abort();
 
   Stats stats() const { return stats_; }
 

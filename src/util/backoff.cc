@@ -15,6 +15,11 @@ double BackoffDelayMillis(const BackoffPolicy& policy, int attempt, Rng& rng) {
   return std::max(0.0, delay);
 }
 
+void CircuitBreaker::SetListeners(TransitionListeners listeners) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_ = std::move(listeners);
+}
+
 bool CircuitBreaker::Allow(TimePoint now) {
   std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
@@ -28,6 +33,7 @@ bool CircuitBreaker::Allow(TimePoint now) {
       state_ = State::kHalfOpen;
       trial_in_flight_ = true;
       ++stats_.half_opened;
+      if (listeners_.on_half_open) listeners_.on_half_open();
       return true;
     }
     case State::kHalfOpen:
@@ -47,6 +53,7 @@ void CircuitBreaker::RecordSuccess() {
     state_ = State::kClosed;
     trial_in_flight_ = false;
     ++stats_.reclosed;
+    if (listeners_.on_reclose) listeners_.on_reclose();
   }
 }
 
@@ -58,6 +65,7 @@ void CircuitBreaker::RecordFailure(TimePoint now) {
     trial_in_flight_ = false;
     opened_at_ = now;
     ++stats_.opened;
+    if (listeners_.on_trip) listeners_.on_trip();
     return;
   }
   if (state_ == State::kClosed) {
@@ -65,6 +73,7 @@ void CircuitBreaker::RecordFailure(TimePoint now) {
       state_ = State::kOpen;
       opened_at_ = now;
       ++stats_.opened;
+      if (listeners_.on_trip) listeners_.on_trip();
     }
   }
 }

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 
 #include "util/rng.h"
@@ -58,7 +59,26 @@ class CircuitBreaker {
     uint64_t reclosed = 0;  ///< Half-open trials that succeeded.
   };
 
+  /// Transition hooks, fired exactly once per state transition (on_trip on
+  /// every -> kOpen, on_half_open on kOpen -> kHalfOpen, on_reclose on
+  /// kHalfOpen -> kClosed). Invoked while the breaker's mutex is held, so
+  /// listeners must be lock-free and must not call back into the breaker —
+  /// obs::Counter::Increment (the intended consumer: breaker transitions
+  /// surfaced through MetricsRegistry / METRICSZ) qualifies. Unset hooks
+  /// are skipped. util cannot depend on obs, hence callbacks rather than
+  /// counter handles.
+  struct TransitionListeners {
+    std::function<void()> on_trip;
+    std::function<void()> on_half_open;
+    std::function<void()> on_reclose;
+  };
+
   explicit CircuitBreaker(const Options& options) : options_(options) {}
+
+  /// Installs transition hooks. Call before the breaker is shared across
+  /// threads (typically right after construction); replaces any previous
+  /// listeners.
+  void SetListeners(TransitionListeners listeners);
 
   /// True when a call may proceed. An open breaker whose cooldown has
   /// elapsed transitions to half-open here and admits exactly one trial;
@@ -82,6 +102,7 @@ class CircuitBreaker {
   TimePoint opened_at_{};         // Guarded by mu_.
   bool trial_in_flight_ = false;  // Guarded by mu_.
   Stats stats_;                   // Guarded by mu_.
+  TransitionListeners listeners_;  // Guarded by mu_.
 };
 
 }  // namespace texrheo

@@ -1,0 +1,80 @@
+#include "util/hash_ring.h"
+
+#include <algorithm>
+
+namespace texrheo {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes < 1 ? 1 : vnodes) {}
+
+void HashRing::AddNode(int node_id, std::string_view label) {
+  std::string point_label(label);
+  point_label += '#';
+  const size_t base = point_label.size();
+  // Re-adding an existing node would double its arc share; ignore.
+  for (const Point& p : points_) {
+    if (p.node_id == node_id) return;
+  }
+  points_.reserve(points_.size() + static_cast<size_t>(vnodes_));
+  for (int i = 0; i < vnodes_; ++i) {
+    point_label.resize(base);
+    point_label += std::to_string(i);
+    points_.push_back(Point{Mix64(Fnv1a64(point_label)), node_id});
+  }
+  std::sort(points_.begin(), points_.end());
+  ++num_nodes_;
+}
+
+void HashRing::RemoveNode(int node_id) {
+  size_t before = points_.size();
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [node_id](const Point& p) {
+                                 return p.node_id == node_id;
+                               }),
+                points_.end());
+  if (points_.size() != before) --num_nodes_;
+}
+
+int HashRing::NodeFor(std::string_view key) const {
+  std::vector<int> nodes = NodesFor(key, 1);
+  return nodes.empty() ? -1 : nodes[0];
+}
+
+std::vector<int> HashRing::NodesFor(std::string_view key,
+                                    size_t max_nodes) const {
+  std::vector<int> out;
+  if (points_.empty() || max_nodes == 0) return out;
+  const uint64_t h = Mix64(Fnv1a64(key));
+  // First point clockwise from h (wrapping past the top of the ring).
+  size_t start = std::lower_bound(points_.begin(), points_.end(),
+                                  Point{h, -1}) -
+                 points_.begin();
+  const size_t want = std::min(max_nodes, num_nodes_);
+  out.reserve(want);
+  for (size_t step = 0; step < points_.size() && out.size() < want; ++step) {
+    int node = points_[(start + step) % points_.size()].node_id;
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+}  // namespace texrheo

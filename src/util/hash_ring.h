@@ -1,0 +1,80 @@
+#ifndef TEXRHEO_UTIL_HASH_RING_H_
+#define TEXRHEO_UTIL_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace texrheo {
+
+/// FNV-1a 64-bit hash. Deterministic across platforms and runs (no
+/// per-process seeding), which is what a consistent-hash ring needs: the
+/// same key must land on the same replica after every router restart, or
+/// every restart cold-starts every replica cache.
+uint64_t Fnv1a64(std::string_view data);
+
+/// 64-bit avalanche finalizer (murmur3 fmix64). FNV-1a alone is too weak
+/// for ring placement: labels sharing a long prefix ("127.0.0.1:<port>")
+/// hash to values whose per-vnode points are near-constant translations of
+/// each other, so one node can end up owning almost the whole ring. The
+/// finalizer decorrelates them while staying fully deterministic.
+uint64_t Mix64(uint64_t x);
+
+/// Consistent-hash ring with virtual nodes.
+///
+/// Each node is placed at `vnodes` points on a 64-bit ring (point i of
+/// node `label` hashes Mix64(Fnv1a64("label#i"))); a key is owned by the
+/// first node point clockwise from the key's hash. Virtual nodes smooth the
+/// load split (with 64 vnodes the max/min owned-arc ratio across a handful
+/// of nodes is within a few tens of percent), and removing a node reassigns only
+/// that node's arcs — the property the serving router relies on: replica
+/// N's LRU cache stays hot for its key range across fleet membership
+/// changes elsewhere.
+///
+/// The ring is a value type and is not internally synchronized. The router
+/// builds it once at startup and never mutates it afterwards (liveness is
+/// a per-replica overlay, not ring membership), so concurrent NodesFor
+/// calls are safe by immutability.
+class HashRing {
+ public:
+  /// `vnodes` points per node; must be >= 1.
+  explicit HashRing(int vnodes = 64);
+
+  /// Places `node_id` on the ring under `label`. Labels must be unique and
+  /// stable (the router uses "host:port"); re-adding a label is ignored.
+  void AddNode(int node_id, std::string_view label);
+
+  /// Removes every point of `node_id`. No-op when absent.
+  void RemoveNode(int node_id);
+
+  bool empty() const { return points_.empty(); }
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Owner of `key`: the ring walk order truncated to one node.
+  /// Returns -1 on an empty ring.
+  int NodeFor(std::string_view key) const;
+
+  /// The first `max_nodes` *distinct* nodes clockwise from `key`'s hash,
+  /// primary owner first. This is the retry / hedge candidate order: a
+  /// request that fails on its primary moves to the next distinct replica,
+  /// deterministically per key.
+  std::vector<int> NodesFor(std::string_view key, size_t max_nodes) const;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int node_id;
+    bool operator<(const Point& other) const {
+      return hash != other.hash ? hash < other.hash : node_id < other.node_id;
+    }
+  };
+
+  const int vnodes_;
+  size_t num_nodes_ = 0;
+  std::vector<Point> points_;  ///< Sorted by hash.
+};
+
+}  // namespace texrheo
+
+#endif  // TEXRHEO_UTIL_HASH_RING_H_

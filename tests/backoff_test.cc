@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <thread>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -140,6 +143,84 @@ TEST(CircuitBreakerTest, TrialFailureReopensForAnotherCooldown) {
   // The cooldown restarts from the trial failure, not the original trip.
   EXPECT_FALSE(breaker.Allow(probe_time + milliseconds(99)));
   EXPECT_TRUE(breaker.Allow(probe_time + milliseconds(101)));
+}
+
+TEST(CircuitBreakerTest, ListenersFireExactlyOncePerTransition) {
+  CircuitBreaker breaker(BreakerOptions());
+  int trips = 0, trials = 0, recoveries = 0;
+  breaker.SetListeners(CircuitBreaker::TransitionListeners{
+      [&] { ++trips; }, [&] { ++trials; }, [&] { ++recoveries; }});
+  auto t0 = steady_clock::now();
+  // Trip (3 failures = one transition, not three callbacks).
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(t0);
+  EXPECT_EQ(trips, 1);
+  EXPECT_EQ(trials, 0);
+  // Rejected calls while open fire nothing.
+  EXPECT_FALSE(breaker.Allow(t0 + milliseconds(50)));
+  EXPECT_EQ(trials, 0);
+  // Cooldown elapsed: one half-open admission, one callback.
+  ASSERT_TRUE(breaker.Allow(t0 + milliseconds(101)));
+  EXPECT_EQ(trials, 1);
+  // Failed trial: re-trip, no recovery.
+  breaker.RecordFailure(t0 + milliseconds(101));
+  EXPECT_EQ(trips, 2);
+  EXPECT_EQ(recoveries, 0);
+  // Second trial succeeds: one recovery.
+  ASSERT_TRUE(breaker.Allow(t0 + milliseconds(210)));
+  breaker.RecordSuccess();
+  EXPECT_EQ(trials, 2);
+  EXPECT_EQ(recoveries, 1);
+  // Steady-state successes fire nothing further.
+  EXPECT_TRUE(breaker.Allow(t0 + milliseconds(220)));
+  breaker.RecordSuccess();
+  EXPECT_EQ(trips, 2);
+  EXPECT_EQ(trials, 2);
+  EXPECT_EQ(recoveries, 1);
+}
+
+TEST(CircuitBreakerTest, ConcurrentCallersKeepStatsConsistent) {
+  // N threads race Allow / RecordSuccess / RecordFailure through trip,
+  // cooldown, and recovery cycles. The exact interleaving is unspecified;
+  // the invariants are not: no crash/race (this is a TSan target in ci.sh),
+  // listener counts match GetStats exactly, and the transition counters
+  // obey the state machine's arithmetic.
+  CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  options.cooldown_millis = 1;  // Real clock: cooldowns elapse mid-test.
+  CircuitBreaker breaker(options);
+  std::atomic<uint64_t> trips{0}, trials{0}, recoveries{0};
+  breaker.SetListeners(CircuitBreaker::TransitionListeners{
+      [&] { trips.fetch_add(1); }, [&] { trials.fetch_add(1); },
+      [&] { recoveries.fetch_add(1); }});
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if (breaker.Allow(steady_clock::now())) {
+          // Mixed outcomes so the breaker cycles through all three states.
+          if ((t + i) % 3 == 0) {
+            breaker.RecordFailure(steady_clock::now());
+          } else {
+            breaker.RecordSuccess();
+          }
+        }
+        breaker.state();     // Concurrent reads must be safe too.
+        breaker.GetStats();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const CircuitBreaker::Stats stats = breaker.GetStats();
+  EXPECT_EQ(stats.opened, trips.load());
+  EXPECT_EQ(stats.half_opened, trials.load());
+  EXPECT_EQ(stats.reclosed, recoveries.load());
+  // Every reclose concluded an admitted trial, and every trial followed a
+  // trip (the breaker cannot half-open more often than it opened).
+  EXPECT_LE(stats.reclosed, stats.half_opened);
+  EXPECT_LE(stats.half_opened, stats.opened);
+  EXPECT_GT(stats.opened, 0u);  // The mix above must actually trip it.
 }
 
 TEST(CircuitBreakerTest, StateNamesAreStable) {

@@ -1,0 +1,143 @@
+// Consistent-hash ring: determinism, full coverage, candidate ordering,
+// and the property the router actually buys with it — removing one node
+// remaps only that node's keys, so a replica ejection does not shuffle the
+// whole fleet's cache affinity.
+
+#include "util/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace texrheo {
+namespace {
+
+TEST(Fnv1a64Test, MatchesReferenceValues) {
+  // Published FNV-1a test vectors: the offset basis for "", and stability
+  // for a known string (routing keys must hash identically forever, or a
+  // binary upgrade silently reshuffles every replica's cache).
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("acb"));
+}
+
+TEST(HashRingTest, EmptyRingHasNoNodes) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.num_nodes(), 0u);
+  EXPECT_TRUE(ring.NodesFor("anything", 3).empty());
+}
+
+TEST(HashRingTest, LookupIsDeterministicAcrossInstances) {
+  auto build = [] {
+    HashRing ring(64);
+    ring.AddNode(0, "r0");
+    ring.AddNode(1, "r1");
+    ring.AddNode(2, "r2");
+    return ring;
+  };
+  HashRing a = build();
+  HashRing b = build();
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(a.NodeFor(key), b.NodeFor(key)) << key;
+    EXPECT_EQ(a.NodesFor(key, 3), b.NodesFor(key, 3)) << key;
+  }
+}
+
+TEST(HashRingTest, EveryNodeOwnsAShare) {
+  HashRing ring(64);
+  for (int n = 0; n < 4; ++n) ring.AddNode(n, "replica-" + std::to_string(n));
+  std::map<int, int> hits;
+  constexpr int kKeys = 4000;
+  for (int i = 0; i < kKeys; ++i) {
+    hits[ring.NodeFor("query-" + std::to_string(i))]++;
+  }
+  ASSERT_EQ(hits.size(), 4u);
+  for (const auto& [node, count] : hits) {
+    // With 64 vnodes the split is rough, not perfect; each node must still
+    // carry a material share (catches a broken successor walk that funnels
+    // everything to one node).
+    EXPECT_GT(count, kKeys / 20) << "node " << node << " starved";
+    EXPECT_LT(count, kKeys * 3 / 4) << "node " << node << " dominates";
+  }
+}
+
+TEST(HashRingTest, CommonPrefixPortLabelsStillBalance) {
+  // The router labels nodes "host:port", and a local fleet shares the
+  // whole "127.0.0.1:" prefix. Raw FNV-1a turns such labels into vnode
+  // point sets that are near-constant translations of each other, which
+  // can hand one node almost the entire ring (observed: one replica owning
+  // all of 30 distinct keys). The Mix64 avalanche finalizer is what breaks
+  // that correlation; sweep many port triples to prove no layout collapses.
+  for (int base = 30000; base < 60000; base += 997) {
+    HashRing ring(64);
+    for (int n = 0; n < 3; ++n) {
+      ring.AddNode(n, "127.0.0.1:" + std::to_string(base + n * 7));
+    }
+    std::map<int, int> hits;
+    for (int k = 1; k <= 60; ++k) {
+      hits[ring.NodeFor("TOPIC|" + std::to_string(k))]++;
+    }
+    ASSERT_EQ(hits.size(), 3u) << "ports from " << base << " starve a node";
+    for (const auto& [node, count] : hits) {
+      EXPECT_LT(count, 50) << "node " << node << " dominates at base "
+                           << base;
+    }
+  }
+}
+
+TEST(HashRingTest, NodesForListsDistinctNodesPrimaryFirst) {
+  HashRing ring(32);
+  for (int n = 0; n < 3; ++n) ring.AddNode(n, "replica-" + std::to_string(n));
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    std::vector<int> order = ring.NodesFor(key, 3);
+    ASSERT_EQ(order.size(), 3u) << key;
+    EXPECT_EQ(order[0], ring.NodeFor(key)) << key;
+    std::set<int> distinct(order.begin(), order.end());
+    EXPECT_EQ(distinct.size(), 3u) << key;  // A failover list, not repeats.
+  }
+  // Asking for more nodes than exist returns them all, once each.
+  EXPECT_EQ(ring.NodesFor("k0", 99).size(), 3u);
+}
+
+TEST(HashRingTest, RemovingANodeRemapsOnlyItsKeys) {
+  HashRing full(64);
+  HashRing reduced(64);
+  for (int n = 0; n < 4; ++n) {
+    full.AddNode(n, "replica-" + std::to_string(n));
+    reduced.AddNode(n, "replica-" + std::to_string(n));
+  }
+  reduced.RemoveNode(2);
+  EXPECT_EQ(reduced.num_nodes(), 3u);
+  int moved = 0, kept = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "stable-key-" + std::to_string(i);
+    const int before = full.NodeFor(key);
+    const int after = reduced.NodeFor(key);
+    EXPECT_NE(after, 2) << key;  // The removed node owns nothing.
+    if (before == 2) {
+      ++moved;  // Its keys must land somewhere else...
+    } else {
+      EXPECT_EQ(after, before) << key;  // ...everyone else's stay put.
+      ++kept;
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_GT(kept, 0);
+}
+
+TEST(HashRingTest, ReAddingSameNodeIdIsIgnored) {
+  HashRing ring(16);
+  ring.AddNode(0, "r0");
+  ring.AddNode(0, "r0-again");
+  EXPECT_EQ(ring.num_nodes(), 1u);
+  EXPECT_EQ(ring.NodeFor("x"), 0);
+}
+
+}  // namespace
+}  // namespace texrheo

@@ -6,8 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -164,6 +170,144 @@ TEST_F(ServerTest, StopWithOpenConnectionsIsClean) {
   // After stop, the next read fails instead of blocking forever.
   auto reply = (*client)->RoundTrip("PING");
   EXPECT_FALSE(reply.ok());
+}
+
+// --- LineClient status-code contract ---------------------------------------
+// The router's retry policy keys on these codes (serve/server.h): connect
+// failures and mid-stream closes are Unavailable, an unresponsive-but-open
+// peer is DeadlineExceeded. These tests pin the contract with a raw TCP
+// peer so a refactor cannot silently blur "down" and "slow".
+
+/// Minimal raw TCP peer: accepts one connection, swallows the request,
+/// then either writes `payload` and closes (mid-stream close / partial
+/// line) or goes silent until torn down (stuck peer).
+class RawPeer {
+ public:
+  enum class Mode { kCloseAfterPayload, kSilent };
+
+  explicit RawPeer(Mode mode, std::string payload = "")
+      : mode_(mode), payload_(std::move(payload)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 4) != 0) {
+      return;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] {
+      int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) return;
+      char buf[256];
+      (void)::recv(conn, buf, sizeof(buf), 0);
+      if (mode_ == Mode::kCloseAfterPayload) {
+        if (!payload_.empty()) {
+          (void)::send(conn, payload_.data(), payload_.size(), 0);
+        }
+        ::close(conn);
+        return;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_; });
+      ::close(conn);
+    });
+  }
+
+  ~RawPeer() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  int port() const { return port_; }
+
+ private:
+  const Mode mode_;
+  const std::string payload_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // Guarded by mu_.
+  std::thread thread_;
+};
+
+TEST(LineClientContractTest, ConnectRefusedIsUnavailable) {
+  // Grab an ephemeral port, then close it so the connect is refused.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const int dead_port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  auto client = LineClient::Connect("127.0.0.1", dead_port);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable)
+      << client.status().ToString();
+}
+
+TEST(LineClientContractTest, PartialLineAtEofIsUnavailableAndDropsBytes) {
+  // The peer sends response bytes with no terminating newline, then
+  // closes. The client must fail Unavailable — and must say it dropped an
+  // unterminated partial line, not surface the fragment as a response.
+  RawPeer peer(RawPeer::Mode::kCloseAfterPayload, "OK half-a-respo");
+  ASSERT_GT(peer.port(), 0);
+  LineClientOptions options;
+  options.io_timeout_millis = 5000;
+  auto client = LineClient::Connect("127.0.0.1", peer.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto reply = (*client)->RoundTrip("PING");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable)
+      << reply.status().ToString();
+  EXPECT_NE(reply.status().message().find("unterminated"), std::string::npos)
+      << reply.status().ToString();
+}
+
+TEST(LineClientContractTest, CleanCloseWithNoBufferedBytesIsUnavailable) {
+  RawPeer peer(RawPeer::Mode::kCloseAfterPayload, "");
+  ASSERT_GT(peer.port(), 0);
+  LineClientOptions options;
+  options.io_timeout_millis = 5000;
+  auto client = LineClient::Connect("127.0.0.1", peer.port(), options);
+  ASSERT_TRUE(client.ok());
+  auto reply = (*client)->RoundTrip("PING");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  // No partial bytes were buffered, so the error must not claim any.
+  EXPECT_EQ(reply.status().message().find("unterminated"), std::string::npos)
+      << reply.status().ToString();
+}
+
+TEST(LineClientContractTest, SilentOpenPeerIsDeadlineExceeded) {
+  RawPeer peer(RawPeer::Mode::kSilent);
+  ASSERT_GT(peer.port(), 0);
+  LineClientOptions options;
+  options.io_timeout_millis = 100;  // "Slow", not "down".
+  auto client = LineClient::Connect("127.0.0.1", peer.port(), options);
+  ASSERT_TRUE(client.ok());
+  auto reply = (*client)->RoundTrip("PING");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded)
+      << reply.status().ToString();
 }
 
 TEST(ServerProtocolTest, HandleCommandIsUsableWithoutSockets) {
