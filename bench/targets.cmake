@@ -3,8 +3,8 @@
 # way to regenerate every table/figure is `for b in build/bench/*; do $b; done`.
 set(TEXRHEO_ALL_LIBS
   texrheo_serving texrheo_eval texrheo_core texrheo_corpus texrheo_rules
-  texrheo_rheology texrheo_recipe texrheo_text texrheo_math texrheo_obs
-  texrheo_util)
+  texrheo_rheology texrheo_recipe texrheo_text texrheo_embed texrheo_math
+  texrheo_obs texrheo_util)
 
 function(texrheo_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
@@ -27,6 +27,7 @@ target_link_libraries(bench_perf PRIVATE ${TEXRHEO_ALL_LIBS} benchmark::benchmar
 set_target_properties(bench_perf PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 texrheo_add_bench(bench_router)
+texrheo_add_bench(bench_similarity)
 texrheo_add_bench(bench_rules)
 texrheo_add_bench(bench_model_selection)
 texrheo_add_bench(bench_convergence)

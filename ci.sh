@@ -46,18 +46,19 @@ cmake --build build-tsan -j "$JOBS" \
   --target thread_pool_test geweke_test sampler_exactness_test \
   query_engine_test serve_snapshot_test joint_topic_model_test \
   serve_chaos_test router_chaos_test backoff_test metrics_registry_test \
-  trace_test pipeline_e2e_test
+  trace_test pipeline_e2e_test embed_trainer_test embedding_index_test
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test|router_chaos_test|backoff_test|metrics_registry_test|trace_test|pipeline_e2e_test)$')
+  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test|router_chaos_test|backoff_test|metrics_registry_test|trace_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test)$')
 
 echo "==> ASan/UBSan: rebuild durability-sensitive targets with -fsanitize=address,undefined"
 cmake -B build-asan -S . -DTEXRHEO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target serialization_test robustness_test model_binary_test \
   checkpoint_test atomic_file_test serve_hostile_test backoff_test \
-  router_chaos_test pipeline_e2e_test
+  router_chaos_test pipeline_e2e_test embed_trainer_test \
+  embedding_index_test
 (cd build-asan && ctest --output-on-failure \
-  -R '^(serialization_test|robustness_test|model_binary_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|router_chaos_test|pipeline_e2e_test)$')
+  -R '^(serialization_test|robustness_test|model_binary_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|router_chaos_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test)$')
 
 echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
 # Trains a small toy model, runs the scripted query session (PREDICT /
@@ -164,6 +165,22 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   ' bench/out/router_slo.json >/dev/null \
     || { echo "router SLO gate failed (see bench/out/router_slo.json)" >&2; exit 1; }
   echo "router SLO gate passed"
+
+  echo "==> bench: SIMILAR backend ablation (precision@10 vs dish templates)"
+  cmake --build build -j "$JOBS" --target bench_similarity
+  ./build/bench/bench_similarity --out=bench/out/similarity.json
+  echo "wrote bench/out/similarity.json"
+  # The fusion contract: the weighted reciprocal-rank blend must be at
+  # least as precise as every single backend it fuses — otherwise the
+  # default mode weights in QueryEngineConfig are subtracting information.
+  jq -e '
+    .modes.fused.precision_at_10 as $fused
+    | ($fused >= .modes.kl.precision_at_10)
+      and ($fused >= .modes.embed.precision_at_10)
+      and ($fused >= .modes.lexical.precision_at_10)
+  ' bench/out/similarity.json >/dev/null \
+    || { echo "similarity fusion gate failed (see bench/out/similarity.json)" >&2; exit 1; }
+  echo "similarity fusion gate passed: fused >= every single backend"
 fi
 
 echo "==> CI passed"

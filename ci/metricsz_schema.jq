@@ -28,6 +28,18 @@ and (.model.source | type == "string")
 # Pipeline monotonicity: one atomic snapshot must never show a downstream
 # counter ahead of its upstream.
 and (.counters["serve.queries.accepted"] >= .counters["serve.queries.completed"])
+# Per-mode SIMILAR counters: all four backends are registered up front,
+# and the mode counters increment after accepted (registration order), so
+# a snapshot can never show sum(modes) > accepted.
+and (.counters | has("serve.similar.mode.kl"))
+and (.counters | has("serve.similar.mode.embed"))
+and (.counters | has("serve.similar.mode.lexical"))
+and (.counters | has("serve.similar.mode.fused"))
+and (.counters["serve.queries.accepted"]
+     >= (.counters["serve.similar.mode.kl"]
+         + .counters["serve.similar.mode.embed"]
+         + .counters["serve.similar.mode.lexical"]
+         + .counters["serve.similar.mode.fused"]))
 and (.counters["serve.server.requests_received"] >= .counters["serve.server.requests_completed"])
 and (.counters["serve.batcher.submitted"] >= .counters["serve.batcher.jobs_processed"])
 # Reload-breaker transition counters (util/backoff.h listeners; see the

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -69,7 +70,7 @@ struct SectionSpec {
   ModelSection id;
   size_t elem_bytes;
 };
-constexpr SectionSpec kSectionSpecs[kModelSectionCount] = {
+constexpr SectionSpec kSectionSpecs[kModelSectionCountWithEmbeddings] = {
     {ModelSection::kPhi, sizeof(double)},
     {ModelSection::kGelMean, sizeof(double)},
     {ModelSection::kGelPrecision, sizeof(double)},
@@ -79,6 +80,8 @@ constexpr SectionSpec kSectionSpecs[kModelSectionCount] = {
     {ModelSection::kVocabOffsets, sizeof(uint64_t)},
     {ModelSection::kVocabCounts, sizeof(int64_t)},
     {ModelSection::kVocabPool, 1},
+    {ModelSection::kEmbedding, sizeof(float)},
+    {ModelSection::kEmbeddingNorms, sizeof(float)},
 };
 
 /// Element count each section must carry, derived from the header.
@@ -97,8 +100,16 @@ uint64_t ExpectedCount(const ModelBinaryIndex& index, ModelSection id) {
     case ModelSection::kVocabOffsets: return v + 1;
     case ModelSection::kVocabCounts: return v;
     case ModelSection::kVocabPool: return 0;  // Free-length; checked apart.
+    case ModelSection::kEmbedding: return 0;  // V*dim; dim checked apart.
+    case ModelSection::kEmbeddingNorms: return v;
   }
   return 0;
+}
+
+/// True for the two sections whose counts are not a pure function of the
+/// header and get dedicated validation below.
+bool FreeLengthSection(ModelSection id) {
+  return id == ModelSection::kVocabPool || id == ModelSection::kEmbedding;
 }
 
 /// RAII unmapper for the window between Map and MappedModel ownership.
@@ -141,6 +152,8 @@ const char* ModelSectionName(ModelSection id) {
     case ModelSection::kVocabOffsets: return "vocab_offsets";
     case ModelSection::kVocabCounts: return "vocab_counts";
     case ModelSection::kVocabPool: return "vocab_pool";
+    case ModelSection::kEmbedding: return "embedding";
+    case ModelSection::kEmbeddingNorms: return "embedding_norms";
   }
   return "unknown";
 }
@@ -248,13 +261,17 @@ Status ValidateModelBinaryIndex(const ModelBinaryIndex& index) {
     return Status::InvalidArgument(
         "model binary: data file size smaller than its header");
   }
-  if (index.sections.size() != kModelSectionCount) {
+  // Nine sections is a legacy (pre-embedding) pack; eleven carries the
+  // optional trailing embedding pair. Nothing in between.
+  if (index.sections.size() != kModelSectionCount &&
+      index.sections.size() != kModelSectionCountWithEmbeddings) {
     return Status::InvalidArgument(
         "model binary: expected " + std::to_string(kModelSectionCount) +
+        " or " + std::to_string(kModelSectionCountWithEmbeddings) +
         " sections, index lists " + std::to_string(index.sections.size()));
   }
   uint64_t previous_end = kDatHeaderBytes;
-  for (size_t i = 0; i < kModelSectionCount; ++i) {
+  for (size_t i = 0; i < index.sections.size(); ++i) {
     const SectionSpec& spec = kSectionSpecs[i];
     const ModelSectionEntry& entry = index.sections[i];
     ModelSection id = spec.id;
@@ -264,8 +281,7 @@ Status ValidateModelBinaryIndex(const ModelBinaryIndex& index) {
           std::to_string(i) + " holds id " + std::to_string(entry.id) +
           ", expected '" + ModelSectionName(id) + "')");
     }
-    if (id != ModelSection::kVocabPool &&
-        entry.count != ExpectedCount(index, id)) {
+    if (!FreeLengthSection(id) && entry.count != ExpectedCount(index, id)) {
       return SectionError(
           id, "element count " + std::to_string(entry.count) +
                   " disagrees with header (expected " +
@@ -291,11 +307,31 @@ Status ValidateModelBinaryIndex(const ModelBinaryIndex& index) {
     }
     previous_end = entry.offset + entry.size;
   }
+  if (index.sections.size() == kModelSectionCountWithEmbeddings) {
+    if (index.vocab_size == 0) {
+      return SectionError(ModelSection::kEmbedding,
+                          "embedding sections require a vocabulary");
+    }
+    const ModelSectionEntry& matrix = index.sections[9];
+    if (matrix.count == 0 || matrix.count % index.vocab_size != 0) {
+      return SectionError(
+          ModelSection::kEmbedding,
+          "element count " + std::to_string(matrix.count) +
+              " is not a positive multiple of the vocabulary size");
+    }
+    uint64_t dim = matrix.count / index.vocab_size;
+    if (dim > kMaxDim) {
+      return SectionError(ModelSection::kEmbedding,
+                          "implied dimension " + std::to_string(dim) +
+                              " out of range");
+    }
+  }
   return Status::OK();
 }
 
 Status WriteModelBinary(const ModelSnapshot& snapshot,
-                        const std::string& base_or_idx, FileOps& ops) {
+                        const std::string& base_or_idx, FileOps& ops,
+                        const embed::EmbeddingTable* embeddings) {
   // Canonicalize through the v2 text round-trip: the packed doubles are
   // exactly what LoadModel of the v2 file would produce, so a binary model
   // and its v2 twin serve bit-identical answers, and the fingerprint below
@@ -413,6 +449,21 @@ Status WriteModelBinary(const ModelSnapshot& snapshot,
               word_counts.size() * sizeof(int64_t), word_counts.size());
   add_section(ModelSection::kVocabPool, pool.data(), pool.size(),
               pool.size());
+  if (embeddings != nullptr && !embeddings->empty()) {
+    TEXRHEO_RETURN_IF_ERROR(embed::ValidateEmbeddingTable(*embeddings));
+    if (embeddings->vocab_size() != v_count) {
+      return Status::InvalidArgument(
+          "model binary: embedding table covers " +
+          std::to_string(embeddings->vocab_size()) +
+          " words, model vocabulary has " + std::to_string(v_count));
+    }
+    add_section(ModelSection::kEmbedding, embeddings->vectors.data(),
+                embeddings->vectors.size() * sizeof(float),
+                embeddings->vectors.size());
+    add_section(ModelSection::kEmbeddingNorms, embeddings->norms.data(),
+                embeddings->norms.size() * sizeof(float),
+                embeddings->norms.size());
+  }
   index.data_file_size = dat.size();
 
   // .dat first, .idx last: both renames are atomic, so a crash anywhere in
@@ -425,10 +476,10 @@ Status WriteModelBinary(const ModelSnapshot& snapshot,
 }
 
 Status ConvertModelFileToBinary(const std::string& v2_path,
-                                const std::string& base_or_idx,
-                                FileOps& ops) {
+                                const std::string& base_or_idx, FileOps& ops,
+                                const embed::EmbeddingTable* embeddings) {
   TEXRHEO_ASSIGN_OR_RETURN(ModelSnapshot model, LoadModel(v2_path));
-  return WriteModelBinary(model, base_or_idx, ops);
+  return WriteModelBinary(model, base_or_idx, ops, embeddings);
 }
 
 StatusOr<MappedRegion> MemoryMapOps::Map(const std::string& path) {
@@ -489,6 +540,12 @@ MappedModel::MappedModel(ModelBinaryPaths paths, ModelBinaryIndex index,
   vocab_offsets_ = reinterpret_cast<const uint64_t*>(base(6));
   vocab_counts_ = reinterpret_cast<const int64_t*>(base(7));
   pool_ = reinterpret_cast<const char*>(base(8));
+  if (index_.sections.size() == kModelSectionCountWithEmbeddings) {
+    embedding_ = reinterpret_cast<const float*>(base(9));
+    embedding_norms_ = reinterpret_cast<const float*>(base(10));
+    embedding_dim_ =
+        static_cast<size_t>(index_.sections[9].count / index_.vocab_size);
+  }
 }
 
 MappedModel::~MappedModel() { ops_->Unmap(region_); }
@@ -560,9 +617,46 @@ StatusOr<std::shared_ptr<const MappedModel>> MappedModel::Open(
       }
     }
   }
+  // Embedding content: every float must be finite and the cached norms
+  // non-negative, or cosine scans would serve NaN divergences. (Bit flips
+  // are already caught by the CRC pass; this rejects hostile packs whose
+  // index is internally consistent but whose payload is poisoned.)
+  if (index.sections.size() == kModelSectionCountWithEmbeddings) {
+    const ModelSectionEntry& matrix = index.sections[9];
+    const ModelSectionEntry& norms = index.sections[10];
+    const float* vectors =
+        reinterpret_cast<const float*>(data + matrix.offset);
+    for (uint64_t i = 0; i < matrix.count; ++i) {
+      if (!std::isfinite(vectors[i])) {
+        return SectionError(ModelSection::kEmbedding,
+                            "non-finite value at element " +
+                                std::to_string(i));
+      }
+    }
+    const float* norm_vals =
+        reinterpret_cast<const float*>(data + norms.offset);
+    for (uint64_t i = 0; i < norms.count; ++i) {
+      if (!std::isfinite(norm_vals[i]) || norm_vals[i] < 0.0f) {
+        return SectionError(ModelSection::kEmbeddingNorms,
+                            "negative or non-finite norm at element " +
+                                std::to_string(i));
+      }
+    }
+  }
   return std::shared_ptr<const MappedModel>(
       new MappedModel(std::move(paths), std::move(index), region.Release(),
                       &ops));
+}
+
+embed::EmbeddingTable CopyEmbeddingTable(const MappedModel& mapped) {
+  embed::EmbeddingTable table;
+  if (!mapped.has_embeddings()) return table;
+  table.dim = static_cast<uint32_t>(mapped.embedding_dim());
+  std::span<const float> matrix = mapped.embedding_matrix();
+  std::span<const float> norms = mapped.embedding_norms();
+  table.vectors.assign(matrix.begin(), matrix.end());
+  table.norms.assign(norms.begin(), norms.end());
+  return table;
 }
 
 StatusOr<ModelSnapshot> ReadModelBinary(const std::string& base_or_idx,

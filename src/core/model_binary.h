@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/serialization.h"
+#include "embed/embedding.h"
 #include "util/atomic_file.h"
 #include "util/status.h"
 
@@ -42,8 +43,11 @@ namespace texrheo::core {
 
 inline constexpr uint32_t kModelBinaryVersion = 1;
 
-/// Section ids, in canonical file order. Every section is mandatory and
-/// appears exactly once.
+/// Section ids, in canonical file order. Sections 1-9 are mandatory and
+/// appear exactly once. Sections 10-11 are an optional trailing pair (both
+/// present or both absent): packs written before the embedding subsystem
+/// carry nine sections and stay fully servable, and a nine-section reader
+/// rejects eleven-section packs by count rather than misreading them.
 enum class ModelSection : uint32_t {
   kPhi = 1,                ///< K*V doubles, row-major (topic-major SoA).
   kGelMean = 2,            ///< K*Dg doubles.
@@ -54,8 +58,11 @@ enum class ModelSection : uint32_t {
   kVocabOffsets = 7,       ///< V+1 uint64: string-pool offsets, offs[V]=pool size.
   kVocabCounts = 8,        ///< V int64 occurrence counts.
   kVocabPool = 9,          ///< Concatenated word bytes (count == byte size).
+  kEmbedding = 10,         ///< V*dim floats, row-major by vocab id (optional).
+  kEmbeddingNorms = 11,    ///< V floats: cached L2 norms (optional).
 };
 inline constexpr size_t kModelSectionCount = 9;
+inline constexpr size_t kModelSectionCountWithEmbeddings = 11;
 
 /// Human-readable name of a section id ("phi", "vocab_pool", ...).
 const char* ModelSectionName(ModelSection id);
@@ -113,15 +120,26 @@ ModelBinaryPaths ModelBinaryPathsFor(const std::string& base_or_idx);
 /// the packed doubles are bit-identical to what LoadModel of the v2 file
 /// would produce and the stored fingerprint matches the v2 load path.
 /// Both files are written atomically, `.idx` last.
+///
+/// A non-null, non-empty `embeddings` table is appended as the optional
+/// trailing section pair; its vocabulary size must match the model's. The
+/// fingerprint deliberately stays the CRC of the v2 *text* serialization
+/// (which has no embedding representation): it identifies the topic model,
+/// and a pack with and without embeddings of the same model are the same
+/// model to fingerprint-keyed machinery (reload checks, router
+/// convergence).
 Status WriteModelBinary(const ModelSnapshot& snapshot,
                         const std::string& base_or_idx,
-                        FileOps& ops = FileOps::Real());
+                        FileOps& ops = FileOps::Real(),
+                        const embed::EmbeddingTable* embeddings = nullptr);
 
 /// Converts a v2 text model file into the binary pair (LoadModel +
-/// WriteModelBinary).
+/// WriteModelBinary), optionally attaching an embedding table.
 Status ConvertModelFileToBinary(const std::string& v2_path,
                                 const std::string& base_or_idx,
-                                FileOps& ops = FileOps::Real());
+                                FileOps& ops = FileOps::Real(),
+                                const embed::EmbeddingTable* embeddings =
+                                    nullptr);
 
 /// Argument order matching SaveModel(path, snapshot): packs `snapshot`
 /// into `<base>.dat` + `<base>.idx`.
@@ -215,6 +233,34 @@ class MappedModel {
   }
   int64_t word_count(size_t v) const { return vocab_counts_[v]; }
 
+  /// True when the pack carries the optional embedding section pair.
+  bool has_embeddings() const { return embedding_ != nullptr; }
+  size_t embedding_dim() const { return embedding_dim_; }
+  /// Row vector of vocabulary id v; requires has_embeddings().
+  std::span<const float> embedding(size_t v) const {
+    return {embedding_ + v * embedding_dim_, embedding_dim_};
+  }
+  /// Whole V*dim matrix / V norms, served directly from the mapping; both
+  /// empty on a legacy nine-section pack.
+  std::span<const float> embedding_matrix() const {
+    return embedding_ == nullptr
+               ? std::span<const float>{}
+               : std::span<const float>{embedding_,
+                                        vocab_size() * embedding_dim_};
+  }
+  std::span<const float> embedding_norms() const {
+    return embedding_norms_ == nullptr
+               ? std::span<const float>{}
+               : std::span<const float>{embedding_norms_, vocab_size()};
+  }
+  /// Zero-copy view usable wherever a heap table's view is (empty view on a
+  /// legacy pack). Valid only while this MappedModel is alive.
+  embed::EmbeddingView embedding_view() const {
+    if (!has_embeddings()) return embed::EmbeddingView{};
+    return embed::EmbeddingView{vocab_size(), embedding_dim_,
+                                embedding_matrix(), embedding_norms()};
+  }
+
  private:
   MappedModel(ModelBinaryPaths paths, ModelBinaryIndex index,
               MappedRegion region, MemoryMapOps* ops);
@@ -233,7 +279,15 @@ class MappedModel {
   const uint64_t* vocab_offsets_ = nullptr;
   const int64_t* vocab_counts_ = nullptr;
   const char* pool_ = nullptr;
+  const float* embedding_ = nullptr;        ///< Null on legacy packs.
+  const float* embedding_norms_ = nullptr;  ///< Null on legacy packs.
+  size_t embedding_dim_ = 0;
 };
+
+/// Deep-copies the embedding sections of a mapped pack into a heap table
+/// (empty table when the pack has none). Used by `texrheo_modelpack unpack`
+/// to round-trip the sections byte-for-byte into the sidecar format.
+embed::EmbeddingTable CopyEmbeddingTable(const MappedModel& mapped);
 
 /// Fully decodes a binary pair back into a heap ModelSnapshot (the inverse
 /// of WriteModelBinary; used by `texrheo_modelpack unpack` and by

@@ -1,19 +1,22 @@
 // texrheo_modelpack: pack, inspect, verify, and unpack the memory-mapped
 // binary model format (see core/model_binary.h).
 //
-//   texrheo_modelpack pack   model.txt out_base     # -> out_base.{dat,idx}
+//   texrheo_modelpack pack   model.txt out_base [--embed=emb.bin]
 //   texrheo_modelpack info   model.idx              # header + section table
 //   texrheo_modelpack verify model.idx              # full CRC + structure
-//   texrheo_modelpack unpack model.idx model.txt    # back to v2 text
+//   texrheo_modelpack unpack model.idx model.txt [--embed-out=emb.bin]
 //
 // `pack` canonicalizes through the v2 round-trip, so pack followed by
-// unpack reproduces the v2 file byte-for-byte.
+// unpack reproduces the v2 file byte-for-byte. `--embed` attaches an
+// embedding sidecar (see embed/embedding.h) as the optional trailing
+// section pair; `--embed-out` extracts it again, byte-for-byte.
 
 #include <cstdio>
 #include <string>
 
 #include "core/model_binary.h"
 #include "core/serialization.h"
+#include "embed/embedding.h"
 #include "util/csv.h"
 #include "util/status.h"
 
@@ -22,19 +25,38 @@ namespace {
 using texrheo::Status;
 using texrheo::StatusOr;
 namespace core = texrheo::core;
+namespace embed = texrheo::embed;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: texrheo_modelpack pack <model.txt> <out_base>\n"
-               "       texrheo_modelpack info <model.idx>\n"
-               "       texrheo_modelpack verify <model.idx>\n"
-               "       texrheo_modelpack unpack <model.idx> <out.txt>\n");
+  std::fprintf(
+      stderr,
+      "usage: texrheo_modelpack pack <model.txt> <out_base> [--embed=EMB]\n"
+      "       texrheo_modelpack info <model.idx>\n"
+      "       texrheo_modelpack verify <model.idx>\n"
+      "       texrheo_modelpack unpack <model.idx> <out.txt> "
+      "[--embed-out=EMB]\n");
   return 2;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "%s\n", status.ToString().c_str());
   return 1;
+}
+
+/// "--flag=value" -> value; empty when absent. Any other extra argument is
+/// a usage error (signalled via `bad`).
+std::string ParseFlagArg(int argc, char** argv, const char* flag, bool* bad) {
+  std::string prefix = std::string(flag) + "=";
+  std::string value;
+  for (int i = 4; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
+    } else {
+      *bad = true;
+    }
+  }
+  return value;
 }
 
 int Info(const std::string& idx_path) {
@@ -54,6 +76,22 @@ int Info(const std::string& idx_path) {
   std::printf("fingerprint:  %08x\n", index->fingerprint);
   std::printf("data bytes:   %llu\n",
               static_cast<unsigned long long>(index->data_file_size));
+  // Legacy nine-section packs predate the embedding sections and stay
+  // fully servable; say so explicitly instead of leaving a silent gap.
+  bool has_embeddings = false;
+  for (const core::ModelSectionEntry& entry : index->sections) {
+    if (entry.id == static_cast<uint32_t>(core::ModelSection::kEmbedding)) {
+      has_embeddings = true;
+      std::printf("embeddings:   dim=%llu crc32=%08x\n",
+                  static_cast<unsigned long long>(
+                      index->vocab_size == 0 ? 0
+                                             : entry.count / index->vocab_size),
+                  entry.crc32);
+    }
+  }
+  if (!has_embeddings) {
+    std::printf("embeddings:   none (legacy nine-section pack)\n");
+  }
   std::printf("%-20s %12s %12s %12s %10s\n", "section", "offset", "bytes",
               "count", "crc32");
   for (const core::ModelSectionEntry& entry : index->sections) {
@@ -69,12 +107,19 @@ int Info(const std::string& idx_path) {
 
 int Verify(const std::string& idx_path) {
   // MappedModel::Open is the verifier: index frame + CRC, section table,
-  // per-section CRC over the mapped data, vocabulary pool structure.
+  // per-section CRC over the mapped data, vocabulary pool structure, and
+  // (when present) embedding matrix/norm finiteness.
   auto mapped = core::MappedModel::Open(idx_path);
   if (!mapped.ok()) return Fail(mapped.status());
   std::printf("ok: %d topics, %zu words, fingerprint %08x, %zu data bytes\n",
               (*mapped)->num_topics(), (*mapped)->vocab_size(),
               (*mapped)->fingerprint(), (*mapped)->mapped_bytes());
+  if ((*mapped)->has_embeddings()) {
+    std::printf("ok: embeddings %zu x %zu\n", (*mapped)->vocab_size(),
+                (*mapped)->embedding_dim());
+  } else {
+    std::printf("ok: no embedding sections (legacy pack)\n");
+  }
   return 0;
 }
 
@@ -82,11 +127,23 @@ int Main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string command = argv[1];
   if (command == "pack") {
-    if (argc != 4) return Usage();
-    Status status = core::ConvertModelFileToBinary(argv[2], argv[3]);
+    if (argc < 4) return Usage();
+    bool bad = false;
+    std::string embed_path = ParseFlagArg(argc, argv, "--embed", &bad);
+    if (bad) return Usage();
+    embed::EmbeddingTable table;
+    if (!embed_path.empty()) {
+      auto table_or = embed::LoadEmbeddingTable(embed_path);
+      if (!table_or.ok()) return Fail(table_or.status());
+      table = *std::move(table_or);
+    }
+    Status status = core::ConvertModelFileToBinary(
+        argv[2], argv[3], texrheo::FileOps::Real(),
+        table.empty() ? nullptr : &table);
     if (!status.ok()) return Fail(status);
     core::ModelBinaryPaths paths = core::ModelBinaryPathsFor(argv[3]);
-    std::printf("wrote %s + %s\n", paths.dat.c_str(), paths.idx.c_str());
+    std::printf("wrote %s + %s%s\n", paths.dat.c_str(), paths.idx.c_str(),
+                table.empty() ? "" : " (with embeddings)");
     return 0;
   }
   if (command == "info") {
@@ -98,12 +155,30 @@ int Main(int argc, char** argv) {
     return Verify(argv[2]);
   }
   if (command == "unpack") {
-    if (argc != 4) return Usage();
+    if (argc < 4) return Usage();
+    bool bad = false;
+    std::string embed_out = ParseFlagArg(argc, argv, "--embed-out", &bad);
+    if (bad) return Usage();
     auto model = core::ReadModelBinary(argv[2]);
     if (!model.ok()) return Fail(model.status());
     Status status = core::SaveModel(argv[3], *model);
     if (!status.ok()) return Fail(status);
-    std::printf("wrote %s\n", argv[3]);
+    if (embed_out.empty()) {
+      std::printf("wrote %s\n", argv[3]);
+      return 0;
+    }
+    // Extracting the sidecar needs the mapped view (ReadModelBinary
+    // returns only the v2-representable model, which has no embeddings).
+    auto mapped = core::MappedModel::Open(argv[2]);
+    if (!mapped.ok()) return Fail(mapped.status());
+    if (!(*mapped)->has_embeddings()) {
+      return Fail(Status::FailedPrecondition(
+          "--embed-out: pack has no embedding sections (legacy pack)"));
+    }
+    embed::EmbeddingTable table = core::CopyEmbeddingTable(**mapped);
+    status = embed::SaveEmbeddingTable(embed_out, table);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote %s + %s\n", argv[3], embed_out.c_str());
     return 0;
   }
   return Usage();

@@ -1,0 +1,77 @@
+#include "embed/embedding_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace texrheo::embed {
+
+EmbeddingIndex::EmbeddingIndex(
+    EmbeddingView view, const std::vector<std::vector<int32_t>>& doc_terms)
+    : view_(view) {
+  const size_t dim = view_.dim;
+  doc_vecs_.assign(doc_terms.size() * dim, 0.0f);
+  doc_norms_.assign(doc_terms.size(), 0.0f);
+  for (size_t d = 0; d < doc_terms.size(); ++d) {
+    std::vector<float> mean = MeanVector(doc_terms[d]);
+    double sum = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      doc_vecs_[d * dim + i] = mean[i];
+      sum += static_cast<double>(mean[i]) * mean[i];
+    }
+    doc_norms_[d] = static_cast<float>(std::sqrt(sum));
+  }
+}
+
+std::vector<float> EmbeddingIndex::MeanVector(
+    std::span<const int32_t> term_ids) const {
+  const size_t dim = view_.dim;
+  std::vector<float> mean(dim, 0.0f);
+  if (view_.empty()) return mean;
+  size_t used = 0;
+  for (int32_t id : term_ids) {
+    if (id < 0 || static_cast<size_t>(id) >= view_.vocab) continue;
+    std::span<const float> v = view_.vec(static_cast<size_t>(id));
+    for (size_t i = 0; i < dim; ++i) mean[i] += v[i];
+    ++used;
+  }
+  if (used > 1) {
+    const float inv = 1.0f / static_cast<float>(used);
+    for (float& x : mean) x *= inv;
+  }
+  return mean;
+}
+
+double EmbeddingIndex::CosineDistance(std::span<const float> query,
+                                      double query_norm, size_t d) const {
+  const double denom = query_norm * static_cast<double>(doc_norms_[d]);
+  if (denom <= 0.0) return 2.0;
+  const size_t dim = view_.dim;
+  const float* doc = doc_vecs_.data() + d * dim;
+  double dot = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    dot += static_cast<double>(query[i]) * doc[i];
+  }
+  return 1.0 - dot / denom;
+}
+
+std::vector<EmbeddingIndex::Ranked> EmbeddingIndex::RankByCosine(
+    std::span<const int32_t> query_terms,
+    std::span<const size_t> candidates) const {
+  std::vector<float> query = MeanVector(query_terms);
+  double sum = 0.0;
+  for (float x : query) sum += static_cast<double>(x) * x;
+  const double query_norm = std::sqrt(sum);
+
+  std::vector<Ranked> ranked;
+  ranked.reserve(candidates.size());
+  for (size_t d : candidates) {
+    ranked.push_back(Ranked{d, CosineDistance(query, query_norm, d)});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.doc < b.doc;
+  });
+  return ranked;
+}
+
+}  // namespace texrheo::embed

@@ -1,0 +1,63 @@
+#ifndef TEXRHEO_EMBED_EMBEDDING_INDEX_H_
+#define TEXRHEO_EMBED_EMBEDDING_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "embed/embedding.h"
+
+namespace texrheo::embed {
+
+/// Serves recipe- and term-level vectors for cosine top-k scans.
+///
+/// A recipe's vector is the mean of its (in-vocabulary) term vectors —
+/// the standard bag-of-ingredients composition. Document vectors and their
+/// norms are precomputed at construction, so a ranking scan is a dense
+/// dot-product sweep over the candidate set. The view is non-owning: the
+/// caller (the serving snapshot) must keep the underlying table or mmap
+/// alive for the index's lifetime.
+class EmbeddingIndex {
+ public:
+  /// `doc_terms[d]` holds document d's term ids in the view's vocabulary;
+  /// ids outside [0, view.vocab) are ignored.
+  EmbeddingIndex(EmbeddingView view,
+                 const std::vector<std::vector<int32_t>>& doc_terms);
+
+  size_t num_docs() const { return doc_norms_.size(); }
+  size_t dim() const { return view_.dim; }
+
+  std::span<const float> doc_vector(size_t d) const {
+    return {doc_vecs_.data() + d * view_.dim, view_.dim};
+  }
+  float doc_norm(size_t d) const { return doc_norms_[d]; }
+
+  /// Mean of the in-vocabulary term vectors (all zeros when none qualify).
+  std::vector<float> MeanVector(std::span<const int32_t> term_ids) const;
+
+  /// Cosine distance 1 - cos(query, doc) in [0, 2]. A zero-norm side (an
+  /// all-out-of-vocabulary query or an empty document) yields the sentinel
+  /// 2.0, ranking it strictly after any document with a real angle.
+  double CosineDistance(std::span<const float> query, double query_norm,
+                        size_t d) const;
+
+  struct Ranked {
+    size_t doc = 0;
+    double distance = 0.0;
+  };
+
+  /// Ranks every candidate by ascending cosine distance to the mean vector
+  /// of `query_terms`; ties break on ascending document index so the order
+  /// is fully deterministic.
+  std::vector<Ranked> RankByCosine(std::span<const int32_t> query_terms,
+                                   std::span<const size_t> candidates) const;
+
+ private:
+  EmbeddingView view_;
+  std::vector<float> doc_vecs_;   ///< num_docs * dim mean vectors.
+  std::vector<float> doc_norms_;  ///< num_docs L2 norms of the means.
+};
+
+}  // namespace texrheo::embed
+
+#endif  // TEXRHEO_EMBED_EMBEDDING_INDEX_H_

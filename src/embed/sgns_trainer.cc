@@ -1,0 +1,414 @@
+#include "embed/sgns_trainer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "math/alias_table.h"
+#include "util/crc32.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace texrheo::embed {
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'t', 'e', 'x', 'r', 'e', 'm', 'c', '1'};
+constexpr uint32_t kCheckpointVersion = 1;
+
+// Clamped logistic, identical to the text::Word2Vec reference so the
+// 1-thread path reproduces its arithmetic exactly.
+float Sigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+// Hogwild weight cells: racy lost-update accumulation is intended (and
+// statistically benign for SGNS), but the races must be *data-race-free* so
+// the TSan leg stays clean — hence atomics with relaxed ordering. On x86
+// a relaxed float load/store compiles to a plain mov, so the 1-thread path
+// pays nothing and stays bit-exact against the non-atomic reference.
+using WeightVec = std::vector<std::atomic<float>>;
+
+inline float LoadW(const WeightVec& w, size_t i) {
+  return w[i].load(std::memory_order_relaxed);
+}
+
+inline void AddW(WeightVec& w, size_t i, float delta) {
+  w[i].store(w[i].load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+struct Shard {
+  std::vector<const std::vector<int32_t>*> sentences;
+  int64_t total_tokens = 0;
+};
+
+// Everything the training config pins down about the weight layout and the
+// update schedule. A checkpoint carrying a different fingerprint belongs to
+// a different run and must not be resumed.
+uint32_t ConfigFingerprint(const SgnsConfig& config, size_t vocab_size) {
+  std::string packed;
+  auto append = [&packed](const void* p, size_t n) {
+    packed.append(reinterpret_cast<const char*>(p), n);
+  };
+  int32_t dims[4] = {config.dim, config.window, config.negatives,
+                     config.epochs};
+  append(dims, sizeof(dims));
+  double reals[3] = {config.lr, config.min_lr, config.subsample};
+  append(reals, sizeof(reals));
+  append(&config.seed, sizeof(config.seed));
+  int32_t threads = config.num_threads;
+  append(&threads, sizeof(threads));
+  uint64_t vocab = vocab_size;
+  append(&vocab, sizeof(vocab));
+  return Crc32(packed.data(), packed.size());
+}
+
+struct CheckpointState {
+  uint32_t epochs_done = 0;
+  std::vector<float> in;
+  std::vector<float> out;
+};
+
+Status SaveCheckpoint(const std::string& path, uint32_t fingerprint,
+                      uint32_t dim, uint32_t epochs_done,
+                      const CheckpointState& state, FileOps& ops) {
+  std::string raw;
+  raw.reserve(40 + (state.in.size() + state.out.size()) * sizeof(float));
+  raw.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  auto append = [&raw](const void* p, size_t n) {
+    raw.append(reinterpret_cast<const char*>(p), n);
+  };
+  append(&kCheckpointVersion, sizeof(kCheckpointVersion));
+  append(&fingerprint, sizeof(fingerprint));
+  append(&dim, sizeof(dim));
+  append(&epochs_done, sizeof(epochs_done));
+  uint64_t vocab = dim == 0 ? 0 : state.in.size() / dim;
+  append(&vocab, sizeof(vocab));
+  append(state.in.data(), state.in.size() * sizeof(float));
+  append(state.out.data(), state.out.size() * sizeof(float));
+  uint32_t crc = Crc32(raw.data(), raw.size());
+  append(&crc, sizeof(crc));
+  return AtomicWriteFile(path, raw, ops);
+}
+
+StatusOr<CheckpointState> LoadCheckpoint(const std::string& path,
+                                         uint32_t fingerprint,
+                                         uint32_t want_dim,
+                                         uint64_t want_vocab) {
+  TEXRHEO_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(path));
+  constexpr size_t kHeaderBytes = 8 + 4 + 4 + 4 + 4 + 8;
+  if (raw.size() < kHeaderBytes + sizeof(uint32_t)) {
+    return Status::InvalidArgument("sgns checkpoint too small: " + path);
+  }
+  if (std::memcmp(raw.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    return Status::InvalidArgument("bad sgns checkpoint magic: " + path);
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, raw.data() + raw.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (stored_crc != Crc32(raw.data(), raw.size() - sizeof(uint32_t))) {
+    return Status::InvalidArgument("sgns checkpoint CRC mismatch: " + path);
+  }
+  uint32_t version = 0;
+  uint32_t file_fingerprint = 0;
+  uint32_t dim = 0;
+  uint32_t epochs_done = 0;
+  uint64_t vocab = 0;
+  std::memcpy(&version, raw.data() + 8, sizeof(version));
+  std::memcpy(&file_fingerprint, raw.data() + 12, sizeof(file_fingerprint));
+  std::memcpy(&dim, raw.data() + 16, sizeof(dim));
+  std::memcpy(&epochs_done, raw.data() + 20, sizeof(epochs_done));
+  std::memcpy(&vocab, raw.data() + 24, sizeof(vocab));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported sgns checkpoint version " +
+                                   std::to_string(version));
+  }
+  if (file_fingerprint != fingerprint) {
+    return Status::FailedPrecondition(
+        "sgns checkpoint was written by an incompatible configuration: " +
+        path);
+  }
+  if (dim != want_dim || vocab != want_vocab) {
+    return Status::InvalidArgument("sgns checkpoint shape mismatch: " + path);
+  }
+  const size_t matrix = static_cast<size_t>(vocab) * dim;
+  const size_t want_bytes =
+      kHeaderBytes + 2 * matrix * sizeof(float) + sizeof(uint32_t);
+  if (raw.size() != want_bytes) {
+    return Status::InvalidArgument("sgns checkpoint size mismatch: " + path);
+  }
+  CheckpointState state;
+  state.epochs_done = epochs_done;
+  state.in.resize(matrix);
+  state.out.resize(matrix);
+  std::memcpy(state.in.data(), raw.data() + kHeaderBytes,
+              matrix * sizeof(float));
+  std::memcpy(state.out.data(), raw.data() + kHeaderBytes + matrix * sizeof(float),
+              matrix * sizeof(float));
+  for (float x : state.in) {
+    if (!std::isfinite(x)) {
+      return Status::InvalidArgument("sgns checkpoint has non-finite weights");
+    }
+  }
+  for (float x : state.out) {
+    if (!std::isfinite(x)) {
+      return Status::InvalidArgument("sgns checkpoint has non-finite weights");
+    }
+  }
+  return state;
+}
+
+// Trains one shard through one epoch. All random choices come from the
+// (epoch, shard) stream; the learning-rate schedule advances on shard-local
+// token counts, so neither depends on what the other shards are doing.
+struct ShardEpochResult {
+  double loss_sum = 0.0;
+  int64_t pairs = 0;
+};
+
+ShardEpochResult RunShardEpoch(const Shard& shard, int epoch,
+                               const SgnsConfig& config, size_t num_shards,
+                               size_t shard_index,
+                               const math::AliasTable& noise,
+                               const std::vector<double>& keep_prob,
+                               WeightVec& in, WeightVec& out) {
+  const size_t dim = static_cast<size_t>(config.dim);
+  // Stream 0 seeds the weight init; training streams start at 1.
+  Rng rng = Rng::ForStream(
+      config.seed, 1 + static_cast<uint64_t>(epoch) * num_shards + shard_index);
+  const int64_t schedule_total = shard.total_tokens * config.epochs;
+  int64_t trained = static_cast<int64_t>(epoch) * shard.total_tokens;
+
+  ShardEpochResult result;
+  std::vector<float> grad_in(dim);
+  std::vector<int32_t> kept;
+  for (const std::vector<int32_t>* sentence_ptr : shard.sentences) {
+    const std::vector<int32_t>& sentence = *sentence_ptr;
+    kept.clear();
+    kept.reserve(sentence.size());
+    for (int32_t id : sentence) {
+      if (keep_prob[static_cast<size_t>(id)] >= 1.0 ||
+          rng.NextDouble() < keep_prob[static_cast<size_t>(id)]) {
+        kept.push_back(id);
+      }
+    }
+    trained += static_cast<int64_t>(sentence.size());
+    if (kept.size() < 2) continue;
+    double progress =
+        static_cast<double>(trained) / static_cast<double>(schedule_total);
+    float lr = static_cast<float>(
+        std::max(config.min_lr, config.lr * (1.0 - progress)));
+
+    for (size_t pos = 0; pos < kept.size(); ++pos) {
+      int window = 1 + static_cast<int>(
+                           rng.NextUint(static_cast<uint64_t>(config.window)));
+      int32_t center = kept[pos];
+      const size_t center_base = static_cast<size_t>(center) * dim;
+      for (int off = -window; off <= window; ++off) {
+        if (off == 0) continue;
+        int64_t cpos = static_cast<int64_t>(pos) + off;
+        if (cpos < 0 || cpos >= static_cast<int64_t>(kept.size())) continue;
+        int32_t context = kept[static_cast<size_t>(cpos)];
+
+        std::fill(grad_in.begin(), grad_in.end(), 0.0f);
+        for (int neg = 0; neg <= config.negatives; ++neg) {
+          int32_t target;
+          float label;
+          if (neg == 0) {
+            target = context;
+            label = 1.0f;
+          } else {
+            target = static_cast<int32_t>(noise.Sample(rng));
+            if (target == context) continue;
+            label = 0.0f;
+          }
+          const size_t out_base = static_cast<size_t>(target) * dim;
+          float score = 0.0f;
+          for (size_t i = 0; i < dim; ++i) {
+            score += LoadW(in, center_base + i) * LoadW(out, out_base + i);
+          }
+          float predicted = Sigmoid(score);
+          float g = (label - predicted) * lr;
+          for (size_t i = 0; i < dim; ++i) {
+            float out_val = LoadW(out, out_base + i);
+            grad_in[i] += g * out_val;
+            AddW(out, out_base + i, g * LoadW(in, center_base + i));
+          }
+          double p = label > 0.5f ? predicted : 1.0f - predicted;
+          result.loss_sum += -std::log(std::max(1e-7, static_cast<double>(p)));
+        }
+        for (size_t i = 0; i < dim; ++i) {
+          AddW(in, center_base + i, grad_in[i]);
+        }
+        ++result.pairs;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<EmbeddingTable> TrainSgns(
+    const std::vector<std::vector<int32_t>>& sentences, size_t vocab_size,
+    const SgnsConfig& config, SgnsTrainStats* stats, FileOps& ops) {
+  if (config.dim <= 0 || config.window <= 0 || config.negatives < 0 ||
+      config.epochs <= 0 || config.num_threads <= 0) {
+    return Status::InvalidArgument("sgns: non-positive config field");
+  }
+  if (config.lr <= 0.0 || config.min_lr < 0.0 || config.subsample < 0.0) {
+    return Status::InvalidArgument("sgns: negative rate or threshold");
+  }
+  if (vocab_size == 0) {
+    return Status::InvalidArgument("sgns: empty vocabulary");
+  }
+
+  // Count tokens (also validates ids before they ever index a matrix).
+  std::vector<int64_t> counts(vocab_size, 0);
+  for (const auto& sentence : sentences) {
+    for (int32_t id : sentence) {
+      if (id < 0 || static_cast<size_t>(id) >= vocab_size) {
+        return Status::OutOfRange("sgns: term id " + std::to_string(id) +
+                                  " outside vocabulary of " +
+                                  std::to_string(vocab_size));
+      }
+      ++counts[static_cast<size_t>(id)];
+    }
+  }
+
+  const size_t num_shards = static_cast<size_t>(config.num_threads);
+  std::vector<Shard> shards(num_shards);
+  size_t trainable = 0;
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    if (sentences[i].size() < 2) continue;
+    Shard& shard = shards[trainable % num_shards];
+    shard.sentences.push_back(&sentences[i]);
+    shard.total_tokens += static_cast<int64_t>(sentences[i].size());
+    ++trainable;
+  }
+  if (trainable == 0) {
+    return Status::FailedPrecondition("sgns: no trainable sentences");
+  }
+
+  const size_t dim = static_cast<size_t>(config.dim);
+  const size_t matrix = vocab_size * dim;
+  WeightVec in(matrix);
+  WeightVec out(matrix);
+
+  // Deterministic init from stream 0, independent of the thread count, using
+  // the same uniform(-0.5, 0.5)/dim range as the reference trainer.
+  {
+    Rng init_rng = Rng::ForStream(config.seed, 0);
+    const float init_range = 0.5f / static_cast<float>(dim);
+    for (size_t i = 0; i < matrix; ++i) {
+      in[i].store(
+          (static_cast<float>(init_rng.NextDouble()) - 0.5f) * 2.0f *
+              init_range,
+          std::memory_order_relaxed);
+      out[i].store(0.0f, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<double> noise_weights(vocab_size);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    noise_weights[i] = std::pow(static_cast<double>(counts[i]), 0.75);
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(math::AliasTable noise,
+                           math::AliasTable::Build(noise_weights));
+
+  std::vector<double> keep_prob(vocab_size, 1.0);
+  if (config.subsample > 0.0) {
+    int64_t total = 0;
+    for (int64_t c : counts) total += c;
+    for (size_t i = 0; i < vocab_size; ++i) {
+      if (counts[i] == 0) continue;
+      double f = static_cast<double>(counts[i]) / static_cast<double>(total);
+      double p = (std::sqrt(f / config.subsample) + 1.0) * config.subsample / f;
+      keep_prob[i] = std::min(1.0, p);
+    }
+  }
+
+  const uint32_t fingerprint = ConfigFingerprint(config, vocab_size);
+  int start_epoch = 0;
+  if (!config.checkpoint_path.empty()) {
+    auto loaded = LoadCheckpoint(config.checkpoint_path, fingerprint,
+                                 static_cast<uint32_t>(dim), vocab_size);
+    if (loaded.ok()) {
+      const CheckpointState& state = *loaded;
+      if (state.epochs_done > static_cast<uint32_t>(config.epochs)) {
+        return Status::InvalidArgument(
+            "sgns checkpoint claims more epochs than configured");
+      }
+      for (size_t i = 0; i < matrix; ++i) {
+        in[i].store(state.in[i], std::memory_order_relaxed);
+        out[i].store(state.out[i], std::memory_order_relaxed);
+      }
+      start_epoch = static_cast<int>(state.epochs_done);
+      if (stats != nullptr) stats->epochs_resumed = start_epoch;
+    } else if (loaded.status().code() != StatusCode::kNotFound &&
+               loaded.status().code() != StatusCode::kIOError) {
+      // A missing checkpoint means a fresh run; a corrupt or incompatible
+      // one is an operator error we refuse to paper over.
+      return loaded.status();
+    }
+  }
+
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
+    std::vector<ShardEpochResult> results(num_shards);
+    if (num_shards == 1) {
+      results[0] = RunShardEpoch(shards[0], epoch, config, num_shards, 0,
+                                 noise, keep_prob, in, out);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(num_shards);
+      for (size_t s = 0; s < num_shards; ++s) {
+        workers.emplace_back([&, s] {
+          results[s] = RunShardEpoch(shards[s], epoch, config, num_shards, s,
+                                     noise, keep_prob, in, out);
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    double loss_sum = 0.0;
+    int64_t pairs = 0;
+    for (const ShardEpochResult& r : results) {
+      loss_sum += r.loss_sum;
+      pairs += r.pairs;
+    }
+    if (stats != nullptr) {
+      stats->epoch_loss.push_back(pairs > 0 ? loss_sum / static_cast<double>(
+                                                             pairs)
+                                            : 0.0);
+      stats->pairs_trained += pairs;
+    }
+    if (!config.checkpoint_path.empty()) {
+      CheckpointState state;
+      state.in.resize(matrix);
+      state.out.resize(matrix);
+      for (size_t i = 0; i < matrix; ++i) {
+        state.in[i] = in[i].load(std::memory_order_relaxed);
+        state.out[i] = out[i].load(std::memory_order_relaxed);
+      }
+      TEXRHEO_RETURN_IF_ERROR(
+          SaveCheckpoint(config.checkpoint_path, fingerprint,
+                         static_cast<uint32_t>(dim),
+                         static_cast<uint32_t>(epoch + 1), state, ops));
+    }
+  }
+
+  EmbeddingTable table;
+  table.dim = static_cast<uint32_t>(dim);
+  table.vectors.resize(matrix);
+  for (size_t i = 0; i < matrix; ++i) {
+    table.vectors[i] = in[i].load(std::memory_order_relaxed);
+  }
+  table.RecomputeNorms();
+  return table;
+}
+
+}  // namespace texrheo::embed

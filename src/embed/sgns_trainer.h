@@ -1,0 +1,70 @@
+#ifndef TEXRHEO_EMBED_SGNS_TRAINER_H_
+#define TEXRHEO_EMBED_SGNS_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "util/atomic_file.h"
+#include "util/status.h"
+
+namespace texrheo::embed {
+
+/// Configuration for the skip-gram negative-sampling trainer.
+///
+/// The determinism contract mirrors the Gibbs engine's: a fixed
+/// (seed, num_threads) pair reproduces the run bit-exactly, and
+/// num_threads == 1 additionally matches the single-threaded reference
+/// arithmetic order (the same update schedule as text::Word2Vec). With
+/// num_threads > 1 the shards race on the shared weight matrices
+/// (hogwild-style lock-free updates through relaxed atomics), so runs are
+/// statistically equivalent but not bit-reproducible across executions.
+struct SgnsConfig {
+  int dim = 16;
+  int window = 4;
+  int negatives = 5;
+  int epochs = 8;
+  double lr = 0.05;
+  double min_lr = 1e-4;
+  /// Mikolov subsampling threshold; 0 disables (recipe term bags are short
+  /// and nearly uniform, so the default is off).
+  double subsample = 0.0;
+  uint64_t seed = 20220501;
+  /// Number of sentence shards trained concurrently. Each (epoch, shard)
+  /// pair owns a private SplitMix64-derived RNG stream, so the random
+  /// choices (windows, negatives, subsampling) are a pure function of
+  /// (seed, num_threads) regardless of OS scheduling.
+  int num_threads = 1;
+  /// When non-empty, training state is persisted here after every epoch via
+  /// the atomic-file path, and an existing compatible checkpoint is resumed
+  /// from (completed epochs are skipped). Because the RNG stream of each
+  /// (epoch, shard) is derivable without generator state, an interrupted
+  /// 1-thread run resumed from its checkpoint is bit-identical to an
+  /// uninterrupted one.
+  std::string checkpoint_path;
+};
+
+/// Optional observability output of a training run.
+struct SgnsTrainStats {
+  /// Mean negative-sampling loss per trained pair, one entry per epoch
+  /// actually executed this run (resumed epochs are not re-reported).
+  std::vector<double> epoch_loss;
+  /// Epochs skipped because a compatible checkpoint already covered them.
+  int epochs_resumed = 0;
+  /// (center, context) pairs updated this run.
+  int64_t pairs_trained = 0;
+};
+
+/// Trains SGNS embeddings over pre-encoded term-id sentences (ids must lie
+/// in [0, vocab_size)). Sentences shorter than two tokens are skipped. The
+/// unigram^0.75 negative-sampling distribution is served from an alias
+/// table. Returns the input-vector table with cached norms.
+StatusOr<EmbeddingTable> TrainSgns(
+    const std::vector<std::vector<int32_t>>& sentences, size_t vocab_size,
+    const SgnsConfig& config, SgnsTrainStats* stats = nullptr,
+    FileOps& ops = FileOps::Real());
+
+}  // namespace texrheo::embed
+
+#endif  // TEXRHEO_EMBED_SGNS_TRAINER_H_

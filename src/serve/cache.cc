@@ -24,7 +24,7 @@ void AppendQuantized(const math::Vector& v, double quantum, char tag,
 std::string CanonicalQueryKey(const math::Vector& gel_concentration,
                               const math::Vector& emulsion_concentration,
                               const std::vector<int32_t>& term_ids,
-                              double quantum) {
+                              double quantum, std::string_view mode) {
   std::string key;
   key.reserve(64);
   AppendQuantized(gel_concentration, quantum, 'g', &key);
@@ -35,6 +35,13 @@ std::string CanonicalQueryKey(const math::Vector& gel_concentration,
     char buf[24];
     std::snprintf(buf, sizeof(buf), "t%d;", t);
     key += buf;
+  }
+  if (!mode.empty()) {
+    // '|' cannot appear in the quantized components above, so the mode is
+    // unambiguous and mode-less keys stay byte-identical to the old format.
+    key += "|m:";
+    key += mode;
+    key += ';';
   }
   return key;
 }

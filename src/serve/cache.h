@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "math/linalg.h"
@@ -25,10 +26,16 @@ namespace texrheo::serve {
 /// Quantization is round-half-away-from-zero on value/quantum; quantum
 /// must be positive (a serving config with quantum <= 0 is rejected at
 /// engine construction).
+///
+/// `mode` distinguishes queries whose *answer semantics* differ even when
+/// the recipe is identical — the SIMILAR ranking backend. A non-empty mode
+/// is appended as a distinct trailing component, so a `kl` result can
+/// never be served from the cache for a `fused` query. PredictTexture
+/// passes the default empty mode and its keys are unchanged.
 std::string CanonicalQueryKey(const math::Vector& gel_concentration,
                               const math::Vector& emulsion_concentration,
                               const std::vector<int32_t>& term_ids,
-                              double quantum);
+                              double quantum, std::string_view mode = {});
 
 }  // namespace texrheo::serve
 

@@ -47,10 +47,13 @@ StatusOr<std::vector<std::pair<std::string, double>>> ParseIngredientSpec(
 }
 
 StatusOr<TextureQuery> ParseQueryCommand(
-    const std::vector<std::string>& tokens, size_t* top_n) {
+    const std::vector<std::string>& tokens, size_t* top_n,
+    SimilarityMode* mode) {
   if (tokens.size() < 2) {
-    return Status::InvalidArgument("usage: " + tokens[0] +
-                                   " <name=ratio,...|-> [terms=a,b] [n=N]");
+    return Status::InvalidArgument(
+        "usage: " + tokens[0] +
+        " <name=ratio,...|-> [terms=a,b]" +
+        (top_n != nullptr ? " [n=N] [mode=kl|embed|lexical|fused]" : ""));
   }
   std::vector<std::string> terms;
   if (top_n != nullptr) *top_n = 0;
@@ -60,6 +63,8 @@ StatusOr<TextureQuery> ParseQueryCommand(
       terms = SplitCommaList(opt.substr(6));
     } else if (top_n != nullptr && opt.rfind("n=", 0) == 0) {
       *top_n = static_cast<size_t>(std::strtoul(opt.c_str() + 2, nullptr, 10));
+    } else if (mode != nullptr && opt.rfind("mode=", 0) == 0) {
+      TEXRHEO_ASSIGN_OR_RETURN(*mode, ParseSimilarityMode(opt.substr(5)));
     } else {
       return Status::InvalidArgument("unknown option '" + opt + "'");
     }

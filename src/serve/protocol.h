@@ -28,10 +28,14 @@ StatusOr<std::vector<std::pair<std::string, double>>> ParseIngredientSpec(
     const std::string& spec);
 
 /// Builds a TextureQuery from positional <ingredients> plus key=value
-/// options (terms=..., n=...). `top_n` (optional) receives n= when the
-/// command supports it (SIMILAR); 0 = unset.
+/// options (terms=..., n=..., mode=...). `top_n` (optional) receives n=
+/// when the command supports it (SIMILAR); 0 = unset. `mode` (optional)
+/// receives mode= the same way and is left untouched when absent, so the
+/// caller's default (kl) survives; commands that pass nullptr (PREDICT)
+/// reject mode= as an unknown option.
 StatusOr<TextureQuery> ParseQueryCommand(
-    const std::vector<std::string>& tokens, size_t* top_n);
+    const std::vector<std::string>& tokens, size_t* top_n,
+    SimilarityMode* mode = nullptr);
 
 /// Parses a topic index argument.
 StatusOr<int> ParseTopicIndex(const std::string& token);

@@ -44,7 +44,63 @@ math::Vector OrZeros(const math::Vector& v, size_t dim) {
   return v.empty() ? math::Vector(dim) : v;
 }
 
+/// One backend's full ranking of a topic's member documents.
+struct RankedDoc {
+  size_t doc = 0;
+  double distance = 0.0;
+};
+
+void SortRanking(std::vector<RankedDoc>& ranking) {
+  std::sort(ranking.begin(), ranking.end(),
+            [](const RankedDoc& a, const RankedDoc& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.doc < b.doc;  // Deterministic among ties.
+            });
+}
+
+/// 1 - Jaccard of two sorted-unique id sets (1.0 when either is empty).
+double JaccardDistance(const std::vector<int32_t>& a,
+                       const std::vector<int32_t>& b) {
+  if (a.empty() || b.empty()) return 1.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t both = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++both;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t either = a.size() + b.size() - both;
+  return 1.0 - static_cast<double>(both) / static_cast<double>(either);
+}
+
 }  // namespace
+
+const char* SimilarityModeName(SimilarityMode mode) {
+  switch (mode) {
+    case SimilarityMode::kKl: return "kl";
+    case SimilarityMode::kEmbed: return "embed";
+    case SimilarityMode::kLexical: return "lexical";
+    case SimilarityMode::kFused: return "fused";
+  }
+  return "unknown";
+}
+
+StatusOr<SimilarityMode> ParseSimilarityMode(std::string_view name) {
+  if (name == "kl") return SimilarityMode::kKl;
+  if (name == "embed") return SimilarityMode::kEmbed;
+  if (name == "lexical") return SimilarityMode::kLexical;
+  if (name == "fused") return SimilarityMode::kFused;
+  return Status::InvalidArgument(
+      "unknown similarity mode '" + std::string(name) +
+      "' (expected kl, embed, lexical, or fused)");
+}
 
 StatusOr<TextureQuery> QueryFromIngredients(
     const std::vector<std::pair<std::string, double>>& ingredients,
@@ -83,14 +139,27 @@ StatusOr<TextureQuery> QueryFromIngredients(
 
 QueryEngine::QueryEngine(const QueryEngineConfig& config,
                          const recipe::Dataset* corpus)
-    : config_(config), corpus_(corpus), cache_(config.cache_capacity) {
+    : config_(config),
+      corpus_(corpus),
+      cache_(config.cache_capacity),
+      similar_cache_(config.similar_cache_capacity) {
   metrics_ = config.metrics != nullptr
                  ? config.metrics
                  : std::make_shared<obs::MetricsRegistry>();
   // Pipeline registration order (see header): accepted here, the batcher's
   // submitted/jobs_processed when the batcher is built, completed last
-  // (in Create) — matching the order a request increments them.
+  // (in Create) — matching the order a request increments them. The mode
+  // counters sit right after accepted for the same reason: a snapshot can
+  // never show sum(modes) > accepted.
   queries_accepted_ = metrics_->RegisterCounter("serve.queries.accepted");
+  for (size_t m = 0; m < kNumSimilarityModes; ++m) {
+    similar_mode_[m] = metrics_->RegisterCounter(
+        std::string("serve.similar.mode.") +
+        SimilarityModeName(static_cast<SimilarityMode>(m)));
+  }
+  similar_cache_hits_ = metrics_->RegisterCounter("serve.similar.cache.hits");
+  similar_cache_misses_ =
+      metrics_->RegisterCounter("serve.similar.cache.misses");
   cache_hits_ = metrics_->RegisterCounter("serve.cache.hits");
   cache_misses_ = metrics_->RegisterCounter("serve.cache.misses");
   errors_ = metrics_->RegisterCounter("serve.errors");
@@ -170,6 +239,32 @@ std::shared_ptr<const QueryEngine::ServingState> QueryEngine::BuildState(
       int k = snapshot->InferTopicForFeatures(
           corpus->documents[d].gel_feature);
       state->topic_docs[static_cast<size_t>(k)].push_back(d);
+    }
+    // Remap each document's term bag into the snapshot's vocabulary via
+    // surface forms: the corpus may have been indexed against a different
+    // (or older) model, so corpus ids are not trusted to line up. The
+    // result is sorted-unique — both consumers treat the bag as a set.
+    std::vector<int32_t> remap(corpus->term_vocab.size(),
+                               text::Vocabulary::kUnknownId);
+    for (size_t v = 0; v < corpus->term_vocab.size(); ++v) {
+      remap[v] =
+          snapshot->WordId(corpus->term_vocab.WordOf(static_cast<int32_t>(v)));
+    }
+    state->doc_terms.resize(corpus->documents.size());
+    for (size_t d = 0; d < corpus->documents.size(); ++d) {
+      std::vector<int32_t>& terms = state->doc_terms[d];
+      terms.reserve(corpus->documents[d].term_ids.size());
+      for (int32_t id : corpus->documents[d].term_ids) {
+        if (id < 0 || static_cast<size_t>(id) >= remap.size()) continue;
+        int32_t mapped = remap[static_cast<size_t>(id)];
+        if (mapped != text::Vocabulary::kUnknownId) terms.push_back(mapped);
+      }
+      std::sort(terms.begin(), terms.end());
+      terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    }
+    if (snapshot->has_embeddings()) {
+      state->embedding_index = std::make_unique<embed::EmbeddingIndex>(
+          snapshot->embedding_view(), state->doc_terms);
     }
   }
   state->snapshot = std::move(snapshot);
@@ -370,8 +465,9 @@ StatusOr<std::vector<RheologyMatch>> QueryEngine::NearestRheology(
 
 StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
     const TextureQuery& query, size_t top_n, Deadline deadline,
-    uint64_t trace_parent) {
+    uint64_t trace_parent, SimilarityMode mode) {
   QueryScope scope(queries_accepted_, queries_completed_, similar_latency_);
+  similar_mode_[static_cast<size_t>(mode)]->Increment();
   TEXRHEO_RETURN_IF_ERROR(ValidateQuery(query));
   if (corpus_ == nullptr) {
     return Status::FailedPrecondition(
@@ -381,12 +477,46 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
   std::shared_ptr<const ServingState> state = this->state();
   const ServingSnapshot& snapshot = *state->snapshot;
 
+  const bool needs_embeddings =
+      mode == SimilarityMode::kEmbed || mode == SimilarityMode::kFused;
+  if (needs_embeddings && state->embedding_index == nullptr) {
+    return Status::FailedPrecondition(
+        std::string("similar-recipes mode=") + SimilarityModeName(mode) +
+        " requires a model packed with ingredient embeddings (this snapshot "
+        "has none)");
+  }
+
+  math::Vector gel = OrZeros(query.gel_concentration, recipe::kNumGelTypes);
+  math::Vector emulsion =
+      OrZeros(query.emulsion_concentration, recipe::kNumEmulsionTypes);
+  std::vector<int32_t> term_ids = ResolveTerms(snapshot, query.texture_terms);
+  std::sort(term_ids.begin(), term_ids.end());
+  term_ids.erase(std::unique(term_ids.begin(), term_ids.end()),
+                 term_ids.end());
+  if (mode == SimilarityMode::kEmbed && term_ids.empty()) {
+    return Status::InvalidArgument(
+        "similar-recipes mode=embed needs at least one in-vocabulary "
+        "texture term (terms=...) to build a query vector");
+  }
+
+  // Mode and size are part of the key (and the embedded PredictTexture has
+  // its own mode-less cache): a kl answer can never satisfy a fused probe.
+  std::string key = CanonicalQueryKey(gel, emulsion, term_ids,
+                                      config_.cache_quantum,
+                                      SimilarityModeName(mode));
+  key += "|n:" + std::to_string(top_n);
+  if (std::optional<SimilarRecipesResult> hit = similar_cache_.Get(key)) {
+    similar_cache_hits_->Increment();
+    hit->from_cache = true;
+    return *std::move(hit);
+  }
+  similar_cache_misses_->Increment();
+
   SimilarRecipesResult result;
+  result.mode = mode;
   if (query.texture_terms.empty()) {
     // Feature-only query: place it by gel Gaussian (fast path, no fold-in).
-    math::Vector gel_feature = recipe::ToFeature(
-        OrZeros(query.gel_concentration, recipe::kNumGelTypes),
-        config_.feature);
+    math::Vector gel_feature = recipe::ToFeature(gel, config_.feature);
     result.topic = snapshot.InferTopicForFeatures(gel_feature);
   } else {
     TEXRHEO_ASSIGN_OR_RETURN(TexturePrediction prediction,
@@ -396,20 +526,88 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
 
   const std::vector<size_t>& members =
       state->topic_docs[static_cast<size_t>(result.topic)];
-  math::Vector emulsion =
-      OrZeros(query.emulsion_concentration, recipe::kNumEmulsionTypes);
-  auto ranked_or = eval::RankByEmulsionKL(*corpus_, members, emulsion);
-  if (!ranked_or.ok()) {
-    errors_->Increment();
-    return ranked_or.status();
+
+  // Backends, each producing a full ascending ranking of `members`.
+  auto rank_kl = [&]() -> StatusOr<std::vector<RankedDoc>> {
+    auto ranked_or = eval::RankByEmulsionKL(*corpus_, members, emulsion);
+    if (!ranked_or.ok()) return ranked_or.status();
+    std::vector<RankedDoc> ranking;
+    ranking.reserve(ranked_or->size());
+    for (const eval::RankedRecipe& r : *ranked_or) {
+      ranking.push_back(RankedDoc{r.doc_index, r.divergence});
+    }
+    return ranking;
+  };
+  auto rank_embed = [&]() {
+    std::vector<embed::EmbeddingIndex::Ranked> ranked =
+        state->embedding_index->RankByCosine(term_ids, members);
+    std::vector<RankedDoc> ranking;
+    ranking.reserve(ranked.size());
+    for (const auto& r : ranked) {
+      ranking.push_back(RankedDoc{r.doc, r.distance});
+    }
+    return ranking;
+  };
+  auto rank_lexical = [&]() {
+    std::vector<RankedDoc> ranking;
+    ranking.reserve(members.size());
+    for (size_t d : members) {
+      ranking.push_back(
+          RankedDoc{d, JaccardDistance(term_ids, state->doc_terms[d])});
+    }
+    SortRanking(ranking);
+    return ranking;
+  };
+
+  std::vector<RankedDoc> ranking;
+  if (mode == SimilarityMode::kKl) {
+    auto kl_or = rank_kl();
+    if (!kl_or.ok()) {
+      errors_->Increment();
+      return kl_or.status();
+    }
+    ranking = *std::move(kl_or);
+  } else if (mode == SimilarityMode::kEmbed) {
+    ranking = rank_embed();
+  } else if (mode == SimilarityMode::kLexical) {
+    ranking = rank_lexical();
+  } else {
+    // Weighted reciprocal-rank fusion. Every member appears in every
+    // backend's full ranking, so each accumulates all three contributions.
+    // With no usable terms the embed and lexical perspectives carry no
+    // signal (all-tied rankings) and fusion degrades toward pure KL order.
+    auto kl_or = rank_kl();
+    if (!kl_or.ok()) {
+      errors_->Increment();
+      return kl_or.status();
+    }
+    std::vector<double> score(corpus_->documents.size(), 0.0);
+    auto accumulate = [&](const std::vector<RankedDoc>& backend, double w) {
+      for (size_t r = 0; r < backend.size(); ++r) {
+        score[backend[r].doc] +=
+            w / (config_.fusion_rrf_k + static_cast<double>(r + 1));
+      }
+    };
+    accumulate(*kl_or, config_.fusion_kl_weight);
+    if (!term_ids.empty()) {
+      accumulate(rank_embed(), config_.fusion_embed_weight);
+      accumulate(rank_lexical(), config_.fusion_lexical_weight);
+    }
+    ranking.reserve(members.size());
+    // Negated so "ascending divergence = nearest first" holds for fused
+    // results too.
+    for (size_t d : members) ranking.push_back(RankedDoc{d, -score[d]});
+    SortRanking(ranking);
   }
+
   size_t keep = top_n == 0 ? config_.max_similar : top_n;
-  keep = std::min(keep, ranked_or->size());
+  keep = std::min(keep, ranking.size());
   result.recipes.reserve(keep);
   for (size_t i = 0; i < keep; ++i) {
     result.recipes.push_back(
-        SimilarRecipe{(*ranked_or)[i].doc_index, (*ranked_or)[i].divergence});
+        SimilarRecipe{ranking[i].doc, ranking[i].distance});
   }
+  similar_cache_.Put(key, result);
   return result;
 }
 
@@ -458,6 +656,7 @@ Status QueryEngine::Reload(std::shared_ptr<const ServingSnapshot> snapshot) {
   // next eviction or reload clears them; correctness-critical readers
   // compare fingerprints.
   cache_.Clear();
+  similar_cache_.Clear();
   reloads_->Increment();
   return Status::OK();
 }

@@ -6,10 +6,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/linkage.h"
+#include "embed/embedding_index.h"
 #include "math/linalg.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -53,6 +55,22 @@ struct QueryEngineConfig {
   /// Result sizing.
   int top_terms = 8;
   size_t max_similar = 20;
+
+  /// SimilarRecipes result cache (keyed by canonical query key + mode +
+  /// top_n, flushed on reload). 0 disables.
+  size_t similar_cache_capacity = 1024;
+
+  /// Weighted reciprocal-rank fusion of the three SIMILAR backends
+  /// (mode=fused): score(d) = sum_m w_m / (rrf_k + rank_m(d)), ranks
+  /// 1-based within the query's topic. The KL backend carries the paper's
+  /// Section V.B signal and dominates; embeddings and term overlap are
+  /// corrective perspectives. Defaults tuned on bench_similarity's
+  /// template-precision sweep (ci.sh --bench gates fused >= every single
+  /// backend at these values).
+  double fusion_kl_weight = 1.0;
+  double fusion_embed_weight = 0.1;
+  double fusion_lexical_weight = 0.1;
+  double fusion_rrf_k = 60.0;
 
   /// Concentration -> feature transform; must match training.
   recipe::FeatureConfig feature;
@@ -114,13 +132,40 @@ struct RheologyMatch {
   rheology::TpaAttributes attributes;
 };
 
+/// Ranking backend of SimilarRecipes. All modes rank within the query's
+/// topic (the paper's Section V.B scoping); they differ in the distance:
+///  - kKl: emulsion-concentration KL (the paper's ranking, the default);
+///  - kEmbed: cosine distance between mean ingredient-embedding vectors
+///    (requires a snapshot with embeddings and in-vocabulary terms=);
+///  - kLexical: 1 - Jaccard overlap of the term bags;
+///  - kFused: weighted reciprocal-rank fusion of all three (see
+///    QueryEngineConfig fusion_* weights; requires embeddings).
+enum class SimilarityMode : uint8_t {
+  kKl = 0,
+  kEmbed = 1,
+  kLexical = 2,
+  kFused = 3,
+};
+inline constexpr size_t kNumSimilarityModes = 4;
+
+/// Wire/display name: "kl", "embed", "lexical", "fused".
+const char* SimilarityModeName(SimilarityMode mode);
+
+/// Inverse of SimilarityModeName; InvalidArgument on anything else.
+StatusOr<SimilarityMode> ParseSimilarityMode(std::string_view name);
+
 struct SimilarRecipe {
   size_t recipe_index = 0;  ///< Document index in the indexed corpus.
-  double divergence = 0.0;  ///< Emulsion-concentration KL to the query.
+  /// Distance under the query's mode, ascending: emulsion KL (kl),
+  /// 1 - cosine (embed), 1 - Jaccard (lexical), or the negated RRF score
+  /// (fused) so "smaller is nearer" holds across all four.
+  double divergence = 0.0;
 };
 
 struct SimilarRecipesResult {
   int topic = 0;
+  SimilarityMode mode = SimilarityMode::kKl;
+  bool from_cache = false;
   std::vector<SimilarRecipe> recipes;  ///< Nearest first.
 };
 
@@ -193,12 +238,15 @@ class QueryEngine {
       int topic, const core::LinkageOptions* options = nullptr);
 
   /// Places the query in its topic, then ranks that topic's indexed
-  /// recipes by emulsion-concentration KL (Section V.B), nearest first.
-  /// top_n == 0 uses config.max_similar. `deadline` guards the embedded
-  /// fold-in exactly as in PredictTexture.
+  /// recipes under `mode` (see SimilarityMode), nearest first. top_n == 0
+  /// uses config.max_similar. `deadline` guards the embedded fold-in
+  /// exactly as in PredictTexture. Results are cached per (canonical
+  /// query, mode, top_n) — the mode is part of the key, so a kl answer
+  /// can never be served for a fused query.
   StatusOr<SimilarRecipesResult> SimilarRecipes(
       const TextureQuery& query, size_t top_n = 0,
-      Deadline deadline = kNoDeadline, uint64_t trace_parent = 0);
+      Deadline deadline = kNoDeadline, uint64_t trace_parent = 0,
+      SimilarityMode mode = SimilarityMode::kKl);
 
   /// Summarizes one topic (phi top terms + Gaussian summaries).
   StatusOr<TopicCardResult> TopicCard(int topic);
@@ -252,6 +300,14 @@ class QueryEngine {
     /// topic_docs[k]: corpus document indices whose gel features place
     /// them in topic k. Empty when no corpus is attached.
     std::vector<std::vector<size_t>> topic_docs;
+    /// Per corpus document: its term ids remapped into *this snapshot's*
+    /// vocabulary (sorted, deduplicated; out-of-vocabulary terms dropped).
+    /// The lexical and embed backends read these. Empty without a corpus.
+    std::vector<std::vector<int32_t>> doc_terms;
+    /// Cosine scan index over doc_terms; null when the snapshot carries no
+    /// embeddings or no corpus is attached. Views into `snapshot`, which
+    /// this bundle co-owns.
+    std::unique_ptr<embed::EmbeddingIndex> embedding_index;
   };
 
   QueryEngine(const QueryEngineConfig& config, const recipe::Dataset* corpus);
@@ -281,6 +337,9 @@ class QueryEngine {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<FoldInBatcher> batcher_;
   LruCache<std::string, TexturePrediction> cache_;
+  /// SIMILAR results keyed by canonical query key + mode + top_n; flushed
+  /// together with cache_ on reload.
+  LruCache<std::string, SimilarRecipesResult> similar_cache_;
 
   /// All counters/gauges/latency histograms live in the registry; the
   /// members below are pre-registered handles (lock-free on the hot path).
@@ -297,6 +356,12 @@ class QueryEngine {
   obs::Counter* errors_ = nullptr;
   obs::Counter* unknown_terms_ = nullptr;
   obs::Counter* reloads_ = nullptr;
+  /// serve.similar.mode.{kl,embed,lexical,fused}, indexed by
+  /// SimilarityMode. Registered right after accepted, so snapshots obey
+  /// accepted >= sum(mode counters).
+  obs::Counter* similar_mode_[kNumSimilarityModes] = {};
+  obs::Counter* similar_cache_hits_ = nullptr;
+  obs::Counter* similar_cache_misses_ = nullptr;
   obs::Gauge* cache_size_ = nullptr;
   obs::Gauge* cache_capacity_ = nullptr;
   obs::Gauge* cache_evictions_ = nullptr;

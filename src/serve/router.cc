@@ -469,16 +469,24 @@ StatusOr<std::string> ReplicaRouter::RoutingKeyFor(
   const std::string& cmd = tokens[0];
   if (cmd == "PREDICT" || cmd == "SIMILAR") {
     // Text-level twin of the engine's canonical cache key: quantized
-    // concentrations + the sorted term bag. The router has no vocabulary
-    // (term ids are a model artifact), so terms enter as sorted surface
-    // strings — same recipe text, same key, same replica, hot cache.
+    // concentrations + the sorted term bag + (for SIMILAR) the ranking
+    // mode. The router has no vocabulary (term ids are a model artifact),
+    // so terms enter as sorted surface strings — same recipe text, same
+    // key, same replica, hot cache. Folding the mode in mirrors the
+    // replica's own cache keying, so each mode's working set pins to one
+    // replica instead of thrashing a shared one.
     size_t top_n = 0;
+    SimilarityMode mode = SimilarityMode::kKl;
+    const bool is_similar = cmd == "SIMILAR";
     TEXRHEO_ASSIGN_OR_RETURN(
         TextureQuery query,
-        ParseQueryCommand(tokens, cmd == "SIMILAR" ? &top_n : nullptr));
-    std::string key = CanonicalQueryKey(query.gel_concentration,
-                                        query.emulsion_concentration, {},
-                                        options_.cache_quantum);
+        ParseQueryCommand(tokens, is_similar ? &top_n : nullptr,
+                          is_similar ? &mode : nullptr));
+    std::string key = CanonicalQueryKey(
+        query.gel_concentration, query.emulsion_concentration, {},
+        options_.cache_quantum,
+        is_similar ? std::string_view(SimilarityModeName(mode))
+                   : std::string_view());
     std::vector<std::string> terms = query.texture_terms;
     std::sort(terms.begin(), terms.end());
     key += "|terms:";

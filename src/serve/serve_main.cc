@@ -30,6 +30,7 @@
 
 #include "core/model_binary.h"
 #include "core/serialization.h"
+#include "embed/sgns_trainer.h"
 #include "eval/experiment.h"
 #include "obs/exporter.h"
 #include "obs/trace.h"
@@ -65,6 +66,21 @@ StatusOr<LoadedModel> LoadToy(double scale, const std::string& dump_dir) {
   LoadedModel loaded;
   texrheo::core::ModelSnapshot model = texrheo::core::MakeSnapshot(
       result.estimates, result.dataset.term_vocab);
+  // Train SGNS ingredient embeddings over the corpus term bags. The toy
+  // corpus was indexed against term_vocab — the snapshot's own vocabulary —
+  // so sentences are the documents' term-id sequences verbatim.
+  std::vector<std::vector<int32_t>> sentences;
+  sentences.reserve(result.dataset.documents.size());
+  for (const texrheo::recipe::Document& doc : result.dataset.documents) {
+    sentences.push_back(doc.term_ids);
+  }
+  texrheo::embed::SgnsConfig sgns;
+  sgns.dim = 16;
+  sgns.epochs = 3;  // Startup-budget epochs; the bench trains for real.
+  TEXRHEO_ASSIGN_OR_RETURN(
+      texrheo::embed::EmbeddingTable embeddings,
+      texrheo::embed::TrainSgns(sentences, result.dataset.term_vocab.size(),
+                                sgns));
   if (!dump_dir.empty()) {
     // Per-process filename: a replica fleet started from the README's
     // multi-instance recipe must not race on one shared dump path (the
@@ -74,13 +90,18 @@ StatusOr<LoadedModel> LoadToy(double scale, const std::string& dump_dir) {
     loaded.model_file = base + ".txt";
     TEXRHEO_RETURN_IF_ERROR(
         texrheo::core::SaveModel(loaded.model_file, model));
-    // Pack the binary twin so selftest exercises the mmap reload path too.
-    TEXRHEO_RETURN_IF_ERROR(texrheo::core::WriteModelBinary(model, base));
+    // Pack the binary twin so selftest exercises the mmap reload path too —
+    // with the embedding sections, so embed/fused survive a binary reload.
+    // The text twin stays v2 (no embeddings): reloading it is the selftest's
+    // legacy-model case, where embed-mode queries must fail cleanly.
+    TEXRHEO_RETURN_IF_ERROR(texrheo::core::WriteModelBinary(
+        model, base, texrheo::FileOps::Real(), &embeddings));
     loaded.binary_idx = base + ".idx";
   }
   TEXRHEO_ASSIGN_OR_RETURN(
-      loaded.snapshot, texrheo::serve::ServingSnapshot::FromModel(
-                           std::move(model), "toy-experiment"));
+      loaded.snapshot,
+      texrheo::serve::ServingSnapshot::FromModel(
+          std::move(model), "toy-experiment", std::move(embeddings)));
   loaded.corpus = std::make_unique<texrheo::recipe::Dataset>(
       std::move(result.dataset));
   return loaded;
@@ -130,6 +151,13 @@ Status RunSelftest(int port, const std::string& reload_file,
   TEXRHEO_RETURN_IF_ERROR(expect_ok("NEAREST 0"));
   TEXRHEO_RETURN_IF_ERROR(expect_ok("NEAREST 0 method=mahalanobis"));
   TEXRHEO_RETURN_IF_ERROR(expect_ok("SIMILAR gelatin=0.02 n=3"));
+  // Every similarity backend answers against the embedding-bearing toy
+  // snapshot (embed/fused need terms to build a query vector).
+  for (const char* mode : {"kl", "embed", "lexical", "fused"}) {
+    TEXRHEO_RETURN_IF_ERROR(expect_ok(
+        std::string("SIMILAR gelatin=0.02 terms=katai,purupuru n=3 mode=") +
+        mode));
+  }
   TEXRHEO_RETURN_IF_ERROR(expect_ok("TOPIC 0"));
   // A malformed command must produce a clean ERR, not a dropped connection.
   TEXRHEO_ASSIGN_OR_RETURN(std::string err, client->RoundTrip("NEAREST 9999"));
@@ -138,12 +166,25 @@ Status RunSelftest(int port, const std::string& reload_file,
   }
   if (!reload_file.empty()) {
     TEXRHEO_RETURN_IF_ERROR(expect_ok("RELOAD " + reload_file));
+    // The text model is a legacy v2 pack with no embedding sections:
+    // embed-backed modes must fail with a clean ERR, not serve garbage.
+    TEXRHEO_ASSIGN_OR_RETURN(
+        std::string legacy,
+        client->RoundTrip("SIMILAR gelatin=0.02 terms=katai mode=embed"));
+    if (legacy.rfind("ERR", 0) != 0) {
+      return Status::Internal(
+          "selftest: embed mode on a legacy model should ERR, got " + legacy);
+    }
+    TEXRHEO_RETURN_IF_ERROR(expect_ok("SIMILAR gelatin=0.02 mode=kl n=3"));
   }
   if (!reload_binary.empty()) {
     // Hot reload from the packed binary pair (mmap path), then prove the
-    // swapped-in mapping actually serves.
+    // swapped-in mapping actually serves — including its embedding
+    // sections, which the text model just dropped.
     TEXRHEO_RETURN_IF_ERROR(expect_ok("RELOAD " + reload_binary));
     TEXRHEO_RETURN_IF_ERROR(expect_ok("TOPIC 0"));
+    TEXRHEO_RETURN_IF_ERROR(expect_ok(
+        "SIMILAR gelatin=0.02 terms=katai,purupuru n=3 mode=fused"));
   }
   TEXRHEO_RETURN_IF_ERROR(client->SendLine("STATSZ"));
   TEXRHEO_ASSIGN_OR_RETURN(std::string statsz, client->ReadUntilDot());
@@ -197,7 +238,8 @@ Status RunSelftest(int port, const std::string& reload_file,
 /// stepped manually), and the ejection is visible in the router's
 /// METRICSZ fleet object.
 Status RunRouterSmoke(
-    std::shared_ptr<const texrheo::serve::ServingSnapshot> snapshot) {
+    std::shared_ptr<const texrheo::serve::ServingSnapshot> snapshot,
+    const texrheo::recipe::Dataset* corpus) {
   using texrheo::serve::LineProtocolServer;
   using texrheo::serve::QueryEngine;
   struct Replica {
@@ -210,7 +252,7 @@ Status RunRouterSmoke(
     texrheo::serve::QueryEngineConfig config;
     config.batch_linger_micros = 0;
     TEXRHEO_ASSIGN_OR_RETURN(replica.engine,
-                             QueryEngine::Create(config, snapshot, nullptr));
+                             QueryEngine::Create(config, snapshot, corpus));
     replica.server = std::make_unique<LineProtocolServer>(
         replica.engine.get(), texrheo::serve::ServerOptions{});
     TEXRHEO_RETURN_IF_ERROR(replica.server->Start());
@@ -233,6 +275,11 @@ Status RunRouterSmoke(
     return Status::OK();
   };
   TEXRHEO_RETURN_IF_ERROR(route_ok("PREDICT gelatin=0.012 terms=jiggly"));
+  // A fused SIMILAR routed through the front tier: proves mode= survives
+  // the router's parse/routing-key path and the replica-side fusion serves
+  // end to end behind the fleet.
+  TEXRHEO_RETURN_IF_ERROR(
+      route_ok("SIMILAR gelatin=0.02 terms=katai,purupuru n=3 mode=fused"));
   // Kill one replica: the next probe pass ejects it (threshold 1) and
   // queries keep answering through the survivors.
   fleet[2].server->Stop();
@@ -372,7 +419,9 @@ int Main(int argc, char** argv) {
   if (selftest) {
     Status result =
         RunSelftest(server.port(), loaded.model_file, loaded.binary_idx);
-    if (result.ok()) result = RunRouterSmoke(loaded.snapshot);
+    if (result.ok()) {
+      result = RunRouterSmoke(loaded.snapshot, loaded.corpus.get());
+    }
     server.Stop();
     if (!result.ok()) {
       std::fprintf(stderr, "SELFTEST FAILED: %s\n",

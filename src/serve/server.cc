@@ -507,12 +507,14 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
 
   if (cmd == "SIMILAR") {
     size_t top_n = 0;
-    auto query_or = ParseQueryCommand(tokens, &top_n);
+    SimilarityMode mode = SimilarityMode::kKl;
+    auto query_or = ParseQueryCommand(tokens, &top_n, &mode);
     if (!query_or.ok()) return Err(query_or.status());
     auto result_or =
-        engine_->SimilarRecipes(*query_or, top_n, deadline, trace_parent);
+        engine_->SimilarRecipes(*query_or, top_n, deadline, trace_parent, mode);
     if (!result_or.ok()) return Err(result_or.status());
-    std::string out = "OK topic=" + std::to_string(result_or->topic);
+    std::string out = "OK topic=" + std::to_string(result_or->topic) +
+                      " mode=" + SimilarityModeName(result_or->mode);
     size_t rows = std::min(options_.max_rows, result_or->recipes.size());
     if (top_n != 0) rows = std::min(rows, top_n);
     out += " recipes=";

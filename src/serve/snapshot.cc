@@ -84,6 +84,16 @@ Status ServingSnapshot::Validate() const {
     return Status::InvalidArgument(
         "serving snapshot: topic_recipe_count size disagrees with phi");
   }
+  if (has_embeddings()) {
+    embed::EmbeddingView view = embedding_view();
+    if (view.vocab != vocab_size_) {
+      return Status::InvalidArgument(
+          "serving snapshot: embedding vocabulary disagrees with the model");
+    }
+    // Value-level finiteness was already enforced where the table entered
+    // the process (ValidateEmbeddingTable on the heap path, MappedModel::
+    // Open on the mmap path); only the alignment needs re-checking here.
+  }
   return Status::OK();
 }
 
@@ -138,9 +148,12 @@ Status ServingSnapshot::Finalize() {
 }
 
 StatusOr<std::shared_ptr<const ServingSnapshot>> ServingSnapshot::FromModel(
-    core::ModelSnapshot model, std::string source) {
+    core::ModelSnapshot model, std::string source,
+    embed::EmbeddingTable embeddings) {
+  TEXRHEO_RETURN_IF_ERROR(embed::ValidateEmbeddingTable(embeddings));
   auto snapshot = std::shared_ptr<ServingSnapshot>(new ServingSnapshot());
   snapshot->model_ = std::move(model);
+  snapshot->embeddings_ = std::move(embeddings);
   snapshot->source_ = std::move(source);
   snapshot->num_topics_ = snapshot->model_.num_topics();
   snapshot->vocab_size_ = snapshot->model_.vocab.size();

@@ -12,6 +12,7 @@
 
 #include "core/model_binary.h"
 #include "core/serialization.h"
+#include "embed/embedding.h"
 #include "math/linalg.h"
 #include "recipe/dataset.h"
 #include "text/texture_dictionary.h"
@@ -63,9 +64,13 @@ class ServingSnapshot {
  public:
   /// Wraps a deserialized model, derives the per-topic term summaries, and
   /// computes the content fingerprint. Fails on structurally inconsistent
-  /// estimates (phi/Gaussian/topic-count shape mismatches).
+  /// estimates (phi/Gaussian/topic-count shape mismatches). A non-empty
+  /// `embeddings` table (vocabulary-aligned with the model) enables the
+  /// embed/fused SIMILAR backends; it does not enter the fingerprint, which
+  /// identifies the topic model alone (see WriteModelBinary).
   static StatusOr<std::shared_ptr<const ServingSnapshot>> FromModel(
-      core::ModelSnapshot model, std::string source);
+      core::ModelSnapshot model, std::string source,
+      embed::EmbeddingTable embeddings = {});
 
   /// Loads a text-format (v2) model file.
   static StatusOr<std::shared_ptr<const ServingSnapshot>> FromModelFile(
@@ -111,6 +116,20 @@ class ServingSnapshot {
     if (mapped_ != nullptr) return mapped_->phi_row(k);
     return model_.estimates.phi[static_cast<size_t>(k)];
   }
+  /// True when the snapshot can serve embedding-backed similarity (a heap
+  /// table was attached, or the binary pack carries the embedding pair).
+  bool has_embeddings() const {
+    return mapped_ != nullptr ? mapped_->has_embeddings()
+                              : !embeddings_.empty();
+  }
+  /// Zero-copy span view of the embeddings (heap rows or mapped sections);
+  /// empty view when has_embeddings() is false. Valid while the snapshot
+  /// lives — exactly the lifetime every in-flight query already holds.
+  embed::EmbeddingView embedding_view() const {
+    if (mapped_ != nullptr) return mapped_->embedding_view();
+    return embed::EmbeddingView::Of(embeddings_);
+  }
+
   /// Surface form of a vocabulary id.
   std::string_view word(size_t v) const {
     if (mapped_ != nullptr) return mapped_->word(v);
@@ -160,6 +179,9 @@ class ServingSnapshot {
 
   // Heap path: the decoded model. Unused (empty) when mapped_ is set.
   core::ModelSnapshot model_;
+  // Heap path: optional vocabulary-aligned embeddings (empty when absent
+  // or when mapped_ serves them zero-copy instead).
+  embed::EmbeddingTable embeddings_;
 
   // Mmap path: the verified mapping, Gaussians/linkage materialized from
   // it (phi left empty), and a word -> id index over pool string_views

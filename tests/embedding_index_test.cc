@@ -1,0 +1,147 @@
+// EmbeddingIndex contract tests: mean-vector composition, cosine top-k
+// correctness against a brute-force reference, zero-norm sentinel
+// handling, and deterministic tie-breaking.
+
+#include "embed/embedding_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "embed/embedding.h"
+
+namespace texrheo::embed {
+namespace {
+
+/// Hand-built 4-dim table: unit axis vectors plus one zero row (id 4).
+EmbeddingTable AxisTable() {
+  EmbeddingTable table;
+  table.dim = 4;
+  table.vectors = {
+      1, 0, 0, 0,  // id 0
+      0, 1, 0, 0,  // id 1
+      0, 0, 1, 0,  // id 2
+      0, 0, 0, 1,  // id 3
+      0, 0, 0, 0,  // id 4: all-zero (e.g. a term never trained)
+  };
+  table.RecomputeNorms();
+  return table;
+}
+
+TEST(EmbeddingIndexTest, MeanVectorAveragesInVocabTerms) {
+  EmbeddingTable table = AxisTable();
+  EmbeddingIndex index(EmbeddingView::Of(table), {});
+  std::vector<int32_t> terms = {0, 1};
+  std::vector<float> mean = index.MeanVector(terms);
+  ASSERT_EQ(mean.size(), 4u);
+  EXPECT_FLOAT_EQ(mean[0], 0.5f);
+  EXPECT_FLOAT_EQ(mean[1], 0.5f);
+  EXPECT_FLOAT_EQ(mean[2], 0.0f);
+  // Out-of-range ids are ignored, not averaged in as zeros.
+  std::vector<int32_t> with_junk = {0, 1, 99, -3};
+  std::vector<float> same = index.MeanVector(with_junk);
+  EXPECT_EQ(mean, same);
+}
+
+TEST(EmbeddingIndexTest, DocVectorsAndNormsPrecomputed) {
+  EmbeddingTable table = AxisTable();
+  std::vector<std::vector<int32_t>> docs = {{0}, {0, 1}, {4}, {}};
+  EmbeddingIndex index(EmbeddingView::Of(table), docs);
+  ASSERT_EQ(index.num_docs(), 4u);
+  EXPECT_FLOAT_EQ(index.doc_norm(0), 1.0f);
+  EXPECT_NEAR(index.doc_norm(1), std::sqrt(0.5), 1e-6);
+  EXPECT_FLOAT_EQ(index.doc_norm(2), 0.0f);  // zero vector
+  EXPECT_FLOAT_EQ(index.doc_norm(3), 0.0f);  // empty bag
+}
+
+TEST(EmbeddingIndexTest, ZeroNormSidesGetSentinelDistance) {
+  EmbeddingTable table = AxisTable();
+  std::vector<std::vector<int32_t>> docs = {{0}, {4}};
+  EmbeddingIndex index(EmbeddingView::Of(table), docs);
+  std::vector<float> query = {1, 0, 0, 0};
+  // Real angle to doc 0, sentinel to the zero-vector doc 1.
+  EXPECT_NEAR(index.CosineDistance(query, 1.0, 0), 0.0, 1e-6);
+  EXPECT_EQ(index.CosineDistance(query, 1.0, 1), 2.0);
+  // A zero-norm query is sentinel against everything.
+  std::vector<float> zero = {0, 0, 0, 0};
+  EXPECT_EQ(index.CosineDistance(zero, 0.0, 0), 2.0);
+}
+
+TEST(EmbeddingIndexTest, RankByCosineMatchesBruteForce) {
+  // A denser random-ish table exercised against an independent reference.
+  EmbeddingTable table;
+  table.dim = 3;
+  table.vectors = {
+      0.9f,  0.1f,  0.0f,   //
+      0.8f,  0.3f,  0.1f,   //
+      -0.5f, 0.5f,  0.7f,   //
+      0.0f,  -0.9f, 0.2f,   //
+      0.3f,  0.3f,  0.3f,   //
+      -0.2f, -0.2f, -0.9f,  //
+  };
+  table.RecomputeNorms();
+  std::vector<std::vector<int32_t>> docs = {{0}, {1}, {2}, {3}, {4}, {5},
+                                            {0, 2}, {1, 3}, {4, 5}};
+  EmbeddingIndex index(EmbeddingView::Of(table), docs);
+  std::vector<int32_t> query_terms = {0, 4};
+  std::vector<size_t> candidates = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  auto ranked = index.RankByCosine(query_terms, candidates);
+  ASSERT_EQ(ranked.size(), candidates.size());
+
+  // Brute force: recompute each distance from first principles.
+  std::vector<float> q = index.MeanVector(query_terms);
+  double qn = 0.0;
+  for (float x : q) qn += static_cast<double>(x) * x;
+  qn = std::sqrt(qn);
+  std::vector<std::pair<double, size_t>> expected;
+  for (size_t d : candidates) {
+    double dot = 0.0, dn = 0.0;
+    for (size_t i = 0; i < 3; ++i) {
+      dot += static_cast<double>(q[i]) * index.doc_vector(d)[i];
+      dn += static_cast<double>(index.doc_vector(d)[i]) *
+            index.doc_vector(d)[i];
+    }
+    dn = std::sqrt(dn);
+    double dist = (qn <= 0.0 || dn <= 0.0) ? 2.0 : 1.0 - dot / (qn * dn);
+    expected.emplace_back(dist, d);
+  }
+  std::sort(expected.begin(), expected.end());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].doc, expected[i].second) << "rank " << i;
+    // The index divides by its float-precomputed doc norms; the reference
+    // recomputes them in double, so agreement is to float precision only.
+    EXPECT_NEAR(ranked[i].distance, expected[i].first, 1e-6) << "rank " << i;
+  }
+}
+
+TEST(EmbeddingIndexTest, TiesBreakOnAscendingDocIndex) {
+  EmbeddingTable table = AxisTable();
+  // Three identical documents: distances tie exactly.
+  std::vector<std::vector<int32_t>> docs = {{0}, {0}, {0}};
+  EmbeddingIndex index(EmbeddingView::Of(table), docs);
+  std::vector<int32_t> query_terms = {0};
+  std::vector<size_t> candidates = {2, 0, 1};
+  auto ranked = index.RankByCosine(query_terms, candidates);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].doc, 0u);
+  EXPECT_EQ(ranked[1].doc, 1u);
+  EXPECT_EQ(ranked[2].doc, 2u);
+}
+
+TEST(EmbeddingIndexTest, RanksOnlyTheCandidateSubset) {
+  EmbeddingTable table = AxisTable();
+  std::vector<std::vector<int32_t>> docs = {{0}, {1}, {2}, {3}};
+  EmbeddingIndex index(EmbeddingView::Of(table), docs);
+  std::vector<int32_t> query_terms = {0};
+  std::vector<size_t> candidates = {1, 3};
+  auto ranked = index.RankByCosine(query_terms, candidates);
+  ASSERT_EQ(ranked.size(), 2u);
+  for (const auto& r : ranked) {
+    EXPECT_TRUE(r.doc == 1 || r.doc == 3);
+  }
+}
+
+}  // namespace
+}  // namespace texrheo::embed

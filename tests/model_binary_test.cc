@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/serialization.h"
+#include "embed/embedding.h"
 #include "math/distributions.h"
 #include "serve/snapshot.h"
 #include "util/crc32.h"
@@ -335,6 +336,130 @@ TEST(ModelBinaryTest, DatMagicMismatchRejected) {
   auto opened = MappedModel::Open(base);
   ASSERT_FALSE(opened.ok());
   EXPECT_NE(opened.status().message().find("magic"), std::string::npos);
+}
+
+// --- Embedding section pair (sections 10 and 11) ----------------------------
+
+embed::EmbeddingTable TinyEmbeddings() {
+  embed::EmbeddingTable table;
+  table.dim = 8;
+  table.vectors.resize(4 * table.dim);
+  for (size_t i = 0; i < table.vectors.size(); ++i) {
+    table.vectors[i] = 0.25f * static_cast<float>(i % 7) - 0.5f;
+  }
+  table.RecomputeNorms();
+  return table;
+}
+
+/// Packs TinyModel with the optional embedding pair appended.
+std::string PackTinyWithEmbeddings(const char* name) {
+  std::string base = TempBase(name);
+  embed::EmbeddingTable table = TinyEmbeddings();
+  Status status =
+      WriteModelBinary(TinyModel(), base, FileOps::Real(), &table);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return base;
+}
+
+TEST(ModelBinaryTest, MappedEmbeddingSectionsServeExactBytes) {
+  std::string base = PackTinyWithEmbeddings("mb_embed_exact");
+  auto opened = MappedModel::Open(base);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const MappedModel& mapped = **opened;
+  embed::EmbeddingTable table = TinyEmbeddings();
+  ASSERT_TRUE(mapped.has_embeddings());
+  ASSERT_EQ(mapped.embedding_dim(), table.dim);
+  ASSERT_EQ(mapped.embedding_matrix().size(), table.vectors.size());
+  EXPECT_EQ(std::memcmp(mapped.embedding_matrix().data(),
+                        table.vectors.data(),
+                        table.vectors.size() * sizeof(float)),
+            0);
+  ASSERT_EQ(mapped.embedding_norms().size(), table.norms.size());
+  EXPECT_EQ(std::memcmp(mapped.embedding_norms().data(), table.norms.data(),
+                        table.norms.size() * sizeof(float)),
+            0);
+  // The deep-copy helper reproduces the heap table exactly.
+  embed::EmbeddingTable copied = CopyEmbeddingTable(mapped);
+  EXPECT_EQ(copied.dim, table.dim);
+  EXPECT_EQ(copied.vectors, table.vectors);
+  EXPECT_EQ(copied.norms, table.norms);
+  // A pack written without the pair reports none (legacy contract).
+  auto legacy = MappedModel::Open(PackTiny("mb_embed_legacy"));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_FALSE((*legacy)->has_embeddings());
+  EXPECT_TRUE((*legacy)->embedding_matrix().empty());
+}
+
+TEST(ModelBinaryTest, EmbeddingPackEveryTruncationPrefixRejected) {
+  std::string base = PackTinyWithEmbeddings("mb_embed_trunc");
+  ModelBinaryPaths paths = ModelBinaryPathsFor(base);
+  // The longer 11-section index must fail cleanly at every prefix too.
+  std::string idx = MustRead(paths.idx);
+  for (size_t len = 0; len < idx.size(); ++len) {
+    MustWrite(paths.idx, std::string_view(idx).substr(0, len));
+    EXPECT_FALSE(MappedModel::Open(base).ok())
+        << "idx prefix of " << len << " bytes was accepted";
+  }
+  MustWrite(paths.idx, idx);
+  // Strict truncation of the payload: chopping anywhere — including inside
+  // the trailing optional sections — must be rejected, never served as a
+  // shorter embedding table.
+  std::string dat = MustRead(paths.dat);
+  for (size_t len = 0; len < dat.size(); ++len) {
+    MustWrite(paths.dat, std::string_view(dat).substr(0, len));
+    EXPECT_FALSE(MappedModel::Open(base).ok())
+        << "dat prefix of " << len << " bytes was accepted";
+  }
+  MustWrite(paths.dat, dat);
+  EXPECT_TRUE(MappedModel::Open(base).ok());
+}
+
+TEST(ModelBinaryTest, EmbeddingSectionBitFlipsCaughtByTheirCrcs) {
+  std::string base = PackTinyWithEmbeddings("mb_embed_flip");
+  ModelBinaryPaths paths = ModelBinaryPathsFor(base);
+  auto index = ParseModelBinaryIndex(MustRead(paths.idx));
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->sections.size(), kModelSectionCountWithEmbeddings);
+  std::string dat = MustRead(paths.dat);
+  for (ModelSection section :
+       {ModelSection::kEmbedding, ModelSection::kEmbeddingNorms}) {
+    const ModelSectionEntry& entry =
+        index->sections[static_cast<size_t>(section) - 1];
+    ASSERT_EQ(entry.id, static_cast<uint32_t>(section));
+    ASSERT_GT(entry.size, 0u);
+    for (uint64_t at : {entry.offset, entry.offset + entry.size / 2,
+                        entry.offset + entry.size - 1}) {
+      std::string corrupt = dat;
+      corrupt[at] = static_cast<char>(corrupt[at] ^ 0x01);
+      MustWrite(paths.dat, corrupt);
+      auto opened = MappedModel::Open(base);
+      ASSERT_FALSE(opened.ok())
+          << "bit flip at dat byte " << at << " in "
+          << ModelSectionName(section) << " was accepted";
+      EXPECT_NE(opened.status().message().find(ModelSectionName(section)),
+                std::string::npos)
+          << opened.status().message();
+    }
+  }
+  MustWrite(paths.dat, dat);
+  EXPECT_TRUE(MappedModel::Open(base).ok());
+}
+
+TEST(ModelBinaryTest, LonelyEmbeddingSectionRejected) {
+  // The pair is both-or-neither: an index listing ten sections (matrix
+  // without norms) is structurally invalid no matter what it checksums to.
+  std::string base = PackTinyWithEmbeddings("mb_embed_lonely");
+  ModelBinaryPaths paths = ModelBinaryPathsFor(base);
+  auto index = ParseModelBinaryIndex(MustRead(paths.idx));
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->sections.size(), kModelSectionCountWithEmbeddings);
+  index->sections.pop_back();
+  MustWrite(paths.idx, EncodeModelBinaryIndex(*index));
+  auto opened = MappedModel::Open(base);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().message().find("model binary"),
+            std::string::npos)
+      << opened.status().message();
 }
 
 // --- Structure-aware index mutations ---------------------------------------

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "core/model_binary.h"
+#include "embed/embedding.h"
 #include "math/distributions.h"
+#include "obs/metrics.h"
 #include "recipe/dataset.h"
 #include "recipe/ingredient.h"
 #include "serve/snapshot.h"
@@ -203,6 +205,207 @@ TEST(QueryEngineTest, SimilarRecipesStaysInTopicAndRanks) {
   auto top1 = (*engine)->SimilarRecipes(query, 1);
   ASSERT_TRUE(top1.ok());
   EXPECT_EQ(top1->recipes.size(), 1u);
+}
+
+/// Vocab-aligned with TinyModel (4 rows): the three dictionary words get
+/// well-separated directions, the non-texture word a distinct fourth.
+embed::EmbeddingTable TinyEmbeddingTable() {
+  embed::EmbeddingTable table;
+  table.dim = 4;
+  table.vectors = {
+      0.9f,  0.1f, 0.0f,  0.1f,   // katai
+      0.1f,  0.9f, 0.1f,  0.0f,   // purupuru
+      0.0f,  0.1f, 0.9f,  0.1f,   // fuwafuwa
+      -0.5f, 0.2f, -0.5f, 0.6f,   // zzz-not-a-texture-word
+  };
+  table.RecomputeNorms();
+  return table;
+}
+
+std::shared_ptr<const ServingSnapshot> TinyEmbedSnapshot(
+    const std::string& label = "tiny-embed") {
+  auto snapshot =
+      ServingSnapshot::FromModel(TinyModel(), label, TinyEmbeddingTable());
+  EXPECT_TRUE(snapshot.ok());
+  return *snapshot;
+}
+
+/// TinyCorpus with per-document term bags that actually differ, so the
+/// embed and lexical backends have something to disagree about.
+recipe::Dataset EmbedCorpus() {
+  recipe::Dataset ds = TinyCorpus();
+  const std::vector<std::vector<int32_t>> bags = {
+      {0}, {0, 1}, {1}, {2}, {1, 2}, {0, 2}};
+  for (size_t i = 0; i < ds.documents.size(); ++i) {
+    ds.documents[i].term_ids = bags[i];
+  }
+  return ds;
+}
+
+TEST(QueryEngineTest, EmbedAndFusedModesRequireEmbeddings) {
+  auto corpus = EmbedCorpus();
+  auto engine = QueryEngine::Create(FastConfig(), TinySnapshot(), &corpus);
+  ASSERT_TRUE(engine.ok());
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.01);
+  query.texture_terms = {"katai"};
+  for (SimilarityMode mode :
+       {SimilarityMode::kEmbed, SimilarityMode::kFused}) {
+    auto result =
+        (*engine)->SimilarRecipes(query, 5, kNoDeadline, 0, mode);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+        << result.status().ToString();
+  }
+  // kl and lexical stay available on an embedding-less snapshot.
+  for (SimilarityMode mode : {SimilarityMode::kKl, SimilarityMode::kLexical}) {
+    EXPECT_TRUE(
+        (*engine)->SimilarRecipes(query, 5, kNoDeadline, 0, mode).ok());
+  }
+}
+
+TEST(QueryEngineTest, EmbedModeNeedsAnInVocabularyTerm) {
+  auto corpus = EmbedCorpus();
+  auto engine =
+      QueryEngine::Create(FastConfig(), TinyEmbedSnapshot(), &corpus);
+  ASSERT_TRUE(engine.ok());
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.01);
+  auto no_terms = (*engine)->SimilarRecipes(query, 5, kNoDeadline, 0,
+                                            SimilarityMode::kEmbed);
+  ASSERT_FALSE(no_terms.ok());
+  EXPECT_EQ(no_terms.status().code(), StatusCode::kInvalidArgument);
+  // Out-of-vocabulary terms resolve to nothing: same rejection.
+  query.texture_terms = {"no-such-texture-word"};
+  auto unknown = (*engine)->SimilarRecipes(query, 5, kNoDeadline, 0,
+                                           SimilarityMode::kEmbed);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  // fused degrades gracefully: no terms just means kl carries the blend.
+  query.texture_terms = {};
+  EXPECT_TRUE((*engine)
+                  ->SimilarRecipes(query, 5, kNoDeadline, 0,
+                                   SimilarityMode::kFused)
+                  .ok());
+}
+
+TEST(QueryEngineTest, AllSimilarityModesRankWithinTopicAndCount) {
+  auto corpus = EmbedCorpus();
+  auto engine =
+      QueryEngine::Create(FastConfig(), TinyEmbedSnapshot(), &corpus);
+  ASSERT_TRUE(engine.ok());
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.01);
+  query.emulsion_concentration = math::Vector(6, 0.1);
+  query.texture_terms = {"katai", "purupuru"};
+  for (SimilarityMode mode :
+       {SimilarityMode::kKl, SimilarityMode::kEmbed, SimilarityMode::kLexical,
+        SimilarityMode::kFused}) {
+    auto result = (*engine)->SimilarRecipes(query, 10, kNoDeadline, 0, mode);
+    ASSERT_TRUE(result.ok()) << SimilarityModeName(mode) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->mode, mode);
+    ASSERT_FALSE(result->recipes.empty());
+    for (const SimilarRecipe& r : result->recipes) {
+      EXPECT_EQ(r.recipe_index < 3, result->topic == 0)
+          << SimilarityModeName(mode);
+    }
+    for (size_t i = 1; i < result->recipes.size(); ++i) {
+      EXPECT_LE(result->recipes[i - 1].divergence,
+                result->recipes[i].divergence)
+          << SimilarityModeName(mode);
+    }
+    // Per-mode counter ticked exactly for this mode's traffic.
+    EXPECT_EQ((*engine)->metrics()->TakeSnapshot().CounterValue(
+                  std::string("serve.similar.mode.") +
+                  SimilarityModeName(mode)),
+              1u);
+  }
+}
+
+TEST(QueryEngineTest, SimilarCacheIsPerModeAndFlushedOnReload) {
+  auto corpus = EmbedCorpus();
+  auto engine =
+      QueryEngine::Create(FastConfig(), TinyEmbedSnapshot(), &corpus);
+  ASSERT_TRUE(engine.ok());
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.01);
+  query.emulsion_concentration = math::Vector(6, 0.1);
+  auto first = (*engine)->SimilarRecipes(query, 5, kNoDeadline, 0,
+                                         SimilarityMode::kKl);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+  auto again = (*engine)->SimilarRecipes(query, 5, kNoDeadline, 0,
+                                         SimilarityMode::kKl);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->from_cache);
+  // A kl answer can never satisfy a lexical probe for the same recipe.
+  auto lexical = (*engine)->SimilarRecipes(query, 5, kNoDeadline, 0,
+                                           SimilarityMode::kLexical);
+  ASSERT_TRUE(lexical.ok());
+  EXPECT_FALSE(lexical->from_cache);
+  // Nor a different top_n under the same mode.
+  auto wider = (*engine)->SimilarRecipes(query, 2, kNoDeadline, 0,
+                                         SimilarityMode::kKl);
+  ASSERT_TRUE(wider.ok());
+  EXPECT_FALSE(wider->from_cache);
+  // Reload flushes the similar cache alongside the predict cache.
+  ASSERT_TRUE((*engine)->Reload(TinyEmbedSnapshot("v2")).ok());
+  auto after = (*engine)->SimilarRecipes(query, 5, kNoDeadline, 0,
+                                         SimilarityMode::kKl);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->from_cache);
+}
+
+TEST(QueryEngineTest, MmapEmbeddingAnswersMatchHeapByteForByte) {
+  // The acceptance bar for the zero-copy sections: an engine serving
+  // embeddings straight out of the mapping must answer every mode exactly
+  // as the heap-table engine does. Both engines are fresh (fold-in stream
+  // sequence 0), so even the sampled topic assignment paths align.
+  embed::EmbeddingTable table = TinyEmbeddingTable();
+  std::string base = testing::TempDir() + "/qe_embed_pack";
+  ASSERT_TRUE(
+      core::WriteModelBinary(TinyModel(), base, FileOps::Real(), &table)
+          .ok());
+  auto heap_snapshot =
+      ServingSnapshot::FromModel(TinyModel(), "heap", std::move(table));
+  auto mmap_snapshot = ServingSnapshot::FromBinaryFile(base + ".idx");
+  ASSERT_TRUE(heap_snapshot.ok() && mmap_snapshot.ok())
+      << mmap_snapshot.status().ToString();
+  auto heap_corpus = EmbedCorpus();
+  auto mmap_corpus = EmbedCorpus();
+  auto heap_engine =
+      QueryEngine::Create(FastConfig(), *heap_snapshot, &heap_corpus);
+  auto mmap_engine =
+      QueryEngine::Create(FastConfig(), *mmap_snapshot, &mmap_corpus);
+  ASSERT_TRUE(heap_engine.ok() && mmap_engine.ok());
+  TextureQuery query;
+  query.gel_concentration = math::Vector(3, 0.01);
+  query.emulsion_concentration = math::Vector(6, 0.1);
+  query.texture_terms = {"katai", "purupuru"};
+  for (SimilarityMode mode :
+       {SimilarityMode::kKl, SimilarityMode::kEmbed, SimilarityMode::kLexical,
+        SimilarityMode::kFused}) {
+    auto heap_result =
+        (*heap_engine)->SimilarRecipes(query, 10, kNoDeadline, 0, mode);
+    auto mmap_result =
+        (*mmap_engine)->SimilarRecipes(query, 10, kNoDeadline, 0, mode);
+    ASSERT_TRUE(heap_result.ok() && mmap_result.ok())
+        << SimilarityModeName(mode);
+    EXPECT_EQ(heap_result->topic, mmap_result->topic);
+    ASSERT_EQ(heap_result->recipes.size(), mmap_result->recipes.size())
+        << SimilarityModeName(mode);
+    for (size_t i = 0; i < heap_result->recipes.size(); ++i) {
+      EXPECT_EQ(heap_result->recipes[i].recipe_index,
+                mmap_result->recipes[i].recipe_index)
+          << SimilarityModeName(mode) << " rank " << i;
+      // Bit-identical, not merely close: both paths read the same float
+      // bytes and run the same double arithmetic over them.
+      EXPECT_EQ(heap_result->recipes[i].divergence,
+                mmap_result->recipes[i].divergence)
+          << SimilarityModeName(mode) << " rank " << i;
+    }
+  }
 }
 
 TEST(QueryEngineTest, SimilarRecipesRequiresCorpus) {

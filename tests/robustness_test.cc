@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "core/checkpoint.h"
 #include "core/joint_topic_model.h"
 #include "core/model_binary.h"
 #include "core/serialization.h"
+#include "embed/embedding.h"
 #include "recipe/dataset.h"
 #include "recipe/recipe.h"
 #include "recipe/units.h"
@@ -214,6 +216,117 @@ TEST_P(FuzzSeedTest, BinaryIndexMutationsAlwaysYieldCleanStatus) {
     }
   }
   // Restore the pristine index: the pair still opens after the barrage.
+  ASSERT_TRUE(
+      WriteStringToFile(paths.idx, core::EncodeModelBinaryIndex(*pristine))
+          .ok());
+  EXPECT_TRUE(core::MappedModel::Open(base).ok());
+}
+
+// The same barrage against an 11-section pack: the optional embedding pair
+// widens the index surface (two more id/offset/size/count quadruples and
+// the both-or-neither rule), so it gets its own fuzz rounds. Acceptance
+// must serve the original embeddings bit-for-bit, never a reinterpretation.
+TEST_P(FuzzSeedTest, EmbeddingPackIndexMutationsAlwaysYieldCleanStatus) {
+  core::ModelSnapshot snapshot;
+  snapshot.vocab.Add("purupuru");
+  snapshot.vocab.Add("fuwafuwa");
+  snapshot.vocab.Add("katai");
+  snapshot.estimates.phi = {{0.5, 0.3, 0.2}, {0.2, 0.3, 0.5}};
+  for (int k = 0; k < 2; ++k) {
+    snapshot.estimates.gel_topics.push_back(
+        math::Gaussian::FromPrecision(math::Vector(2, 1.0 + k),
+                                      math::Matrix::Identity(2))
+            .value());
+    snapshot.estimates.emulsion_topics.push_back(
+        math::Gaussian::FromPrecision(math::Vector(3, 2.0 * k),
+                                      math::Matrix::Identity(3))
+            .value());
+  }
+  snapshot.estimates.topic_recipe_count = {3, 4};
+  embed::EmbeddingTable table;
+  table.dim = 4;
+  table.vectors.resize(3 * table.dim);
+  for (size_t i = 0; i < table.vectors.size(); ++i) {
+    table.vectors[i] = 0.125f * static_cast<float>(i) - 0.5f;
+  }
+  table.RecomputeNorms();
+  std::string base = testing::TempDir() + "/robust_embed_fuzz_" +
+                     std::to_string(GetParam());
+  ASSERT_TRUE(
+      core::WriteModelBinary(snapshot, base, FileOps::Real(), &table).ok());
+  core::ModelBinaryPaths paths = core::ModelBinaryPathsFor(base);
+  auto idx_bytes = ReadFileToString(paths.idx);
+  ASSERT_TRUE(idx_bytes.ok());
+  auto pristine = core::ParseModelBinaryIndex(*idx_bytes);
+  ASSERT_TRUE(pristine.ok());
+  ASSERT_EQ(pristine->sections.size(),
+            core::kModelSectionCountWithEmbeddings);
+
+  static constexpr uint64_t kHostileValues[] = {
+      0,  1,  7,  63, 64, 65, 4096, uint64_t{1} << 20, uint64_t{1} << 31,
+      uint64_t{1} << 40, ~uint64_t{0}, ~uint64_t{0} - 63};
+  Rng rng(static_cast<uint64_t>(GetParam()) + 9000);
+  for (int i = 0; i < 300; ++i) {
+    core::ModelBinaryIndex mutated = *pristine;
+    size_t edits = 1 + rng.NextUint(3);
+    for (size_t e = 0; e < edits; ++e) {
+      uint64_t value = kHostileValues[rng.NextUint(
+          sizeof(kHostileValues) / sizeof(kHostileValues[0]))];
+      // Bias half the section edits onto the trailing embedding pair so the
+      // new validators see the hostile values, not just the legacy nine.
+      size_t slot = rng.NextUint(2) == 0
+                        ? 9 + rng.NextUint(2)
+                        : rng.NextUint(mutated.sections.size());
+      switch (rng.NextUint(11)) {
+        case 0: mutated.num_topics = static_cast<uint32_t>(value); break;
+        case 1: mutated.vocab_size = value; break;
+        case 2: mutated.gel_dim = static_cast<uint32_t>(value); break;
+        case 3: mutated.emulsion_dim = static_cast<uint32_t>(value); break;
+        case 4: mutated.data_file_size = value; break;
+        case 5: mutated.sections[slot].id = static_cast<uint32_t>(value); break;
+        case 6: mutated.sections[slot].offset = value; break;
+        case 7: mutated.sections[slot].size = value; break;
+        case 8: mutated.sections[slot].count = value; break;
+        case 9:
+          std::swap(mutated.sections[slot],
+                    mutated.sections[rng.NextUint(mutated.sections.size())]);
+          break;
+        case 10:
+          // Structural downgrade: drop one or both trailing sections.
+          mutated.sections.resize(9 + rng.NextUint(2));
+          break;
+      }
+    }
+    Status written =
+        WriteStringToFile(paths.idx, core::EncodeModelBinaryIndex(mutated));
+    ASSERT_TRUE(written.ok());
+    auto opened = core::MappedModel::Open(base);
+    if (!opened.ok()) {
+      const std::string& message = opened.status().message();
+      EXPECT_FALSE(message.empty());
+      EXPECT_TRUE(message.find("model binary") != std::string::npos ||
+                  message.find("mmap:") != std::string::npos)
+          << "unlabelled rejection: " << message;
+    } else {
+      EXPECT_EQ((*opened)->num_topics(), 2);
+      EXPECT_EQ((*opened)->vocab_size(), 3u);
+      EXPECT_EQ((*opened)->fingerprint(), pristine->fingerprint);
+      // Dropping both trailing sections yields a *legal* legacy view of
+      // the same dat — embeddings reported absent, never half-served. Any
+      // accepted index that still lists the pair must serve it bit-exact.
+      if ((*opened)->has_embeddings()) {
+        ASSERT_EQ((*opened)->embedding_matrix().size(),
+                  table.vectors.size());
+        EXPECT_EQ(std::memcmp((*opened)->embedding_matrix().data(),
+                              table.vectors.data(),
+                              table.vectors.size() * sizeof(float)),
+                  0);
+      } else {
+        EXPECT_TRUE((*opened)->embedding_matrix().empty());
+        EXPECT_TRUE((*opened)->embedding_norms().empty());
+      }
+    }
+  }
   ASSERT_TRUE(
       WriteStringToFile(paths.idx, core::EncodeModelBinaryIndex(*pristine))
           .ok());

@@ -109,5 +109,44 @@ TEST(CanonicalQueryKeyTest, NegativeFeatureValuesKeepSign) {
   EXPECT_NE(pos, neg);
 }
 
+TEST(CanonicalQueryKeyTest, SimilarityModeSeparatesOtherwiseEqualQueries) {
+  // The SIMILAR ranking backend is answer semantics: the same recipe asked
+  // under kl / embed / lexical / fused must land on four distinct keys.
+  const math::Vector gel = Vec({0.01, 0, 0});
+  const math::Vector emulsion = Vec({0.2, 0, 0, 0, 0, 0});
+  std::vector<std::string> keys;
+  for (const char* mode : {"kl", "embed", "lexical", "fused"}) {
+    keys.push_back(CanonicalQueryKey(gel, emulsion, {1, 2}, kQuantum, mode));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i], keys[j]) << "modes " << i << " and " << j;
+    }
+  }
+  // Same mode, same query: still one key.
+  EXPECT_EQ(keys[0],
+            CanonicalQueryKey(gel, emulsion, {1, 2}, kQuantum, "kl"));
+}
+
+TEST(CanonicalQueryKeyTest, EmptyModeIsByteIdenticalToTheLegacyKey) {
+  // PredictTexture passes no mode; its cache entries must survive the mode
+  // component's introduction unchanged (a reload-free rollout guarantee).
+  std::string legacy =
+      CanonicalQueryKey(Vec({0.01}), Vec({0.2}), {3, 1}, kQuantum);
+  std::string explicit_empty =
+      CanonicalQueryKey(Vec({0.01}), Vec({0.2}), {3, 1}, kQuantum, "");
+  EXPECT_EQ(legacy, explicit_empty);
+}
+
+TEST(CanonicalQueryKeyTest, ModeCannotAliasIntoTermOrFeatureBytes) {
+  // A mode suffix must never collide with a mode-less key whose trailing
+  // components happen to spell the same characters.
+  std::string with_mode =
+      CanonicalQueryKey(Vec({0.01}), Vec({}), {}, kQuantum, "kl");
+  std::string without = CanonicalQueryKey(Vec({0.01}), Vec({}), {}, kQuantum);
+  EXPECT_NE(with_mode, without);
+  EXPECT_NE(with_mode.find("kl"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace texrheo::serve

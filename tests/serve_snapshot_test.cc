@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "core/joint_topic_model.h"
 #include "core/model_binary.h"
 #include "core/serialization.h"
+#include "embed/embedding.h"
 #include "math/distributions.h"
 #include "recipe/dataset.h"
 #include "util/rng.h"
@@ -276,6 +278,60 @@ TEST(ServingSnapshotTest, ConcurrentFoldInsOnMmapSnapshotMatchHeapSnapshot) {
   }
   for (auto& t : threads) t.join();
   for (int i = 0; i < 8; ++i) EXPECT_EQ(mismatches[static_cast<size_t>(i)], 0);
+}
+
+TEST(ServingSnapshotTest, EmbeddingViewIsByteIdenticalAcrossHeapAndMmap) {
+  // One trained table, two storage paths: a heap snapshot holding the
+  // table and an mmap snapshot of a pack written from the same table must
+  // expose bit-identical vectors and norms through embedding_view().
+  embed::EmbeddingTable table;
+  table.dim = 8;
+  table.vectors.resize(4 * table.dim);
+  for (size_t i = 0; i < table.vectors.size(); ++i) {
+    table.vectors[i] = 0.5f - 0.03125f * static_cast<float>(i);
+  }
+  table.RecomputeNorms();
+
+  std::string base = testing::TempDir() + "/texrheo_embed_pack";
+  ASSERT_TRUE(
+      core::WriteModelBinary(TinyModel(), base, FileOps::Real(), &table)
+          .ok());
+  auto heap = ServingSnapshot::FromModel(TinyModel(), "heap", table);
+  auto mapped = ServingSnapshot::FromBinaryFile(base + ".idx");
+  ASSERT_TRUE(heap.ok() && mapped.ok()) << mapped.status().ToString();
+
+  ASSERT_TRUE((*heap)->has_embeddings());
+  ASSERT_TRUE((*mapped)->has_embeddings());
+  embed::EmbeddingView heap_view = (*heap)->embedding_view();
+  embed::EmbeddingView mmap_view = (*mapped)->embedding_view();
+  ASSERT_EQ(heap_view.dim, mmap_view.dim);
+  ASSERT_EQ(heap_view.vocab, mmap_view.vocab);
+  ASSERT_EQ(heap_view.vectors.size(), mmap_view.vectors.size());
+  EXPECT_EQ(std::memcmp(heap_view.vectors.data(), mmap_view.vectors.data(),
+                        heap_view.vectors.size() * sizeof(float)),
+            0);
+  ASSERT_EQ(heap_view.norms.size(), mmap_view.norms.size());
+  EXPECT_EQ(std::memcmp(heap_view.norms.data(), mmap_view.norms.data(),
+                        heap_view.norms.size() * sizeof(float)),
+            0);
+  // Embeddings ride outside the fingerprint: both snapshots identify the
+  // same topic model as the table-less pack of it.
+  auto plain = ServingSnapshot::FromModel(TinyModel(), "plain");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*heap)->fingerprint(), (*plain)->fingerprint());
+  EXPECT_EQ((*mapped)->fingerprint(), (*plain)->fingerprint());
+}
+
+TEST(ServingSnapshotTest, LegacySnapshotsReportNoEmbeddings) {
+  auto heap = ServingSnapshot::FromModel(TinyModel(), "plain");
+  ASSERT_TRUE(heap.ok());
+  EXPECT_FALSE((*heap)->has_embeddings());
+  EXPECT_TRUE((*heap)->embedding_view().vectors.empty());
+  auto mapped =
+      ServingSnapshot::FromBinaryFile(PackTinyBinary("texrheo_no_embed"));
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_FALSE((*mapped)->has_embeddings());
+  EXPECT_TRUE((*mapped)->embedding_view().vectors.empty());
 }
 
 /// Real mmap plus map/unmap accounting, so tests can observe exactly when
