@@ -2,7 +2,7 @@
 # so that build/bench/ holds only the bench executables - the documented
 # way to regenerate every table/figure is `for b in build/bench/*; do $b; done`.
 set(TEXRHEO_ALL_LIBS
-  texrheo_serving texrheo_eval texrheo_core texrheo_corpus texrheo_rules
+  texrheo_ingestion texrheo_serving texrheo_eval texrheo_core texrheo_corpus texrheo_rules
   texrheo_rheology texrheo_recipe texrheo_text texrheo_embed texrheo_math
   texrheo_obs texrheo_util)
 
@@ -31,3 +31,4 @@ texrheo_add_bench(bench_similarity)
 texrheo_add_bench(bench_rules)
 texrheo_add_bench(bench_model_selection)
 texrheo_add_bench(bench_convergence)
+texrheo_add_bench(bench_ingest)

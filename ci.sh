@@ -46,9 +46,10 @@ cmake --build build-tsan -j "$JOBS" \
   --target thread_pool_test geweke_test sampler_exactness_test \
   query_engine_test serve_snapshot_test joint_topic_model_test \
   serve_chaos_test router_chaos_test backoff_test metrics_registry_test \
-  trace_test pipeline_e2e_test embed_trainer_test embedding_index_test
+  trace_test pipeline_e2e_test embed_trainer_test embedding_index_test \
+  ingest_test ingest_chaos_test
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test|router_chaos_test|backoff_test|metrics_registry_test|trace_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test)$')
+  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test|router_chaos_test|backoff_test|metrics_registry_test|trace_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test|ingest_test|ingest_chaos_test)$')
 
 echo "==> ASan/UBSan: rebuild durability-sensitive targets with -fsanitize=address,undefined"
 cmake -B build-asan -S . -DTEXRHEO_SANITIZE=address >/dev/null
@@ -56,9 +57,9 @@ cmake --build build-asan -j "$JOBS" \
   --target serialization_test robustness_test model_binary_test \
   checkpoint_test atomic_file_test serve_hostile_test backoff_test \
   router_chaos_test pipeline_e2e_test embed_trainer_test \
-  embedding_index_test
+  embedding_index_test ingest_test ingest_chaos_test
 (cd build-asan && ctest --output-on-failure \
-  -R '^(serialization_test|robustness_test|model_binary_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|router_chaos_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test)$')
+  -R '^(serialization_test|robustness_test|model_binary_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|router_chaos_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test|ingest_test|ingest_chaos_test)$')
 
 echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
 # Trains a small toy model, runs the scripted query session (PREDICT /
@@ -66,6 +67,14 @@ echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
 # exits; ASan makes shutdown leaks and use-after-frees fatal.
 cmake --build build-asan -j "$JOBS" --target texrheo_serve
 ./build-asan/src/serve/texrheo_serve --toy --toy-scale=0.03 --selftest
+
+echo "==> ingest smoke: texrheo_ingest --toy --selftest under ASan/UBSan"
+# Drives the full streaming loop over real sockets: drifting-stream
+# INGEST lines, wire redelivery dedup, the stale-vocab contract, INGESTZ,
+# a REFRESH cycle (retrain + pack + reload + WAL compaction), and a
+# post-refresh ingest; ASan covers the WAL + mmap-reload paths.
+cmake --build build-asan -j "$JOBS" --target texrheo_ingest
+./build-asan/src/ingest/texrheo_ingest --toy --toy-scale=0.03 --selftest
 
 if [[ "$RUN_METRICS" == 1 ]]; then
   echo "==> metrics: selftest with --metrics-dir + jq schema validation"
@@ -75,7 +84,41 @@ if [[ "$RUN_METRICS" == 1 ]]; then
     --metrics-dir="$METRICS_DIR" --metrics-interval-ms=200
   test -s "$METRICS_DIR/metricsz.json"
   jq -e -f ci/metricsz_schema.jq "$METRICS_DIR/metricsz.json" >/dev/null
+  # The schema's breaker trio is all-or-none (handler-mode fronts have no
+  # reload breaker); an engine front must actually carry it.
+  jq -e '.counters | has("serve.breaker.trips")' \
+    "$METRICS_DIR/metricsz.json" >/dev/null
   echo "metricsz.json conforms to ci/metricsz_schema.jq"
+
+  echo "==> metrics: ingest METRICSZ over the wire + jq schema validation"
+  # Same schema, other binary: start the toy ingest front, push one record
+  # through INGEST + REFRESH, and validate the METRICSZ document it serves
+  # (exercises the conditional ingest.* monotone chains in the schema).
+  ./build/src/ingest/texrheo_ingest --toy --toy-scale=0.03 --port=0 \
+    > "$METRICS_DIR/ingest_server.log" 2>&1 &
+  INGEST_PID=$!
+  INGEST_PORT=""
+  for _ in $(seq 1 50); do
+    INGEST_PORT="$(sed -n \
+      's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$METRICS_DIR/ingest_server.log" | head -1)"
+    [[ -n "$INGEST_PORT" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$INGEST_PORT" ]] || { echo "ingest front never listened" >&2; exit 1; }
+  exec 3<>"/dev/tcp/127.0.0.1/$INGEST_PORT"
+  printf 'INGEST gelatin=0.009 terms=katai\r\nREFRESH\r\nMETRICSZ\r\nQUIT\r\n' >&3
+  INGEST_METRICSZ=""
+  { read -r _ingest_reply && read -r _refresh_reply \
+      && read -r INGEST_METRICSZ; } <&3 || true
+  exec 3<&- 3>&-
+  kill "$INGEST_PID" 2>/dev/null; wait "$INGEST_PID" 2>/dev/null || true
+  printf '%s' "$INGEST_METRICSZ" | tr -d '\r' > "$METRICS_DIR/ingest_metricsz.json"
+  test -s "$METRICS_DIR/ingest_metricsz.json"
+  jq -e -f ci/metricsz_schema.jq "$METRICS_DIR/ingest_metricsz.json" >/dev/null
+  jq -e '.counters | has("ingest.records.accepted")' \
+    "$METRICS_DIR/ingest_metricsz.json" >/dev/null
+  echo "ingest METRICSZ conforms to ci/metricsz_schema.jq"
 
   echo "==> metrics: instrumentation overhead (BM_MetricsOverhead + BM_InstrumentedSweep)"
   cmake --build build -j "$JOBS" --target bench_perf
@@ -181,6 +224,22 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   ' bench/out/similarity.json >/dev/null \
     || { echo "similarity fusion gate failed (see bench/out/similarity.json)" >&2; exit 1; }
   echo "similarity fusion gate passed: fused >= every single backend"
+
+  echo "==> bench: streaming ingestion SLO (arrival->queryable, refresh window)"
+  cmake --build build -j "$JOBS" --target bench_ingest
+  ./build/bench/bench_ingest --out=bench/out/ingest.json
+  echo "wrote bench/out/ingest.json"
+  # The zero-downtime contract: a fixed-cadence query stream running
+  # across a full refresh cycle (retrain + pack + rolling reload of all
+  # replicas + WAL compaction) keeps availability >= 99%, and the swap
+  # actually happened (fingerprint changed, fleet converged on it).
+  jq -e '
+    (.refresh_window.availability >= 0.99)
+    and (.refresh_window.fingerprint_changed == true)
+    and (.refresh_window.fleet_converged == true)
+  ' bench/out/ingest.json >/dev/null \
+    || { echo "ingest SLO gate failed (see bench/out/ingest.json)" >&2; exit 1; }
+  echo "ingest SLO gate passed"
 fi
 
 echo "==> CI passed"

@@ -43,10 +43,31 @@ and (.counters["serve.queries.accepted"]
 and (.counters["serve.server.requests_received"] >= .counters["serve.server.requests_completed"])
 and (.counters["serve.batcher.submitted"] >= .counters["serve.batcher.jobs_processed"])
 # Reload-breaker transition counters (util/backoff.h listeners; see the
-# ServerStats doc in serve/server.h). The state machine's arithmetic:
-# every recovery concluded an admitted trial, every trial followed a trip.
-and (.counters | has("serve.breaker.trips"))
-and (.counters | has("serve.breaker.half_open_trials"))
-and (.counters | has("serve.breaker.recoveries"))
-and (.counters["serve.breaker.trips"] >= .counters["serve.breaker.half_open_trials"])
-and (.counters["serve.breaker.half_open_trials"] >= .counters["serve.breaker.recoveries"])
+# ServerStats doc in serve/server.h). They register only when the server
+# fronts an engine directly (texrheo_serve); a handler-mode front
+# (texrheo_ingest) has no reload breaker, so the trio is all-or-none.
+# When present, the state machine's arithmetic: every recovery concluded
+# an admitted trial, every trial followed a trip.
+and (if (.counters | has("serve.breaker.trips")) then
+  (.counters | has("serve.breaker.half_open_trials"))
+  and (.counters | has("serve.breaker.recoveries"))
+  and (.counters["serve.breaker.trips"] >= .counters["serve.breaker.half_open_trials"])
+  and (.counters["serve.breaker.half_open_trials"] >= .counters["serve.breaker.recoveries"])
+else
+  ((.counters | has("serve.breaker.half_open_trials")) | not)
+  and ((.counters | has("serve.breaker.recoveries")) | not)
+end)
+# The stale-vocab contract: the engine registers the counter up front, so
+# every snapshot carries it even before the first pending-term query.
+and (.counters | has("serve.queries.stale_vocab"))
+# Streaming ingestion (present only when an IngestService shares the
+# registry, i.e. texrheo_ingest rather than texrheo_serve). Counters
+# register in pipeline order — accepted before deduped before folded —
+# so one atomic snapshot can never show a downstream stage ahead of its
+# upstream; same for the refresh attempt/outcome chain.
+and (if (.counters | has("ingest.records.accepted")) then
+  (.counters["ingest.records.accepted"] >= .counters["ingest.records.deduped"])
+  and (.counters["ingest.records.deduped"] >= .counters["ingest.records.folded"])
+  and (.counters["ingest.refresh.attempts"] >= .counters["ingest.refresh.success"])
+  and (.counters["ingest.refresh.attempts"] >= .counters["ingest.refresh.failures"])
+else true end)

@@ -576,6 +576,108 @@ texrheo::Status JointTopicModel::RestoreFromCheckpoint(
   return Status::OK();
 }
 
+texrheo::Status JointTopicModel::WarmStartFromCheckpoint(
+    const CheckpointState& state) {
+  const auto& documents = docs_->documents;
+  size_t old_docs = static_cast<size_t>(state.fingerprint.num_documents);
+  size_t old_vocab = static_cast<size_t>(state.fingerprint.vocab_size);
+  if (old_docs > documents.size() || old_vocab > vocab_size_) {
+    return Status::FailedPrecondition(
+        "warm start: checkpoint covers more documents or terms than the "
+        "corpus (not a prefix)");
+  }
+  // Hyperparameters must agree exactly; only the corpus is allowed to grow.
+  CheckpointFingerprint expected = MakeFingerprint();
+  CheckpointFingerprint relaxed = state.fingerprint;
+  relaxed.num_documents = expected.num_documents;
+  relaxed.vocab_size = expected.vocab_size;
+  if (!(relaxed == expected)) {
+    return Status::FailedPrecondition(
+        "warm start: hyperparameter mismatch\n  checkpoint: " +
+        state.fingerprint.ToString() + "\n  model:      " +
+        expected.ToString());
+  }
+  size_t k_count = static_cast<size_t>(config_.num_topics);
+  if (state.z.size() != old_docs || state.y.size() != old_docs) {
+    return Status::InvalidArgument(
+        "warm start: assignment count disagrees with checkpoint fingerprint");
+  }
+  if (state.gel_topics.size() != k_count ||
+      state.emulsion_topics.size() != k_count) {
+    return Status::InvalidArgument(
+        "warm start: checkpoint is missing instantiated topic Gaussians");
+  }
+  // Prefix stability: every checkpointed document must still have the same
+  // token count, and its term ids must fit the checkpoint's vocabulary.
+  // Old ids changing (a re-sorted vocabulary) would silently rebuild the
+  // counts against the wrong terms.
+  for (size_t d = 0; d < old_docs; ++d) {
+    const Document& doc = documents[d];
+    if (state.z[d].size() != doc.term_ids.size()) {
+      return Status::InvalidArgument(
+          "warm start: document " + std::to_string(d) +
+          " changed since the checkpoint (the old corpus must be stable)");
+    }
+    for (int32_t v : doc.term_ids) {
+      if (v < 0 || static_cast<size_t>(v) >= vocab_size_) {
+        return Status::InvalidArgument(
+            "warm start: term id out of range in document " +
+            std::to_string(d));
+      }
+    }
+  }
+  // All validation happens above this line (restore-or-reject contract,
+  // same as RestoreFromCheckpoint).
+  rng_.RestoreState(state.master_rng);
+  gel_topics_ = state.gel_topics;
+  emulsion_topics_ = state.emulsion_topics;
+  config_.alpha = state.current_alpha;
+  completed_sweeps_ = state.completed_sweeps;
+  likelihood_trace_ = state.likelihood_trace;
+
+  z_.assign(documents.size(), {});
+  y_.assign(documents.size(), 0);
+  m_k_.assign(k_count, 0);
+  for (size_t d = 0; d < old_docs; ++d) {
+    z_[d].assign(state.z[d].begin(), state.z[d].end());
+    y_[d] = state.y[d];
+    ++m_k_[static_cast<size_t>(y_[d])];
+  }
+  // Appended documents: tokens start uniform (one fresh sweep re-places
+  // them against the mixed counts), but y comes from the checkpointed
+  // Gaussians so each new recipe lands in the topic that already explains
+  // its composition.
+  for (size_t d = old_docs; d < documents.size(); ++d) {
+    const Document& doc = documents[d];
+    z_[d].resize(doc.term_ids.size());
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      z_[d][n] = static_cast<int>(
+          rng_.NextUint(static_cast<uint64_t>(config_.num_topics)));
+    }
+    y_[d] = InferTopicForFeatures(doc.gel_feature, doc.emulsion_feature);
+    ++m_k_[static_cast<size_t>(y_[d])];
+  }
+  // Rebuild the count caches at the grown dimensions.
+  n_dk_.assign(documents.size(), std::vector<int>(config_.num_topics, 0));
+  n_kv_.assign(k_count, std::vector<int>(vocab_size_, 0));
+  n_k_.assign(k_count, 0);
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const Document& doc = documents[d];
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      size_t k = static_cast<size_t>(z_[d][n]);
+      ++n_dk_[d][k];
+      ++n_kv_[k][static_cast<size_t>(doc.term_ids[n])];
+      ++n_k_[k];
+    }
+  }
+  // The document count changed, so any checkpointed shard plan is stale;
+  // the parallel engine replans (and re-splits its RNG streams) lazily.
+  pool_.reset();
+  shards_.clear();
+  shard_rngs_.clear();
+  return ResampleGaussians();
+}
+
 texrheo::Status JointTopicModel::Resume() {
   if (config_.checkpoint_dir.empty()) {
     return Status::FailedPrecondition("resume: checkpoint_dir not configured");

@@ -223,6 +223,19 @@ class JointTopicModel {
   /// model's dataset — i.e. the corpus changed since the checkpoint.
   texrheo::Status RestoreFromCheckpoint(const CheckpointState& state);
 
+  /// Warm-starts from a checkpoint taken over a *prefix* of this model's
+  /// corpus: hyperparameters must match exactly, but the checkpoint may
+  /// cover fewer documents and a smaller vocabulary than the dataset —
+  /// the streaming-refresh case, where the batch corpus and its term ids
+  /// are unchanged, new documents are appended, and the vocabulary is
+  /// extended append-only. Prefix documents resume from their
+  /// checkpointed assignments; appended documents are initialized against
+  /// the checkpointed topic Gaussians; counts are rebuilt at the new
+  /// dimensions and the Gaussians redrawn. The chain is not bit-exact
+  /// with any batch run (the corpus grew), but it is deterministic and
+  /// starts from the mixed state instead of a cold one.
+  texrheo::Status WarmStartFromCheckpoint(const CheckpointState& state);
+
   /// Loads the newest valid checkpoint in config.checkpoint_dir (skipping
   /// torn or corrupt files) and restores it. NotFound when no valid
   /// checkpoint exists.

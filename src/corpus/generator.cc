@@ -43,29 +43,6 @@ constexpr const char* kVerbs[] = {"dissolve", "chill", "boil",  "mix",
 
 }  // namespace
 
-/// One synthetic dish family: gel/emulsion composition ranges plus how often
-/// it carries fruit (unrelated solids). Weights are scaled so the corpus
-/// splits ~45k/15k/3k across gelatin/kanten/agar like the paper's crawl.
-struct CorpusGenerator::DishTemplate {
-  const char* name;
-  double weight;
-  GelType gel1;
-  double gel1_lo, gel1_hi;
-  // Secondary gel; gel2_hi == 0 means single-gel dish.
-  GelType gel2;
-  double gel2_lo, gel2_hi;
-  // Emulsion fraction ranges (of total weight); hi == 0 disables.
-  double sugar_lo, sugar_hi;
-  double albumen_hi;
-  double yolk_hi;
-  double cream_lo, cream_hi;
-  double milk_lo, milk_hi;
-  double yogurt_hi;
-  // Unrelated solid (fruit / azuki) behaviour.
-  double fruit_prob;
-  double fruit_lo, fruit_hi;
-};
-
 namespace {
 
 using Tmpl = CorpusGenerator::DishTemplate;
@@ -135,6 +112,19 @@ CorpusGenerator::CorpusGenerator(const CorpusGenConfig& config,
 
 std::vector<std::string> CorpusGenerator::ToppingIngredientNames() {
   return std::vector<std::string>(std::begin(kToppings), std::end(kToppings));
+}
+
+const std::vector<CorpusGenerator::DishTemplate>&
+CorpusGenerator::BaseTemplates() {
+  static const std::vector<DishTemplate>& table = *new std::vector<DishTemplate>(
+      std::begin(kTemplates), std::end(kTemplates));
+  return table;
+}
+
+Recipe CorpusGenerator::GenerateFromTemplate(int64_t id,
+                                             const DishTemplate& tmpl,
+                                             Rng& rng) {
+  return GenerateOne(id, tmpl, rng);
 }
 
 std::vector<Recipe> CorpusGenerator::Generate() {

@@ -59,8 +59,30 @@ inline constexpr char kMetaTextureClass[] = "texture_class";
 /// Generates the synthetic corpus. Deterministic given the config seed.
 class CorpusGenerator {
  public:
-  /// Composition ranges of one dish family (defined in the .cc).
-  struct DishTemplate;
+  /// One synthetic dish family: gel/emulsion composition ranges plus how
+  /// often it carries fruit (unrelated solids). Weights are scaled so the
+  /// corpus splits ~45k/15k/3k across gelatin/kanten/agar like the paper's
+  /// crawl. Exposed in the header so the drifting stream (corpus/stream.h)
+  /// can introduce late-era templates that are not in the static table.
+  struct DishTemplate {
+    const char* name;
+    double weight;
+    recipe::GelType gel1;
+    double gel1_lo, gel1_hi;
+    // Secondary gel; gel2_hi == 0 means single-gel dish.
+    recipe::GelType gel2;
+    double gel2_lo, gel2_hi;
+    // Emulsion fraction ranges (of total weight); hi == 0 disables.
+    double sugar_lo, sugar_hi;
+    double albumen_hi;
+    double yolk_hi;
+    double cream_lo, cream_hi;
+    double milk_lo, milk_hi;
+    double yogurt_hi;
+    // Unrelated solid (fruit / azuki) behaviour.
+    double fruit_prob;
+    double fruit_lo, fruit_hi;
+  };
 
   /// `model` provides the ground-truth rheology; must outlive the generator.
   CorpusGenerator(const CorpusGenConfig& config,
@@ -69,6 +91,15 @@ class CorpusGenerator {
 
   /// Generates config.num_recipes recipes.
   std::vector<recipe::Recipe> Generate();
+
+  /// The static dish-template table the batch corpus draws from.
+  static const std::vector<DishTemplate>& BaseTemplates();
+
+  /// Generates a single recipe from an explicit template — the seam the
+  /// drifting stream uses to emit dishes outside the static table. The
+  /// caller owns the RNG so per-position streams stay resumable.
+  recipe::Recipe GenerateFromTemplate(int64_t id, const DishTemplate& tmpl,
+                                      Rng& rng);
 
   /// Names of "unrelated ingredient" words that the word2vec screen should
   /// associate with confounder texture terms (toppings).

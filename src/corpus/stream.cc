@@ -1,0 +1,160 @@
+#include "corpus/stream.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace texrheo::corpus {
+namespace {
+
+using recipe::GelType;
+using Tmpl = CorpusGenerator::DishTemplate;
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Morphological churn suffixes: nasal, glottal and adverbial variants of
+/// the same onomatopoeic stems the embedded dictionary derives.
+constexpr const char* kChurnSuffixes[] = {"n", "tto", "ri"};
+
+std::vector<std::string> SplitTokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Tmpl>& RecipeStream::DriftTemplates() {
+  // Late-era dish families: posted only after their unlock point, so each
+  // refresh cycle trains over a topic mix the previous model never saw.
+  static const std::vector<Tmpl>& table = *new std::vector<Tmpl>{
+      {"sparkling-jelly", 6.0, GelType::kGelatin, 0.005, 0.010,
+       GelType::kGelatin, 0, 0, 0.04, 0.09, 0, 0, 0, 0, 0, 0, 0, 0.70, 0.10,
+       0.30},
+      {"summer-mizu-jelly", 5.0, GelType::kKanten, 0.004, 0.008,
+       GelType::kGelatin, 0.002, 0.004, 0.02, 0.06, 0, 0, 0, 0, 0, 0, 0, 0.85,
+       0.15, 0.40},
+      {"agar-latte-mousse", 4.0, GelType::kAgar, 0.008, 0.015, GelType::kAgar,
+       0, 0, 0.04, 0.09, 0, 0, 0.05, 0.15, 0.20, 0.40, 0, 0.60, 0.12, 0.30},
+      {"salted-panna-firm", 4.5, GelType::kGelatin, 0.018, 0.028,
+       GelType::kGelatin, 0, 0, 0.05, 0.09, 0, 0, 0.30, 0.45, 0.15, 0.30, 0,
+       0.40, 0.10, 0.25},
+  };
+  return table;
+}
+
+RecipeStream::RecipeStream(const RecipeStreamConfig& config,
+                           const rheology::GelPhysicsModel* model,
+                           const text::TextureDictionary* dictionary)
+    : config_(config),
+      generator_(config.gen, model, dictionary),
+      dictionary_(dictionary) {}
+
+size_t RecipeStream::NumActiveTemplates(uint64_t position) const {
+  size_t base = CorpusGenerator::BaseTemplates().size();
+  if (config_.template_unlock_interval == 0) return base;
+  size_t unlocked = static_cast<size_t>(
+      position / config_.template_unlock_interval);
+  return base + std::min(unlocked, DriftTemplates().size());
+}
+
+std::vector<std::pair<std::string, std::string>>
+RecipeStream::ActiveChurnVariants(uint64_t position) const {
+  std::vector<std::pair<std::string, std::string>> variants;
+  if (config_.vocab_churn_interval == 0) return variants;
+  size_t active = static_cast<size_t>(position / config_.vocab_churn_interval);
+
+  // Deterministic schedule over gel-related surfaces: generation g varies
+  // the (g * 7 mod n)-th term. The prime stride spreads churn across the
+  // axes; a base that already has a variant is skipped rather than varied
+  // twice, so variant -> base stays a bijection.
+  std::vector<const text::TextureTerm*> gel_terms;
+  for (const auto& t : dictionary_->terms()) {
+    if (t.gel_related) gel_terms.push_back(&t);
+  }
+  if (gel_terms.empty()) return variants;
+  std::vector<bool> used(gel_terms.size(), false);
+  for (size_t g = 1; g <= active; ++g) {
+    size_t idx = (g * 7) % gel_terms.size();
+    while (used[idx]) idx = (idx + 1) % gel_terms.size();
+    used[idx] = true;
+    const std::string& base = gel_terms[idx]->surface;
+    std::string variant =
+        base + "-" + kChurnSuffixes[g % std::size(kChurnSuffixes)];
+    variants.emplace_back(std::move(variant), base);
+    if (variants.size() >= gel_terms.size()) break;
+  }
+  return variants;
+}
+
+StreamRecipe RecipeStream::At(uint64_t position) {
+  Rng rng = Rng::ForStream(config_.seed, position);
+
+  // --- Template choice under drift ---------------------------------------
+  const auto& base = CorpusGenerator::BaseTemplates();
+  const auto& drift = DriftTemplates();
+  size_t active = NumActiveTemplates(position);
+  std::vector<double> weights(active);
+  for (size_t k = 0; k < active; ++k) {
+    const Tmpl& t = k < base.size() ? base[k] : drift[k - base.size()];
+    double w = t.weight;
+    if (config_.season_period > 0 && config_.season_amplitude > 0.0) {
+      // Golden-ratio phases decorrelate the per-template seasons so the
+      // whole stream never peaks or troughs at once.
+      double phase = 2.0 * kPi * std::fmod(0.6180339887498949 * k, 1.0);
+      double season = 1.0 + config_.season_amplitude *
+                                std::sin(2.0 * kPi *
+                                             static_cast<double>(
+                                                 position %
+                                                 config_.season_period) /
+                                             static_cast<double>(
+                                                 config_.season_period) +
+                                         phase);
+      w *= std::max(0.05, season);
+    }
+    weights[k] = w;
+  }
+  size_t choice = rng.NextCategorical(weights);
+  const Tmpl& tmpl = choice < base.size() ? base[choice]
+                                          : drift[choice - base.size()];
+
+  StreamRecipe out;
+  out.position = position;
+  out.template_name = tmpl.name;
+  // Stream ids live in their own range so they never collide with batch
+  // corpus ids (which start at 1).
+  out.recipe = generator_.GenerateFromTemplate(
+      static_cast<int64_t>(1000000 + position), tmpl, rng);
+
+  // --- Texture-term extraction + vocabulary churn ------------------------
+  std::unordered_map<std::string, std::string> variant_of;  // base -> variant
+  for (auto& [variant, base_surface] : ActiveChurnVariants(position)) {
+    variant_of[base_surface] = variant;
+  }
+  std::vector<std::string> tokens = SplitTokens(out.recipe.description);
+  bool churned = false;
+  for (std::string& token : tokens) {
+    if (!dictionary_->Contains(token)) continue;
+    auto it = variant_of.find(token);
+    if (it != variant_of.end() && rng.NextBernoulli(config_.churn_term_prob)) {
+      token = it->second;
+      churned = true;
+    }
+    out.texture_terms.push_back(token);
+  }
+  if (churned) out.recipe.description = JoinTokens(tokens);
+  return out;
+}
+
+}  // namespace texrheo::corpus

@@ -1,0 +1,100 @@
+#ifndef TEXRHEO_CORPUS_STREAM_H_
+#define TEXRHEO_CORPUS_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "recipe/recipe.h"
+#include "rheology/gel_model.h"
+#include "text/texture_dictionary.h"
+#include "util/rng.h"
+
+namespace texrheo::corpus {
+
+/// Knobs of the drifting recipe stream. The batch corpus is stationary by
+/// construction; a live recipe site is not. Three drift mechanisms model
+/// what the ingestion pipeline must absorb between refreshes:
+///
+///  * template unlock — new dish families ("sparkling jelly"...) start
+///    being posted after a point in the stream, shifting the topic mix;
+///  * seasonal shift — per-template posting rates oscillate over the year
+///    (mizu-yokan peaks in summer, panna cotta around the holidays);
+///  * vocabulary churn — writers coin morphological variants of texture
+///    terms ("purupuru" -> "purupuru-n") that are not yet in the served
+///    vocabulary, exercising the stale-vocab path in the query engine.
+struct RecipeStreamConfig {
+  uint64_t seed = 20240601;
+  /// Generation knobs shared with the batch corpus (num_recipes ignored —
+  /// a stream has no length).
+  CorpusGenConfig gen;
+  /// One late-era template unlocks every this many stream positions
+  /// (0 disables template drift).
+  size_t template_unlock_interval = 400;
+  /// Period, in stream positions, of the seasonal posting-rate cycle
+  /// (0 disables seasonality).
+  size_t season_period = 1000;
+  /// Peak-to-mean amplitude of the seasonal cycle, in [0, 1).
+  double season_amplitude = 0.5;
+  /// One churned term variant activates every this many positions
+  /// (0 disables vocabulary churn).
+  size_t vocab_churn_interval = 300;
+  /// Probability that a texture term with an active variant is written in
+  /// its churned form instead of the dictionary surface.
+  double churn_term_prob = 0.4;
+};
+
+/// One stream element: the generated recipe plus the model-facing
+/// observables the ingestion protocol carries (texture terms as written,
+/// including churned variants absent from the batch dictionary).
+struct StreamRecipe {
+  uint64_t position = 0;
+  recipe::Recipe recipe;
+  /// Texture terms in description order, churned surfaces included.
+  std::vector<std::string> texture_terms;
+  std::string template_name;
+};
+
+/// Deterministic, resumable drifting recipe stream. Every position draws
+/// from its own RNG stream (`Rng::ForStream(seed, position)`), so `At(p)`
+/// is a pure function of (config, p): a restarted ingester replaying the
+/// stream from any checkpointed position reproduces byte-identical
+/// recipes — which is what makes the content-keyed WAL dedup effective
+/// across crash/redelivery cycles.
+class RecipeStream {
+ public:
+  RecipeStream(const RecipeStreamConfig& config,
+               const rheology::GelPhysicsModel* model,
+               const text::TextureDictionary* dictionary);
+
+  /// The recipe at stream position `position` (0-based). Pure.
+  StreamRecipe At(uint64_t position);
+
+  /// The next recipe in cursor order; advances the cursor.
+  StreamRecipe Next() { return At(position_++); }
+
+  void SeekTo(uint64_t position) { position_ = position; }
+  uint64_t position() const { return position_; }
+
+  /// Number of templates (base + unlocked drift) eligible at `position`.
+  size_t NumActiveTemplates(uint64_t position) const;
+
+  /// Churned term variants active at `position`, in activation order.
+  /// Each entry is (variant surface, base dictionary surface).
+  std::vector<std::pair<std::string, std::string>> ActiveChurnVariants(
+      uint64_t position) const;
+
+  /// The late-era dish templates introduced by template drift.
+  static const std::vector<CorpusGenerator::DishTemplate>& DriftTemplates();
+
+ private:
+  RecipeStreamConfig config_;
+  CorpusGenerator generator_;
+  const text::TextureDictionary* dictionary_;
+  uint64_t position_ = 0;
+};
+
+}  // namespace texrheo::corpus
+
+#endif  // TEXRHEO_CORPUS_STREAM_H_

@@ -1,0 +1,66 @@
+#ifndef TEXRHEO_INGEST_RECORD_H_
+#define TEXRHEO_INGEST_RECORD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/stream.h"
+#include "math/linalg.h"
+#include "recipe/ingredient.h"
+#include "serve/query_engine.h"
+#include "util/status.h"
+
+namespace texrheo::ingest {
+
+/// One streamed recipe in its pre-funneled form: the per-type gel and
+/// emulsion concentration ratios (the same space PREDICT queries live in)
+/// plus the surface texture terms extracted from its description. This is
+/// the unit the WAL stores, the dedup key covers, and a refresh trains on.
+struct IngestRecord {
+  math::Vector gel;        ///< Dimension recipe::kNumGelTypes.
+  math::Vector emulsion;   ///< Dimension recipe::kNumEmulsionTypes.
+  std::vector<std::string> terms;  ///< Canonical form: sorted, unique.
+};
+
+/// Sorts and dedups `terms` in place so two deliveries of the same recipe
+/// encode to the same bytes regardless of term order.
+void CanonicalizeRecord(IngestRecord& record);
+
+/// Canonical text encoding, one line, no newlines:
+///   g=<r0,r1,...> e=<r0,...> t=<term,term,...>
+/// Ratios print with %.17g so Encode(Decode(x)) == x; the encoded string
+/// doubles as the record's content key (redelivery dedup), which is why
+/// the encoding is canonical rather than merely invertible. Call
+/// CanonicalizeRecord first (Encode does not sort for you).
+std::string EncodeRecord(const IngestRecord& record);
+
+/// Inverse of EncodeRecord. Validates dimensions, finiteness, and ratio
+/// range; terms must be non-empty strings without commas or spaces.
+StatusOr<IngestRecord> DecodeRecord(std::string_view encoded);
+
+/// The query the serving layer folds in for this record (eq.-5 path).
+serve::TextureQuery RecordToQuery(const IngestRecord& record);
+
+/// Builds a record from a parsed protocol query (INGEST command). The
+/// query's concentrations are already validated by the parser; empty
+/// vectors normalize to all-zero at full dimension so the canonical
+/// encoding (the dedup key) is well-formed either way.
+IngestRecord RecordFromQuery(const serve::TextureQuery& query);
+
+/// Lifts one drifting-stream element (corpus/stream.h) into an ingest
+/// record: weight-based concentration ratios via `db` plus the texture
+/// terms as written (churned variants included). Fails when the recipe's
+/// quantities do not parse to a positive total weight.
+StatusOr<IngestRecord> RecordFromStream(const corpus::StreamRecipe& item,
+                                        const recipe::IngredientDatabase& db);
+
+/// Renders the INGEST protocol line for a record ("INGEST gelatin=r,...
+/// terms=a,b"), using the canonical per-dimension ingredient names. Ratios
+/// print with %.17g, so sending this line and re-parsing it reproduces the
+/// record's content key exactly — wire redelivery dedups.
+std::string IngestCommandFor(const IngestRecord& record);
+
+}  // namespace texrheo::ingest
+
+#endif  // TEXRHEO_INGEST_RECORD_H_

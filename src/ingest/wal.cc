@@ -1,0 +1,390 @@
+#include "ingest/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
+
+namespace texrheo::ingest {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kWalMagic = 0x4C575254;  // "TRWL" little-endian.
+constexpr size_t kFrameHeaderBytes = 4 + 8 + 4;  // magic + seq + size.
+constexpr size_t kFrameTrailerBytes = 4;         // crc.
+/// Guards against a corrupt size field sending the parser off to allocate
+/// gigabytes; real payloads are one encoded recipe line.
+constexpr uint32_t kMaxPayloadBytes = 1 << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+std::string EncodeFrame(uint64_t sequence, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  PutU32(&frame, kWalMagic);
+  PutU64(&frame, sequence);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  // CRC covers everything after the magic: seq, size, payload.
+  uint32_t crc = Crc32(frame.data() + 4, frame.size() - 4);
+  PutU32(&frame, crc);
+  return frame;
+}
+
+/// Parses frames from `bytes`; appends intact records to `out` and
+/// returns the byte size of the intact prefix. A torn or corrupt frame
+/// ends the parse (clean-prefix semantics).
+size_t ParseSegment(const std::string& bytes, std::vector<WalRecord>* out,
+                    bool* torn) {
+  size_t offset = 0;
+  while (bytes.size() - offset >= kFrameHeaderBytes + kFrameTrailerBytes) {
+    const char* p = bytes.data() + offset;
+    if (GetU32(p) != kWalMagic) break;
+    uint64_t sequence = GetU64(p + 4);
+    uint32_t size = GetU32(p + 12);
+    if (size > kMaxPayloadBytes) break;
+    size_t total = kFrameHeaderBytes + size + kFrameTrailerBytes;
+    if (bytes.size() - offset < total) break;
+    uint32_t stored_crc = GetU32(p + kFrameHeaderBytes + size);
+    if (Crc32(p + 4, kFrameHeaderBytes - 4 + size) != stored_crc) break;
+    WalRecord record;
+    record.sequence = sequence;
+    record.payload.assign(p + kFrameHeaderBytes, size);
+    out->push_back(std::move(record));
+    offset += total;
+  }
+  if (offset != bytes.size()) *torn = true;
+  return offset;
+}
+
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+std::vector<std::string> ListSegments(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 && name.size() > 8 &&
+        name.substr(name.size() - 4) == ".log") {
+      names.push_back(std::move(name));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<uint64_t> SegmentFirstSequence(const std::string& name) {
+  unsigned long long seq = 0;
+  if (std::sscanf(name.c_str(), "wal-%20llu.log", &seq) != 1) {
+    return Status::IOError("unparseable WAL segment name '" + name + "'");
+  }
+  return static_cast<uint64_t>(seq);
+}
+
+}  // namespace
+
+std::string WalSegmentFileName(uint64_t first_sequence) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(first_sequence));
+  return buf;
+}
+
+StatusOr<WalReplayResult> ReplayWal(const std::string& dir) {
+  WalReplayResult result;
+  std::vector<std::string> names = ListSegments(dir);
+  result.segments = names.size();
+  for (const std::string& name : names) {
+    TEXRHEO_ASSIGN_OR_RETURN(uint64_t first, SegmentFirstSequence(name));
+    TEXRHEO_ASSIGN_OR_RETURN(std::string bytes,
+                             ReadWholeFile(dir + "/" + name));
+    size_t before = result.records.size();
+    bool torn = false;
+    ParseSegment(bytes, &result.records, &torn);
+    if (torn) result.torn_tail = true;
+    // Dense-sequence check: the first frame must carry the sequence the
+    // file name promises, and every frame the predecessor's + 1. A gap
+    // means an *acknowledged* record vanished — that is data loss, not a
+    // tolerable torn tail.
+    for (size_t i = before; i < result.records.size(); ++i) {
+      uint64_t expected =
+          i == before ? first : result.records[i - 1].sequence + 1;
+      if (i == before && before > 0) {
+        expected = result.records[before - 1].sequence + 1;
+        if (first != expected) {
+          return Status::IOError(
+              "WAL segment '" + name + "' starts at sequence " +
+              std::to_string(first) + ", expected " +
+              std::to_string(expected));
+        }
+      }
+      if (result.records[i].sequence != expected) {
+        return Status::IOError(
+            "WAL sequence gap in '" + name + "': got " +
+            std::to_string(result.records[i].sequence) + ", expected " +
+            std::to_string(expected));
+      }
+    }
+  }
+  result.next_sequence =
+      result.records.empty() ? 1 : result.records.back().sequence + 1;
+  // An empty directory starts at 1; a fully-compacted one resumes from
+  // the open (possibly empty) segment's name.
+  if (result.records.empty() && !names.empty()) {
+    TEXRHEO_ASSIGN_OR_RETURN(result.next_sequence,
+                             SegmentFirstSequence(names.back()));
+  }
+  return result;
+}
+
+// --- WriteAheadLog ------------------------------------------------------
+
+WriteAheadLog::WriteAheadLog(const WalOptions& options, FileOps& ops)
+    : options_(options), ops_(ops) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    (void)ops_.Sync(fd_);
+    (void)ops_.Close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const WalOptions& options, FileOps& ops) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("WAL: dir must be set");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("WAL: cannot create '" + options.dir +
+                            "': " + ec.message());
+  }
+  TEXRHEO_ASSIGN_OR_RETURN(WalReplayResult replay, ReplayWal(options.dir));
+
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(options, ops));
+  std::lock_guard<std::mutex> lock(wal->mu_);
+  wal->next_sequence_ = replay.next_sequence;
+
+  std::vector<std::string> names = ListSegments(options.dir);
+  if (!names.empty() && replay.torn_tail) {
+    // Rewrite the last segment down to its intact prefix so appends land
+    // after a clean frame boundary. AtomicWriteFile keeps either the old
+    // or the new file under a crash, never a mix.
+    const std::string path = options.dir + "/" + names.back();
+    TEXRHEO_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    std::vector<WalRecord> scratch;
+    bool torn = false;
+    size_t good = ParseSegment(bytes, &scratch, &torn);
+    if (torn) {
+      TEXRHEO_RETURN_IF_ERROR(
+          AtomicWriteFile(path, std::string_view(bytes).substr(0, good),
+                          wal->ops_));
+    }
+  }
+  if (names.empty()) {
+    TEXRHEO_RETURN_IF_ERROR(wal->OpenSegmentLocked(wal->next_sequence_));
+  } else {
+    const std::string& last = names.back();
+    TEXRHEO_ASSIGN_OR_RETURN(uint64_t first, SegmentFirstSequence(last));
+    std::error_code size_ec;
+    uintmax_t size = fs::file_size(options.dir + "/" + last, size_ec);
+    if (size_ec) size = 0;
+    if (static_cast<size_t>(size) >= options.segment_bytes) {
+      TEXRHEO_RETURN_IF_ERROR(wal->OpenSegmentLocked(wal->next_sequence_));
+    } else {
+      TEXRHEO_ASSIGN_OR_RETURN(
+          wal->fd_, wal->ops_.OpenForAppend(options.dir + "/" + last));
+      wal->open_first_sequence_ = first;
+      wal->open_bytes_ = static_cast<size_t>(size);
+    }
+  }
+  return wal;
+}
+
+Status WriteAheadLog::OpenSegmentLocked(uint64_t first_sequence) {
+  const std::string path =
+      options_.dir + "/" + WalSegmentFileName(first_sequence);
+  TEXRHEO_ASSIGN_OR_RETURN(int fd, ops_.OpenForAppend(path));
+  // The segment *name* must survive a crash before any record in it can
+  // be acknowledged.
+  Status dir_sync = ops_.SyncDir(options_.dir);
+  if (!dir_sync.ok()) {
+    (void)ops_.Close(fd);
+    return dir_sync;
+  }
+  fd_ = fd;
+  open_first_sequence_ = first_sequence;
+  open_bytes_ = 0;
+  poisoned_ = false;
+  return Status::OK();
+}
+
+Status WriteAheadLog::SealAndRotateLocked() {
+  if (fd_ >= 0) {
+    (void)ops_.Sync(fd_);
+    TEXRHEO_RETURN_IF_ERROR(ops_.Close(fd_));
+    fd_ = -1;
+  }
+  ++rotations_;
+  if (next_sequence_ == open_first_sequence_) {
+    // No record was ever acknowledged in this segment (a failed first
+    // append may have left torn bytes). The next segment would carry the
+    // same name, so instead rewrite this one empty and reuse it — the
+    // atomic rewrite discards the torn bytes.
+    const std::string path =
+        options_.dir + "/" + WalSegmentFileName(open_first_sequence_);
+    TEXRHEO_RETURN_IF_ERROR(AtomicWriteFile(path, "", ops_));
+    TEXRHEO_ASSIGN_OR_RETURN(fd_, ops_.OpenForAppend(path));
+    open_bytes_ = 0;
+    poisoned_ = false;
+    return Status::OK();
+  }
+  if (poisoned_) {
+    // A failed append can leave a *complete*, CRC-valid frame behind
+    // (e.g. the write landed but the fsync failed) — never acknowledged,
+    // yet indistinguishable from a durable record on replay. The next
+    // segment's name reissues that sequence, so trim this one back to its
+    // acknowledged prefix (open_bytes_ only advances on success) before
+    // the chain forks.
+    const std::string path =
+        options_.dir + "/" + WalSegmentFileName(open_first_sequence_);
+    TEXRHEO_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    if (bytes.size() > open_bytes_) {
+      TEXRHEO_RETURN_IF_ERROR(AtomicWriteFile(
+          path, std::string_view(bytes).substr(0, open_bytes_), ops_));
+    }
+  }
+  return OpenSegmentLocked(next_sequence_);
+}
+
+Status WriteAheadLog::WriteFullyLocked(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < size) {
+    TEXRHEO_ASSIGN_OR_RETURN(size_t n,
+                             ops_.Write(fd_, p + written, size - written));
+    if (n == 0) return Status::Internal("WAL: write made no progress");
+    written += n;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> WriteAheadLog::Append(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  if (poisoned_ || open_bytes_ >= options_.segment_bytes) {
+    // Either a planned rotation or a prior failed append left torn bytes
+    // in the open segment; both are solved by sealing it and starting the
+    // next segment at the (unconsumed) next sequence.
+    TEXRHEO_RETURN_IF_ERROR(SealAndRotateLocked());
+  }
+  const uint64_t sequence = next_sequence_;
+  std::string frame = EncodeFrame(sequence, payload);
+  Status write = WriteFullyLocked(frame.data(), frame.size());
+  Status sync = write.ok() ? ops_.Sync(fd_) : write;
+  if (!write.ok() || !sync.ok()) {
+    // The frame may be partially on disk. The sequence is rolled back
+    // (never acknowledged) and the segment poisoned so the next append
+    // starts a fresh one — replay drops the torn bytes as a segment tail.
+    poisoned_ = true;
+    return write.ok() ? sync : write;
+  }
+  next_sequence_ = sequence + 1;
+  open_bytes_ += frame.size();
+  ++appends_;
+  return sequence;
+}
+
+Status WriteAheadLog::SealAndRotate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  return SealAndRotateLocked();
+}
+
+StatusOr<int> WriteAheadLog::Compact(uint64_t covered_sequence) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names = ListSegments(options_.dir);
+  int removed = 0;
+  for (size_t i = 0; i + 1 < names.size(); ++i) {
+    // Sealed segment i spans [first_i, first_{i+1} - 1]: sequences are
+    // dense and the successor's name is its exclusive upper bound.
+    TEXRHEO_ASSIGN_OR_RETURN(uint64_t next_first,
+                             SegmentFirstSequence(names[i + 1]));
+    if (next_first == 0 || next_first - 1 > covered_sequence) continue;
+    const std::string path = options_.dir + "/" + names[i];
+    if (path == options_.dir + "/" +
+                    WalSegmentFileName(open_first_sequence_)) {
+      continue;  // Never remove the open segment.
+    }
+    TEXRHEO_RETURN_IF_ERROR(ops_.Remove(path));
+    ++removed;
+  }
+  if (removed > 0) {
+    TEXRHEO_RETURN_IF_ERROR(ops_.SyncDir(options_.dir));
+  }
+  return removed;
+}
+
+uint64_t WriteAheadLog::next_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+size_t WriteAheadLog::open_segment_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_bytes_;
+}
+
+std::vector<std::string> WriteAheadLog::SegmentFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ListSegments(options_.dir);
+}
+
+uint64_t WriteAheadLog::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+uint64_t WriteAheadLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+}  // namespace texrheo::ingest

@@ -1,0 +1,132 @@
+#ifndef TEXRHEO_INGEST_WAL_H_
+#define TEXRHEO_INGEST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/status.h"
+
+namespace texrheo::ingest {
+
+/// One durable WAL entry. Sequences are assigned densely starting at 1;
+/// a sequence is only observable (returned from Append, seen by Replay)
+/// once its frame is fully written and fsynced.
+struct WalRecord {
+  uint64_t sequence = 0;
+  std::string payload;
+};
+
+struct WalOptions {
+  std::string dir;
+  /// Rotation threshold: an append that finds the open segment at or past
+  /// this size seals it and starts a new one first.
+  size_t segment_bytes = 64 * 1024;
+};
+
+/// Everything Replay learned from a WAL directory.
+struct WalReplayResult {
+  std::vector<WalRecord> records;  ///< All intact records, sequence order.
+  uint64_t next_sequence = 1;      ///< 1 + highest replayed (or 1).
+  /// True when some segment ended in a torn or corrupt frame. Torn bytes
+  /// belong to an append that never returned success (so the record was
+  /// never acknowledged); they are dropped, not an error.
+  bool torn_tail = false;
+  size_t segments = 0;
+};
+
+/// Segment file name for the segment whose first record is
+/// `first_sequence`: "wal-<seq, 20 digits>.log". Zero-padded so a
+/// lexicographic directory sort is sequence order.
+std::string WalSegmentFileName(uint64_t first_sequence);
+
+/// Reads every segment in `dir` in sequence order and returns the intact
+/// records. Each frame is CRC-checked; a torn or corrupt frame ends its
+/// segment (remaining bytes are unacknowledged garbage from a crashed
+/// append). Sequences must be dense across the surviving frames — a gap
+/// means a durable, acknowledged record was lost, which is DataLoss, not
+/// a tolerable tail.
+StatusOr<WalReplayResult> ReplayWal(const std::string& dir);
+
+/// Append-only, CRC-framed, segmented write-ahead log.
+///
+/// Frame layout (all integers little-endian):
+///   magic   u32  'TRWL'
+///   seq     u64
+///   size    u32  payload byte count
+///   payload size bytes
+///   crc     u32  CRC-32 of (seq, size, payload)
+///
+/// Durability: Append writes the frame and fsyncs before returning the
+/// sequence, so a returned sequence survives a crash. Segment creation is
+/// followed by a parent-directory fsync (the file *name* must be durable
+/// too). A failed append rolls its sequence back and poisons the open
+/// segment: the next append seals it (torn bytes and all) and starts a
+/// fresh segment at the same sequence, so replay sees a dense stream.
+///
+/// All file I/O goes through the FileOps seam, so tests can kill any
+/// write, fsync, or directory sync mid-flight and then re-Open to prove
+/// recovery.
+class WriteAheadLog {
+ public:
+  /// Opens (creating `dir`'s segment chain as needed). Replays existing
+  /// segments to find the next sequence; a torn tail in the last segment
+  /// is rewritten away (atomic rewrite of the intact prefix) so the log
+  /// always appends after a clean frame boundary.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(
+      const WalOptions& options, FileOps& ops = FileOps::Real());
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Durably appends one record; returns its sequence. On error the
+  /// sequence is not consumed and the record is not acknowledged.
+  StatusOr<uint64_t> Append(std::string_view payload);
+
+  /// Seals the open segment and starts a new one at the next sequence.
+  Status SealAndRotate();
+
+  /// Removes sealed segments whose every record has sequence <=
+  /// `covered_sequence` (they are fully absorbed into a refreshed model).
+  /// Returns the number of segments removed. The open segment is never
+  /// removed.
+  StatusOr<int> Compact(uint64_t covered_sequence);
+
+  uint64_t next_sequence() const;
+  size_t open_segment_bytes() const;
+  /// Segment file names currently on disk, sequence order.
+  std::vector<std::string> SegmentFiles() const;
+  uint64_t appends() const;
+  uint64_t rotations() const;
+
+ private:
+  WriteAheadLog(const WalOptions& options, FileOps& ops);
+
+  /// Creates + opens the segment starting at `first_sequence` and fsyncs
+  /// the directory so the new name is crash-durable.
+  Status OpenSegmentLocked(uint64_t first_sequence);
+  Status SealAndRotateLocked();
+  Status WriteFullyLocked(const void* data, size_t size);
+
+  const WalOptions options_;
+  FileOps& ops_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;                      // Guarded by mu_.
+  uint64_t next_sequence_ = 1;       // Guarded by mu_.
+  uint64_t open_first_sequence_ = 1; // Guarded by mu_.
+  size_t open_bytes_ = 0;            // Guarded by mu_.
+  bool poisoned_ = false;            // Failed append left torn bytes.
+  uint64_t appends_ = 0;             // Guarded by mu_.
+  uint64_t rotations_ = 0;           // Guarded by mu_.
+};
+
+}  // namespace texrheo::ingest
+
+#endif  // TEXRHEO_INGEST_WAL_H_

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "eval/figures.h"
+#include "math/divergence.h"
 #include "recipe/features.h"
 #include "recipe/ingredient.h"
 #include "serve/cache.h"
@@ -164,7 +166,11 @@ QueryEngine::QueryEngine(const QueryEngineConfig& config,
   cache_misses_ = metrics_->RegisterCounter("serve.cache.misses");
   errors_ = metrics_->RegisterCounter("serve.errors");
   unknown_terms_ = metrics_->RegisterCounter("serve.unknown_terms");
+  stale_vocab_ = metrics_->RegisterCounter("serve.queries.stale_vocab");
+  delta_folded_ = metrics_->RegisterCounter("serve.delta.folded");
   reloads_ = metrics_->RegisterCounter("serve.reloads");
+  delta_docs_gauge_ = metrics_->RegisterGauge("serve.delta.docs");
+  pending_terms_gauge_ = metrics_->RegisterGauge("serve.delta.pending_terms");
   cache_size_ = metrics_->RegisterGauge("serve.cache.size");
   cache_capacity_ = metrics_->RegisterGauge("serve.cache.capacity");
   cache_evictions_ = metrics_->RegisterGauge("serve.cache.evictions");
@@ -286,6 +292,34 @@ std::vector<int32_t> QueryEngine::ResolveTerms(
   return ids;
 }
 
+Status QueryEngine::CheckTermFreshness(
+    const ServingSnapshot& snapshot, const std::vector<std::string>& terms) {
+  if (terms.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  if (pending_terms_.empty()) return Status::OK();
+  for (const std::string& term : terms) {
+    if (snapshot.WordId(term) != text::Vocabulary::kUnknownId) continue;
+    if (pending_terms_.count(term) != 0) {
+      stale_vocab_->Increment();
+      return Status::FailedPrecondition(
+          "texture term '" + term +
+          "' is in the ingest pipeline but not yet in the served "
+          "vocabulary; retry after the next model refresh");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<size_t, QueryEngine::DeltaDoc>> QueryEngine::DeltaOfTopic(
+    int topic) const {
+  std::vector<std::pair<size_t, DeltaDoc>> out;
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  for (size_t i = 0; i < delta_docs_.size(); ++i) {
+    if (delta_docs_[i].topic == topic) out.emplace_back(i, delta_docs_[i]);
+  }
+  return out;
+}
+
 Status QueryEngine::ValidateQuery(const TextureQuery& query) const {
   if (!query.gel_concentration.empty() &&
       query.gel_concentration.size() != recipe::kNumGelTypes) {
@@ -386,6 +420,8 @@ StatusOr<TexturePrediction> QueryEngine::PredictTexture(
   TEXRHEO_RETURN_IF_ERROR(ValidateQuery(query));
   std::shared_ptr<const ServingState> state = this->state();
   const ServingSnapshot& snapshot = *state->snapshot;
+  TEXRHEO_RETURN_IF_ERROR(
+      CheckTermFreshness(snapshot, query.texture_terms));
 
   math::Vector gel =
       OrZeros(query.gel_concentration, recipe::kNumGelTypes);
@@ -476,6 +512,8 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
   }
   std::shared_ptr<const ServingState> state = this->state();
   const ServingSnapshot& snapshot = *state->snapshot;
+  TEXRHEO_RETURN_IF_ERROR(
+      CheckTermFreshness(snapshot, query.texture_terms));
 
   const bool needs_embeddings =
       mode == SimilarityMode::kEmbed || mode == SimilarityMode::kFused;
@@ -505,6 +543,10 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
                                       config_.cache_quantum,
                                       SimilarityModeName(mode));
   key += "|n:" + std::to_string(top_n);
+  // The streamed delta changes what a ranking should return without any
+  // reload; versioning the key retires stale entries instead of flushing.
+  key += "|dg:" +
+         std::to_string(delta_generation_.load(std::memory_order_acquire));
   if (std::optional<SimilarRecipesResult> hit = similar_cache_.Get(key)) {
     similar_cache_hits_->Increment();
     hit->from_cache = true;
@@ -560,6 +602,11 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
   };
 
   std::vector<RankedDoc> ranking;
+  // Fused mode keeps its backend rankings so streamed-delta documents can
+  // be scored by insertion rank below.
+  std::vector<RankedDoc> kl_rank;
+  std::vector<RankedDoc> embed_rank;
+  std::vector<RankedDoc> lex_rank;
   if (mode == SimilarityMode::kKl) {
     auto kl_or = rank_kl();
     if (!kl_or.ok()) {
@@ -581,6 +628,11 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
       errors_->Increment();
       return kl_or.status();
     }
+    kl_rank = *std::move(kl_or);
+    if (!term_ids.empty()) {
+      embed_rank = rank_embed();
+      lex_rank = rank_lexical();
+    }
     std::vector<double> score(corpus_->documents.size(), 0.0);
     auto accumulate = [&](const std::vector<RankedDoc>& backend, double w) {
       for (size_t r = 0; r < backend.size(); ++r) {
@@ -588,15 +640,93 @@ StatusOr<SimilarRecipesResult> QueryEngine::SimilarRecipes(
             w / (config_.fusion_rrf_k + static_cast<double>(r + 1));
       }
     };
-    accumulate(*kl_or, config_.fusion_kl_weight);
+    accumulate(kl_rank, config_.fusion_kl_weight);
     if (!term_ids.empty()) {
-      accumulate(rank_embed(), config_.fusion_embed_weight);
-      accumulate(rank_lexical(), config_.fusion_lexical_weight);
+      accumulate(embed_rank, config_.fusion_embed_weight);
+      accumulate(lex_rank, config_.fusion_lexical_weight);
     }
     ranking.reserve(members.size());
     // Negated so "ascending divergence = nearest first" holds for fused
     // results too.
     for (size_t d : members) ranking.push_back(RankedDoc{d, -score[d]});
+    SortRanking(ranking);
+  }
+
+  // --- Streamed delta: recipes folded in since the last reload -----------
+  // Delta members of the query's topic join the ranking under the same
+  // distance as the corpus members; their recipe_index starts at the
+  // corpus size, which is how the protocol layer tells them apart.
+  std::vector<std::pair<size_t, DeltaDoc>> delta = DeltaOfTopic(result.topic);
+  if (!delta.empty()) {
+    const size_t base = corpus_->documents.size();
+    std::vector<float> query_vec;
+    double query_norm = 0.0;
+    if (state->embedding_index != nullptr) {
+      query_vec = state->embedding_index->MeanVector(term_ids);
+      for (float x : query_vec) query_norm += static_cast<double>(x) * x;
+      query_norm = std::sqrt(query_norm);
+    }
+    auto kl_dist = [&](const DeltaDoc& doc) {
+      auto kl = math::DiscreteKL(doc.emulsion_concentration, emulsion, 1e-4);
+      return kl.ok() ? *kl : std::numeric_limits<double>::infinity();
+    };
+    auto embed_dist = [&](const DeltaDoc& doc) {
+      if (state->embedding_index == nullptr) return 2.0;
+      std::vector<float> doc_vec =
+          state->embedding_index->MeanVector(doc.term_ids);
+      double doc_norm = 0.0;
+      double dot = 0.0;
+      for (size_t i = 0; i < doc_vec.size(); ++i) {
+        doc_norm += static_cast<double>(doc_vec[i]) * doc_vec[i];
+        dot += static_cast<double>(doc_vec[i]) * query_vec[i];
+      }
+      doc_norm = std::sqrt(doc_norm);
+      // Same zero-norm sentinel as EmbeddingIndex::CosineDistance.
+      if (doc_norm == 0.0 || query_norm == 0.0) return 2.0;
+      return 1.0 - dot / (doc_norm * query_norm);
+    };
+    auto lex_dist = [&](const DeltaDoc& doc) {
+      return JaccardDistance(term_ids, doc.term_ids);
+    };
+    // 1-based rank the distance would take in an ascending backend ranking.
+    auto insertion_rank = [](const std::vector<RankedDoc>& sorted,
+                             double dist) {
+      size_t lo = 0;
+      size_t hi = sorted.size();
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (sorted[mid].distance < dist) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return static_cast<double>(lo + 1);
+    };
+    for (const auto& [i, doc] : delta) {
+      double dist = 0.0;
+      if (mode == SimilarityMode::kKl) {
+        dist = kl_dist(doc);
+      } else if (mode == SimilarityMode::kEmbed) {
+        dist = embed_dist(doc);
+      } else if (mode == SimilarityMode::kLexical) {
+        dist = lex_dist(doc);
+      } else {
+        double score = config_.fusion_kl_weight /
+                       (config_.fusion_rrf_k +
+                        insertion_rank(kl_rank, kl_dist(doc)));
+        if (!term_ids.empty()) {
+          score += config_.fusion_embed_weight /
+                   (config_.fusion_rrf_k +
+                    insertion_rank(embed_rank, embed_dist(doc)));
+          score += config_.fusion_lexical_weight /
+                   (config_.fusion_rrf_k +
+                    insertion_rank(lex_rank, lex_dist(doc)));
+        }
+        dist = -score;
+      }
+      ranking.push_back(RankedDoc{base + i, dist});
+    }
     SortRanking(ranking);
   }
 
@@ -639,6 +769,93 @@ StatusOr<TopicCardResult> QueryEngine::TopicCard(int topic) {
   return card;
 }
 
+StatusOr<int> QueryEngine::FoldInDelta(const TextureQuery& query,
+                                       uint64_t ingest_sequence,
+                                       Deadline deadline) {
+  // Deliberately not a QueryScope: fold-ins are pipeline work, not client
+  // queries, and the ingest layer keeps its own accepted/folded counters.
+  TEXRHEO_RETURN_IF_ERROR(ValidateQuery(query));
+  std::shared_ptr<const ServingState> state = this->state();
+  const ServingSnapshot& snapshot = *state->snapshot;
+
+  math::Vector gel = OrZeros(query.gel_concentration, recipe::kNumGelTypes);
+  math::Vector emulsion =
+      OrZeros(query.emulsion_concentration, recipe::kNumEmulsionTypes);
+  // Terms outside the served vocabulary are dropped here; the ingest layer
+  // separately registers them via NotePendingTerms so queries naming them
+  // fail clean until the next refresh absorbs them.
+  std::vector<int32_t> term_ids = ResolveTerms(snapshot, query.texture_terms);
+
+  FoldInJob job;
+  job.snapshot = state->snapshot;
+  job.term_ids = term_ids;
+  job.gel_feature = recipe::ToFeature(gel, config_.feature);
+  job.sequence = sequence_.fetch_add(1, std::memory_order_relaxed);
+  job.deadline = deadline;
+  auto future_or = batcher_->Submit(std::move(job));
+  if (!future_or.ok()) {
+    errors_->Increment();
+    return future_or.status();
+  }
+  StatusOr<std::vector<double>> theta = future_or->get();
+  if (!theta.ok()) {
+    errors_->Increment();
+    return theta.status();
+  }
+  DeltaDoc doc;
+  doc.ingest_sequence = ingest_sequence;
+  doc.topic = static_cast<int>(
+      std::max_element(theta->begin(), theta->end()) - theta->begin());
+  doc.emulsion_concentration = std::move(emulsion);
+  doc.term_ids = std::move(term_ids);
+  const int topic = doc.topic;
+  {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    delta_docs_.push_back(std::move(doc));
+  }
+  delta_folded_->Increment();
+  delta_generation_.fetch_add(1, std::memory_order_acq_rel);
+  return topic;
+}
+
+void QueryEngine::NotePendingTerms(const std::vector<std::string>& terms) {
+  if (terms.empty()) return;
+  std::shared_ptr<const ServingState> state = this->state();
+  const ServingSnapshot& snapshot = *state->snapshot;
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  for (const std::string& term : terms) {
+    if (snapshot.WordId(term) == text::Vocabulary::kUnknownId) {
+      pending_terms_.insert(term);
+    }
+  }
+}
+
+DeltaStats QueryEngine::GetDeltaStats() const {
+  DeltaStats stats;
+  stats.folded = delta_folded_->Value();
+  stats.stale_vocab_queries = stale_vocab_->Value();
+  stats.delta_generation = delta_generation_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  stats.delta_docs = delta_docs_.size();
+  stats.pending_terms = pending_terms_.size();
+  return stats;
+}
+
+std::string QueryEngine::RenderIngestz() const {
+  DeltaStats stats = GetDeltaStats();
+  std::shared_ptr<const ServingSnapshot> snapshot = this->snapshot();
+  char fp[16];
+  std::snprintf(fp, sizeof(fp), "%08x", snapshot->fingerprint());
+  std::ostringstream out;
+  out << "texrheo_serve ingestz\n";
+  out << "model: fingerprint=" << fp << "\n";
+  out << "delta: docs=" << stats.delta_docs << " folded=" << stats.folded
+      << " generation=" << stats.delta_generation << "\n";
+  out << "vocab: pending_terms=" << stats.pending_terms
+      << " stale_vocab_queries=" << stats.stale_vocab_queries << "\n";
+  return out.str();
+}
+
 Status QueryEngine::Reload(std::shared_ptr<const ServingSnapshot> snapshot) {
   if (snapshot == nullptr) {
     return Status::InvalidArgument("reload: snapshot is null");
@@ -657,6 +874,24 @@ Status QueryEngine::Reload(std::shared_ptr<const ServingSnapshot> snapshot) {
   // compare fingerprints.
   cache_.Clear();
   similar_cache_.Clear();
+  // The refreshed model has absorbed the streamed recipes (the ingest
+  // layer re-folds any the refresh did not cover), so the resident delta
+  // is dropped wholesale; pending terms now present in the new vocabulary
+  // resolve and stop failing queries.
+  {
+    std::shared_ptr<const ServingState> current = this->state();
+    const ServingSnapshot& snap = *current->snapshot;
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    delta_docs_.clear();
+    for (auto it = pending_terms_.begin(); it != pending_terms_.end();) {
+      if (snap.WordId(*it) != text::Vocabulary::kUnknownId) {
+        it = pending_terms_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  delta_generation_.fetch_add(1, std::memory_order_acq_rel);
   reloads_->Increment();
   return Status::OK();
 }
@@ -695,6 +930,11 @@ void QueryEngine::RefreshDerivedGauges() const {
   cache_capacity_->Set(static_cast<double>(cache.capacity));
   cache_evictions_->Set(static_cast<double>(cache.evictions));
   cache_insertions_->Set(static_cast<double>(cache.insertions));
+  {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    delta_docs_gauge_->Set(static_cast<double>(delta_docs_.size()));
+    pending_terms_gauge_->Set(static_cast<double>(pending_terms_.size()));
+  }
 }
 
 obs::MetricsSnapshot QueryEngine::TakeMetricsSnapshot() const {

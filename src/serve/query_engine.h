@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -180,6 +181,15 @@ struct TopicCardResult {
   math::Vector emulsion_mean_concentration;
 };
 
+/// Point-in-time view of the engine's streamed-delta state (INGESTZ).
+struct DeltaStats {
+  uint64_t folded = 0;        ///< Lifetime recipes folded via FoldInDelta.
+  uint64_t delta_docs = 0;    ///< Currently resident (cleared on reload).
+  uint64_t pending_terms = 0;
+  uint64_t stale_vocab_queries = 0;
+  uint64_t delta_generation = 0;
+};
+
 /// Point-in-time engine statistics.
 struct QueryEngineStats {
   LatencyHistogram::Snapshot predict;
@@ -251,6 +261,30 @@ class QueryEngine {
   /// Summarizes one topic (phi top terms + Gaussian summaries).
   StatusOr<TopicCardResult> TopicCard(int topic);
 
+  /// Folds an accepted streamed recipe into the live serving state via the
+  /// eq.-5 path (through the batcher, so it is queryable within one batch
+  /// linger) and returns the topic it landed in. Delta documents join
+  /// SimilarRecipes rankings with recipe_index >= the indexed corpus size;
+  /// the whole delta is dropped on Reload (a refreshed model has absorbed
+  /// the recipes; the ingest layer re-folds any it has not). Not counted
+  /// as a query — the ingest layer keeps its own pipeline counters.
+  StatusOr<int> FoldInDelta(const TextureQuery& query,
+                            uint64_t ingest_sequence,
+                            Deadline deadline = kNoDeadline);
+
+  /// Registers surface terms the ingest layer has durably accepted but the
+  /// served vocabulary does not know yet. Queries naming a pending term
+  /// get a clean FailedPrecondition (counted in serve.queries.stale_vocab)
+  /// instead of a silently degraded answer; terms resolve automatically at
+  /// the reload that brings them into the vocabulary. Terms already in the
+  /// served vocabulary are ignored.
+  void NotePendingTerms(const std::vector<std::string>& terms);
+
+  DeltaStats GetDeltaStats() const;
+
+  /// Renders the engine's INGESTZ section (delta + pending-term state).
+  std::string RenderIngestz() const;
+
   /// Atomically swaps in a new model snapshot: validates it, rebuilds the
   /// corpus topic index against it, flushes the (now stale) result cache,
   /// and publishes. In-flight queries complete against the snapshot they
@@ -310,6 +344,16 @@ class QueryEngine {
     std::unique_ptr<embed::EmbeddingIndex> embedding_index;
   };
 
+  /// One streamed recipe folded in ahead of the next refresh. Lives beside
+  /// the immutable ServingState (append-only under delta_mu_) so the hot
+  /// reload path stays a pure pointer swap.
+  struct DeltaDoc {
+    uint64_t ingest_sequence = 0;
+    int topic = 0;
+    math::Vector emulsion_concentration;
+    std::vector<int32_t> term_ids;  ///< Snapshot vocab ids, sorted-unique.
+  };
+
   QueryEngine(const QueryEngineConfig& config, const recipe::Dataset* corpus);
 
   std::shared_ptr<const ServingState> state() const;
@@ -321,6 +365,14 @@ class QueryEngine {
   /// surfaces are dropped and counted.
   std::vector<int32_t> ResolveTerms(const ServingSnapshot& snapshot,
                                     const std::vector<std::string>& terms);
+  /// FailedPrecondition when a query term is out of the served vocabulary
+  /// but known to be pending in the ingest pipeline (satellite contract:
+  /// fail clean, never silently drop a term the WAL already holds).
+  Status CheckTermFreshness(const ServingSnapshot& snapshot,
+                            const std::vector<std::string>& terms);
+  /// Delta documents currently assigned to `topic` with their resident
+  /// indices (recipe_index = corpus size + resident index).
+  std::vector<std::pair<size_t, DeltaDoc>> DeltaOfTopic(int topic) const;
   Status ValidateQuery(const TextureQuery& query) const;
   /// Fills the derived fields of a prediction from theta.
   TexturePrediction BuildPrediction(const ServingSnapshot& snapshot,
@@ -355,7 +407,11 @@ class QueryEngine {
   obs::Counter* cache_misses_ = nullptr;
   obs::Counter* errors_ = nullptr;
   obs::Counter* unknown_terms_ = nullptr;
+  obs::Counter* stale_vocab_ = nullptr;
+  obs::Counter* delta_folded_ = nullptr;
   obs::Counter* reloads_ = nullptr;
+  obs::Gauge* delta_docs_gauge_ = nullptr;
+  obs::Gauge* pending_terms_gauge_ = nullptr;
   /// serve.similar.mode.{kl,embed,lexical,fused}, indexed by
   /// SimilarityMode. Registered right after accepted, so snapshots obey
   /// accepted >= sum(mode counters).
@@ -372,6 +428,14 @@ class QueryEngine {
   LatencyHistogram* topic_card_latency_ = nullptr;
 
   std::atomic<uint64_t> sequence_{0};
+
+  /// Streamed-delta state (see DeltaDoc). delta_generation_ versions the
+  /// SIMILAR cache key so a fold-in or reload invalidates cached rankings
+  /// without flushing unrelated entries.
+  mutable std::mutex delta_mu_;
+  std::vector<DeltaDoc> delta_docs_;                 // Guarded by delta_mu_.
+  std::unordered_set<std::string> pending_terms_;    // Guarded by delta_mu_.
+  std::atomic<uint64_t> delta_generation_{0};
 };
 
 }  // namespace texrheo::serve

@@ -196,6 +196,16 @@ Status RunSelftest(int port, const std::string& reload_file,
     return Status::Internal("selftest: statsz missing sections:\n" + statsz);
   }
   TEXRHEO_LOG(Info) << "statsz:\n" << statsz;
+  // INGESTZ surfaces the streamed-delta state the ingest tier feeds (docs
+  // folded since the last reload, pending vocabulary); on a pure serve
+  // front the page must still render, with its sections intact.
+  TEXRHEO_RETURN_IF_ERROR(client->SendLine("INGESTZ"));
+  TEXRHEO_ASSIGN_OR_RETURN(std::string ingestz, client->ReadUntilDot());
+  if (ingestz.find("model: fingerprint=") == std::string::npos ||
+      ingestz.find("delta: docs=") == std::string::npos ||
+      ingestz.find("vocab: pending_terms=") == std::string::npos) {
+    return Status::Internal("selftest: ingestz missing sections:\n" + ingestz);
+  }
   // METRICSZ is STATSZ's machine-readable twin: one bare JSON line that
   // must parse, carry the documented schema, and be monotone-consistent.
   TEXRHEO_ASSIGN_OR_RETURN(std::string metricsz,

@@ -575,6 +575,14 @@ std::string LineProtocolServer::HandleCommand(const std::string& line,
     return std::string("OK reloaded fingerprint=") + fp;
   }
 
+  if (cmd == "INGESTZ") {
+    // Streamed-delta state: recipes folded in since the last reload plus
+    // pending-vocabulary terms (see QueryEngine::RenderIngestz).
+    std::string stats = engine_->RenderIngestz();
+    if (!stats.empty() && stats.back() == '\n') stats.pop_back();
+    return stats + "\n.";
+  }
+
   if (cmd == "STATSZ") {
     // One snapshot renders both the engine and server sections, so the
     // page is internally consistent by construction.

@@ -47,6 +47,7 @@ class CommandHandler {
 ///   SIMILAR <name=ratio[,...]|-> [terms=a,b,...] [n=N]
 ///   TOPIC <k>
 ///   RELOAD <model-file>
+///   INGESTZ
 ///   STATSZ
 ///   METRICSZ
 ///   QUIT

@@ -22,6 +22,12 @@ StatusOr<int> FileOps::OpenForWrite(const std::string& path) {
   return fd;
 }
 
+StatusOr<int> FileOps::OpenForAppend(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open", path));
+  return fd;
+}
+
 StatusOr<size_t> FileOps::Write(int fd, const void* data, size_t size) {
   ssize_t n = ::write(fd, data, size);
   if (n < 0) return Status::IOError(ErrnoMessage("write failed, fd", std::to_string(fd)));
@@ -56,9 +62,30 @@ Status FileOps::Remove(const std::string& path) {
   return Status::OK();
 }
 
+Status FileOps::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open dir", dir));
+  if (::fsync(fd) != 0) {
+    Status status = Status::IOError(ErrnoMessage("fsync failed, dir", dir));
+    ::close(fd);
+    return status;
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError(ErrnoMessage("close failed, dir", dir));
+  }
+  return Status::OK();
+}
+
 FileOps& FileOps::Real() {
   static FileOps& ops = *new FileOps();
   return ops;
+}
+
+std::string ParentDirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view content,
@@ -97,7 +124,9 @@ Status AtomicWriteFile(const std::string& path, std::string_view content,
     (void)ops.Remove(tmp);
     return rename;
   }
-  return Status::OK();
+  // The rename is in the page cache until the directory inode is flushed;
+  // without this a power cut can resurrect the old file under the new name.
+  return ops.SyncDir(ParentDirOf(path));
 }
 
 }  // namespace texrheo

@@ -20,6 +20,9 @@ class FileOps {
 
   /// Opens `path` for writing (create + truncate). Returns a descriptor.
   virtual StatusOr<int> OpenForWrite(const std::string& path);
+  /// Opens `path` for appending (create if missing, position at end) — the
+  /// write-ahead-log variant of OpenForWrite. Returns a descriptor.
+  virtual StatusOr<int> OpenForAppend(const std::string& path);
   /// Writes up to `size` bytes; may write fewer (short write), like write(2).
   virtual StatusOr<size_t> Write(int fd, const void* data, size_t size);
   /// Flushes file contents to stable storage.
@@ -28,13 +31,22 @@ class FileOps {
   /// Atomically replaces `to` with `from` (rename(2) semantics).
   virtual Status Rename(const std::string& from, const std::string& to);
   virtual Status Remove(const std::string& path);
+  /// Flushes the directory entry itself: after renaming a file into `dir`
+  /// (or creating one there), the new name is only crash-durable once the
+  /// directory inode has been fsynced too.
+  virtual Status SyncDir(const std::string& dir);
 
   /// Shared pass-through instance backed by the real filesystem.
   static FileOps& Real();
 };
 
+/// Returns the directory component of `path` ("." when there is none) —
+/// the argument AtomicWriteFile passes to FileOps::SyncDir.
+std::string ParentDirOf(const std::string& path);
+
 /// Durably replaces `path` with `content`: writes `path`.tmp, fsyncs,
-/// closes, then renames over `path`. On any failure the temp file is
+/// closes, renames over `path`, then fsyncs the parent directory so the
+/// rename itself survives power loss. On any failure the temp file is
 /// removed and `path` is left untouched (a previous version, if any,
 /// survives intact). Short writes from `ops` are retried until the content
 /// is fully written or an error is returned.

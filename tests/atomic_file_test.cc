@@ -122,6 +122,54 @@ TEST_F(AtomicFileTest, CrashBeforeRenameLeavesOldFileIntact) {
   EXPECT_TRUE(fs::exists(path_ + ".tmp"));
 }
 
+TEST_F(AtomicFileTest, SyncsParentDirectoryAfterRename) {
+  FaultInjectingFileOps ops;
+  ASSERT_TRUE(AtomicWriteFile(path_, "durable entry", ops).ok());
+  EXPECT_EQ(ops.sync_dir_calls, 1);
+  EXPECT_EQ(ops.last_sync_dir, ParentDirOf(path_));
+  EXPECT_EQ(ops.rename_calls, 1);
+}
+
+TEST_F(AtomicFileTest, DirSyncFailurePropagatesButFileIsRenamed) {
+  FaultInjectingFileOps ops;
+  ops.fail_sync_dir = true;
+  Status status = AtomicWriteFile(path_, "entry at risk", ops);
+  EXPECT_FALSE(status.ok());
+  // The rename itself happened — the content is visible — but the caller
+  // is told the directory entry may not survive power loss.
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "entry at risk");
+}
+
+TEST_F(AtomicFileTest, NoDirSyncOnEarlierFailure) {
+  FaultInjectingFileOps ops;
+  ops.crash_before_rename = true;
+  EXPECT_FALSE(AtomicWriteFile(path_, "never renamed", ops).ok());
+  EXPECT_EQ(ops.sync_dir_calls, 0);
+}
+
+TEST(ParentDirOfTest, HandlesRelativeAbsoluteAndBarePaths) {
+  EXPECT_EQ(ParentDirOf("/a/b/c.txt"), "/a/b");
+  EXPECT_EQ(ParentDirOf("/c.txt"), "/");
+  EXPECT_EQ(ParentDirOf("c.txt"), ".");
+  EXPECT_EQ(ParentDirOf("rel/c.txt"), "rel");
+}
+
+TEST_F(AtomicFileTest, OpenForAppendPositionsAtEnd) {
+  FileOps& real = FileOps::Real();
+  for (const char* chunk : {"first|", "second"}) {
+    auto fd = real.OpenForAppend(path_);
+    ASSERT_TRUE(fd.ok());
+    std::string data(chunk);
+    ASSERT_TRUE(real.Write(*fd, data.data(), data.size()).ok());
+    ASSERT_TRUE(real.Close(*fd).ok());
+  }
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "first|second");
+}
+
 TEST_F(AtomicFileTest, OpenFailurePropagates) {
   FaultInjectingFileOps ops;
   ops.fail_open = true;

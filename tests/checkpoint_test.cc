@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <filesystem>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/collapsed_sampler.h"
@@ -403,6 +406,71 @@ TEST(CheckpointFileTest, RetentionKeepsOnlyNewestFiles) {
   ASSERT_EQ(files.size(), 2u);
   EXPECT_NE(files[0].find("ckpt-000000005.ckpt"), std::string::npos);
   EXPECT_NE(files[1].find("ckpt-000000004.ckpt"), std::string::npos);
+}
+
+// Retention pruning racing a concurrent Resume(): the online-refresh path
+// (src/ingest) resumes from the newest checkpoint while the training side
+// keeps writing and pruning. A reader must always land on *some* valid
+// checkpoint (atomic writes mean a listed file is whole; a pruned file is
+// skipped as unreadable) or a clean NotFound — never a torn restore, an
+// unexpected error, or a crash.
+TEST(CheckpointFileTest, PruneRacingResumeLandsOnValidStateOrCleanNotFound) {
+  recipe::Dataset ds = TinyDataset();
+  JointTopicModelConfig config = TinyConfig(41);
+  config.checkpoint_dir = FreshDir("prune_race");
+  config.checkpoint_keep_last = 64;  // The racing prune below is stricter.
+
+  auto writer = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(writer.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> resumed{0};
+  std::atomic<int> not_found{0};
+  std::mutex bad_mu;
+  std::vector<std::string> bad;
+  std::thread reader([&] {
+    recipe::Dataset local = TinyDataset();
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto model = JointTopicModel::Create(config, &local);
+      if (!model.ok()) continue;
+      Status status = model->Resume();
+      if (status.ok()) {
+        resumed.fetch_add(1, std::memory_order_relaxed);
+        // A successful resume restored a complete sweep's state.
+        if (model->completed_sweeps() < 1) {
+          std::lock_guard<std::mutex> lock(bad_mu);
+          bad.push_back("resumed at sweep 0");
+        }
+      } else if (status.code() == StatusCode::kNotFound) {
+        not_found.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::lock_guard<std::mutex> lock(bad_mu);
+        bad.push_back(status.ToString());
+      }
+    }
+  });
+
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(writer->RunSweeps(1).ok());
+    ASSERT_TRUE(writer->WriteCheckpointNow().ok());
+    // Aggressive retention: only the newest two survive each round, so
+    // the reader keeps seeing files vanish under its directory listing.
+    ASSERT_TRUE(PruneCheckpoints(config.checkpoint_dir, 2).ok());
+  }
+  stop = true;
+  reader.join();
+
+  {
+    std::lock_guard<std::mutex> lock(bad_mu);
+    EXPECT_TRUE(bad.empty()) << bad.front();
+  }
+  EXPECT_GT(resumed.load() + not_found.load(), 0);
+
+  // After the dust settles, a straight resume lands on the final sweep.
+  auto final_model = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(final_model.ok());
+  ASSERT_TRUE(final_model->Resume().ok());
+  EXPECT_EQ(final_model->completed_sweeps(), 40);
 }
 
 TEST(CheckpointFileTest, RecoverySkipsCorruptNewestFile) {

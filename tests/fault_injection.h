@@ -32,19 +32,33 @@ class FaultInjectingFileOps : public FileOps {
   /// file either) — pair with crash_before_rename to leave a *.tmp behind.
   bool skip_remove = false;
   bool fail_remove = false;
+  /// Directory fsync fails (e.g. the volume went read-only after the data
+  /// fsync succeeded).
+  bool fail_sync_dir = false;
 
   // Observability.
   int open_calls = 0;
+  int append_open_calls = 0;
   int write_calls = 0;
+  int sync_calls = 0;
   int rename_calls = 0;
   int remove_calls = 0;
+  int sync_dir_calls = 0;
   std::string last_open_path;
+  std::string last_sync_dir;
 
   StatusOr<int> OpenForWrite(const std::string& path) override {
     ++open_calls;
     last_open_path = path;
     if (fail_open) return Status::IOError("injected: open failure");
     return FileOps::Real().OpenForWrite(path);
+  }
+
+  StatusOr<int> OpenForAppend(const std::string& path) override {
+    ++append_open_calls;
+    last_open_path = path;
+    if (fail_open) return Status::IOError("injected: open failure");
+    return FileOps::Real().OpenForAppend(path);
   }
 
   StatusOr<size_t> Write(int fd, const void* data, size_t size) override {
@@ -59,6 +73,7 @@ class FaultInjectingFileOps : public FileOps {
   }
 
   Status Sync(int fd) override {
+    ++sync_calls;
     if (fail_sync) return Status::IOError("injected: fsync failure");
     return FileOps::Real().Sync(fd);
   }
@@ -78,6 +93,13 @@ class FaultInjectingFileOps : public FileOps {
     if (skip_remove) return Status::OK();
     if (fail_remove) return Status::IOError("injected: remove failure");
     return FileOps::Real().Remove(path);
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    ++sync_dir_calls;
+    last_sync_dir = dir;
+    if (fail_sync_dir) return Status::IOError("injected: dir fsync failure");
+    return FileOps::Real().SyncDir(dir);
   }
 };
 
