@@ -47,9 +47,10 @@ cmake --build build-tsan -j "$JOBS" \
   query_engine_test serve_snapshot_test joint_topic_model_test \
   serve_chaos_test router_chaos_test backoff_test metrics_registry_test \
   trace_test pipeline_e2e_test embed_trainer_test embedding_index_test \
-  ingest_test ingest_chaos_test
+  ingest_test ingest_chaos_test alias_table_test topic_gaussians_test \
+  sparse_gibbs_test checkpoint_test
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test|router_chaos_test|backoff_test|metrics_registry_test|trace_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test|ingest_test|ingest_chaos_test)$')
+  -R '^(thread_pool_test|geweke_test|sampler_exactness_test|query_engine_test|serve_snapshot_test|joint_topic_model_test|serve_chaos_test|router_chaos_test|backoff_test|metrics_registry_test|trace_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test|ingest_test|ingest_chaos_test|alias_table_test|topic_gaussians_test|sparse_gibbs_test|checkpoint_test)$')
 
 echo "==> ASan/UBSan: rebuild durability-sensitive targets with -fsanitize=address,undefined"
 cmake -B build-asan -S . -DTEXRHEO_SANITIZE=address >/dev/null
@@ -57,9 +58,11 @@ cmake --build build-asan -j "$JOBS" \
   --target serialization_test robustness_test model_binary_test \
   checkpoint_test atomic_file_test serve_hostile_test backoff_test \
   router_chaos_test pipeline_e2e_test embed_trainer_test \
-  embedding_index_test ingest_test ingest_chaos_test
+  embedding_index_test ingest_test ingest_chaos_test geweke_test \
+  sampler_exactness_test alias_table_test topic_gaussians_test \
+  sparse_gibbs_test joint_topic_model_test
 (cd build-asan && ctest --output-on-failure \
-  -R '^(serialization_test|robustness_test|model_binary_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|router_chaos_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test|ingest_test|ingest_chaos_test)$')
+  -R '^(serialization_test|robustness_test|model_binary_test|checkpoint_test|atomic_file_test|serve_hostile_test|backoff_test|router_chaos_test|pipeline_e2e_test|embed_trainer_test|embedding_index_test|ingest_test|ingest_chaos_test|geweke_test|sampler_exactness_test|alias_table_test|topic_gaussians_test|sparse_gibbs_test|joint_topic_model_test)$')
 
 echo "==> serve smoke: texrheo_serve --toy --selftest under ASan/UBSan"
 # Trains a small toy model, runs the scripted query session (PREDICT /
@@ -149,6 +152,32 @@ if [[ "$RUN_BENCH" == 1 ]]; then
     --benchmark_out=bench/out/gibbs_threads.json \
     --benchmark_out_format=json
   echo "wrote bench/out/gibbs_threads.json"
+  echo "==> bench: sparse vs dense z-sampler (alias + MH decomposition)"
+  ./build/bench/bench_perf \
+    --benchmark_filter='BM_SparseGibbs(Sweep|Speedup)' \
+    --benchmark_min_time=1 \
+    --benchmark_repetitions=3 \
+    --benchmark_out=bench/out/gibbs_sparse.json \
+    --benchmark_out_format=json
+  echo "wrote bench/out/gibbs_sparse.json"
+  # The point of the sparse decomposition: at K = 64 on the z-heavy bench
+  # corpus the sparse sampler must clear 5x the dense sweep throughput.
+  # The verdict comes from BM_SparseGibbsSpeedup, which interleaves one
+  # dense and one sparse sweep per timed iteration so a load window on the
+  # CI box dilates both sides of the ratio equally; gating on the median
+  # across the 3 repetitions then discards any residual outlier rep.
+  jq -e '
+    ([.benchmarks[]
+      | select(.name == "BM_SparseGibbsSpeedup/64/manual_time_median")
+      | .speedup] | .[0]) >= 5
+  ' bench/out/gibbs_sparse.json >/dev/null \
+    || { echo "sparse z-sampler is < 5x dense sweep throughput at K=64" >&2; exit 1; }
+  jq -r '
+    ([.benchmarks[]
+      | select(.name == "BM_SparseGibbsSpeedup/64/manual_time_median")
+      | .speedup] | .[0]) as $ratio
+    | "sparse z-sampler is \($ratio * 10 | floor / 10)x dense at K=64"
+  ' bench/out/gibbs_sparse.json
   echo "==> bench: checkpoint save/restore cost"
   ./build/bench/bench_perf \
     --benchmark_filter='BM_CheckpointSaveRestore' \

@@ -78,6 +78,16 @@ texrheo::StatusOr<JointTopicModel> JointTopicModel::Create(
     return Status::InvalidArgument(
         "joint topic model: num_threads must be >= 0");
   }
+  if (config.sparse_sampler &&
+      (config.alias_rebuild_interval < 1 || config.mh_steps < 1)) {
+    return Status::InvalidArgument(
+        "joint topic model: sparse sampler requires "
+        "alias_rebuild_interval >= 1 and mh_steps >= 1");
+  }
+  if (config.likelihood_interval < 1) {
+    return Status::InvalidArgument(
+        "joint topic model: likelihood_interval must be >= 1");
+  }
   JointTopicModel model(config, dataset);
   model.vocab_size_ = dataset->term_vocab.size();
   TEXRHEO_RETURN_IF_ERROR(model.InitializePriors());
@@ -109,6 +119,7 @@ texrheo::Status JointTopicModel::InitializeAssignments() {
   n_dk_.assign(d_count, std::vector<int>(k_count, 0));
   n_kv_.assign(static_cast<size_t>(k_count),
                std::vector<int>(vocab_size_, 0));
+  n_vk_synced_ = false;
   n_k_.assign(static_cast<size_t>(k_count), 0);
   m_k_.assign(static_cast<size_t>(k_count), 0);
 
@@ -145,6 +156,7 @@ texrheo::Status JointTopicModel::InitializeAssignments() {
       }
     }
   }
+  if (config_.sparse_sampler) RebuildActiveLists();
   return ResampleGaussians();
 }
 
@@ -178,7 +190,30 @@ texrheo::Status JointTopicModel::ResampleGaussians() {
   }
   gel_topics_ = std::move(new_gel);
   emulsion_topics_ = std::move(new_emu);
+  RebuildGaussianSoA();
   return Status::OK();
+}
+
+void JointTopicModel::RebuildGaussianSoA() {
+  gel_soa_ = TopicGaussiansSoA::FromGaussians(gel_topics_);
+  emu_soa_ = TopicGaussiansSoA::FromGaussians(emulsion_topics_);
+}
+
+void JointTopicModel::RebuildActiveLists() {
+  active_.resize(n_dk_.size());
+  for (size_t d = 0; d < n_dk_.size(); ++d) active_[d].Reset(n_dk_[d]);
+}
+
+void JointTopicModel::MaybeRebuildStaleBank() {
+  if (!config_.sparse_sampler) return;
+  if (stale_.built() && completed_sweeps_ - stale_.last_rebuild_sweep() <
+                            config_.alias_rebuild_interval) {
+    return;
+  }
+  stale_.Rebuild(n_kv_, n_k_, config_.gamma,
+                 config_.gamma * static_cast<double>(vocab_size_),
+                 completed_sweeps_);
+  ++sweep_alias_rebuilds_;
 }
 
 void JointTopicModel::SampleZ() {
@@ -215,25 +250,284 @@ void JointTopicModel::SampleZ() {
   }
 }
 
+int JointTopicModel::SparseTokenDraw(
+    size_t d, size_t v, int old_k, Rng& rng,
+    const std::vector<std::vector<int>>* delta_n_kv, const int* term_counts,
+    const std::vector<double>& inv_denom, double inv_denom_removed,
+    std::vector<double>& sparse_w, uint64_t& proposals, uint64_t& accepts,
+    uint64_t& sparse_hits) const {
+  const double alpha = config_.alpha;
+  const double gamma = config_.gamma;
+  const ActiveTopicList& active = active_[d];
+  const std::vector<int>& topics = active.topics();
+  const std::vector<int>& doc_counts = n_dk_[d];
+  const int y_d = y_[d];
+  // Exact smoothed term weight of topic k under the collapsed-Gibbs
+  // "token removed" state: (n_kv^- + gamma) / (n_k^- + gamma V). The
+  // caller passes counts with the token still included; the removal is
+  // applied here as a -1 on old_k's term count plus the caller-computed
+  // reciprocal of old_k's decremented topic total, so topics that keep
+  // their token need no count writes at all.
+  auto term_weight = [&](int k) {
+    size_t ks = static_cast<size_t>(k);
+    int nkv = term_counts != nullptr ? term_counts[ks] : n_kv_[ks][v];
+    if (delta_n_kv != nullptr) nkv += (*delta_n_kv)[ks][v];
+    if (k == old_k) {
+      return (static_cast<double>(nkv) - 1.0 + gamma) * inv_denom_removed;
+    }
+    return (static_cast<double>(nkv) + gamma) * inv_denom[ks];
+  };
+  // Document-topic coefficient under the removed state:
+  // n_dk^- + I[y_d = k].
+  auto doc_coef = [&](int k) {
+    return static_cast<double>(doc_counts[static_cast<size_t>(k)]) -
+           (k == old_k ? 1.0 : 0.0) + (k == y_d ? 1.0 : 0.0);
+  };
+
+  // Sparse bucket: s(k) = (n_dk^- + I[y_d = k]) * w(k) over the document's
+  // active topics, plus one extra slot for y_d when it holds no words (its
+  // indicator still contributes mass the active list cannot see). old_k is
+  // always on the active list (its physical count includes this token); if
+  // this is its last token its coefficient is zero and the slot is inert.
+  double sparse_total = 0.0;
+  const size_t active_count = topics.size();
+  for (size_t i = 0; i < active_count; ++i) {
+    const int k = topics[i];
+    const double w = doc_coef(k) * term_weight(k);
+    sparse_w[i] = w;
+    sparse_total += w;
+  }
+  size_t bucket_count = active_count;
+  int extra_k = -1;
+  if (doc_counts[static_cast<size_t>(y_d)] - (y_d == old_k ? 1 : 0) == 0) {
+    extra_k = y_d;
+    const double w = term_weight(y_d);
+    sparse_w[bucket_count++] = w;
+    sparse_total += w;
+  }
+  // Dense bucket: alpha * q_stale(k, v) served by the alias table; only its
+  // total mass is needed up front.
+  const double dense_total = alpha * stale_.q_total(v);
+
+  // Independence-MH: the proposal prop(k) = s(k) + alpha q_stale(k, v) is
+  // fixed for the whole token (counts minus the token do not change between
+  // steps), so each accept/reject targets the exact eq.-2 conditional
+  // p(k) = (n_dk^- + I[y_d = k] + alpha) * w(k) with ratio
+  // (p(t) prop(cur)) / (p(cur) prop(t)); the shared normalizer cancels.
+  int cur = old_k;
+  for (int step = 0; step < config_.mh_steps; ++step) {
+    ++proposals;
+    const double u = rng.NextDouble() * (sparse_total + dense_total);
+    int prop;
+    if (u < sparse_total) {
+      ++sparse_hits;
+      size_t i = 0;
+      double acc = sparse_w[0];
+      while (u > acc && i + 1 < bucket_count) {
+        ++i;
+        acc += sparse_w[i];
+      }
+      prop = i < active_count ? topics[i] : extra_k;
+    } else {
+      prop = stale_.SampleStale(v, rng);
+    }
+    if (prop == cur) {
+      ++accepts;
+      continue;
+    }
+    const size_t ps = static_cast<size_t>(prop);
+    const size_t cs = static_cast<size_t>(cur);
+    const double w_prop = term_weight(prop);
+    const double w_cur = term_weight(cur);
+    const double coef_prop = doc_coef(prop);
+    const double coef_cur = doc_coef(cur);
+    const double p_prop = (coef_prop + alpha) * w_prop;
+    const double p_cur = (coef_cur + alpha) * w_cur;
+    const double mass_prop = coef_prop * w_prop + alpha * stale_.q(v, ps);
+    const double mass_cur = coef_cur * w_cur + alpha * stale_.q(v, cs);
+    const double ratio = (p_prop * mass_cur) / (p_cur * mass_prop);
+    if (ratio >= 1.0 || rng.NextDouble() < ratio) {
+      cur = prop;
+      ++accepts;
+    }
+  }
+  return cur;
+}
+
+void JointTopicModel::SampleZSparse() {
+  const auto& documents = docs_->documents;
+  const size_t k_count = static_cast<size_t>(config_.num_topics);
+  const double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  EffectiveInvDenominators(n_k_, nullptr, gamma_v, inv_denom_);
+  std::vector<double> sparse_w(k_count + 1);
+  if (!n_vk_synced_) {
+    n_vk_.assign(vocab_size_ * k_count, 0);
+    for (size_t k = 0; k < k_count; ++k) {
+      const std::vector<int>& row = n_kv_[k];
+      for (size_t v = 0; v < vocab_size_; ++v) {
+        n_vk_[v * k_count + k] = row[v];
+      }
+    }
+    n_vk_synced_ = true;
+  }
+
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const Document& doc = documents[d];
+    ActiveTopicList& active = active_[d];
+    for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+      const size_t v = static_cast<size_t>(doc.term_ids[n]);
+      // Hide the next token's lookups (its q slice and its term-major
+      // count slice) behind this token's work. Pure cache hints: the draw
+      // itself is untouched.
+      if (n + 1 < doc.term_ids.size()) {
+        const size_t vn = static_cast<size_t>(doc.term_ids[n + 1]);
+        stale_.PrefetchTerm(vn);
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&n_vk_[vn * k_count]);
+        __builtin_prefetch(&n_vk_[vn * k_count + k_count - 1]);
+#endif
+      }
+      const int old_k = z_[d][n];
+      const size_t ok = static_cast<size_t>(old_k);
+      int* term_counts = &n_vk_[v * k_count];
+      // Lazy-update discipline: the counts stay physically intact and the
+      // draw sees the collapsed-Gibbs "token removed" state through the
+      // old_k override inside SparseTokenDraw. Most tokens keep their
+      // topic after burn-in, and for those this turns six scattered count
+      // writes (which dirty the multi-megabyte n_kv / n_vk matrices every
+      // sweep) into zero memory traffic.
+      const double inv_removed =
+          1.0 / (static_cast<double>(n_k_[ok]) - 1.0 + gamma_v);
+      const int new_k =
+          SparseTokenDraw(d, v, old_k, rng_, nullptr, term_counts,
+                          inv_denom_, inv_removed, sparse_w,
+                          sweep_mh_proposals_, sweep_mh_accepts_,
+                          sweep_sparse_hits_);
+      if (new_k != old_k) {
+        const size_t nk = static_cast<size_t>(new_k);
+        --n_dk_[d][ok];
+        if (n_dk_[d][ok] == 0) active.OnDecrement(old_k);
+        --n_kv_[ok][v];
+        --term_counts[ok];
+        --n_k_[ok];
+        inv_denom_[ok] = 1.0 / (static_cast<double>(n_k_[ok]) + gamma_v);
+        z_[d][n] = new_k;
+        ++n_dk_[d][nk];
+        if (n_dk_[d][nk] == 1) active.OnIncrement(new_k);
+        ++n_kv_[nk][v];
+        ++term_counts[nk];
+        ++n_k_[nk];
+        inv_denom_[nk] = 1.0 / (static_cast<double>(n_k_[nk]) + gamma_v);
+      }
+    }
+  }
+}
+
+void JointTopicModel::SampleZSparseParallel() {
+  const auto& documents = docs_->documents;
+  const int k_count = config_.num_topics;
+  const double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  const int num_shards = static_cast<int>(shards_.size());
+  std::vector<TopicCountDelta> deltas(
+      static_cast<size_t>(num_shards), TopicCountDelta(k_count, vocab_size_));
+  std::vector<uint64_t> proposals(static_cast<size_t>(num_shards), 0);
+  std::vector<uint64_t> accepts(static_cast<size_t>(num_shards), 0);
+  std::vector<uint64_t> hits(static_cast<size_t>(num_shards), 0);
+
+  // Same AD-LDA discipline as SampleZParallel: frozen globals + per-shard
+  // deltas. The stale bank is read-only for the whole sweep (rebuilds only
+  // happen serially between sweeps) and active lists / n_dk_ rows belong to
+  // the shard owning the document, so no synchronization is needed.
+  pool_->ParallelFor(num_shards, [&](int s) {
+    const size_t lo = shards_[static_cast<size_t>(s)].first;
+    const size_t hi = shards_[static_cast<size_t>(s)].second;
+    Rng& rng = shard_rngs_[static_cast<size_t>(s)];
+    TopicCountDelta& delta = deltas[static_cast<size_t>(s)];
+    std::vector<double> inv_denom;
+    EffectiveInvDenominators(n_k_, &delta, gamma_v, inv_denom);
+    std::vector<double> sparse_w(static_cast<size_t>(k_count) + 1);
+    for (size_t d = lo; d < hi; ++d) {
+      const Document& doc = documents[d];
+      ActiveTopicList& active = active_[d];
+      for (size_t n = 0; n < doc.term_ids.size(); ++n) {
+        const size_t v = static_cast<size_t>(doc.term_ids[n]);
+        // Same one-token-ahead cache hints as the serial sweep.
+        if (n + 1 < doc.term_ids.size()) {
+          const size_t vn = static_cast<size_t>(doc.term_ids[n + 1]);
+          stale_.PrefetchTerm(vn);
+#if defined(__GNUC__) || defined(__clang__)
+          for (const int k : active.topics()) {
+            __builtin_prefetch(&n_kv_[static_cast<size_t>(k)][vn]);
+          }
+#endif
+        }
+        const int old_k = z_[d][n];
+        const size_t ok = static_cast<size_t>(old_k);
+        // Same lazy-update discipline as the serial sweep: shard-local
+        // deltas are only touched when the token actually moves.
+        const double inv_removed =
+            1.0 / (static_cast<double>(n_k_[ok] + delta.n_k[ok]) - 1.0 +
+                   gamma_v);
+        const int new_k = SparseTokenDraw(
+            d, v, old_k, rng, &delta.n_kv, /*term_counts=*/nullptr,
+            inv_denom, inv_removed, sparse_w,
+            proposals[static_cast<size_t>(s)],
+            accepts[static_cast<size_t>(s)], hits[static_cast<size_t>(s)]);
+        if (new_k != old_k) {
+          const size_t nk = static_cast<size_t>(new_k);
+          --n_dk_[d][ok];
+          if (n_dk_[d][ok] == 0) active.OnDecrement(old_k);
+          --delta.n_kv[ok][v];
+          --delta.n_k[ok];
+          inv_denom[ok] =
+              1.0 / (static_cast<double>(n_k_[ok] + delta.n_k[ok]) + gamma_v);
+          z_[d][n] = new_k;
+          ++n_dk_[d][nk];
+          if (n_dk_[d][nk] == 1) active.OnIncrement(new_k);
+          ++delta.n_kv[nk][v];
+          ++delta.n_k[nk];
+          inv_denom[nk] =
+              1.0 / (static_cast<double>(n_k_[nk] + delta.n_k[nk]) + gamma_v);
+        }
+      }
+    }
+  });
+  MergeTopicCountDeltas(deltas, n_kv_, n_k_);
+  n_vk_synced_ = false;
+  for (int s = 0; s < num_shards; ++s) {
+    sweep_mh_proposals_ += proposals[static_cast<size_t>(s)];
+    sweep_mh_accepts_ += accepts[static_cast<size_t>(s)];
+    sweep_sparse_hits_ += hits[static_cast<size_t>(s)];
+  }
+}
+
 texrheo::Status JointTopicModel::SampleY() {
   const auto& documents = docs_->documents;
   int k_count = config_.num_topics;
   std::vector<double> log_w(static_cast<size_t>(k_count));
   std::vector<double> weights(static_cast<size_t>(k_count));
+  std::vector<double> gel_lp(static_cast<size_t>(k_count));
+  std::vector<double> emu_lp(static_cast<size_t>(k_count));
+  TopicGaussiansSoA::Scratch scratch;
 
   for (size_t d = 0; d < documents.size(); ++d) {
     const Document& doc = documents[d];
     --m_k_[static_cast<size_t>(y_[d])];
     // Paper eq. (3): (N_dk + M_dk^{-d} + alpha_k) x N(g_d | mu_k, Lambda_k)
     // (x N(e_d | m_k, L_k) per the graphical model). The doc's own vector
-    // is excluded, so M_dk^{-d} = 0.
+    // is excluded, so M_dk^{-d} = 0. Densities come from the batched SoA
+    // evaluator, which is bit-identical to per-topic Gaussian::LogPdf.
+    gel_soa_.BatchLogPdf(doc.gel_feature, scratch, gel_lp.data());
+    if (config_.use_emulsion_likelihood) {
+      emu_soa_.BatchLogPdf(doc.emulsion_feature, scratch, emu_lp.data());
+    }
     for (int k = 0; k < k_count; ++k) {
       size_t ks = static_cast<size_t>(k);
       double lw =
           std::log(static_cast<double>(n_dk_[d][ks]) + config_.alpha);
-      lw += gel_topics_[ks].LogPdf(doc.gel_feature);
+      lw += gel_lp[ks];
       if (config_.use_emulsion_likelihood) {
-        lw += emulsion_topics_[ks].LogPdf(doc.emulsion_feature);
+        lw += emu_lp[ks];
       }
       log_w[ks] = lw;
     }
@@ -327,15 +621,22 @@ void JointTopicModel::SampleYParallel() {
     Rng& rng = shard_rngs_[static_cast<size_t>(s)];
     std::vector<double> log_w(static_cast<size_t>(k_count));
     std::vector<double> weights(static_cast<size_t>(k_count));
+    std::vector<double> gel_lp(static_cast<size_t>(k_count));
+    std::vector<double> emu_lp(static_cast<size_t>(k_count));
+    TopicGaussiansSoA::Scratch scratch;
     for (size_t d = lo; d < hi; ++d) {
       const Document& doc = documents[d];
+      gel_soa_.BatchLogPdf(doc.gel_feature, scratch, gel_lp.data());
+      if (config_.use_emulsion_likelihood) {
+        emu_soa_.BatchLogPdf(doc.emulsion_feature, scratch, emu_lp.data());
+      }
       for (int k = 0; k < k_count; ++k) {
         size_t ks = static_cast<size_t>(k);
         double lw =
             std::log(static_cast<double>(n_dk_[d][ks]) + config_.alpha);
-        lw += gel_topics_[ks].LogPdf(doc.gel_feature);
+        lw += gel_lp[ks];
         if (config_.use_emulsion_likelihood) {
-          lw += emulsion_topics_[ks].LogPdf(doc.emulsion_feature);
+          lw += emu_lp[ks];
         }
         log_w[ks] = lw;
       }
@@ -380,6 +681,7 @@ texrheo::Status JointTopicModel::ResyncWithData() {
       ++n_k_[static_cast<size_t>(z_[d][n])];
     }
   }
+  n_vk_synced_ = false;
   // The instantiated Gaussians are conditioned on the old features; redraw
   // them so the next sweep's y conditionals see p(mu, Lambda | y, new data).
   return ResampleGaussians();
@@ -392,6 +694,8 @@ void JointTopicModel::SetObservability(obs::MetricsRegistry* metrics,
   if (metrics_ == nullptr) {
     obs_sweeps_ = obs_checkpoints_ = nullptr;
     obs_likelihood_ = obs_alpha_ = obs_alpha_drift_ = nullptr;
+    obs_alias_rebuilds_ = obs_sparse_hits_ = nullptr;
+    obs_mh_accept_ = nullptr;
     obs_sweep_us_ = obs_sample_us_ = obs_gaussian_us_ = nullptr;
     return;
   }
@@ -400,6 +704,9 @@ void JointTopicModel::SetObservability(obs::MetricsRegistry* metrics,
   obs_likelihood_ = metrics_->RegisterGauge("train.log_likelihood");
   obs_alpha_ = metrics_->RegisterGauge("train.alpha");
   obs_alpha_drift_ = metrics_->RegisterGauge("train.alpha_drift");
+  obs_alias_rebuilds_ = metrics_->RegisterCounter("train.alias_rebuilds");
+  obs_sparse_hits_ = metrics_->RegisterCounter("train.sparse_bucket_hits");
+  obs_mh_accept_ = metrics_->RegisterGauge("train.mh_accept_rate");
   obs_sweep_us_ = metrics_->RegisterHistogram("train.sweep_us");
   obs_sample_us_ = metrics_->RegisterHistogram("train.shard_sample_us");
   obs_gaussian_us_ = metrics_->RegisterHistogram("train.gaussian_update_us");
@@ -421,15 +728,29 @@ texrheo::Status JointTopicModel::RunSweeps(int n) {
   for (int sweep = 0; sweep < n; ++sweep) {
     obs::TraceSpan sweep_span;
     if (tracer_ != nullptr) sweep_span = tracer_->StartSpan("sweep");
+    // The tallies feed the sparse-sampler metrics; they are plain integer
+    // updates with no RNG draws, so maintaining them unconditionally keeps
+    // instrumentation trajectory-inert.
+    sweep_mh_proposals_ = sweep_mh_accepts_ = 0;
+    sweep_sparse_hits_ = sweep_alias_rebuilds_ = 0;
+    MaybeRebuildStaleBank();
     const int64_t t_start = observed ? clock->NowMicros() : 0;
     {
       obs::TraceSpan sample_span;
       if (tracer_ != nullptr) sample_span = sweep_span.StartChild("shard_sample");
       if (parallel) {
-        SampleZParallel();
+        if (config_.sparse_sampler) {
+          SampleZSparseParallel();
+        } else {
+          SampleZParallel();
+        }
         SampleYParallel();
       } else {
-        SampleZ();
+        if (config_.sparse_sampler) {
+          SampleZSparse();
+        } else {
+          SampleZ();
+        }
         TEXRHEO_RETURN_IF_ERROR(SampleY());
       }
     }
@@ -451,18 +772,37 @@ texrheo::Status JointTopicModel::RunSweeps(int n) {
     // Health guard runs before the checkpoint hook so a numerically
     // poisoned state is never persisted.
     TEXRHEO_RETURN_IF_ERROR(CheckNumericalHealth());
-    double ll = LogJointLikelihood();
-    if (!std::isfinite(ll)) {
-      return Status::Internal(
-          "numerical health: log joint likelihood became non-finite at "
-          "sweep " + std::to_string(completed_sweeps_));
+    // The likelihood pass reads state without touching the RNG, so thinning
+    // it leaves the chain trajectory bit-identical.
+    const bool trace_due =
+        completed_sweeps_ % config_.likelihood_interval == 0;
+    double ll = 0.0;
+    if (trace_due) {
+      ll = LogJointLikelihood();
+      if (!std::isfinite(ll)) {
+        return Status::Internal(
+            "numerical health: log joint likelihood became non-finite at "
+            "sweep " + std::to_string(completed_sweeps_));
+      }
+      likelihood_trace_.push_back(ll);
     }
-    likelihood_trace_.push_back(ll);
     if (metrics_ != nullptr) {
       obs_sweeps_->Increment();
-      obs_likelihood_->Set(ll);
+      if (trace_due) obs_likelihood_->Set(ll);
       obs_alpha_->Set(config_.alpha);
       obs_alpha_drift_->Set(config_.alpha - initial_alpha_);
+      if (config_.sparse_sampler) {
+        if (sweep_alias_rebuilds_ > 0) {
+          obs_alias_rebuilds_->Increment(sweep_alias_rebuilds_);
+        }
+        if (sweep_sparse_hits_ > 0) {
+          obs_sparse_hits_->Increment(sweep_sparse_hits_);
+        }
+        if (sweep_mh_proposals_ > 0) {
+          obs_mh_accept_->Set(static_cast<double>(sweep_mh_accepts_) /
+                              static_cast<double>(sweep_mh_proposals_));
+        }
+      }
       obs_sample_us_->Record(t_sampled - t_start);
       obs_gaussian_us_->Record(t_gaussians - t_sampled);
       obs_sweep_us_->Record(clock->NowMicros() - t_start);
@@ -499,6 +839,13 @@ CheckpointFingerprint JointTopicModel::MakeFingerprint() const {
   fp.optimize_alpha = config_.optimize_alpha;
   fp.use_emulsion_likelihood = config_.use_emulsion_likelihood;
   fp.gmm_init = config_.gmm_init;
+  fp.sparse_sampler = config_.sparse_sampler;
+  if (config_.sparse_sampler) {
+    // The knobs shape the RNG consumption pattern, so they pin the resume;
+    // on the dense path they are inert and stay at the struct defaults.
+    fp.alias_rebuild_interval = config_.alias_rebuild_interval;
+    fp.mh_steps = config_.mh_steps;
+  }
   fp.num_documents = docs_->documents.size();
   fp.vocab_size = vocab_size_;
   return fp;
@@ -521,6 +868,11 @@ CheckpointState JointTopicModel::CaptureCheckpoint() const {
   state.gel_topics = gel_topics_;
   state.emulsion_topics = emulsion_topics_;
   state.likelihood_trace = likelihood_trace_;
+  if (config_.sparse_sampler && stale_.built()) {
+    state.last_alias_rebuild_sweep = stale_.last_rebuild_sweep();
+    state.stale_n_kv = ToCheckpointRows(stale_.stale_n_kv());
+    state.stale_n_k = ToCheckpointInts(stale_.stale_n_k());
+  }
   return state;
 }
 
@@ -540,6 +892,24 @@ texrheo::Status JointTopicModel::RestoreFromCheckpoint(
     return Status::InvalidArgument(
         "checkpoint is missing instantiated topic Gaussians");
   }
+  if (config_.sparse_sampler && !state.stale_n_k.empty()) {
+    if (state.stale_n_kv.size() != k_count ||
+        state.stale_n_k.size() != k_count) {
+      return Status::InvalidArgument(
+          "checkpoint stale alias snapshot has the wrong topic count");
+    }
+    for (const auto& row : state.stale_n_kv) {
+      if (row.size() != vocab_size_) {
+        return Status::InvalidArgument(
+            "checkpoint stale alias snapshot has the wrong vocabulary size");
+      }
+    }
+    if (state.last_alias_rebuild_sweep < 0 ||
+        state.last_alias_rebuild_sweep > state.completed_sweeps) {
+      return Status::InvalidArgument(
+          "checkpoint stale alias rebuild epoch out of range");
+    }
+  }
   // All validation happens above this line so a rejected checkpoint never
   // leaves the model partially restored.
   if (!state.shard_rngs.empty()) {
@@ -556,14 +926,32 @@ texrheo::Status JointTopicModel::RestoreFromCheckpoint(
   z_ = FromCheckpointRows(state.z);
   n_dk_ = FromCheckpointRows(state.n_dk);
   n_kv_ = FromCheckpointRows(state.n_kv);
+  n_vk_synced_ = false;
   n_k_ = FromCheckpointInts(state.n_k);
   m_k_ = FromCheckpointInts(state.m_k);
   gel_topics_ = state.gel_topics;
   emulsion_topics_ = state.emulsion_topics;
+  RebuildGaussianSoA();
   likelihood_trace_ = state.likelihood_trace;
   completed_sweeps_ = state.completed_sweeps;
   config_.alpha = state.current_alpha;
   rng_.RestoreState(state.master_rng);
+  if (config_.sparse_sampler) {
+    RebuildActiveLists();
+    if (!state.stale_n_k.empty()) {
+      // Rebuild() is deterministic in the snapshot counts, so this
+      // reconstructs the exact proposal tables the crashed run was using,
+      // and replaying the rebuild schedule from last_alias_rebuild_sweep
+      // keeps the resumed chain bit-exact even when the checkpoint landed
+      // between rebuilds.
+      stale_.Rebuild(FromCheckpointRows(state.stale_n_kv),
+                     FromCheckpointInts(state.stale_n_k), config_.gamma,
+                     config_.gamma * static_cast<double>(vocab_size_),
+                     state.last_alias_rebuild_sweep);
+    } else {
+      stale_.Clear();
+    }
+  }
   pool_.reset();
   shards_.clear();
   shard_rngs_.clear();
@@ -660,6 +1048,7 @@ texrheo::Status JointTopicModel::WarmStartFromCheckpoint(
   // Rebuild the count caches at the grown dimensions.
   n_dk_.assign(documents.size(), std::vector<int>(config_.num_topics, 0));
   n_kv_.assign(k_count, std::vector<int>(vocab_size_, 0));
+  n_vk_synced_ = false;
   n_k_.assign(k_count, 0);
   for (size_t d = 0; d < documents.size(); ++d) {
     const Document& doc = documents[d];
@@ -675,6 +1064,13 @@ texrheo::Status JointTopicModel::WarmStartFromCheckpoint(
   pool_.reset();
   shards_.clear();
   shard_rngs_.clear();
+  if (config_.sparse_sampler) {
+    RebuildActiveLists();
+    // The corpus (and possibly the vocabulary) grew, so the checkpointed
+    // proposal snapshot no longer matches the count dimensions; dropping
+    // it forces a fresh rebuild on the first warm sweep.
+    stale_.Clear();
+  }
   return ResampleGaussians();
 }
 
@@ -879,6 +1275,18 @@ texrheo::StatusOr<std::vector<double>> JointTopicModel::FoldInTheta(
 
   std::vector<double> weights(static_cast<size_t>(k_count));
   std::vector<double> log_w(static_cast<size_t>(k_count));
+  // The Gaussians are frozen during fold-in, so their log-densities are
+  // constant across sweeps: evaluate the batch once and reuse (bit-exact
+  // with re-evaluating per sweep, since the values never change).
+  std::vector<double> gel_lp(static_cast<size_t>(k_count));
+  std::vector<double> emu_lp(static_cast<size_t>(k_count));
+  {
+    TopicGaussiansSoA::Scratch scratch;
+    gel_soa_.BatchLogPdf(doc.gel_feature, scratch, gel_lp.data());
+    if (config_.use_emulsion_likelihood) {
+      emu_soa_.BatchLogPdf(doc.emulsion_feature, scratch, emu_lp.data());
+    }
+  }
   for (int sweep = 0; sweep < fold_in_sweeps; ++sweep) {
     for (size_t n = 0; n < doc.term_ids.size(); ++n) {
       size_t v = static_cast<size_t>(doc.term_ids[n]);
@@ -898,9 +1306,9 @@ texrheo::StatusOr<std::vector<double>> JointTopicModel::FoldInTheta(
       size_t ks = static_cast<size_t>(k);
       double lw = std::log(static_cast<double>(local_n_k[ks]) +
                            config_.alpha);
-      lw += gel_topics_[ks].LogPdf(doc.gel_feature);
+      lw += gel_lp[ks];
       if (config_.use_emulsion_likelihood) {
-        lw += emulsion_topics_[ks].LogPdf(doc.emulsion_feature);
+        lw += emu_lp[ks];
       }
       log_w[ks] = lw;
     }

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "core/sparse_gibbs.h"
+#include "core/topic_gaussians.h"
 #include "math/distributions.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -81,6 +83,35 @@ struct JointTopicModelConfig {
   /// deterministic because every shard draws from its own SplitMix64-split
   /// RNG stream.
   int num_threads = 1;
+
+  /// Sub-O(K) z sampling (SparseLDA/AliasLDA-style). When true, the
+  /// per-token eq.-2 draw is decomposed into a sparse bucket over only the
+  /// topics active in the document plus a dense stale bucket served from
+  /// per-term alias tables rebuilt every `alias_rebuild_interval` sweeps,
+  /// with `mh_steps` Metropolis-Hastings accept/reject steps against the
+  /// exact conditional. The stationary distribution is *identical* to the
+  /// dense sampler's (certified by the Geweke stale-alias leg and the
+  /// moment-equivalence tests); the trajectory is not, because the RNG
+  /// consumption pattern differs — hence false by default, keeping every
+  /// pre-existing seed-pinned run bit-exact.
+  bool sparse_sampler = false;
+  /// Sweeps between alias-table rebuilds (the staleness knob R). Larger
+  /// values amortize rebuild cost over more sweeps at the price of a more
+  /// drifted proposal (lower MH acceptance); correctness is unaffected at
+  /// any R >= 1 because the MH step corrects the drift exactly.
+  int alias_rebuild_interval = 8;
+  /// MH proposal/accept steps per token. Each step costs O(1) given the
+  /// buckets; more steps track the exact conditional tighter per sweep.
+  int mh_steps = 2;
+
+  /// Sweeps between entries of the joint log-likelihood trace (>= 1). The
+  /// likelihood pass is O(tokens) with two log() evaluations per token, so
+  /// on large corpora it can rival the z sweep itself; trainers that only
+  /// need a thinned trace can raise this. The pass is a pure read of the
+  /// sampler state and draws no RNG, so the chain trajectory is identical
+  /// at any interval — only the trace density (and the per-sweep
+  /// non-finiteness guard it doubles as) changes.
+  int likelihood_interval = 1;
 
   /// Crash-safe checkpointing. When `checkpoint_interval` > 0 and
   /// `checkpoint_dir` is non-empty, RunSweeps writes an atomic,
@@ -282,6 +313,36 @@ class JointTopicModel {
   void EnsureParallelEngine();
   void SampleZParallel();
   void SampleYParallel();
+  /// Sparse + alias + MH z sweeps (see config.sparse_sampler). The serial
+  /// variant mutates the global counts in place; the parallel variant runs
+  /// the same per-token procedure against frozen globals + per-shard
+  /// deltas, with the (read-only) stale bank shared across shards.
+  void SampleZSparse();
+  void SampleZSparseParallel();
+  /// One MH-corrected draw for token (d, n). The effective counts passed
+  /// in still *include* the token; the collapsed-Gibbs removal is applied
+  /// virtually inside the draw (a -1 on old_k's term and document counts,
+  /// plus `inv_denom_removed` = the caller's reciprocal of old_k's
+  /// decremented topic total), so callers only write counts when the
+  /// returned topic differs from old_k. Tallies accumulate proposal
+  /// statistics. Returns the new topic.
+  /// `term_counts`, when non-null, points at the [K] term-major count slice
+  /// for term v (the serial sweep's n_vk_ mirror); null falls back to the
+  /// column reads of n_kv_ (+ delta).
+  int SparseTokenDraw(size_t d, size_t v, int old_k, Rng& rng,
+                      const std::vector<std::vector<int>>* delta_n_kv,
+                      const int* term_counts,
+                      const std::vector<double>& inv_denom,
+                      double inv_denom_removed,
+                      std::vector<double>& sparse_w, uint64_t& proposals,
+                      uint64_t& accepts, uint64_t& sparse_hits) const;
+  /// Rebuilds the stale alias bank when the schedule says so (first sweep
+  /// or R sweeps since the last rebuild). No-op on the dense path.
+  void MaybeRebuildStaleBank();
+  /// Re-derives every document's active-topic list from n_dk_.
+  void RebuildActiveLists();
+  /// Repacks gel_soa_/emu_soa_ from the current instantiated Gaussians.
+  void RebuildGaussianSoA();
   CheckpointFingerprint MakeFingerprint() const;
   /// Writes a checkpoint when the configured interval divides
   /// completed_sweeps_; no-op when checkpointing is not configured.
@@ -306,6 +367,9 @@ class JointTopicModel {
   obs::Gauge* obs_likelihood_ = nullptr;
   obs::Gauge* obs_alpha_ = nullptr;
   obs::Gauge* obs_alpha_drift_ = nullptr;
+  obs::Counter* obs_alias_rebuilds_ = nullptr;
+  obs::Counter* obs_sparse_hits_ = nullptr;
+  obs::Gauge* obs_mh_accept_ = nullptr;
   LatencyHistogram* obs_sweep_us_ = nullptr;
   LatencyHistogram* obs_sample_us_ = nullptr;
   LatencyHistogram* obs_gaussian_us_ = nullptr;
@@ -327,6 +391,30 @@ class JointTopicModel {
   // Gaussian components (instantiated, resampled each sweep).
   std::vector<math::Gaussian> gel_topics_;
   std::vector<math::Gaussian> emulsion_topics_;
+  // SoA mirrors of the Gaussians for the batched eq.-3 log-density loop;
+  // repacked by RebuildGaussianSoA whenever the Gaussians change. Read-only
+  // between repacks, so const readers (FoldInTheta) may share them.
+  TopicGaussiansSoA gel_soa_;
+  TopicGaussiansSoA emu_soa_;
+  // Sparse-sampler state (populated only when config_.sparse_sampler).
+  std::vector<ActiveTopicList> active_;  ///< One per document.
+  /// Term-major mirror of n_kv_ ([v * K + k]), maintained by the *serial*
+  /// sparse z sweep only: every per-token count read and write for term v
+  /// then lands in one contiguous K-slice instead of K scattered rows,
+  /// which is where the sparse path's remaining per-token latency lives.
+  /// Mirrors n_kv_ exactly while n_vk_synced_ holds; wholesale n_kv_
+  /// reassignments (init, resume, refresh) just drop the flag and the next
+  /// sparse sweep rebuilds the mirror in one pass.
+  std::vector<int> n_vk_;
+  bool n_vk_synced_ = false;
+  StaleAliasBank stale_;
+  std::vector<double> inv_denom_;  ///< Serial path's 1/(n_k + gamma V).
+  // Per-sweep MH tallies (plain integers, no RNG, updated regardless of
+  // whether metrics are attached — instrumentation stays trajectory-inert).
+  uint64_t sweep_mh_proposals_ = 0;
+  uint64_t sweep_mh_accepts_ = 0;
+  uint64_t sweep_sparse_hits_ = 0;
+  uint64_t sweep_alias_rebuilds_ = 0;
 
   int completed_sweeps_ = 0;
   std::vector<double> likelihood_trace_;

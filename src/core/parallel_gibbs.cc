@@ -46,4 +46,20 @@ void MergeTopicCountDeltas(const std::vector<TopicCountDelta>& deltas,
   }
 }
 
+void EffectiveInvDenominators(const std::vector<int>& n_k,
+                              const TopicCountDelta* delta, double gamma_v,
+                              std::vector<double>& out) {
+  out.resize(n_k.size());
+  if (delta == nullptr) {
+    for (size_t k = 0; k < n_k.size(); ++k) {
+      out[k] = 1.0 / (static_cast<double>(n_k[k]) + gamma_v);
+    }
+  } else {
+    for (size_t k = 0; k < n_k.size(); ++k) {
+      out[k] =
+          1.0 / (static_cast<double>(n_k[k] + delta->n_k[k]) + gamma_v);
+    }
+  }
+}
+
 }  // namespace texrheo::core

@@ -48,6 +48,16 @@ void MergeTopicCountDeltas(const std::vector<TopicCountDelta>& deltas,
                            std::vector<std::vector<int>>& n_kv,
                            std::vector<int>& n_k);
 
+/// out[k] = 1.0 / (n_k[k] + delta->n_k[k] + gamma_v), with `delta` nullable
+/// for the serial sampler. The sparse z-sampler keeps this cache to turn the
+/// per-topic division in the eq.-2 conditional into a multiply; each entry
+/// is a pure function of the current counts (recomputed from scratch on
+/// every flip, never incrementally adjusted), so a resumed run rebuilds the
+/// identical cache and stays bit-exact with the uninterrupted one.
+void EffectiveInvDenominators(const std::vector<int>& n_k,
+                              const TopicCountDelta* delta, double gamma_v,
+                              std::vector<double>& out);
+
 }  // namespace texrheo::core
 
 #endif  // TEXRHEO_CORE_PARALLEL_GIBBS_H_

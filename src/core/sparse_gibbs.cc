@@ -1,0 +1,77 @@
+#include "core/sparse_gibbs.h"
+
+#include <cassert>
+#include <utility>
+
+namespace texrheo::core {
+
+void ActiveTopicList::Reset(const std::vector<int>& n_dk_row) {
+  topics_.clear();
+  pos_.assign(n_dk_row.size(), -1);
+  for (size_t k = 0; k < n_dk_row.size(); ++k) {
+    if (n_dk_row[k] > 0) {
+      pos_[k] = static_cast<int>(topics_.size());
+      topics_.push_back(static_cast<int>(k));
+    }
+  }
+}
+
+void StaleAliasBank::Rebuild(const std::vector<std::vector<int>>& n_kv,
+                             const std::vector<int>& n_k, double gamma,
+                             double gamma_v, int sweep) {
+  const size_t num_topics = n_kv.size();
+  assert(num_topics > 0 && n_k.size() == num_topics);
+  const size_t vocab = n_kv.front().size();
+  num_topics_ = num_topics;
+  stale_n_kv_ = n_kv;
+  stale_n_k_ = n_k;
+  q_.resize(vocab * num_topics);
+  q_total_.assign(vocab, 0.0);
+  // One reciprocal per topic instead of one division per (term, topic): at
+  // a realistic K x V this removes ~K*V hardware divides per rebuild. The
+  // topic-outer fill also reads each count row sequentially instead of
+  // walking the matrix down its columns.
+  inv_denom_scratch_.resize(num_topics);
+  for (size_t k = 0; k < num_topics; ++k) {
+    inv_denom_scratch_[k] =
+        1.0 / (static_cast<double>(n_k[k]) + gamma_v);
+  }
+  for (size_t k = 0; k < num_topics; ++k) {
+    const std::vector<int>& row = n_kv[k];
+    const double inv = inv_denom_scratch_[k];
+    for (size_t v = 0; v < vocab; ++v) {
+      // gamma > 0 makes every weight strictly positive, so BuildInto cannot
+      // fail and the MH proposal keeps full support.
+      const double w = (static_cast<double>(row[v]) + gamma) * inv;
+      q_[v * num_topics + k] = w;
+      q_total_[v] += w;
+    }
+  }
+  // Tables are rebuilt in place: tables_, the weight slice, and the build
+  // worklists all keep their storage across rebuilds, so a steady-state
+  // rebuild allocates nothing.
+  tables_.resize(vocab);
+  for (size_t v = 0; v < vocab; ++v) {
+    const double* slice = &q_[v * num_topics];
+    weights_scratch_.assign(slice, slice + num_topics);
+    const auto status = math::AliasTable::BuildInto(
+        weights_scratch_, build_scratch_, tables_[v]);
+    assert(status.ok());
+    (void)status;
+  }
+  built_ = true;
+  last_rebuild_sweep_ = sweep;
+}
+
+void StaleAliasBank::Clear() {
+  built_ = false;
+  last_rebuild_sweep_ = -1;
+  num_topics_ = 0;
+  stale_n_kv_.clear();
+  stale_n_k_.clear();
+  q_.clear();
+  q_total_.clear();
+  tables_.clear();
+}
+
+}  // namespace texrheo::core

@@ -1,0 +1,125 @@
+#ifndef TEXRHEO_CORE_SPARSE_GIBBS_H_
+#define TEXRHEO_CORE_SPARSE_GIBBS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "math/alias_table.h"
+#include "util/rng.h"
+
+namespace texrheo::core {
+
+/// Incrementally maintained list of the topics with n_dk > 0 for one
+/// document. The sparse bucket of the two-bucket z-sampler enumerates only
+/// these topics, so per-token cost tracks the number of *distinct* topics
+/// in the document rather than K. Membership is updated on every z-flip via
+/// OnIncrement/OnDecrement; position lookup is O(1) through pos_.
+class ActiveTopicList {
+ public:
+  ActiveTopicList() = default;
+
+  /// Rebuilds membership from a doc-topic count row (restore / init path).
+  void Reset(const std::vector<int>& n_dk_row);
+
+  /// Call after n_dk[k] went 0 -> 1.
+  void OnIncrement(int k) {
+    if (pos_[k] >= 0) return;
+    pos_[k] = static_cast<int>(topics_.size());
+    topics_.push_back(k);
+  }
+
+  /// Call after n_dk[k] went 1 -> 0 (swap-remove, order not preserved).
+  void OnDecrement(int k) {
+    const int p = pos_[k];
+    if (p < 0) return;
+    const int last = topics_.back();
+    topics_[p] = last;
+    pos_[last] = p;
+    topics_.pop_back();
+    pos_[k] = -1;
+  }
+
+  bool Contains(int k) const { return pos_[k] >= 0; }
+  const std::vector<int>& topics() const { return topics_; }
+  size_t size() const { return topics_.size(); }
+
+ private:
+  std::vector<int> topics_;
+  std::vector<int> pos_;  ///< pos_[k] = index in topics_, or -1.
+};
+
+/// The dense "stale" bucket: a frozen snapshot of the global topic-term
+/// counts plus, per vocabulary term, the smoothed topic weights
+/// q(k, v) = (stale_n_kv + gamma) / (stale_n_k + gamma * V) served through
+/// Walker alias tables for O(1) proposals. Rebuilt every R sweeps; between
+/// rebuilds the proposal drifts from the true conditional and the
+/// Metropolis-Hastings step in the sampler corrects for it exactly.
+/// gamma > 0 keeps every q(k, v) strictly positive, so the proposal has
+/// full support and the MH chain stays irreducible no matter how stale the
+/// snapshot gets.
+///
+/// During a sweep the bank is strictly read-only (rebuilds happen serially
+/// between sweeps), so parallel shards may share one instance.
+class StaleAliasBank {
+ public:
+  StaleAliasBank() = default;
+
+  /// Snapshots `n_kv` / `n_k` and rebuilds q tables + alias tables for
+  /// every term. `sweep` is recorded as the rebuild epoch so the schedule
+  /// is reconstructible after Resume().
+  void Rebuild(const std::vector<std::vector<int>>& n_kv,
+               const std::vector<int>& n_k, double gamma, double gamma_v,
+               int sweep);
+
+  void Clear();
+
+  bool built() const { return built_; }
+  int last_rebuild_sweep() const { return last_rebuild_sweep_; }
+
+  /// Stale smoothed weight of topic k for term v.
+  double q(size_t v, size_t k) const { return q_[v * num_topics_ + k]; }
+  /// Sum over topics of q(v, k) — the dense-bucket total mass (pre-alpha).
+  double q_total(size_t v) const { return q_total_[v]; }
+
+  /// Draws a topic from the stale distribution q(., v) in O(1).
+  int SampleStale(size_t v, Rng& rng) const {
+    return static_cast<int>(tables_[v].Sample(rng));
+  }
+
+  /// Cache hint: pulls the q slice and bucket total for term v toward the
+  /// core. The z sweep issues this one token ahead — the per-token state is
+  /// scattered across a multi-megabyte bank, and the lookup latency is the
+  /// sparse path's main cost once the buckets themselves are small.
+  void PrefetchTerm(size_t v) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&q_[v * num_topics_]);
+    __builtin_prefetch(&q_total_[v]);
+#else
+    (void)v;
+#endif
+  }
+
+  const std::vector<std::vector<int>>& stale_n_kv() const { return stale_n_kv_; }
+  const std::vector<int>& stale_n_k() const { return stale_n_k_; }
+
+ private:
+  bool built_ = false;
+  int last_rebuild_sweep_ = -1;
+  size_t num_topics_ = 0;
+  std::vector<std::vector<int>> stale_n_kv_;  ///< [k][v] snapshot.
+  std::vector<int> stale_n_k_;                ///< [k] snapshot.
+  std::vector<double> q_;                     ///< [v * K + k].
+  std::vector<double> q_total_;               ///< [v].
+  std::vector<math::AliasTable> tables_;      ///< one per term.
+  // Rebuild scratch, kept across epochs so steady-state rebuilds are
+  // allocation-free. Rebuilds only ever run serially between sweeps, so
+  // sharing these across the bank is safe.
+  std::vector<double> inv_denom_scratch_;
+  std::vector<double> weights_scratch_;
+  math::AliasTable::BuildScratch build_scratch_;
+};
+
+}  // namespace texrheo::core
+
+#endif  // TEXRHEO_CORE_SPARSE_GIBBS_H_

@@ -211,6 +211,9 @@ JointTopicModelConfig HarnessModelConfig(const GewekeConfig& cfg,
   model.emulsion_prior = cfg.gel_prior;
   model.use_emulsion_likelihood = false;
   model.num_threads = 1;
+  model.sparse_sampler = cfg.sparse_sampler;
+  model.alias_rebuild_interval = cfg.alias_rebuild_interval;
+  model.mh_steps = cfg.mh_steps;
   model.seed = seed;
   return model;
 }
@@ -242,6 +245,10 @@ texrheo::StatusOr<GewekeResult> RunGewekeTest(const GewekeConfig& config) {
   if (cfg.forward_samples < 2 || cfg.gibbs_samples < 2 || cfg.thin < 1 ||
       cfg.burn_in < 0) {
     return Status::InvalidArgument("geweke: degenerate sample schedule");
+  }
+  if (cfg.sparse_sampler && cfg.sampler != SamplerKind::kInstantiated) {
+    return Status::InvalidArgument(
+        "geweke: sparse_sampler applies to the instantiated sampler only");
   }
 
   size_t num_stats = std::size(kStatisticNames);
@@ -389,38 +396,50 @@ texrheo::StatusOr<MomentEquivalenceResult> CompareSerialVsParallelMoments(
     const core::JointTopicModelConfig& base_config,
     const recipe::Dataset& dataset, SamplerKind sampler, int parallel_threads,
     int burn_in_sweeps, int measure_sweeps) {
-  if (base_config.num_topics > 8) {
-    return Status::InvalidArgument(
-        "moment equivalence: topic alignment enumerates permutations; "
-        "num_topics must be <= 8");
-  }
   if (parallel_threads < 2) {
     return Status::InvalidArgument(
         "moment equivalence: parallel_threads must be >= 2");
+  }
+  JointTopicModelConfig serial_config = base_config;
+  serial_config.num_threads = 1;
+  JointTopicModelConfig parallel_config = base_config;
+  parallel_config.num_threads = parallel_threads;
+  return CompareConfigsMoments(serial_config, parallel_config, dataset,
+                               sampler, burn_in_sweeps, measure_sweeps);
+}
+
+texrheo::StatusOr<MomentEquivalenceResult> CompareConfigsMoments(
+    const core::JointTopicModelConfig& config_a,
+    const core::JointTopicModelConfig& config_b,
+    const recipe::Dataset& dataset, SamplerKind sampler, int burn_in_sweeps,
+    int measure_sweeps) {
+  if (config_a.num_topics != config_b.num_topics) {
+    return Status::InvalidArgument(
+        "moment equivalence: configs must share num_topics");
+  }
+  if (config_a.num_topics > 8) {
+    return Status::InvalidArgument(
+        "moment equivalence: topic alignment enumerates permutations; "
+        "num_topics must be <= 8");
   }
   if (dataset.documents.empty()) {
     return Status::InvalidArgument("moment equivalence: empty dataset");
   }
   size_t gel_dim = dataset.documents.front().gel_feature.size();
-  size_t k_count = static_cast<size_t>(base_config.num_topics);
+  size_t k_count = static_cast<size_t>(config_a.num_topics);
 
-  JointTopicModelConfig serial_config = base_config;
-  serial_config.num_threads = 1;
-  JointTopicModelConfig parallel_config = base_config;
-  parallel_config.num_threads = parallel_threads;
-
-  MomentAccumulator serial_acc(base_config.num_topics,
+  MomentAccumulator serial_acc(config_a.num_topics,
                                dataset.term_vocab.size(), gel_dim);
-  MomentAccumulator parallel_acc(base_config.num_topics,
+  MomentAccumulator parallel_acc(config_a.num_topics,
                                  dataset.term_vocab.size(), gel_dim);
-  TEXRHEO_RETURN_IF_ERROR(RunMoments(serial_config, dataset, sampler,
+  TEXRHEO_RETURN_IF_ERROR(RunMoments(config_a, dataset, sampler,
                                      burn_in_sweeps, measure_sweeps,
                                      serial_acc));
-  TEXRHEO_RETURN_IF_ERROR(RunMoments(parallel_config, dataset, sampler,
+  TEXRHEO_RETURN_IF_ERROR(RunMoments(config_b, dataset, sampler,
                                      burn_in_sweeps, measure_sweeps,
                                      parallel_acc));
 
-  // Align the parallel run's topics to the serial run's: pick the
+  // Align the second run's topics to the first run's: pick the
   // permutation minimizing total L1 distance between mean phi rows.
   std::vector<size_t> perm(k_count);
   std::iota(perm.begin(), perm.end(), 0);

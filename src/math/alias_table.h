@@ -13,25 +13,48 @@ namespace texrheo::math {
 /// as a fast path for topic proposals.
 class AliasTable {
  public:
+  /// Reusable construction buffers for BuildInto. A caller rebuilding many
+  /// tables in a loop (e.g. one per vocabulary term) keeps one of these
+  /// alive to amortize the three per-build worklist allocations.
+  struct BuildScratch {
+    std::vector<double> scaled;
+    std::vector<size_t> small;
+    std::vector<size_t> large;
+  };
+
+  /// An empty table (size() == 0); the target state for BuildInto. Sampling
+  /// from it is undefined.
+  AliasTable() = default;
+
   /// Builds the table from unnormalized non-negative weights; requires at
   /// least one strictly positive weight.
   static texrheo::StatusOr<AliasTable> Build(
       const std::vector<double>& weights);
+
+  /// Rebuilds `out` in place from `weights`, reusing its storage and the
+  /// caller's scratch. The result is indistinguishable from Build(weights):
+  /// same masses bit-for-bit and the same Sample stream. On error `out` is
+  /// left unspecified. Same preconditions as Build.
+  static texrheo::Status BuildInto(const std::vector<double>& weights,
+                                   BuildScratch& scratch, AliasTable& out);
 
   /// Draws an index distributed proportionally to the build weights.
   size_t Sample(Rng& rng) const;
 
   size_t size() const { return prob_.size(); }
 
+  /// Sum of the (unnormalized) build weights, as accumulated at Build time.
+  /// Lets callers convert a table's normalized draws back into the original
+  /// weight scale without re-summing.
+  double total_weight() const { return total_weight_; }
+
   /// Probability mass assigned to index i (reconstructed; for tests).
   double MassOf(size_t i) const;
 
  private:
-  AliasTable(std::vector<double> prob, std::vector<size_t> alias)
-      : prob_(std::move(prob)), alias_(std::move(alias)) {}
-
   std::vector<double> prob_;
   std::vector<size_t> alias_;
+  double total_weight_ = 0.0;
 };
 
 }  // namespace texrheo::math

@@ -174,6 +174,31 @@ TEST(CheckpointFrameTest, CollapsedStateRoundTripsWithStats) {
   }
 }
 
+TEST(CheckpointFrameTest, SparseStateRoundTripsWithStaleSnapshot) {
+  recipe::Dataset ds = TinyDataset();
+  JointTopicModelConfig config = TinyConfig(23);
+  config.sparse_sampler = true;
+  config.alias_rebuild_interval = 2;
+  auto model = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->RunSweeps(5).ok());
+  CheckpointState state = model->CaptureCheckpoint();
+  ASSERT_TRUE(state.fingerprint.sparse_sampler);
+  EXPECT_EQ(state.fingerprint.alias_rebuild_interval, 2);
+  EXPECT_EQ(state.fingerprint.mh_steps, 2);
+  // Rebuilds fire at epochs 0, 2, 4 (first build, then staleness >= R), so
+  // the snapshot carries the epoch of the last one.
+  ASSERT_FALSE(state.stale_n_kv.empty());
+  ASSERT_GE(state.last_alias_rebuild_sweep, 0);
+
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(state));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->fingerprint, state.fingerprint);
+  EXPECT_EQ(decoded->last_alias_rebuild_sweep, state.last_alias_rebuild_sweep);
+  EXPECT_EQ(decoded->stale_n_kv, state.stale_n_kv);
+  EXPECT_EQ(decoded->stale_n_k, state.stale_n_k);
+}
+
 // ---------------------------------------------------------------------------
 // Golden trajectories: resume must be bit-exact for serial chains.
 
@@ -237,6 +262,100 @@ TEST(CheckpointResumeTest, SerialCollapsedChainResumesBitExactly) {
   ASSERT_TRUE(ll_straight.ok());
   ASSERT_TRUE(ll_resumed.ok());
   EXPECT_EQ(*ll_resumed, *ll_straight);
+}
+
+// Sparse/alias/MH chain: the stale snapshot is part of the state, so resume
+// must be bit-exact even when the capture point falls *between* alias
+// rebuilds — the resumed chain must keep serving the same stale proposal
+// (not a freshly rebuilt one) until the next scheduled rebuild. R = 5 with
+// a capture at sweep 98 puts the capture three sweeps past the last rebuild
+// (epoch 95).
+TEST(CheckpointResumeTest, SerialSparseChainResumesBitExactlyBetweenRebuilds) {
+  recipe::Dataset ds = TinyDataset();
+  JointTopicModelConfig config = TinyConfig(44);
+  config.sparse_sampler = true;
+  config.alias_rebuild_interval = 5;
+  config.mh_steps = 2;
+
+  auto straight = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(straight.ok());
+  ASSERT_TRUE(straight->RunSweeps(200).ok());
+
+  auto first_half = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(first_half.ok());
+  ASSERT_TRUE(first_half->RunSweeps(98).ok());
+  CheckpointState captured = first_half->CaptureCheckpoint();
+  // The capture really is mid-interval: last rebuild at epoch 95.
+  ASSERT_EQ(captured.last_alias_rebuild_sweep, 95);
+  auto state = DecodeCheckpoint(EncodeCheckpoint(captured));
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+
+  auto resumed = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE(resumed->RestoreFromCheckpoint(*state).ok());
+  EXPECT_EQ(resumed->completed_sweeps(), 98);
+  ASSERT_TRUE(resumed->RunSweeps(102).ok());
+
+  EXPECT_EQ(resumed->z(), straight->z());
+  EXPECT_EQ(resumed->y(), straight->y());
+  ASSERT_EQ(resumed->likelihood_trace().size(),
+            straight->likelihood_trace().size());
+  for (size_t i = 0; i < straight->likelihood_trace().size(); ++i) {
+    EXPECT_EQ(resumed->likelihood_trace()[i], straight->likelihood_trace()[i])
+        << "trace diverged at sweep " << i;
+  }
+}
+
+TEST(CheckpointResumeTest, SparseChainResumesBitExactlyAtRebuildBoundary) {
+  // Capture with staleness exactly at R (last rebuild at epoch 95, capture
+  // at sweep 100): the very next sweep triggers a rebuild on both the
+  // straight and the resumed chain; both must schedule it identically.
+  recipe::Dataset ds = TinyDataset();
+  JointTopicModelConfig config = TinyConfig(46);
+  config.sparse_sampler = true;
+  config.alias_rebuild_interval = 5;
+
+  auto straight = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(straight.ok());
+  ASSERT_TRUE(straight->RunSweeps(120).ok());
+
+  auto first_half = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(first_half.ok());
+  ASSERT_TRUE(first_half->RunSweeps(100).ok());
+  CheckpointState captured = first_half->CaptureCheckpoint();
+  ASSERT_EQ(captured.last_alias_rebuild_sweep, 95);
+
+  auto resumed = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE(resumed->RestoreFromCheckpoint(captured).ok());
+  ASSERT_TRUE(resumed->RunSweeps(20).ok());
+  EXPECT_EQ(resumed->z(), straight->z());
+  EXPECT_EQ(resumed->y(), straight->y());
+}
+
+TEST(CheckpointResumeTest, ParallelSparseChainResumesDeterministically) {
+  recipe::Dataset ds = TinyDataset();
+  JointTopicModelConfig config = TinyConfig(48);
+  config.sparse_sampler = true;
+  config.alias_rebuild_interval = 4;
+  config.num_threads = 2;
+
+  auto straight = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(straight.ok());
+  ASSERT_TRUE(straight->RunSweeps(60).ok());
+
+  auto first_half = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(first_half.ok());
+  ASSERT_TRUE(first_half->RunSweeps(30).ok());
+  CheckpointState state = first_half->CaptureCheckpoint();
+  EXPECT_FALSE(state.shard_rngs.empty());
+
+  auto resumed = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE(resumed->RestoreFromCheckpoint(state).ok());
+  ASSERT_TRUE(resumed->RunSweeps(30).ok());
+  EXPECT_EQ(resumed->z(), straight->z());
+  EXPECT_EQ(resumed->y(), straight->y());
 }
 
 TEST(CheckpointResumeTest, OptimizedAlphaSurvivesResume) {
@@ -390,6 +509,92 @@ TEST(CheckpointFileTest, TrainingWritesAndResumesFromDirectory) {
   // chain matches a straight-through run with checkpointing off.
   EXPECT_EQ(resumed->z(), straight->z());
   EXPECT_EQ(resumed->y(), straight->y());
+}
+
+// Crash mid-training with the sparse sampler: checkpoint_interval = 3 and
+// R = 5 guarantee the newest surviving checkpoint (sweep 9) falls between
+// alias rebuilds (epochs 0 and 5), so Resume() must reconstruct the stale
+// bank from the snapshot rather than rebuilding from live counts — and the
+// continuation must be bit-identical to a run that never crashed.
+TEST(CheckpointFileTest, SparseTrainingCrashResumesBitExactly) {
+  recipe::Dataset ds = TinyDataset();
+  JointTopicModelConfig config = TinyConfig(43);
+  config.sparse_sampler = true;
+  config.alias_rebuild_interval = 5;
+  config.checkpoint_interval = 3;
+  config.checkpoint_dir = FreshDir("sparse_crash");
+
+  JointTopicModelConfig no_ckpt = config;
+  no_ckpt.checkpoint_interval = 0;
+  no_ckpt.checkpoint_dir.clear();
+  auto straight = JointTopicModel::Create(no_ckpt, &ds);
+  ASSERT_TRUE(straight.ok());
+  ASSERT_TRUE(straight->RunSweeps(30).ok());
+
+  // "Crash" after 10 sweeps: the process dies, losing sweep 10; the newest
+  // checkpoint on disk is sweep 9.
+  {
+    auto doomed = JointTopicModel::Create(config, &ds);
+    ASSERT_TRUE(doomed.ok());
+    ASSERT_TRUE(doomed->RunSweeps(10).ok());
+  }
+  std::string winner;
+  auto newest = LoadLatestValidCheckpoint(config.checkpoint_dir, &winner);
+  ASSERT_TRUE(newest.ok());
+  ASSERT_EQ(newest->completed_sweeps, 9);
+  ASSERT_EQ(newest->last_alias_rebuild_sweep, 5);  // Mid-interval.
+
+  auto resumed = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE(resumed->Resume().ok());
+  EXPECT_EQ(resumed->completed_sweeps(), 9);
+  ASSERT_TRUE(resumed->RunSweeps(21).ok());
+  EXPECT_EQ(resumed->z(), straight->z());
+  EXPECT_EQ(resumed->y(), straight->y());
+  ASSERT_EQ(resumed->likelihood_trace().size(),
+            straight->likelihood_trace().size());
+  for (size_t i = 0; i < straight->likelihood_trace().size(); ++i) {
+    EXPECT_EQ(resumed->likelihood_trace()[i], straight->likelihood_trace()[i])
+        << "trace diverged at sweep " << i;
+  }
+}
+
+TEST(CheckpointSafetyTest, SparseKnobMismatchIsRefused) {
+  recipe::Dataset ds = TinyDataset();
+  JointTopicModelConfig sparse = TinyConfig(45);
+  sparse.sparse_sampler = true;
+  sparse.alias_rebuild_interval = 5;
+  auto source = JointTopicModel::Create(sparse, &ds);
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(source->RunSweeps(3).ok());
+  CheckpointState state = source->CaptureCheckpoint();
+
+  // A dense model must refuse a sparse checkpoint: the staleness schedule
+  // is part of the trajectory.
+  auto dense = JointTopicModel::Create(TinyConfig(45), &ds);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense->RestoreFromCheckpoint(state).code(),
+            StatusCode::kFailedPrecondition);
+
+  // So must a sparse model with a different rebuild interval or MH budget.
+  JointTopicModelConfig other_r = sparse;
+  other_r.alias_rebuild_interval = 9;
+  auto model_r = JointTopicModel::Create(other_r, &ds);
+  ASSERT_TRUE(model_r.ok());
+  EXPECT_EQ(model_r->RestoreFromCheckpoint(state).code(),
+            StatusCode::kFailedPrecondition);
+
+  JointTopicModelConfig other_mh = sparse;
+  other_mh.mh_steps = 4;
+  auto model_mh = JointTopicModel::Create(other_mh, &ds);
+  ASSERT_TRUE(model_mh.ok());
+  EXPECT_EQ(model_mh->RestoreFromCheckpoint(state).code(),
+            StatusCode::kFailedPrecondition);
+
+  // And a matching sparse model accepts it.
+  auto clean = JointTopicModel::Create(sparse, &ds);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->RestoreFromCheckpoint(state).ok());
 }
 
 TEST(CheckpointFileTest, RetentionKeepsOnlyNewestFiles) {

@@ -14,6 +14,7 @@
 
 #include "core/collapsed_sampler.h"
 #include "core/joint_topic_model.h"
+#include "core/topic_gaussians.h"
 #include "corpus/generator.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -225,6 +226,75 @@ TEST(SamplerExactnessTest, PaperSamplerMatchesExactPosterior) {
       << "exact " << exact << " vs empirical " << empirical;
 }
 
+// The sparse/alias/MH decomposition targets the identical stationary
+// distribution as the dense sampler (the MH step corrects for the stale
+// proposal exactly), so the same brute-force check applies. A small rebuild
+// interval keeps several rebuilds inside the run; mh_steps = 2 exercises
+// repeated proposals per token.
+TEST(SamplerExactnessTest, SparseSamplerMatchesExactPosterior) {
+  recipe::Dataset ds = TinyDataset();
+  JointTopicModelConfig config = TinyConfig(303);
+  config.sparse_sampler = true;
+  config.alias_rebuild_interval = 3;
+  config.mh_steps = 2;
+  double exact = ExactPosteriorY0(ds, config);
+
+  auto model = JointTopicModel::Create(config, &ds);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->RunSweeps(200).ok());
+  int hits = 0;
+  const int samples = 6000;
+  for (int s = 0; s < samples; ++s) {
+    ASSERT_TRUE(model->RunSweeps(1).ok());
+    if (model->y()[0] == 0) ++hits;
+  }
+  double empirical = static_cast<double>(hits) / samples;
+  EXPECT_NEAR(empirical, exact, 0.05)
+      << "exact " << exact << " vs empirical " << empirical;
+}
+
+// --- SoA batched Gaussian log-density: bit-exactness --------------------
+//
+// The y-sweep evaluates all K per-topic Gaussians through the SoA batch
+// path. Its contract is bit-exactness against math::Gaussian::LogPdf — not
+// approximate agreement — across K values that are and are not multiples of
+// any plausible SIMD lane count, so the vectorized loop's tail handling is
+// covered.
+TEST(SamplerExactnessTest, BatchedGaussianLogPdfBitExactAcrossTopicCounts) {
+  Rng rng(555);
+  for (size_t k_count : {1u, 3u, 4u, 7u, 8u, 16u, 31u}) {
+    std::vector<math::Gaussian> topics;
+    for (size_t k = 0; k < k_count; ++k) {
+      math::Vector mean(2);
+      mean[0] = rng.NextGaussian();
+      mean[1] = rng.NextGaussian();
+      math::Matrix prec(2, 2);
+      const double a = 1.0 + rng.NextDouble();
+      const double c = 1.0 + rng.NextDouble();
+      const double b = 0.4 * rng.NextDouble();
+      prec(0, 0) = a;
+      prec(1, 1) = c;
+      prec(0, 1) = prec(1, 0) = b;  // Diagonally dominant => SPD.
+      auto g = math::Gaussian::FromPrecision(std::move(mean), std::move(prec));
+      ASSERT_TRUE(g.ok());
+      topics.push_back(std::move(g).value());
+    }
+    TopicGaussiansSoA soa = TopicGaussiansSoA::FromGaussians(topics);
+    TopicGaussiansSoA::Scratch scratch;
+    std::vector<double> batch(k_count);
+    for (int trial = 0; trial < 10; ++trial) {
+      math::Vector x(2);
+      x[0] = rng.NextGaussian() * 2.0;
+      x[1] = rng.NextGaussian() * 2.0;
+      soa.BatchLogPdf(x, scratch, batch.data());
+      for (size_t k = 0; k < k_count; ++k) {
+        ASSERT_EQ(batch[k], topics[k].LogPdf(x)) << "K=" << k_count
+                                                 << " k=" << k;
+      }
+    }
+  }
+}
+
 // --- Observability is a pure observer ----------------------------------
 //
 // Attaching the full metrics + tracing stack must not perturb the sampler:
@@ -320,6 +390,28 @@ TEST(SerialVsParallelTest, CollapsedSamplerMomentsMatch) {
   auto result = eval::CompareSerialVsParallelMoments(
       EquivalenceConfig(32), SyntheticCorpus(), eval::SamplerKind::kCollapsed,
       /*parallel_threads=*/4, /*burn_in_sweeps=*/60, /*measure_sweeps=*/120);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->phi_max_abs_diff, 0.05)
+      << "phi diff " << result->phi_max_abs_diff;
+  EXPECT_LT(result->topic_share_max_abs_diff, 0.05)
+      << "share diff " << result->topic_share_max_abs_diff;
+  EXPECT_LT(result->gel_mean_max_abs_diff, 0.35)
+      << "gel mean diff " << result->gel_mean_max_abs_diff;
+}
+
+// The sparse/alias/MH chain and the dense chain are different Markov chains
+// with the same stationary distribution, so their trajectories differ but
+// their post-burn-in moments must agree. Stale tables (R = 6) make the MH
+// correction do real work here.
+TEST(SerialVsParallelTest, SparseVsDenseSamplerMomentsMatch) {
+  JointTopicModelConfig dense = EquivalenceConfig(33);
+  JointTopicModelConfig sparse = EquivalenceConfig(34);
+  sparse.sparse_sampler = true;
+  sparse.alias_rebuild_interval = 6;
+  sparse.mh_steps = 2;
+  auto result = eval::CompareConfigsMoments(
+      dense, sparse, SyntheticCorpus(), eval::SamplerKind::kInstantiated,
+      /*burn_in_sweeps=*/100, /*measure_sweeps=*/250);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_LT(result->phi_max_abs_diff, 0.05)
       << "phi diff " << result->phi_max_abs_diff;

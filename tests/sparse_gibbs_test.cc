@@ -1,0 +1,215 @@
+// Unit tests for the sparse-bucket Gibbs support structures: the
+// incrementally maintained active-topic list and the stale alias-table bank
+// that serves the dense proposal bucket between rebuilds.
+
+#include "core/sparse_gibbs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace texrheo::core {
+namespace {
+
+std::set<int> AsSet(const ActiveTopicList& list) {
+  return std::set<int>(list.topics().begin(), list.topics().end());
+}
+
+TEST(ActiveTopicListTest, ResetCapturesNonzeroEntries) {
+  ActiveTopicList list;
+  list.Reset({0, 3, 0, 1, 0, 7});
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(AsSet(list), (std::set<int>{1, 3, 5}));
+  EXPECT_TRUE(list.Contains(1));
+  EXPECT_FALSE(list.Contains(0));
+  EXPECT_FALSE(list.Contains(4));
+}
+
+TEST(ActiveTopicListTest, IncrementDecrementMaintainsMembership) {
+  ActiveTopicList list;
+  list.Reset({0, 0, 2, 0});
+
+  // First increment of an empty slot adds it; further increments are no-ops
+  // (the caller only notifies on 0 -> 1 transitions).
+  list.OnIncrement(0);
+  EXPECT_TRUE(list.Contains(0));
+  EXPECT_EQ(list.size(), 2u);
+  list.OnIncrement(0);
+  EXPECT_EQ(list.size(), 2u);
+
+  // Decrement to zero removes (caller notifies on 1 -> 0 transitions).
+  list.OnDecrement(2);
+  EXPECT_FALSE(list.Contains(2));
+  EXPECT_EQ(AsSet(list), (std::set<int>{0}));
+
+  // Removing the only element empties the list.
+  list.OnDecrement(0);
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(ActiveTopicListTest, ChurnAgainstReferenceCounts) {
+  // Fuzz the swap-remove bookkeeping: apply random count updates to a
+  // reference count vector and mirror the 0<->1 transitions into the list;
+  // membership must match the nonzero support exactly at every step.
+  constexpr int kTopics = 8;
+  Rng rng(42);
+  std::vector<int> counts(kTopics, 0);
+  ActiveTopicList list;
+  list.Reset(counts);
+  for (int step = 0; step < 2000; ++step) {
+    const int k = static_cast<int>(rng.NextUint(kTopics));
+    const bool can_decrement = counts[k] > 0;
+    if (can_decrement && rng.NextDouble() < 0.5) {
+      if (--counts[k] == 0) list.OnDecrement(k);
+    } else {
+      if (++counts[k] == 1) list.OnIncrement(k);
+    }
+    std::set<int> expected;
+    for (int t = 0; t < kTopics; ++t) {
+      if (counts[t] > 0) expected.insert(t);
+    }
+    ASSERT_EQ(AsSet(list), expected) << "step " << step;
+    ASSERT_EQ(list.size(), expected.size());
+  }
+}
+
+class StaleAliasBankTest : public ::testing::Test {
+ protected:
+  // 3 topics x 4 terms with distinct counts.
+  std::vector<std::vector<int>> n_kv_ = {
+      {5, 0, 1, 2}, {0, 3, 3, 0}, {1, 1, 1, 1}};
+  std::vector<int> n_k_ = {8, 6, 4};
+  static constexpr double kGamma = 0.5;
+  double gamma_v_ = kGamma * 4;
+};
+
+TEST_F(StaleAliasBankTest, RebuildMatchesAnalyticWeights) {
+  StaleAliasBank bank;
+  EXPECT_FALSE(bank.built());
+  EXPECT_EQ(bank.last_rebuild_sweep(), -1);
+
+  bank.Rebuild(n_kv_, n_k_, kGamma, gamma_v_, /*sweep=*/11);
+  EXPECT_TRUE(bank.built());
+  EXPECT_EQ(bank.last_rebuild_sweep(), 11);
+
+  for (size_t v = 0; v < 4; ++v) {
+    double total = 0.0;
+    for (size_t k = 0; k < 3; ++k) {
+      const double expected =
+          (n_kv_[k][v] + kGamma) / (n_k_[k] + gamma_v_);
+      EXPECT_DOUBLE_EQ(bank.q(v, k), expected) << "v=" << v << " k=" << k;
+      EXPECT_GT(bank.q(v, k), 0.0);  // gamma > 0 => full support.
+      total += expected;
+    }
+    EXPECT_DOUBLE_EQ(bank.q_total(v), total);
+  }
+}
+
+TEST_F(StaleAliasBankTest, SampleFrequenciesTrackWeights) {
+  StaleAliasBank bank;
+  bank.Rebuild(n_kv_, n_k_, kGamma, gamma_v_, 0);
+  Rng rng(7);
+  constexpr int kDraws = 60000;
+  const size_t v = 0;
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const int k = bank.SampleStale(v, rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 3);
+    ++hits[k];
+  }
+  for (size_t k = 0; k < 3; ++k) {
+    const double p = bank.q(v, k) / bank.q_total(v);
+    const double observed = static_cast<double>(hits[k]) / kDraws;
+    // 5-sigma binomial band.
+    const double sigma = std::sqrt(p * (1.0 - p) / kDraws);
+    EXPECT_NEAR(observed, p, 5.0 * sigma) << "k=" << k;
+  }
+}
+
+TEST_F(StaleAliasBankTest, SnapshotIsDecoupledFromLiveCounts) {
+  StaleAliasBank bank;
+  bank.Rebuild(n_kv_, n_k_, kGamma, gamma_v_, 3);
+  const double q_before = bank.q(2, 0);
+
+  // Mutate the live counts: the bank must keep serving the snapshot.
+  n_kv_[0][2] += 10;
+  n_k_[0] += 10;
+  EXPECT_DOUBLE_EQ(bank.q(2, 0), q_before);
+  EXPECT_EQ(bank.stale_n_kv()[0][2], 1);
+  EXPECT_EQ(bank.stale_n_k()[0], 8);
+
+  // A rebuild under churn picks up the new counts.
+  bank.Rebuild(n_kv_, n_k_, kGamma, gamma_v_, 9);
+  EXPECT_EQ(bank.last_rebuild_sweep(), 9);
+  EXPECT_DOUBLE_EQ(bank.q(2, 0),
+                   (n_kv_[0][2] + kGamma) / (n_k_[0] + gamma_v_));
+  EXPECT_GT(bank.q(2, 0), q_before);
+}
+
+TEST_F(StaleAliasBankTest, RebuildUnderChurnStaysConsistent) {
+  // Repeatedly mutate counts and rebuild; after every rebuild the bank must
+  // be an exact pure function of the counts it snapshotted.
+  StaleAliasBank bank;
+  Rng rng(99);
+  for (int round = 0; round < 30; ++round) {
+    // Random churn: move a token between topics for a random term.
+    const size_t v = rng.NextUint(4);
+    const size_t from = rng.NextUint(3);
+    const size_t to = rng.NextUint(3);
+    if (n_kv_[from][v] > 0 && from != to) {
+      --n_kv_[from][v];
+      --n_k_[from];
+      ++n_kv_[to][v];
+      ++n_k_[to];
+    }
+    bank.Rebuild(n_kv_, n_k_, kGamma, gamma_v_, round);
+    ASSERT_EQ(bank.last_rebuild_sweep(), round);
+    for (size_t term = 0; term < 4; ++term) {
+      double total = 0.0;
+      for (size_t k = 0; k < 3; ++k) {
+        const double expected =
+            (n_kv_[k][term] + kGamma) / (n_k_[k] + gamma_v_);
+        ASSERT_DOUBLE_EQ(bank.q(term, k), expected)
+            << "round=" << round << " v=" << term << " k=" << k;
+        total += expected;
+      }
+      ASSERT_DOUBLE_EQ(bank.q_total(term), total);
+    }
+  }
+}
+
+TEST_F(StaleAliasBankTest, RebuildIsDeterministicFromCounts) {
+  // The checkpoint path re-runs Rebuild from the snapshotted integer counts;
+  // resume bit-exactness requires the rebuilt q/q_total to be identical.
+  StaleAliasBank a;
+  StaleAliasBank b;
+  a.Rebuild(n_kv_, n_k_, kGamma, gamma_v_, 5);
+  b.Rebuild(a.stale_n_kv(), a.stale_n_k(), kGamma, gamma_v_, 5);
+  for (size_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(a.q_total(v), b.q_total(v));
+    for (size_t k = 0; k < 3; ++k) EXPECT_EQ(a.q(v, k), b.q(v, k));
+  }
+  // And the alias tables themselves draw identically under the same stream.
+  Rng ra(123);
+  Rng rb(123);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.SampleStale(i % 4, ra), b.SampleStale(i % 4, rb));
+  }
+}
+
+TEST_F(StaleAliasBankTest, ClearResetsState) {
+  StaleAliasBank bank;
+  bank.Rebuild(n_kv_, n_k_, kGamma, gamma_v_, 2);
+  bank.Clear();
+  EXPECT_FALSE(bank.built());
+  EXPECT_EQ(bank.last_rebuild_sweep(), -1);
+}
+
+}  // namespace
+}  // namespace texrheo::core

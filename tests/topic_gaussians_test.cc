@@ -1,0 +1,107 @@
+// Bit-exactness contract of the SoA batched Gaussian log-density path: for
+// every topic, BatchLogPdf, LogPdfScalar, and math::Gaussian::LogPdf must
+// return the identical double (same operations, same order), across topic
+// counts that are and are not multiples of any plausible SIMD width.
+
+#include "core/topic_gaussians.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "math/distributions.h"
+#include "math/linalg.h"
+#include "util/rng.h"
+
+namespace texrheo::core {
+namespace {
+
+math::Gaussian RandomGaussian(Rng& rng, size_t dim) {
+  math::Vector mean(dim);
+  for (size_t i = 0; i < dim; ++i) mean[i] = rng.NextGaussian() * 3.0;
+  // SPD precision: B^T B + I.
+  math::Matrix b(dim, dim);
+  for (size_t r = 0; r < dim; ++r) {
+    for (size_t c = 0; c < dim; ++c) b(r, c) = rng.NextGaussian();
+  }
+  math::Matrix precision(dim, dim);
+  for (size_t r = 0; r < dim; ++r) {
+    for (size_t c = 0; c < dim; ++c) {
+      double s = 0.0;
+      for (size_t i = 0; i < dim; ++i) s += b(i, r) * b(i, c);
+      precision(r, c) = s + (r == c ? 1.0 : 0.0);
+    }
+  }
+  auto g = math::Gaussian::FromPrecision(std::move(mean), std::move(precision));
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+std::vector<math::Gaussian> RandomTopics(Rng& rng, size_t k, size_t dim) {
+  std::vector<math::Gaussian> topics;
+  topics.reserve(k);
+  for (size_t i = 0; i < k; ++i) topics.push_back(RandomGaussian(rng, dim));
+  return topics;
+}
+
+// K values chosen to straddle SIMD widths: 1 (degenerate), 2/4/8/16
+// (multiples of every plausible double-lane count), and 3/5/7/13/33
+// (remainders that exercise the loop tails).
+const size_t kTopicCounts[] = {1, 2, 3, 4, 5, 7, 8, 13, 16, 33};
+
+TEST(TopicGaussiansTest, BatchMatchesGaussianLogPdfBitExactly) {
+  for (size_t dim : {1u, 2u, 3u}) {
+    for (size_t k_count : kTopicCounts) {
+      Rng rng(1000 * dim + k_count);
+      std::vector<math::Gaussian> topics = RandomTopics(rng, k_count, dim);
+      TopicGaussiansSoA soa = TopicGaussiansSoA::FromGaussians(topics);
+      ASSERT_EQ(soa.num_topics(), k_count);
+      ASSERT_EQ(soa.dim(), dim);
+
+      TopicGaussiansSoA::Scratch scratch;
+      std::vector<double> batch(k_count);
+      for (int trial = 0; trial < 20; ++trial) {
+        math::Vector x(dim);
+        for (size_t i = 0; i < dim; ++i) x[i] = rng.NextGaussian() * 4.0;
+        soa.BatchLogPdf(x, scratch, batch.data());
+        for (size_t k = 0; k < k_count; ++k) {
+          const double reference = topics[k].LogPdf(x);
+          // Bit-exact, not approximately equal: the contract is that the
+          // batch path performs the identical arithmetic.
+          EXPECT_EQ(batch[k], reference)
+              << "dim=" << dim << " K=" << k_count << " k=" << k;
+          EXPECT_EQ(soa.LogPdfScalar(k, x), reference)
+              << "dim=" << dim << " K=" << k_count << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(TopicGaussiansTest, EmptyInputYieldsEmptyEvaluator) {
+  TopicGaussiansSoA soa = TopicGaussiansSoA::FromGaussians({});
+  EXPECT_TRUE(soa.empty());
+  EXPECT_EQ(soa.num_topics(), 0u);
+}
+
+TEST(TopicGaussiansTest, ScratchIsReusableAcrossShapes) {
+  Rng rng(77);
+  TopicGaussiansSoA big =
+      TopicGaussiansSoA::FromGaussians(RandomTopics(rng, 16, 3));
+  TopicGaussiansSoA small =
+      TopicGaussiansSoA::FromGaussians(RandomTopics(rng, 2, 1));
+  TopicGaussiansSoA::Scratch scratch;
+  std::vector<double> out(16);
+  math::Vector x3(3, 0.5);
+  big.BatchLogPdf(x3, scratch, out.data());
+  // Same scratch, smaller shape: must resize down cleanly and still agree
+  // with the scalar path.
+  math::Vector x1(1, -0.25);
+  small.BatchLogPdf(x1, scratch, out.data());
+  EXPECT_EQ(out[0], small.LogPdfScalar(0, x1));
+  EXPECT_EQ(out[1], small.LogPdfScalar(1, x1));
+}
+
+}  // namespace
+}  // namespace texrheo::core
