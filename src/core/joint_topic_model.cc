@@ -255,7 +255,7 @@ int JointTopicModel::SparseTokenDraw(
     const std::vector<std::vector<int>>* delta_n_kv, const int* term_counts,
     const std::vector<double>& inv_denom, double inv_denom_removed,
     std::vector<double>& sparse_w, uint64_t& proposals, uint64_t& accepts,
-    uint64_t& sparse_hits) const {
+    uint64_t& sparse_hits, SparseProposalDebug* debug) const {
   const double alpha = config_.alpha;
   const double gamma = config_.gamma;
   const ActiveTopicList& active = active_[d];
@@ -285,10 +285,18 @@ int JointTopicModel::SparseTokenDraw(
   };
 
   // Sparse bucket: s(k) = (n_dk^- + I[y_d = k]) * w(k) over the document's
-  // active topics, plus one extra slot for y_d when it holds no words (its
-  // indicator still contributes mass the active list cannot see). old_k is
-  // always on the active list (its physical count includes this token); if
-  // this is its last token its coefficient is zero and the slot is inert.
+  // active topics, plus one extra slot for y_d when its *physical* count is
+  // zero — membership in the active list is keyed on physical counts, so
+  // that is exactly when its indicator mass is invisible to the loop below.
+  // A physical count of zero implies y_d != old_k (old_k's physical count
+  // still includes this token), so the removed state never matters for the
+  // gate. In particular, when y_d == old_k and this is its last token, the
+  // active-list slot already carries the indicator (coefficient 0 - 1 + 1 =
+  // 1); gating on the removed count would add a second slot for the same
+  // topic and give it proposal mass the acceptance ratio's per-topic mass
+  // (coef * w + alpha * q, counted once) does not see — violating detailed
+  // balance exactly in that corner. For old_k != y_d on its last token the
+  // active slot has coefficient zero and is inert, as intended.
   double sparse_total = 0.0;
   const size_t active_count = topics.size();
   for (size_t i = 0; i < active_count; ++i) {
@@ -299,7 +307,7 @@ int JointTopicModel::SparseTokenDraw(
   }
   size_t bucket_count = active_count;
   int extra_k = -1;
-  if (doc_counts[static_cast<size_t>(y_d)] - (y_d == old_k ? 1 : 0) == 0) {
+  if (doc_counts[static_cast<size_t>(y_d)] == 0) {
     extra_k = y_d;
     const double w = term_weight(y_d);
     sparse_w[bucket_count++] = w;
@@ -308,6 +316,33 @@ int JointTopicModel::SparseTokenDraw(
   // Dense bucket: alpha * q_stale(k, v) served by the alias table; only its
   // total mass is needed up front.
   const double dense_total = alpha * stale_.q_total(v);
+
+  if (debug != nullptr) {
+    // Test seam: report the proposal mass each topic actually receives from
+    // the buckets just built, next to the per-topic mass the acceptance
+    // ratio recomputes (coef * w + alpha * q). Detailed balance of the
+    // independence-MH step requires the two to be identical arrays. Draws
+    // no RNG and returns before any MH step.
+    const size_t k_count = static_cast<size_t>(config_.num_topics);
+    debug->bucket_mass.assign(k_count, 0.0);
+    debug->ratio_mass.assign(k_count, 0.0);
+    for (size_t i = 0; i < active_count; ++i) {
+      debug->bucket_mass[static_cast<size_t>(topics[i])] += sparse_w[i];
+    }
+    if (extra_k >= 0) {
+      debug->bucket_mass[static_cast<size_t>(extra_k)] +=
+          sparse_w[active_count];
+    }
+    for (size_t k = 0; k < k_count; ++k) {
+      const int ki = static_cast<int>(k);
+      debug->bucket_mass[k] += alpha * stale_.q(v, k);
+      debug->ratio_mass[k] =
+          doc_coef(ki) * term_weight(ki) + alpha * stale_.q(v, k);
+    }
+    debug->last_token_of_self_topic =
+        old_k == y_d && doc_counts[static_cast<size_t>(old_k)] == 1;
+    return old_k;
+  }
 
   // Independence-MH: the proposal prop(k) = s(k) + alpha q_stale(k, v) is
   // fixed for the whole token (counts minus the token do not change between
@@ -352,6 +387,34 @@ int JointTopicModel::SparseTokenDraw(
     }
   }
   return cur;
+}
+
+texrheo::StatusOr<JointTopicModel::SparseProposalDebug>
+JointTopicModel::DebugSparseProposal(size_t d, size_t n) {
+  if (!config_.sparse_sampler) {
+    return texrheo::Status::FailedPrecondition(
+        "DebugSparseProposal requires config.sparse_sampler");
+  }
+  if (d >= z_.size() || n >= z_[d].size()) {
+    return texrheo::Status::OutOfRange("token index out of range");
+  }
+  MaybeRebuildStaleBank();
+  const double gamma_v = config_.gamma * static_cast<double>(vocab_size_);
+  EffectiveInvDenominators(n_k_, nullptr, gamma_v, inv_denom_);
+  const size_t v = static_cast<size_t>(docs_->documents[d].term_ids[n]);
+  const int old_k = z_[d][n];
+  const double inv_removed =
+      1.0 /
+      (static_cast<double>(n_k_[static_cast<size_t>(old_k)]) - 1.0 + gamma_v);
+  std::vector<double> sparse_w(static_cast<size_t>(config_.num_topics) + 1);
+  SparseProposalDebug debug;
+  uint64_t proposals = 0;
+  uint64_t accepts = 0;
+  uint64_t hits = 0;
+  SparseTokenDraw(d, v, old_k, rng_, nullptr, /*term_counts=*/nullptr,
+                  inv_denom_, inv_removed, sparse_w, proposals, accepts, hits,
+                  &debug);
+  return debug;
 }
 
 void JointTopicModel::SampleZSparse() {

@@ -286,6 +286,31 @@ class JointTopicModel {
   /// Pass nullptr to restore the real filesystem. Not owned.
   void set_checkpoint_file_ops(FileOps* ops) { checkpoint_file_ops_ = ops; }
 
+  /// Test seam (sparse sampler): per-topic decomposition of the MH proposal
+  /// for token (d, n), computed two ways by the *production* bucket code —
+  /// `bucket_mass[k]` is the mass topic k actually receives from the
+  /// sparse/extra/dense buckets as built, `ratio_mass[k]` is the per-topic
+  /// proposal mass the acceptance ratio assumes (coef * w + alpha * q).
+  /// Detailed balance requires the arrays to be bit-identical; the
+  /// certification tier pins this on the old_k == y_d last-token corner
+  /// (flagged by `last_token_of_self_topic`), where a miscounted extra
+  /// y_d slot would double topic y_d's proposal mass.
+  struct SparseProposalDebug {
+    std::vector<double> bucket_mass;
+    std::vector<double> ratio_mass;
+    /// True when this token is the only one of its topic in the document
+    /// and y_d equals that topic (the double-count hazard case).
+    bool last_token_of_self_topic = false;
+  };
+
+  /// Builds the buckets for token (d, n) exactly as a sweep would (alias
+  /// bank rebuilt if stale) and returns the decomposition above. Draws no
+  /// RNG and leaves the chain state untouched apart from a possible
+  /// scheduled alias rebuild. FailedPrecondition unless sparse_sampler is
+  /// configured; OutOfRange for a bad token index.
+  texrheo::StatusOr<SparseProposalDebug> DebugSparseProposal(size_t d,
+                                                             size_t n);
+
   /// Attaches the trainer to an observability layer (either may be null;
   /// neither is owned and both must outlive the model). With `metrics` set,
   /// every sweep exports its timing breakdown (train.sweep_us,
@@ -329,13 +354,17 @@ class JointTopicModel {
   /// `term_counts`, when non-null, points at the [K] term-major count slice
   /// for term v (the serial sweep's n_vk_ mirror); null falls back to the
   /// column reads of n_kv_ (+ delta).
+  /// `debug`, when non-null, captures the per-topic proposal decomposition
+  /// (see SparseProposalDebug) and returns old_k before any MH step or RNG
+  /// draw.
   int SparseTokenDraw(size_t d, size_t v, int old_k, Rng& rng,
                       const std::vector<std::vector<int>>* delta_n_kv,
                       const int* term_counts,
                       const std::vector<double>& inv_denom,
                       double inv_denom_removed,
                       std::vector<double>& sparse_w, uint64_t& proposals,
-                      uint64_t& accepts, uint64_t& sparse_hits) const;
+                      uint64_t& accepts, uint64_t& sparse_hits,
+                      SparseProposalDebug* debug = nullptr) const;
   /// Rebuilds the stale alias bank when the schedule says so (first sweep
   /// or R sweeps since the last rebuild). No-op on the dense path.
   void MaybeRebuildStaleBank();

@@ -1,6 +1,8 @@
 #include "core/sparse_gibbs.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace texrheo::core {
@@ -56,8 +58,18 @@ void StaleAliasBank::Rebuild(const std::vector<std::vector<int>>& n_kv,
     weights_scratch_.assign(slice, slice + num_topics);
     const auto status = math::AliasTable::BuildInto(
         weights_scratch_, build_scratch_, tables_[v]);
-    assert(status.ok());
-    (void)status;
+    if (!status.ok()) {
+      // gamma > 0 (validated at model creation) makes every weight strictly
+      // positive, so a failed build means a violated invariant two modules
+      // away. Sampling from a half-built table would silently bias the
+      // chain, so fail loudly in every build mode — not just with asserts
+      // enabled.
+      std::fprintf(stderr,
+                   "StaleAliasBank::Rebuild: alias build failed for term "
+                   "%zu: %s\n",
+                   v, status.ToString().c_str());
+      std::abort();
+    }
   }
   built_ = true;
   last_rebuild_sweep_ = sweep;
